@@ -1,0 +1,404 @@
+//! Accuracy of approximate provenance against an exact reference.
+//!
+//! The scope-limiting techniques of Section 5 (selective, grouped, windowed,
+//! budget-based tracking) trade provenance *completeness* for memory and
+//! runtime. The paper quantifies the cost side (Figures 5–8, Table 9) and
+//! argues qualitatively that the information loss is limited; this module
+//! makes the loss measurable, so the trade-off can be evaluated per workload:
+//!
+//! * [`OriginSetError`] — the error of one approximate origin set against the
+//!   exact one (total variation distance, absolute L1 error, top-k precision
+//!   and recall, fraction of known provenance);
+//! * [`AccuracyReport`] — the same metrics aggregated over every vertex of a
+//!   tracker pair;
+//! * [`coarsen_to_groups`] — projects an exact per-vertex origin set onto a
+//!   [`Grouping`], so grouped provenance can be compared on equal terms.
+
+use serde::{Deserialize, Serialize};
+
+use tin_core::ids::{GroupId, Origin, VertexId};
+use tin_core::origins::OriginSet;
+use tin_core::quantity::qty_is_zero;
+use tin_core::tracker::ProvenanceTracker;
+
+use crate::grouping::Grouping;
+
+/// Error metrics of one approximate origin set against the exact one.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct OriginSetError {
+    /// Total variation distance between the normalised origin distributions
+    /// (0 = identical, 1 = disjoint). Unknown/aggregated origins in the
+    /// approximation count as mass placed on origins the exact answer does
+    /// not have.
+    pub total_variation: f64,
+    /// Sum of absolute per-origin quantity differences (unnormalised L1).
+    pub l1_error: f64,
+    /// Fraction of the approximate buffered quantity attributed to concrete
+    /// origins (1.0 = nothing was collapsed into α / "other").
+    pub known_fraction: f64,
+    /// Of the exact top-k origins, the fraction also present in the
+    /// approximate top-k (recall@k).
+    pub topk_recall: f64,
+    /// Of the approximate top-k origins, the fraction that are exact top-k
+    /// origins (precision@k).
+    pub topk_precision: f64,
+}
+
+impl OriginSetError {
+    /// Compare an approximate origin set against the exact one, using the
+    /// top-`k` origins for the precision/recall metrics.
+    pub fn compare(approx: &OriginSet, exact: &OriginSet, k: usize) -> Self {
+        let approx_total = approx.total();
+        let exact_total = exact.total();
+
+        // Union of origins for the distribution distance.
+        let mut origins: Vec<Origin> = approx
+            .iter()
+            .map(|(o, _)| o)
+            .chain(exact.iter().map(|(o, _)| o))
+            .collect();
+        origins.sort();
+        origins.dedup();
+
+        let mut tv = 0.0;
+        let mut l1 = 0.0;
+        for o in &origins {
+            let a = approx.quantity_from(*o);
+            let e = exact.quantity_from(*o);
+            l1 += (a - e).abs();
+            let ap = if approx_total > 0.0 { a / approx_total } else { 0.0 };
+            let ep = if exact_total > 0.0 { e / exact_total } else { 0.0 };
+            tv += (ap - ep).abs();
+        }
+        let total_variation = tv / 2.0;
+
+        let approx_top: Vec<Origin> = approx.top_k(k).iter().map(|s| s.origin).collect();
+        let exact_top: Vec<Origin> = exact.top_k(k).iter().map(|s| s.origin).collect();
+        let hits = exact_top
+            .iter()
+            .filter(|o| approx_top.contains(o))
+            .count();
+        let topk_recall = if exact_top.is_empty() {
+            1.0
+        } else {
+            hits as f64 / exact_top.len() as f64
+        };
+        let topk_precision = if approx_top.is_empty() {
+            if exact_top.is_empty() {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            approx_top
+                .iter()
+                .filter(|o| exact_top.contains(o))
+                .count() as f64
+                / approx_top.len() as f64
+        };
+
+        OriginSetError {
+            total_variation,
+            l1_error: l1,
+            known_fraction: approx.known_fraction(),
+            topk_recall,
+            topk_precision,
+        }
+    }
+
+    /// True if the approximation is exact within the library tolerance.
+    pub fn is_exact(&self) -> bool {
+        qty_is_zero(self.l1_error)
+    }
+}
+
+/// Accuracy metrics aggregated over all vertices of a tracker pair.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyReport {
+    /// Vertices with a non-empty exact buffer (the ones that were compared).
+    pub vertices_compared: usize,
+    /// Mean total variation distance over compared vertices.
+    pub mean_total_variation: f64,
+    /// Worst-case total variation distance.
+    pub max_total_variation: f64,
+    /// Mean absolute L1 error over compared vertices.
+    pub mean_l1_error: f64,
+    /// Mean fraction of known (non-aggregated) provenance.
+    pub mean_known_fraction: f64,
+    /// Mean recall of the exact top-k origins.
+    pub mean_topk_recall: f64,
+    /// Mean precision of the approximate top-k origins.
+    pub mean_topk_precision: f64,
+}
+
+impl AccuracyReport {
+    /// Aggregate per-vertex errors into a report.
+    pub fn from_errors(errors: &[OriginSetError]) -> Self {
+        if errors.is_empty() {
+            return AccuracyReport::default();
+        }
+        let n = errors.len() as f64;
+        AccuracyReport {
+            vertices_compared: errors.len(),
+            mean_total_variation: errors.iter().map(|e| e.total_variation).sum::<f64>() / n,
+            max_total_variation: errors
+                .iter()
+                .map(|e| e.total_variation)
+                .fold(0.0, f64::max),
+            mean_l1_error: errors.iter().map(|e| e.l1_error).sum::<f64>() / n,
+            mean_known_fraction: errors.iter().map(|e| e.known_fraction).sum::<f64>() / n,
+            mean_topk_recall: errors.iter().map(|e| e.topk_recall).sum::<f64>() / n,
+            mean_topk_precision: errors.iter().map(|e| e.topk_precision).sum::<f64>() / n,
+        }
+    }
+
+    /// True if every compared vertex was exact within tolerance.
+    pub fn is_exact(&self) -> bool {
+        qty_is_zero(self.mean_l1_error) && self.max_total_variation < 1e-9
+    }
+}
+
+/// Project an exact (per-vertex) origin set onto a grouping, so that it can be
+/// compared with the answer of a grouped tracker (Section 5.2): every concrete
+/// vertex origin is replaced by its group; aggregate origins stay as they are.
+pub fn coarsen_to_groups(origins: &OriginSet, grouping: &Grouping) -> OriginSet {
+    OriginSet::from_pairs(origins.iter().map(|(o, q)| match o {
+        Origin::Vertex(v) => (
+            Origin::Group(GroupId::new(grouping.group_of(v))),
+            q,
+        ),
+        other => (other, q),
+    }))
+}
+
+/// Compare an approximate tracker against an exact one, vertex by vertex.
+///
+/// Only vertices with a non-empty buffer in the *exact* tracker are compared
+/// (empty buffers are trivially exact and would dilute the averages). `k` is
+/// the cut-off for the top-k precision/recall metrics.
+pub fn compare_trackers(
+    approx: &dyn ProvenanceTracker,
+    exact: &dyn ProvenanceTracker,
+    k: usize,
+) -> AccuracyReport {
+    let n = approx.num_vertices().min(exact.num_vertices());
+    let mut errors = Vec::new();
+    for i in 0..n {
+        let v = VertexId::from(i);
+        let exact_origins = exact.origins(v);
+        if exact_origins.is_empty() {
+            continue;
+        }
+        errors.push(OriginSetError::compare(&approx.origins(v), &exact_origins, k));
+    }
+    AccuracyReport::from_errors(&errors)
+}
+
+/// Compare a grouped tracker against an exact vertex-level tracker by first
+/// coarsening the exact answers to the same grouping.
+pub fn compare_grouped_tracker(
+    grouped: &dyn ProvenanceTracker,
+    exact: &dyn ProvenanceTracker,
+    grouping: &Grouping,
+    k: usize,
+) -> AccuracyReport {
+    let n = grouped.num_vertices().min(exact.num_vertices());
+    let mut errors = Vec::new();
+    for i in 0..n {
+        let v = VertexId::from(i);
+        let exact_origins = exact.origins(v);
+        if exact_origins.is_empty() {
+            continue;
+        }
+        let coarse = coarsen_to_groups(&exact_origins, grouping);
+        errors.push(OriginSetError::compare(&grouped.origins(v), &coarse, k));
+    }
+    AccuracyReport::from_errors(&errors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tin_core::interaction::paper_running_example;
+    use tin_core::policy::{PolicyConfig, SelectionPolicy};
+    use tin_core::tracker::build_tracker;
+
+    fn ov(i: u32) -> Origin {
+        Origin::Vertex(VertexId::new(i))
+    }
+
+    fn set(pairs: &[(Origin, f64)]) -> OriginSet {
+        OriginSet::from_pairs(pairs.iter().cloned())
+    }
+
+    #[test]
+    fn identical_sets_have_zero_error() {
+        let a = set(&[(ov(1), 3.0), (ov(2), 1.0)]);
+        let e = OriginSetError::compare(&a, &a, 2);
+        assert!(e.is_exact());
+        assert_eq!(e.total_variation, 0.0);
+        assert_eq!(e.l1_error, 0.0);
+        assert_eq!(e.known_fraction, 1.0);
+        assert_eq!(e.topk_recall, 1.0);
+        assert_eq!(e.topk_precision, 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets_have_maximal_total_variation() {
+        let a = set(&[(ov(1), 4.0)]);
+        let b = set(&[(ov(2), 4.0)]);
+        let e = OriginSetError::compare(&a, &b, 1);
+        assert!((e.total_variation - 1.0).abs() < 1e-12);
+        assert_eq!(e.l1_error, 8.0);
+        assert_eq!(e.topk_recall, 0.0);
+        assert_eq!(e.topk_precision, 0.0);
+        assert!(!e.is_exact());
+    }
+
+    #[test]
+    fn unknown_mass_lowers_known_fraction() {
+        // Half of the approximate answer was collapsed into α.
+        let approx = set(&[(ov(1), 2.0), (Origin::Unknown, 2.0)]);
+        let exact = set(&[(ov(1), 2.0), (ov(2), 2.0)]);
+        let e = OriginSetError::compare(&approx, &exact, 2);
+        assert!((e.known_fraction - 0.5).abs() < 1e-12);
+        assert!((e.total_variation - 0.5).abs() < 1e-12);
+        assert!((e.l1_error - 4.0).abs() < 1e-12);
+        // v1 is still recovered in the top-k.
+        assert!((e.topk_recall - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sets_compare_cleanly() {
+        let empty = OriginSet::empty();
+        let e = OriginSetError::compare(&empty, &empty, 3);
+        assert!(e.is_exact());
+        assert_eq!(e.topk_recall, 1.0);
+        assert_eq!(e.topk_precision, 1.0);
+        // Empty approximation of a non-empty exact answer.
+        let exact = set(&[(ov(1), 2.0)]);
+        let e = OriginSetError::compare(&empty, &exact, 3);
+        assert_eq!(e.topk_precision, 0.0);
+        assert_eq!(e.topk_recall, 0.0);
+        assert!((e.total_variation - 0.5).abs() < 1e-12 || e.total_variation <= 1.0);
+    }
+
+    #[test]
+    fn report_aggregates_errors() {
+        let errors = vec![
+            OriginSetError {
+                total_variation: 0.0,
+                l1_error: 0.0,
+                known_fraction: 1.0,
+                topk_recall: 1.0,
+                topk_precision: 1.0,
+            },
+            OriginSetError {
+                total_variation: 0.5,
+                l1_error: 4.0,
+                known_fraction: 0.5,
+                topk_recall: 0.5,
+                topk_precision: 0.5,
+            },
+        ];
+        let report = AccuracyReport::from_errors(&errors);
+        assert_eq!(report.vertices_compared, 2);
+        assert!((report.mean_total_variation - 0.25).abs() < 1e-12);
+        assert!((report.max_total_variation - 0.5).abs() < 1e-12);
+        assert!((report.mean_l1_error - 2.0).abs() < 1e-12);
+        assert!((report.mean_known_fraction - 0.75).abs() < 1e-12);
+        assert!(!report.is_exact());
+        assert_eq!(AccuracyReport::from_errors(&[]), AccuracyReport::default());
+    }
+
+    #[test]
+    fn selective_tracking_is_exact_for_tracked_origins() {
+        // Track every vertex: the selective tracker must be exact.
+        let rs = paper_running_example();
+        let exact = {
+            let mut t = build_tracker(
+                &PolicyConfig::Plain(SelectionPolicy::ProportionalDense),
+                3,
+            )
+            .unwrap();
+            t.process_all(&rs);
+            t
+        };
+        let all_tracked = {
+            let mut t = build_tracker(
+                &PolicyConfig::Selective {
+                    tracked: (0..3).map(VertexId::new).collect(),
+                },
+                3,
+            )
+            .unwrap();
+            t.process_all(&rs);
+            t
+        };
+        let report = compare_trackers(all_tracked.as_ref(), exact.as_ref(), 3);
+        assert_eq!(report.vertices_compared, 3);
+        assert!(report.is_exact(), "{report:?}");
+
+        // Track only vertex 1: provenance from vertex 2 is collapsed, so the
+        // known fraction drops below 1 but the top-1 origin (v1 dominates two
+        // of the three buffers) is still mostly recovered.
+        let partial = {
+            let mut t = build_tracker(
+                &PolicyConfig::Selective {
+                    tracked: vec![VertexId::new(1)],
+                },
+                3,
+            )
+            .unwrap();
+            t.process_all(&rs);
+            t
+        };
+        let report = compare_trackers(partial.as_ref(), exact.as_ref(), 1);
+        assert!(report.mean_known_fraction < 1.0);
+        assert!(report.mean_total_variation > 0.0);
+        assert!(report.mean_topk_recall > 0.5);
+    }
+
+    #[test]
+    fn grouped_tracking_compared_after_coarsening() {
+        let rs = paper_running_example();
+        let grouping = Grouping {
+            num_groups: 2,
+            group_of: vec![0, 1, 1],
+        };
+        let exact = {
+            let mut t = build_tracker(
+                &PolicyConfig::Plain(SelectionPolicy::ProportionalDense),
+                3,
+            )
+            .unwrap();
+            t.process_all(&rs);
+            t
+        };
+        let grouped = {
+            let mut t = build_tracker(&grouping.to_policy(), 3).unwrap();
+            t.process_all(&rs);
+            t
+        };
+        // Against the raw vertex-level answer the grouped tracker looks wrong …
+        let naive = compare_trackers(grouped.as_ref(), exact.as_ref(), 2);
+        assert!(naive.mean_total_variation > 0.0);
+        // … but after coarsening the exact answer to groups it is exact.
+        let fair = compare_grouped_tracker(grouped.as_ref(), exact.as_ref(), &grouping, 2);
+        assert!(fair.is_exact(), "{fair:?}");
+    }
+
+    #[test]
+    fn coarsening_merges_vertices_of_the_same_group() {
+        let grouping = Grouping {
+            num_groups: 2,
+            group_of: vec![0, 0, 1],
+        };
+        let origins = set(&[(ov(0), 1.0), (ov(1), 2.0), (ov(2), 3.0), (Origin::Unknown, 1.0)]);
+        let coarse = coarsen_to_groups(&origins, &grouping);
+        assert_eq!(coarse.len(), 3);
+        assert_eq!(coarse.quantity_from(Origin::Group(GroupId::new(0))), 3.0);
+        assert_eq!(coarse.quantity_from(Origin::Group(GroupId::new(1))), 3.0);
+        assert_eq!(coarse.quantity_from(Origin::Unknown), 1.0);
+    }
+}

@@ -1,0 +1,284 @@
+//! Streaming provenance alerts — the Section 7.6 use case (Figure 9).
+//!
+//! The paper's demonstration: *"after each interaction, we issue an alert
+//! when the receiving vertex does not have any quantity that originates from
+//! its [direct] neighbours and the total quantity in its buffer exceeds 10K
+//! BTC"*. Alerts where the amount was accumulated from many origins are an
+//! indication of possible "smurfing" (structuring a large transfer as many
+//! small ones through intermediaries).
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use tin_core::ids::VertexId;
+use tin_core::interaction::Interaction;
+use tin_core::origins::OriginSet;
+use tin_core::quantity::Quantity;
+use tin_core::tracker::ProvenanceTracker;
+
+/// An alert raised by the [`AlertEngine`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Alert {
+    /// Index of the interaction (0-based) that triggered the alert.
+    pub interaction_index: usize,
+    /// The receiving vertex that accumulated the suspicious quantity.
+    pub vertex: VertexId,
+    /// Total quantity buffered at the vertex when the alert fired.
+    pub buffered: Quantity,
+    /// Number of distinct origin vertices contributing to the buffer
+    /// (the paper highlights alerts with < 5 contributors in red).
+    pub contributing_vertices: usize,
+    /// Time of the triggering interaction.
+    pub time: f64,
+}
+
+impl Alert {
+    /// The paper marks alerts with fewer than five contributing vertices
+    /// differently (red dots in Figure 9): a large amount from very few
+    /// sources.
+    pub fn is_few_sources(&self) -> bool {
+        self.contributing_vertices < 5
+    }
+}
+
+/// Configuration of the alerting use case.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AlertConfig {
+    /// Alert when the receiving vertex's buffered quantity exceeds this
+    /// threshold (10,000 BTC in the paper's demonstration).
+    pub quantity_threshold: Quantity,
+    /// Raise the alert only if *none* of the buffered quantity originates
+    /// from the vertex's direct (in-)neighbours, i.e. the neighbours only
+    /// relay third-party quantities.
+    pub require_no_neighbor_origin: bool,
+}
+
+impl Default for AlertConfig {
+    fn default() -> Self {
+        AlertConfig {
+            quantity_threshold: 10_000.0,
+            require_no_neighbor_origin: true,
+        }
+    }
+}
+
+/// Streaming alert engine: feed it every interaction *after* the tracker has
+/// processed it, and it decides whether the receiving vertex deserves an
+/// alert.
+///
+/// The engine maintains, per vertex, the set of direct in-neighbours seen so
+/// far (the vertices that have transferred quantities to it), which is all
+/// the additional state the paper's alerting mechanism needs.
+#[derive(Clone, Debug)]
+pub struct AlertEngine {
+    config: AlertConfig,
+    in_neighbors: Vec<HashSet<VertexId>>,
+    alerts: Vec<Alert>,
+    processed: usize,
+}
+
+impl AlertEngine {
+    /// Create an engine for a TIN with `num_vertices` vertices.
+    pub fn new(num_vertices: usize, config: AlertConfig) -> Self {
+        AlertEngine {
+            config,
+            in_neighbors: vec![HashSet::new(); num_vertices],
+            alerts: Vec::new(),
+            processed: 0,
+        }
+    }
+
+    /// Observe one interaction together with the provenance of the receiving
+    /// vertex *after* the interaction was applied. Returns the alert if one
+    /// fired.
+    pub fn observe(
+        &mut self,
+        r: &Interaction,
+        receiver_buffered: Quantity,
+        receiver_origins: &OriginSet,
+    ) -> Option<Alert> {
+        let idx = self.processed;
+        self.processed += 1;
+        self.in_neighbors[r.dst.index()].insert(r.src);
+
+        if receiver_buffered <= self.config.quantity_threshold {
+            return None;
+        }
+        if self.config.require_no_neighbor_origin {
+            let neighbors = &self.in_neighbors[r.dst.index()];
+            let any_from_neighbor = receiver_origins.iter().any(|(o, q)| {
+                q > 0.0
+                    && o.as_vertex()
+                        .map(|v| neighbors.contains(&v))
+                        .unwrap_or(false)
+            });
+            if any_from_neighbor {
+                return None;
+            }
+        }
+        let alert = Alert {
+            interaction_index: idx,
+            vertex: r.dst,
+            buffered: receiver_buffered,
+            contributing_vertices: receiver_origins.num_contributing_vertices(),
+            time: r.time.0,
+        };
+        self.alerts.push(alert.clone());
+        Some(alert)
+    }
+
+    /// Convenience driver: run a whole stream through a tracker and the alert
+    /// engine together, returning all raised alerts.
+    pub fn run_stream(
+        tracker: &mut dyn ProvenanceTracker,
+        interactions: &[Interaction],
+        config: AlertConfig,
+    ) -> Vec<Alert> {
+        let mut engine = AlertEngine::new(tracker.num_vertices(), config);
+        for r in interactions {
+            tracker.process(r);
+            let buffered = tracker.buffered(r.dst);
+            if buffered > config.quantity_threshold {
+                let origins = tracker.origins(r.dst);
+                engine.observe(r, buffered, &origins);
+            } else {
+                engine.observe(r, buffered, &OriginSet::empty());
+            }
+        }
+        engine.into_alerts()
+    }
+
+    /// All alerts raised so far.
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
+    }
+
+    /// Consume the engine, returning the alerts.
+    pub fn into_alerts(self) -> Vec<Alert> {
+        self.alerts
+    }
+
+    /// Number of interactions observed.
+    pub fn observed(&self) -> usize {
+        self.processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tin_core::prelude::*;
+
+    fn v(i: u32) -> VertexId {
+        VertexId::new(i)
+    }
+
+    /// Build a small "smurfing" scenario: many mules receive money from a
+    /// payer and forward it to a collector, so the collector's buffer grows
+    /// large while none of its quantity originates from the mules themselves.
+    fn smurfing_stream(num_mules: u32, amount_per_mule: f64) -> (usize, Vec<Interaction>) {
+        let payer = 0u32;
+        let collector = 1u32;
+        let mut rs = Vec::new();
+        let mut t = 0.0;
+        for m in 0..num_mules {
+            let mule = 2 + m;
+            t += 1.0;
+            rs.push(Interaction::new(payer, mule, t, amount_per_mule));
+            t += 1.0;
+            rs.push(Interaction::new(mule, collector, t, amount_per_mule));
+        }
+        ((2 + num_mules) as usize, rs)
+    }
+
+    #[test]
+    fn smurfing_scenario_raises_alert() {
+        let (n, rs) = smurfing_stream(20, 1_000.0);
+        let mut tracker = ProportionalSparseTracker::new(n);
+        let config = AlertConfig {
+            quantity_threshold: 10_000.0,
+            require_no_neighbor_origin: true,
+        };
+        let alerts = AlertEngine::run_stream(&mut tracker, &rs, config);
+        assert!(!alerts.is_empty(), "collector must trigger alerts");
+        let last = alerts.last().unwrap();
+        assert_eq!(last.vertex, v(1));
+        assert!(last.buffered > 10_000.0);
+        // All quantity ultimately originates from the payer (vertex 0), which
+        // is indeed a direct... wait: the payer never sends directly to the
+        // collector, so it is NOT an in-neighbour; the mules are, but they
+        // only relay. Exactly the paper's alert condition.
+        assert_eq!(last.contributing_vertices, 1);
+        assert!(last.is_few_sources());
+    }
+
+    #[test]
+    fn no_alert_when_neighbors_generate_the_quantity() {
+        // Vertices send their *own* (newborn) quantity directly: the receiver's
+        // provenance contains its direct neighbours, so no alert fires.
+        let mut rs = Vec::new();
+        for i in 1..=5u32 {
+            rs.push(Interaction::new(i, 0u32, i as f64, 5_000.0));
+        }
+        let mut tracker = ProportionalSparseTracker::new(6);
+        let alerts = AlertEngine::run_stream(&mut tracker, &rs, AlertConfig::default());
+        assert!(alerts.is_empty());
+    }
+
+    #[test]
+    fn no_alert_below_threshold() {
+        let (n, rs) = smurfing_stream(3, 10.0);
+        let mut tracker = ProportionalSparseTracker::new(n);
+        let alerts = AlertEngine::run_stream(&mut tracker, &rs, AlertConfig::default());
+        assert!(alerts.is_empty());
+    }
+
+    #[test]
+    fn neighbor_condition_can_be_disabled() {
+        let mut rs = Vec::new();
+        for i in 1..=5u32 {
+            rs.push(Interaction::new(i, 0u32, i as f64, 5_000.0));
+        }
+        let mut tracker = ProportionalSparseTracker::new(6);
+        let config = AlertConfig {
+            quantity_threshold: 10_000.0,
+            require_no_neighbor_origin: false,
+        };
+        let alerts = AlertEngine::run_stream(&mut tracker, &rs, config);
+        // Once the buffer exceeds 10K the alert fires even though the
+        // quantity comes from direct neighbours.
+        assert!(!alerts.is_empty());
+        assert!(!alerts[0].is_few_sources() || alerts[0].contributing_vertices < 5);
+    }
+
+    #[test]
+    fn many_sources_alert_is_not_flagged_as_few() {
+        // 10 independent generators feed relays that feed the collector.
+        let mut rs = Vec::new();
+        let collector = 0u32;
+        let mut t = 0.0;
+        for i in 0..10u32 {
+            let generator = 1 + i;
+            let relay = 11 + i;
+            t += 1.0;
+            rs.push(Interaction::new(generator, relay, t, 2_000.0));
+            t += 1.0;
+            rs.push(Interaction::new(relay, collector, t, 2_000.0));
+        }
+        let mut tracker = ProportionalSparseTracker::new(21);
+        let alerts = AlertEngine::run_stream(&mut tracker, &rs, AlertConfig::default());
+        let last = alerts.last().expect("alert expected");
+        assert!(last.contributing_vertices >= 5);
+        assert!(!last.is_few_sources());
+    }
+
+    #[test]
+    fn observe_counts_interactions() {
+        let mut engine = AlertEngine::new(3, AlertConfig::default());
+        let r = Interaction::new(0u32, 1u32, 1.0, 1.0);
+        assert!(engine.observe(&r, 1.0, &OriginSet::empty()).is_none());
+        assert_eq!(engine.observed(), 1);
+        assert!(engine.alerts().is_empty());
+    }
+}

@@ -1,0 +1,448 @@
+//! Graph clustering for grouped provenance tracking.
+//!
+//! Section 5.2 suggests deriving the vertex groups from "network clustering
+//! algorithms (e.g., METIS)". METIS itself is a native library we do not
+//! depend on; this module provides dependency-free clustering substrates that
+//! produce a [`Grouping`] from the TIN's static structure:
+//!
+//! * [`connected_components`] — weakly connected components via union–find;
+//! * [`label_propagation`] — quantity-weighted label propagation, with the
+//!   component count optionally folded down to a target number of groups;
+//! * [`modularity`] — the standard quality score for a grouping on the
+//!   quantity-weighted undirected projection of the TIN, so alternative
+//!   groupings can be compared.
+//!
+//! The paper notes (Section 7.3) that the runtime/memory of grouped tracking
+//! only depends on the *number* of groups, so these algorithms matter for the
+//! interpretability of the provenance output, not for its cost.
+
+use std::collections::HashMap;
+
+use tin_core::error::{Result, TinError};
+use tin_core::graph::Tin;
+use tin_core::ids::VertexId;
+
+use crate::grouping::Grouping;
+
+/// A disjoint-set (union–find) forest over dense vertex indices, with path
+/// compression and union by size.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Create a forest of `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Find the representative of `x`'s set (with path compression).
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merge the sets containing `a` and `b`; returns true if they were
+    /// previously distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+        self.components -= 1;
+        true
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn num_components(&self) -> usize {
+        self.components
+    }
+
+    /// Dense component labels in `0..num_components()`, assigned in order of
+    /// first appearance so the labelling is deterministic.
+    pub fn labels(&mut self) -> Vec<u32> {
+        let n = self.parent.len();
+        let mut relabel: HashMap<usize, u32> = HashMap::new();
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let root = self.find(i);
+            let next = relabel.len() as u32;
+            let label = *relabel.entry(root).or_insert(next);
+            labels.push(label);
+        }
+        labels
+    }
+}
+
+/// Group vertices by weakly connected component of the static TIN graph.
+/// Isolated vertices each form their own singleton group.
+pub fn connected_components(tin: &Tin) -> Grouping {
+    let mut uf = UnionFind::new(tin.num_vertices());
+    for r in tin.interactions() {
+        uf.union(r.src.index(), r.dst.index());
+    }
+    let group_of = uf.labels();
+    Grouping {
+        num_groups: uf.num_components().max(1),
+        group_of,
+    }
+}
+
+/// Quantity-weighted label propagation.
+///
+/// Every vertex starts in its own community; in each synchronous-ish sweep a
+/// vertex adopts the label with the largest total interaction quantity among
+/// its (in- and out-) neighbours, breaking ties towards the smallest label so
+/// the algorithm is deterministic. The sweep repeats until no label changes or
+/// `max_sweeps` is reached. If `target_groups` is given, the resulting
+/// communities are folded into that many groups by size-balanced assignment
+/// (largest community first), matching the fixed-m interface of grouped
+/// provenance tracking.
+pub fn label_propagation(
+    tin: &Tin,
+    max_sweeps: usize,
+    target_groups: Option<usize>,
+) -> Result<Grouping> {
+    if let Some(0) = target_groups {
+        return Err(TinError::InvalidConfig("need at least one group".into()));
+    }
+    let n = tin.num_vertices();
+    if n == 0 {
+        return Ok(Grouping {
+            num_groups: 1,
+            group_of: Vec::new(),
+        });
+    }
+
+    // Undirected weighted adjacency: total quantity exchanged per vertex pair.
+    let mut weights: Vec<HashMap<usize, f64>> = vec![HashMap::new(); n];
+    for r in tin.interactions() {
+        let (a, b) = (r.src.index(), r.dst.index());
+        *weights[a].entry(b).or_insert(0.0) += r.qty;
+        *weights[b].entry(a).or_insert(0.0) += r.qty;
+    }
+
+    let mut label: Vec<u32> = (0..n as u32).collect();
+    for _ in 0..max_sweeps.max(1) {
+        let mut changed = false;
+        for v in 0..n {
+            if weights[v].is_empty() {
+                continue;
+            }
+            // Total neighbour weight per label.
+            let mut per_label: HashMap<u32, f64> = HashMap::new();
+            for (&u, &w) in &weights[v] {
+                *per_label.entry(label[u]).or_insert(0.0) += w;
+            }
+            let best = per_label
+                .into_iter()
+                .max_by(|a, b| a.1.total_cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+                .map(|(l, _)| l)
+                .unwrap_or(label[v]);
+            if best != label[v] {
+                label[v] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Relabel densely, in order of first appearance.
+    let mut relabel: HashMap<u32, u32> = HashMap::new();
+    let mut group_of = Vec::with_capacity(n);
+    for &l in &label {
+        let next = relabel.len() as u32;
+        group_of.push(*relabel.entry(l).or_insert(next));
+    }
+    let num_communities = relabel.len().max(1);
+
+    let grouping = Grouping {
+        num_groups: num_communities,
+        group_of,
+    };
+    match target_groups {
+        None => Ok(grouping),
+        Some(m) => Ok(fold_to_groups(&grouping, m)),
+    }
+}
+
+/// Fold an arbitrary community assignment into exactly `m` groups by
+/// assigning communities (largest first) to the currently smallest group —
+/// a greedy balanced-partition pass.
+pub fn fold_to_groups(grouping: &Grouping, m: usize) -> Grouping {
+    let m = m.max(1);
+    if grouping.num_groups <= m {
+        return Grouping {
+            num_groups: m,
+            group_of: grouping.group_of.clone(),
+        };
+    }
+    let sizes = grouping.group_sizes();
+    let mut communities: Vec<usize> = (0..grouping.num_groups).collect();
+    communities.sort_by(|&a, &b| sizes[b].cmp(&sizes[a]).then(a.cmp(&b)));
+    let mut community_to_group = vec![0u32; grouping.num_groups];
+    let mut load = vec![0usize; m];
+    for c in communities {
+        let target = (0..m).min_by_key(|&g| (load[g], g)).unwrap_or(0);
+        community_to_group[c] = target as u32;
+        load[target] += sizes[c];
+    }
+    Grouping {
+        num_groups: m,
+        group_of: grouping
+            .group_of
+            .iter()
+            .map(|&c| community_to_group[c as usize])
+            .collect(),
+    }
+}
+
+/// Newman modularity of a grouping on the quantity-weighted undirected
+/// projection of the TIN. Higher is better; 0 is the expectation of a random
+/// assignment, and the value is meaningless for an empty TIN (returns 0).
+pub fn modularity(tin: &Tin, grouping: &Grouping) -> f64 {
+    let n = tin.num_vertices();
+    if n == 0 || grouping.group_of.len() < n {
+        return 0.0;
+    }
+    // Weighted degree per vertex and total edge weight (each interaction
+    // counted once as an undirected edge of weight r.q).
+    let mut degree = vec![0.0f64; n];
+    let mut total = 0.0f64;
+    let mut intra = vec![0.0f64; grouping.num_groups];
+    for r in tin.interactions() {
+        let (a, b) = (r.src.index(), r.dst.index());
+        degree[a] += r.qty;
+        degree[b] += r.qty;
+        total += r.qty;
+        if grouping.group_of[a] == grouping.group_of[b] {
+            intra[grouping.group_of[a] as usize] += r.qty;
+        }
+    }
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mut group_degree = vec![0.0f64; grouping.num_groups];
+    for v in 0..n {
+        group_degree[grouping.group_of[v] as usize] += degree[v];
+    }
+    let two_m = 2.0 * total;
+    (0..grouping.num_groups)
+        .map(|g| intra[g] / total - (group_degree[g] / two_m).powi(2))
+        .sum()
+}
+
+/// Convenience: pick a sensible grouping of `tin` into `m` groups — label
+/// propagation folded to `m`, falling back to degree-based bucketing when the
+/// graph is a single community.
+pub fn cluster_into(tin: &Tin, m: usize) -> Result<Grouping> {
+    if m == 0 {
+        return Err(TinError::InvalidConfig("need at least one group".into()));
+    }
+    let lp = label_propagation(tin, 8, Some(m))?;
+    let distinct = lp
+        .group_sizes()
+        .iter()
+        .filter(|&&s| s > 0)
+        .count();
+    if distinct > 1 {
+        Ok(lp)
+    } else {
+        crate::grouping::by_degree(tin, m)
+    }
+}
+
+/// A vertex id helper used by the tests below.
+#[allow(dead_code)]
+fn v(i: u32) -> VertexId {
+    VertexId::new(i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tin_core::interaction::{paper_running_example, Interaction};
+
+    /// Two triangles joined by nothing: 0-1-2 and 3-4-5.
+    fn two_communities() -> Tin {
+        let rs = vec![
+            Interaction::new(0u32, 1u32, 1.0, 10.0),
+            Interaction::new(1u32, 2u32, 2.0, 10.0),
+            Interaction::new(2u32, 0u32, 3.0, 10.0),
+            Interaction::new(3u32, 4u32, 4.0, 10.0),
+            Interaction::new(4u32, 5u32, 5.0, 10.0),
+            Interaction::new(5u32, 3u32, 6.0, 10.0),
+        ];
+        Tin::from_interactions(6, rs).unwrap()
+    }
+
+    /// The two triangles plus one thin bridge 2 → 3.
+    fn bridged_communities() -> Tin {
+        let mut rs = two_communities().interactions().to_vec();
+        rs.push(Interaction::new(2u32, 3u32, 7.0, 0.1));
+        Tin::from_interactions(6, rs).unwrap()
+    }
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.num_components(), 4);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.union(2, 3));
+        assert_eq!(uf.num_components(), 2);
+        assert_eq!(uf.find(1), uf.find(0));
+        assert_ne!(uf.find(0), uf.find(3));
+        let labels = uf.labels();
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+    }
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let tin = two_communities();
+        let grouping = connected_components(&tin);
+        assert_eq!(grouping.num_groups, 2);
+        assert!(grouping.validate().is_ok());
+        assert_eq!(grouping.group_of(v(0)), grouping.group_of(v(2)));
+        assert_ne!(grouping.group_of(v(0)), grouping.group_of(v(3)));
+        // Isolated vertices form singleton components.
+        let tin = Tin::from_interactions(4, vec![Interaction::new(0u32, 1u32, 1.0, 1.0)]).unwrap();
+        let grouping = connected_components(&tin);
+        assert_eq!(grouping.num_groups, 3);
+    }
+
+    #[test]
+    fn components_of_running_example_form_one_group() {
+        let tin = Tin::from_interactions(3, paper_running_example()).unwrap();
+        let grouping = connected_components(&tin);
+        assert_eq!(grouping.num_groups, 1);
+        assert!(grouping.group_of.iter().all(|&g| g == 0));
+    }
+
+    #[test]
+    fn label_propagation_recovers_two_communities() {
+        let tin = bridged_communities();
+        let grouping = label_propagation(&tin, 10, None).unwrap();
+        assert!(grouping.validate().is_ok());
+        // The two triangles stay separate despite the thin bridge.
+        assert_eq!(grouping.group_of(v(0)), grouping.group_of(v(1)));
+        assert_eq!(grouping.group_of(v(1)), grouping.group_of(v(2)));
+        assert_eq!(grouping.group_of(v(3)), grouping.group_of(v(4)));
+        assert_eq!(grouping.group_of(v(4)), grouping.group_of(v(5)));
+        assert_ne!(grouping.group_of(v(0)), grouping.group_of(v(3)));
+        // Deterministic.
+        assert_eq!(grouping, label_propagation(&tin, 10, None).unwrap());
+    }
+
+    #[test]
+    fn label_propagation_respects_target_group_count() {
+        let tin = two_communities();
+        let grouping = label_propagation(&tin, 10, Some(2)).unwrap();
+        assert_eq!(grouping.num_groups, 2);
+        assert!(grouping.validate().is_ok());
+        // Asking for more groups than communities keeps every community whole.
+        let grouping = label_propagation(&tin, 10, Some(4)).unwrap();
+        assert_eq!(grouping.num_groups, 4);
+        assert!(grouping.validate().is_ok());
+        assert!(label_propagation(&tin, 10, Some(0)).is_err());
+    }
+
+    #[test]
+    fn label_propagation_handles_empty_and_isolated() {
+        let empty = Tin::from_interactions(0, vec![]).unwrap();
+        let grouping = label_propagation(&empty, 5, None).unwrap();
+        assert_eq!(grouping.group_of.len(), 0);
+        let isolated = Tin::from_interactions(3, vec![]).unwrap();
+        let grouping = label_propagation(&isolated, 5, None).unwrap();
+        assert_eq!(grouping.group_of.len(), 3);
+        assert!(grouping.validate().is_ok());
+    }
+
+    #[test]
+    fn fold_balances_group_sizes() {
+        let fine = Grouping {
+            num_groups: 4,
+            group_of: vec![0, 0, 0, 1, 1, 2, 3],
+        };
+        let folded = fold_to_groups(&fine, 2);
+        assert_eq!(folded.num_groups, 2);
+        assert!(folded.validate().is_ok());
+        let sizes = folded.group_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 7);
+        assert!(sizes.iter().all(|&s| s >= 3), "unbalanced: {sizes:?}");
+    }
+
+    #[test]
+    fn modularity_prefers_the_true_communities() {
+        let tin = bridged_communities();
+        let good = label_propagation(&tin, 10, None).unwrap();
+        let bad = crate::grouping::round_robin(6, 2).unwrap();
+        let q_good = modularity(&tin, &good);
+        let q_bad = modularity(&tin, &bad);
+        assert!(q_good > q_bad, "expected {q_good} > {q_bad}");
+        assert!(q_good > 0.0);
+        // Degenerate cases.
+        let empty = Tin::from_interactions(0, vec![]).unwrap();
+        assert_eq!(
+            modularity(&empty, &Grouping { num_groups: 1, group_of: vec![] }),
+            0.0
+        );
+        // One big group always has modularity 0 (all mass intra, expectation 1).
+        let single = Grouping {
+            num_groups: 1,
+            group_of: vec![0; 6],
+        };
+        assert!(modularity(&tin, &single).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cluster_into_feeds_grouped_tracking() {
+        use tin_core::prelude::*;
+        let tin = bridged_communities();
+        let grouping = cluster_into(&tin, 2).unwrap();
+        assert_eq!(grouping.num_groups, 2);
+        let mut tracker = build_tracker(&grouping.to_policy(), tin.num_vertices()).unwrap();
+        tracker.process_all(tin.interactions());
+        assert!(tracker.check_all_invariants());
+        assert!(cluster_into(&tin, 0).is_err());
+        // A single-community graph falls back to degree bucketing but still
+        // returns m groups.
+        let chain = Tin::from_interactions(
+            3,
+            vec![
+                Interaction::new(0u32, 1u32, 1.0, 1.0),
+                Interaction::new(1u32, 2u32, 2.0, 1.0),
+            ],
+        )
+        .unwrap();
+        let grouping = cluster_into(&chain, 2).unwrap();
+        assert_eq!(grouping.num_groups, 2);
+    }
+}

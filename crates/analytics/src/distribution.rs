@@ -1,0 +1,226 @@
+//! Descriptive statistics over provenance origin sets.
+//!
+//! The paper's use cases (Figures 2 and 9) present provenance as
+//! *distributions*: pie charts of the origins contributing to a buffer, the
+//! number of contributing vertices, whether a vertex is financed by few or
+//! many sources. This module turns an [`OriginSet`] into those summaries.
+
+use serde::{Deserialize, Serialize};
+
+use tin_core::ids::Origin;
+use tin_core::origins::OriginSet;
+use tin_core::quantity::qty_is_zero;
+
+/// A normalised provenance distribution: each origin's share of the buffered
+/// quantity, sorted by descending share.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProvenanceDistribution {
+    /// `(origin, fraction)` pairs, fractions summing to 1 (unless empty).
+    pub shares: Vec<(Origin, f64)>,
+    /// The total quantity the distribution describes.
+    pub total: f64,
+}
+
+impl ProvenanceDistribution {
+    /// Build a distribution from an origin set. Returns an empty
+    /// distribution for an empty buffer.
+    pub fn from_origins(origins: &OriginSet) -> Self {
+        let total = origins.total();
+        if qty_is_zero(total) {
+            return ProvenanceDistribution::default();
+        }
+        let shares = origins
+            .iter()
+            .map(|(o, q)| (o, q / total))
+            .collect();
+        ProvenanceDistribution { shares, total }
+    }
+
+    /// Number of distinct origins.
+    pub fn len(&self) -> usize {
+        self.shares.len()
+    }
+
+    /// True if the distribution is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shares.is_empty()
+    }
+
+    /// The share (0–1) of a given origin.
+    pub fn share_of(&self, origin: Origin) -> f64 {
+        self.shares
+            .iter()
+            .find(|(o, _)| *o == origin)
+            .map(|(_, s)| *s)
+            .unwrap_or(0.0)
+    }
+
+    /// Shannon entropy of the distribution in bits. 0 for a single origin,
+    /// `log2(n)` for `n` equally contributing origins. A useful scalar for
+    /// "does this vertex receive funds from numerous or few sources?"
+    pub fn entropy_bits(&self) -> f64 {
+        self.shares
+            .iter()
+            .filter(|(_, p)| *p > 0.0)
+            .map(|(_, p)| -p * p.log2())
+            .sum()
+    }
+
+    /// Herfindahl–Hirschman concentration index (Σ pᵢ²): 1 when a single
+    /// origin dominates, →0 for many small contributors.
+    pub fn concentration(&self) -> f64 {
+        self.shares.iter().map(|(_, p)| p * p).sum()
+    }
+
+    /// Total-variation distance to another distribution:
+    /// `½ · Σ_o |p(o) − q(o)|`, between 0 (identical compositions) and 1
+    /// (disjoint origin sets). Comparing the pie charts of consecutive
+    /// Figure 2 samples with this metric quantifies how much a vertex's
+    /// provenance composition shifted between two points in time.
+    pub fn total_variation(&self, other: &ProvenanceDistribution) -> f64 {
+        let mut origins: std::collections::BTreeSet<Origin> =
+            self.shares.iter().map(|(o, _)| *o).collect();
+        origins.extend(other.shares.iter().map(|(o, _)| *o));
+        0.5 * origins
+            .into_iter()
+            .map(|o| (self.share_of(o) - other.share_of(o)).abs())
+            .sum::<f64>()
+    }
+
+    /// Number of origins needed to cover `fraction` of the quantity
+    /// (origins are already sorted by descending share).
+    pub fn origins_covering(&self, fraction: f64) -> usize {
+        let mut acc = 0.0;
+        for (i, (_, p)) in self.shares.iter().enumerate() {
+            acc += p;
+            // Tolerate floating-point rounding in the cumulative sum.
+            if acc >= fraction - 1e-9 {
+                return i + 1;
+            }
+        }
+        self.shares.len()
+    }
+}
+
+/// Classification of a vertex by how concentrated its provenance is, used in
+/// financial-forensics reporting ("accounts that receive funds from numerous
+/// or few sources", Section 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SourceProfile {
+    /// Buffer is empty.
+    Empty,
+    /// A single origin contributes more than 90% of the quantity.
+    SingleSource,
+    /// At most five origins contribute.
+    FewSources,
+    /// More than five origins contribute.
+    ManySources,
+}
+
+/// Classify an origin set into a [`SourceProfile`].
+pub fn classify_sources(origins: &OriginSet) -> SourceProfile {
+    if origins.is_empty() {
+        return SourceProfile::Empty;
+    }
+    let dist = ProvenanceDistribution::from_origins(origins);
+    if dist.shares.first().map(|(_, p)| *p).unwrap_or(0.0) > 0.9 {
+        SourceProfile::SingleSource
+    } else if origins.len() <= 5 {
+        SourceProfile::FewSources
+    } else {
+        SourceProfile::ManySources
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tin_core::ids::VertexId;
+
+    fn ov(i: u32) -> Origin {
+        Origin::Vertex(VertexId::new(i))
+    }
+
+    fn set(pairs: &[(u32, f64)]) -> OriginSet {
+        OriginSet::from_pairs(pairs.iter().map(|&(i, q)| (ov(i), q)))
+    }
+
+    #[test]
+    fn empty_distribution() {
+        let d = ProvenanceDistribution::from_origins(&OriginSet::empty());
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+        assert_eq!(d.total, 0.0);
+        assert_eq!(d.entropy_bits(), 0.0);
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let d = ProvenanceDistribution::from_origins(&set(&[(1, 3.0), (2, 1.0)]));
+        assert_eq!(d.len(), 2);
+        let sum: f64 = d.shares.iter().map(|(_, p)| p).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((d.share_of(ov(1)) - 0.75).abs() < 1e-12);
+        assert!((d.share_of(ov(2)) - 0.25).abs() < 1e-12);
+        assert_eq!(d.share_of(ov(9)), 0.0);
+        assert_eq!(d.total, 4.0);
+    }
+
+    #[test]
+    fn entropy_of_uniform_distribution() {
+        let d = ProvenanceDistribution::from_origins(&set(&[(1, 1.0), (2, 1.0), (3, 1.0), (4, 1.0)]));
+        assert!((d.entropy_bits() - 2.0).abs() < 1e-9);
+        let single = ProvenanceDistribution::from_origins(&set(&[(1, 5.0)]));
+        assert_eq!(single.entropy_bits(), 0.0);
+    }
+
+    #[test]
+    fn concentration_index() {
+        let single = ProvenanceDistribution::from_origins(&set(&[(1, 5.0)]));
+        assert!((single.concentration() - 1.0).abs() < 1e-12);
+        let uniform = ProvenanceDistribution::from_origins(&set(&[(1, 1.0), (2, 1.0)]));
+        assert!((uniform.concentration() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_variation_distance() {
+        let a = ProvenanceDistribution::from_origins(&set(&[(1, 3.0), (2, 1.0)]));
+        let same_composition = ProvenanceDistribution::from_origins(&set(&[(1, 6.0), (2, 2.0)]));
+        let disjoint = ProvenanceDistribution::from_origins(&set(&[(3, 5.0)]));
+        assert!(a.total_variation(&a) < 1e-12);
+        assert!(a.total_variation(&same_composition) < 1e-12);
+        assert!((a.total_variation(&disjoint) - 1.0).abs() < 1e-12);
+        // Symmetric, and a partial overlap lands strictly in between.
+        let shifted = ProvenanceDistribution::from_origins(&set(&[(1, 1.0), (2, 3.0)]));
+        let d = a.total_variation(&shifted);
+        assert!((d - shifted.total_variation(&a)).abs() < 1e-12);
+        assert!((d - 0.5).abs() < 1e-12);
+        // The empty distribution carries no mass at all, so only the ½·Σ|p|
+        // term remains: the distance degenerates to 0.5.
+        assert!((a.total_variation(&ProvenanceDistribution::default()) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn origins_covering_fraction() {
+        let d = ProvenanceDistribution::from_origins(&set(&[(1, 6.0), (2, 3.0), (3, 1.0)]));
+        assert_eq!(d.origins_covering(0.5), 1);
+        assert_eq!(d.origins_covering(0.9), 2);
+        assert_eq!(d.origins_covering(1.0), 3);
+        assert_eq!(ProvenanceDistribution::default().origins_covering(0.5), 0);
+    }
+
+    #[test]
+    fn source_classification() {
+        assert_eq!(classify_sources(&OriginSet::empty()), SourceProfile::Empty);
+        assert_eq!(
+            classify_sources(&set(&[(1, 100.0), (2, 1.0)])),
+            SourceProfile::SingleSource
+        );
+        assert_eq!(
+            classify_sources(&set(&[(1, 2.0), (2, 2.0), (3, 1.0)])),
+            SourceProfile::FewSources
+        );
+        let many: Vec<(u32, f64)> = (0..10).map(|i| (i, 1.0)).collect();
+        assert_eq!(classify_sources(&set(&many)), SourceProfile::ManySources);
+    }
+}

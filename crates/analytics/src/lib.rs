@@ -1,0 +1,86 @@
+//! # tin-analytics — analysing provenance in temporal interaction networks
+//!
+//! The `tin-core` crate answers the low-level provenance question ("which
+//! origins make up the quantity buffered at v?"). This crate builds the
+//! paper's analyses and use cases on top of that answer:
+//!
+//! * [`distribution`] — provenance distributions, entropy, source profiles
+//!   (the pie charts of Figure 2, the "few vs. numerous sources" analysis of
+//!   Section 1);
+//! * [`alerts`] — the streaming smurfing-alert use case of Section 7.6 /
+//!   Figure 9;
+//! * [`accumulation`] — per-vertex accumulation time series (Figure 2);
+//! * [`grouping`] — vertex-grouping strategies for grouped provenance
+//!   tracking (Section 5.2);
+//! * [`clustering`] — union–find components, label propagation and modularity
+//!   (the METIS stand-in the paper suggests for grouping, Section 5.2);
+//! * [`accuracy`] — error metrics of the approximate (selective / grouped /
+//!   windowed / budgeted) trackers against an exact reference;
+//! * [`flow`] — origin → holder flow matrices and financing rankings
+//!   (the "who finances whom" questions of Section 1);
+//! * [`mining`] — provenance-similarity mining: similar-vertex pairs,
+//!   provenance clustering, recurrent origins and entropy outliers (the data
+//!   mining directions listed as future work in Section 8);
+//! * [`path_stats`] — route statistics for how-provenance (Section 6 /
+//!   Table 10);
+//! * [`routes`] — aggregation of per-element transfer paths into route tables
+//!   (top routes by carried quantity, per-edge transit);
+//! * [`report`] — text/CSV table formatting shared by the experiment harness.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod accumulation;
+pub mod accuracy;
+pub mod alerts;
+pub mod clustering;
+pub mod distribution;
+pub mod flow;
+pub mod grouping;
+pub mod mining;
+pub mod path_stats;
+pub mod report;
+pub mod routes;
+
+pub use accumulation::{record_series, AccumulationSeries};
+pub use accuracy::{compare_trackers, AccuracyReport, OriginSetError};
+pub use alerts::{Alert, AlertConfig, AlertEngine};
+pub use clustering::{connected_components, label_propagation, modularity};
+pub use distribution::{classify_sources, ProvenanceDistribution, SourceProfile};
+pub use flow::FlowMatrix;
+pub use grouping::Grouping;
+pub use mining::{
+    cluster_by_provenance, cosine_similarity, entropy_outliers, most_similar_pairs,
+    recurrent_origins, EntropyOutlier, ProvenanceCluster, RecurrentOrigin, SimilarPair,
+};
+pub use path_stats::{statistics as path_statistics, PathStatistics};
+pub use report::{Measurement, TextTable};
+pub use routes::{Route, RouteTable};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tin_core::prelude::*;
+    use tin_datasets::{DatasetKind, DatasetSpec, ScaleProfile};
+
+    /// Cross-crate smoke test: generate a synthetic taxi day, track
+    /// provenance proportionally, and run the Figure 2 style analysis on the
+    /// busiest zone.
+    #[test]
+    fn figure2_style_analysis_on_synthetic_taxis() {
+        let spec = DatasetSpec::new(DatasetKind::Taxis, ScaleProfile::Tiny);
+        let tin = tin_datasets::generate_tin(&spec);
+        let busiest = tin
+            .vertices()
+            .max_by(|a, b| tin.in_degree(*a).cmp(&tin.in_degree(*b)))
+            .unwrap();
+        let mut tracker = ProportionalDenseTracker::new(tin.num_vertices());
+        let series = record_series(&mut tracker, tin.interactions(), busiest);
+        assert!(!series.samples.is_empty());
+        let last = series.samples.last().unwrap();
+        // The distribution is a proper probability distribution.
+        let total_share: f64 = last.distribution.shares.iter().map(|(_, p)| p).sum();
+        assert!((total_share - 1.0).abs() < 1e-9);
+        assert!(last.distribution.entropy_bits() >= 0.0);
+    }
+}

@@ -1,0 +1,451 @@
+//! Mining the computed provenance data.
+//!
+//! The paper's conclusion (Section 8) lists, as future work, analysing "in
+//! depth the computed provenance data in TINs, with the help of data mining
+//! approaches, in order to find interesting insights in them". This module
+//! provides a first set of such analyses on top of any
+//! [`ProvenanceTracker`](tin_core::tracker::ProvenanceTracker):
+//!
+//! * **provenance similarity** — how alike are the origin compositions of two
+//!   vertices ([`cosine_similarity`], [`most_similar_pairs`])? Vertices with
+//!   near-identical provenance profiles are financed by the same sources,
+//!   which is exactly the "groups of users that finance other groups of
+//!   users" question of Section 1;
+//! * **provenance clustering** — partition the vertices with non-empty
+//!   buffers into clusters of similar provenance ([`cluster_by_provenance`]);
+//! * **recurrent origins** — origins that appear in a large fraction of all
+//!   non-empty buffers ([`recurrent_origins`]), i.e. network-wide financiers;
+//! * **entropy outliers** — vertices whose provenance diversity deviates most
+//!   from the network average ([`entropy_outliers`]); both unusually
+//!   concentrated (one dominant source) and unusually diverse (smurfing-like)
+//!   buffers are surfaced.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use tin_core::ids::{Origin, VertexId};
+use tin_core::origins::OriginSet;
+use tin_core::quantity::Quantity;
+use tin_core::tracker::ProvenanceTracker;
+
+use crate::distribution::ProvenanceDistribution;
+
+/// Cosine similarity between the origin compositions of two buffers.
+///
+/// Both origin sets are treated as sparse non-negative vectors indexed by
+/// origin. The result is in `[0, 1]`; it is `0` when either buffer is empty
+/// or the buffers share no origin, and `1` when the compositions are
+/// proportional to each other.
+pub fn cosine_similarity(a: &OriginSet, b: &OriginSet) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let small: BTreeMap<Origin, Quantity> = a.iter().collect();
+    let mut dot = 0.0;
+    for (origin, qb) in b.iter() {
+        if let Some(qa) = small.get(&origin) {
+            dot += qa * qb;
+        }
+    }
+    if dot == 0.0 {
+        return 0.0;
+    }
+    let norm_a: f64 = a.iter().map(|(_, q)| q * q).sum::<f64>().sqrt();
+    let norm_b: f64 = b.iter().map(|(_, q)| q * q).sum::<f64>().sqrt();
+    (dot / (norm_a * norm_b)).clamp(0.0, 1.0)
+}
+
+/// A pair of vertices with similar provenance.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SimilarPair {
+    /// First vertex (always the smaller id).
+    pub a: VertexId,
+    /// Second vertex.
+    pub b: VertexId,
+    /// Cosine similarity of their provenance compositions.
+    pub similarity: f64,
+}
+
+/// Find the vertex pairs whose provenance compositions are most similar.
+///
+/// Only vertices with non-empty buffers participate. Pairs with similarity
+/// below `min_similarity` are dropped and at most `limit` pairs are returned,
+/// sorted by descending similarity (ties broken by vertex ids).
+///
+/// The scan is quadratic in the number of non-empty buffers, which is
+/// acceptable for the analyst-facing scenarios it targets (the paper's
+/// networks have at most a few hundred simultaneously non-empty buffers at
+/// the scales where proportional provenance is exact).
+pub fn most_similar_pairs(
+    tracker: &dyn ProvenanceTracker,
+    min_similarity: f64,
+    limit: usize,
+) -> Vec<SimilarPair> {
+    let occupied = occupied_vertices(tracker);
+    let origin_sets: Vec<OriginSet> = occupied.iter().map(|&v| tracker.origins(v)).collect();
+    let mut pairs = Vec::new();
+    for i in 0..occupied.len() {
+        for j in (i + 1)..occupied.len() {
+            let similarity = cosine_similarity(&origin_sets[i], &origin_sets[j]);
+            if similarity >= min_similarity {
+                pairs.push(SimilarPair {
+                    a: occupied[i],
+                    b: occupied[j],
+                    similarity,
+                });
+            }
+        }
+    }
+    pairs.sort_by(|x, y| {
+        y.similarity
+            .total_cmp(&x.similarity)
+            .then_with(|| x.a.cmp(&y.a))
+            .then_with(|| x.b.cmp(&y.b))
+    });
+    pairs.truncate(limit);
+    pairs
+}
+
+/// A cluster of vertices with mutually similar provenance.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ProvenanceCluster {
+    /// The representative (first member assigned to the cluster).
+    pub representative: VertexId,
+    /// All members, including the representative, in ascending id order.
+    pub members: Vec<VertexId>,
+}
+
+impl ProvenanceCluster {
+    /// Number of member vertices.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Always false: clusters are created with their representative as the
+    /// first member. Provided for API completeness alongside [`Self::len`].
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// True when the cluster is a singleton.
+    pub fn is_singleton(&self) -> bool {
+        self.members.len() == 1
+    }
+}
+
+/// Greedy leader clustering of the non-empty buffers by provenance
+/// similarity.
+///
+/// Vertices are visited in ascending id order; each vertex joins the first
+/// existing cluster whose representative's composition has cosine similarity
+/// at least `threshold`, otherwise it founds a new cluster. With
+/// `threshold = 1.0` only proportionally identical compositions are grouped;
+/// with `threshold = 0.0` everything collapses into one cluster.
+pub fn cluster_by_provenance(
+    tracker: &dyn ProvenanceTracker,
+    threshold: f64,
+) -> Vec<ProvenanceCluster> {
+    let occupied = occupied_vertices(tracker);
+    let mut clusters: Vec<ProvenanceCluster> = Vec::new();
+    let mut representatives: Vec<OriginSet> = Vec::new();
+    for v in occupied {
+        let origins = tracker.origins(v);
+        let assigned = representatives
+            .iter()
+            .position(|rep| cosine_similarity(rep, &origins) >= threshold);
+        match assigned {
+            Some(i) => clusters[i].members.push(v),
+            None => {
+                clusters.push(ProvenanceCluster {
+                    representative: v,
+                    members: vec![v],
+                });
+                representatives.push(origins);
+            }
+        }
+    }
+    clusters
+}
+
+/// An origin that contributes to a large fraction of the non-empty buffers.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RecurrentOrigin {
+    /// The origin (a vertex, a group, or an aggregate bucket).
+    pub origin: Origin,
+    /// Fraction of non-empty buffers containing a share from this origin.
+    pub support: f64,
+    /// Total quantity attributed to this origin across all buffers.
+    pub total_quantity: Quantity,
+}
+
+/// Find the origins present in at least `min_support` (a fraction in `[0,1]`)
+/// of the non-empty buffers, sorted by descending support and then by
+/// descending total quantity.
+///
+/// These are the network-wide financiers: origins whose generated quantity is
+/// spread over many holders rather than parked at a single one.
+pub fn recurrent_origins(
+    tracker: &dyn ProvenanceTracker,
+    min_support: f64,
+) -> Vec<RecurrentOrigin> {
+    let occupied = occupied_vertices(tracker);
+    if occupied.is_empty() {
+        return Vec::new();
+    }
+    let mut counts: BTreeMap<Origin, (usize, Quantity)> = BTreeMap::new();
+    for &v in &occupied {
+        for (origin, qty) in tracker.origins(v).iter() {
+            let entry = counts.entry(origin).or_insert((0, 0.0));
+            entry.0 += 1;
+            entry.1 += qty;
+        }
+    }
+    let denominator = occupied.len() as f64;
+    let mut result: Vec<RecurrentOrigin> = counts
+        .into_iter()
+        .map(|(origin, (count, total_quantity))| RecurrentOrigin {
+            origin,
+            support: count as f64 / denominator,
+            total_quantity,
+        })
+        .filter(|r| r.support + 1e-12 >= min_support)
+        .collect();
+    result.sort_by(|a, b| {
+        b.support
+            .total_cmp(&a.support)
+            .then_with(|| b.total_quantity.total_cmp(&a.total_quantity))
+            .then_with(|| a.origin.cmp(&b.origin))
+    });
+    result
+}
+
+/// A vertex whose provenance entropy deviates strongly from the network mean.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EntropyOutlier {
+    /// The vertex.
+    pub vertex: VertexId,
+    /// Shannon entropy (bits) of its provenance distribution.
+    pub entropy_bits: f64,
+    /// Signed z-score of the entropy against all non-empty buffers.
+    pub z_score: f64,
+}
+
+/// Find the vertices whose provenance entropy is at least `z_threshold`
+/// standard deviations away from the mean entropy over non-empty buffers.
+///
+/// A strongly *negative* z-score flags buffers dominated by a single source;
+/// a strongly *positive* one flags buffers fed by unusually many sources
+/// (the "smurfing" indication of Section 7.6). Returns an empty vector when
+/// fewer than two buffers are non-empty or when the entropies are all equal.
+pub fn entropy_outliers(
+    tracker: &dyn ProvenanceTracker,
+    z_threshold: f64,
+) -> Vec<EntropyOutlier> {
+    let occupied = occupied_vertices(tracker);
+    if occupied.len() < 2 {
+        return Vec::new();
+    }
+    let entropies: Vec<(VertexId, f64)> = occupied
+        .iter()
+        .map(|&v| {
+            let distribution = ProvenanceDistribution::from_origins(&tracker.origins(v));
+            (v, distribution.entropy_bits())
+        })
+        .collect();
+    let n = entropies.len() as f64;
+    let mean = entropies.iter().map(|(_, e)| e).sum::<f64>() / n;
+    let variance = entropies.iter().map(|(_, e)| (e - mean).powi(2)).sum::<f64>() / n;
+    let std_dev = variance.sqrt();
+    if std_dev == 0.0 {
+        return Vec::new();
+    }
+    let mut outliers: Vec<EntropyOutlier> = entropies
+        .into_iter()
+        .map(|(vertex, entropy_bits)| EntropyOutlier {
+            vertex,
+            entropy_bits,
+            z_score: (entropy_bits - mean) / std_dev,
+        })
+        .filter(|o| o.z_score.abs() >= z_threshold)
+        .collect();
+    outliers.sort_by(|a, b| {
+        b.z_score
+            .abs()
+            .total_cmp(&a.z_score.abs())
+            .then_with(|| a.vertex.cmp(&b.vertex))
+    });
+    outliers
+}
+
+/// Vertices with a non-empty buffer, in ascending id order.
+fn occupied_vertices(tracker: &dyn ProvenanceTracker) -> Vec<VertexId> {
+    (0..tracker.num_vertices())
+        .map(VertexId::from)
+        .filter(|&v| tracker.buffered(v) > 0.0)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tin_core::interaction::Interaction;
+    use tin_core::tracker::proportional_dense::ProportionalDenseTracker;
+
+    fn v(i: u32) -> VertexId {
+        VertexId::new(i)
+    }
+
+    fn origin(i: u32) -> Origin {
+        Origin::Vertex(VertexId::new(i))
+    }
+
+    /// Build a tracker where vertices 3 and 4 are financed by the same two
+    /// sources in the same proportion, while vertex 5 has a different source.
+    fn financed_network() -> ProportionalDenseTracker {
+        let mut tracker = ProportionalDenseTracker::new(7);
+        let interactions = [
+            Interaction::new(0u32, 3u32, 1.0, 2.0),
+            Interaction::new(1u32, 3u32, 2.0, 1.0),
+            Interaction::new(0u32, 4u32, 3.0, 4.0),
+            Interaction::new(1u32, 4u32, 4.0, 2.0),
+            Interaction::new(2u32, 5u32, 5.0, 3.0),
+        ];
+        tracker.process_all(&interactions);
+        tracker
+    }
+
+    #[test]
+    fn cosine_similarity_identical_and_disjoint() {
+        let a = OriginSet::from_pairs(vec![(origin(0), 2.0), (origin(1), 1.0)]);
+        let scaled = OriginSet::from_pairs(vec![(origin(0), 4.0), (origin(1), 2.0)]);
+        let disjoint = OriginSet::from_pairs(vec![(origin(5), 1.0)]);
+        assert!((cosine_similarity(&a, &scaled) - 1.0).abs() < 1e-12);
+        assert_eq!(cosine_similarity(&a, &disjoint), 0.0);
+        assert_eq!(cosine_similarity(&a, &OriginSet::empty()), 0.0);
+        assert_eq!(cosine_similarity(&OriginSet::empty(), &a), 0.0);
+    }
+
+    #[test]
+    fn cosine_similarity_is_symmetric_and_bounded() {
+        let a = OriginSet::from_pairs(vec![(origin(0), 3.0), (origin(1), 1.0)]);
+        let b = OriginSet::from_pairs(vec![(origin(0), 1.0), (origin(2), 2.0)]);
+        let ab = cosine_similarity(&a, &b);
+        let ba = cosine_similarity(&b, &a);
+        assert!((ab - ba).abs() < 1e-12);
+        assert!(ab > 0.0 && ab < 1.0);
+    }
+
+    #[test]
+    fn similar_pairs_finds_commonly_financed_vertices() {
+        let tracker = financed_network();
+        let pairs = most_similar_pairs(&tracker, 0.99, 10);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!((pairs[0].a, pairs[0].b), (v(3), v(4)));
+        assert!(pairs[0].similarity > 0.99);
+        // Lowering the threshold surfaces more (weaker) pairs, still sorted.
+        let all = most_similar_pairs(&tracker, 0.0, 10);
+        assert!(!all.is_empty());
+        for w in all.windows(2) {
+            assert!(w[0].similarity >= w[1].similarity);
+        }
+    }
+
+    #[test]
+    fn similar_pairs_respects_limit() {
+        let tracker = financed_network();
+        assert!(most_similar_pairs(&tracker, 0.0, 1).len() <= 1);
+        assert!(most_similar_pairs(&tracker, 1.1, 10).is_empty());
+    }
+
+    #[test]
+    fn clustering_groups_identically_financed_vertices() {
+        let tracker = financed_network();
+        let clusters = cluster_by_provenance(&tracker, 0.99);
+        // {v3, v4} share financiers; v5 stands alone.
+        assert_eq!(clusters.len(), 2);
+        let joint = clusters.iter().find(|c| c.len() == 2).expect("joint cluster");
+        assert_eq!(joint.members, vec![v(3), v(4)]);
+        assert_eq!(joint.representative, v(3));
+        let single = clusters.iter().find(|c| c.is_singleton()).expect("singleton");
+        assert_eq!(single.members, vec![v(5)]);
+    }
+
+    #[test]
+    fn clustering_threshold_extremes() {
+        let tracker = financed_network();
+        let loose = cluster_by_provenance(&tracker, 0.0);
+        assert_eq!(loose.len(), 1);
+        assert_eq!(loose[0].len(), 3);
+        let strict = cluster_by_provenance(&tracker, 1.0 + 1e-9);
+        assert_eq!(strict.len(), 3);
+        assert!(strict.iter().all(ProvenanceCluster::is_singleton));
+        assert!(strict.iter().all(|c| !c.is_empty()));
+    }
+
+    #[test]
+    fn clustering_empty_tracker() {
+        let tracker = ProportionalDenseTracker::new(4);
+        assert!(cluster_by_provenance(&tracker, 0.5).is_empty());
+        assert!(most_similar_pairs(&tracker, 0.0, 10).is_empty());
+        assert!(recurrent_origins(&tracker, 0.0).is_empty());
+        assert!(entropy_outliers(&tracker, 0.0).is_empty());
+    }
+
+    #[test]
+    fn recurrent_origins_ranks_network_wide_financiers() {
+        let tracker = financed_network();
+        // v0 and v1 finance 2 of the 3 non-empty buffers; v2 finances 1.
+        let recurrent = recurrent_origins(&tracker, 0.5);
+        assert_eq!(recurrent.len(), 2);
+        assert_eq!(recurrent[0].origin, origin(0));
+        assert!((recurrent[0].support - 2.0 / 3.0).abs() < 1e-12);
+        assert!((recurrent[0].total_quantity - 6.0).abs() < 1e-9);
+        assert_eq!(recurrent[1].origin, origin(1));
+        // With no support threshold every contributing origin is reported.
+        let all = recurrent_origins(&tracker, 0.0);
+        assert_eq!(all.len(), 3);
+        assert!(all.iter().any(|r| r.origin == origin(2)));
+    }
+
+    #[test]
+    fn entropy_outliers_flags_divergent_buffers() {
+        // v5 receives from five distinct sources, v6 from exactly one; the
+        // remaining non-empty buffers sit in between.
+        let mut tracker = ProportionalDenseTracker::new(10);
+        let mut interactions = Vec::new();
+        for (i, src) in (0..5u32).enumerate() {
+            interactions.push(Interaction::new(src, 5u32, (i + 1) as f64, 1.0));
+        }
+        interactions.push(Interaction::new(0u32, 6u32, 6.0, 5.0));
+        interactions.push(Interaction::new(0u32, 7u32, 7.0, 2.0));
+        interactions.push(Interaction::new(1u32, 7u32, 8.0, 1.0));
+        tracker.process_all(&interactions);
+
+        let outliers = entropy_outliers(&tracker, 1.0);
+        assert!(!outliers.is_empty());
+        // The most extreme outlier is the five-source buffer, on the positive
+        // side; the single-source buffer has a negative z-score.
+        assert_eq!(outliers[0].vertex, v(5));
+        assert!(outliers[0].z_score > 0.0);
+        let single = outliers.iter().find(|o| o.vertex == v(6));
+        if let Some(single) = single {
+            assert!(single.z_score < 0.0);
+        }
+        // A huge threshold filters everything out.
+        assert!(entropy_outliers(&tracker, 100.0).is_empty());
+    }
+
+    #[test]
+    fn entropy_outliers_uniform_network_has_none() {
+        // Every buffer is financed by exactly one distinct source, so all
+        // entropies are equal and there is no outlier to report.
+        let mut tracker = ProportionalDenseTracker::new(6);
+        let interactions = [
+            Interaction::new(0u32, 3u32, 1.0, 1.0),
+            Interaction::new(1u32, 4u32, 2.0, 1.0),
+            Interaction::new(2u32, 5u32, 3.0, 1.0),
+        ];
+        tracker.process_all(&interactions);
+        assert!(entropy_outliers(&tracker, 0.5).is_empty());
+    }
+}

@@ -1,0 +1,154 @@
+//! Statistics over transfer paths (how-provenance, Section 6 / Table 10).
+//!
+//! The path tracker records, for every buffered quantity element, the route
+//! it followed from its origin. This module summarises those routes: length
+//! distribution, the most common routes into a vertex, and the per-dataset
+//! aggregates reported in Table 10.
+
+use serde::{Deserialize, Serialize};
+
+use tin_core::ids::VertexId;
+use tin_core::tracker::path::PathTracker;
+use tin_core::tracker::ProvenanceTracker;
+
+/// Aggregate path statistics for a whole tracker (one Table 10 row).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PathStatistics {
+    /// Number of buffered quantity elements.
+    pub num_elements: usize,
+    /// Average number of relays per element ("avg. path length").
+    pub avg_path_length: f64,
+    /// Maximum number of relays over all elements.
+    pub max_path_length: usize,
+    /// Bytes used to store provenance entries.
+    pub entries_bytes: usize,
+    /// Bytes used to store the paths themselves.
+    pub paths_bytes: usize,
+}
+
+/// Compute aggregate path statistics from a [`PathTracker`].
+pub fn statistics(tracker: &PathTracker) -> PathStatistics {
+    let mut num_elements = 0usize;
+    let mut total_hops = 0usize;
+    let mut max_hops = 0usize;
+    for v in 0..tracker.num_vertices() {
+        for e in tracker.elements(VertexId::from(v)) {
+            num_elements += 1;
+            total_hops += e.hops();
+            max_hops = max_hops.max(e.hops());
+        }
+    }
+    let fp = tracker.footprint();
+    PathStatistics {
+        num_elements,
+        avg_path_length: if num_elements == 0 {
+            0.0
+        } else {
+            total_hops as f64 / num_elements as f64
+        },
+        max_path_length: max_hops,
+        entries_bytes: fp.entries_bytes,
+        paths_bytes: fp.paths_bytes,
+    }
+}
+
+/// A route into a vertex together with how much buffered quantity followed it.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RouteShare {
+    /// The route (origin first, then each relay vertex).
+    pub route: Vec<VertexId>,
+    /// Total buffered quantity that followed this route.
+    pub quantity: f64,
+    /// Number of buffered elements that followed this route.
+    pub elements: usize,
+}
+
+/// The most significant routes (by quantity) into vertex `v`.
+pub fn top_routes(tracker: &PathTracker, v: VertexId, k: usize) -> Vec<RouteShare> {
+    let mut agg: std::collections::BTreeMap<Vec<VertexId>, (f64, usize)> =
+        std::collections::BTreeMap::new();
+    for e in tracker.elements(v) {
+        let entry = agg.entry(e.path.clone()).or_insert((0.0, 0));
+        entry.0 += e.qty;
+        entry.1 += 1;
+    }
+    let mut routes: Vec<RouteShare> = agg
+        .into_iter()
+        .map(|(route, (quantity, elements))| RouteShare {
+            route,
+            quantity,
+            elements,
+        })
+        .collect();
+    routes.sort_by(|a, b| b.quantity.total_cmp(&a.quantity));
+    routes.truncate(k);
+    routes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tin_core::interaction::{paper_running_example, Interaction};
+
+    fn v(i: u32) -> VertexId {
+        VertexId::new(i)
+    }
+
+    #[test]
+    fn statistics_on_running_example() {
+        let mut t = PathTracker::lifo(3);
+        t.process_all(&paper_running_example());
+        let stats = statistics(&t);
+        assert!(stats.num_elements > 0);
+        assert!(stats.avg_path_length > 0.0);
+        assert!(stats.max_path_length >= 1);
+        assert!(stats.entries_bytes > 0);
+        assert!(stats.paths_bytes > 0);
+        // The tracker's own average agrees with ours.
+        assert!((stats.avg_path_length - t.average_path_length()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn statistics_of_empty_tracker() {
+        let t = PathTracker::lifo(4);
+        let stats = statistics(&t);
+        assert_eq!(stats.num_elements, 0);
+        assert_eq!(stats.avg_path_length, 0.0);
+        assert_eq!(stats.max_path_length, 0);
+    }
+
+    #[test]
+    fn top_routes_aggregates_by_route() {
+        // Two parallel two-hop routes into vertex 3, one carrying more
+        // quantity than the other.
+        let rs = vec![
+            Interaction::new(0u32, 1u32, 1.0, 10.0),
+            Interaction::new(0u32, 2u32, 2.0, 4.0),
+            Interaction::new(1u32, 3u32, 3.0, 10.0),
+            Interaction::new(2u32, 3u32, 4.0, 4.0),
+        ];
+        let mut t = PathTracker::fifo(4);
+        t.process_all(&rs);
+        let routes = top_routes(&t, v(3), 10);
+        assert_eq!(routes.len(), 2);
+        assert_eq!(routes[0].route, vec![v(0), v(1)]);
+        assert!((routes[0].quantity - 10.0).abs() < 1e-9);
+        assert_eq!(routes[1].route, vec![v(0), v(2)]);
+        assert_eq!(routes[1].elements, 1);
+        // k limits the number of routes returned.
+        assert_eq!(top_routes(&t, v(3), 1).len(), 1);
+        // A vertex with an empty buffer has no routes.
+        assert!(top_routes(&t, v(0), 5).is_empty());
+    }
+
+    #[test]
+    fn long_chains_increase_max_path_length() {
+        let n = 12u32;
+        let mut t = PathTracker::lifo(n as usize);
+        for i in 0..n - 1 {
+            t.process(&Interaction::new(i, i + 1, i as f64 + 1.0, 3.0));
+        }
+        let stats = statistics(&t);
+        assert_eq!(stats.max_path_length, (n - 2) as usize);
+    }
+}

@@ -1,0 +1,173 @@
+//! Report formatting: aligned text tables and CSV output.
+//!
+//! The experiment harness reproduces the paper's tables (7–10) and figure
+//! series (5–8) as plain-text tables plus machine-readable CSV. This module
+//! holds the small formatting layer both the harness binaries and the
+//! examples use.
+
+use serde::{Deserialize, Serialize};
+
+/// One measurement row: a labelled runtime + memory observation, optionally
+/// annotated with extra columns.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Row label (e.g. dataset name or parameter value).
+    pub label: String,
+    /// Wall-clock runtime in seconds.
+    pub runtime_secs: f64,
+    /// Logical provenance memory in bytes.
+    pub memory_bytes: usize,
+    /// Peak allocator memory in bytes (0 when the counting allocator is not
+    /// installed).
+    pub peak_alloc_bytes: usize,
+}
+
+/// A simple aligned text table.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TextTable {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Create a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        TextTable {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must have as many cells as the header).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row has {} cells, header has {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("== {} ==\n", self.title));
+        }
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&render_row(&self.header, &widths));
+        let total_width: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total_width));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+        }
+        out
+    }
+
+    /// Render as CSV (header + rows, comma-separated, no quoting — labels in
+    /// this project never contain commas).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a runtime in seconds the way the paper's tables do (3 significant
+/// decimals for sub-second values, 2 decimals above).
+pub fn format_secs(secs: f64) -> String {
+    if secs < 0.001 {
+        format!("{:.5}", secs)
+    } else if secs < 1.0 {
+        format!("{:.3}", secs)
+    } else {
+        format!("{:.2}", secs)
+    }
+}
+
+/// Format a byte count (KB/MB/GB) as in the paper's tables.
+pub fn format_bytes(bytes: usize) -> String {
+    tin_core::memory::format_bytes(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = TextTable::new("Demo", &["Dataset", "Runtime (s)", "Memory"]);
+        t.push_row(vec!["Bitcoin".into(), "31.77".into(), "891MB".into()]);
+        t.push_row(vec!["Taxis".into(), "0.014".into(), "0.93MB".into()]);
+        let text = t.render();
+        assert!(text.contains("== Demo =="));
+        assert!(text.contains("Dataset"));
+        assert!(text.contains("Bitcoin"));
+        assert_eq!(t.num_rows(), 2);
+        // All data lines have the same alignment prefix length for column 2.
+        let lines: Vec<&str> = text.lines().collect();
+        let col = lines[1].find("Runtime").unwrap();
+        assert_eq!(lines[3].find("31.77").unwrap(), col);
+        assert_eq!(lines[4].find("0.014").unwrap(), col);
+    }
+
+    #[test]
+    fn table_to_csv() {
+        let mut t = TextTable::new("", &["a", "b"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn mismatched_row_panics() {
+        let mut t = TextTable::new("", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(format_secs(0.0005), "0.00050");
+        assert_eq!(format_secs(0.014), "0.014");
+        assert_eq!(format_secs(31.77), "31.77");
+        assert_eq!(format_bytes(2048), "2.00KB");
+    }
+
+    #[test]
+    fn measurement_default() {
+        let m = Measurement::default();
+        assert_eq!(m.runtime_secs, 0.0);
+        assert_eq!(m.memory_bytes, 0);
+    }
+}

@@ -1,0 +1,334 @@
+//! Route aggregation for how-provenance.
+//!
+//! Path tracking (Section 6) annotates every buffered quantity element with
+//! the route it travelled. Element-level routes are too fine-grained for
+//! analysis on their own; what an analyst asks is "which *routes* carry the
+//! most quantity?" and "which edges do buffered quantities transit through?"
+//! — the flow-path view that the authors' earlier work on flow motifs
+//! explores and that this paper's Table 10 motivates. This module aggregates
+//! the per-element paths of both path trackers
+//! ([`tin_core::tracker::path::PathTracker`] and
+//! [`tin_core::tracker::path_generation::GenerationPathTracker`]) into a
+//! [`RouteTable`]:
+//!
+//! * total quantity and element count per distinct route,
+//! * the top-k routes by carried quantity,
+//! * per-edge transit quantity (how much buffered quantity crossed each edge
+//!   on its way to where it now rests),
+//! * route-length distribution statistics.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use tin_core::ids::VertexId;
+use tin_core::quantity::{qty_is_zero, Quantity};
+use tin_core::tracker::path::PathTracker;
+use tin_core::tracker::path_generation::GenerationPathTracker;
+use tin_core::tracker::ProvenanceTracker;
+
+/// One aggregated route: the sequence of vertices (origin first, relays
+/// after; the final holder is *not* part of the route, matching the trackers'
+/// convention) together with the total quantity and number of buffered
+/// elements that followed it.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Route {
+    /// The route: `route[0]` is the origin, subsequent entries are relays.
+    pub vertices: Vec<VertexId>,
+    /// Total buffered quantity that travelled exactly this route.
+    pub quantity: Quantity,
+    /// Number of buffered elements that travelled exactly this route.
+    pub elements: usize,
+    /// The vertex where the quantity currently rests.
+    pub destination: VertexId,
+}
+
+impl Route {
+    /// Number of relays (edges) on the route, including the final hop into
+    /// the destination.
+    pub fn hops(&self) -> usize {
+        self.vertices.len()
+    }
+}
+
+/// Aggregated route statistics over an entire path-tracking run.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RouteTable {
+    routes: Vec<Route>,
+    /// Quantity that transited each directed edge on its way to where it now
+    /// rests (includes the final hop into the destination).
+    edge_transit: BTreeMap<(VertexId, VertexId), Quantity>,
+}
+
+impl RouteTable {
+    /// Build a route table from raw `(path, destination, quantity)` records.
+    pub fn from_records<'a, I>(records: I) -> Self
+    where
+        I: IntoIterator<Item = (&'a [VertexId], VertexId, Quantity)>,
+    {
+        let mut by_route: BTreeMap<(Vec<VertexId>, VertexId), (Quantity, usize)> = BTreeMap::new();
+        let mut edge_transit: BTreeMap<(VertexId, VertexId), Quantity> = BTreeMap::new();
+        for (path, destination, qty) in records {
+            if qty_is_zero(qty) || path.is_empty() {
+                continue;
+            }
+            let entry = by_route
+                .entry((path.to_vec(), destination))
+                .or_insert((0.0, 0));
+            entry.0 += qty;
+            entry.1 += 1;
+            // Edges along the path, plus the final hop into the destination.
+            for pair in path.windows(2) {
+                *edge_transit.entry((pair[0], pair[1])).or_insert(0.0) += qty;
+            }
+            if let Some(&last) = path.last() {
+                if last != destination {
+                    *edge_transit.entry((last, destination)).or_insert(0.0) += qty;
+                }
+            }
+        }
+        let mut routes: Vec<Route> = by_route
+            .into_iter()
+            .map(|((vertices, destination), (quantity, elements))| Route {
+                vertices,
+                quantity,
+                elements,
+                destination,
+            })
+            .collect();
+        routes.sort_by(|a, b| {
+            b.quantity
+                .total_cmp(&a.quantity)
+                .then_with(|| a.vertices.cmp(&b.vertices))
+        });
+        RouteTable {
+            routes,
+            edge_transit,
+        }
+    }
+
+    /// Build the route table from a receipt-order path tracker.
+    pub fn from_path_tracker(tracker: &PathTracker) -> Self {
+        let mut records: Vec<(Vec<VertexId>, VertexId, Quantity)> = Vec::new();
+        for i in 0..tracker.num_vertices() {
+            let holder = VertexId::from(i);
+            for e in tracker.elements(holder) {
+                records.push((e.path.clone(), holder, e.qty));
+            }
+        }
+        Self::from_records(records.iter().map(|(p, d, q)| (p.as_slice(), *d, *q)))
+    }
+
+    /// Build the route table from a generation-time path tracker.
+    pub fn from_generation_tracker(tracker: &GenerationPathTracker) -> Self {
+        let mut records: Vec<(Vec<VertexId>, VertexId, Quantity)> = Vec::new();
+        for i in 0..tracker.num_vertices() {
+            let holder = VertexId::from(i);
+            for e in tracker.sorted_elements(holder) {
+                records.push((e.path.clone(), holder, e.qty));
+            }
+        }
+        Self::from_records(records.iter().map(|(p, d, q)| (p.as_slice(), *d, *q)))
+    }
+
+    /// All distinct routes, sorted by descending carried quantity.
+    pub fn routes(&self) -> &[Route] {
+        &self.routes
+    }
+
+    /// The `k` routes carrying the most quantity.
+    pub fn top_k(&self, k: usize) -> &[Route] {
+        &self.routes[..k.min(self.routes.len())]
+    }
+
+    /// Number of distinct routes.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// True if no route was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// Total buffered quantity accounted for by the table.
+    pub fn total_quantity(&self) -> Quantity {
+        self.routes.iter().map(|r| r.quantity).sum()
+    }
+
+    /// Quantity that transited a directed edge (0 if none did).
+    pub fn transit_through(&self, from: VertexId, to: VertexId) -> Quantity {
+        self.edge_transit.get(&(from, to)).copied().unwrap_or(0.0)
+    }
+
+    /// The `k` edges with the largest transit quantity, descending.
+    pub fn busiest_edges(&self, k: usize) -> Vec<((VertexId, VertexId), Quantity)> {
+        let mut edges: Vec<((VertexId, VertexId), Quantity)> = self
+            .edge_transit
+            .iter()
+            .map(|(&e, &q)| (e, q))
+            .collect();
+        edges.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        edges.truncate(k);
+        edges
+    }
+
+    /// Routes that end at a given destination, descending by quantity.
+    pub fn routes_into(&self, destination: VertexId) -> Vec<&Route> {
+        self.routes
+            .iter()
+            .filter(|r| r.destination == destination)
+            .collect()
+    }
+
+    /// Mean number of hops, weighted by the carried quantity (the
+    /// quantity-weighted analogue of Table 10's "avg. path length").
+    pub fn mean_hops_weighted(&self) -> f64 {
+        let total = self.total_quantity();
+        if qty_is_zero(total) {
+            return 0.0;
+        }
+        self.routes
+            .iter()
+            .map(|r| (r.hops().saturating_sub(1)) as f64 * r.quantity)
+            .sum::<f64>()
+            / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tin_core::interaction::{paper_running_example, Interaction};
+    use tin_core::quantity::qty_approx_eq;
+
+    fn v(i: u32) -> VertexId {
+        VertexId::new(i)
+    }
+
+    fn lifo_table() -> RouteTable {
+        let mut tracker = PathTracker::lifo(3);
+        tracker.process_all(&paper_running_example());
+        RouteTable::from_path_tracker(&tracker)
+    }
+
+    #[test]
+    fn table_accounts_for_every_buffered_unit() {
+        let table = lifo_table();
+        // Table 2 final row: 3 + 2 + 4 = 9 units buffered in total.
+        assert!(qty_approx_eq(table.total_quantity(), 9.0));
+        assert!(!table.is_empty());
+        assert!(table.len() >= 3);
+        // Every route's destination matches where its elements actually rest.
+        for route in table.routes() {
+            assert!(route.quantity > 0.0);
+            assert!(route.elements >= 1);
+            assert!(!route.vertices.is_empty());
+        }
+    }
+
+    #[test]
+    fn top_routes_are_sorted_by_quantity() {
+        let table = lifo_table();
+        let top = table.top_k(2);
+        assert_eq!(top.len(), 2);
+        assert!(top[0].quantity >= top[1].quantity);
+        assert_eq!(table.top_k(100).len(), table.len());
+    }
+
+    #[test]
+    fn chain_produces_one_route_and_full_edge_transit() {
+        let n = 5;
+        let mut tracker = PathTracker::fifo(n);
+        for i in 0..(n as u32) - 1 {
+            tracker.process(&Interaction::new(i, i + 1, i as f64 + 1.0, 7.0));
+        }
+        let table = RouteTable::from_path_tracker(&tracker);
+        assert_eq!(table.len(), 1);
+        let route = &table.routes()[0];
+        assert_eq!(route.vertices, vec![v(0), v(1), v(2), v(3)]);
+        assert_eq!(route.destination, v(4));
+        assert!(qty_approx_eq(route.quantity, 7.0));
+        assert_eq!(route.hops(), 4);
+        // Every edge of the chain transited the full 7 units.
+        for i in 0..(n as u32) - 1 {
+            assert!(qty_approx_eq(table.transit_through(v(i), v(i + 1)), 7.0));
+        }
+        assert_eq!(table.transit_through(v(4), v(0)), 0.0);
+        let busiest = table.busiest_edges(2);
+        assert_eq!(busiest.len(), 2);
+        assert!(qty_approx_eq(busiest[0].1, 7.0));
+        assert!(qty_approx_eq(table.mean_hops_weighted(), 3.0));
+    }
+
+    #[test]
+    fn generation_and_receipt_order_tables_agree_on_totals() {
+        let rs = paper_running_example();
+        let mut receipt = PathTracker::fifo(3);
+        let mut generation = GenerationPathTracker::least_recently_born(3);
+        receipt.process_all(&rs);
+        generation.process_all(&rs);
+        let a = RouteTable::from_path_tracker(&receipt);
+        let b = RouteTable::from_generation_tracker(&generation);
+        // The policies pick different elements, so the route sets differ, but
+        // both account for the same 9 buffered units.
+        assert!(qty_approx_eq(a.total_quantity(), 9.0));
+        assert!(qty_approx_eq(b.total_quantity(), 9.0));
+        assert!(a.mean_hops_weighted() >= 0.0);
+        assert!(b.mean_hops_weighted() >= 0.0);
+    }
+
+    #[test]
+    fn routes_into_a_destination() {
+        let table = lifo_table();
+        let into_v0 = table.routes_into(v(0));
+        assert!(!into_v0.is_empty());
+        let total: f64 = into_v0.iter().map(|r| r.quantity).sum();
+        // |B_v0| = 3 at the end of the running example.
+        assert!(qty_approx_eq(total, 3.0));
+        // A vertex with an empty buffer has no routes into it.
+        let mut tracker = PathTracker::lifo(4);
+        tracker.process(&Interaction::new(0u32, 1u32, 1.0, 2.0));
+        let t = RouteTable::from_path_tracker(&tracker);
+        assert!(t.routes_into(v(3)).is_empty());
+    }
+
+    #[test]
+    fn empty_and_zero_quantity_records_are_ignored() {
+        let table = RouteTable::from_records(Vec::<(&[VertexId], VertexId, f64)>::new());
+        assert!(table.is_empty());
+        assert_eq!(table.total_quantity(), 0.0);
+        assert_eq!(table.mean_hops_weighted(), 0.0);
+        assert!(table.busiest_edges(3).is_empty());
+        let path = [v(0), v(1)];
+        let table = RouteTable::from_records(vec![
+            (&path[..], v(2), 0.0),
+            (&[][..], v(2), 5.0),
+            (&path[..], v(2), 4.0),
+        ]);
+        assert_eq!(table.len(), 1);
+        assert!(qty_approx_eq(table.total_quantity(), 4.0));
+    }
+
+    #[test]
+    fn identical_paths_to_the_same_destination_are_merged() {
+        let path = [v(0), v(1)];
+        let table = RouteTable::from_records(vec![
+            (&path[..], v(2), 3.0),
+            (&path[..], v(2), 2.0),
+            (&path[..], v(3), 1.0),
+        ]);
+        assert_eq!(table.len(), 2);
+        let merged = table
+            .routes()
+            .iter()
+            .find(|r| r.destination == v(2))
+            .unwrap();
+        assert!(qty_approx_eq(merged.quantity, 5.0));
+        assert_eq!(merged.elements, 2);
+        // Edge transit counts both destinations' flows.
+        assert!(qty_approx_eq(table.transit_through(v(0), v(1)), 6.0));
+        assert!(qty_approx_eq(table.transit_through(v(1), v(2)), 5.0));
+        assert!(qty_approx_eq(table.transit_through(v(1), v(3)), 1.0));
+    }
+}

@@ -1,0 +1,138 @@
+//! Ablation benches for the design choices called out in DESIGN.md §6:
+//! chunked ("SIMD") vs. scalar dense-vector kernels, coalescing vs. plain
+//! receipt-order buffers, keep-largest vs. keep-important budget shrinking,
+//! and relay vs. diffusion propagation semantics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tin_bench::Workload;
+use tin_core::buffer::queue_buffer::{Discipline, QueueBuffer};
+use tin_core::buffer::Pair;
+use tin_core::policy::ShrinkCriterion;
+use tin_core::simd;
+use tin_core::tracker::budget::BudgetTracker;
+use tin_core::tracker::diffusion::DiffusionTracker;
+use tin_core::tracker::proportional_sparse::ProportionalSparseTracker;
+use tin_core::tracker::ProvenanceTracker;
+use tin_datasets::{DatasetKind, ScaleProfile};
+
+fn bench_vector_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_vector_kernels");
+    for dim in [64usize, 1024, 16_384] {
+        let src: Vec<f64> = (0..dim).map(|i| i as f64 * 0.5).collect();
+        group.bench_with_input(BenchmarkId::new("chunked_add_scaled", dim), &src, |b, src| {
+            let mut dst = vec![1.0f64; src.len()];
+            b.iter(|| {
+                simd::add_scaled(&mut dst, src, 0.37);
+                dst[0]
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("scalar_add_scaled", dim), &src, |b, src| {
+            let mut dst = vec![1.0f64; src.len()];
+            b.iter(|| {
+                simd::reference::add_scaled(&mut dst, src, 0.37);
+                dst[0]
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_buffer_coalescing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_queue_coalescing");
+    // A worst case for plain buffers: long runs of pairs from the same origin.
+    let pairs: Vec<Pair> = (0..20_000u32).map(|i| Pair::new(i / 100, 1.0)).collect();
+    group.bench_function("plain", |b| {
+        b.iter(|| {
+            let mut buf = QueueBuffer::new(Discipline::Lifo);
+            for p in &pairs {
+                buf.push(*p);
+            }
+            buf.take(5_000.0, |_| {});
+            buf.len()
+        })
+    });
+    group.bench_function("coalescing", |b| {
+        b.iter(|| {
+            let mut buf = QueueBuffer::new_coalescing(Discipline::Lifo);
+            for p in &pairs {
+                buf.push(*p);
+            }
+            buf.take(5_000.0, |_| {});
+            buf.len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_shrink_criteria(c: &mut Criterion) {
+    let w = Workload::generate(DatasetKind::Ctu, ScaleProfile::Tiny);
+    let important: Vec<tin_core::ids::VertexId> =
+        (0..8u32).map(tin_core::ids::VertexId::new).collect();
+    let mut group = c.benchmark_group("ablation_budget_shrink_criterion");
+    group.bench_function("keep_largest", |b| {
+        b.iter(|| {
+            let mut tracker = BudgetTracker::new(w.num_vertices, 16, 0.7).unwrap();
+            tracker.process_all(&w.interactions);
+            tracker.shrink_stats().total_shrinks
+        })
+    });
+    group.bench_function("keep_important", |b| {
+        b.iter(|| {
+            let mut tracker = BudgetTracker::with_criterion(
+                w.num_vertices,
+                16,
+                0.7,
+                ShrinkCriterion::KeepImportant,
+                important.clone(),
+            )
+            .unwrap();
+            tracker.process_all(&w.interactions);
+            tracker.shrink_stats().total_shrinks
+        })
+    });
+    group.finish();
+}
+
+fn bench_propagation_models(c: &mut Criterion) {
+    // Relay (the paper's model) vs. diffusion (the Section 8 extension for
+    // social networks) over the same proportional sparse state: diffusion
+    // skips the source-side subtraction but its lists keep growing because
+    // buffers are never drained.
+    let mut group = c.benchmark_group("ablation_propagation_models");
+    for kind in [DatasetKind::Taxis, DatasetKind::Ctu] {
+        let w = Workload::generate(kind, ScaleProfile::Tiny);
+        group.bench_with_input(BenchmarkId::new("relay_sparse", kind.key()), &w, |b, w| {
+            b.iter(|| {
+                let mut tracker = ProportionalSparseTracker::new(w.num_vertices);
+                tracker.process_all(&w.interactions);
+                tracker.total_entries()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("diffusion", kind.key()), &w, |b, w| {
+            b.iter(|| {
+                let mut tracker = DiffusionTracker::new(w.num_vertices);
+                tracker.process_all(&w.interactions);
+                tracker.total_entries()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Reduced sample configuration so the full suite (`cargo bench --workspace`)
+/// completes in a few minutes; the relative ordering of the measured
+/// alternatives is unaffected. Command-line flags (e.g. `--sample-size`)
+/// still override these defaults.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_vector_kernels, bench_buffer_coalescing, bench_shrink_criteria, bench_propagation_models
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benches behind Table 10: the overhead of tracking transfer
+//! paths (how-provenance) relative to plain LIFO origin tracking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tin_bench::Workload;
+use tin_core::tracker::path::PathTracker;
+use tin_core::tracker::receipt_order::ReceiptOrderTracker;
+use tin_core::tracker::ProvenanceTracker;
+use tin_datasets::{DatasetKind, ScaleProfile};
+
+fn bench_path_tracking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table10_paths");
+    for kind in [DatasetKind::Flights, DatasetKind::Taxis, DatasetKind::Ctu] {
+        let w = Workload::generate(kind, ScaleProfile::Tiny);
+        group.throughput(Throughput::Elements(w.interactions.len() as u64));
+        group.bench_with_input(BenchmarkId::new("lifo_origins_only", kind.key()), &w, |b, w| {
+            b.iter(|| {
+                let mut tracker = ReceiptOrderTracker::lifo(w.num_vertices);
+                tracker.process_all(&w.interactions);
+                tracker.total_buffered()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("lifo_with_paths", kind.key()), &w, |b, w| {
+            b.iter(|| {
+                let mut tracker = PathTracker::lifo(w.num_vertices);
+                tracker.process_all(&w.interactions);
+                tracker.total_buffered()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Reduced sample configuration so the full suite (`cargo bench --workspace`)
+/// completes in a few minutes; the relative ordering of the measured
+/// alternatives is unaffected. Command-line flags (e.g. `--sample-size`)
+/// still override these defaults.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_path_tracking
+}
+criterion_main!(benches);

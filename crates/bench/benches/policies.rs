@@ -1,0 +1,66 @@
+//! Criterion benches behind Table 7: per-policy streaming throughput on each
+//! (scaled-down) dataset. Skips the proportional policies where the paper
+//! reports "–" (infeasible vertex counts).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tin_bench::{dense_proportional_feasible, sparse_proportional_feasible, Workload};
+use tin_core::policy::{PolicyConfig, SelectionPolicy};
+use tin_core::tracker::build_tracker;
+use tin_datasets::{DatasetKind, ScaleProfile};
+
+fn bench_policies(c: &mut Criterion) {
+    // Tiny scale keeps Criterion's many iterations affordable; the harness
+    // binaries run the larger scales once.
+    let workloads: Vec<Workload> = DatasetKind::all()
+        .into_iter()
+        .map(|k| Workload::generate(k, ScaleProfile::Tiny))
+        .collect();
+
+    let mut group = c.benchmark_group("table7_policies");
+    for w in &workloads {
+        group.throughput(Throughput::Elements(w.interactions.len() as u64));
+        for policy in SelectionPolicy::all() {
+            let feasible = match policy {
+                SelectionPolicy::ProportionalDense => dense_proportional_feasible(w.num_vertices),
+                SelectionPolicy::ProportionalSparse => {
+                    sparse_proportional_feasible(w.num_vertices, w.interactions.len())
+                }
+                _ => true,
+            };
+            if !feasible {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(policy.key(), w.kind.key()),
+                w,
+                |b, w| {
+                    b.iter(|| {
+                        let mut tracker =
+                            build_tracker(&PolicyConfig::Plain(policy), w.num_vertices).unwrap();
+                        tracker.process_all(&w.interactions);
+                        tracker.total_buffered()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Reduced sample configuration so the full suite (`cargo bench --workspace`)
+/// completes in a few minutes; the relative ordering of the measured
+/// alternatives is unaffected. Command-line flags (e.g. `--sample-size`)
+/// still override these defaults.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_policies
+}
+criterion_main!(benches);

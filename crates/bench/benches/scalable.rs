@@ -1,0 +1,68 @@
+//! Criterion benches behind Figure 5: selective and grouped proportional
+//! provenance as a function of k (number of tracked vertices / groups).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tin_bench::Workload;
+use tin_core::policy::PolicyConfig;
+use tin_core::tracker::no_prov::NoProvTracker;
+use tin_core::tracker::{build_tracker, ProvenanceTracker};
+use tin_datasets::{DatasetKind, ScaleProfile};
+
+fn bench_selective_and_grouped(c: &mut Criterion) {
+    let w = Workload::generate(DatasetKind::ProsperLoans, ScaleProfile::Tiny);
+    let mut baseline = NoProvTracker::new(w.num_vertices);
+    baseline.process_all(&w.interactions);
+
+    let mut group = c.benchmark_group("fig5_scalable_proportional");
+    group.throughput(Throughput::Elements(w.interactions.len() as u64));
+    for k in [5usize, 20, 50, 100] {
+        let k = k.min(w.num_vertices - 1).max(1);
+        let tracked = baseline.top_k_generators(k);
+        group.bench_with_input(BenchmarkId::new("selective", k), &tracked, |b, tracked| {
+            b.iter(|| {
+                let mut tracker = build_tracker(
+                    &PolicyConfig::Selective {
+                        tracked: tracked.clone(),
+                    },
+                    w.num_vertices,
+                )
+                .unwrap();
+                tracker.process_all(&w.interactions);
+                tracker.total_buffered()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("grouped", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut tracker = build_tracker(
+                    &PolicyConfig::Grouped {
+                        num_groups: k,
+                        group_of: (0..w.num_vertices).map(|v| (v % k) as u32).collect(),
+                    },
+                    w.num_vertices,
+                )
+                .unwrap();
+                tracker.process_all(&w.interactions);
+                tracker.total_buffered()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Reduced sample configuration so the full suite (`cargo bench --workspace`)
+/// completes in a few minutes; the relative ordering of the measured
+/// alternatives is unaffected. Command-line flags (e.g. `--sample-size`)
+/// still override these defaults.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_selective_and_grouped
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion benches behind Figures 7 and 8: the windowing and budget-based
+//! techniques for limiting the scope of proportional provenance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tin_bench::Workload;
+use tin_core::policy::PolicyConfig;
+use tin_core::tracker::build_tracker;
+use tin_datasets::{DatasetKind, ScaleProfile};
+
+fn bench_windowing(c: &mut Criterion) {
+    let w = Workload::generate(DatasetKind::ProsperLoans, ScaleProfile::Tiny);
+    let n = w.interactions.len();
+    let mut group = c.benchmark_group("fig7_windowing");
+    group.throughput(Throughput::Elements(n as u64));
+    for divisor in [32usize, 8, 2] {
+        let window = (n / divisor).max(1);
+        group.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, &window| {
+            b.iter(|| {
+                let mut tracker =
+                    build_tracker(&PolicyConfig::Windowed { window }, w.num_vertices).unwrap();
+                tracker.process_all(&w.interactions);
+                tracker.total_buffered()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_budget(c: &mut Criterion) {
+    let w = Workload::generate(DatasetKind::ProsperLoans, ScaleProfile::Tiny);
+    let mut group = c.benchmark_group("fig8_budget");
+    group.throughput(Throughput::Elements(w.interactions.len() as u64));
+    for capacity in [10usize, 100, 1000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(capacity),
+            &capacity,
+            |b, &capacity| {
+                b.iter(|| {
+                    let mut tracker =
+                        build_tracker(&PolicyConfig::budget(capacity), w.num_vertices).unwrap();
+                    tracker.process_all(&w.interactions);
+                    tracker.total_buffered()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Reduced sample configuration so the full suite (`cargo bench --workspace`)
+/// completes in a few minutes; the relative ordering of the measured
+/// alternatives is unaffected. Command-line flags (e.g. `--sample-size`)
+/// still override these defaults.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_windowing, bench_budget
+}
+criterion_main!(benches);

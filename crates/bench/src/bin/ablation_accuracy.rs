@@ -1,0 +1,135 @@
+//! Ablation: accuracy vs. cost of the scope-limited proportional trackers.
+//!
+//! The paper measures what selective, grouped, windowed and budget-based
+//! provenance *cost* (Figures 5, 7, 8; Table 9) and argues the information
+//! loss is limited. This extension experiment quantifies the loss: every
+//! scope-limited configuration is compared against the exact sparse
+//! proportional tracker on the same stream, reporting runtime, memory, the
+//! fraction of provenance still attributed to concrete origins, the mean
+//! total-variation distance and the recall of the exact top-5 origins.
+//!
+//! Run with: `TIN_SCALE=tiny cargo run --release -p tin-bench --bin ablation_accuracy`
+
+use tin_analytics::accuracy::{compare_grouped_tracker, compare_trackers, AccuracyReport};
+use tin_analytics::grouping;
+use tin_analytics::report::{format_bytes, format_secs, TextTable};
+use tin_bench::{run_tracker, scale_from_env, Workload};
+use tin_core::graph::Tin;
+use tin_core::policy::PolicyConfig;
+use tin_core::policy::SelectionPolicy;
+use tin_datasets::{DatasetKind, ScaleProfile};
+
+fn accuracy_row(
+    label: &str,
+    runtime_secs: f64,
+    memory_bytes: usize,
+    report: &AccuracyReport,
+) -> Vec<String> {
+    vec![
+        label.to_string(),
+        format_secs(runtime_secs),
+        format_bytes(memory_bytes),
+        format!("{:.1}%", report.mean_known_fraction * 100.0),
+        format!("{:.4}", report.mean_total_variation),
+        format!("{:.3}", report.mean_topk_recall),
+    ]
+}
+
+fn main() {
+    // Accuracy needs the exact sparse tracker as reference, which is the
+    // expensive one — keep the default workload small.
+    let scale = match scale_from_env() {
+        ScaleProfile::Paper | ScaleProfile::Medium => ScaleProfile::Small,
+        other => other,
+    };
+    println!("Ablation: accuracy vs. cost of scope-limited provenance, scale = {scale:?}\n");
+
+    for kind in [DatasetKind::ProsperLoans, DatasetKind::Taxis] {
+        let workload = Workload::generate(kind, scale);
+        println!("  {}", workload.describe());
+        let tin = Tin::from_interactions(workload.num_vertices, workload.interactions.clone())
+            .expect("generated workloads are valid");
+
+        // Exact reference.
+        let (exact, exact_result) = run_tracker(
+            &PolicyConfig::Plain(SelectionPolicy::ProportionalSparse),
+            &workload,
+        );
+
+        let mut table = TextTable::new(
+            format!(
+                "Accuracy vs cost on {} (reference: exact sparse proportional, {} / {})",
+                kind.label(),
+                format_secs(exact_result.runtime_secs),
+                format_bytes(exact_result.footprint.total()),
+            ),
+            &[
+                "configuration",
+                "runtime",
+                "memory",
+                "known provenance",
+                "mean TV distance",
+                "top-5 recall",
+            ],
+        );
+
+        // Selective tracking with increasing k.
+        for k in [5usize, 20, 50] {
+            let config = PolicyConfig::Selective {
+                tracked: tin.top_k_senders(k),
+            };
+            let (tracker, result) = run_tracker(&config, &workload);
+            let report = compare_trackers(tracker.as_ref(), exact.as_ref(), 5);
+            table.push_row(accuracy_row(
+                &format!("selective k={k}"),
+                result.runtime_secs,
+                result.footprint.total(),
+                &report,
+            ));
+        }
+
+        // Grouped tracking (compared at group granularity).
+        for m in [5usize, 20] {
+            let grouping = grouping::round_robin(workload.num_vertices, m).expect("m > 0");
+            let (tracker, result) = run_tracker(&grouping.to_policy(), &workload);
+            let report = compare_grouped_tracker(tracker.as_ref(), exact.as_ref(), &grouping, 5);
+            table.push_row(accuracy_row(
+                &format!("grouped m={m}"),
+                result.runtime_secs,
+                result.footprint.total(),
+                &report,
+            ));
+        }
+
+        // Windowed tracking with increasing window.
+        let n = workload.interactions.len();
+        for divisor in [8usize, 2] {
+            let window = (n / divisor).max(1);
+            let config = PolicyConfig::Windowed { window };
+            let (tracker, result) = run_tracker(&config, &workload);
+            let report = compare_trackers(tracker.as_ref(), exact.as_ref(), 5);
+            table.push_row(accuracy_row(
+                &format!("windowed W=|R|/{divisor}"),
+                result.runtime_secs,
+                result.footprint.total(),
+                &report,
+            ));
+        }
+
+        // Budget-based tracking with increasing capacity.
+        for capacity in [10usize, 50, 200] {
+            let config = PolicyConfig::budget(capacity);
+            let (tracker, result) = run_tracker(&config, &workload);
+            let report = compare_trackers(tracker.as_ref(), exact.as_ref(), 5);
+            table.push_row(accuracy_row(
+                &format!("budget C={capacity}"),
+                result.runtime_secs,
+                result.footprint.total(),
+                &report,
+            ));
+        }
+
+        println!("{}", table.render());
+        println!("CSV:\n{}", table.to_csv());
+    }
+}

@@ -1,0 +1,122 @@
+//! Ablation: relay vs. diffusion propagation semantics.
+//!
+//! Section 8 of the paper singles out, as the key difference between TINs and
+//! social networks, that in the latter "data are diffused, instead of being
+//! relayed from vertex to vertex". This binary quantifies what that modelling
+//! choice costs: for every dataset it runs the exact sparse proportional
+//! tracker (relay) and the [`DiffusionTracker`] extension (copy) over the
+//! same interaction stream and reports runtime, provenance entries, memory
+//! and the quantity amplification factor introduced by copying.
+
+use std::time::Instant;
+
+use tin_analytics::report::{format_bytes, format_secs, TextTable};
+use tin_bench::{scale_from_env, sparse_proportional_feasible, Workload};
+use tin_core::tracker::diffusion::DiffusionTracker;
+use tin_core::tracker::proportional_sparse::ProportionalSparseTracker;
+use tin_core::tracker::ProvenanceTracker;
+
+struct ModelRun {
+    runtime_secs: f64,
+    entries: usize,
+    footprint_bytes: usize,
+    total_buffered: f64,
+    top_influence_reach: usize,
+}
+
+fn run_relay(w: &Workload) -> ModelRun {
+    let start = Instant::now();
+    let mut tracker = ProportionalSparseTracker::new(w.num_vertices);
+    tracker.process_all(&w.interactions);
+    ModelRun {
+        runtime_secs: start.elapsed().as_secs_f64(),
+        entries: tracker.total_entries(),
+        footprint_bytes: tracker.footprint().total(),
+        total_buffered: tracker.total_buffered(),
+        top_influence_reach: 0,
+    }
+}
+
+fn run_diffusion(w: &Workload) -> ModelRun {
+    let start = Instant::now();
+    let mut tracker = DiffusionTracker::new(w.num_vertices);
+    tracker.process_all(&w.interactions);
+    let runtime_secs = start.elapsed().as_secs_f64();
+    let top_influence_reach = tracker
+        .influence_ranking(1)
+        .first()
+        .map(|(origin, _)| tracker.reach_of(*origin))
+        .unwrap_or(0);
+    ModelRun {
+        runtime_secs,
+        entries: tracker.total_entries(),
+        footprint_bytes: tracker.footprint().total(),
+        total_buffered: tracker.total_buffered(),
+        top_influence_reach,
+    }
+}
+
+fn main() {
+    let scale = scale_from_env();
+    println!("Ablation: relay vs. diffusion propagation, scale = {scale:?}\n");
+
+    let mut table = TextTable::new(
+        "Relay (sparse proportional) vs. diffusion (copy) propagation",
+        &[
+            "Dataset",
+            "Model",
+            "Runtime",
+            "Provenance entries",
+            "Memory",
+            "Total buffered q",
+            "Amplification",
+            "Top-origin reach",
+        ],
+    );
+
+    for w in Workload::all(scale) {
+        if !sparse_proportional_feasible(w.num_vertices, w.interactions.len()) {
+            table.push_row(vec![
+                w.kind.label().to_string(),
+                "–".to_string(),
+                "–".to_string(),
+                "–".to_string(),
+                "–".to_string(),
+                "–".to_string(),
+                "–".to_string(),
+                "–".to_string(),
+            ]);
+            continue;
+        }
+        let relay = run_relay(&w);
+        let diffusion = run_diffusion(&w);
+        let amplification = if relay.total_buffered > 0.0 {
+            diffusion.total_buffered / relay.total_buffered
+        } else {
+            1.0
+        };
+        table.push_row(vec![
+            w.kind.label().to_string(),
+            "relay".to_string(),
+            format_secs(relay.runtime_secs),
+            relay.entries.to_string(),
+            format_bytes(relay.footprint_bytes),
+            format!("{:.3e}", relay.total_buffered),
+            "1.00x".to_string(),
+            "–".to_string(),
+        ]);
+        table.push_row(vec![
+            String::new(),
+            "diffusion".to_string(),
+            format_secs(diffusion.runtime_secs),
+            diffusion.entries.to_string(),
+            format_bytes(diffusion.footprint_bytes),
+            format!("{:.3e}", diffusion.total_buffered),
+            format!("{amplification:.2}x"),
+            diffusion.top_influence_reach.to_string(),
+        ]);
+    }
+
+    println!("{}", table.render());
+    println!("CSV:\n{}", table.to_csv());
+}

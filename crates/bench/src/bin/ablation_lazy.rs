@@ -1,0 +1,124 @@
+//! Ablation: eager vs. lazy vs. backtracing provenance.
+//!
+//! Section 8 of the paper proposes lazy (replay-based) and backtracing
+//! approaches as future work. This extension experiment measures the
+//! trade-off they offer against the eager sparse proportional tracker:
+//!
+//! * ingestion cost (processing the whole stream once),
+//! * per-query cost (answering `O(t, B_v)` for a sample of vertices),
+//! * and, for the backtracing index, how much of the replay its
+//!   backward-reachability pruning eliminates.
+//!
+//! Run with: `TIN_SCALE=tiny cargo run --release -p tin-bench --bin ablation_lazy`
+
+use std::time::Instant;
+
+use tin_analytics::report::{format_bytes, format_secs, TextTable};
+use tin_bench::{scale_from_env, Workload};
+use tin_core::ids::VertexId;
+use tin_core::policy::{PolicyConfig, SelectionPolicy};
+use tin_core::tracker::backtrace::BacktraceIndex;
+use tin_core::tracker::lazy::LazyReplayProvenance;
+use tin_core::tracker::proportional_sparse::ProportionalSparseTracker;
+use tin_core::tracker::ProvenanceTracker;
+use tin_datasets::{DatasetKind, ScaleProfile};
+
+/// Number of provenance queries issued against each approach.
+const NUM_QUERIES: usize = 20;
+
+fn main() {
+    let scale = match scale_from_env() {
+        ScaleProfile::Paper | ScaleProfile::Medium => ScaleProfile::Small,
+        other => other,
+    };
+    println!("Ablation: eager vs lazy vs backtracing provenance, scale = {scale:?}\n");
+
+    for kind in [DatasetKind::Taxis, DatasetKind::ProsperLoans] {
+        let workload = Workload::generate(kind, scale);
+        println!("  {}", workload.describe());
+        let n = workload.num_vertices;
+        let query_vertices: Vec<VertexId> = (0..n)
+            .step_by((n / NUM_QUERIES).max(1))
+            .take(NUM_QUERIES)
+            .map(VertexId::from)
+            .collect();
+
+        // Eager: pay at ingestion, queries are free.
+        let mut eager = ProportionalSparseTracker::new(n);
+        let start = Instant::now();
+        eager.process_all(&workload.interactions);
+        let eager_ingest = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        for &v in &query_vertices {
+            std::hint::black_box(eager.origins(v));
+        }
+        let eager_query = start.elapsed().as_secs_f64() / query_vertices.len() as f64;
+
+        // Lazy: ingestion is just logging, every query replays the prefix.
+        let mut lazy = LazyReplayProvenance::proportional(n);
+        let start = Instant::now();
+        lazy.process_all(&workload.interactions);
+        let lazy_ingest = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        for &v in &query_vertices {
+            std::hint::black_box(lazy.origins(v));
+        }
+        let lazy_query = start.elapsed().as_secs_f64() / query_vertices.len() as f64;
+
+        // Backtracing: ingestion is logging, queries replay a pruned prefix.
+        let mut backtrace = BacktraceIndex::proportional(n);
+        let start = Instant::now();
+        backtrace.process_all(&workload.interactions);
+        let backtrace_ingest = start.elapsed().as_secs_f64();
+        let mut pruning = 0.0;
+        let policy = PolicyConfig::Plain(SelectionPolicy::ProportionalSparse);
+        let start = Instant::now();
+        for &v in &query_vertices {
+            let (origins, stats) = backtrace
+                .origins_at_with_stats(v, f64::INFINITY, &policy)
+                .expect("valid query");
+            std::hint::black_box(origins);
+            pruning += stats.pruning_ratio();
+        }
+        let backtrace_query = start.elapsed().as_secs_f64() / query_vertices.len() as f64;
+        pruning /= query_vertices.len() as f64;
+
+        let mut table = TextTable::new(
+            format!(
+                "Eager vs lazy vs backtracing on {} ({} queries)",
+                kind.label(),
+                query_vertices.len()
+            ),
+            &[
+                "approach",
+                "ingest time",
+                "per-query time",
+                "state memory",
+                "avg replay pruned",
+            ],
+        );
+        table.push_row(vec![
+            "eager (sparse proportional)".into(),
+            format_secs(eager_ingest),
+            format_secs(eager_query),
+            format_bytes(eager.footprint().total()),
+            "-".into(),
+        ]);
+        table.push_row(vec![
+            "lazy replay".into(),
+            format_secs(lazy_ingest),
+            format_secs(lazy_query),
+            format_bytes(lazy.footprint().total()),
+            "0%".into(),
+        ]);
+        table.push_row(vec![
+            "backtracing (pruned replay)".into(),
+            format_secs(backtrace_ingest),
+            format_secs(backtrace_query),
+            format_bytes(backtrace.footprint().total()),
+            format!("{:.0}%", pruning * 100.0),
+        ]);
+        println!("{}", table.render());
+        println!("CSV:\n{}", table.to_csv());
+    }
+}

@@ -1,0 +1,38 @@
+//! Figure 8: budget-based provenance — runtime and memory as a function of
+//! the per-vertex budget C.
+//!
+//! Larger budgets keep more provenance entries per vertex, increasing both
+//! the list-merge cost and the memory linearly in C, which is the behaviour
+//! the figure shows for Bitcoin, CTU and Prosper Loans.
+
+use tin_analytics::report::{format_bytes, format_secs, TextTable};
+use tin_bench::{run_tracker, scale_from_env, Workload};
+use tin_core::policy::PolicyConfig;
+use tin_datasets::DatasetKind;
+
+const BUDGETS: [usize; 6] = [10, 50, 100, 200, 500, 1000];
+
+fn main() {
+    let scale = scale_from_env();
+    println!("Reproducing Figure 8 (budget-based provenance), scale = {scale:?}\n");
+
+    for kind in [DatasetKind::Bitcoin, DatasetKind::Ctu, DatasetKind::ProsperLoans] {
+        let w = Workload::generate(kind, scale);
+        println!("  {}", w.describe());
+
+        let mut table = TextTable::new(
+            format!("Figure 8 ({}): runtime / memory vs budget C", kind.label()),
+            &["budget C", "runtime (s)", "provenance memory"],
+        );
+        for capacity in BUDGETS {
+            let (_, result) = run_tracker(&PolicyConfig::budget(capacity), &w);
+            table.push_row(vec![
+                capacity.to_string(),
+                format_secs(result.runtime_secs),
+                format_bytes(result.footprint.total()),
+            ]);
+        }
+        println!("{}", table.render());
+        println!("CSV:\n{}", table.to_csv());
+    }
+}

@@ -1,0 +1,62 @@
+//! Figure 9: provenance alerts ("smurfing" detection) on the Bitcoin network.
+//!
+//! After each interaction an alert fires when the receiving vertex has
+//! accumulated more than a threshold quantity none of which originates from
+//! its direct neighbours. Alerts with fewer than five contributing vertices
+//! are flagged (the paper's red dots); the rest indicate funds accumulated
+//! from numerous sources — an indication of possible smurfing.
+
+use tin_analytics::alerts::{AlertConfig, AlertEngine};
+use tin_analytics::report::TextTable;
+use tin_bench::{scale_from_env, Workload};
+use tin_core::tracker::proportional_sparse::ProportionalSparseTracker;
+use tin_datasets::DatasetKind;
+
+fn main() {
+    let scale = scale_from_env();
+    let w = Workload::generate(DatasetKind::Bitcoin, scale);
+    println!("Reproducing Figure 9 (provenance alerts in Bitcoin), scale = {scale:?}");
+    println!("  {}\n", w.describe());
+
+    // The paper uses an absolute 10K BTC threshold on the real data; the
+    // synthetic workload uses a multiple of its own average quantity so the
+    // alert rate is comparable. TIN_ALERT_THRESHOLD overrides.
+    let avg_q = w.interactions.iter().map(|r| r.qty).sum::<f64>() / w.interactions.len() as f64;
+    let threshold = std::env::var("TIN_ALERT_THRESHOLD")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(20.0 * avg_q);
+
+    let mut tracker = ProportionalSparseTracker::new(w.num_vertices);
+    let config = AlertConfig {
+        quantity_threshold: threshold,
+        require_no_neighbor_origin: true,
+    };
+    let alerts = AlertEngine::run_stream(&mut tracker, &w.interactions, config);
+
+    let few: usize = alerts.iter().filter(|a| a.is_few_sources()).count();
+    println!(
+        "Threshold {:.3e}: {} alerts in total ({} from fewer than five vertices, {} from many)",
+        threshold,
+        alerts.len(),
+        few,
+        alerts.len() - few
+    );
+
+    let mut table = TextTable::new(
+        "Figure 9: provenance alerts (first 25 shown)",
+        &["interaction#", "time", "vertex", "buffered", "#contributing vertices", "flag"],
+    );
+    for a in alerts.iter().take(25) {
+        table.push_row(vec![
+            a.interaction_index.to_string(),
+            format!("{:.1}", a.time),
+            a.vertex.to_string(),
+            format!("{:.3e}", a.buffered),
+            a.contributing_vertices.to_string(),
+            if a.is_few_sources() { "FEW (red)" } else { "many (blue)" }.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("CSV:\n{}", table.to_csv());
+}

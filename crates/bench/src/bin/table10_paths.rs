@@ -1,0 +1,51 @@
+//! Table 10: overhead of tracking provenance paths (how-provenance) on top of
+//! the LIFO policy.
+//!
+//! For every dataset: runtime, memory for provenance entries, memory for the
+//! paths, total memory, and the average path length of the buffered quantity
+//! elements.
+
+use tin_analytics::path_stats;
+use tin_analytics::report::{format_bytes, format_secs, TextTable};
+use tin_bench::{scale_from_env, Workload};
+use tin_core::tracker::path::PathTracker;
+use tin_core::tracker::ProvenanceTracker;
+
+fn main() {
+    let scale = scale_from_env();
+    let workloads = Workload::all(scale);
+    println!("Reproducing Table 10 (tracking provenance paths in LIFO), scale = {scale:?}\n");
+    for w in &workloads {
+        println!("  {}", w.describe());
+    }
+    println!();
+
+    let mut table = TextTable::new(
+        "Table 10: Tracking provenance paths in LIFO",
+        &[
+            "Dataset",
+            "time (sec)",
+            "mem entries",
+            "mem paths",
+            "total mem",
+            "avg. path length",
+        ],
+    );
+    for w in &workloads {
+        let mut tracker = PathTracker::lifo(w.num_vertices);
+        let start = std::time::Instant::now();
+        tracker.process_all(&w.interactions);
+        let runtime = start.elapsed().as_secs_f64();
+        let stats = path_stats::statistics(&tracker);
+        table.push_row(vec![
+            w.kind.label().to_string(),
+            format_secs(runtime),
+            format_bytes(stats.entries_bytes),
+            format_bytes(stats.paths_bytes),
+            format_bytes(stats.entries_bytes + stats.paths_bytes),
+            format!("{:.2}", stats.avg_path_length),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("CSV:\n{}", table.to_csv());
+}

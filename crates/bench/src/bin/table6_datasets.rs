@@ -1,0 +1,68 @@
+//! Table 6: characteristics of the five evaluation datasets.
+//!
+//! The paper reports, per dataset, the number of nodes, the number of
+//! interactions and the average transferred quantity. This binary prints the
+//! paper-reported values side by side with the characteristics of the
+//! synthetic workloads the harness actually generates at the selected scale,
+//! so the downscaling factor applied to every other experiment is explicit.
+
+use tin_analytics::report::TextTable;
+use tin_bench::{scale_from_env, Workload};
+use tin_core::graph::Tin;
+
+fn format_count(n: usize) -> String {
+    if n >= 1_000_000 {
+        format!("{:.1}M", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{:.0}K", n as f64 / 1e3)
+    } else {
+        n.to_string()
+    }
+}
+
+fn format_quantity(q: f64) -> String {
+    if q >= 1e9 {
+        format!("{:.1}B", q / 1e9)
+    } else if q >= 1e3 {
+        format!("{:.1}K", q / 1e3)
+    } else {
+        format!("{q:.2}")
+    }
+}
+
+fn main() {
+    let scale = scale_from_env();
+    println!("Reproducing Table 6 (dataset characteristics), scale = {scale:?}\n");
+
+    let mut table = TextTable::new(
+        "Table 6: Characteristics of Datasets (paper vs. generated)",
+        &[
+            "Dataset",
+            "#nodes (paper)",
+            "#nodes (generated)",
+            "#interactions (paper)",
+            "#interactions (generated)",
+            "avg r.q (paper)",
+            "avg r.q (generated)",
+        ],
+    );
+
+    for workload in Workload::all(scale) {
+        let (paper_nodes, paper_interactions) = workload.kind.paper_size();
+        let tin = Tin::from_interactions_auto(workload.interactions.clone())
+            .expect("generated workloads are valid");
+        let stats = tin.stats();
+        table.push_row(vec![
+            workload.kind.label().to_string(),
+            format_count(paper_nodes),
+            format_count(workload.num_vertices),
+            format_count(paper_interactions),
+            format_count(stats.num_interactions),
+            format_quantity(workload.kind.paper_avg_quantity()),
+            format_quantity(stats.avg_quantity),
+        ]);
+    }
+
+    println!("{}", table.render());
+    println!("CSV:\n{}", table.to_csv());
+}

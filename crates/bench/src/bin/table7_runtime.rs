@@ -1,0 +1,51 @@
+//! Table 7: runtime (seconds) of each selection policy on each dataset.
+//!
+//! Columns follow the paper: No Provenance, Least/Most Recently Born, LIFO,
+//! FIFO, Proportional (dense), Proportional (sparse). Policies that would
+//! exceed the memory of the machine are skipped and printed as "–", exactly
+//! like the paper's dashes for Bitcoin/CTU under proportional selection.
+
+use tin_analytics::report::{format_secs, TextTable};
+use tin_bench::{
+    dense_proportional_feasible, run_tracker, scale_from_env, sparse_proportional_feasible,
+    Workload,
+};
+use tin_core::policy::{PolicyConfig, SelectionPolicy};
+
+fn main() {
+    let scale = scale_from_env();
+    let workloads = Workload::all(scale);
+    println!("Reproducing Table 7 (runtime per selection policy), scale = {scale:?}\n");
+    for w in &workloads {
+        println!("  {}", w.describe());
+    }
+    println!();
+
+    let policies = SelectionPolicy::all();
+    let header: Vec<&str> = std::iter::once("Dataset")
+        .chain(policies.iter().map(|p| p.label()))
+        .collect();
+    let mut table = TextTable::new("Table 7: Runtime (sec) for each selection policy", &header);
+
+    for w in &workloads {
+        let mut row = vec![w.kind.label().to_string()];
+        for policy in policies {
+            let feasible = match policy {
+                SelectionPolicy::ProportionalDense => dense_proportional_feasible(w.num_vertices),
+                SelectionPolicy::ProportionalSparse => {
+                    sparse_proportional_feasible(w.num_vertices, w.interactions.len())
+                }
+                _ => true,
+            };
+            if !feasible {
+                row.push("–".to_string());
+                continue;
+            }
+            let (_, result) = run_tracker(&PolicyConfig::Plain(policy), w);
+            row.push(format_secs(result.runtime_secs));
+        }
+        table.push_row(row);
+    }
+    println!("{}", table.render());
+    println!("CSV:\n{}", table.to_csv());
+}

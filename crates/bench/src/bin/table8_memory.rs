@@ -1,0 +1,51 @@
+//! Table 8: peak memory used by each selection policy on each dataset.
+//!
+//! Two numbers are available for every cell: the logical provenance footprint
+//! (entries + indexes, computed by `MemoryFootprint`) and the allocator-level
+//! peak measured by the counting global allocator. The table reports the
+//! larger of the two, as the paper reports process peak memory.
+
+use tin_analytics::report::{format_bytes, TextTable};
+use tin_bench::{
+    dense_proportional_feasible, run_tracker, scale_from_env, sparse_proportional_feasible,
+    Workload,
+};
+use tin_core::policy::{PolicyConfig, SelectionPolicy};
+
+fn main() {
+    let scale = scale_from_env();
+    let workloads = Workload::all(scale);
+    println!("Reproducing Table 8 (peak memory per selection policy), scale = {scale:?}\n");
+    for w in &workloads {
+        println!("  {}", w.describe());
+    }
+    println!();
+
+    let policies = SelectionPolicy::all();
+    let header: Vec<&str> = std::iter::once("Dataset")
+        .chain(policies.iter().map(|p| p.label()))
+        .collect();
+    let mut table = TextTable::new("Table 8: Peak memory used by each selection policy", &header);
+
+    for w in &workloads {
+        let mut row = vec![w.kind.label().to_string()];
+        for policy in policies {
+            let feasible = match policy {
+                SelectionPolicy::ProportionalDense => dense_proportional_feasible(w.num_vertices),
+                SelectionPolicy::ProportionalSparse => {
+                    sparse_proportional_feasible(w.num_vertices, w.interactions.len())
+                }
+                _ => true,
+            };
+            if !feasible {
+                row.push("–".to_string());
+                continue;
+            }
+            let (_, result) = run_tracker(&PolicyConfig::Plain(policy), w);
+            row.push(format_bytes(result.memory_bytes()));
+        }
+        table.push_row(row);
+    }
+    println!("{}", table.render());
+    println!("CSV:\n{}", table.to_csv());
+}

@@ -1,0 +1,55 @@
+//! Table 9: shrinking statistics of budget-based provenance.
+//!
+//! For each of the three large networks and each budget C, reports (i) the
+//! average number of shrinks per vertex with a non-empty buffer and (ii) the
+//! percentage of such vertices whose provenance list was shrunk at least
+//! once.
+
+use tin_analytics::report::TextTable;
+use tin_bench::{scale_from_env, Workload};
+use tin_core::tracker::budget::BudgetTracker;
+use tin_core::tracker::ProvenanceTracker;
+use tin_datasets::DatasetKind;
+
+const BUDGETS: [usize; 6] = [10, 50, 100, 200, 500, 1000];
+
+fn main() {
+    let scale = scale_from_env();
+    println!("Reproducing Table 9 (shrinking statistics in budget-based provenance), scale = {scale:?}\n");
+
+    let kinds = [DatasetKind::Bitcoin, DatasetKind::Ctu, DatasetKind::ProsperLoans];
+    let workloads: Vec<Workload> = kinds
+        .iter()
+        .map(|&k| Workload::generate(k, scale))
+        .collect();
+    for w in &workloads {
+        println!("  {}", w.describe());
+    }
+    println!();
+
+    let mut header = vec!["C".to_string()];
+    for kind in kinds {
+        header.push(format!("{} avg. shrinks", kind.label()));
+        header.push(format!("{} % vertices", kind.label()));
+    }
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = TextTable::new(
+        "Table 9: Shrinking statistics in budget-based provenance",
+        &header_refs,
+    );
+
+    for capacity in BUDGETS {
+        let mut row = vec![capacity.to_string()];
+        for w in &workloads {
+            let mut tracker =
+                BudgetTracker::new(w.num_vertices, capacity, 0.7).expect("valid budget");
+            tracker.process_all(&w.interactions);
+            let stats = tracker.shrink_stats();
+            row.push(format!("{:.2}", stats.avg_shrinks_per_nonempty_vertex));
+            row.push(format!("{:.2}", stats.pct_vertices_shrunk));
+        }
+        table.push_row(row);
+    }
+    println!("{}", table.render());
+    println!("CSV:\n{}", table.to_csv());
+}

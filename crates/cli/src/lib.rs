@@ -1,0 +1,829 @@
+//! Command-line front-end for TIN provenance tracking.
+//!
+//! The library crates answer provenance questions programmatically; this
+//! crate packages the most common workflows behind a small CLI so a trace can
+//! be analysed without writing any Rust:
+//!
+//! ```text
+//! tin-cli stats    <trace>                               # Table 6-style statistics
+//! tin-cli track    <trace> --policy fifo [--top 10]      # per-vertex origin summary
+//! tin-cli origins  <trace> --vertex NAME [--policy KEY] [--at TIME]
+//! tin-cli snapshot <trace> --policy KEY --out FILE.tsv   # persist the final state
+//! tin-cli alerts   <trace> --threshold Q                 # Figure 9-style alerts
+//! tin-cli influence <trace> [--top 10]                   # diffusion-model influence ranking
+//! tin-cli similar  <trace> [--threshold 0.9] [--top 10]  # provenance-similarity mining
+//! tin-cli generate <dataset> --scale tiny --out FILE.csv # synthetic workload export
+//! ```
+//!
+//! Traces are `src,dst,time,qty` text files (comma / whitespace separated,
+//! `#` comments allowed); vertex names may be arbitrary strings — they are
+//! interned to dense ids on load (see `tin_datasets::formats`).
+//!
+//! Argument parsing is hand-rolled (no external dependency) and lives in
+//! [`parse_args`]; command execution lives in [`run`]; both are unit-tested
+//! and the binary in `main.rs` is a thin wrapper around them.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fmt::Write as _;
+
+use tin_analytics::alerts::{AlertConfig, AlertEngine};
+use tin_analytics::distribution::ProvenanceDistribution;
+use tin_analytics::mining::{cluster_by_provenance, most_similar_pairs};
+use tin_core::error::TinError;
+use tin_core::memory::format_bytes;
+use tin_core::policy::{PolicyConfig, SelectionPolicy};
+use tin_core::snapshot::ProvenanceSnapshot;
+use tin_core::tracker::diffusion::DiffusionTracker;
+use tin_core::tracker::{build_tracker, lazy::LazyReplayProvenance, ProvenanceTracker};
+use tin_datasets::formats::{read_named_edge_list_file, NamedTin};
+use tin_datasets::{DatasetKind, DatasetSpec, ScaleProfile};
+
+/// A parsed CLI invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Print Table 6-style statistics of a trace.
+    Stats {
+        /// Path to the trace file.
+        path: String,
+    },
+    /// Run a selection policy over the trace and summarise the provenance of
+    /// the busiest vertices.
+    Track {
+        /// Path to the trace file.
+        path: String,
+        /// Selection policy to run.
+        policy: SelectionPolicy,
+        /// How many vertices to show (by buffered quantity).
+        top: usize,
+    },
+    /// Provenance of a single vertex, optionally at a past time (replayed
+    /// lazily).
+    Origins {
+        /// Path to the trace file.
+        path: String,
+        /// Raw vertex name as it appears in the trace.
+        vertex: String,
+        /// Selection policy to use for the query.
+        policy: SelectionPolicy,
+        /// Optional time horizon (defaults to the end of the trace).
+        at: Option<f64>,
+    },
+    /// Run a policy and write the final provenance snapshot as TSV.
+    Snapshot {
+        /// Path to the trace file.
+        path: String,
+        /// Selection policy to run.
+        policy: SelectionPolicy,
+        /// Output TSV path.
+        out: String,
+    },
+    /// Raise Figure 9-style alerts while streaming the trace.
+    Alerts {
+        /// Path to the trace file.
+        path: String,
+        /// Buffered-quantity threshold above which a vertex is reported.
+        threshold: f64,
+    },
+    /// Rank origins by influence under the diffusion (copy) propagation model
+    /// (the Section 8 social-network extension).
+    Influence {
+        /// Path to the trace file.
+        path: String,
+        /// How many origins to show.
+        top: usize,
+    },
+    /// Mine the provenance state for vertices with near-identical origin
+    /// compositions (co-financed accounts, Section 8 future work).
+    Similar {
+        /// Path to the trace file.
+        path: String,
+        /// Selection policy whose provenance state is mined.
+        policy: SelectionPolicy,
+        /// Minimum cosine similarity for a pair to be reported.
+        threshold: f64,
+        /// How many pairs to show.
+        top: usize,
+    },
+    /// Generate a synthetic dataset and write it as a trace file.
+    Generate {
+        /// Which dataset to emulate.
+        kind: DatasetKind,
+        /// Scale profile.
+        scale: ScaleProfile,
+        /// Output CSV path.
+        out: String,
+    },
+    /// Print the usage text.
+    Help,
+}
+
+/// The usage text printed by `tin-cli help` and on argument errors.
+pub const USAGE: &str = "\
+tin-cli — provenance in temporal interaction networks
+
+USAGE:
+  tin-cli stats    <trace>
+  tin-cli track    <trace> [--policy KEY] [--top N]
+  tin-cli origins  <trace> --vertex NAME [--policy KEY] [--at TIME]
+  tin-cli snapshot <trace> [--policy KEY] --out FILE.tsv
+  tin-cli alerts   <trace> [--threshold Q]
+  tin-cli influence <trace> [--top N]
+  tin-cli similar  <trace> [--policy KEY] [--threshold SIM] [--top N]
+  tin-cli generate <bitcoin|ctu|prosper|flights|taxis> [--scale tiny|small|medium|paper] --out FILE.csv
+  tin-cli help
+
+POLICY KEYS: noprov, lrb, mrb, fifo, lifo, prop_dense, prop_sparse
+TRACE FORMAT: one `src dst time qty` record per line; names may be strings.";
+
+/// Parse a policy key (`fifo`, `prop_sparse`, …) into a [`SelectionPolicy`].
+pub fn parse_policy(key: &str) -> Result<SelectionPolicy, String> {
+    SelectionPolicy::all()
+        .into_iter()
+        .find(|p| p.key() == key)
+        .ok_or_else(|| format!("unknown policy {key:?}; expected one of: noprov, lrb, mrb, fifo, lifo, prop_dense, prop_sparse"))
+}
+
+/// Parse a dataset key into a [`DatasetKind`].
+pub fn parse_dataset(key: &str) -> Result<DatasetKind, String> {
+    DatasetKind::all()
+        .into_iter()
+        .find(|k| k.key() == key)
+        .ok_or_else(|| format!("unknown dataset {key:?}; expected bitcoin, ctu, prosper, flights or taxis"))
+}
+
+/// Parse a scale key into a [`ScaleProfile`].
+pub fn parse_scale(key: &str) -> Result<ScaleProfile, String> {
+    match key {
+        "tiny" => Ok(ScaleProfile::Tiny),
+        "small" => Ok(ScaleProfile::Small),
+        "medium" => Ok(ScaleProfile::Medium),
+        "paper" => Ok(ScaleProfile::Paper),
+        other => Err(format!("unknown scale {other:?}; expected tiny, small, medium or paper")),
+    }
+}
+
+/// Extract the value following a `--flag` from an option map built by
+/// [`parse_args`]. Returns `None` when the flag is absent.
+fn take_flag(flags: &mut Vec<(String, String)>, name: &str) -> Option<String> {
+    let pos = flags.iter().position(|(k, _)| k == name)?;
+    Some(flags.remove(pos).1)
+}
+
+/// Parse command-line arguments (excluding the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let Some(command) = args.first() else {
+        return Ok(Command::Help);
+    };
+    if command == "help" || command == "--help" || command == "-h" {
+        return Ok(Command::Help);
+    }
+
+    // Split the remainder into positional arguments and `--flag value` pairs.
+    let mut positional: Vec<String> = Vec::new();
+    let mut flags: Vec<(String, String)> = Vec::new();
+    let mut rest = args[1..].iter().peekable();
+    while let Some(arg) = rest.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            let value = rest
+                .next()
+                .ok_or_else(|| format!("flag --{name} expects a value"))?;
+            flags.push((name.to_string(), value.clone()));
+        } else {
+            positional.push(arg.clone());
+        }
+    }
+    let first_positional = |positional: &[String], what: &str| -> Result<String, String> {
+        positional
+            .first()
+            .cloned()
+            .ok_or_else(|| format!("{command}: missing {what}"))
+    };
+
+    let parsed = match command.as_str() {
+        "stats" => Command::Stats {
+            path: first_positional(&positional, "trace path")?,
+        },
+        "track" => Command::Track {
+            path: first_positional(&positional, "trace path")?,
+            policy: parse_policy(
+                &take_flag(&mut flags, "policy").unwrap_or_else(|| "prop_sparse".into()),
+            )?,
+            top: take_flag(&mut flags, "top")
+                .map(|v| v.parse::<usize>().map_err(|_| format!("invalid --top {v:?}")))
+                .transpose()?
+                .unwrap_or(10),
+        },
+        "origins" => Command::Origins {
+            path: first_positional(&positional, "trace path")?,
+            vertex: take_flag(&mut flags, "vertex").ok_or("origins: missing --vertex NAME")?,
+            policy: parse_policy(
+                &take_flag(&mut flags, "policy").unwrap_or_else(|| "prop_sparse".into()),
+            )?,
+            at: take_flag(&mut flags, "at")
+                .map(|v| v.parse::<f64>().map_err(|_| format!("invalid --at {v:?}")))
+                .transpose()?,
+        },
+        "snapshot" => Command::Snapshot {
+            path: first_positional(&positional, "trace path")?,
+            policy: parse_policy(
+                &take_flag(&mut flags, "policy").unwrap_or_else(|| "prop_sparse".into()),
+            )?,
+            out: take_flag(&mut flags, "out").ok_or("snapshot: missing --out FILE.tsv")?,
+        },
+        "alerts" => Command::Alerts {
+            path: first_positional(&positional, "trace path")?,
+            threshold: take_flag(&mut flags, "threshold")
+                .map(|v| {
+                    v.parse::<f64>()
+                        .map_err(|_| format!("invalid --threshold {v:?}"))
+                })
+                .transpose()?
+                .unwrap_or(0.0),
+        },
+        "influence" => Command::Influence {
+            path: first_positional(&positional, "trace path")?,
+            top: take_flag(&mut flags, "top")
+                .map(|v| v.parse::<usize>().map_err(|_| format!("invalid --top {v:?}")))
+                .transpose()?
+                .unwrap_or(10),
+        },
+        "similar" => Command::Similar {
+            path: first_positional(&positional, "trace path")?,
+            policy: parse_policy(
+                &take_flag(&mut flags, "policy").unwrap_or_else(|| "prop_sparse".into()),
+            )?,
+            threshold: take_flag(&mut flags, "threshold")
+                .map(|v| {
+                    v.parse::<f64>()
+                        .map_err(|_| format!("invalid --threshold {v:?}"))
+                })
+                .transpose()?
+                .unwrap_or(0.9),
+            top: take_flag(&mut flags, "top")
+                .map(|v| v.parse::<usize>().map_err(|_| format!("invalid --top {v:?}")))
+                .transpose()?
+                .unwrap_or(10),
+        },
+        "generate" => Command::Generate {
+            kind: parse_dataset(&first_positional(&positional, "dataset name")?)?,
+            scale: parse_scale(&take_flag(&mut flags, "scale").unwrap_or_else(|| "tiny".into()))?,
+            out: take_flag(&mut flags, "out").ok_or("generate: missing --out FILE.csv")?,
+        },
+        other => return Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    };
+    if let Some((name, _)) = flags.first() {
+        return Err(format!("{command}: unknown flag --{name}"));
+    }
+    Ok(parsed)
+}
+
+/// Errors a CLI run can produce: either bad usage or a library error.
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument / usage error.
+    Usage(String),
+    /// Error raised by the underlying library (I/O, parse, config).
+    Tin(TinError),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Tin(err) => write!(f, "{err}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<TinError> for CliError {
+    fn from(err: TinError) -> Self {
+        CliError::Tin(err)
+    }
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Usage(msg)
+    }
+}
+
+fn load(path: &str) -> Result<NamedTin, CliError> {
+    Ok(read_named_edge_list_file(path)?)
+}
+
+fn run_policy(
+    named: &NamedTin,
+    policy: SelectionPolicy,
+) -> Result<Box<dyn ProvenanceTracker>, CliError> {
+    let mut tracker = build_tracker(&PolicyConfig::Plain(policy), named.num_vertices())?;
+    tracker.process_all(&named.interactions);
+    Ok(tracker)
+}
+
+fn describe_origin(named: &NamedTin, origin: tin_core::ids::Origin) -> String {
+    match origin.as_vertex() {
+        Some(v) => named.interner.name_of(v).unwrap_or("?").to_string(),
+        None => origin.to_string(),
+    }
+}
+
+/// Execute a parsed command, returning the text to print on stdout.
+pub fn run(command: &Command) -> Result<String, CliError> {
+    let mut out = String::new();
+    match command {
+        Command::Help => out.push_str(USAGE),
+
+        Command::Stats { path } => {
+            let named = load(path)?;
+            let tin = named.to_tin()?;
+            let stats = tin.stats();
+            writeln!(out, "trace          : {path}").unwrap();
+            writeln!(out, "#vertices      : {}", stats.num_vertices).unwrap();
+            writeln!(out, "#edges         : {}", stats.num_edges).unwrap();
+            writeln!(out, "#interactions  : {}", stats.num_interactions).unwrap();
+            writeln!(out, "avg quantity   : {:.4}", stats.avg_quantity).unwrap();
+            writeln!(out, "total quantity : {:.4}", stats.total_quantity).unwrap();
+            writeln!(out, "time span      : {} .. {}", stats.min_time, stats.max_time).unwrap();
+        }
+
+        Command::Track { path, policy, top } => {
+            let named = load(path)?;
+            let tracker = run_policy(&named, *policy)?;
+            writeln!(out, "policy: {}", policy.label()).unwrap();
+            writeln!(
+                out,
+                "provenance state: {}",
+                format_bytes(tracker.footprint().total())
+            )
+            .unwrap();
+            // Rank vertices by buffered quantity.
+            let mut ranked: Vec<(usize, f64)> = (0..named.num_vertices())
+                .map(|i| (i, tracker.buffered(tin_core::ids::VertexId::from(i))))
+                .filter(|(_, q)| *q > 0.0)
+                .collect();
+            ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+            ranked.truncate(*top);
+            for (i, buffered) in ranked {
+                let v = tin_core::ids::VertexId::from(i);
+                let name = named.interner.name_of(v).unwrap_or("?");
+                let origins = tracker.origins(v);
+                let dist = ProvenanceDistribution::from_origins(&origins);
+                let top_origins: Vec<String> = dist
+                    .shares
+                    .iter()
+                    .take(3)
+                    .map(|(o, p)| format!("{} {:.0}%", describe_origin(&named, *o), p * 100.0))
+                    .collect();
+                writeln!(
+                    out,
+                    "{name}: buffered {buffered:.4} from {} origins [{}]",
+                    origins.len(),
+                    top_origins.join(", ")
+                )
+                .unwrap();
+            }
+        }
+
+        Command::Origins {
+            path,
+            vertex,
+            policy,
+            at,
+        } => {
+            let named = load(path)?;
+            let v = named
+                .interner
+                .get(vertex)
+                .ok_or_else(|| CliError::Usage(format!("vertex {vertex:?} does not appear in the trace")))?;
+            let origins = match at {
+                None => run_policy(&named, *policy)?.origins(v),
+                Some(t) => {
+                    let mut lazy = LazyReplayProvenance::new(
+                        named.num_vertices(),
+                        PolicyConfig::Plain(*policy),
+                    );
+                    lazy.process_all(&named.interactions);
+                    lazy.origins_at(v, *t)?
+                }
+            };
+            let when = at.map(|t| format!(" at t={t}")).unwrap_or_default();
+            writeln!(
+                out,
+                "provenance of {vertex}{when} under {} ({} origins, total {:.4}):",
+                policy.label(),
+                origins.len(),
+                origins.total()
+            )
+            .unwrap();
+            for (origin, qty) in origins.iter() {
+                writeln!(out, "  {:>12.4}  from {}", qty, describe_origin(&named, origin)).unwrap();
+            }
+        }
+
+        Command::Snapshot { path, policy, out: out_path } => {
+            let named = load(path)?;
+            let tracker = run_policy(&named, *policy)?;
+            let time = named
+                .interactions
+                .last()
+                .map(|r| r.time.value())
+                .unwrap_or(0.0);
+            let snapshot = ProvenanceSnapshot::capture(tracker.as_ref(), time);
+            let file = std::fs::File::create(out_path).map_err(TinError::from)?;
+            snapshot.write_tsv(file)?;
+            writeln!(
+                out,
+                "wrote snapshot of {} vertices ({} non-empty) to {out_path}",
+                snapshot.num_vertices(),
+                snapshot.non_empty_vertices()
+            )
+            .unwrap();
+        }
+
+        Command::Alerts { path, threshold } => {
+            let named = load(path)?;
+            let tin = named.to_tin()?;
+            let threshold = if *threshold > 0.0 {
+                *threshold
+            } else {
+                // Default: 20× the average interaction quantity, like the
+                // harness's Figure 9 configuration.
+                tin.stats().avg_quantity * 20.0
+            };
+            let mut tracker = build_tracker(
+                &PolicyConfig::Plain(SelectionPolicy::ProportionalSparse),
+                named.num_vertices(),
+            )?;
+            let alerts = AlertEngine::run_stream(
+                tracker.as_mut(),
+                &named.interactions,
+                AlertConfig {
+                    quantity_threshold: threshold,
+                    require_no_neighbor_origin: true,
+                },
+            );
+            writeln!(
+                out,
+                "{} alerts over {} interactions (threshold {threshold:.4}):",
+                alerts.len(),
+                named.interactions.len()
+            )
+            .unwrap();
+            for alert in &alerts {
+                let name = named.interner.name_of(alert.vertex).unwrap_or("?");
+                writeln!(
+                    out,
+                    "  t={:<10} {} accumulated {:.4} from {} vertices{}",
+                    alert.time,
+                    name,
+                    alert.buffered,
+                    alert.contributing_vertices,
+                    if alert.is_few_sources() { "  [few sources]" } else { "" }
+                )
+                .unwrap();
+            }
+        }
+
+        Command::Influence { path, top } => {
+            let named = load(path)?;
+            let mut tracker = DiffusionTracker::new(named.num_vertices());
+            tracker.process_all(&named.interactions);
+            writeln!(
+                out,
+                "influence ranking under diffusion (copy) propagation, {} interactions:",
+                named.interactions.len()
+            )
+            .unwrap();
+            for (origin, influence) in tracker.influence_ranking(*top) {
+                let name = named.interner.name_of(origin).unwrap_or("?");
+                writeln!(
+                    out,
+                    "  {name}: influence {influence:.4}, reach {} vertices, generated {:.4}",
+                    tracker.reach_of(origin),
+                    tracker.generated_per_vertex()[origin.index()]
+                )
+                .unwrap();
+            }
+        }
+
+        Command::Similar {
+            path,
+            policy,
+            threshold,
+            top,
+        } => {
+            let named = load(path)?;
+            let tracker = run_policy(&named, *policy)?;
+            let pairs = most_similar_pairs(tracker.as_ref(), *threshold, *top);
+            let clusters = cluster_by_provenance(tracker.as_ref(), *threshold);
+            writeln!(
+                out,
+                "provenance-similarity mining under {} (cosine >= {threshold}):",
+                policy.label()
+            )
+            .unwrap();
+            writeln!(
+                out,
+                "{} clusters over {} occupied vertices ({} non-singleton)",
+                clusters.len(),
+                clusters.iter().map(|c| c.len()).sum::<usize>(),
+                clusters.iter().filter(|c| c.len() > 1).count()
+            )
+            .unwrap();
+            if pairs.is_empty() {
+                writeln!(out, "no vertex pair reaches the similarity threshold").unwrap();
+            }
+            for pair in &pairs {
+                writeln!(
+                    out,
+                    "  {} ~ {}  similarity {:.4}",
+                    named.interner.name_of(pair.a).unwrap_or("?"),
+                    named.interner.name_of(pair.b).unwrap_or("?"),
+                    pair.similarity
+                )
+                .unwrap();
+            }
+        }
+
+        Command::Generate { kind, scale, out: out_path } => {
+            let spec = DatasetSpec::new(*kind, *scale);
+            let stream = tin_datasets::generate(&spec);
+            tin_datasets::io::write_csv_file(out_path, &stream)?;
+            writeln!(
+                out,
+                "wrote {} synthetic {} interactions over {} vertices to {out_path}",
+                stream.len(),
+                kind.label(),
+                spec.num_vertices()
+            )
+            .unwrap();
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("tin_cli_{}_{name}", std::process::id()))
+    }
+
+    const TRACE: &str = "src,dst,time,qty\nexchange,alice,1,100\nalice,bob,2,60\nbob,carol,3,30\nmallory,carol,4,5\n";
+
+    fn write_trace() -> std::path::PathBuf {
+        let path = temp_path("trace.csv");
+        std::fs::write(&path, TRACE).unwrap();
+        path
+    }
+
+    #[test]
+    fn parses_every_command() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&args(&["help"])).unwrap(), Command::Help);
+        assert_eq!(
+            parse_args(&args(&["stats", "a.csv"])).unwrap(),
+            Command::Stats { path: "a.csv".into() }
+        );
+        assert_eq!(
+            parse_args(&args(&["track", "a.csv", "--policy", "fifo", "--top", "3"])).unwrap(),
+            Command::Track {
+                path: "a.csv".into(),
+                policy: SelectionPolicy::Fifo,
+                top: 3
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&["origins", "a.csv", "--vertex", "alice", "--at", "5.5"])).unwrap(),
+            Command::Origins {
+                path: "a.csv".into(),
+                vertex: "alice".into(),
+                policy: SelectionPolicy::ProportionalSparse,
+                at: Some(5.5)
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&["snapshot", "a.csv", "--out", "s.tsv"])).unwrap(),
+            Command::Snapshot {
+                path: "a.csv".into(),
+                policy: SelectionPolicy::ProportionalSparse,
+                out: "s.tsv".into()
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&["alerts", "a.csv", "--threshold", "50"])).unwrap(),
+            Command::Alerts {
+                path: "a.csv".into(),
+                threshold: 50.0
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&["generate", "taxis", "--scale", "tiny", "--out", "t.csv"])).unwrap(),
+            Command::Generate {
+                kind: DatasetKind::Taxis,
+                scale: ScaleProfile::Tiny,
+                out: "t.csv".into()
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&["influence", "a.csv", "--top", "5"])).unwrap(),
+            Command::Influence {
+                path: "a.csv".into(),
+                top: 5
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&["similar", "a.csv", "--threshold", "0.8"])).unwrap(),
+            Command::Similar {
+                path: "a.csv".into(),
+                policy: SelectionPolicy::ProportionalSparse,
+                threshold: 0.8,
+                top: 10
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_invocations() {
+        assert!(parse_args(&args(&["frobnicate"])).is_err());
+        assert!(parse_args(&args(&["stats"])).is_err());
+        assert!(parse_args(&args(&["influence", "a.csv", "--top", "lots"])).is_err());
+        assert!(parse_args(&args(&["similar", "a.csv", "--threshold", "high"])).is_err());
+        assert!(parse_args(&args(&["track", "a.csv", "--policy", "bogus"])).is_err());
+        assert!(parse_args(&args(&["track", "a.csv", "--top", "many"])).is_err());
+        assert!(parse_args(&args(&["track", "a.csv", "--policy"])).is_err());
+        assert!(parse_args(&args(&["track", "a.csv", "--bogus", "1"])).is_err());
+        assert!(parse_args(&args(&["origins", "a.csv"])).is_err());
+        assert!(parse_args(&args(&["snapshot", "a.csv"])).is_err());
+        assert!(parse_args(&args(&["generate", "nonsense", "--out", "x"])).is_err());
+        assert!(parse_args(&args(&["generate", "taxis", "--scale", "huge", "--out", "x"])).is_err());
+    }
+
+    #[test]
+    fn key_parsers_cover_all_variants() {
+        for policy in SelectionPolicy::all() {
+            assert_eq!(parse_policy(policy.key()).unwrap(), policy);
+        }
+        for kind in DatasetKind::all() {
+            assert_eq!(parse_dataset(kind.key()).unwrap(), kind);
+        }
+        for scale in ["tiny", "small", "medium", "paper"] {
+            assert!(parse_scale(scale).is_ok());
+        }
+        assert!(parse_policy("x").is_err());
+        assert!(parse_dataset("x").is_err());
+        assert!(parse_scale("x").is_err());
+    }
+
+    #[test]
+    fn stats_and_track_run_on_a_trace() {
+        let path = write_trace();
+        let out = run(&Command::Stats {
+            path: path.to_string_lossy().into_owned(),
+        })
+        .unwrap();
+        assert!(out.contains("#vertices      : 5"));
+        assert!(out.contains("#interactions  : 4"));
+
+        let out = run(&Command::Track {
+            path: path.to_string_lossy().into_owned(),
+            policy: SelectionPolicy::Fifo,
+            top: 10,
+        })
+        .unwrap();
+        assert!(out.contains("policy: FIFO"));
+        assert!(out.contains("carol"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn origins_query_now_and_in_the_past() {
+        let path = write_trace();
+        let path_str = path.to_string_lossy().into_owned();
+        let now = run(&Command::Origins {
+            path: path_str.clone(),
+            vertex: "carol".into(),
+            policy: SelectionPolicy::ProportionalSparse,
+            at: None,
+        })
+        .unwrap();
+        assert!(now.contains("provenance of carol"));
+        assert!(now.contains("exchange"));
+        assert!(now.contains("mallory"));
+
+        // Before mallory's transfer, carol's provenance has a single source.
+        let past = run(&Command::Origins {
+            path: path_str.clone(),
+            vertex: "carol".into(),
+            policy: SelectionPolicy::ProportionalSparse,
+            at: Some(3.5),
+        })
+        .unwrap();
+        assert!(past.contains("exchange"));
+        assert!(!past.contains("mallory"));
+
+        // Unknown vertex is a usage error.
+        assert!(run(&Command::Origins {
+            path: path_str,
+            vertex: "nobody".into(),
+            policy: SelectionPolicy::Fifo,
+            at: None,
+        })
+        .is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn snapshot_alerts_and_generate_write_outputs() {
+        let path = write_trace();
+        let path_str = path.to_string_lossy().into_owned();
+        let snap_path = temp_path("snap.tsv");
+        let out = run(&Command::Snapshot {
+            path: path_str.clone(),
+            policy: SelectionPolicy::Lifo,
+            out: snap_path.to_string_lossy().into_owned(),
+        })
+        .unwrap();
+        assert!(out.contains("wrote snapshot"));
+        let snapshot =
+            ProvenanceSnapshot::read_tsv(std::fs::File::open(&snap_path).unwrap()).unwrap();
+        assert_eq!(snapshot.num_vertices(), 5);
+        std::fs::remove_file(&snap_path).ok();
+
+        let out = run(&Command::Alerts {
+            path: path_str,
+            threshold: 20.0,
+        })
+        .unwrap();
+        assert!(out.contains("alerts over 4 interactions"));
+
+        let gen_path = temp_path("generated.csv");
+        let out = run(&Command::Generate {
+            kind: DatasetKind::Taxis,
+            scale: ScaleProfile::Tiny,
+            out: gen_path.to_string_lossy().into_owned(),
+        })
+        .unwrap();
+        assert!(out.contains("synthetic Taxis interactions"));
+        let reloaded = tin_datasets::io::read_csv_file(&gen_path).unwrap();
+        assert!(!reloaded.is_empty());
+        std::fs::remove_file(&gen_path).ok();
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn influence_and_similar_run_on_a_trace() {
+        let path = write_trace();
+        let path_str = path.to_string_lossy().into_owned();
+
+        // In the trace everything ultimately traces back to "exchange", so it
+        // must top the influence ranking and reach every downstream account.
+        let out = run(&Command::Influence {
+            path: path_str.clone(),
+            top: 3,
+        })
+        .unwrap();
+        assert!(out.contains("influence ranking"));
+        let exchange_line = out
+            .lines()
+            .find(|l| l.trim_start().starts_with("exchange"))
+            .expect("exchange appears in the ranking");
+        assert!(exchange_line.contains("reach 3 vertices"));
+
+        // Similarity mining runs and reports a clustering of the occupied
+        // vertices; with a permissive threshold at least one pair shows up.
+        let out = run(&Command::Similar {
+            path: path_str,
+            policy: SelectionPolicy::ProportionalSparse,
+            threshold: 0.0,
+            top: 10,
+        })
+        .unwrap();
+        assert!(out.contains("provenance-similarity mining"));
+        assert!(out.contains("clusters over"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_files_surface_io_errors() {
+        let err = run(&Command::Stats {
+            path: "/definitely/not/here.csv".into(),
+        })
+        .unwrap_err();
+        assert!(matches!(err, CliError::Tin(TinError::Io(_))));
+        assert!(err.to_string().contains("I/O"));
+        // Usage errors display their message.
+        let err = CliError::from("bad flag".to_string());
+        assert_eq!(err.to_string(), "bad flag");
+        assert_eq!(run(&Command::Help).unwrap(), USAGE);
+    }
+}

@@ -1,0 +1,29 @@
+//! `tin-cli` binary: thin wrapper around [`tin_cli::parse_args`] and
+//! [`tin_cli::run`]. See `tin-cli help` for usage.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match tin_cli::parse_args(&args) {
+        Ok(command) => command,
+        Err(message) => {
+            eprintln!("{message}");
+            eprintln!();
+            eprintln!("{}", tin_cli::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    match tin_cli::run(&command) {
+        Ok(output) => {
+            if !output.is_empty() {
+                println!("{output}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(error) => {
+            eprintln!("error: {error}");
+            ExitCode::FAILURE
+        }
+    }
+}

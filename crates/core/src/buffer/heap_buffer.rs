@@ -1,0 +1,389 @@
+//! Heap-organised buffers for the generation-time selection policies
+//! (Section 4.1, Algorithm 2).
+//!
+//! Each buffer holds provenance triples `(o, t, q)` in a binary heap keyed by
+//! birth time `t`. The *least-recently-born* (LRB) policy pops from a
+//! min-heap; the *most-recently-born* (MRB) policy pops from a max-heap.
+//! Selecting the quantity to transfer repeatedly pops (or splits) the top
+//! triple until the requested amount is reached, exactly as in Algorithm 2.
+
+use std::collections::BinaryHeap;
+
+use crate::buffer::Triple;
+use crate::ids::Timestamp;
+use crate::memory::{heap_bytes, MemoryFootprint};
+use crate::quantity::{qty_gt, qty_is_zero, Quantity};
+
+/// Whether the heap prioritises the oldest or the newest birth time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HeapKind {
+    /// Min-heap on birth time: transfer the *least recently born* quantities
+    /// first.
+    LeastRecentlyBorn,
+    /// Max-heap on birth time: transfer the *most recently born* quantities
+    /// first.
+    MostRecentlyBorn,
+}
+
+/// Internal heap entry. Ordering is by `key` (a birth time whose sign encodes
+/// the heap kind), with the insertion sequence number breaking ties so that
+/// behaviour is deterministic when several triples share a birth time.
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    /// Priority key: birth time for MRB, negated birth time for LRB
+    /// (std's `BinaryHeap` is a max-heap).
+    key: f64,
+    /// Insertion sequence number; *earlier* insertions win ties, so the tie
+    /// break is "first received first" under both kinds.
+    seq: u64,
+    triple: Triple,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Larger key wins; among equal keys, the smaller sequence number wins.
+        self.key
+            .total_cmp(&other.key)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A vertex buffer organised as a heap of provenance triples.
+#[derive(Clone, Debug)]
+pub struct HeapBuffer {
+    kind: HeapKind,
+    heap: BinaryHeap<Entry>,
+    total: Quantity,
+    next_seq: u64,
+}
+
+impl HeapBuffer {
+    /// Create an empty buffer of the given kind.
+    pub fn new(kind: HeapKind) -> Self {
+        HeapBuffer {
+            kind,
+            heap: BinaryHeap::new(),
+            total: 0.0,
+            next_seq: 0,
+        }
+    }
+
+    fn key_for(&self, birth: Timestamp) -> f64 {
+        match self.kind {
+            HeapKind::LeastRecentlyBorn => -birth.0,
+            HeapKind::MostRecentlyBorn => birth.0,
+        }
+    }
+
+    /// The buffer kind.
+    pub fn kind(&self) -> HeapKind {
+        self.kind
+    }
+
+    /// Total buffered quantity `|B_v|`.
+    #[inline]
+    pub fn total(&self) -> Quantity {
+        self.total
+    }
+
+    /// Number of triples currently stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no triples are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Add a triple to the buffer.
+    pub fn push(&mut self, triple: Triple) {
+        if qty_is_zero(triple.qty) {
+            return;
+        }
+        let key = self.key_for(triple.birth);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.total += triple.qty;
+        self.heap.push(Entry { key, seq, triple });
+    }
+
+    /// Peek at the triple that the policy would select next.
+    pub fn peek(&self) -> Option<&Triple> {
+        self.heap.peek().map(|e| &e.triple)
+    }
+
+    /// Select up to `amount` quantity from the buffer, invoking `sink` for
+    /// each transferred triple (whole or split fragment), in selection order.
+    ///
+    /// Returns the quantity actually taken, which is `min(amount, total)`.
+    /// This is the inner `while` loop of Algorithm 2 (lines 6–17).
+    pub fn take(&mut self, amount: Quantity, mut sink: impl FnMut(Triple)) -> Quantity {
+        let mut residue = amount;
+        let mut taken = 0.0;
+        while residue > 0.0 && !qty_is_zero(residue) && !self.heap.is_empty() {
+            // Inspect the top element.
+            let top_qty = self.heap.peek().map(|e| e.triple.qty).unwrap_or(0.0);
+            if qty_gt(top_qty, residue) {
+                // Split: a fragment of `residue` moves, the remainder stays.
+                let mut top = self
+                    .heap
+                    .peek_mut()
+                    .expect("heap is non-empty: peeked above");
+                top.triple.qty -= residue;
+                let fragment = Triple {
+                    origin: top.triple.origin,
+                    birth: top.triple.birth,
+                    qty: residue,
+                };
+                drop(top); // key unchanged, heap order preserved
+                self.total -= residue;
+                taken += residue;
+                sink(fragment);
+                residue = 0.0;
+            } else {
+                // Transfer the whole triple.
+                let entry = self.heap.pop().expect("heap is non-empty: peeked above");
+                self.total -= entry.triple.qty;
+                residue -= entry.triple.qty;
+                taken += entry.triple.qty;
+                sink(entry.triple);
+            }
+        }
+        if self.heap.is_empty() {
+            // Avoid drift: an emptied buffer holds exactly zero.
+            self.total = 0.0;
+        }
+        taken
+    }
+
+    /// Iterate over all stored triples in arbitrary (heap) order.
+    pub fn iter(&self) -> impl Iterator<Item = &Triple> {
+        self.heap.iter().map(|e| &e.triple)
+    }
+
+    /// Drain the buffer, returning all triples in selection order.
+    pub fn drain_in_order(&mut self) -> Vec<Triple> {
+        let mut out = Vec::with_capacity(self.heap.len());
+        while let Some(e) = self.heap.pop() {
+            out.push(e.triple);
+        }
+        self.total = 0.0;
+        out
+    }
+}
+
+impl MemoryFootprint for HeapBuffer {
+    fn footprint_bytes(&self) -> usize {
+        heap_bytes(&self.heap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::VertexId;
+    use crate::quantity::qty_approx_eq;
+
+    fn t(origin: u32, birth: f64, qty: f64) -> Triple {
+        Triple::new(origin, birth, qty)
+    }
+
+    #[test]
+    fn empty_buffer() {
+        let b = HeapBuffer::new(HeapKind::LeastRecentlyBorn);
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+        assert_eq!(b.total(), 0.0);
+        assert!(b.peek().is_none());
+        assert_eq!(b.kind(), HeapKind::LeastRecentlyBorn);
+    }
+
+    #[test]
+    fn push_accumulates_total() {
+        let mut b = HeapBuffer::new(HeapKind::LeastRecentlyBorn);
+        b.push(t(1, 1.0, 3.0));
+        b.push(t(2, 2.0, 4.0));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.total(), 7.0);
+    }
+
+    #[test]
+    fn push_ignores_zero_quantity() {
+        let mut b = HeapBuffer::new(HeapKind::LeastRecentlyBorn);
+        b.push(t(1, 1.0, 0.0));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn lrb_selects_oldest_first() {
+        let mut b = HeapBuffer::new(HeapKind::LeastRecentlyBorn);
+        b.push(t(1, 5.0, 1.0));
+        b.push(t(2, 1.0, 1.0));
+        b.push(t(3, 3.0, 1.0));
+        assert_eq!(b.peek().unwrap().birth, Timestamp::new(1.0));
+        let order = b.drain_in_order();
+        let births: Vec<f64> = order.iter().map(|x| x.birth.0).collect();
+        assert_eq!(births, vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn mrb_selects_newest_first() {
+        let mut b = HeapBuffer::new(HeapKind::MostRecentlyBorn);
+        b.push(t(1, 5.0, 1.0));
+        b.push(t(2, 1.0, 1.0));
+        b.push(t(3, 3.0, 1.0));
+        assert_eq!(b.peek().unwrap().birth, Timestamp::new(5.0));
+        let order = b.drain_in_order();
+        let births: Vec<f64> = order.iter().map(|x| x.birth.0).collect();
+        assert_eq!(births, vec![5.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn ties_broken_by_insertion_order() {
+        let mut b = HeapBuffer::new(HeapKind::LeastRecentlyBorn);
+        b.push(t(10, 2.0, 1.0));
+        b.push(t(20, 2.0, 1.0));
+        b.push(t(30, 2.0, 1.0));
+        let order = b.drain_in_order();
+        let origins: Vec<u32> = order.iter().map(|x| x.origin.raw()).collect();
+        assert_eq!(origins, vec![10, 20, 30]);
+
+        let mut b = HeapBuffer::new(HeapKind::MostRecentlyBorn);
+        b.push(t(10, 2.0, 1.0));
+        b.push(t(20, 2.0, 1.0));
+        let order = b.drain_in_order();
+        let origins: Vec<u32> = order.iter().map(|x| x.origin.raw()).collect();
+        assert_eq!(origins, vec![10, 20]);
+    }
+
+    #[test]
+    fn take_whole_elements() {
+        let mut b = HeapBuffer::new(HeapKind::LeastRecentlyBorn);
+        b.push(t(1, 1.0, 3.0));
+        b.push(t(2, 2.0, 2.0));
+        let mut moved = Vec::new();
+        let taken = b.take(5.0, |x| moved.push(x));
+        assert_eq!(taken, 5.0);
+        assert_eq!(moved.len(), 2);
+        assert!(b.is_empty());
+        assert_eq!(b.total(), 0.0);
+    }
+
+    #[test]
+    fn take_splits_last_element() {
+        let mut b = HeapBuffer::new(HeapKind::LeastRecentlyBorn);
+        b.push(t(1, 1.0, 3.0));
+        b.push(t(2, 2.0, 2.0));
+        let mut moved = Vec::new();
+        let taken = b.take(4.0, |x| moved.push(x));
+        assert_eq!(taken, 4.0);
+        // The time-1 triple moved whole (3.0), the time-2 triple split (1.0).
+        assert_eq!(moved.len(), 2);
+        assert_eq!(moved[0].qty, 3.0);
+        assert_eq!(moved[1].qty, 1.0);
+        assert_eq!(moved[1].origin, VertexId::new(2));
+        // Remainder stays with original origin/birth.
+        assert_eq!(b.len(), 1);
+        assert!(qty_approx_eq(b.total(), 1.0));
+        let rest = b.peek().unwrap();
+        assert_eq!(rest.origin, VertexId::new(2));
+        assert_eq!(rest.birth, Timestamp::new(2.0));
+        assert!(qty_approx_eq(rest.qty, 1.0));
+    }
+
+    #[test]
+    fn take_more_than_available_returns_total() {
+        let mut b = HeapBuffer::new(HeapKind::MostRecentlyBorn);
+        b.push(t(1, 1.0, 2.5));
+        let mut moved = Vec::new();
+        let taken = b.take(10.0, |x| moved.push(x));
+        assert_eq!(taken, 2.5);
+        assert!(b.is_empty());
+        assert_eq!(moved.len(), 1);
+    }
+
+    #[test]
+    fn take_zero_moves_nothing() {
+        let mut b = HeapBuffer::new(HeapKind::LeastRecentlyBorn);
+        b.push(t(1, 1.0, 2.0));
+        let mut calls = 0;
+        let taken = b.take(0.0, |_| calls += 1);
+        assert_eq!(taken, 0.0);
+        assert_eq!(calls, 0);
+        assert_eq!(b.total(), 2.0);
+    }
+
+    #[test]
+    fn take_exact_boundary_moves_whole_not_split() {
+        let mut b = HeapBuffer::new(HeapKind::LeastRecentlyBorn);
+        b.push(t(1, 1.0, 3.0));
+        let mut moved = Vec::new();
+        b.take(3.0, |x| moved.push(x));
+        assert_eq!(moved.len(), 1);
+        assert_eq!(moved[0].qty, 3.0);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn split_preserves_selection_order_afterwards() {
+        let mut b = HeapBuffer::new(HeapKind::LeastRecentlyBorn);
+        b.push(t(1, 1.0, 5.0));
+        b.push(t(2, 2.0, 5.0));
+        // Split the oldest.
+        b.take(2.0, |_| {});
+        // The (partially consumed) oldest triple must still be selected first.
+        assert_eq!(b.peek().unwrap().origin, VertexId::new(1));
+        assert!(qty_approx_eq(b.peek().unwrap().qty, 3.0));
+        assert!(qty_approx_eq(b.total(), 8.0));
+    }
+
+    #[test]
+    fn iter_visits_all_triples() {
+        let mut b = HeapBuffer::new(HeapKind::LeastRecentlyBorn);
+        b.push(t(1, 1.0, 1.0));
+        b.push(t(2, 2.0, 2.0));
+        let total: f64 = b.iter().map(|x| x.qty).sum();
+        assert_eq!(total, 3.0);
+    }
+
+    #[test]
+    fn footprint_grows_with_contents() {
+        let mut b = HeapBuffer::new(HeapKind::LeastRecentlyBorn);
+        let empty = b.footprint_bytes();
+        for i in 0..100 {
+            b.push(t(i, i as f64, 1.0));
+        }
+        assert!(b.footprint_bytes() > empty);
+        assert!(b.footprint_bytes() >= 100 * std::mem::size_of::<Triple>());
+    }
+
+    #[test]
+    fn fractional_take_sequence_conserves_total() {
+        let mut b = HeapBuffer::new(HeapKind::LeastRecentlyBorn);
+        for i in 0..10 {
+            b.push(t(i, i as f64, 1.0 / 3.0));
+        }
+        let before = b.total();
+        let mut moved_total = 0.0;
+        for _ in 0..7 {
+            moved_total += b.take(0.4, |_| {});
+        }
+        assert!(qty_approx_eq(before, moved_total + b.total()));
+    }
+}

@@ -1,0 +1,103 @@
+//! Vertex buffers `B_v` and the provenance elements they hold.
+//!
+//! Each vertex `v` has a buffer `B_v` accumulating the quantities that have
+//! flown into `v` and have not yet been relayed (Section 3). How the buffer is
+//! organised depends on the selection policy:
+//!
+//! * generation-time policies (Section 4.1) keep `(origin, birth-time,
+//!   quantity)` **triples** in a min- or max-heap keyed by birth time —
+//!   see [`heap_buffer::HeapBuffer`];
+//! * receipt-order policies (Section 4.2) keep `(origin, quantity)` **pairs**
+//!   in a FIFO queue or a LIFO stack — see [`queue_buffer::QueueBuffer`];
+//! * the proportional policy (Section 4.3) does not keep discrete elements at
+//!   all, only a provenance vector per vertex (see the `dense_vec` /
+//!   `sparse_vec` modules).
+
+pub mod heap_buffer;
+pub mod queue_buffer;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{Timestamp, VertexId};
+use crate::quantity::Quantity;
+
+/// A provenance **triple** `(o, t, q)`: quantity `q` born at vertex `o` at
+/// time `t` (Section 4.1).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Triple {
+    /// Origin vertex that generated the quantity.
+    pub origin: VertexId,
+    /// Birth time of the quantity.
+    pub birth: Timestamp,
+    /// The quantity itself.
+    pub qty: Quantity,
+}
+
+impl Triple {
+    /// Construct a triple.
+    pub fn new(origin: impl Into<VertexId>, birth: impl Into<Timestamp>, qty: Quantity) -> Self {
+        Triple {
+            origin: origin.into(),
+            birth: birth.into(),
+            qty,
+        }
+    }
+}
+
+/// A provenance **pair** `(o, q)`: quantity `q` born at vertex `o`
+/// (Section 4.2 — receipt-order policies do not need the birth time).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Pair {
+    /// Origin vertex that generated the quantity.
+    pub origin: VertexId,
+    /// The quantity itself.
+    pub qty: Quantity,
+}
+
+impl Pair {
+    /// Construct a pair.
+    pub fn new(origin: impl Into<VertexId>, qty: Quantity) -> Self {
+        Pair {
+            origin: origin.into(),
+            qty,
+        }
+    }
+}
+
+/// What a buffer hands back when asked to select quantity for a transfer:
+/// either a whole element was moved, or an element was split and a fragment
+/// of it moved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TakeOutcome {
+    /// The selected element was transferred entirely and removed from the
+    /// source buffer.
+    Whole,
+    /// The selected element was split: a fragment with the requested quantity
+    /// was produced and the remainder stays in the source buffer.
+    Split,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triple_construction() {
+        let t = Triple::new(1u32, 2.0, 3.0);
+        assert_eq!(t.origin, VertexId::new(1));
+        assert_eq!(t.birth, Timestamp::new(2.0));
+        assert_eq!(t.qty, 3.0);
+    }
+
+    #[test]
+    fn pair_construction() {
+        let p = Pair::new(4u32, 0.5);
+        assert_eq!(p.origin, VertexId::new(4));
+        assert_eq!(p.qty, 0.5);
+    }
+
+    #[test]
+    fn take_outcome_variants() {
+        assert_ne!(TakeOutcome::Whole, TakeOutcome::Split);
+    }
+}

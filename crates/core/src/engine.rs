@@ -1,0 +1,378 @@
+//! The streaming provenance engine.
+//!
+//! The trackers in [`crate::tracker`] are deliberately minimal: they assume a
+//! validated, time-ordered stream and panic-free inputs. Real deployments
+//! (Section 1: provenance is maintained "in real-time, as new interactions
+//! take place in a streaming fashion") need the glue around them:
+//!
+//! * input validation (ordering, vertex bounds, quantity sanity) with proper
+//!   errors instead of debug assertions,
+//! * flow accounting (how much quantity was relayed vs. newly generated —
+//!   the two cases of Algorithm 1),
+//! * periodic checkpoints of the provenance state (see [`crate::snapshot`]),
+//! * and throughput reporting for capacity planning.
+//!
+//! [`ProvenanceEngine`] packages all of that behind one streaming interface,
+//! and [`run_ensemble`] runs several policies side by side over the same
+//! stream — the shape of every experiment in Section 7.
+
+use std::time::Instant;
+
+use crate::error::{Result, TinError};
+use crate::ids::VertexId;
+use crate::interaction::Interaction;
+use crate::memory::FootprintBreakdown;
+use crate::origins::OriginSet;
+use crate::policy::PolicyConfig;
+use crate::quantity::Quantity;
+use crate::snapshot::ProvenanceSnapshot;
+use crate::stream::InteractionSource;
+use crate::tracker::{build_tracker, ProvenanceTracker};
+
+/// Flow accounting and performance figures for a finished (or in-progress)
+/// engine run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EngineReport {
+    /// Stable key of the policy configuration the engine ran.
+    pub policy: String,
+    /// Number of interactions processed.
+    pub interactions: usize,
+    /// Wall-clock seconds spent inside the tracker.
+    pub runtime_secs: f64,
+    /// Total quantity moved by all interactions (Σ r.q).
+    pub total_quantity: Quantity,
+    /// Quantity that was newly generated at source vertices
+    /// (the `r.q − |B_{r.s}|` case of Algorithm 1).
+    pub newborn_quantity: Quantity,
+    /// Quantity that was relayed out of existing buffers.
+    pub relayed_quantity: Quantity,
+    /// Logical provenance footprint at the end of the run.
+    pub footprint: FootprintBreakdown,
+    /// Number of checkpoints recorded during the run.
+    pub checkpoints_taken: usize,
+}
+
+impl EngineReport {
+    /// Interactions processed per second (0 if the run took no measurable
+    /// time).
+    pub fn throughput(&self) -> f64 {
+        if self.runtime_secs <= 0.0 {
+            0.0
+        } else {
+            self.interactions as f64 / self.runtime_secs
+        }
+    }
+
+    /// Fraction of the moved quantity that was newly generated rather than
+    /// relayed (1.0 when every interaction was paid out of fresh units).
+    pub fn newborn_fraction(&self) -> f64 {
+        if self.total_quantity <= 0.0 {
+            0.0
+        } else {
+            self.newborn_quantity / self.total_quantity
+        }
+    }
+}
+
+/// A validated, instrumented streaming front-end for one provenance tracker.
+pub struct ProvenanceEngine {
+    tracker: Box<dyn ProvenanceTracker>,
+    policy_key: String,
+    num_vertices: usize,
+    checkpoint_interval: Option<usize>,
+    checkpoints: Vec<ProvenanceSnapshot>,
+    last_time: Option<f64>,
+    processed: usize,
+    total_quantity: Quantity,
+    newborn_quantity: Quantity,
+    busy_secs: f64,
+}
+
+impl ProvenanceEngine {
+    /// Build an engine for a policy configuration over `num_vertices`
+    /// vertices.
+    ///
+    /// # Errors
+    /// Propagates [`TinError::InvalidConfig`] from the tracker factory.
+    pub fn new(config: &PolicyConfig, num_vertices: usize) -> Result<Self> {
+        let tracker = build_tracker(config, num_vertices)?;
+        Ok(ProvenanceEngine {
+            tracker,
+            policy_key: config.key(),
+            num_vertices,
+            checkpoint_interval: None,
+            checkpoints: Vec::new(),
+            last_time: None,
+            processed: 0,
+            total_quantity: 0.0,
+            newborn_quantity: 0.0,
+            busy_secs: 0.0,
+        })
+    }
+
+    /// Record a [`ProvenanceSnapshot`] every `interval` interactions.
+    ///
+    /// # Errors
+    /// Returns [`TinError::InvalidConfig`] if `interval` is zero.
+    pub fn with_checkpoints(mut self, interval: usize) -> Result<Self> {
+        if interval == 0 {
+            return Err(TinError::InvalidConfig(
+                "checkpoint interval must be positive".into(),
+            ));
+        }
+        self.checkpoint_interval = Some(interval);
+        Ok(self)
+    }
+
+    /// The wrapped tracker.
+    pub fn tracker(&self) -> &dyn ProvenanceTracker {
+        self.tracker.as_ref()
+    }
+
+    /// The stable key of the policy this engine runs.
+    pub fn policy_key(&self) -> &str {
+        &self.policy_key
+    }
+
+    /// Checkpoints recorded so far, oldest first.
+    pub fn checkpoints(&self) -> &[ProvenanceSnapshot] {
+        &self.checkpoints
+    }
+
+    /// Current provenance of the quantity buffered at `v`.
+    pub fn origins(&self, v: VertexId) -> OriginSet {
+        self.tracker.origins(v)
+    }
+
+    /// Current buffered quantity `|B_v|`.
+    pub fn buffered(&self, v: VertexId) -> Quantity {
+        self.tracker.buffered(v)
+    }
+
+    /// Validate and process one interaction.
+    ///
+    /// # Errors
+    /// * [`TinError::InvalidQuantity`] / [`TinError::InvalidTimestamp`] /
+    ///   [`TinError::SelfLoop`] for malformed interactions,
+    /// * [`TinError::UnknownVertex`] for endpoints outside the vertex set,
+    /// * [`TinError::OutOfOrder`] if time goes backwards.
+    pub fn process(&mut self, r: &Interaction) -> Result<()> {
+        r.validate(Some(self.processed))?;
+        for endpoint in [r.src, r.dst] {
+            if endpoint.index() >= self.num_vertices {
+                return Err(TinError::UnknownVertex {
+                    vertex: endpoint,
+                    num_vertices: self.num_vertices,
+                });
+            }
+        }
+        if let Some(prev) = self.last_time {
+            if r.time.0 < prev {
+                return Err(TinError::OutOfOrder {
+                    position: self.processed,
+                    previous: prev,
+                    current: r.time.0,
+                });
+            }
+        }
+
+        // Flow accounting (Algorithm 1): anything the source buffer cannot
+        // cover is newly generated at the source.
+        let available = self.tracker.buffered(r.src);
+        let newborn = (r.qty - available).max(0.0);
+        self.total_quantity += r.qty;
+        self.newborn_quantity += newborn;
+
+        let start = Instant::now();
+        self.tracker.process(r);
+        self.busy_secs += start.elapsed().as_secs_f64();
+
+        self.last_time = Some(r.time.0);
+        self.processed += 1;
+        if let Some(interval) = self.checkpoint_interval {
+            if self.processed.is_multiple_of(interval) {
+                self.checkpoints
+                    .push(ProvenanceSnapshot::capture(self.tracker.as_ref(), r.time.0));
+            }
+        }
+        Ok(())
+    }
+
+    /// Process every interaction of a slice, stopping at the first error.
+    pub fn process_all(&mut self, interactions: &[Interaction]) -> Result<()> {
+        for r in interactions {
+            self.process(r)?;
+        }
+        Ok(())
+    }
+
+    /// Drain an [`InteractionSource`], returning the final report.
+    pub fn run(&mut self, source: &mut dyn InteractionSource) -> Result<EngineReport> {
+        while let Some(r) = source.next_interaction()? {
+            self.process(&r)?;
+        }
+        Ok(self.report())
+    }
+
+    /// The report for everything processed so far.
+    pub fn report(&self) -> EngineReport {
+        EngineReport {
+            policy: self.policy_key.clone(),
+            interactions: self.processed,
+            runtime_secs: self.busy_secs,
+            total_quantity: self.total_quantity,
+            newborn_quantity: self.newborn_quantity,
+            relayed_quantity: self.total_quantity - self.newborn_quantity,
+            footprint: self.tracker.footprint(),
+            checkpoints_taken: self.checkpoints.len(),
+        }
+    }
+}
+
+impl std::fmt::Debug for ProvenanceEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProvenanceEngine")
+            .field("policy", &self.policy_key)
+            .field("num_vertices", &self.num_vertices)
+            .field("processed", &self.processed)
+            .field("checkpoints", &self.checkpoints.len())
+            .finish()
+    }
+}
+
+/// Run several policy configurations over the same interaction sequence and
+/// return one report per configuration, in input order. This is the shape of
+/// the paper's comparative experiments (Tables 7 and 8): same workload, one
+/// column per policy.
+pub fn run_ensemble(
+    configs: &[PolicyConfig],
+    num_vertices: usize,
+    interactions: &[Interaction],
+) -> Result<Vec<EngineReport>> {
+    let mut reports = Vec::with_capacity(configs.len());
+    for config in configs {
+        let mut engine = ProvenanceEngine::new(config, num_vertices)?;
+        engine.process_all(interactions)?;
+        reports.push(engine.report());
+    }
+    Ok(reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interaction::paper_running_example;
+    use crate::policy::SelectionPolicy;
+    use crate::quantity::qty_approx_eq;
+    use crate::stream::VecSource;
+
+    fn v(i: u32) -> VertexId {
+        VertexId::new(i)
+    }
+
+    fn fifo_config() -> PolicyConfig {
+        PolicyConfig::Plain(SelectionPolicy::Fifo)
+    }
+
+    #[test]
+    fn engine_runs_the_running_example() {
+        let mut engine = ProvenanceEngine::new(&fifo_config(), 3).unwrap();
+        let mut source = VecSource::new(paper_running_example());
+        let report = engine.run(&mut source).unwrap();
+        assert_eq!(report.interactions, 6);
+        assert_eq!(report.policy, "fifo");
+        assert!(report.runtime_secs >= 0.0);
+        // Σ r.q = 21; newborn = 3 (interaction 1) + 2 (interaction 2)
+        // + 4 (interaction 4) = 9; relayed = 12 (Table 2's parenthesised values).
+        assert!(qty_approx_eq(report.total_quantity, 21.0));
+        assert!(qty_approx_eq(report.newborn_quantity, 9.0));
+        assert!(qty_approx_eq(report.relayed_quantity, 12.0));
+        assert!((report.newborn_fraction() - 9.0 / 21.0).abs() < 1e-9);
+        assert!(report.footprint.total() > 0);
+        // Buffered totals match Table 2's final row.
+        assert!(qty_approx_eq(engine.buffered(v(0)), 3.0));
+        assert!(qty_approx_eq(engine.buffered(v(1)), 2.0));
+        assert!(qty_approx_eq(engine.buffered(v(2)), 4.0));
+        assert_eq!(engine.origins(v(0)).total(), engine.buffered(v(0)));
+        assert_eq!(engine.policy_key(), "fifo");
+        assert_eq!(engine.tracker().name(), "FIFO");
+        assert!(format!("{engine:?}").contains("fifo"));
+    }
+
+    #[test]
+    fn engine_rejects_malformed_input() {
+        let mut engine = ProvenanceEngine::new(&fifo_config(), 3).unwrap();
+        // Self-loop.
+        let err = engine.process(&Interaction::new(1u32, 1u32, 1.0, 2.0)).unwrap_err();
+        assert!(matches!(err, TinError::SelfLoop { .. }));
+        // Non-positive quantity.
+        let err = engine.process(&Interaction::new(0u32, 1u32, 1.0, 0.0)).unwrap_err();
+        assert!(matches!(err, TinError::InvalidQuantity { .. }));
+        // Unknown vertex.
+        let err = engine.process(&Interaction::new(0u32, 9u32, 1.0, 2.0)).unwrap_err();
+        assert!(matches!(err, TinError::UnknownVertex { .. }));
+        // Out of order.
+        engine.process(&Interaction::new(0u32, 1u32, 5.0, 2.0)).unwrap();
+        let err = engine.process(&Interaction::new(0u32, 1u32, 4.0, 2.0)).unwrap_err();
+        assert!(matches!(err, TinError::OutOfOrder { .. }));
+        // Equal timestamps are fine.
+        engine.process(&Interaction::new(1u32, 2u32, 5.0, 1.0)).unwrap();
+    }
+
+    #[test]
+    fn engine_checkpoints_periodically() {
+        let mut engine = ProvenanceEngine::new(&fifo_config(), 3)
+            .unwrap()
+            .with_checkpoints(2)
+            .unwrap();
+        engine.process_all(&paper_running_example()).unwrap();
+        let report = engine.report();
+        assert_eq!(report.checkpoints_taken, 3);
+        assert_eq!(engine.checkpoints().len(), 3);
+        assert_eq!(engine.checkpoints()[0].interactions_processed, 2);
+        assert_eq!(engine.checkpoints()[2].time, 8.0);
+        // Zero interval is rejected.
+        assert!(ProvenanceEngine::new(&fifo_config(), 3)
+            .unwrap()
+            .with_checkpoints(0)
+            .is_err());
+    }
+
+    #[test]
+    fn engine_propagates_factory_errors() {
+        let bad = PolicyConfig::Selective { tracked: vec![] };
+        assert!(ProvenanceEngine::new(&bad, 3).is_err());
+    }
+
+    #[test]
+    fn ensemble_compares_policies_on_the_same_stream() {
+        let configs = vec![
+            PolicyConfig::Plain(SelectionPolicy::NoProvenance),
+            PolicyConfig::Plain(SelectionPolicy::Fifo),
+            PolicyConfig::Plain(SelectionPolicy::ProportionalDense),
+        ];
+        let reports = run_ensemble(&configs, 3, &paper_running_example()).unwrap();
+        assert_eq!(reports.len(), 3);
+        // Flow accounting is policy-independent: every policy moves the same
+        // quantity and generates the same newborn quantity.
+        for report in &reports {
+            assert_eq!(report.interactions, 6);
+            assert!(qty_approx_eq(report.total_quantity, 21.0));
+            assert!(qty_approx_eq(report.newborn_quantity, 9.0));
+        }
+        assert_eq!(reports[0].policy, "noprov");
+        assert_eq!(reports[2].policy, "prop_dense");
+        // An invalid member aborts the whole ensemble.
+        let bad = vec![PolicyConfig::Windowed { window: 0 }];
+        assert!(run_ensemble(&bad, 3, &paper_running_example()).is_err());
+    }
+
+    #[test]
+    fn throughput_is_zero_for_empty_runs() {
+        let engine = ProvenanceEngine::new(&fifo_config(), 3).unwrap();
+        let report = engine.report();
+        assert_eq!(report.interactions, 0);
+        assert_eq!(report.throughput(), 0.0);
+        assert_eq!(report.newborn_fraction(), 0.0);
+    }
+}

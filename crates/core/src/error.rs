@@ -1,0 +1,182 @@
+//! Error types for the TIN provenance library.
+
+use std::fmt;
+
+use crate::ids::VertexId;
+
+/// Errors raised while building or processing a temporal interaction network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TinError {
+    /// An interaction carried a non-positive or non-finite quantity.
+    InvalidQuantity {
+        /// The offending quantity value.
+        quantity: f64,
+        /// Index of the interaction in the stream, if known.
+        position: Option<usize>,
+    },
+    /// An interaction carried a negative or non-finite timestamp.
+    InvalidTimestamp {
+        /// The offending timestamp value.
+        timestamp: f64,
+        /// Index of the interaction in the stream, if known.
+        position: Option<usize>,
+    },
+    /// An interaction referenced a vertex outside the declared vertex set.
+    UnknownVertex {
+        /// The unknown vertex.
+        vertex: VertexId,
+        /// Number of vertices the tracker was configured with.
+        num_vertices: usize,
+    },
+    /// A self-loop interaction (`r.s == r.d`) was encountered and the
+    /// configuration forbids them.
+    SelfLoop {
+        /// The vertex interacting with itself.
+        vertex: VertexId,
+        /// Index of the interaction in the stream, if known.
+        position: Option<usize>,
+    },
+    /// The interaction stream was not sorted by time and strict ordering was
+    /// requested.
+    OutOfOrder {
+        /// Index of the interaction that went back in time.
+        position: usize,
+        /// Timestamp of the previous interaction.
+        previous: f64,
+        /// Timestamp of the offending interaction.
+        current: f64,
+    },
+    /// A parse error while reading interactions from a text format.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Configuration error (e.g. zero groups, empty tracked set, zero budget).
+    InvalidConfig(String),
+    /// An I/O error, stringified to keep the error type `Clone + PartialEq`.
+    Io(String),
+}
+
+impl fmt::Display for TinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TinError::InvalidQuantity { quantity, position } => match position {
+                Some(p) => write!(f, "interaction #{p}: invalid quantity {quantity}"),
+                None => write!(f, "invalid quantity {quantity}"),
+            },
+            TinError::InvalidTimestamp {
+                timestamp,
+                position,
+            } => match position {
+                Some(p) => write!(f, "interaction #{p}: invalid timestamp {timestamp}"),
+                None => write!(f, "invalid timestamp {timestamp}"),
+            },
+            TinError::UnknownVertex {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "vertex {vertex} is outside the declared vertex set of size {num_vertices}"
+            ),
+            TinError::SelfLoop { vertex, position } => match position {
+                Some(p) => write!(f, "interaction #{p}: self-loop at {vertex}"),
+                None => write!(f, "self-loop at {vertex}"),
+            },
+            TinError::OutOfOrder {
+                position,
+                previous,
+                current,
+            } => write!(
+                f,
+                "interaction #{position} is out of order: time {current} < previous {previous}"
+            ),
+            TinError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            TinError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            TinError::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TinError {}
+
+impl From<std::io::Error> for TinError {
+    fn from(e: std::io::Error) -> Self {
+        TinError::Io(e.to_string())
+    }
+}
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, TinError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_invalid_quantity() {
+        let e = TinError::InvalidQuantity {
+            quantity: -3.0,
+            position: Some(7),
+        };
+        assert_eq!(e.to_string(), "interaction #7: invalid quantity -3");
+        let e = TinError::InvalidQuantity {
+            quantity: 0.0,
+            position: None,
+        };
+        assert_eq!(e.to_string(), "invalid quantity 0");
+    }
+
+    #[test]
+    fn display_unknown_vertex() {
+        let e = TinError::UnknownVertex {
+            vertex: VertexId::new(10),
+            num_vertices: 5,
+        };
+        assert!(e.to_string().contains("v10"));
+        assert!(e.to_string().contains("size 5"));
+    }
+
+    #[test]
+    fn display_out_of_order() {
+        let e = TinError::OutOfOrder {
+            position: 3,
+            previous: 5.0,
+            current: 4.0,
+        };
+        assert!(e.to_string().contains("#3"));
+        assert!(e.to_string().contains("out of order"));
+    }
+
+    #[test]
+    fn display_self_loop_and_parse_and_config() {
+        let e = TinError::SelfLoop {
+            vertex: VertexId::new(2),
+            position: Some(1),
+        };
+        assert!(e.to_string().contains("self-loop"));
+        let e = TinError::Parse {
+            line: 12,
+            message: "expected 4 fields".into(),
+        };
+        assert!(e.to_string().contains("line 12"));
+        let e = TinError::InvalidConfig("k must be positive".into());
+        assert!(e.to_string().contains("k must be positive"));
+    }
+
+    #[test]
+    fn io_error_conversion() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing file");
+        let e: TinError = io.into();
+        assert!(matches!(e, TinError::Io(_)));
+        assert!(e.to_string().contains("missing file"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        let e = TinError::InvalidConfig("x".into());
+        takes_err(&e);
+    }
+}

@@ -1,0 +1,112 @@
+//! Logical memory accounting.
+//!
+//! The paper's Tables 8 and 10 and Figures 5–8 report the *memory
+//! requirements* of each provenance mechanism. Besides the allocator-level
+//! peak tracking provided by the `tin-memstats` crate, every tracker exposes a
+//! logical footprint through [`MemoryFootprint`]: the number of bytes needed
+//! to store its provenance state (buffers, provenance vectors/lists, paths),
+//! independent of allocator overhead. The experiment harness reports both.
+
+/// Types that can report the number of heap bytes their provenance state
+/// occupies.
+pub trait MemoryFootprint {
+    /// Bytes of provenance state currently held (entries, vectors, lists,
+    /// paths), excluding the object's own inline size.
+    fn footprint_bytes(&self) -> usize;
+}
+
+/// Detailed breakdown of a tracker's memory footprint, used by the harness to
+/// reproduce Table 10's split between "mem entries" and "mem paths".
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FootprintBreakdown {
+    /// Bytes used by provenance entries (triples, pairs, vector slots).
+    pub entries_bytes: usize,
+    /// Bytes used by transfer paths (how-provenance, Section 6).
+    pub paths_bytes: usize,
+    /// Bytes used by auxiliary indexes (heaps, maps, group tables).
+    pub index_bytes: usize,
+}
+
+impl FootprintBreakdown {
+    /// Total bytes across all components.
+    pub fn total(&self) -> usize {
+        self.entries_bytes + self.paths_bytes + self.index_bytes
+    }
+}
+
+/// Helper: bytes of the spine + elements of a `Vec<T>` (capacity-based, since
+/// capacity is what the allocator actually reserved).
+pub fn vec_bytes<T>(v: &Vec<T>) -> usize {
+    v.capacity() * std::mem::size_of::<T>()
+}
+
+/// Helper: bytes of a `VecDeque<T>`'s ring buffer.
+pub fn deque_bytes<T>(v: &std::collections::VecDeque<T>) -> usize {
+    v.capacity() * std::mem::size_of::<T>()
+}
+
+/// Helper: approximate bytes of a `BinaryHeap<T>`.
+pub fn heap_bytes<T>(h: &std::collections::BinaryHeap<T>) -> usize {
+    h.capacity() * std::mem::size_of::<T>()
+}
+
+/// Format a byte count the way the paper's tables do (KB / MB / GB).
+pub fn format_bytes(bytes: usize) -> String {
+    const KB: f64 = 1024.0;
+    const MB: f64 = 1024.0 * 1024.0;
+    const GB: f64 = 1024.0 * 1024.0 * 1024.0;
+    let b = bytes as f64;
+    if b >= GB {
+        format!("{:.2}GB", b / GB)
+    } else if b >= MB {
+        format!("{:.2}MB", b / MB)
+    } else if b >= KB {
+        format!("{:.2}KB", b / KB)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{BinaryHeap, VecDeque};
+
+    #[test]
+    fn breakdown_total() {
+        let b = FootprintBreakdown {
+            entries_bytes: 10,
+            paths_bytes: 20,
+            index_bytes: 5,
+        };
+        assert_eq!(b.total(), 35);
+        assert_eq!(FootprintBreakdown::default().total(), 0);
+    }
+
+    #[test]
+    fn vec_bytes_uses_capacity() {
+        let mut v: Vec<u64> = Vec::with_capacity(16);
+        v.push(1);
+        assert_eq!(vec_bytes(&v), 16 * 8);
+        let empty: Vec<u64> = Vec::new();
+        assert_eq!(vec_bytes(&empty), 0);
+    }
+
+    #[test]
+    fn deque_and_heap_bytes() {
+        let mut d: VecDeque<u32> = VecDeque::with_capacity(8);
+        d.push_back(1);
+        assert!(deque_bytes(&d) >= 8 * 4);
+        let mut h: BinaryHeap<u16> = BinaryHeap::with_capacity(4);
+        h.push(3);
+        assert!(heap_bytes(&h) >= 4 * 2);
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(format_bytes(512), "512B");
+        assert_eq!(format_bytes(2048), "2.00KB");
+        assert_eq!(format_bytes(5 * 1024 * 1024), "5.00MB");
+        assert_eq!(format_bytes(3 * 1024 * 1024 * 1024), "3.00GB");
+    }
+}

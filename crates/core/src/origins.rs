@@ -1,0 +1,293 @@
+//! Provenance query results: the origin sets `O(t, B_v)` of Definition 2.
+//!
+//! A provenance query at a vertex `v` returns a set of `(origin, quantity)`
+//! tuples whose quantities sum to the buffered quantity `|B_v|`. All trackers
+//! produce their answers as an [`OriginSet`], regardless of the internal
+//! representation (heaps, queues, dense or sparse vectors).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{Origin, VertexId};
+use crate::quantity::{qty_approx_eq, qty_is_zero, qty_sum, Quantity};
+
+/// One `(τ.o, τ.q)` tuple of Definition 2: quantity `quantity` buffered at the
+/// queried vertex originates from `origin`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OriginShare {
+    /// The origin (a vertex, a group, the untracked bucket, or α).
+    pub origin: Origin,
+    /// The buffered quantity that originates from `origin`.
+    pub quantity: Quantity,
+}
+
+impl OriginShare {
+    /// Construct an origin share.
+    pub fn new(origin: impl Into<Origin>, quantity: Quantity) -> Self {
+        OriginShare {
+            origin: origin.into(),
+            quantity,
+        }
+    }
+}
+
+/// The answer to a provenance query `O(t, B_v)`: the decomposition of the
+/// buffered quantity of a vertex by origin.
+///
+/// Origins are aggregated (one entry per distinct origin) and sorted by
+/// descending quantity, breaking ties by origin id, so results are
+/// deterministic and directly usable for reporting.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct OriginSet {
+    shares: Vec<OriginShare>,
+}
+
+impl OriginSet {
+    /// Create an empty origin set (empty buffer).
+    pub fn empty() -> Self {
+        OriginSet { shares: Vec::new() }
+    }
+
+    /// Build an origin set from raw `(origin, quantity)` pairs.
+    ///
+    /// Pairs with (approximately) zero quantity are dropped, repeated origins
+    /// are merged, and the result is sorted by descending quantity.
+    pub fn from_pairs<I>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (Origin, Quantity)>,
+    {
+        let mut agg: BTreeMap<Origin, Quantity> = BTreeMap::new();
+        for (o, q) in pairs {
+            if qty_is_zero(q) {
+                continue;
+            }
+            *agg.entry(o).or_insert(0.0) += q;
+        }
+        let mut shares: Vec<OriginShare> = agg
+            .into_iter()
+            .filter(|(_, q)| !qty_is_zero(*q))
+            .map(|(origin, quantity)| OriginShare { origin, quantity })
+            .collect();
+        shares.sort_by(|a, b| {
+            b.quantity
+                .total_cmp(&a.quantity)
+                .then_with(|| a.origin.cmp(&b.origin))
+        });
+        OriginSet { shares }
+    }
+
+    /// Build an origin set where every origin is a concrete vertex.
+    pub fn from_vertex_pairs<I>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (VertexId, Quantity)>,
+    {
+        Self::from_pairs(pairs.into_iter().map(|(v, q)| (Origin::Vertex(v), q)))
+    }
+
+    /// The shares, sorted by descending quantity.
+    pub fn shares(&self) -> &[OriginShare] {
+        &self.shares
+    }
+
+    /// Number of distinct origins.
+    pub fn len(&self) -> usize {
+        self.shares.len()
+    }
+
+    /// True if the buffer is empty (no origins).
+    pub fn is_empty(&self) -> bool {
+        self.shares.is_empty()
+    }
+
+    /// Total buffered quantity Σ τ.q — equals `|B_v|` (Definition 2).
+    pub fn total(&self) -> Quantity {
+        qty_sum(self.shares.iter().map(|s| s.quantity))
+    }
+
+    /// Quantity originating from a specific origin (0 if absent).
+    pub fn quantity_from(&self, origin: Origin) -> Quantity {
+        self.shares
+            .iter()
+            .filter(|s| s.origin == origin)
+            .map(|s| s.quantity)
+            .sum()
+    }
+
+    /// Quantity originating from a specific vertex (0 if absent).
+    pub fn quantity_from_vertex(&self, v: VertexId) -> Quantity {
+        self.quantity_from(Origin::Vertex(v))
+    }
+
+    /// The `k` largest shares.
+    pub fn top_k(&self, k: usize) -> &[OriginShare] {
+        &self.shares[..k.min(self.shares.len())]
+    }
+
+    /// Number of distinct *concrete vertex* origins (excludes α, groups and
+    /// the untracked bucket). Used by the Figure 9 alerting use case, which
+    /// reports "obtained X BTC from N vertices".
+    pub fn num_contributing_vertices(&self) -> usize {
+        self.shares
+            .iter()
+            .filter(|s| matches!(s.origin, Origin::Vertex(_)))
+            .count()
+    }
+
+    /// Quantity whose origin is unknown (attributed to the artificial vertex
+    /// α by windowing/budget techniques) or aggregated (untracked bucket).
+    pub fn aggregate_quantity(&self) -> Quantity {
+        self.shares
+            .iter()
+            .filter(|s| s.origin.is_aggregate())
+            .map(|s| s.quantity)
+            .sum()
+    }
+
+    /// Fraction of the buffered quantity whose concrete origin vertex is known.
+    /// Returns 1.0 for an empty buffer.
+    pub fn known_fraction(&self) -> f64 {
+        let total = self.total();
+        if qty_is_zero(total) {
+            return 1.0;
+        }
+        1.0 - self.aggregate_quantity() / total
+    }
+
+    /// Check two origin sets for approximate equality (same origins, same
+    /// quantities within the library tolerance). Used heavily in tests.
+    pub fn approx_eq(&self, other: &OriginSet) -> bool {
+        if self.shares.len() != other.shares.len() {
+            return false;
+        }
+        // Compare as maps: ordering can differ when quantities are nearly tied.
+        for share in &self.shares {
+            if !qty_approx_eq(share.quantity, other.quantity_from(share.origin)) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Iterate over `(origin, quantity)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Origin, Quantity)> + '_ {
+        self.shares.iter().map(|s| (s.origin, s.quantity))
+    }
+}
+
+impl FromIterator<(Origin, Quantity)> for OriginSet {
+    fn from_iter<T: IntoIterator<Item = (Origin, Quantity)>>(iter: T) -> Self {
+        OriginSet::from_pairs(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::GroupId;
+
+    fn v(i: u32) -> Origin {
+        Origin::Vertex(VertexId::new(i))
+    }
+
+    #[test]
+    fn empty_set() {
+        let s = OriginSet::empty();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.total(), 0.0);
+        assert_eq!(s.known_fraction(), 1.0);
+    }
+
+    #[test]
+    fn from_pairs_merges_and_sorts() {
+        let s = OriginSet::from_pairs(vec![(v(1), 2.0), (v(2), 5.0), (v(1), 1.0)]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.shares()[0].origin, v(2));
+        assert_eq!(s.shares()[0].quantity, 5.0);
+        assert_eq!(s.quantity_from(v(1)), 3.0);
+        assert_eq!(s.total(), 8.0);
+    }
+
+    #[test]
+    fn from_pairs_drops_zero_quantities() {
+        let s = OriginSet::from_pairs(vec![(v(1), 0.0), (v(2), 1e-9), (v(3), 4.0)]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.quantity_from(v(3)), 4.0);
+    }
+
+    #[test]
+    fn from_pairs_drops_cancelled_origins() {
+        // Positive and negative contributions that cancel out disappear.
+        let s = OriginSet::from_pairs(vec![(v(1), 2.0), (v(1), -2.0), (v(2), 1.0)]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.quantity_from(v(2)), 1.0);
+    }
+
+    #[test]
+    fn from_vertex_pairs() {
+        let s = OriginSet::from_vertex_pairs(vec![(VertexId::new(0), 1.5)]);
+        assert_eq!(s.quantity_from_vertex(VertexId::new(0)), 1.5);
+        assert_eq!(s.quantity_from_vertex(VertexId::new(1)), 0.0);
+    }
+
+    #[test]
+    fn top_k_and_counts() {
+        let s = OriginSet::from_pairs(vec![
+            (v(1), 5.0),
+            (v(2), 3.0),
+            (Origin::Unknown, 2.0),
+            (v(3), 1.0),
+        ]);
+        assert_eq!(s.top_k(2).len(), 2);
+        assert_eq!(s.top_k(2)[0].quantity, 5.0);
+        assert_eq!(s.top_k(99).len(), 4);
+        assert_eq!(s.num_contributing_vertices(), 3);
+        assert_eq!(s.aggregate_quantity(), 2.0);
+        assert!((s.known_fraction() - 9.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_kinds_counted() {
+        let s = OriginSet::from_pairs(vec![
+            (Origin::Untracked, 1.0),
+            (Origin::Group(GroupId::new(0)), 2.0),
+            (v(1), 3.0),
+        ]);
+        assert_eq!(s.aggregate_quantity(), 3.0);
+        assert_eq!(s.num_contributing_vertices(), 1);
+    }
+
+    #[test]
+    fn approx_eq_tolerates_rounding() {
+        let a = OriginSet::from_pairs(vec![(v(1), 1.0), (v(2), 2.0)]);
+        let b = OriginSet::from_pairs(vec![(v(2), 2.0 + 1e-10), (v(1), 1.0)]);
+        assert!(a.approx_eq(&b));
+        let c = OriginSet::from_pairs(vec![(v(1), 1.1), (v(2), 2.0)]);
+        assert!(!a.approx_eq(&c));
+        let d = OriginSet::from_pairs(vec![(v(1), 1.0)]);
+        assert!(!a.approx_eq(&d));
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        let s = OriginSet::from_pairs(vec![(v(5), 2.0), (v(1), 2.0)]);
+        assert_eq!(s.shares()[0].origin, v(1));
+        assert_eq!(s.shares()[1].origin, v(5));
+    }
+
+    #[test]
+    fn from_iterator_and_iter() {
+        let s: OriginSet = vec![(v(1), 1.0), (v(2), 2.0)].into_iter().collect();
+        let pairs: Vec<_> = s.iter().collect();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0], (v(2), 2.0));
+    }
+
+    #[test]
+    fn origin_share_constructor() {
+        let share = OriginShare::new(VertexId::new(3), 4.0);
+        assert_eq!(share.origin, v(3));
+        assert_eq!(share.quantity, 4.0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Selection policies and tracker configuration.
+//!
+//! When an interaction transfers less than the buffered quantity at its
+//! source (`|B_{r.s}| > r.q`), the *selection policy* decides which buffered
+//! quantities are relayed (Section 4). The policy determines the provenance of
+//! everything downstream, so each policy comes with its own tracking
+//! mechanism; [`PolicyConfig`] is the declarative description that the
+//! [`crate::tracker::build_tracker`] factory turns into a concrete tracker.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::VertexId;
+
+/// The selection policies defined in Section 4 of the paper, plus the
+/// provenance-free baseline of Algorithm 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SelectionPolicy {
+    /// Algorithm 1: propagate quantities without tracking provenance.
+    NoProvenance,
+    /// Section 4.1: transfer the least recently born quantities first.
+    LeastRecentlyBorn,
+    /// Section 4.1: transfer the most recently born quantities first.
+    MostRecentlyBorn,
+    /// Section 4.2: transfer in order of receipt (first in, first out).
+    Fifo,
+    /// Section 4.2: transfer in reverse order of receipt (last in, first out).
+    Lifo,
+    /// Section 4.3: transfer proportionally to each origin's contribution,
+    /// dense `|V|`-length provenance vectors.
+    ProportionalDense,
+    /// Section 4.3: proportional transfer with sparse list representations.
+    ProportionalSparse,
+}
+
+impl SelectionPolicy {
+    /// Short, stable identifier used in benchmark output and CSV files.
+    pub fn key(&self) -> &'static str {
+        match self {
+            SelectionPolicy::NoProvenance => "noprov",
+            SelectionPolicy::LeastRecentlyBorn => "lrb",
+            SelectionPolicy::MostRecentlyBorn => "mrb",
+            SelectionPolicy::Fifo => "fifo",
+            SelectionPolicy::Lifo => "lifo",
+            SelectionPolicy::ProportionalDense => "prop_dense",
+            SelectionPolicy::ProportionalSparse => "prop_sparse",
+        }
+    }
+
+    /// Human-readable name, matching the column headers of Tables 7 and 8.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SelectionPolicy::NoProvenance => "No Provenance",
+            SelectionPolicy::LeastRecentlyBorn => "Least Recently Born",
+            SelectionPolicy::MostRecentlyBorn => "Most Recently Born",
+            SelectionPolicy::Fifo => "FIFO",
+            SelectionPolicy::Lifo => "LIFO",
+            SelectionPolicy::ProportionalDense => "Proportional (dense)",
+            SelectionPolicy::ProportionalSparse => "Proportional (sparse)",
+        }
+    }
+
+    /// All policies, in the column order of Tables 7 and 8.
+    pub fn all() -> [SelectionPolicy; 7] {
+        [
+            SelectionPolicy::NoProvenance,
+            SelectionPolicy::LeastRecentlyBorn,
+            SelectionPolicy::MostRecentlyBorn,
+            SelectionPolicy::Lifo,
+            SelectionPolicy::Fifo,
+            SelectionPolicy::ProportionalDense,
+            SelectionPolicy::ProportionalSparse,
+        ]
+    }
+}
+
+impl std::fmt::Display for SelectionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Which entries a budget-constrained vertex keeps when its provenance list
+/// exceeds the budget (Section 5.3.2: "the selection of entries to keep ...
+/// can be done using different criteria").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ShrinkCriterion {
+    /// Keep the entries with the largest quantities (the paper's running
+    /// example and our default).
+    #[default]
+    KeepLargest,
+    /// Keep the entries whose origins appear in a caller-supplied priority
+    /// set ("set a priority/importance order to vertices").
+    KeepImportant,
+}
+
+/// Full tracker configuration: a base policy plus the optional
+/// scalability technique of Section 5 applied on top of proportional
+/// selection.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum PolicyConfig {
+    /// One of the plain policies of Section 4 (and Algorithm 1).
+    Plain(SelectionPolicy),
+    /// Selective proportional provenance (Section 5.1): track only the given
+    /// vertices; everything else is attributed to a single "other" slot.
+    Selective {
+        /// The k vertices of interest.
+        tracked: Vec<VertexId>,
+    },
+    /// Grouped proportional provenance (Section 5.2): track provenance from
+    /// groups of vertices. `group_of[v]` maps each vertex to its group index
+    /// in `0..num_groups`.
+    Grouped {
+        /// Number of groups m.
+        num_groups: usize,
+        /// Mapping from vertex index to group index.
+        group_of: Vec<u32>,
+    },
+    /// Windowed proportional provenance (Section 5.3.1) over sparse lists.
+    Windowed {
+        /// Window length W in number of interactions.
+        window: usize,
+    },
+    /// Time-based windowed proportional provenance: like [`Self::Windowed`],
+    /// but the window is a duration in the timestamp unit of the stream
+    /// rather than an interaction count.
+    TimeWindowed {
+        /// Window duration D in time units.
+        duration: f64,
+    },
+    /// Budget-based proportional provenance (Section 5.3.2) over sparse lists.
+    Budgeted {
+        /// Maximum number of provenance entries per vertex (budget C).
+        capacity: usize,
+        /// Fraction f of the budget kept after a shrink (0 < f ≤ 1).
+        keep_fraction: f64,
+        /// Criterion used to choose which entries survive a shrink.
+        criterion: ShrinkCriterion,
+        /// Origins considered important under [`ShrinkCriterion::KeepImportant`].
+        important: Vec<VertexId>,
+    },
+    /// Path tracking (how-provenance, Section 6) on top of a receipt-order
+    /// policy. `lifo = true` reproduces the paper's Table 10 configuration.
+    PathTracking {
+        /// Use LIFO (true) or FIFO (false) as the underlying policy.
+        lifo: bool,
+    },
+    /// Path tracking (how-provenance, Section 6) on top of a generation-time
+    /// policy (Section 4.1).
+    GenerationPaths {
+        /// Use most-recently-born (true) or least-recently-born (false) as the
+        /// underlying policy.
+        most_recent: bool,
+    },
+}
+
+impl PolicyConfig {
+    /// Short, stable identifier used in benchmark output.
+    pub fn key(&self) -> String {
+        match self {
+            PolicyConfig::Plain(p) => p.key().to_string(),
+            PolicyConfig::Selective { tracked } => format!("selective_k{}", tracked.len()),
+            PolicyConfig::Grouped { num_groups, .. } => format!("grouped_m{num_groups}"),
+            PolicyConfig::Windowed { window } => format!("windowed_w{window}"),
+            PolicyConfig::TimeWindowed { duration } => format!("timewindowed_d{duration}"),
+            PolicyConfig::Budgeted { capacity, .. } => format!("budget_c{capacity}"),
+            PolicyConfig::PathTracking { lifo } => {
+                format!("paths_{}", if *lifo { "lifo" } else { "fifo" })
+            }
+            PolicyConfig::GenerationPaths { most_recent } => {
+                format!("paths_{}", if *most_recent { "mrb" } else { "lrb" })
+            }
+        }
+    }
+
+    /// Default budget configuration used by the paper's experiments
+    /// (keep-largest, f = 0.7 — the paper suggests f between 0.6 and 0.8).
+    pub fn budget(capacity: usize) -> Self {
+        PolicyConfig::Budgeted {
+            capacity,
+            keep_fraction: 0.7,
+            criterion: ShrinkCriterion::KeepLargest,
+            important: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_keys_are_unique() {
+        let keys: std::collections::HashSet<&str> =
+            SelectionPolicy::all().iter().map(|p| p.key()).collect();
+        assert_eq!(keys.len(), SelectionPolicy::all().len());
+    }
+
+    #[test]
+    fn policy_labels_match_paper_headers() {
+        assert_eq!(SelectionPolicy::NoProvenance.label(), "No Provenance");
+        assert_eq!(
+            SelectionPolicy::ProportionalDense.label(),
+            "Proportional (dense)"
+        );
+        assert_eq!(SelectionPolicy::Lifo.to_string(), "LIFO");
+    }
+
+    #[test]
+    fn config_keys() {
+        assert_eq!(
+            PolicyConfig::Plain(SelectionPolicy::Fifo).key(),
+            "fifo".to_string()
+        );
+        assert_eq!(
+            PolicyConfig::Selective {
+                tracked: vec![VertexId::new(1), VertexId::new(2)]
+            }
+            .key(),
+            "selective_k2"
+        );
+        assert_eq!(
+            PolicyConfig::Grouped {
+                num_groups: 10,
+                group_of: vec![]
+            }
+            .key(),
+            "grouped_m10"
+        );
+        assert_eq!(PolicyConfig::Windowed { window: 100 }.key(), "windowed_w100");
+        assert_eq!(
+            PolicyConfig::TimeWindowed { duration: 3.5 }.key(),
+            "timewindowed_d3.5"
+        );
+        assert_eq!(PolicyConfig::budget(50).key(), "budget_c50");
+        assert_eq!(
+            PolicyConfig::PathTracking { lifo: true }.key(),
+            "paths_lifo"
+        );
+    }
+
+    #[test]
+    fn default_budget_parameters() {
+        if let PolicyConfig::Budgeted {
+            capacity,
+            keep_fraction,
+            criterion,
+            important,
+        } = PolicyConfig::budget(100)
+        {
+            assert_eq!(capacity, 100);
+            assert!((0.6..=0.8).contains(&keep_fraction));
+            assert_eq!(criterion, ShrinkCriterion::KeepLargest);
+            assert!(important.is_empty());
+        } else {
+            panic!("budget() must build a Budgeted config");
+        }
+    }
+
+    #[test]
+    fn shrink_criterion_default() {
+        assert_eq!(ShrinkCriterion::default(), ShrinkCriterion::KeepLargest);
+    }
+}

@@ -1,0 +1,550 @@
+//! Provenance snapshots: persisting and diffing the provenance state.
+//!
+//! The trackers of [`crate::tracker`] answer "what is the provenance of the
+//! quantity buffered at `v` *right now*?". Analysts additionally want to
+//! persist that answer, compare it across time, and keep a bounded history of
+//! past states (the per-arrival pie charts of Figure 2 are exactly a sequence
+//! of snapshots of one vertex). This module provides:
+//!
+//! * [`ProvenanceSnapshot`] — a serialisable capture of every vertex's origin
+//!   set at one moment, with a plain-text persistence format;
+//! * [`SnapshotDiff`] — the per-vertex / per-origin change between two
+//!   snapshots;
+//! * [`CheckpointedProvenance`] — a tracker wrapper that records a snapshot
+//!   every `interval` interactions, giving O(1) *approximate* time-travel
+//!   queries at checkpoint granularity (exact arbitrary-time queries are the
+//!   job of [`crate::tracker::lazy`] and [`crate::tracker::backtrace`], which
+//!   replay the log instead).
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, TinError};
+use crate::ids::{GroupId, Origin, VertexId};
+use crate::interaction::Interaction;
+use crate::memory::FootprintBreakdown;
+use crate::origins::OriginSet;
+use crate::quantity::{qty_is_zero, Quantity};
+use crate::tracker::ProvenanceTracker;
+
+/// A capture of the provenance state of every vertex at one moment in time.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProvenanceSnapshot {
+    /// Timestamp of the last interaction folded into this snapshot.
+    pub time: f64,
+    /// Number of interactions processed when the snapshot was taken.
+    pub interactions_processed: usize,
+    /// Per-vertex origin sets (indexed by vertex id).
+    pub origins: Vec<OriginSet>,
+}
+
+impl ProvenanceSnapshot {
+    /// Capture the current state of a tracker. `time` is the timestamp of the
+    /// last processed interaction (callers typically thread it through from
+    /// the stream; it is metadata only).
+    pub fn capture(tracker: &dyn ProvenanceTracker, time: f64) -> Self {
+        let origins = (0..tracker.num_vertices())
+            .map(|i| tracker.origins(VertexId::from(i)))
+            .collect();
+        ProvenanceSnapshot {
+            time,
+            interactions_processed: tracker.interactions_processed(),
+            origins,
+        }
+    }
+
+    /// Number of vertices covered by the snapshot.
+    pub fn num_vertices(&self) -> usize {
+        self.origins.len()
+    }
+
+    /// The origin set of a vertex (empty if the id is out of range).
+    pub fn origins(&self, v: VertexId) -> OriginSet {
+        self.origins.get(v.index()).cloned().unwrap_or_default()
+    }
+
+    /// The buffered quantity `|B_v|` recorded for a vertex.
+    pub fn buffered(&self, v: VertexId) -> Quantity {
+        self.origins
+            .get(v.index())
+            .map(|o| o.total())
+            .unwrap_or(0.0)
+    }
+
+    /// Total quantity buffered anywhere in the network at snapshot time.
+    pub fn total_buffered(&self) -> Quantity {
+        self.origins.iter().map(|o| o.total()).sum()
+    }
+
+    /// Vertices with a non-empty buffer.
+    pub fn non_empty_vertices(&self) -> usize {
+        self.origins.iter().filter(|o| !o.is_empty()).count()
+    }
+
+    /// Compute the change from `earlier` to `self`.
+    pub fn diff_from(&self, earlier: &ProvenanceSnapshot) -> SnapshotDiff {
+        let n = self.num_vertices().max(earlier.num_vertices());
+        let mut per_vertex = Vec::with_capacity(n);
+        for i in 0..n {
+            let v = VertexId::from(i);
+            let delta = self.buffered(v) - earlier.buffered(v);
+            per_vertex.push(delta);
+        }
+        SnapshotDiff {
+            interactions: self
+                .interactions_processed
+                .saturating_sub(earlier.interactions_processed),
+            per_vertex_delta: per_vertex,
+        }
+    }
+
+    /// Write the snapshot as tab-separated text: a header line followed by one
+    /// `vertex \t origin \t quantity` line per share. Empty buffers produce no
+    /// lines. The format round-trips through [`ProvenanceSnapshot::read_tsv`].
+    pub fn write_tsv<W: Write>(&self, writer: W) -> Result<()> {
+        let mut w = BufWriter::new(writer);
+        writeln!(
+            w,
+            "# snapshot\ttime={}\tinteractions={}\tvertices={}",
+            self.time,
+            self.interactions_processed,
+            self.num_vertices()
+        )?;
+        for (i, set) in self.origins.iter().enumerate() {
+            for (origin, qty) in set.iter() {
+                writeln!(w, "{}\t{}\t{}", i, format_origin_key(origin), qty)?;
+            }
+        }
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Read a snapshot written by [`ProvenanceSnapshot::write_tsv`].
+    pub fn read_tsv<R: Read>(reader: R) -> Result<Self> {
+        let buf = BufReader::new(reader);
+        let mut time = 0.0;
+        let mut interactions_processed = 0;
+        let mut num_vertices = 0usize;
+        let mut pairs: Vec<(usize, Origin, Quantity)> = Vec::new();
+        for (lineno, line) in buf.lines().enumerate() {
+            let line = line?;
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            if trimmed.starts_with('#') {
+                for field in trimmed.trim_start_matches('#').split('\t') {
+                    if let Some(v) = field.trim().strip_prefix("time=") {
+                        time = v.parse().map_err(|_| parse_err(lineno, "time"))?;
+                    } else if let Some(v) = field.trim().strip_prefix("interactions=") {
+                        interactions_processed =
+                            v.parse().map_err(|_| parse_err(lineno, "interactions"))?;
+                    } else if let Some(v) = field.trim().strip_prefix("vertices=") {
+                        num_vertices = v.parse().map_err(|_| parse_err(lineno, "vertices"))?;
+                    }
+                }
+                continue;
+            }
+            let fields: Vec<&str> = trimmed.split('\t').collect();
+            if fields.len() != 3 {
+                return Err(TinError::Parse {
+                    line: lineno + 1,
+                    message: format!("expected 3 tab-separated fields, found {}", fields.len()),
+                });
+            }
+            let vertex: usize = fields[0].parse().map_err(|_| parse_err(lineno, "vertex"))?;
+            let origin = parse_origin_key(fields[1]).ok_or_else(|| parse_err(lineno, "origin"))?;
+            let qty: f64 = fields[2].parse().map_err(|_| parse_err(lineno, "quantity"))?;
+            num_vertices = num_vertices.max(vertex + 1);
+            pairs.push((vertex, origin, qty));
+        }
+        let mut per_vertex: Vec<Vec<(Origin, Quantity)>> = vec![Vec::new(); num_vertices];
+        for (vertex, origin, qty) in pairs {
+            per_vertex[vertex].push((origin, qty));
+        }
+        Ok(ProvenanceSnapshot {
+            time,
+            interactions_processed,
+            origins: per_vertex.into_iter().map(OriginSet::from_pairs).collect(),
+        })
+    }
+
+    /// Approximate equality: same number of vertices and matching origin sets
+    /// within the library tolerance.
+    pub fn approx_eq(&self, other: &ProvenanceSnapshot) -> bool {
+        self.num_vertices() == other.num_vertices()
+            && self
+                .origins
+                .iter()
+                .zip(&other.origins)
+                .all(|(a, b)| a.approx_eq(b))
+    }
+}
+
+fn parse_err(lineno: usize, what: &str) -> TinError {
+    TinError::Parse {
+        line: lineno + 1,
+        message: format!("invalid {what}"),
+    }
+}
+
+/// Stable textual key for an origin, used by the TSV persistence format.
+fn format_origin_key(origin: Origin) -> String {
+    match origin {
+        Origin::Vertex(v) => format!("v:{}", v.raw()),
+        Origin::Group(g) => format!("g:{}", g.0),
+        Origin::Untracked => "untracked".to_string(),
+        Origin::Unknown => "unknown".to_string(),
+    }
+}
+
+/// Parse an origin key produced by [`format_origin_key`].
+fn parse_origin_key(key: &str) -> Option<Origin> {
+    if let Some(raw) = key.strip_prefix("v:") {
+        return raw.parse().ok().map(|r: u32| Origin::Vertex(VertexId::new(r)));
+    }
+    if let Some(raw) = key.strip_prefix("g:") {
+        return raw.parse().ok().map(|r: u32| Origin::Group(GroupId::new(r)));
+    }
+    match key {
+        "untracked" => Some(Origin::Untracked),
+        "unknown" => Some(Origin::Unknown),
+        _ => None,
+    }
+}
+
+/// The change between two snapshots.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SnapshotDiff {
+    /// Number of interactions processed between the two snapshots.
+    pub interactions: usize,
+    /// Per-vertex change of the buffered quantity (positive = accumulated).
+    pub per_vertex_delta: Vec<Quantity>,
+}
+
+impl SnapshotDiff {
+    /// Vertices whose buffered quantity increased by more than the tolerance.
+    pub fn accumulating_vertices(&self) -> Vec<VertexId> {
+        self.per_vertex_delta
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d > 0.0 && !qty_is_zero(d))
+            .map(|(i, _)| VertexId::from(i))
+            .collect()
+    }
+
+    /// The vertex with the largest buffered-quantity increase, if any grew.
+    pub fn fastest_accumulator(&self) -> Option<(VertexId, Quantity)> {
+        self.per_vertex_delta
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d > 0.0 && !qty_is_zero(d))
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, &d)| (VertexId::from(i), d))
+    }
+}
+
+/// A tracker wrapper that records periodic snapshots of the provenance state.
+///
+/// Every `interval` processed interactions a [`ProvenanceSnapshot`] is taken,
+/// so past states can be inspected in O(1) at checkpoint granularity — the
+/// space cost is one full origin decomposition per checkpoint, which is why
+/// the wrapper also supports a bounded history (`max_checkpoints`).
+pub struct CheckpointedProvenance {
+    tracker: Box<dyn ProvenanceTracker>,
+    interval: usize,
+    max_checkpoints: Option<usize>,
+    checkpoints: Vec<ProvenanceSnapshot>,
+    last_time: f64,
+}
+
+impl CheckpointedProvenance {
+    /// Wrap a tracker, snapshotting every `interval` interactions.
+    ///
+    /// # Errors
+    /// Returns [`TinError::InvalidConfig`] if `interval` is zero.
+    pub fn new(tracker: Box<dyn ProvenanceTracker>, interval: usize) -> Result<Self> {
+        if interval == 0 {
+            return Err(TinError::InvalidConfig(
+                "checkpoint interval must be positive".into(),
+            ));
+        }
+        Ok(CheckpointedProvenance {
+            tracker,
+            interval,
+            max_checkpoints: None,
+            checkpoints: Vec::new(),
+            last_time: 0.0,
+        })
+    }
+
+    /// Keep only the most recent `max` checkpoints (older ones are dropped).
+    pub fn with_max_checkpoints(mut self, max: usize) -> Self {
+        self.max_checkpoints = Some(max);
+        self
+    }
+
+    /// The wrapped tracker.
+    pub fn tracker(&self) -> &dyn ProvenanceTracker {
+        self.tracker.as_ref()
+    }
+
+    /// The checkpoints recorded so far, oldest first.
+    pub fn checkpoints(&self) -> &[ProvenanceSnapshot] {
+        &self.checkpoints
+    }
+
+    /// The checkpoint interval.
+    pub fn interval(&self) -> usize {
+        self.interval
+    }
+
+    /// The most recent checkpoint taken at or before time `t`, if any.
+    pub fn snapshot_at(&self, t: f64) -> Option<&ProvenanceSnapshot> {
+        self.checkpoints.iter().rev().find(|s| s.time <= t)
+    }
+
+    /// The buffered-quantity history of one vertex across checkpoints:
+    /// `(time, |B_v|, O(t, B_v))` per checkpoint (the raw material of the
+    /// Figure 2 accumulation plot at checkpoint granularity).
+    pub fn history_of(&self, v: VertexId) -> Vec<(f64, Quantity, OriginSet)> {
+        self.checkpoints
+            .iter()
+            .map(|s| (s.time, s.buffered(v), s.origins(v)))
+            .collect()
+    }
+
+    /// Take a snapshot right now, regardless of the interval.
+    pub fn checkpoint_now(&mut self) -> &ProvenanceSnapshot {
+        let snapshot = ProvenanceSnapshot::capture(self.tracker.as_ref(), self.last_time);
+        self.checkpoints.push(snapshot);
+        if let Some(max) = self.max_checkpoints {
+            let excess = self.checkpoints.len().saturating_sub(max);
+            if excess > 0 {
+                self.checkpoints.drain(..excess);
+            }
+        }
+        self.checkpoints.last().expect("just pushed")
+    }
+}
+
+impl std::fmt::Debug for CheckpointedProvenance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CheckpointedProvenance")
+            .field("tracker", &self.tracker.name())
+            .field("interval", &self.interval)
+            .field("checkpoints", &self.checkpoints.len())
+            .finish()
+    }
+}
+
+impl ProvenanceTracker for CheckpointedProvenance {
+    fn name(&self) -> &'static str {
+        "Checkpointed"
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.tracker.num_vertices()
+    }
+
+    fn process(&mut self, r: &Interaction) {
+        self.tracker.process(r);
+        self.last_time = r.time.0;
+        if self.tracker.interactions_processed().is_multiple_of(self.interval) {
+            self.checkpoint_now();
+        }
+    }
+
+    fn buffered(&self, v: VertexId) -> Quantity {
+        self.tracker.buffered(v)
+    }
+
+    fn origins(&self, v: VertexId) -> OriginSet {
+        self.tracker.origins(v)
+    }
+
+    fn footprint(&self) -> FootprintBreakdown {
+        let base = self.tracker.footprint();
+        // Account for the checkpoint storage in the index component.
+        let checkpoint_bytes: usize = self
+            .checkpoints
+            .iter()
+            .map(|s| {
+                s.origins
+                    .iter()
+                    .map(|o| o.len() * std::mem::size_of::<crate::origins::OriginShare>())
+                    .sum::<usize>()
+            })
+            .sum();
+        FootprintBreakdown {
+            entries_bytes: base.entries_bytes,
+            paths_bytes: base.paths_bytes,
+            index_bytes: base.index_bytes + checkpoint_bytes,
+        }
+    }
+
+    fn interactions_processed(&self) -> usize {
+        self.tracker.interactions_processed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interaction::paper_running_example;
+    use crate::policy::{PolicyConfig, SelectionPolicy};
+    use crate::quantity::qty_approx_eq;
+    use crate::tracker::build_tracker;
+    use crate::tracker::proportional_sparse::ProportionalSparseTracker;
+
+    fn v(i: u32) -> VertexId {
+        VertexId::new(i)
+    }
+
+    fn example_snapshot() -> ProvenanceSnapshot {
+        let mut tracker = ProportionalSparseTracker::new(3);
+        tracker.process_all(&paper_running_example());
+        ProvenanceSnapshot::capture(&tracker, 8.0)
+    }
+
+    #[test]
+    fn capture_reflects_tracker_state() {
+        let snapshot = example_snapshot();
+        assert_eq!(snapshot.num_vertices(), 3);
+        assert_eq!(snapshot.interactions_processed, 6);
+        assert_eq!(snapshot.time, 8.0);
+        // Table 5, final row: buffered totals 3, 2, 4.
+        assert!(qty_approx_eq(snapshot.buffered(v(0)), 3.0));
+        assert!(qty_approx_eq(snapshot.buffered(v(1)), 2.0));
+        assert!(qty_approx_eq(snapshot.buffered(v(2)), 4.0));
+        assert!(qty_approx_eq(snapshot.total_buffered(), 9.0));
+        assert_eq!(snapshot.non_empty_vertices(), 3);
+        // Out-of-range vertex is empty.
+        assert!(snapshot.origins(v(99)).is_empty());
+        assert_eq!(snapshot.buffered(v(99)), 0.0);
+    }
+
+    #[test]
+    fn tsv_roundtrip() {
+        let snapshot = example_snapshot();
+        let mut buf = Vec::new();
+        snapshot.write_tsv(&mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("# snapshot"));
+        let parsed = ProvenanceSnapshot::read_tsv(buf.as_slice()).unwrap();
+        assert!(parsed.approx_eq(&snapshot));
+        assert_eq!(parsed.time, 8.0);
+        assert_eq!(parsed.interactions_processed, 6);
+    }
+
+    #[test]
+    fn tsv_rejects_malformed_lines() {
+        let err = ProvenanceSnapshot::read_tsv("0\tv:1\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TinError::Parse { .. }));
+        let err = ProvenanceSnapshot::read_tsv("0\tnonsense\t1.0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TinError::Parse { .. }));
+        let err = ProvenanceSnapshot::read_tsv("x\tv:1\t1.0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TinError::Parse { .. }));
+    }
+
+    #[test]
+    fn origin_key_roundtrip() {
+        for origin in [
+            Origin::Vertex(VertexId::new(7)),
+            Origin::Group(GroupId::new(2)),
+            Origin::Untracked,
+            Origin::Unknown,
+        ] {
+            assert_eq!(parse_origin_key(&format_origin_key(origin)), Some(origin));
+        }
+        assert_eq!(parse_origin_key("v:notanumber"), None);
+        assert_eq!(parse_origin_key("w:1"), None);
+    }
+
+    #[test]
+    fn diff_between_snapshots() {
+        let rs = paper_running_example();
+        let mut tracker = ProportionalSparseTracker::new(3);
+        tracker.process_all(&rs[..3]);
+        let early = ProvenanceSnapshot::capture(&tracker, 4.0);
+        tracker.process_all(&rs[3..]);
+        let late = ProvenanceSnapshot::capture(&tracker, 8.0);
+        let diff = late.diff_from(&early);
+        assert_eq!(diff.interactions, 3);
+        assert_eq!(diff.per_vertex_delta.len(), 3);
+        // Between t=4 and t=8, v2 accumulates from 0 to 4 units.
+        assert!(qty_approx_eq(diff.per_vertex_delta[2], 4.0));
+        let accumulating = diff.accumulating_vertices();
+        assert!(accumulating.contains(&v(0)));
+        assert!(accumulating.contains(&v(2)));
+        let (fastest, delta) = diff.fastest_accumulator().unwrap();
+        assert_eq!(fastest, v(2));
+        assert!(qty_approx_eq(delta, 4.0));
+        // A no-op diff has no accumulators.
+        let none = early.diff_from(&early);
+        assert!(none.accumulating_vertices().is_empty());
+        assert!(none.fastest_accumulator().is_none());
+    }
+
+    #[test]
+    fn checkpointing_every_two_interactions() {
+        let tracker =
+            build_tracker(&PolicyConfig::Plain(SelectionPolicy::Fifo), 3).unwrap();
+        let mut checkpointed = CheckpointedProvenance::new(tracker, 2).unwrap();
+        checkpointed.process_all(&paper_running_example());
+        assert_eq!(checkpointed.checkpoints().len(), 3);
+        assert_eq!(checkpointed.interval(), 2);
+        // Times of the 2nd, 4th and 6th interactions.
+        let times: Vec<f64> = checkpointed.checkpoints().iter().map(|s| s.time).collect();
+        assert_eq!(times, vec![3.0, 5.0, 8.0]);
+        // snapshot_at picks the latest checkpoint at or before t.
+        assert_eq!(checkpointed.snapshot_at(4.9).unwrap().time, 3.0);
+        assert_eq!(checkpointed.snapshot_at(100.0).unwrap().time, 8.0);
+        assert!(checkpointed.snapshot_at(0.5).is_none());
+        // History of one vertex across checkpoints.
+        let history = checkpointed.history_of(v(0));
+        assert_eq!(history.len(), 3);
+        assert!(qty_approx_eq(history[0].1, 5.0));
+        // Wrapper still behaves like the underlying tracker.
+        assert!(checkpointed.check_all_invariants());
+        assert_eq!(checkpointed.interactions_processed(), 6);
+        assert!(checkpointed.footprint().index_bytes > 0);
+        assert_eq!(checkpointed.name(), "Checkpointed");
+        assert!(format!("{checkpointed:?}").contains("Checkpointed"));
+    }
+
+    #[test]
+    fn bounded_checkpoint_history() {
+        let tracker =
+            build_tracker(&PolicyConfig::Plain(SelectionPolicy::Fifo), 3).unwrap();
+        let mut checkpointed = CheckpointedProvenance::new(tracker, 1)
+            .unwrap()
+            .with_max_checkpoints(2);
+        checkpointed.process_all(&paper_running_example());
+        assert_eq!(checkpointed.checkpoints().len(), 2);
+        // Only the two most recent remain.
+        assert_eq!(checkpointed.checkpoints()[0].time, 7.0);
+        assert_eq!(checkpointed.checkpoints()[1].time, 8.0);
+    }
+
+    #[test]
+    fn zero_interval_is_rejected() {
+        let tracker =
+            build_tracker(&PolicyConfig::Plain(SelectionPolicy::Fifo), 3).unwrap();
+        assert!(CheckpointedProvenance::new(tracker, 0).is_err());
+    }
+
+    #[test]
+    fn manual_checkpoint() {
+        let tracker =
+            build_tracker(&PolicyConfig::Plain(SelectionPolicy::Lifo), 3).unwrap();
+        let mut checkpointed = CheckpointedProvenance::new(tracker, 1000).unwrap();
+        checkpointed.process_all(&paper_running_example());
+        assert!(checkpointed.checkpoints().is_empty());
+        let snap = checkpointed.checkpoint_now().clone();
+        assert_eq!(snap.interactions_processed, 6);
+        assert_eq!(checkpointed.checkpoints().len(), 1);
+        assert_eq!(checkpointed.tracker().name(), "LIFO");
+    }
+}

@@ -1,0 +1,432 @@
+//! Sparse provenance vectors: ordered `(origin, quantity)` lists
+//! (Section 4.3, "Sparse vector representations").
+//!
+//! In sparse graphs each vertex receives quantities from a small subset of
+//! origins, so instead of a `|V|`-length dense vector the paper stores an
+//! ordered list of `(u, q)` pairs with `q > 0`. Vector-wise operations become
+//! ordered-list merges. The windowing and budget techniques of Section 5.3
+//! operate on this representation, so the entry key is an [`Origin`] (which
+//! can also be the artificial vertex α or the "untracked" bucket).
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{Origin, VertexId};
+use crate::memory::{vec_bytes, MemoryFootprint};
+use crate::origins::OriginSet;
+use crate::quantity::{qty_is_zero, qty_sum, Quantity};
+
+/// A sparse provenance vector: entries sorted by origin, all quantities > 0.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SparseProvenance {
+    entries: Vec<(Origin, Quantity)>,
+}
+
+impl SparseProvenance {
+    /// Create an empty sparse vector.
+    pub fn new() -> Self {
+        SparseProvenance {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Create a vector holding a single entry, if the quantity is non-zero.
+    pub fn singleton(origin: Origin, qty: Quantity) -> Self {
+        let mut v = Self::new();
+        v.add(origin, qty);
+        v
+    }
+
+    /// Number of stored entries (the list length ℓ of the paper's complexity
+    /// analysis).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the vector holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total represented quantity.
+    pub fn total(&self) -> Quantity {
+        qty_sum(self.entries.iter().map(|(_, q)| *q))
+    }
+
+    /// Quantity attributed to `origin` (0 if absent).
+    pub fn get(&self, origin: Origin) -> Quantity {
+        match self.entries.binary_search_by(|(o, _)| o.cmp(&origin)) {
+            Ok(i) => self.entries[i].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Quantity attributed to a concrete origin vertex.
+    pub fn get_vertex(&self, v: VertexId) -> Quantity {
+        self.get(Origin::Vertex(v))
+    }
+
+    /// Add `qty` to the entry for `origin`, inserting it if missing.
+    pub fn add(&mut self, origin: Origin, qty: Quantity) {
+        if qty_is_zero(qty) {
+            return;
+        }
+        match self.entries.binary_search_by(|(o, _)| o.cmp(&origin)) {
+            Ok(i) => self.entries[i].1 += qty,
+            Err(i) => self.entries.insert(i, (origin, qty)),
+        }
+    }
+
+    /// Add `qty` to the entry for a concrete vertex origin.
+    pub fn add_vertex(&mut self, v: VertexId, qty: Quantity) {
+        self.add(Origin::Vertex(v), qty);
+    }
+
+    /// `self ⊕ other`: merge-add another sparse vector.
+    pub fn merge_add(&mut self, other: &SparseProvenance) {
+        self.merge_add_scaled(other, 1.0);
+    }
+
+    /// `self ⊕ factor·other`: merge-add a scaled sparse vector (proportional
+    /// transfer into the destination, Algorithm 3 line 9 on lists).
+    pub fn merge_add_scaled(&mut self, other: &SparseProvenance, factor: f64) {
+        if other.entries.is_empty() || qty_is_zero(factor) {
+            return;
+        }
+        // Linear merge of two ordered lists into a fresh list.
+        let mut merged = Vec::with_capacity(self.entries.len() + other.entries.len());
+        let mut i = 0;
+        let mut j = 0;
+        while i < self.entries.len() && j < other.entries.len() {
+            let (ao, aq) = self.entries[i];
+            let (bo, bq) = other.entries[j];
+            match ao.cmp(&bo) {
+                std::cmp::Ordering::Less => {
+                    merged.push((ao, aq));
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    let q = factor * bq;
+                    if !qty_is_zero(q) {
+                        merged.push((bo, q));
+                    }
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    let q = aq + factor * bq;
+                    if !qty_is_zero(q) {
+                        merged.push((ao, q));
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&self.entries[i..]);
+        for &(bo, bq) in &other.entries[j..] {
+            let q = factor * bq;
+            if !qty_is_zero(q) {
+                merged.push((bo, q));
+            }
+        }
+        self.entries = merged;
+    }
+
+    /// Multiply every entry by `factor`, dropping entries that become zero
+    /// (Algorithm 3 line 10 on lists: the source keeps `1 - r.q/|B|` of each
+    /// component).
+    pub fn scale(&mut self, factor: f64) {
+        if qty_is_zero(factor) {
+            self.entries.clear();
+            return;
+        }
+        for (_, q) in self.entries.iter_mut() {
+            *q *= factor;
+        }
+        self.entries.retain(|(_, q)| !qty_is_zero(*q));
+    }
+
+    /// Remove all entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Replace the whole vector by a single `(α, total)` entry — the reset
+    /// operation of the windowing approach (Section 5.3.1).
+    pub fn reset_to_unknown(&mut self, total: Quantity) {
+        self.entries.clear();
+        if !qty_is_zero(total) {
+            self.entries.push((Origin::Unknown, total));
+        }
+    }
+
+    /// Keep the `keep` entries with the largest quantities; every removed
+    /// entry's quantity is folded into the artificial-vertex entry `(α, Q)`.
+    /// Returns the folded quantity `Q`.
+    ///
+    /// This is the shrink operation of budget-based provenance
+    /// (Section 5.3.2) under the "keep the entries with the largest
+    /// quantities" criterion.
+    pub fn shrink_keep_largest(&mut self, keep: usize) -> Quantity {
+        if self.entries.len() <= keep {
+            return 0.0;
+        }
+        // Sort a copy of indices by descending quantity; α is never evicted
+        // (evicting it and re-adding it would be a no-op churn).
+        let mut order: Vec<usize> = (0..self.entries.len()).collect();
+        order.sort_by(|&a, &b| {
+            let (ao, aq) = self.entries[a];
+            let (bo, bq) = self.entries[b];
+            (bo == Origin::Unknown)
+                .cmp(&(ao == Origin::Unknown))
+                .then(bq.total_cmp(&aq))
+                .then(ao.cmp(&bo))
+        });
+        let keep_set: std::collections::BTreeSet<usize> = order.into_iter().take(keep).collect();
+        let mut removed = 0.0;
+        let mut kept = Vec::with_capacity(keep + 1);
+        for (i, &(o, q)) in self.entries.iter().enumerate() {
+            if keep_set.contains(&i) {
+                kept.push((o, q));
+            } else {
+                removed += q;
+            }
+        }
+        self.entries = kept;
+        if !qty_is_zero(removed) {
+            self.add(Origin::Unknown, removed);
+        }
+        removed
+    }
+
+    /// Iterate over `(origin, quantity)` entries in origin order.
+    pub fn iter(&self) -> impl Iterator<Item = (Origin, Quantity)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Convert to an [`OriginSet`] query answer.
+    pub fn to_origin_set(&self) -> OriginSet {
+        OriginSet::from_pairs(self.iter())
+    }
+
+    /// Internal consistency check: entries sorted by origin, all positive.
+    /// Used by debug assertions and property tests.
+    pub fn is_consistent(&self) -> bool {
+        self.entries.windows(2).all(|w| w[0].0 < w[1].0)
+            && self.entries.iter().all(|(_, q)| *q > 0.0 || qty_is_zero(*q))
+    }
+}
+
+impl MemoryFootprint for SparseProvenance {
+    fn footprint_bytes(&self) -> usize {
+        vec_bytes(&self.entries)
+    }
+}
+
+impl FromIterator<(Origin, Quantity)> for SparseProvenance {
+    fn from_iter<T: IntoIterator<Item = (Origin, Quantity)>>(iter: T) -> Self {
+        let mut v = SparseProvenance::new();
+        for (o, q) in iter {
+            v.add(o, q);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantity::qty_approx_eq;
+
+    fn ov(i: u32) -> Origin {
+        Origin::Vertex(VertexId::new(i))
+    }
+
+    #[test]
+    fn empty_vector() {
+        let v = SparseProvenance::new();
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+        assert_eq!(v.total(), 0.0);
+        assert_eq!(v.get(ov(0)), 0.0);
+        assert!(v.is_consistent());
+    }
+
+    #[test]
+    fn singleton_and_get() {
+        let v = SparseProvenance::singleton(ov(3), 2.5);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.get(ov(3)), 2.5);
+        assert_eq!(v.get_vertex(VertexId::new(3)), 2.5);
+        // Zero-quantity singleton is empty.
+        assert!(SparseProvenance::singleton(ov(3), 0.0).is_empty());
+    }
+
+    #[test]
+    fn add_keeps_sorted_order() {
+        let mut v = SparseProvenance::new();
+        v.add(ov(5), 1.0);
+        v.add(ov(1), 2.0);
+        v.add(ov(3), 3.0);
+        v.add(ov(1), 0.5);
+        assert_eq!(v.len(), 3);
+        assert!(v.is_consistent());
+        assert_eq!(v.get(ov(1)), 2.5);
+        let origins: Vec<Origin> = v.iter().map(|(o, _)| o).collect();
+        assert_eq!(origins, vec![ov(1), ov(3), ov(5)]);
+    }
+
+    #[test]
+    fn add_vertex_shorthand() {
+        let mut v = SparseProvenance::new();
+        v.add_vertex(VertexId::new(2), 4.0);
+        assert_eq!(v.get_vertex(VertexId::new(2)), 4.0);
+    }
+
+    #[test]
+    fn merge_add_unions_origins() {
+        let a: SparseProvenance = vec![(ov(1), 1.0), (ov(3), 3.0)].into_iter().collect();
+        let b: SparseProvenance = vec![(ov(2), 2.0), (ov(3), 1.0)].into_iter().collect();
+        let mut m = a.clone();
+        m.merge_add(&b);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.get(ov(1)), 1.0);
+        assert_eq!(m.get(ov(2)), 2.0);
+        assert_eq!(m.get(ov(3)), 4.0);
+        assert!(m.is_consistent());
+        assert!(qty_approx_eq(m.total(), a.total() + b.total()));
+    }
+
+    #[test]
+    fn merge_add_scaled_applies_factor() {
+        let mut a = SparseProvenance::singleton(ov(1), 1.0);
+        let b: SparseProvenance = vec![(ov(1), 2.0), (ov(2), 4.0)].into_iter().collect();
+        a.merge_add_scaled(&b, 0.5);
+        assert!(qty_approx_eq(a.get(ov(1)), 2.0));
+        assert!(qty_approx_eq(a.get(ov(2)), 2.0));
+    }
+
+    #[test]
+    fn merge_with_empty_or_zero_factor_is_noop() {
+        let mut a = SparseProvenance::singleton(ov(1), 1.0);
+        a.merge_add(&SparseProvenance::new());
+        assert_eq!(a.len(), 1);
+        let b = SparseProvenance::singleton(ov(2), 5.0);
+        a.merge_add_scaled(&b, 0.0);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn scale_and_clear() {
+        let mut v: SparseProvenance = vec![(ov(1), 2.0), (ov(2), 4.0)].into_iter().collect();
+        v.scale(0.25);
+        assert!(qty_approx_eq(v.get(ov(1)), 0.5));
+        assert!(qty_approx_eq(v.get(ov(2)), 1.0));
+        v.scale(0.0);
+        assert!(v.is_empty());
+        let mut v = SparseProvenance::singleton(ov(1), 1.0);
+        v.clear();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn scale_drops_vanishing_entries() {
+        let mut v: SparseProvenance = vec![(ov(1), 1e-5), (ov(2), 10.0)].into_iter().collect();
+        v.scale(1e-3);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.get(ov(1)), 0.0);
+    }
+
+    #[test]
+    fn reset_to_unknown() {
+        let mut v: SparseProvenance = vec![(ov(1), 2.0), (ov(2), 3.0)].into_iter().collect();
+        v.reset_to_unknown(5.0);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.get(Origin::Unknown), 5.0);
+        v.reset_to_unknown(0.0);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn shrink_keep_largest_folds_into_alpha() {
+        // Paper's Section 5.3.2 example: p_v = {(v,1),(u,3),(w,3),(x,2),(y,4),(z,1)},
+        // keep 3 entries with the largest quantities → {(u,3),(w,3),(y,4),(α,4)}.
+        let mut v: SparseProvenance = vec![
+            (ov(10), 1.0), // "v"
+            (ov(11), 3.0), // "u"
+            (ov(12), 3.0), // "w"
+            (ov(13), 2.0), // "x"
+            (ov(14), 4.0), // "y"
+            (ov(15), 1.0), // "z"
+        ]
+        .into_iter()
+        .collect();
+        let removed = v.shrink_keep_largest(3);
+        assert!(qty_approx_eq(removed, 4.0));
+        assert_eq!(v.len(), 4); // 3 kept + α
+        assert_eq!(v.get(ov(11)), 3.0);
+        assert_eq!(v.get(ov(12)), 3.0);
+        assert_eq!(v.get(ov(14)), 4.0);
+        assert!(qty_approx_eq(v.get(Origin::Unknown), 4.0));
+        assert!(qty_approx_eq(v.total(), 14.0));
+    }
+
+    #[test]
+    fn shrink_noop_when_under_budget() {
+        let mut v: SparseProvenance = vec![(ov(1), 1.0), (ov(2), 2.0)].into_iter().collect();
+        assert_eq!(v.shrink_keep_largest(5), 0.0);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn shrink_never_evicts_alpha() {
+        let mut v: SparseProvenance = vec![
+            (Origin::Unknown, 0.5),
+            (ov(1), 10.0),
+            (ov(2), 9.0),
+            (ov(3), 8.0),
+        ]
+        .into_iter()
+        .collect();
+        let removed = v.shrink_keep_largest(2);
+        // α is kept despite having the smallest quantity (it occupies one of
+        // the two kept slots); the largest vertex keeps the other slot; the
+        // remaining vertices fold into α.
+        assert!(qty_approx_eq(removed, 17.0));
+        assert!(qty_approx_eq(v.get(Origin::Unknown), 17.5));
+        assert_eq!(v.get(ov(1)), 10.0);
+        assert_eq!(v.get(ov(2)), 0.0);
+        assert_eq!(v.get(ov(3)), 0.0);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn to_origin_set_roundtrip() {
+        let v: SparseProvenance = vec![(ov(1), 1.0), (Origin::Unknown, 2.0)]
+            .into_iter()
+            .collect();
+        let set = v.to_origin_set();
+        assert_eq!(set.total(), 3.0);
+        assert_eq!(set.quantity_from(Origin::Unknown), 2.0);
+    }
+
+    #[test]
+    fn conservation_under_proportional_split() {
+        let mut src: SparseProvenance = (0..50u32).map(|i| (ov(i), (i + 1) as f64)).collect();
+        let mut dst = SparseProvenance::new();
+        let before = src.total();
+        let factor = 0.37;
+        dst.merge_add_scaled(&src, factor);
+        src.scale(1.0 - factor);
+        assert!(qty_approx_eq(src.total() + dst.total(), before));
+        assert!(src.is_consistent() && dst.is_consistent());
+    }
+
+    #[test]
+    fn footprint_grows_with_entries() {
+        let small = SparseProvenance::singleton(ov(1), 1.0);
+        let big: SparseProvenance = (0..1000u32).map(|i| (ov(i), 1.0)).collect();
+        assert!(big.footprint_bytes() > small.footprint_bytes());
+    }
+}

@@ -1,0 +1,277 @@
+//! Streaming access to interaction sequences.
+//!
+//! The paper maintains provenance *in real time, as new interactions take
+//! place in a streaming fashion* (Section 1). The trackers therefore consume
+//! interactions one at a time through the [`InteractionSource`] abstraction,
+//! which also performs the ordering validation that the offline [`crate::Tin`]
+//! constructor does eagerly.
+
+use crate::error::{Result, TinError};
+use crate::graph::Tin;
+use crate::interaction::Interaction;
+
+/// A source of time-ordered interactions.
+///
+/// This is intentionally close to `Iterator<Item = Result<Interaction>>`: a
+/// source may be backed by an in-memory vector, a file parser, or a synthetic
+/// generator, and may fail mid-stream (I/O or parse errors).
+pub trait InteractionSource {
+    /// Produce the next interaction, `Ok(None)` at end of stream.
+    fn next_interaction(&mut self) -> Result<Option<Interaction>>;
+
+    /// A hint of the total number of interactions, if known (used by the
+    /// experiment harness for progress reporting and pre-allocation).
+    fn len_hint(&self) -> Option<usize> {
+        None
+    }
+
+    /// Drain the source into a vector.
+    fn collect_all(&mut self) -> Result<Vec<Interaction>> {
+        let mut out = Vec::with_capacity(self.len_hint().unwrap_or(0));
+        while let Some(r) = self.next_interaction()? {
+            out.push(r);
+        }
+        Ok(out)
+    }
+}
+
+/// How a [`VecSource`] treats interactions that go backwards in time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum OrderingPolicy {
+    /// Return [`TinError::OutOfOrder`] when time decreases (default).
+    #[default]
+    Strict,
+    /// Silently accept out-of-order interactions (the caller guarantees the
+    /// order is intended, e.g. "order of receipt" streams).
+    Permissive,
+}
+
+/// An in-memory interaction source with optional ordering validation.
+#[derive(Clone, Debug)]
+pub struct VecSource {
+    interactions: Vec<Interaction>,
+    pos: usize,
+    policy: OrderingPolicy,
+    last_time: Option<f64>,
+}
+
+impl VecSource {
+    /// Create a strict (time-ordered) source over a vector of interactions.
+    pub fn new(interactions: Vec<Interaction>) -> Self {
+        VecSource {
+            interactions,
+            pos: 0,
+            policy: OrderingPolicy::Strict,
+            last_time: None,
+        }
+    }
+
+    /// Create a source with an explicit ordering policy.
+    pub fn with_policy(interactions: Vec<Interaction>, policy: OrderingPolicy) -> Self {
+        VecSource {
+            interactions,
+            pos: 0,
+            policy,
+            last_time: None,
+        }
+    }
+
+    /// Create a source over a whole TIN's interaction sequence.
+    pub fn from_tin(tin: &Tin) -> Self {
+        Self::new(tin.interactions().to_vec())
+    }
+
+    /// Number of interactions already produced.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+impl InteractionSource for VecSource {
+    fn next_interaction(&mut self) -> Result<Option<Interaction>> {
+        if self.pos >= self.interactions.len() {
+            return Ok(None);
+        }
+        let r = self.interactions[self.pos];
+        r.validate(Some(self.pos))?;
+        if self.policy == OrderingPolicy::Strict {
+            if let Some(prev) = self.last_time {
+                if r.time.0 < prev {
+                    return Err(TinError::OutOfOrder {
+                        position: self.pos,
+                        previous: prev,
+                        current: r.time.0,
+                    });
+                }
+            }
+        }
+        self.last_time = Some(r.time.0);
+        self.pos += 1;
+        Ok(Some(r))
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.interactions.len())
+    }
+}
+
+/// Merge several time-ordered sources into one time-ordered stream
+/// (k-way merge). Useful when a TIN is stored partitioned, e.g. one file per
+/// day of taxi trips.
+pub struct MergedSource<S: InteractionSource> {
+    sources: Vec<S>,
+    /// Lookahead buffer: the next pending interaction of each source.
+    heads: Vec<Option<Interaction>>,
+    initialized: bool,
+}
+
+impl<S: InteractionSource> MergedSource<S> {
+    /// Create a merged source. Each inner source must itself be time-ordered.
+    pub fn new(sources: Vec<S>) -> Self {
+        let n = sources.len();
+        MergedSource {
+            sources,
+            heads: vec![None; n],
+            initialized: false,
+        }
+    }
+
+    fn fill_head(&mut self, i: usize) -> Result<()> {
+        self.heads[i] = self.sources[i].next_interaction()?;
+        Ok(())
+    }
+}
+
+impl<S: InteractionSource> InteractionSource for MergedSource<S> {
+    fn next_interaction(&mut self) -> Result<Option<Interaction>> {
+        if !self.initialized {
+            for i in 0..self.sources.len() {
+                self.fill_head(i)?;
+            }
+            self.initialized = true;
+        }
+        // Find the head with the smallest timestamp.
+        let mut best: Option<(usize, f64)> = None;
+        for (i, head) in self.heads.iter().enumerate() {
+            if let Some(r) = head {
+                match best {
+                    None => best = Some((i, r.time.0)),
+                    Some((_, t)) if r.time.0 < t => best = Some((i, r.time.0)),
+                    _ => {}
+                }
+            }
+        }
+        match best {
+            None => Ok(None),
+            Some((i, _)) => {
+                let r = self.heads[i].take();
+                self.fill_head(i)?;
+                Ok(r)
+            }
+        }
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        self.sources.iter().map(|s| s.len_hint()).sum()
+    }
+}
+
+/// Adapter exposing any `InteractionSource` as a standard iterator of
+/// `Result<Interaction>`.
+pub struct SourceIter<S: InteractionSource>(pub S);
+
+impl<S: InteractionSource> Iterator for SourceIter<S> {
+    type Item = Result<Interaction>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.0.next_interaction() {
+            Ok(Some(r)) => Some(Ok(r)),
+            Ok(None) => None,
+            Err(e) => Some(Err(e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interaction::paper_running_example;
+
+    #[test]
+    fn vec_source_yields_all_in_order() {
+        let mut src = VecSource::new(paper_running_example());
+        assert_eq!(src.len_hint(), Some(6));
+        let all = src.collect_all().unwrap();
+        assert_eq!(all.len(), 6);
+        assert_eq!(src.position(), 6);
+        // After exhaustion the source keeps returning None.
+        assert!(src.next_interaction().unwrap().is_none());
+    }
+
+    #[test]
+    fn vec_source_detects_out_of_order() {
+        let rs = vec![
+            Interaction::new(0u32, 1u32, 5.0, 1.0),
+            Interaction::new(1u32, 2u32, 3.0, 1.0),
+        ];
+        let mut src = VecSource::new(rs.clone());
+        assert!(src.next_interaction().is_ok());
+        let err = src.next_interaction().unwrap_err();
+        assert!(matches!(err, TinError::OutOfOrder { position: 1, .. }));
+
+        // Permissive policy accepts the same stream.
+        let mut src = VecSource::with_policy(rs, OrderingPolicy::Permissive);
+        assert_eq!(src.collect_all().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn vec_source_validates_interactions() {
+        let rs = vec![Interaction::new(0u32, 0u32, 1.0, 1.0)];
+        let mut src = VecSource::new(rs);
+        let err = src.next_interaction().unwrap_err();
+        assert!(matches!(err, TinError::SelfLoop { .. }));
+    }
+
+    #[test]
+    fn from_tin_roundtrip() {
+        let tin = Tin::from_interactions(3, paper_running_example()).unwrap();
+        let mut src = VecSource::from_tin(&tin);
+        assert_eq!(src.collect_all().unwrap(), paper_running_example());
+    }
+
+    #[test]
+    fn merged_source_interleaves_by_time() {
+        let a = VecSource::new(vec![
+            Interaction::new(0u32, 1u32, 1.0, 1.0),
+            Interaction::new(0u32, 1u32, 4.0, 1.0),
+        ]);
+        let b = VecSource::new(vec![
+            Interaction::new(1u32, 2u32, 2.0, 1.0),
+            Interaction::new(1u32, 2u32, 3.0, 1.0),
+            Interaction::new(1u32, 2u32, 9.0, 1.0),
+        ]);
+        let mut merged = MergedSource::new(vec![a, b]);
+        assert_eq!(merged.len_hint(), Some(5));
+        let all = merged.collect_all().unwrap();
+        let times: Vec<f64> = all.iter().map(|r| r.time.value()).collect();
+        assert_eq!(times, vec![1.0, 2.0, 3.0, 4.0, 9.0]);
+    }
+
+    #[test]
+    fn merged_source_with_empty_inputs() {
+        let empty = VecSource::new(vec![]);
+        let one = VecSource::new(vec![Interaction::new(0u32, 1u32, 1.0, 2.0)]);
+        let mut merged = MergedSource::new(vec![empty, one]);
+        let all = merged.collect_all().unwrap();
+        assert_eq!(all.len(), 1);
+        let mut nothing = MergedSource::new(Vec::<VecSource>::new());
+        assert!(nothing.next_interaction().unwrap().is_none());
+    }
+
+    #[test]
+    fn source_iter_adapter() {
+        let src = VecSource::new(paper_running_example());
+        let collected: Result<Vec<_>> = SourceIter(src).collect();
+        assert_eq!(collected.unwrap().len(), 6);
+    }
+}

@@ -1,0 +1,368 @@
+//! Backtracing provenance — on-demand queries over a pruned replay.
+//!
+//! Section 8 of the paper lists *backtracing methods* as future work: instead
+//! of maintaining provenance annotations proactively, answer a provenance
+//! query `O(t, B_v)` only when it is asked, by looking backwards from the
+//! queried vertex. [`crate::tracker::lazy::LazyReplayProvenance`] already
+//! replays the whole interaction prefix on demand; this module adds the
+//! backtracing part: before replaying, it computes the set of vertices that
+//! can reach `v` through a *time-respecting* path ending by `t`, and replays
+//! only the interactions that touch this set.
+//!
+//! ## Why the pruned replay is exact
+//!
+//! Let `S` be the set of vertices `u` for which a sequence of interactions
+//! `u → x₁ → … → v` exists with non-decreasing times, all ≤ `t` (computed by a
+//! single reverse scan of the log). Replaying only the interactions whose
+//! source **or** destination lies in `S` preserves the provenance answer at
+//! `v`:
+//!
+//! * every interaction touching a vertex of `S` is replayed, so the buffered
+//!   *quantities* of all vertices in `S` evolve exactly as in the full replay
+//!   (selection under every policy depends only on arrival order / birth time
+//!   / buffered amounts, which are identical);
+//! * an interaction `a → u` whose source `a` is outside `S` delivers units to
+//!   `u` that are (mis)attributed to `a` as newborn units in the pruned
+//!   replay. By definition of `S`, those units can never take part in a
+//!   time-respecting path from `u` to `v` by time `t` (otherwise `a ∈ S`), so
+//!   the mis-attribution cannot contaminate `O(t, B_v)` — not even under
+//!   proportional mixing, because mass only reaches `v` along time-respecting
+//!   paths.
+//!
+//! The pruning pays off on sparse TINs where a vertex is reachable from a
+//! small fraction of the network; the worst case degenerates to the plain
+//! lazy replay.
+
+use crate::error::Result;
+use crate::ids::VertexId;
+use crate::interaction::Interaction;
+use crate::memory::{vec_bytes, FootprintBreakdown};
+use crate::origins::OriginSet;
+use crate::policy::{PolicyConfig, SelectionPolicy};
+use crate::quantity::Quantity;
+use crate::tracker::{build_tracker, no_prov::NoProvTracker, ProvenanceTracker};
+
+/// Statistics describing how much work a single backtraced query needed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Length of the full interaction log at query time.
+    pub log_len: usize,
+    /// Interactions inside the query's time horizon (`r.t ≤ t`).
+    pub horizon_interactions: usize,
+    /// Interactions actually replayed after pruning.
+    pub replayed_interactions: usize,
+    /// Vertices in the backward-reachable set `S`.
+    pub reachable_vertices: usize,
+}
+
+impl QueryStats {
+    /// Fraction of the horizon that was pruned away (0 when nothing was
+    /// pruned, →1 when almost everything was irrelevant).
+    pub fn pruning_ratio(&self) -> f64 {
+        if self.horizon_interactions == 0 {
+            return 0.0;
+        }
+        1.0 - self.replayed_interactions as f64 / self.horizon_interactions as f64
+    }
+}
+
+/// Backtracing provenance: log interactions cheaply, answer queries by a
+/// reachability-pruned replay.
+#[derive(Debug)]
+pub struct BacktraceIndex {
+    default_policy: PolicyConfig,
+    baseline: NoProvTracker,
+    log: Vec<Interaction>,
+}
+
+impl BacktraceIndex {
+    /// Create an index whose queries default to the given policy.
+    pub fn new(num_vertices: usize, default_policy: PolicyConfig) -> Self {
+        BacktraceIndex {
+            default_policy,
+            baseline: NoProvTracker::new(num_vertices),
+            log: Vec::new(),
+        }
+    }
+
+    /// Create an index defaulting to proportional (sparse) queries.
+    pub fn proportional(num_vertices: usize) -> Self {
+        Self::new(
+            num_vertices,
+            PolicyConfig::Plain(SelectionPolicy::ProportionalSparse),
+        )
+    }
+
+    /// Create an index defaulting to FIFO queries.
+    pub fn fifo(num_vertices: usize) -> Self {
+        Self::new(num_vertices, PolicyConfig::Plain(SelectionPolicy::Fifo))
+    }
+
+    /// Number of logged interactions.
+    pub fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// The vertices that can reach `v` through a time-respecting path using
+    /// interactions with `r.t ≤ t` (always contains `v` itself). Returned as a
+    /// membership bitmap indexed by vertex.
+    pub fn backward_reachable(&self, v: VertexId, t: f64) -> Vec<bool> {
+        let mut in_set = vec![false; self.baseline.num_vertices()];
+        if v.index() < in_set.len() {
+            in_set[v.index()] = true;
+        }
+        // Reverse scan: when an interaction's destination is already known to
+        // reach v via later (or equal-time, later-in-log) interactions, its
+        // source can too.
+        for r in self.log.iter().rev() {
+            if r.time.0 > t {
+                continue;
+            }
+            if in_set[r.dst.index()] {
+                in_set[r.src.index()] = true;
+            }
+        }
+        in_set
+    }
+
+    /// Replay only the interactions relevant to `O(t, B_v)` under `policy`,
+    /// returning the origin set together with the query statistics.
+    pub fn origins_at_with_stats(
+        &self,
+        v: VertexId,
+        t: f64,
+        policy: &PolicyConfig,
+    ) -> Result<(OriginSet, QueryStats)> {
+        let in_set = self.backward_reachable(v, t);
+        let mut tracker = build_tracker(policy, self.baseline.num_vertices())?;
+        let mut stats = QueryStats {
+            log_len: self.log.len(),
+            reachable_vertices: in_set.iter().filter(|&&b| b).count(),
+            ..QueryStats::default()
+        };
+        for r in &self.log {
+            if r.time.0 > t {
+                break;
+            }
+            stats.horizon_interactions += 1;
+            if in_set[r.src.index()] || in_set[r.dst.index()] {
+                tracker.process(r);
+                stats.replayed_interactions += 1;
+            }
+        }
+        Ok((tracker.origins(v), stats))
+    }
+
+    /// `O(t, B_v)` at an arbitrary past time `t` under an explicit policy.
+    pub fn origins_at_with(
+        &self,
+        v: VertexId,
+        t: f64,
+        policy: &PolicyConfig,
+    ) -> Result<OriginSet> {
+        self.origins_at_with_stats(v, t, policy).map(|(o, _)| o)
+    }
+
+    /// `O(t, B_v)` at an arbitrary past time `t` under the default policy.
+    pub fn origins_at(&self, v: VertexId, t: f64) -> Result<OriginSet> {
+        self.origins_at_with(v, t, &self.default_policy.clone())
+    }
+}
+
+impl ProvenanceTracker for BacktraceIndex {
+    fn name(&self) -> &'static str {
+        "Backtrace (pruned replay on demand)"
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.baseline.num_vertices()
+    }
+
+    fn process(&mut self, r: &Interaction) {
+        self.baseline.process(r);
+        self.log.push(*r);
+    }
+
+    fn buffered(&self, v: VertexId) -> Quantity {
+        self.baseline.buffered(v)
+    }
+
+    fn origins(&self, v: VertexId) -> OriginSet {
+        self.origins_at(v, f64::INFINITY)
+            .expect("default policy was validated at construction")
+    }
+
+    fn footprint(&self) -> FootprintBreakdown {
+        let base = self.baseline.footprint();
+        FootprintBreakdown {
+            entries_bytes: base.entries_bytes,
+            paths_bytes: 0,
+            index_bytes: vec_bytes(&self.log),
+        }
+    }
+
+    fn interactions_processed(&self) -> usize {
+        self.log.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interaction::paper_running_example;
+    use crate::quantity::qty_approx_eq;
+    use crate::tracker::lazy::LazyReplayProvenance;
+    use crate::tracker::proportional_sparse::ProportionalSparseTracker;
+    use crate::tracker::receipt_order::ReceiptOrderTracker;
+
+    fn v(i: u32) -> VertexId {
+        VertexId::new(i)
+    }
+
+    /// A star workload where one branch never reaches the queried vertex: the
+    /// pruning must skip the irrelevant branch and still be exact.
+    fn star_with_dead_branch() -> (usize, Vec<Interaction>) {
+        let rs = vec![
+            Interaction::new(0u32, 1u32, 1.0, 10.0), // relevant: 0 -> 1
+            Interaction::new(3u32, 4u32, 2.0, 50.0), // dead branch: 3 -> 4
+            Interaction::new(1u32, 2u32, 3.0, 6.0),  // relevant: 1 -> 2
+            Interaction::new(4u32, 3u32, 4.0, 20.0), // dead branch: 4 -> 3
+            Interaction::new(2u32, 5u32, 5.0, 4.0),  // relevant: 2 -> 5
+        ];
+        (6, rs)
+    }
+
+    #[test]
+    fn matches_full_lazy_replay_on_running_example() {
+        let rs = paper_running_example();
+        let mut backtrace = BacktraceIndex::proportional(3);
+        let mut lazy = LazyReplayProvenance::proportional(3);
+        let mut eager = ProportionalSparseTracker::new(3);
+        for r in &rs {
+            backtrace.process(r);
+            lazy.process(r);
+            eager.process(r);
+        }
+        for i in 0..3u32 {
+            let pruned = backtrace.origins(v(i));
+            assert!(pruned.approx_eq(&eager.origins(v(i))), "mismatch at v{i}");
+            assert!(pruned.approx_eq(&lazy.origins(v(i))));
+            assert!(qty_approx_eq(backtrace.buffered(v(i)), eager.buffered(v(i))));
+        }
+        assert!(backtrace.check_all_invariants());
+        assert_eq!(backtrace.log_len(), 6);
+    }
+
+    #[test]
+    fn pruning_skips_unreachable_branches() {
+        let (n, rs) = star_with_dead_branch();
+        let mut backtrace = BacktraceIndex::fifo(n);
+        backtrace.process_all(&rs);
+        let (origins, stats) = backtrace
+            .origins_at_with_stats(v(5), f64::INFINITY, &PolicyConfig::Plain(SelectionPolicy::Fifo))
+            .unwrap();
+        // Provenance is exact …
+        let mut exact = ReceiptOrderTracker::fifo(n);
+        exact.process_all(&rs);
+        assert!(origins.approx_eq(&exact.origins(v(5))));
+        // … and the dead branch (vertices 3, 4) was pruned away.
+        assert_eq!(stats.log_len, 5);
+        assert_eq!(stats.horizon_interactions, 5);
+        assert_eq!(stats.replayed_interactions, 3);
+        assert_eq!(stats.reachable_vertices, 4); // {0, 1, 2, 5}
+        assert!(stats.pruning_ratio() > 0.0);
+    }
+
+    #[test]
+    fn reachability_respects_time_ordering() {
+        // 0 -> 1 happens *after* 1 -> 2, so quantity from 0 can never reach 2.
+        let rs = vec![
+            Interaction::new(1u32, 2u32, 1.0, 5.0),
+            Interaction::new(0u32, 1u32, 2.0, 5.0),
+        ];
+        let mut backtrace = BacktraceIndex::fifo(3);
+        backtrace.process_all(&rs);
+        let reach = backtrace.backward_reachable(v(2), f64::INFINITY);
+        assert_eq!(reach, vec![false, true, true]);
+        // Query at a horizon before the second interaction: same answer.
+        let reach = backtrace.backward_reachable(v(2), 1.5);
+        assert_eq!(reach, vec![false, true, true]);
+        // The origin set at v2 only knows about v1.
+        let origins = backtrace.origins_at(v(2), f64::INFINITY).unwrap();
+        assert_eq!(origins.len(), 1);
+        assert!(qty_approx_eq(origins.quantity_from_vertex(v(1)), 5.0));
+    }
+
+    #[test]
+    fn time_travel_matches_prefix_replay() {
+        let rs = paper_running_example();
+        let mut backtrace = BacktraceIndex::proportional(3);
+        backtrace.process_all(&rs);
+        let mut eager_prefix = ProportionalSparseTracker::new(3);
+        eager_prefix.process_all(&rs[..3]);
+        for i in 0..3u32 {
+            let pruned = backtrace.origins_at(v(i), 4.0).unwrap();
+            assert!(pruned.approx_eq(&eager_prefix.origins(v(i))), "mismatch at v{i}");
+        }
+    }
+
+    #[test]
+    fn pruned_replay_is_exact_under_every_policy() {
+        let (n, rs) = star_with_dead_branch();
+        let mut backtrace = BacktraceIndex::fifo(n);
+        backtrace.process_all(&rs);
+        for policy in SelectionPolicy::all() {
+            if policy == SelectionPolicy::NoProvenance {
+                continue;
+            }
+            let config = PolicyConfig::Plain(policy);
+            let mut exact = build_tracker(&config, n).unwrap();
+            exact.process_all(&rs);
+            for i in 0..n as u32 {
+                let pruned = backtrace.origins_at_with(v(i), f64::INFINITY, &config).unwrap();
+                assert!(
+                    pruned.approx_eq(&exact.origins(v(i))),
+                    "policy {policy}, vertex v{i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stats_and_footprint() {
+        let mut backtrace = BacktraceIndex::proportional(3);
+        backtrace.process_all(&paper_running_example());
+        let (_, stats) = backtrace
+            .origins_at_with_stats(
+                v(0),
+                f64::INFINITY,
+                &PolicyConfig::Plain(SelectionPolicy::ProportionalSparse),
+            )
+            .unwrap();
+        assert_eq!(stats.log_len, 6);
+        assert!(stats.replayed_interactions <= stats.horizon_interactions);
+        assert!(stats.reachable_vertices >= 1);
+        assert!(stats.pruning_ratio() >= 0.0);
+        assert_eq!(QueryStats::default().pruning_ratio(), 0.0);
+        let fp = backtrace.footprint();
+        assert!(fp.index_bytes >= 6 * std::mem::size_of::<Interaction>());
+        assert_eq!(fp.paths_bytes, 0);
+        assert_eq!(backtrace.name(), "Backtrace (pruned replay on demand)");
+    }
+
+    #[test]
+    fn invalid_query_policy_is_an_error() {
+        let mut backtrace = BacktraceIndex::proportional(3);
+        backtrace.process_all(&paper_running_example());
+        let bad = PolicyConfig::Selective { tracked: vec![] };
+        assert!(backtrace.origins_at_with(v(0), 10.0, &bad).is_err());
+    }
+
+    #[test]
+    fn empty_log_queries_are_empty() {
+        let backtrace = BacktraceIndex::fifo(4);
+        assert!(backtrace.origins_at(v(2), 100.0).unwrap().is_empty());
+        let reach = backtrace.backward_reachable(v(2), 100.0);
+        assert_eq!(reach.iter().filter(|&&b| b).count(), 1);
+    }
+}

@@ -1,0 +1,369 @@
+//! Diffusion (copy) propagation model with provenance annotations.
+//!
+//! Section 8 of the paper lists, as future work, adapting the provenance
+//! machinery "to be applied on social networks, where data are diffused,
+//! instead of being relayed from vertex to vertex". This module implements
+//! that extension: a propagation model in which an interaction *copies*
+//! information from the source to the destination instead of moving it.
+//!
+//! Semantics of an interaction ⟨r.s, r.d, r.t, r.q⟩ under diffusion:
+//!
+//! * the destination receives `r.q` units whose origin composition mirrors
+//!   the current composition of the source buffer `B_{r.s}` (proportional
+//!   copy);
+//! * the source buffer is **not** decreased — sharing information does not
+//!   destroy it;
+//! * if `|B_{r.s}| < r.q`, the shortfall `r.q − |B_{r.s}|` is newly generated
+//!   at `r.s`; the newborn share is added to *both* buffers, because the
+//!   source retains what it creates.
+//!
+//! Consequences, compared to the relay trackers of Sections 4–5:
+//!
+//! * the per-vertex Definition 2 invariant `Σ_{τ∈O(t,B_v)} τ.q = |B_v|`
+//!   still holds;
+//! * global conservation does **not** hold: the total buffered quantity grows
+//!   monotonically because quantities are cloned, which is exactly the key
+//!   difference the paper identifies between TINs and information-diffusion
+//!   networks (Section 2.2);
+//! * `|B_v|` equals the total inflow into `v` plus everything `v` generated
+//!   and retained, so `|B_v|` under diffusion dominates `|B_v|` under any
+//!   relay policy.
+//!
+//! Because information is copied, influence-style questions ("how far did
+//! data generated at `o` spread?") become meaningful; [`DiffusionTracker`]
+//! answers them directly from the provenance vectors via
+//! [`DiffusionTracker::influence_of`], [`DiffusionTracker::reach_of`] and
+//! [`DiffusionTracker::influence_ranking`].
+
+use crate::ids::VertexId;
+use crate::interaction::Interaction;
+use crate::memory::{FootprintBreakdown, MemoryFootprint};
+use crate::origins::OriginSet;
+use crate::quantity::{qty_clamp_non_negative, qty_ge, qty_is_zero, Quantity};
+use crate::sparse_vec::SparseProvenance;
+use crate::tracker::ProvenanceTracker;
+
+/// Provenance tracking under the diffusion (copy) propagation model.
+///
+/// The state mirrors [`super::proportional_sparse::ProportionalSparseTracker`]
+/// — one sparse provenance vector per vertex — but interactions copy instead
+/// of move quantity.
+#[derive(Clone, Debug)]
+pub struct DiffusionTracker {
+    vectors: Vec<SparseProvenance>,
+    totals: Vec<Quantity>,
+    generated: Vec<Quantity>,
+    processed: usize,
+}
+
+impl DiffusionTracker {
+    /// Create a diffusion tracker for `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        DiffusionTracker {
+            vectors: vec![SparseProvenance::new(); num_vertices],
+            totals: vec![0.0; num_vertices],
+            generated: vec![0.0; num_vertices],
+            processed: 0,
+        }
+    }
+
+    /// Direct read access to the provenance vector of `v`.
+    pub fn vector(&self, v: VertexId) -> &SparseProvenance {
+        &self.vectors[v.index()]
+    }
+
+    /// Quantity newly generated at each vertex so far (indexed by vertex).
+    pub fn generated_per_vertex(&self) -> &[Quantity] {
+        &self.generated
+    }
+
+    /// Total quantity generated anywhere in the network so far.
+    pub fn total_generated(&self) -> Quantity {
+        self.generated.iter().sum()
+    }
+
+    /// Total quantity, across *all* buffers, that originates from `origin`.
+    ///
+    /// Under diffusion this is the natural "influence" of an origin: how much
+    /// information traceable to it is currently held anywhere in the network.
+    pub fn influence_of(&self, origin: VertexId) -> Quantity {
+        self.vectors.iter().map(|p| p.get_vertex(origin)).sum()
+    }
+
+    /// Number of vertices (other than `origin` itself) currently holding a
+    /// non-zero quantity that originates from `origin`.
+    pub fn reach_of(&self, origin: VertexId) -> usize {
+        self.vectors
+            .iter()
+            .enumerate()
+            .filter(|(holder, p)| {
+                *holder != origin.index() && !qty_is_zero(p.get_vertex(origin))
+            })
+            .count()
+    }
+
+    /// The `k` origins with the largest influence, sorted by descending
+    /// influence. Ties are broken by vertex id so results are deterministic.
+    pub fn influence_ranking(&self, k: usize) -> Vec<(VertexId, Quantity)> {
+        let mut influence = vec![0.0f64; self.vectors.len()];
+        for p in &self.vectors {
+            for (origin, qty) in p.iter() {
+                if let Some(v) = origin.as_vertex() {
+                    if v.index() < influence.len() {
+                        influence[v.index()] += qty;
+                    }
+                }
+            }
+        }
+        let mut ranked: Vec<(VertexId, Quantity)> = influence
+            .into_iter()
+            .enumerate()
+            .filter(|(_, q)| !qty_is_zero(*q))
+            .map(|(i, q)| (VertexId::from(i), q))
+            .collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        ranked
+    }
+
+    /// Average provenance-list length over vertices with non-empty lists.
+    pub fn average_list_length(&self) -> f64 {
+        let lens: Vec<usize> = self
+            .vectors
+            .iter()
+            .map(|p| p.len())
+            .filter(|&l| l > 0)
+            .collect();
+        if lens.is_empty() {
+            0.0
+        } else {
+            lens.iter().sum::<usize>() as f64 / lens.len() as f64
+        }
+    }
+
+    /// Total number of provenance entries across all lists.
+    pub fn total_entries(&self) -> usize {
+        self.vectors.iter().map(|p| p.len()).sum()
+    }
+}
+
+impl ProvenanceTracker for DiffusionTracker {
+    fn name(&self) -> &'static str {
+        "Diffusion (copy)"
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.vectors.len()
+    }
+
+    fn process(&mut self, r: &Interaction) {
+        let s = r.src.index();
+        let d = r.dst.index();
+        debug_assert_ne!(s, d, "self-loops are rejected at stream validation");
+
+        let (src_vec, dst_vec) = if s < d {
+            let (a, b) = self.vectors.split_at_mut(d);
+            (&mut a[s], &mut b[0])
+        } else {
+            let (a, b) = self.vectors.split_at_mut(s);
+            (&mut b[0], &mut a[d])
+        };
+
+        let src_total = self.totals[s];
+        if qty_ge(r.qty, src_total) {
+            // Copy the whole of the source's composition, then generate the
+            // shortfall at the source. The newborn share is retained by the
+            // source as well as delivered to the destination.
+            dst_vec.merge_add(src_vec);
+            let newborn = qty_clamp_non_negative(r.qty - src_total);
+            if newborn > 0.0 {
+                dst_vec.add_vertex(r.src, newborn);
+                src_vec.add_vertex(r.src, newborn);
+                self.generated[s] += newborn;
+                self.totals[s] += newborn;
+            }
+            self.totals[d] += r.qty;
+        } else {
+            // Proportional copy: the destination receives a scaled-down image
+            // of the source's composition; the source keeps everything.
+            let factor = r.qty / src_total;
+            dst_vec.merge_add_scaled(src_vec, factor);
+            self.totals[d] += r.qty;
+        }
+        self.processed += 1;
+    }
+
+    fn buffered(&self, v: VertexId) -> Quantity {
+        self.totals[v.index()]
+    }
+
+    fn origins(&self, v: VertexId) -> OriginSet {
+        self.vectors[v.index()].to_origin_set()
+    }
+
+    fn footprint(&self) -> FootprintBreakdown {
+        FootprintBreakdown {
+            entries_bytes: self.vectors.iter().map(|p| p.footprint_bytes()).sum(),
+            paths_bytes: 0,
+            index_bytes: crate::memory::vec_bytes(&self.totals)
+                + crate::memory::vec_bytes(&self.generated)
+                + std::mem::size_of::<SparseProvenance>() * self.vectors.capacity(),
+        }
+    }
+
+    fn interactions_processed(&self) -> usize {
+        self.processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interaction::paper_running_example;
+    use crate::quantity::qty_approx_eq;
+    use crate::tracker::proportional_sparse::ProportionalSparseTracker;
+
+    fn v(i: u32) -> VertexId {
+        VertexId::new(i)
+    }
+
+    /// First interaction of the running example: v1 sends 3 units to v2 with
+    /// an empty buffer, so 3 units are born at v1 and now exist at *both*
+    /// endpoints (the source retains what it creates).
+    #[test]
+    fn newborn_quantity_is_retained_by_the_source() {
+        let mut t = DiffusionTracker::new(3);
+        t.process(&paper_running_example()[0]);
+        assert!(qty_approx_eq(t.buffered(v(1)), 3.0));
+        assert!(qty_approx_eq(t.buffered(v(2)), 3.0));
+        assert!(qty_approx_eq(t.origins(v(2)).quantity_from_vertex(v(1)), 3.0));
+        assert!(qty_approx_eq(t.origins(v(1)).quantity_from_vertex(v(1)), 3.0));
+        assert!(qty_approx_eq(t.total_generated(), 3.0));
+    }
+
+    /// A proportional copy leaves the source buffer untouched.
+    #[test]
+    fn partial_copy_does_not_decrease_the_source() {
+        let mut t = DiffusionTracker::new(3);
+        // Give v0 a mixed buffer: 2 from v1, 2 from v2.
+        t.process(&Interaction::new(1u32, 0u32, 1.0, 2.0));
+        t.process(&Interaction::new(2u32, 0u32, 2.0, 2.0));
+        assert!(qty_approx_eq(t.buffered(v(0)), 4.0));
+        // v0 shares 1 unit with v1: composition is copied proportionally.
+        t.process(&Interaction::new(0u32, 1u32, 3.0, 1.0));
+        assert!(qty_approx_eq(t.buffered(v(0)), 4.0), "source unchanged");
+        let o1 = t.origins(v(1));
+        assert!(qty_approx_eq(o1.quantity_from_vertex(v(1)), 2.5));
+        assert!(qty_approx_eq(o1.quantity_from_vertex(v(2)), 0.5));
+        assert!(t.check_all_invariants());
+    }
+
+    /// The per-vertex Definition 2 invariant holds on the running example.
+    #[test]
+    fn origin_invariant_holds_on_running_example() {
+        let mut t = DiffusionTracker::new(3);
+        for r in paper_running_example() {
+            t.process(&r);
+            assert!(t.check_all_invariants(), "after {r:?}");
+        }
+        assert_eq!(t.interactions_processed(), 6);
+    }
+
+    /// Total buffered quantity only ever grows under diffusion, and every
+    /// vertex buffers at least as much as under the relay model.
+    #[test]
+    fn diffusion_dominates_relay() {
+        let rs = paper_running_example();
+        let mut diffusion = DiffusionTracker::new(3);
+        let mut relay = ProportionalSparseTracker::new(3);
+        let mut previous_total = 0.0;
+        for r in &rs {
+            diffusion.process(r);
+            relay.process(r);
+            let total = diffusion.total_buffered();
+            assert!(total >= previous_total - 1e-9, "total must not shrink");
+            previous_total = total;
+            for i in 0..3u32 {
+                assert!(
+                    diffusion.buffered(v(i)) + 1e-9 >= relay.buffered(v(i)),
+                    "diffusion must dominate relay at v{i}"
+                );
+            }
+        }
+    }
+
+    /// Influence accounting: summing influence over all origins equals the
+    /// total buffered quantity, and the ranking is sorted.
+    #[test]
+    fn influence_sums_to_total_buffered() {
+        let mut t = DiffusionTracker::new(4);
+        t.process(&Interaction::new(0u32, 1u32, 1.0, 5.0));
+        t.process(&Interaction::new(1u32, 2u32, 2.0, 3.0));
+        t.process(&Interaction::new(2u32, 3u32, 3.0, 1.0));
+        let ranking = t.influence_ranking(10);
+        let total_influence: f64 = ranking.iter().map(|(_, q)| q).sum();
+        assert!(qty_approx_eq(total_influence, t.total_buffered()));
+        for pair in ranking.windows(2) {
+            assert!(pair[0].1 >= pair[1].1, "ranking must be sorted");
+        }
+        // v0 generated everything relayed downstream, so it is the most
+        // influential origin.
+        assert_eq!(ranking[0].0, v(0));
+    }
+
+    /// Reach counts the holders other than the origin itself.
+    #[test]
+    fn reach_counts_distinct_holders() {
+        let mut t = DiffusionTracker::new(4);
+        t.process(&Interaction::new(0u32, 1u32, 1.0, 2.0));
+        t.process(&Interaction::new(1u32, 2u32, 2.0, 1.0));
+        t.process(&Interaction::new(1u32, 3u32, 3.0, 1.0));
+        // v0's information reached v1, v2 and v3 (its own retained copy does
+        // not count).
+        assert_eq!(t.reach_of(v(0)), 3);
+        assert_eq!(t.reach_of(v(3)), 0);
+    }
+
+    /// Influence ranking truncates to k and filters zero-influence vertices.
+    #[test]
+    fn influence_ranking_truncates() {
+        let mut t = DiffusionTracker::new(5);
+        t.process(&Interaction::new(0u32, 1u32, 1.0, 1.0));
+        t.process(&Interaction::new(2u32, 3u32, 2.0, 4.0));
+        assert_eq!(t.influence_ranking(1).len(), 1);
+        assert_eq!(t.influence_ranking(1)[0].0, v(2));
+        assert_eq!(t.influence_ranking(10).len(), 2);
+        assert!(qty_approx_eq(t.influence_of(v(4)), 0.0));
+    }
+
+    /// Buffered quantity at a vertex equals its total inflow plus retained
+    /// newborn quantity.
+    #[test]
+    fn buffered_equals_inflow() {
+        let rs = paper_running_example();
+        let mut t = DiffusionTracker::new(3);
+        t.process_all(&rs);
+        for i in 0..3u32 {
+            let inflow: f64 = rs.iter().filter(|r| r.dst == v(i)).map(|r| r.qty).sum();
+            let retained = t.generated_per_vertex()[i as usize];
+            assert!(
+                qty_approx_eq(t.buffered(v(i)), inflow + retained),
+                "v{i}: buffered {} vs inflow {inflow} + retained {retained}",
+                t.buffered(v(i))
+            );
+        }
+    }
+
+    #[test]
+    fn footprint_and_list_statistics() {
+        let mut t = DiffusionTracker::new(3);
+        assert_eq!(t.average_list_length(), 0.0);
+        t.process_all(&paper_running_example());
+        assert!(t.footprint().entries_bytes > 0);
+        assert_eq!(t.footprint().paths_bytes, 0);
+        assert!(t.total_entries() > 0);
+        assert!(t.average_list_length() >= 1.0);
+        assert_eq!(t.name(), "Diffusion (copy)");
+        assert_eq!(t.num_vertices(), 3);
+    }
+}

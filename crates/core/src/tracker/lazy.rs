@@ -1,0 +1,238 @@
+//! Lazy (replay-based) provenance — the paper's future-work direction.
+//!
+//! Section 8 of the paper proposes investigating *lazy* approaches in the
+//! spirit of Ariadne's "replay lazy" operator instrumentation (Glavic et al.):
+//! instead of maintaining provenance proactively at every interaction, keep
+//! only the cheap NoProv state plus the interaction log, and compute
+//! provenance *on demand* by replaying the relevant prefix of the log through
+//! an instrumented tracker.
+//!
+//! The trade-off is the classic eager-vs-lazy one:
+//!
+//! * processing cost drops to Algorithm 1's O(1) per interaction and the
+//!   memory to the log itself;
+//! * every provenance query costs a replay of the prefix up to the query
+//!   time, under whichever selection policy the caller asks for.
+//!
+//! This also gives *time-travel* queries for free: `origins_at` answers
+//! `O(t, B_v)` for any past time `t`, which the eager trackers cannot do
+//! without external snapshots.
+
+use crate::error::Result;
+use crate::ids::VertexId;
+use crate::interaction::Interaction;
+use crate::memory::{vec_bytes, FootprintBreakdown};
+use crate::origins::OriginSet;
+use crate::policy::{PolicyConfig, SelectionPolicy};
+use crate::quantity::Quantity;
+use crate::tracker::{build_tracker, no_prov::NoProvTracker, ProvenanceTracker};
+
+/// Lazy provenance: log the interactions, replay on demand.
+#[derive(Debug)]
+pub struct LazyReplayProvenance {
+    /// The default policy used when a query does not specify one.
+    default_policy: PolicyConfig,
+    /// Cheap eager state so `buffered` stays O(1).
+    baseline: NoProvTracker,
+    /// The full interaction log, in processing order.
+    log: Vec<Interaction>,
+}
+
+impl LazyReplayProvenance {
+    /// Create a lazy tracker whose queries default to the given policy.
+    pub fn new(num_vertices: usize, default_policy: PolicyConfig) -> Self {
+        LazyReplayProvenance {
+            default_policy,
+            baseline: NoProvTracker::new(num_vertices),
+            log: Vec::new(),
+        }
+    }
+
+    /// Create a lazy tracker defaulting to proportional (sparse) queries.
+    pub fn proportional(num_vertices: usize) -> Self {
+        Self::new(
+            num_vertices,
+            PolicyConfig::Plain(SelectionPolicy::ProportionalSparse),
+        )
+    }
+
+    /// Number of logged interactions.
+    pub fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Replay the log up to (and including) time `t` under `policy` and
+    /// return the resulting tracker. The replay cost is O(prefix length)
+    /// tracker-processing work.
+    pub fn replay_until(
+        &self,
+        t: f64,
+        policy: &PolicyConfig,
+    ) -> Result<Box<dyn ProvenanceTracker>> {
+        let mut tracker = build_tracker(policy, self.baseline.num_vertices())?;
+        for r in &self.log {
+            if r.time.0 > t {
+                break;
+            }
+            tracker.process(r);
+        }
+        Ok(tracker)
+    }
+
+    /// `O(t, B_v)` at an arbitrary past time `t` under an explicit policy.
+    pub fn origins_at_with(
+        &self,
+        v: VertexId,
+        t: f64,
+        policy: &PolicyConfig,
+    ) -> Result<OriginSet> {
+        Ok(self.replay_until(t, policy)?.origins(v))
+    }
+
+    /// `O(t, B_v)` at an arbitrary past time `t` under the default policy.
+    pub fn origins_at(&self, v: VertexId, t: f64) -> Result<OriginSet> {
+        self.origins_at_with(v, t, &self.default_policy.clone())
+    }
+
+    /// `|B_v|` at an arbitrary past time `t` (replays only Algorithm 1, so it
+    /// is cheaper than a provenance query).
+    pub fn buffered_at(&self, v: VertexId, t: f64) -> Quantity {
+        let mut baseline = NoProvTracker::new(self.baseline.num_vertices());
+        for r in &self.log {
+            if r.time.0 > t {
+                break;
+            }
+            baseline.process(r);
+        }
+        baseline.buffered(v)
+    }
+}
+
+impl ProvenanceTracker for LazyReplayProvenance {
+    fn name(&self) -> &'static str {
+        "Lazy (replay on demand)"
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.baseline.num_vertices()
+    }
+
+    fn process(&mut self, r: &Interaction) {
+        self.baseline.process(r);
+        self.log.push(*r);
+    }
+
+    fn buffered(&self, v: VertexId) -> Quantity {
+        self.baseline.buffered(v)
+    }
+
+    fn origins(&self, v: VertexId) -> OriginSet {
+        // Replay the entire log under the default policy.
+        self.origins_at(v, f64::INFINITY)
+            .expect("default policy was validated at construction")
+    }
+
+    fn footprint(&self) -> FootprintBreakdown {
+        let base = self.baseline.footprint();
+        FootprintBreakdown {
+            entries_bytes: base.entries_bytes,
+            paths_bytes: 0,
+            index_bytes: vec_bytes(&self.log),
+        }
+    }
+
+    fn interactions_processed(&self) -> usize {
+        self.log.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interaction::paper_running_example;
+    use crate::quantity::qty_approx_eq;
+    use crate::tracker::proportional_sparse::ProportionalSparseTracker;
+    use crate::tracker::receipt_order::ReceiptOrderTracker;
+
+    fn v(i: u32) -> VertexId {
+        VertexId::new(i)
+    }
+
+    #[test]
+    fn lazy_matches_eager_proportional_at_the_end() {
+        let mut lazy = LazyReplayProvenance::proportional(3);
+        let mut eager = ProportionalSparseTracker::new(3);
+        for r in paper_running_example() {
+            lazy.process(&r);
+            eager.process(&r);
+        }
+        for i in 0..3u32 {
+            assert!(qty_approx_eq(lazy.buffered(v(i)), eager.buffered(v(i))));
+            assert!(lazy.origins(v(i)).approx_eq(&eager.origins(v(i))));
+        }
+        assert_eq!(lazy.log_len(), 6);
+        assert!(lazy.check_all_invariants());
+    }
+
+    #[test]
+    fn time_travel_queries_match_prefix_replay() {
+        let rs = paper_running_example();
+        let mut lazy = LazyReplayProvenance::proportional(3);
+        lazy.process_all(&rs);
+        // Query at time 4 (after the third interaction): compare with an
+        // eager tracker fed only the prefix.
+        let mut eager_prefix = ProportionalSparseTracker::new(3);
+        eager_prefix.process_all(&rs[..3]);
+        for i in 0..3u32 {
+            let lazy_origins = lazy.origins_at(v(i), 4.0).unwrap();
+            assert!(
+                lazy_origins.approx_eq(&eager_prefix.origins(v(i))),
+                "mismatch at v{i}"
+            );
+            assert!(qty_approx_eq(
+                lazy.buffered_at(v(i), 4.0),
+                eager_prefix.buffered(v(i))
+            ));
+        }
+    }
+
+    #[test]
+    fn queries_can_use_any_policy() {
+        let rs = paper_running_example();
+        let mut lazy = LazyReplayProvenance::proportional(3);
+        lazy.process_all(&rs);
+        let mut lifo = ReceiptOrderTracker::lifo(3);
+        lifo.process_all(&rs);
+        let via_lazy = lazy
+            .origins_at_with(v(2), f64::INFINITY, &PolicyConfig::Plain(SelectionPolicy::Lifo))
+            .unwrap();
+        assert!(via_lazy.approx_eq(&lifo.origins(v(2))));
+    }
+
+    #[test]
+    fn query_before_first_interaction_is_empty() {
+        let mut lazy = LazyReplayProvenance::proportional(3);
+        lazy.process_all(&paper_running_example());
+        assert!(lazy.origins_at(v(0), 0.5).unwrap().is_empty());
+        assert_eq!(lazy.buffered_at(v(0), 0.5), 0.0);
+    }
+
+    #[test]
+    fn processing_cost_is_log_only() {
+        let mut lazy = LazyReplayProvenance::proportional(3);
+        lazy.process_all(&paper_running_example());
+        let fp = lazy.footprint();
+        // The only provenance state is the log itself (plus NoProv buffers).
+        assert!(fp.index_bytes >= 6 * std::mem::size_of::<Interaction>());
+        assert_eq!(fp.paths_bytes, 0);
+        assert_eq!(lazy.name(), "Lazy (replay on demand)");
+    }
+
+    #[test]
+    fn invalid_query_policy_is_an_error() {
+        let mut lazy = LazyReplayProvenance::proportional(3);
+        lazy.process_all(&paper_running_example());
+        let bad = PolicyConfig::Selective { tracked: vec![] };
+        assert!(lazy.origins_at_with(v(0), 10.0, &bad).is_err());
+    }
+}

@@ -1,0 +1,273 @@
+//! Provenance trackers: one streaming state machine per selection policy.
+//!
+//! Every tracker consumes interactions in time order and can answer, at any
+//! moment, the provenance question of Definition 2: *which origins make up
+//! the quantity buffered at vertex v right now?*
+//!
+//! | Tracker | Paper | Complexity (space / per-interaction time) |
+//! |---------|-------|--------------------------------------------|
+//! | [`no_prov::NoProvTracker`] | Alg. 1 | O(\|V\|) / O(1) |
+//! | [`generation_time::GenerationTimeTracker`] | §4.1, Alg. 2 | O(\|R\|) / O((\|R\|/\|V\|)·log(\|R\|/\|V\|)) expected |
+//! | [`receipt_order::ReceiptOrderTracker`] | §4.2 | O(\|R\|) / O(\|R\|/\|V\|) expected |
+//! | [`proportional_dense::ProportionalDenseTracker`] | §4.3, Alg. 3 | O(\|V\|²) / O(\|V\|) |
+//! | [`proportional_sparse::ProportionalSparseTracker`] | §4.3 | O(\|V\|·ℓ) / O(ℓ) |
+//! | [`selective::SelectiveTracker`] | §5.1 | O(k·\|V\|) / O(k) |
+//! | [`grouped::GroupedTracker`] | §5.2 | O(m·\|V\|) / O(m) |
+//! | [`windowed::WindowedTracker`] | §5.3.1 | bounded by window W |
+//! | [`windowed_time::TimeWindowedTracker`] | §5.3.1 (time-based variant) | bounded by window duration D |
+//! | [`budget::BudgetTracker`] | §5.3.2 | O(C·\|V\|) / O(C) |
+//! | [`path::PathTracker`] | §6 | O(\|R\|²/\|V\|) space |
+//! | [`path_generation::GenerationPathTracker`] | §6 on top of §4.1 | O(\|R\|²/\|V\|) space |
+//! | [`lazy::LazyReplayProvenance`] | §8 (future work: replay-lazy) | O(\|R\|) log / O(prefix) per query |
+//! | [`backtrace::BacktraceIndex`] | §8 (future work: backtracing) | O(\|R\|) log / O(relevant prefix) per query |
+//! | [`diffusion::DiffusionTracker`] | §8 (future work: diffusion instead of relay) | O(\|V\|·ℓ) / O(ℓ) |
+
+pub mod backtrace;
+pub mod budget;
+pub mod diffusion;
+pub mod generation_time;
+pub mod grouped;
+pub mod lazy;
+pub mod no_prov;
+pub mod path;
+pub mod path_generation;
+pub mod proportional_dense;
+pub mod proportional_sparse;
+pub mod receipt_order;
+pub mod selective;
+pub mod windowed;
+pub mod windowed_time;
+
+use crate::error::Result;
+use crate::ids::VertexId;
+use crate::interaction::Interaction;
+use crate::memory::{FootprintBreakdown, MemoryFootprint};
+use crate::origins::OriginSet;
+use crate::policy::{PolicyConfig, SelectionPolicy};
+use crate::quantity::{qty_approx_eq, Quantity};
+use crate::stream::InteractionSource;
+
+/// The uniform streaming interface implemented by every provenance tracker.
+pub trait ProvenanceTracker {
+    /// A short human-readable name (used in reports and benchmark output).
+    fn name(&self) -> &'static str;
+
+    /// Number of vertices this tracker was configured for.
+    fn num_vertices(&self) -> usize;
+
+    /// Apply one interaction. Interactions must arrive in non-decreasing time
+    /// order; endpoints must be valid vertex indices.
+    fn process(&mut self, r: &Interaction);
+
+    /// Total quantity currently buffered at `v` (`|B_v|`).
+    fn buffered(&self, v: VertexId) -> Quantity;
+
+    /// The provenance of the quantity buffered at `v`: the origin set
+    /// `O(t, B_v)` of Definition 2.
+    fn origins(&self, v: VertexId) -> OriginSet;
+
+    /// Logical memory footprint of the provenance state, broken down into
+    /// entries / paths / indexes (Table 8 and Table 10 reporting).
+    fn footprint(&self) -> FootprintBreakdown;
+
+    /// Number of interactions processed so far.
+    fn interactions_processed(&self) -> usize;
+
+    /// Apply a whole slice of interactions in order.
+    fn process_all(&mut self, interactions: &[Interaction]) {
+        for r in interactions {
+            self.process(r);
+        }
+    }
+
+    /// Drain an [`InteractionSource`], applying every interaction.
+    fn process_source(&mut self, source: &mut dyn InteractionSource) -> Result<usize> {
+        let mut n = 0;
+        while let Some(r) = source.next_interaction()? {
+            self.process(&r);
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Total quantity buffered anywhere in the network.
+    fn total_buffered(&self) -> Quantity {
+        (0..self.num_vertices())
+            .map(|i| self.buffered(VertexId::from(i)))
+            .sum()
+    }
+
+    /// Check the Definition 2 invariant `Σ_{τ ∈ O(t,B_v)} τ.q = |B_v|` at a
+    /// single vertex. Provided for tests and debugging.
+    fn check_origin_invariant(&self, v: VertexId) -> bool {
+        qty_approx_eq(self.origins(v).total(), self.buffered(v))
+    }
+
+    /// Check the origin invariant at every vertex.
+    fn check_all_invariants(&self) -> bool {
+        (0..self.num_vertices()).all(|i| self.check_origin_invariant(VertexId::from(i)))
+    }
+}
+
+impl MemoryFootprint for dyn ProvenanceTracker + '_ {
+    fn footprint_bytes(&self) -> usize {
+        self.footprint().total()
+    }
+}
+
+/// Build a boxed tracker from a [`PolicyConfig`].
+///
+/// # Errors
+/// Returns [`crate::TinError::InvalidConfig`] when the configuration is
+/// internally inconsistent (e.g. zero groups, empty tracked set, zero
+/// window/budget, or a group mapping of the wrong length).
+pub fn build_tracker(
+    config: &PolicyConfig,
+    num_vertices: usize,
+) -> Result<Box<dyn ProvenanceTracker>> {
+    use crate::error::TinError;
+    Ok(match config {
+        PolicyConfig::Plain(policy) => match policy {
+            SelectionPolicy::NoProvenance => Box::new(no_prov::NoProvTracker::new(num_vertices)),
+            SelectionPolicy::LeastRecentlyBorn => Box::new(
+                generation_time::GenerationTimeTracker::least_recently_born(num_vertices),
+            ),
+            SelectionPolicy::MostRecentlyBorn => Box::new(
+                generation_time::GenerationTimeTracker::most_recently_born(num_vertices),
+            ),
+            SelectionPolicy::Fifo => {
+                Box::new(receipt_order::ReceiptOrderTracker::fifo(num_vertices))
+            }
+            SelectionPolicy::Lifo => {
+                Box::new(receipt_order::ReceiptOrderTracker::lifo(num_vertices))
+            }
+            SelectionPolicy::ProportionalDense => Box::new(
+                proportional_dense::ProportionalDenseTracker::new(num_vertices),
+            ),
+            SelectionPolicy::ProportionalSparse => Box::new(
+                proportional_sparse::ProportionalSparseTracker::new(num_vertices),
+            ),
+        },
+        PolicyConfig::Selective { tracked } => {
+            if tracked.is_empty() {
+                return Err(TinError::InvalidConfig(
+                    "selective tracking needs at least one tracked vertex".into(),
+                ));
+            }
+            Box::new(selective::SelectiveTracker::new(num_vertices, tracked.clone())?)
+        }
+        PolicyConfig::Grouped {
+            num_groups,
+            group_of,
+        } => Box::new(grouped::GroupedTracker::new(
+            num_vertices,
+            *num_groups,
+            group_of.clone(),
+        )?),
+        PolicyConfig::Windowed { window } => {
+            Box::new(windowed::WindowedTracker::new(num_vertices, *window)?)
+        }
+        PolicyConfig::TimeWindowed { duration } => Box::new(
+            windowed_time::TimeWindowedTracker::new(num_vertices, *duration)?,
+        ),
+        PolicyConfig::Budgeted {
+            capacity,
+            keep_fraction,
+            criterion,
+            important,
+        } => Box::new(budget::BudgetTracker::with_criterion(
+            num_vertices,
+            *capacity,
+            *keep_fraction,
+            *criterion,
+            important.clone(),
+        )?),
+        PolicyConfig::PathTracking { lifo } => Box::new(if *lifo {
+            path::PathTracker::lifo(num_vertices)
+        } else {
+            path::PathTracker::fifo(num_vertices)
+        }),
+        PolicyConfig::GenerationPaths { most_recent } => Box::new(if *most_recent {
+            path_generation::GenerationPathTracker::most_recently_born(num_vertices)
+        } else {
+            path_generation::GenerationPathTracker::least_recently_born(num_vertices)
+        }),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interaction::paper_running_example;
+
+    #[test]
+    fn factory_builds_every_plain_policy() {
+        for policy in SelectionPolicy::all() {
+            let mut tracker = build_tracker(&PolicyConfig::Plain(policy), 3).unwrap();
+            tracker.process_all(&paper_running_example());
+            assert_eq!(tracker.interactions_processed(), 6);
+            assert!(tracker.check_all_invariants(), "policy {policy}");
+        }
+    }
+
+    #[test]
+    fn factory_builds_scalable_variants() {
+        let configs = vec![
+            PolicyConfig::Selective {
+                tracked: vec![VertexId::new(1)],
+            },
+            PolicyConfig::Grouped {
+                num_groups: 2,
+                group_of: vec![0, 1, 0],
+            },
+            PolicyConfig::Windowed { window: 2 },
+            PolicyConfig::TimeWindowed { duration: 2.5 },
+            PolicyConfig::budget(4),
+            PolicyConfig::PathTracking { lifo: true },
+            PolicyConfig::PathTracking { lifo: false },
+            PolicyConfig::GenerationPaths { most_recent: true },
+            PolicyConfig::GenerationPaths { most_recent: false },
+        ];
+        for config in configs {
+            let mut tracker = build_tracker(&config, 3).unwrap();
+            tracker.process_all(&paper_running_example());
+            assert!(tracker.check_all_invariants(), "config {}", config.key());
+            assert!(tracker.total_buffered() > 0.0);
+        }
+    }
+
+    #[test]
+    fn factory_rejects_bad_configs() {
+        assert!(build_tracker(&PolicyConfig::Selective { tracked: vec![] }, 3).is_err());
+        assert!(build_tracker(
+            &PolicyConfig::Grouped {
+                num_groups: 0,
+                group_of: vec![]
+            },
+            3
+        )
+        .is_err());
+        assert!(build_tracker(&PolicyConfig::Windowed { window: 0 }, 3).is_err());
+        assert!(build_tracker(&PolicyConfig::TimeWindowed { duration: 0.0 }, 3).is_err());
+        assert!(build_tracker(&PolicyConfig::budget(0), 3).is_err());
+    }
+
+    #[test]
+    fn process_source_drains_stream() {
+        let mut tracker =
+            build_tracker(&PolicyConfig::Plain(SelectionPolicy::Fifo), 3).unwrap();
+        let mut src = crate::stream::VecSource::new(paper_running_example());
+        let n = tracker.process_source(&mut src).unwrap();
+        assert_eq!(n, 6);
+        assert_eq!(tracker.interactions_processed(), 6);
+    }
+
+    #[test]
+    fn dyn_tracker_memory_footprint_trait_object() {
+        let mut tracker =
+            build_tracker(&PolicyConfig::Plain(SelectionPolicy::Lifo), 3).unwrap();
+        tracker.process_all(&paper_running_example());
+        let dyn_ref: &dyn ProvenanceTracker = tracker.as_ref();
+        assert!(dyn_ref.footprint_bytes() > 0);
+    }
+}

@@ -1,0 +1,241 @@
+//! Proportional selection with sparse (ordered-list) provenance vectors
+//! (Section 4.3, "Sparse vector representations").
+//!
+//! Semantically identical to [`super::proportional_dense`], but each vector
+//! `p_v` is stored as an ordered list of `(origin, quantity)` pairs with only
+//! the non-zero components. Space drops from `O(|V|²)` to `O(|V|·ℓ)` where ℓ
+//! is the average list length, and each interaction costs `O(ℓ)` list-merge
+//! work — which, as Figure 6 of the paper shows, still grows superlinearly
+//! over long streams because the lists keep getting longer.
+
+use crate::ids::VertexId;
+use crate::interaction::Interaction;
+use crate::memory::{FootprintBreakdown, MemoryFootprint};
+use crate::origins::OriginSet;
+use crate::quantity::{qty_clamp_non_negative, qty_ge, Quantity};
+use crate::sparse_vec::SparseProvenance;
+use crate::tracker::ProvenanceTracker;
+
+/// Proportional provenance with sparse list representations.
+#[derive(Clone, Debug)]
+pub struct ProportionalSparseTracker {
+    vectors: Vec<SparseProvenance>,
+    totals: Vec<Quantity>,
+    processed: usize,
+}
+
+impl ProportionalSparseTracker {
+    /// Create a tracker for `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        ProportionalSparseTracker {
+            vectors: vec![SparseProvenance::new(); num_vertices],
+            totals: vec![0.0; num_vertices],
+            processed: 0,
+        }
+    }
+
+    /// Direct read access to the sparse vector of `v`.
+    pub fn vector(&self, v: VertexId) -> &SparseProvenance {
+        &self.vectors[v.index()]
+    }
+
+    /// Average provenance-list length ℓ over vertices with non-empty lists.
+    pub fn average_list_length(&self) -> f64 {
+        let non_empty: Vec<usize> = self
+            .vectors
+            .iter()
+            .map(|p| p.len())
+            .filter(|&l| l > 0)
+            .collect();
+        if non_empty.is_empty() {
+            0.0
+        } else {
+            non_empty.iter().sum::<usize>() as f64 / non_empty.len() as f64
+        }
+    }
+
+    /// Total number of provenance entries across all lists.
+    pub fn total_entries(&self) -> usize {
+        self.vectors.iter().map(|p| p.len()).sum()
+    }
+}
+
+impl ProvenanceTracker for ProportionalSparseTracker {
+    fn name(&self) -> &'static str {
+        "Proportional (sparse)"
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.vectors.len()
+    }
+
+    fn process(&mut self, r: &Interaction) {
+        let s = r.src.index();
+        let d = r.dst.index();
+        debug_assert_ne!(s, d, "self-loops are rejected at stream validation");
+
+        let (src_vec, dst_vec) = if s < d {
+            let (a, b) = self.vectors.split_at_mut(d);
+            (&mut a[s], &mut b[0])
+        } else {
+            let (a, b) = self.vectors.split_at_mut(s);
+            (&mut b[0], &mut a[d])
+        };
+
+        let src_total = self.totals[s];
+        if qty_ge(r.qty, src_total) {
+            // Full relay plus newborn residue.
+            dst_vec.merge_add(src_vec);
+            src_vec.clear();
+            let newborn = qty_clamp_non_negative(r.qty - src_total);
+            if newborn > 0.0 {
+                dst_vec.add_vertex(r.src, newborn);
+            }
+            self.totals[d] += r.qty;
+            self.totals[s] = 0.0;
+        } else {
+            // Proportional split via list merges.
+            let factor = r.qty / src_total;
+            dst_vec.merge_add_scaled(src_vec, factor);
+            src_vec.scale(1.0 - factor);
+            self.totals[d] += r.qty;
+            self.totals[s] = qty_clamp_non_negative(src_total - r.qty);
+        }
+        self.processed += 1;
+    }
+
+    fn buffered(&self, v: VertexId) -> Quantity {
+        self.totals[v.index()]
+    }
+
+    fn origins(&self, v: VertexId) -> OriginSet {
+        self.vectors[v.index()].to_origin_set()
+    }
+
+    fn footprint(&self) -> FootprintBreakdown {
+        FootprintBreakdown {
+            entries_bytes: self.vectors.iter().map(|p| p.footprint_bytes()).sum(),
+            paths_bytes: 0,
+            index_bytes: crate::memory::vec_bytes(&self.totals)
+                + std::mem::size_of::<SparseProvenance>() * self.vectors.capacity(),
+        }
+    }
+
+    fn interactions_processed(&self) -> usize {
+        self.processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interaction::paper_running_example;
+    use crate::quantity::qty_approx_eq;
+    use crate::tracker::proportional_dense::ProportionalDenseTracker;
+
+    fn v(i: u32) -> VertexId {
+        VertexId::new(i)
+    }
+
+    /// The sparse tracker must produce exactly the same provenance as the
+    /// dense tracker on the running example (they implement the same policy).
+    #[test]
+    fn matches_dense_on_running_example() {
+        let mut sparse = ProportionalSparseTracker::new(3);
+        let mut dense = ProportionalDenseTracker::new(3);
+        for r in paper_running_example() {
+            sparse.process(&r);
+            dense.process(&r);
+            for i in 0..3u32 {
+                assert!(qty_approx_eq(sparse.buffered(v(i)), dense.buffered(v(i))));
+                assert!(
+                    sparse.origins(v(i)).approx_eq(&dense.origins(v(i))),
+                    "origin mismatch at v{i} after {r:?}: {:?} vs {:?}",
+                    sparse.origins(v(i)),
+                    dense.origins(v(i))
+                );
+            }
+        }
+    }
+
+    /// Final vector values of Table 5, read through the sparse representation.
+    #[test]
+    fn table5_final_state() {
+        let mut t = ProportionalSparseTracker::new(3);
+        t.process_all(&paper_running_example());
+        let o0 = t.origins(v(0));
+        assert!((o0.quantity_from_vertex(v(1)) - 2.03).abs() < 0.01);
+        assert!((o0.quantity_from_vertex(v(2)) - 0.97).abs() < 0.01);
+        let o2 = t.origins(v(2));
+        assert!((o2.quantity_from_vertex(v(1)) - 3.31).abs() < 0.01);
+        assert!((o2.quantity_from_vertex(v(2)) - 0.69).abs() < 0.01);
+        assert!(t.check_all_invariants());
+    }
+
+    /// Sparse representation example from Section 4.3: after the first
+    /// interaction, p_v2 is stored as the single pair (v1, 3).
+    #[test]
+    fn sparse_representation_is_compact() {
+        let rs = paper_running_example();
+        let mut t = ProportionalSparseTracker::new(3);
+        t.process(&rs[0]);
+        assert_eq!(t.vector(v(2)).len(), 1);
+        assert!(qty_approx_eq(t.vector(v(2)).get_vertex(v(1)), 3.0));
+        // Dense representation would store 3 slots; sparse stores 1 entry.
+        assert_eq!(t.total_entries(), 1);
+    }
+
+    #[test]
+    fn list_lengths_grow_with_mixing() {
+        let mut t = ProportionalSparseTracker::new(4);
+        // Three distinct generators feed vertex 3, so its list has 3 entries.
+        t.process(&Interaction::new(0u32, 3u32, 1.0, 1.0));
+        t.process(&Interaction::new(1u32, 3u32, 2.0, 1.0));
+        t.process(&Interaction::new(2u32, 3u32, 3.0, 1.0));
+        assert_eq!(t.vector(v(3)).len(), 3);
+        assert!(qty_approx_eq(t.average_list_length(), 3.0));
+        // A partial transfer to vertex 0 propagates all three origins.
+        t.process(&Interaction::new(3u32, 0u32, 4.0, 1.5));
+        assert_eq!(t.vector(v(0)).len(), 3);
+        assert_eq!(t.vector(v(3)).len(), 3);
+        assert!(t.check_all_invariants());
+    }
+
+    #[test]
+    fn average_list_length_empty_tracker() {
+        let t = ProportionalSparseTracker::new(5);
+        assert_eq!(t.average_list_length(), 0.0);
+        assert_eq!(t.total_entries(), 0);
+    }
+
+    #[test]
+    fn totals_match_noprov() {
+        use crate::tracker::no_prov::NoProvTracker;
+        let mut a = ProportionalSparseTracker::new(3);
+        let mut b = NoProvTracker::new(3);
+        for r in paper_running_example() {
+            a.process(&r);
+            b.process(&r);
+        }
+        for i in 0..3u32 {
+            assert!(qty_approx_eq(a.buffered(v(i)), b.buffered(v(i))));
+        }
+    }
+
+    #[test]
+    fn footprint_tracks_entries() {
+        let mut t = ProportionalSparseTracker::new(3);
+        let before = t.footprint().entries_bytes;
+        t.process_all(&paper_running_example());
+        assert!(t.footprint().entries_bytes > before);
+        assert_eq!(t.footprint().paths_bytes, 0);
+    }
+
+    #[test]
+    fn name() {
+        assert_eq!(
+            ProportionalSparseTracker::new(1).name(),
+            "Proportional (sparse)"
+        );
+    }
+}

@@ -1,0 +1,317 @@
+//! Windowed proportional provenance (Section 5.3.1).
+//!
+//! Full proportional provenance over an unbounded history is infeasible for
+//! large graphs, so this tracker limits the scope to a sliding window of `W`
+//! interactions. Each vertex keeps *two* sparse provenance vectors, `p_odd`
+//! and `p_even`. Both are updated at every interaction; whenever the number of
+//! processed interactions reaches an odd multiple of `W` every `p_odd` is
+//! reset to the single entry `(α, |B_v|)` ("unknown provenance"), and at even
+//! multiples every `p_even` is reset. Queries read whichever vector was least
+//! recently reset, which guarantees provenance for quantities born between
+//! `W` and `2W` interactions ago.
+
+use crate::error::{Result, TinError};
+use crate::ids::VertexId;
+use crate::interaction::Interaction;
+use crate::memory::{FootprintBreakdown, MemoryFootprint};
+use crate::origins::OriginSet;
+use crate::quantity::{qty_clamp_non_negative, qty_ge, Quantity};
+use crate::sparse_vec::SparseProvenance;
+use crate::tracker::ProvenanceTracker;
+
+/// Which of the two per-vertex vectors a query should read.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ActiveVector {
+    Odd,
+    Even,
+}
+
+/// Proportional provenance limited to a window of the last `W`–`2W`
+/// interactions.
+#[derive(Clone, Debug)]
+pub struct WindowedTracker {
+    window: usize,
+    odd: Vec<SparseProvenance>,
+    even: Vec<SparseProvenance>,
+    totals: Vec<Quantity>,
+    processed: usize,
+    /// How many window resets have happened so far.
+    resets: usize,
+}
+
+impl WindowedTracker {
+    /// Create a tracker with window length `window` (in interactions).
+    ///
+    /// # Errors
+    /// Returns an error if `window` is zero.
+    pub fn new(num_vertices: usize, window: usize) -> Result<Self> {
+        if window == 0 {
+            return Err(TinError::InvalidConfig(
+                "window length must be at least 1 interaction".into(),
+            ));
+        }
+        Ok(WindowedTracker {
+            window,
+            odd: vec![SparseProvenance::new(); num_vertices],
+            even: vec![SparseProvenance::new(); num_vertices],
+            totals: vec![0.0; num_vertices],
+            processed: 0,
+            resets: 0,
+        })
+    }
+
+    /// The window length W.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Number of resets performed so far.
+    pub fn resets(&self) -> usize {
+        self.resets
+    }
+
+    /// Which vector currently answers queries: the one that was *least*
+    /// recently reset.
+    fn active(&self) -> ActiveVector {
+        // resets = number of resets so far; reset #1 clears the odd vectors,
+        // #2 the even vectors, #3 the odd vectors, ... After an odd number of
+        // resets the odd vectors were cleared most recently → read even.
+        if self.resets % 2 == 1 {
+            ActiveVector::Even
+        } else {
+            ActiveVector::Odd
+        }
+    }
+
+    /// Guaranteed provenance horizon: quantities born within this many
+    /// interactions before "now" have exact provenance (between W and 2W).
+    pub fn guaranteed_horizon(&self) -> usize {
+        let since_reset = self.processed % self.window;
+        self.window + since_reset
+    }
+
+    fn apply(
+        vectors: &mut [SparseProvenance],
+        totals: &[Quantity],
+        r: &Interaction,
+    ) {
+        let s = r.src.index();
+        let d = r.dst.index();
+        let (src_vec, dst_vec) = if s < d {
+            let (a, b) = vectors.split_at_mut(d);
+            (&mut a[s], &mut b[0])
+        } else {
+            let (a, b) = vectors.split_at_mut(s);
+            (&mut b[0], &mut a[d])
+        };
+        let src_total = totals[s];
+        if qty_ge(r.qty, src_total) {
+            dst_vec.merge_add(src_vec);
+            src_vec.clear();
+            let newborn = qty_clamp_non_negative(r.qty - src_total);
+            if newborn > 0.0 {
+                dst_vec.add_vertex(r.src, newborn);
+            }
+        } else {
+            let factor = r.qty / src_total;
+            dst_vec.merge_add_scaled(src_vec, factor);
+            src_vec.scale(1.0 - factor);
+        }
+    }
+}
+
+impl ProvenanceTracker for WindowedTracker {
+    fn name(&self) -> &'static str {
+        "Windowed proportional"
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.totals.len()
+    }
+
+    fn process(&mut self, r: &Interaction) {
+        let s = r.src.index();
+        let d = r.dst.index();
+        debug_assert_ne!(s, d, "self-loops are rejected at stream validation");
+
+        // Both vector families are updated at every interaction.
+        Self::apply(&mut self.odd, &self.totals, r);
+        Self::apply(&mut self.even, &self.totals, r);
+
+        // Update the scalar totals once.
+        let src_total = self.totals[s];
+        if qty_ge(r.qty, src_total) {
+            self.totals[s] = 0.0;
+        } else {
+            self.totals[s] = qty_clamp_non_negative(src_total - r.qty);
+        }
+        self.totals[d] += r.qty;
+        self.processed += 1;
+
+        // Reset at multiples of W (Figure 4).
+        if self.processed.is_multiple_of(self.window) {
+            self.resets += 1;
+            let odd_multiple = self.resets % 2 == 1;
+            let targets = if odd_multiple {
+                &mut self.odd
+            } else {
+                &mut self.even
+            };
+            for (v, vec) in targets.iter_mut().enumerate() {
+                vec.reset_to_unknown(self.totals[v]);
+            }
+        }
+    }
+
+    fn buffered(&self, v: VertexId) -> Quantity {
+        self.totals[v.index()]
+    }
+
+    fn origins(&self, v: VertexId) -> OriginSet {
+        let vec = match self.active() {
+            ActiveVector::Odd => &self.odd[v.index()],
+            ActiveVector::Even => &self.even[v.index()],
+        };
+        vec.to_origin_set()
+    }
+
+    fn footprint(&self) -> FootprintBreakdown {
+        FootprintBreakdown {
+            entries_bytes: self
+                .odd
+                .iter()
+                .chain(self.even.iter())
+                .map(|p| p.footprint_bytes())
+                .sum(),
+            paths_bytes: 0,
+            index_bytes: crate::memory::vec_bytes(&self.totals)
+                + std::mem::size_of::<SparseProvenance>()
+                    * (self.odd.capacity() + self.even.capacity()),
+        }
+    }
+
+    fn interactions_processed(&self) -> usize {
+        self.processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Origin;
+    use crate::interaction::paper_running_example;
+    use crate::quantity::qty_approx_eq;
+    use crate::tracker::proportional_sparse::ProportionalSparseTracker;
+
+    fn v(i: u32) -> VertexId {
+        VertexId::new(i)
+    }
+
+    #[test]
+    fn rejects_zero_window() {
+        assert!(WindowedTracker::new(3, 0).is_err());
+    }
+
+    #[test]
+    fn huge_window_matches_unwindowed_proportional() {
+        // If W exceeds the stream length no reset ever fires, so the result
+        // is exactly proportional sparse tracking.
+        let mut windowed = WindowedTracker::new(3, 1000).unwrap();
+        let mut exact = ProportionalSparseTracker::new(3);
+        for r in paper_running_example() {
+            windowed.process(&r);
+            exact.process(&r);
+        }
+        assert_eq!(windowed.resets(), 0);
+        for i in 0..3u32 {
+            assert!(qty_approx_eq(windowed.buffered(v(i)), exact.buffered(v(i))));
+            assert!(windowed.origins(v(i)).approx_eq(&exact.origins(v(i))));
+        }
+    }
+
+    #[test]
+    fn totals_are_never_affected_by_resets() {
+        use crate::tracker::no_prov::NoProvTracker;
+        let mut windowed = WindowedTracker::new(3, 2).unwrap();
+        let mut baseline = NoProvTracker::new(3);
+        for r in paper_running_example() {
+            windowed.process(&r);
+            baseline.process(&r);
+            for i in 0..3u32 {
+                assert!(qty_approx_eq(
+                    windowed.buffered(v(i)),
+                    baseline.buffered(v(i))
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn resets_fire_every_window() {
+        let mut t = WindowedTracker::new(3, 2).unwrap();
+        t.process_all(&paper_running_example());
+        // 6 interactions, W = 2 -> resets after #2, #4, #6.
+        assert_eq!(t.resets(), 3);
+        assert_eq!(t.window(), 2);
+    }
+
+    #[test]
+    fn origin_invariant_holds_with_alpha_entries() {
+        let mut t = WindowedTracker::new(3, 2).unwrap();
+        for r in paper_running_example() {
+            t.process(&r);
+            assert!(t.check_all_invariants());
+        }
+        // After resets, some provenance must have been forgotten (attributed
+        // to α) at at least one vertex.
+        let total_unknown: f64 = (0..3u32)
+            .map(|i| t.origins(v(i)).quantity_from(Origin::Unknown))
+            .sum();
+        assert!(total_unknown > 0.0);
+    }
+
+    #[test]
+    fn recent_quantities_keep_exact_provenance() {
+        // W = 3: after 6 interactions the active vector was reset at
+        // interaction 3, so quantities born after interaction 3 must still
+        // have concrete origins.
+        let mut t = WindowedTracker::new(3, 3).unwrap();
+        t.process_all(&paper_running_example());
+        // Interaction 4 (v1→v2, q=7) generates 4 newborn units at v1 which
+        // remain (partially) at v2: their origin must still be known.
+        let o2 = t.origins(v(2));
+        assert!(o2.quantity_from_vertex(v(1)) > 0.0);
+    }
+
+    #[test]
+    fn guaranteed_horizon_bounds() {
+        let mut t = WindowedTracker::new(3, 4).unwrap();
+        assert_eq!(t.guaranteed_horizon(), 4);
+        for r in paper_running_example() {
+            t.process(&r);
+            let h = t.guaranteed_horizon();
+            assert!((4..8).contains(&h), "horizon {h} outside [W, 2W)");
+        }
+    }
+
+    #[test]
+    fn memory_is_bounded_by_resets() {
+        // With a small window, provenance lists cannot keep growing: after a
+        // reset the cleared family is a single α entry per vertex.
+        let mut small = WindowedTracker::new(3, 1).unwrap();
+        let mut large = WindowedTracker::new(3, 1000).unwrap();
+        for r in paper_running_example() {
+            small.process(&r);
+            large.process(&r);
+        }
+        assert!(small.footprint().entries_bytes <= large.footprint().entries_bytes);
+    }
+
+    #[test]
+    fn name() {
+        assert_eq!(
+            WindowedTracker::new(1, 1).unwrap().name(),
+            "Windowed proportional"
+        );
+    }
+}

@@ -1,0 +1,264 @@
+//! Dataset specifications and scale profiles.
+//!
+//! The paper evaluates on five real TINs (Table 6). The real traces are not
+//! redistributable, so this crate generates synthetic TINs whose *shape*
+//! (vertex count, interaction count, degree skew, quantity distribution)
+//! matches the published statistics, at a configurable scale so the
+//! experiments run on a laptop. The substitution rationale is documented in
+//! `DESIGN.md`.
+
+use serde::{Deserialize, Serialize};
+
+/// The five datasets of the paper's evaluation (Table 6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// Bitcoin transaction network: 12M users, 45.5M transactions, BTC
+    /// amounts (heavily skewed).
+    Bitcoin,
+    /// CTU botnet traffic: 608K IP addresses, 2.8M flows, bytes transferred.
+    Ctu,
+    /// Prosper peer-to-peer loans: 100K users, 3.08M loans, dollar amounts.
+    ProsperLoans,
+    /// US flights: 629 airports, 5.7M flights, 50–200 passengers per flight.
+    Flights,
+    /// NYC yellow taxi trips on 2019-01-01: 255 zones, 231K trips, passenger
+    /// counts.
+    Taxis,
+}
+
+impl DatasetKind {
+    /// All five datasets, in the row order of Tables 6–8.
+    pub fn all() -> [DatasetKind; 5] {
+        [
+            DatasetKind::Bitcoin,
+            DatasetKind::Ctu,
+            DatasetKind::ProsperLoans,
+            DatasetKind::Flights,
+            DatasetKind::Taxis,
+        ]
+    }
+
+    /// Human-readable name matching the paper's tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DatasetKind::Bitcoin => "Bitcoin",
+            DatasetKind::Ctu => "CTU",
+            DatasetKind::ProsperLoans => "Prosper Loans",
+            DatasetKind::Flights => "Flights",
+            DatasetKind::Taxis => "Taxis",
+        }
+    }
+
+    /// Short key used in file names and CSV output.
+    pub fn key(&self) -> &'static str {
+        match self {
+            DatasetKind::Bitcoin => "bitcoin",
+            DatasetKind::Ctu => "ctu",
+            DatasetKind::ProsperLoans => "prosper",
+            DatasetKind::Flights => "flights",
+            DatasetKind::Taxis => "taxis",
+        }
+    }
+
+    /// Vertex and interaction counts reported in Table 6 of the paper
+    /// (`(#nodes, #interactions)`).
+    pub fn paper_size(&self) -> (usize, usize) {
+        match self {
+            DatasetKind::Bitcoin => (12_000_000, 45_500_000),
+            DatasetKind::Ctu => (608_000, 2_800_000),
+            DatasetKind::ProsperLoans => (100_000, 3_080_000),
+            DatasetKind::Flights => (629, 5_700_000),
+            DatasetKind::Taxis => (255, 231_000),
+        }
+    }
+
+    /// Average interaction quantity reported in Table 6.
+    pub fn paper_avg_quantity(&self) -> f64 {
+        match self {
+            DatasetKind::Bitcoin => 34.4e9, // satoshi-scale average (34.4B)
+            DatasetKind::Ctu => 19.2e3,     // 19.2 KB
+            DatasetKind::ProsperLoans => 76.0,
+            DatasetKind::Flights => 125.0,
+            DatasetKind::Taxis => 1.53,
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How much of the paper-scale dataset to generate.
+///
+/// The full ("Paper") sizes are impractical on a laptop for the expensive
+/// policies, which is exactly the paper's point; the smaller profiles keep
+/// the *relative* characteristics (vertex/interaction ratio, skew) while
+/// shrinking absolute counts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum ScaleProfile {
+    /// ~1k interactions — unit/integration tests.
+    Tiny,
+    /// ~2% of paper scale, capped — default for Criterion benches.
+    #[default]
+    Small,
+    /// ~10% of paper scale, capped — harness binaries.
+    Medium,
+    /// The sizes reported in Table 6 (only feasible for the cheap policies).
+    Paper,
+}
+
+impl ScaleProfile {
+    /// Short key used in output files.
+    pub fn key(&self) -> &'static str {
+        match self {
+            ScaleProfile::Tiny => "tiny",
+            ScaleProfile::Small => "small",
+            ScaleProfile::Medium => "medium",
+            ScaleProfile::Paper => "paper",
+        }
+    }
+
+    /// Scale a paper-reported count down to this profile.
+    fn scale_interactions(&self, paper: usize) -> usize {
+        match self {
+            ScaleProfile::Tiny => paper.min(1_000),
+            ScaleProfile::Small => (paper / 50).clamp(2_000, 200_000),
+            ScaleProfile::Medium => (paper / 10).clamp(10_000, 1_000_000),
+            ScaleProfile::Paper => paper,
+        }
+    }
+
+    /// Scale a paper-reported vertex count down to this profile, keeping the
+    /// vertex:interaction ratio roughly intact (and at least 8 vertices so
+    /// the topology generators have something to work with).
+    fn scale_vertices(&self, paper_vertices: usize, paper_interactions: usize) -> usize {
+        let interactions = self.scale_interactions(paper_interactions);
+        if matches!(self, ScaleProfile::Paper) {
+            return paper_vertices;
+        }
+        let ratio = paper_vertices as f64 / paper_interactions as f64;
+        ((interactions as f64 * ratio).ceil() as usize)
+            .clamp(8, paper_vertices)
+    }
+}
+
+/// A fully-specified synthetic dataset: which network, at what scale, with
+/// which RNG seed.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Which of the five networks to emulate.
+    pub kind: DatasetKind,
+    /// Scale profile.
+    pub scale: ScaleProfile,
+    /// RNG seed (generation is fully deterministic given the spec).
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// Create a spec with the default seed (42).
+    pub fn new(kind: DatasetKind, scale: ScaleProfile) -> Self {
+        DatasetSpec {
+            kind,
+            scale,
+            seed: 42,
+        }
+    }
+
+    /// Create a spec with an explicit seed.
+    pub fn with_seed(kind: DatasetKind, scale: ScaleProfile, seed: u64) -> Self {
+        DatasetSpec { kind, scale, seed }
+    }
+
+    /// Number of vertices to generate.
+    pub fn num_vertices(&self) -> usize {
+        let (v, r) = self.kind.paper_size();
+        self.scale.scale_vertices(v, r)
+    }
+
+    /// Number of interactions to generate.
+    pub fn num_interactions(&self) -> usize {
+        let (_, r) = self.kind.paper_size();
+        self.scale.scale_interactions(r)
+    }
+
+    /// A file-name friendly identifier, e.g. `bitcoin_small_seed42`.
+    pub fn slug(&self) -> String {
+        format!("{}_{}_seed{}", self.kind.key(), self.scale.key(), self.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_datasets_with_unique_keys() {
+        let keys: std::collections::HashSet<&str> =
+            DatasetKind::all().iter().map(|k| k.key()).collect();
+        assert_eq!(keys.len(), 5);
+    }
+
+    #[test]
+    fn paper_sizes_match_table6() {
+        assert_eq!(DatasetKind::Bitcoin.paper_size(), (12_000_000, 45_500_000));
+        assert_eq!(DatasetKind::Taxis.paper_size(), (255, 231_000));
+        assert_eq!(DatasetKind::Flights.paper_size().0, 629);
+        assert!(DatasetKind::ProsperLoans.paper_avg_quantity() > 0.0);
+        assert_eq!(DatasetKind::Ctu.label(), "CTU");
+        assert_eq!(DatasetKind::Bitcoin.to_string(), "Bitcoin");
+    }
+
+    #[test]
+    fn tiny_profile_caps_interactions() {
+        for kind in DatasetKind::all() {
+            let spec = DatasetSpec::new(kind, ScaleProfile::Tiny);
+            assert!(spec.num_interactions() <= 1_000);
+            assert!(spec.num_vertices() >= 8);
+        }
+    }
+
+    #[test]
+    fn scales_are_monotone() {
+        for kind in DatasetKind::all() {
+            let tiny = DatasetSpec::new(kind, ScaleProfile::Tiny).num_interactions();
+            let small = DatasetSpec::new(kind, ScaleProfile::Small).num_interactions();
+            let medium = DatasetSpec::new(kind, ScaleProfile::Medium).num_interactions();
+            let paper = DatasetSpec::new(kind, ScaleProfile::Paper).num_interactions();
+            assert!(tiny <= small && small <= medium && medium <= paper, "{kind}");
+        }
+    }
+
+    #[test]
+    fn paper_profile_reproduces_table6_sizes() {
+        let spec = DatasetSpec::new(DatasetKind::Flights, ScaleProfile::Paper);
+        assert_eq!(spec.num_vertices(), 629);
+        assert_eq!(spec.num_interactions(), 5_700_000);
+    }
+
+    #[test]
+    fn small_graphs_keep_full_vertex_sets_at_medium_scale() {
+        // Flights and Taxis have tiny vertex sets; the scaled profiles must
+        // never exceed the paper's vertex count.
+        for kind in [DatasetKind::Flights, DatasetKind::Taxis] {
+            for scale in [ScaleProfile::Small, ScaleProfile::Medium] {
+                let spec = DatasetSpec::new(kind, scale);
+                assert!(spec.num_vertices() <= kind.paper_size().0);
+            }
+        }
+    }
+
+    #[test]
+    fn slug_and_seed() {
+        let spec = DatasetSpec::with_seed(DatasetKind::Ctu, ScaleProfile::Small, 7);
+        assert_eq!(spec.slug(), "ctu_small_seed7");
+        assert_eq!(DatasetSpec::new(DatasetKind::Ctu, ScaleProfile::Small).seed, 42);
+    }
+
+    #[test]
+    fn default_scale_is_small() {
+        assert_eq!(ScaleProfile::default(), ScaleProfile::Small);
+        assert_eq!(ScaleProfile::Medium.key(), "medium");
+    }
+}

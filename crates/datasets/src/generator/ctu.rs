@@ -1,0 +1,74 @@
+//! CTU-13-like botnet traffic network.
+//!
+//! The paper builds a TIN from the CTU botnet captures: 608K IP addresses and
+//! 2.8M flows whose quantities are transferred bytes (19.2 KB on average).
+//! Botnet traffic is dominated by a handful of command-and-control hosts and
+//! scanning victims, so the emulation uses a hub-and-spoke topology where a
+//! small hub set participates in most flows, with log-normal byte counts.
+
+use crate::config::DatasetSpec;
+use crate::generator::engine::{EngineConfig, QuantityModel, TopologyModel};
+
+/// Engine configuration emulating the CTU botnet traffic network.
+pub fn engine_config(spec: &DatasetSpec) -> EngineConfig {
+    let num_vertices = spec.num_vertices();
+    EngineConfig {
+        num_vertices,
+        num_interactions: spec.num_interactions(),
+        topology: TopologyModel::HubAndSpoke {
+            // Roughly 0.5% of the hosts behave as hubs (C&C servers, gateways).
+            num_hubs: (num_vertices / 200).max(2),
+            hub_probability: 0.85,
+        },
+        quantity: QuantityModel::LogNormal {
+            median: 4_000.0, // bytes; mean lands near the paper's 19.2 KB
+            sigma: 1.6,
+        },
+        mean_time_gap: 0.5,
+        seed: spec.seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DatasetKind, ScaleProfile};
+    use crate::generator::engine::generate;
+
+    fn tiny_spec() -> DatasetSpec {
+        DatasetSpec::new(DatasetKind::Ctu, ScaleProfile::Tiny)
+    }
+
+    #[test]
+    fn hubs_dominate_traffic() {
+        let spec = tiny_spec();
+        let config = engine_config(&spec);
+        let hubs = match config.topology {
+            TopologyModel::HubAndSpoke { num_hubs, .. } => num_hubs,
+            _ => panic!("CTU must use hub-and-spoke"),
+        };
+        let stream = generate(&config);
+        let touching = stream
+            .iter()
+            .filter(|r| r.src.index() < hubs || r.dst.index() < hubs)
+            .count();
+        assert!(touching as f64 > 0.6 * stream.len() as f64);
+    }
+
+    #[test]
+    fn byte_counts_are_positive_and_vary() {
+        let stream = generate(&engine_config(&tiny_spec()));
+        let min = stream.iter().map(|r| r.qty).fold(f64::INFINITY, f64::min);
+        let max = stream.iter().map(|r| r.qty).fold(0.0f64, f64::max);
+        assert!(min > 0.0);
+        assert!(max / min > 10.0, "byte counts should span orders of magnitude");
+    }
+
+    #[test]
+    fn config_matches_spec_sizes() {
+        let spec = tiny_spec();
+        let config = engine_config(&spec);
+        assert_eq!(config.num_vertices, spec.num_vertices());
+        assert_eq!(config.num_interactions, spec.num_interactions());
+    }
+}

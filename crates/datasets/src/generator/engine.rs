@@ -1,0 +1,386 @@
+//! The shared synthetic-TIN generation engine.
+//!
+//! All five dataset emulations are parameterisations of the same engine: a
+//! *topology model* decides which vertices interact, a *quantity model* draws
+//! the transferred quantity, and a *temporal model* spaces the interactions
+//! in time. The engine guarantees the structural invariants the core library
+//! expects: no self-loops, strictly positive quantities, non-decreasing
+//! timestamps.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use tin_core::interaction::Interaction;
+
+/// How endpoints of an interaction are chosen.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TopologyModel {
+    /// Heavy-tailed popularity on both endpoints (Zipf-like): models
+    /// transaction graphs such as Bitcoin where a few entities dominate.
+    ZipfPopularity {
+        /// Skew exponent (1.0–1.5 gives realistic transaction-graph skew).
+        exponent: f64,
+    },
+    /// A small set of hub vertices participates in most interactions, either
+    /// as source or destination (botnet command-and-control traffic).
+    HubAndSpoke {
+        /// Number of hub vertices.
+        num_hubs: usize,
+        /// Probability that an interaction touches a hub.
+        hub_probability: f64,
+    },
+    /// Two roles (e.g. lenders and borrowers): most quantity flows from the
+    /// first group to the second, with some back-flow (repayments).
+    Bipartite {
+        /// Fraction of vertices in the "source" role.
+        source_fraction: f64,
+        /// Probability that an interaction flows source→sink (vs. sink→source).
+        forward_probability: f64,
+    },
+    /// Hub-and-spoke routes over a small vertex set with Zipf popularity
+    /// (airports, taxi zones).
+    SmallWorldRoutes {
+        /// Skew of the popularity distribution.
+        exponent: f64,
+    },
+}
+
+/// How transferred quantities are drawn.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum QuantityModel {
+    /// Log-normal distribution with the given median and sigma (financial
+    /// amounts, bytes).
+    LogNormal {
+        /// Median quantity.
+        median: f64,
+        /// Log-space standard deviation (larger = heavier tail).
+        sigma: f64,
+    },
+    /// Uniform integer in `[lo, hi]` (passenger counts in the Flights data,
+    /// which the paper itself randomises in 50–200).
+    UniformInt {
+        /// Inclusive lower bound.
+        lo: u32,
+        /// Inclusive upper bound.
+        hi: u32,
+    },
+    /// Small counts with a geometric-ish tail, minimum 1 (taxi passengers).
+    SmallCount {
+        /// Mean count (≥ 1).
+        mean: f64,
+    },
+}
+
+/// Full engine configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EngineConfig {
+    /// Number of vertices |V|.
+    pub num_vertices: usize,
+    /// Number of interactions |R|.
+    pub num_interactions: usize,
+    /// Topology model.
+    pub topology: TopologyModel,
+    /// Quantity model.
+    pub quantity: QuantityModel,
+    /// Mean gap between consecutive interaction timestamps.
+    pub mean_time_gap: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// A precomputed Zipf-like sampler over `0..n` using the inverse-CDF method
+/// on the harmonic weights `1/(i+1)^s`.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Build a sampler over `n` items with exponent `s`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "ZipfSampler needs at least one item");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 0..n {
+            total += 1.0 / ((i + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        // Normalise to [0, 1].
+        for c in cumulative.iter_mut() {
+            *c /= total;
+        }
+        ZipfSampler { cumulative }
+    }
+
+    /// Draw one item index.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).unwrap())
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Always false: the sampler cannot be built empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Draw a quantity from a [`QuantityModel`].
+pub fn sample_quantity(model: &QuantityModel, rng: &mut impl Rng) -> f64 {
+    match *model {
+        QuantityModel::LogNormal { median, sigma } => {
+            // Box-Muller standard normal.
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            (median.ln() + sigma * z).exp().max(1e-6)
+        }
+        QuantityModel::UniformInt { lo, hi } => rng.gen_range(lo..=hi) as f64,
+        QuantityModel::SmallCount { mean } => {
+            // Shifted geometric: 1 + Geometric(p) with p chosen so the mean
+            // matches. mean = 1 + (1-p)/p  =>  p = 1/mean.
+            let p = (1.0 / mean.max(1.0)).clamp(0.05, 1.0);
+            let mut count = 1u32;
+            while rng.gen::<f64>() > p && count < 9 {
+                count += 1;
+            }
+            count as f64
+        }
+    }
+}
+
+/// Generate a full synthetic interaction stream from an engine configuration.
+///
+/// The output is sorted by time (timestamps are generated monotonically) and
+/// contains no self-loops or non-positive quantities.
+pub fn generate(config: &EngineConfig) -> Vec<Interaction> {
+    assert!(config.num_vertices >= 2, "need at least two vertices");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = config.num_vertices;
+    let mut out = Vec::with_capacity(config.num_interactions);
+    let mut time = 0.0f64;
+
+    // Pre-build samplers where the topology needs them.
+    let zipf = match &config.topology {
+        TopologyModel::ZipfPopularity { exponent }
+        | TopologyModel::SmallWorldRoutes { exponent } => Some(ZipfSampler::new(n, *exponent)),
+        _ => None,
+    };
+
+    for _ in 0..config.num_interactions {
+        // Temporal model: exponential-ish gaps around the mean.
+        time += config.mean_time_gap * (0.1 + 1.8 * rng.gen::<f64>());
+
+        let (src, dst) = loop {
+            let (s, d) = match &config.topology {
+                TopologyModel::ZipfPopularity { .. } => {
+                    let sampler = zipf.as_ref().expect("sampler built above");
+                    (sampler.sample(&mut rng), sampler.sample(&mut rng))
+                }
+                TopologyModel::HubAndSpoke {
+                    num_hubs,
+                    hub_probability,
+                } => {
+                    let hubs = (*num_hubs).clamp(1, n - 1);
+                    let hub = rng.gen_range(0..hubs);
+                    let other = rng.gen_range(0..n);
+                    if rng.gen::<f64>() < *hub_probability {
+                        // Hub is one endpoint; direction is random.
+                        if rng.gen::<bool>() {
+                            (hub, other)
+                        } else {
+                            (other, hub)
+                        }
+                    } else {
+                        (rng.gen_range(0..n), rng.gen_range(0..n))
+                    }
+                }
+                TopologyModel::Bipartite {
+                    source_fraction,
+                    forward_probability,
+                } => {
+                    let split = ((n as f64 * source_fraction) as usize).clamp(1, n - 1);
+                    let src_side = rng.gen_range(0..split);
+                    let sink_side = rng.gen_range(split..n);
+                    if rng.gen::<f64>() < *forward_probability {
+                        (src_side, sink_side)
+                    } else {
+                        (sink_side, src_side)
+                    }
+                }
+                TopologyModel::SmallWorldRoutes { .. } => {
+                    let sampler = zipf.as_ref().expect("sampler built above");
+                    // Popular zones attract traffic; sources are more uniform.
+                    (rng.gen_range(0..n), sampler.sample(&mut rng))
+                }
+            };
+            if s != d {
+                break (s, d);
+            }
+        };
+
+        let qty = sample_quantity(&config.quantity, &mut rng);
+        out.push(Interaction::new(src as u32, dst as u32, time, qty));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tin_core::interaction::{is_sorted_by_time, validate_stream};
+
+    fn base_config(topology: TopologyModel) -> EngineConfig {
+        EngineConfig {
+            num_vertices: 50,
+            num_interactions: 2_000,
+            topology,
+            quantity: QuantityModel::LogNormal {
+                median: 10.0,
+                sigma: 1.0,
+            },
+            mean_time_gap: 1.0,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn zipf_sampler_prefers_small_indices() {
+        let sampler = ZipfSampler::new(100, 1.2);
+        assert_eq!(sampler.len(), 100);
+        assert!(!sampler.is_empty());
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        // Item 0 must be sampled far more often than item 50.
+        assert!(counts[0] > counts[50] * 3, "{} vs {}", counts[0], counts[50]);
+        // Every draw is in range.
+        assert_eq!(counts.iter().sum::<usize>(), 20_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn zipf_sampler_rejects_empty() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+
+    #[test]
+    fn quantity_models_produce_positive_values() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for model in [
+            QuantityModel::LogNormal {
+                median: 100.0,
+                sigma: 2.0,
+            },
+            QuantityModel::UniformInt { lo: 50, hi: 200 },
+            QuantityModel::SmallCount { mean: 1.5 },
+        ] {
+            for _ in 0..1_000 {
+                let q = sample_quantity(&model, &mut rng);
+                assert!(q > 0.0, "{model:?} produced {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_int_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1_000 {
+            let q = sample_quantity(&QuantityModel::UniformInt { lo: 50, hi: 200 }, &mut rng);
+            assert!((50.0..=200.0).contains(&q));
+            assert_eq!(q.fract(), 0.0);
+        }
+    }
+
+    #[test]
+    fn small_count_is_at_least_one_and_small() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut total = 0.0;
+        for _ in 0..2_000 {
+            let q = sample_quantity(&QuantityModel::SmallCount { mean: 1.53 }, &mut rng);
+            assert!((1.0..=9.0).contains(&q));
+            total += q;
+        }
+        let mean = total / 2_000.0;
+        assert!((1.0..=2.5).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn generated_streams_are_valid_for_every_topology() {
+        let topologies = vec![
+            TopologyModel::ZipfPopularity { exponent: 1.2 },
+            TopologyModel::HubAndSpoke {
+                num_hubs: 3,
+                hub_probability: 0.8,
+            },
+            TopologyModel::Bipartite {
+                source_fraction: 0.4,
+                forward_probability: 0.8,
+            },
+            TopologyModel::SmallWorldRoutes { exponent: 1.1 },
+        ];
+        for topology in topologies {
+            let config = base_config(topology.clone());
+            let stream = generate(&config);
+            assert_eq!(stream.len(), 2_000);
+            assert!(is_sorted_by_time(&stream), "{topology:?}");
+            validate_stream(&stream, config.num_vertices).expect("valid stream");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let config = base_config(TopologyModel::ZipfPopularity { exponent: 1.2 });
+        let a = generate(&config);
+        let b = generate(&config);
+        assert_eq!(a, b);
+        let mut other = config.clone();
+        other.seed = 8;
+        let c = generate(&other);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn hub_and_spoke_concentrates_traffic_on_hubs() {
+        let config = base_config(TopologyModel::HubAndSpoke {
+            num_hubs: 2,
+            hub_probability: 0.9,
+        });
+        let stream = generate(&config);
+        let touching_hubs = stream
+            .iter()
+            .filter(|r| r.src.index() < 2 || r.dst.index() < 2)
+            .count();
+        assert!(
+            touching_hubs as f64 > 0.7 * stream.len() as f64,
+            "only {touching_hubs} of {} touch hubs",
+            stream.len()
+        );
+    }
+
+    #[test]
+    fn bipartite_flows_mostly_forward() {
+        let config = base_config(TopologyModel::Bipartite {
+            source_fraction: 0.5,
+            forward_probability: 0.9,
+        });
+        let stream = generate(&config);
+        let forward = stream
+            .iter()
+            .filter(|r| r.src.index() < 25 && r.dst.index() >= 25)
+            .count();
+        assert!(forward as f64 > 0.8 * stream.len() as f64);
+    }
+}

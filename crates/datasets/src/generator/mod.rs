@@ -1,0 +1,71 @@
+//! Synthetic generators for the paper's five evaluation datasets.
+//!
+//! Each submodule configures the shared [`engine`] with a topology, quantity
+//! and temporal model calibrated to the published characteristics of the
+//! corresponding real network (Table 6 of the paper and Section 7.1's
+//! descriptions). See `DESIGN.md` for the substitution rationale.
+
+pub mod bitcoin;
+pub mod ctu;
+pub mod engine;
+pub mod flights;
+pub mod prosper;
+pub mod stress;
+pub mod taxis;
+
+use tin_core::graph::Tin;
+use tin_core::interaction::Interaction;
+
+use crate::config::{DatasetKind, DatasetSpec};
+
+/// Generate the interaction stream for a dataset specification.
+pub fn generate(spec: &DatasetSpec) -> Vec<Interaction> {
+    let config = match spec.kind {
+        DatasetKind::Bitcoin => bitcoin::engine_config(spec),
+        DatasetKind::Ctu => ctu::engine_config(spec),
+        DatasetKind::ProsperLoans => prosper::engine_config(spec),
+        DatasetKind::Flights => flights::engine_config(spec),
+        DatasetKind::Taxis => taxis::engine_config(spec),
+    };
+    engine::generate(&config)
+}
+
+/// Generate a dataset and wrap it in a [`Tin`] graph.
+pub fn generate_tin(spec: &DatasetSpec) -> Tin {
+    let interactions = generate(spec);
+    Tin::from_interactions(spec.num_vertices(), interactions)
+        .expect("generated streams are valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ScaleProfile;
+    use tin_core::interaction::validate_stream;
+
+    #[test]
+    fn every_dataset_generates_a_valid_tiny_stream() {
+        for kind in DatasetKind::all() {
+            let spec = DatasetSpec::new(kind, ScaleProfile::Tiny);
+            let stream = generate(&spec);
+            assert_eq!(stream.len(), spec.num_interactions(), "{kind}");
+            validate_stream(&stream, spec.num_vertices()).expect("valid");
+        }
+    }
+
+    #[test]
+    fn generate_tin_builds_graph_with_expected_counts() {
+        let spec = DatasetSpec::new(DatasetKind::Taxis, ScaleProfile::Tiny);
+        let tin = generate_tin(&spec);
+        assert_eq!(tin.num_vertices(), spec.num_vertices());
+        assert_eq!(tin.num_interactions(), spec.num_interactions());
+        assert!(tin.stats().avg_quantity > 0.0);
+    }
+
+    #[test]
+    fn different_kinds_produce_different_streams() {
+        let a = generate(&DatasetSpec::new(DatasetKind::Bitcoin, ScaleProfile::Tiny));
+        let b = generate(&DatasetSpec::new(DatasetKind::Ctu, ScaleProfile::Tiny));
+        assert_ne!(a, b);
+    }
+}

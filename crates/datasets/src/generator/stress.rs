@@ -1,0 +1,234 @@
+//! Deterministic stress workloads for correctness and worst-case testing.
+//!
+//! The five dataset emulations (see the sibling modules) reproduce the
+//! *realistic* shapes of Table 6. Correctness testing and worst-case analysis
+//! need the opposite: small, fully deterministic streams whose provenance can
+//! be reasoned about by hand, plus adversarial shapes that maximise the cost
+//! of a specific mechanism:
+//!
+//! * [`chain`] — one quantity relayed down a path, the worst case for path
+//!   length (how-provenance, Section 6);
+//! * [`star_collapse`] — many sources funding one sink, the worst case for
+//!   provenance-list length at a single vertex (sparse proportional, §4.3);
+//! * [`round_robin_mixing`] — every vertex repeatedly forwards a fraction of
+//!   its buffer to the next one, maximising proportional mixing (the case
+//!   where every vertex ends up with provenance from every other vertex);
+//! * [`ping_pong`] — two vertices exchanging quantities back and forth, the
+//!   worst case for split/merge churn in the receipt-order buffers;
+//! * [`layered_dag`] — quantities flow through `depth` layers of `width`
+//!   vertices, a pipeline shape with predictable provenance per layer.
+//!
+//! All generators return streams that pass [`validate_stream`] and are sorted
+//! by time; quantities are integers so tests can make exact assertions.
+
+use tin_core::interaction::{validate_stream, Interaction};
+
+/// A quantity relayed along the path `0 → 1 → … → n-1`, one hop per time
+/// unit. After processing, only the last vertex holds anything and its single
+/// buffered element has a path of `n - 2` relays.
+pub fn chain(num_vertices: usize, qty: f64) -> Vec<Interaction> {
+    assert!(num_vertices >= 2, "a chain needs at least two vertices");
+    let stream: Vec<Interaction> = (0..num_vertices - 1)
+        .map(|i| Interaction::new(i, i + 1, (i + 1) as f64, qty))
+        .collect();
+    debug_assert!(validate_stream(&stream, num_vertices).is_ok());
+    stream
+}
+
+/// Every vertex `1..n` sends `qty` units to vertex `0`, then vertex `0`
+/// forwards `rounds` batches onwards to vertex `1`. The sink's provenance
+/// list holds one entry per source — the longest list a single interaction
+/// sequence of this length can build.
+pub fn star_collapse(num_vertices: usize, qty: f64, rounds: usize) -> Vec<Interaction> {
+    assert!(num_vertices >= 3, "a star needs a sink and two sources");
+    let mut stream = Vec::with_capacity(num_vertices - 1 + rounds);
+    let mut t = 0.0;
+    for src in 1..num_vertices {
+        t += 1.0;
+        stream.push(Interaction::new(src, 0usize, t, qty));
+    }
+    for _ in 0..rounds {
+        t += 1.0;
+        stream.push(Interaction::new(0usize, 1usize, t, qty / 2.0));
+    }
+    debug_assert!(validate_stream(&stream, num_vertices).is_ok());
+    stream
+}
+
+/// A seeding sweep followed by `rounds` mixing sweeps.
+///
+/// Seeding: every vertex (in reverse order, so parcels are not immediately
+/// relayed onwards) generates `qty` units and sends them to its successor
+/// (mod n), leaving each vertex with exactly one foreign parcel. Mixing:
+/// in every round each vertex forwards `qty / 2` — strictly less than its
+/// buffer — so proportional selection keeps splitting and re-mixing the
+/// parcels. After a few rounds every buffer carries provenance from many
+/// vertices: the worst case for sparse proportional lists and the stress case
+/// for the grouped/selective approximations.
+pub fn round_robin_mixing(num_vertices: usize, rounds: usize, qty: f64) -> Vec<Interaction> {
+    assert!(num_vertices >= 2);
+    let mut stream = Vec::with_capacity(num_vertices * (rounds + 1));
+    let mut t = 0.0;
+    for v in (0..num_vertices).rev() {
+        t += 1.0;
+        stream.push(Interaction::new(v, (v + 1) % num_vertices, t, qty));
+    }
+    for _ in 0..rounds {
+        for v in 0..num_vertices {
+            t += 1.0;
+            stream.push(Interaction::new(v, (v + 1) % num_vertices, t, qty / 2.0));
+        }
+    }
+    debug_assert!(validate_stream(&stream, num_vertices).is_ok());
+    stream
+}
+
+/// Two vertices bouncing a quantity back and forth `rounds` times, with the
+/// transferred amount alternating between `qty` and `qty / 2` so that every
+/// round splits a buffered element.
+pub fn ping_pong(rounds: usize, qty: f64) -> Vec<Interaction> {
+    let mut stream = Vec::with_capacity(rounds);
+    let mut t = 0.0;
+    for i in 0..rounds {
+        t += 1.0;
+        let (src, dst) = if i % 2 == 0 { (0usize, 1usize) } else { (1usize, 0usize) };
+        let amount = if i % 2 == 0 { qty } else { qty / 2.0 };
+        stream.push(Interaction::new(src, dst, t, amount));
+    }
+    debug_assert!(validate_stream(&stream, 2).is_ok());
+    stream
+}
+
+/// A layered DAG: `depth` layers of `width` vertices; every vertex of layer
+/// `l` sends `qty` units to every vertex of layer `l + 1`. Vertex ids are
+/// `layer * width + column`. Quantities generated in layer 0 dominate the
+/// provenance of the final layer.
+pub fn layered_dag(depth: usize, width: usize, qty: f64) -> Vec<Interaction> {
+    assert!(depth >= 2 && width >= 1);
+    let mut stream = Vec::new();
+    let mut t = 0.0;
+    for layer in 0..depth - 1 {
+        for from in 0..width {
+            for to in 0..width {
+                t += 1.0;
+                stream.push(Interaction::new(
+                    layer * width + from,
+                    (layer + 1) * width + to,
+                    t,
+                    qty,
+                ));
+            }
+        }
+    }
+    debug_assert!(validate_stream(&stream, depth * width).is_ok());
+    stream
+}
+
+/// Number of vertices used by [`layered_dag`].
+pub fn layered_dag_vertices(depth: usize, width: usize) -> usize {
+    depth * width
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tin_core::ids::VertexId;
+    use tin_core::policy::{PolicyConfig, SelectionPolicy};
+    use tin_core::quantity::qty_approx_eq;
+    use tin_core::tracker::path::PathTracker;
+    use tin_core::tracker::proportional_sparse::ProportionalSparseTracker;
+    use tin_core::tracker::{build_tracker, ProvenanceTracker};
+
+    fn v(i: u32) -> VertexId {
+        VertexId::new(i)
+    }
+
+    #[test]
+    fn chain_concentrates_everything_at_the_tail() {
+        let stream = chain(6, 10.0);
+        assert_eq!(stream.len(), 5);
+        let mut tracker = PathTracker::fifo(6);
+        tracker.process_all(&stream);
+        for i in 0..5u32 {
+            assert_eq!(tracker.buffered(v(i)), 0.0);
+        }
+        assert!(qty_approx_eq(tracker.buffered(v(5)), 10.0));
+        let elements = tracker.elements(v(5));
+        assert_eq!(elements.len(), 1);
+        assert_eq!(elements[0].hops(), 4);
+        assert!(qty_approx_eq(tracker.average_path_length(), 4.0));
+    }
+
+    #[test]
+    fn star_builds_long_provenance_lists_at_the_sink() {
+        let n = 20;
+        let stream = star_collapse(n, 5.0, 2);
+        let mut tracker = ProportionalSparseTracker::new(n);
+        tracker.process_all(&stream);
+        // The sink's provenance still references (almost) every source.
+        let sink_origins = tracker.origins(v(0));
+        assert!(sink_origins.len() >= n - 2);
+        assert!(tracker.check_all_invariants());
+        // The forwarded batches carry proportional provenance onwards.
+        assert!(tracker.origins(v(1)).len() >= n - 2);
+    }
+
+    #[test]
+    fn mixing_spreads_provenance_to_every_vertex() {
+        let n = 6;
+        let stream = round_robin_mixing(n, 4, 3.0);
+        let mut tracker = ProportionalSparseTracker::new(n);
+        tracker.process_all(&stream);
+        assert!(tracker.check_all_invariants());
+        // After several rounds every vertex has provenance from more than one
+        // origin (the mixing the proportional policy is designed to model).
+        let multi_origin = (0..n as u32)
+            .filter(|&i| tracker.origins(v(i)).len() > 1)
+            .count();
+        assert!(multi_origin >= n / 2, "only {multi_origin} vertices mixed");
+    }
+
+    #[test]
+    fn ping_pong_is_conserved_under_every_policy() {
+        let stream = ping_pong(40, 8.0);
+        for policy in SelectionPolicy::all() {
+            let mut tracker = build_tracker(&PolicyConfig::Plain(policy), 2).unwrap();
+            tracker.process_all(&stream);
+            assert!(tracker.check_all_invariants(), "{policy}");
+            // Total buffered equals total newborn quantity, which is at most
+            // the sum of all transferred amounts.
+            let total = tracker.total_buffered();
+            assert!(total > 0.0);
+            assert!(total <= 40.0 * 8.0);
+        }
+    }
+
+    #[test]
+    fn layered_dag_provenance_comes_from_the_first_layer() {
+        let (depth, width) = (4, 3);
+        let stream = layered_dag(depth, width, 2.0);
+        let n = layered_dag_vertices(depth, width);
+        assert_eq!(n, 12);
+        let mut tracker = ProportionalSparseTracker::new(n);
+        tracker.process_all(&stream);
+        assert!(tracker.check_all_invariants());
+        // Final-layer vertices hold quantity whose origins all lie in earlier
+        // layers (they never generate anything themselves).
+        for column in 0..width {
+            let sink = v(((depth - 1) * width + column) as u32);
+            let origins = tracker.origins(sink);
+            assert!(!origins.is_empty());
+            for (origin, _) in origins.iter() {
+                let vertex = origin.as_vertex().expect("concrete origins only");
+                assert!(vertex.index() < (depth - 1) * width);
+            }
+        }
+    }
+
+    #[test]
+    fn generators_reject_degenerate_sizes() {
+        assert!(std::panic::catch_unwind(|| chain(1, 1.0)).is_err());
+        assert!(std::panic::catch_unwind(|| star_collapse(2, 1.0, 1)).is_err());
+        assert!(std::panic::catch_unwind(|| layered_dag(1, 3, 1.0)).is_err());
+    }
+}

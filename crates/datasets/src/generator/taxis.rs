@@ -1,0 +1,57 @@
+//! NYC-taxi-like zone-to-zone passenger network.
+//!
+//! The paper's Taxis TIN covers yellow-cab trips on 2019-01-01: 255 taxi
+//! zones, 231K trips, and passenger counts averaging 1.53. This is the
+//! dataset behind the Figure 2 use case (provenance of passengers
+//! accumulating in East Village). The emulation keeps the small fixed zone
+//! set, Zipf-skewed destination popularity (Manhattan zones dominate) and
+//! small integer passenger counts.
+
+use crate::config::DatasetSpec;
+use crate::generator::engine::{EngineConfig, QuantityModel, TopologyModel};
+
+/// Engine configuration emulating the NYC taxi-zone network.
+pub fn engine_config(spec: &DatasetSpec) -> EngineConfig {
+    EngineConfig {
+        num_vertices: spec.num_vertices(),
+        num_interactions: spec.num_interactions(),
+        topology: TopologyModel::SmallWorldRoutes { exponent: 1.0 },
+        quantity: QuantityModel::SmallCount { mean: 1.53 },
+        mean_time_gap: 0.4, // seconds-scale drop-off cadence over one day
+        seed: spec.seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DatasetKind, ScaleProfile};
+    use crate::generator::engine::generate;
+
+    fn tiny_spec() -> DatasetSpec {
+        DatasetSpec::new(DatasetKind::Taxis, ScaleProfile::Tiny)
+    }
+
+    #[test]
+    fn passenger_counts_are_small_integers() {
+        let stream = generate(&engine_config(&tiny_spec()));
+        assert!(stream.iter().all(|r| r.qty >= 1.0 && r.qty <= 9.0));
+        assert!(stream.iter().all(|r| r.qty.fract() == 0.0));
+        let mean = stream.iter().map(|r| r.qty).sum::<f64>() / stream.len() as f64;
+        assert!((1.0..2.5).contains(&mean), "mean passengers {mean} ≈ 1.53");
+    }
+
+    #[test]
+    fn zone_count_matches_paper_at_full_scale() {
+        let paper = DatasetSpec::new(DatasetKind::Taxis, ScaleProfile::Paper);
+        assert_eq!(engine_config(&paper).num_vertices, 255);
+    }
+
+    #[test]
+    fn config_matches_spec_sizes() {
+        let spec = tiny_spec();
+        let config = engine_config(&spec);
+        assert_eq!(config.num_vertices, spec.num_vertices());
+        assert_eq!(config.num_interactions, spec.num_interactions());
+    }
+}

@@ -1,0 +1,53 @@
+//! # tin — provenance in temporal interaction networks
+//!
+//! Facade crate bundling the full reproduction of *Provenance in Temporal
+//! Interaction Networks* (Kosyfaki & Mamoulis, ICDE 2022):
+//!
+//! * [`core`] (`tin-core`) — the TIN model and every provenance tracker
+//!   (Sections 3–6 of the paper);
+//! * [`datasets`] (`tin-datasets`) — synthetic workloads emulating the five
+//!   evaluation networks plus CSV I/O (Section 7.1);
+//! * [`analytics`] (`tin-analytics`) — distributions, alerts, accumulation
+//!   series, grouping strategies and report formatting (Sections 1, 5.2,
+//!   7.6);
+//! * [`memstats`] (`tin-memstats`) — allocator-level memory measurement used
+//!   by the experiment harness (Section 7.2).
+//!
+//! ```
+//! use tin::prelude::*;
+//!
+//! // Generate a small synthetic taxi network and track provenance.
+//! let spec = DatasetSpec::new(DatasetKind::Taxis, ScaleProfile::Tiny);
+//! let tin = tin::datasets::generate_tin(&spec);
+//! let mut tracker = ProportionalDenseTracker::new(tin.num_vertices());
+//! tracker.process_all(tin.interactions());
+//! assert!(tracker.check_all_invariants());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use tin_analytics as analytics;
+pub use tin_core as core;
+pub use tin_datasets as datasets;
+pub use tin_memstats as memstats;
+
+/// One-stop import for applications: the core prelude plus the most used
+/// dataset and analytics types.
+pub mod prelude {
+    pub use tin_analytics::accuracy::{compare_grouped_tracker, compare_trackers};
+    pub use tin_analytics::clustering::{
+        cluster_into, connected_components, label_propagation, modularity,
+    };
+    pub use tin_analytics::mining::{
+        cluster_by_provenance, cosine_similarity, entropy_outliers, most_similar_pairs,
+        recurrent_origins, EntropyOutlier, ProvenanceCluster, RecurrentOrigin, SimilarPair,
+    };
+    pub use tin_analytics::{
+        classify_sources, path_statistics, record_series, AccuracyReport, Alert, AlertConfig,
+        AlertEngine, FlowMatrix, Grouping, Measurement, OriginSetError, PathStatistics,
+        ProvenanceDistribution, SourceProfile, TextTable,
+    };
+    pub use tin_core::prelude::*;
+    pub use tin_datasets::{DatasetKind, DatasetSpec, NamedTin, ScaleProfile, VertexInterner};
+}

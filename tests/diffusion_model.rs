@@ -1,0 +1,228 @@
+//! Integration tests for the diffusion (copy) propagation extension and the
+//! provenance-mining analyses built on top of it (both from the future-work
+//! directions of Section 8 of the paper).
+//!
+//! The deterministic tests pin down the semantics on the paper's running
+//! example; the property tests check the model-level relationships between
+//! diffusion and relay for arbitrary interaction streams:
+//!
+//! 1. the per-vertex Definition 2 invariant also holds under diffusion;
+//! 2. diffusion dominates relay: every vertex buffers at least as much as
+//!    under any relay policy, and the network total never shrinks;
+//! 3. influence accounting is conservative: summing influence over origins
+//!    equals the total buffered quantity;
+//! 4. the mining primitives are well-behaved (similarity is symmetric and
+//!    bounded, clustering partitions the occupied vertices).
+
+use proptest::prelude::*;
+use tin::prelude::*;
+
+const MAX_VERTICES: u32 = 10;
+
+fn interaction_stream(len: usize) -> impl Strategy<Value = Vec<Interaction>> {
+    prop::collection::vec(
+        (
+            0..MAX_VERTICES,
+            0..MAX_VERTICES - 1,
+            0.01f64..50.0f64,
+            0.0f64..3.0f64,
+        ),
+        1..len,
+    )
+    .prop_map(|raw| {
+        let mut time = 0.0;
+        raw.into_iter()
+            .map(|(src, dst_raw, qty, gap)| {
+                let dst = if dst_raw >= src { dst_raw + 1 } else { dst_raw };
+                time += gap;
+                Interaction::new(src, dst, time, qty)
+            })
+            .collect()
+    })
+}
+
+#[test]
+fn running_example_under_diffusion() {
+    let interactions = tin::core::interaction::paper_running_example();
+    let mut diffusion = DiffusionTracker::new(3);
+    diffusion.process_all(&interactions);
+
+    // Every unit the relay model moves around exists under diffusion too,
+    // plus the copies retained by the senders.
+    let mut relay = ProportionalSparseTracker::new(3);
+    relay.process_all(&interactions);
+    assert!(diffusion.total_buffered() > relay.total_buffered());
+
+    // The total generated quantity is identical under both models: generation
+    // happens exactly when a source must cover a shortfall, and shortfalls
+    // can only be smaller under diffusion (buffers never shrink). On the
+    // running example the first transfer out of every vertex is a full-buffer
+    // transfer, so the two models generate the same newborn quantities.
+    assert!(diffusion.total_generated() >= 1.0);
+    assert!(diffusion.check_all_invariants());
+}
+
+#[test]
+fn influence_identifies_the_root_of_a_relay_chain() {
+    // v0 -> v1 -> v2 -> v3: everything traces back to v0.
+    let chain = [
+        Interaction::new(0u32, 1u32, 1.0, 8.0),
+        Interaction::new(1u32, 2u32, 2.0, 4.0),
+        Interaction::new(2u32, 3u32, 3.0, 2.0),
+    ];
+    let mut t = DiffusionTracker::new(4);
+    t.process_all(&chain);
+    let ranking = t.influence_ranking(4);
+    assert_eq!(ranking[0].0, VertexId::new(0));
+    assert_eq!(t.reach_of(VertexId::new(0)), 3);
+    // Downstream vertices never generated anything, so they have no influence.
+    assert!(ranking.iter().all(|(v, _)| *v == VertexId::new(0)));
+}
+
+#[test]
+fn mining_on_diffusion_state_groups_co_financed_receivers() {
+    // Two receivers fed by the same two hubs in the same proportions, plus an
+    // unrelated pair.
+    let interactions = [
+        Interaction::new(0u32, 2u32, 1.0, 2.0),
+        Interaction::new(1u32, 2u32, 2.0, 1.0),
+        Interaction::new(0u32, 3u32, 3.0, 4.0),
+        Interaction::new(1u32, 3u32, 4.0, 2.0),
+        Interaction::new(4u32, 5u32, 5.0, 3.0),
+    ];
+    let mut t = DiffusionTracker::new(6);
+    t.process_all(&interactions);
+
+    let pairs = most_similar_pairs(&t, 0.99, 10);
+    assert!(pairs
+        .iter()
+        .any(|p| (p.a, p.b) == (VertexId::new(2), VertexId::new(3))));
+
+    let clusters = cluster_by_provenance(&t, 0.99);
+    let containing_v2 = clusters
+        .iter()
+        .find(|c| c.members.contains(&VertexId::new(2)))
+        .expect("v2 is occupied");
+    assert!(containing_v2.members.contains(&VertexId::new(3)));
+    assert!(!containing_v2.members.contains(&VertexId::new(5)));
+}
+
+#[test]
+fn diffusion_state_round_trips_through_snapshots() {
+    // The diffusion tracker implements the same `ProvenanceTracker` interface
+    // as the relay trackers, so the snapshot/persistence layer works on it
+    // unchanged.
+    let interactions = tin::core::interaction::paper_running_example();
+    let mut tracker = DiffusionTracker::new(3);
+    tracker.process_all(&interactions);
+    let snapshot = ProvenanceSnapshot::capture(&tracker, 8.0);
+    assert_eq!(snapshot.num_vertices(), 3);
+
+    let mut bytes = Vec::new();
+    snapshot.write_tsv(&mut bytes).unwrap();
+    let reloaded = ProvenanceSnapshot::read_tsv(bytes.as_slice()).unwrap();
+    for i in 0..3u32 {
+        let v = VertexId::new(i);
+        assert!(reloaded.origins(v).approx_eq(&tracker.origins(v)));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Definition 2 invariant and monotone growth under diffusion.
+    #[test]
+    fn diffusion_invariants(stream in interaction_stream(50)) {
+        let n = MAX_VERTICES as usize;
+        let mut t = DiffusionTracker::new(n);
+        let mut previous_total = 0.0;
+        for r in &stream {
+            t.process(r);
+            prop_assert!(t.check_all_invariants());
+            let total = t.total_buffered();
+            prop_assert!(total + 1e-9 >= previous_total, "total shrank");
+            previous_total = total;
+        }
+        prop_assert_eq!(t.interactions_processed(), stream.len());
+    }
+
+    /// Diffusion dominates every relay policy at every vertex.
+    #[test]
+    fn diffusion_dominates_every_relay_policy(stream in interaction_stream(50)) {
+        let n = MAX_VERTICES as usize;
+        let mut diffusion = DiffusionTracker::new(n);
+        diffusion.process_all(&stream);
+        for policy in SelectionPolicy::all() {
+            let mut relay = build_tracker(&PolicyConfig::Plain(policy), n).unwrap();
+            relay.process_all(&stream);
+            for i in 0..n {
+                let v = VertexId::from(i);
+                prop_assert!(
+                    diffusion.buffered(v) + 1e-6 >= relay.buffered(v),
+                    "diffusion must dominate {} at {}", relay.name(), v
+                );
+            }
+        }
+    }
+
+    /// Influence is conservative: summing it over all origins gives exactly
+    /// the total buffered quantity, and reach never exceeds |V| - 1.
+    #[test]
+    fn influence_accounting_is_conservative(stream in interaction_stream(50)) {
+        let n = MAX_VERTICES as usize;
+        let mut t = DiffusionTracker::new(n);
+        t.process_all(&stream);
+        let ranking = t.influence_ranking(n);
+        let total_influence: f64 = ranking.iter().map(|(_, q)| q).sum();
+        prop_assert!((total_influence - t.total_buffered()).abs() < 1e-6 * t.total_buffered().max(1.0));
+        for (origin, influence) in &ranking {
+            prop_assert!((t.influence_of(*origin) - influence).abs() < 1e-9);
+            prop_assert!(t.reach_of(*origin) < n);
+        }
+    }
+
+    /// Cosine similarity between arbitrary buffers is symmetric, bounded, and
+    /// exactly 1 for a buffer against itself (when non-empty).
+    #[test]
+    fn provenance_similarity_is_well_behaved(stream in interaction_stream(40)) {
+        let n = MAX_VERTICES as usize;
+        let mut t = DiffusionTracker::new(n);
+        t.process_all(&stream);
+        for i in 0..n {
+            let a = t.origins(VertexId::from(i));
+            if !a.is_empty() {
+                prop_assert!((cosine_similarity(&a, &a) - 1.0).abs() < 1e-9);
+            }
+            for j in (i + 1)..n {
+                let b = t.origins(VertexId::from(j));
+                let ab = cosine_similarity(&a, &b);
+                let ba = cosine_similarity(&b, &a);
+                prop_assert!((ab - ba).abs() < 1e-9);
+                prop_assert!((0.0..=1.0).contains(&ab));
+            }
+        }
+    }
+
+    /// Clustering partitions the occupied vertices: every vertex with a
+    /// non-empty buffer appears in exactly one cluster.
+    #[test]
+    fn clustering_partitions_occupied_vertices(
+        stream in interaction_stream(40),
+        threshold in 0.0f64..1.0f64,
+    ) {
+        let n = MAX_VERTICES as usize;
+        let mut t = DiffusionTracker::new(n);
+        t.process_all(&stream);
+        let clusters = cluster_by_provenance(&t, threshold);
+        let mut seen = std::collections::BTreeSet::new();
+        for cluster in &clusters {
+            prop_assert!(cluster.members.contains(&cluster.representative));
+            for member in &cluster.members {
+                prop_assert!(seen.insert(*member), "vertex {member} assigned twice");
+                prop_assert!(t.buffered(*member) > 0.0);
+            }
+        }
+        let occupied = (0..n).map(VertexId::from).filter(|&v| t.buffered(v) > 0.0).count();
+        prop_assert_eq!(seen.len(), occupied);
+    }
+}

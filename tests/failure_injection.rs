@@ -1,0 +1,275 @@
+//! Failure-injection tests: malformed interactions, unordered streams,
+//! broken CSV input and misconfigured trackers must be rejected with precise,
+//! typed errors — never silently mis-track provenance.
+//!
+//! The paper assumes well-formed, time-ordered interaction streams; this file
+//! checks the guard rails the library puts around that assumption.
+
+use tin::core::interaction::{paper_running_example, validate_stream};
+use tin::core::stream::{InteractionSource, OrderingPolicy, VecSource};
+use tin::datasets::io::{read_csv, write_csv};
+use tin::prelude::*;
+
+fn v(i: u32) -> VertexId {
+    VertexId::new(i)
+}
+
+// ---------------------------------------------------------------------------
+// Interaction-level validation
+// ---------------------------------------------------------------------------
+
+#[test]
+fn interactions_with_invalid_quantities_are_rejected() {
+    for qty in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        let err = Interaction::try_new(0u32, 1u32, 1.0, qty).unwrap_err();
+        assert!(
+            matches!(err, TinError::InvalidQuantity { .. }),
+            "quantity {qty} produced {err:?}"
+        );
+    }
+}
+
+#[test]
+fn interactions_with_invalid_timestamps_are_rejected() {
+    for time in [-1.0, f64::NAN, f64::INFINITY] {
+        let err = Interaction::try_new(0u32, 1u32, time, 2.0).unwrap_err();
+        assert!(
+            matches!(err, TinError::InvalidTimestamp { .. }),
+            "time {time} produced {err:?}"
+        );
+    }
+    // Time zero is a legal start of the timeline.
+    assert!(Interaction::try_new(0u32, 1u32, 0.0, 2.0).is_ok());
+}
+
+#[test]
+fn self_loops_are_rejected() {
+    let err = Interaction::try_new(3u32, 3u32, 1.0, 2.0).unwrap_err();
+    assert_eq!(
+        err,
+        TinError::SelfLoop {
+            vertex: v(3),
+            position: None
+        }
+    );
+    assert!(!Interaction::new(3u32, 3u32, 1.0, 2.0).is_valid());
+}
+
+#[test]
+fn streams_referencing_unknown_vertices_are_rejected() {
+    let stream = vec![
+        Interaction::new(0u32, 1u32, 1.0, 1.0),
+        Interaction::new(1u32, 9u32, 2.0, 1.0),
+    ];
+    let err = validate_stream(&stream, 3).unwrap_err();
+    assert_eq!(
+        err,
+        TinError::UnknownVertex {
+            vertex: v(9),
+            num_vertices: 3
+        }
+    );
+    // The same stream is fine with a large enough vertex set.
+    assert!(validate_stream(&stream, 10).is_ok());
+}
+
+#[test]
+fn tin_constructor_propagates_validation_errors() {
+    let bad_vertex = vec![Interaction::new(0u32, 5u32, 1.0, 1.0)];
+    assert!(matches!(
+        Tin::from_interactions(3, bad_vertex).unwrap_err(),
+        TinError::UnknownVertex { .. }
+    ));
+
+    let bad_quantity = vec![Interaction::new(0u32, 1u32, 1.0, -2.0)];
+    assert!(matches!(
+        Tin::from_interactions(3, bad_quantity).unwrap_err(),
+        TinError::InvalidQuantity { .. }
+    ));
+
+    // An empty interaction set builds an empty (but valid) TIN.
+    let empty = Tin::from_interactions_auto(Vec::new()).unwrap();
+    assert_eq!(empty.num_vertices(), 0);
+    assert_eq!(empty.num_interactions(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Stream-level ordering validation
+// ---------------------------------------------------------------------------
+
+#[test]
+fn strict_sources_reject_out_of_order_interactions() {
+    let unordered = vec![
+        Interaction::new(0u32, 1u32, 5.0, 1.0),
+        Interaction::new(1u32, 2u32, 3.0, 1.0),
+    ];
+    let mut source = VecSource::new(unordered.clone());
+    assert!(source.next_interaction().unwrap().is_some());
+    let err = source.next_interaction().unwrap_err();
+    assert_eq!(
+        err,
+        TinError::OutOfOrder {
+            position: 1,
+            previous: 5.0,
+            current: 3.0
+        }
+    );
+
+    // The permissive policy accepts the same stream in full.
+    let mut permissive = VecSource::with_policy(unordered, OrderingPolicy::Permissive);
+    let collected = permissive.collect_all().unwrap();
+    assert_eq!(collected.len(), 2);
+}
+
+#[test]
+fn process_source_stops_at_the_first_error_and_keeps_consistent_state() {
+    let stream = vec![
+        Interaction::new(0u32, 1u32, 1.0, 2.0),
+        Interaction::new(1u32, 2u32, 2.0, 3.0),
+        Interaction::new(2u32, 0u32, 1.0, 1.0), // goes back in time
+        Interaction::new(0u32, 2u32, 4.0, 1.0), // never reached
+    ];
+    let mut tracker = ProportionalSparseTracker::new(3);
+    let mut source = VecSource::new(stream);
+    let err = tracker.process_source(&mut source).unwrap_err();
+    assert!(matches!(err, TinError::OutOfOrder { position: 2, .. }));
+    // Exactly the two valid prefix interactions were applied, and the
+    // provenance state they produced is still internally consistent.
+    assert_eq!(tracker.interactions_processed(), 2);
+    assert!(tracker.check_all_invariants());
+    // v0 generated 2 units (now relayed onward) and v1 generated 1 unit, so
+    // exactly 3 units are buffered at v2 after the valid prefix.
+    assert!((tracker.total_buffered() - 3.0).abs() < 1e-9);
+    assert!((tracker.buffered(v(2)) - 3.0).abs() < 1e-9);
+}
+
+#[test]
+fn mid_stream_invalid_quantity_reports_its_position() {
+    let stream = vec![
+        Interaction::new(0u32, 1u32, 1.0, 2.0),
+        Interaction::new(1u32, 2u32, 2.0, f64::NAN),
+    ];
+    let mut source = VecSource::new(stream);
+    assert!(source.next_interaction().is_ok());
+    match source.next_interaction().unwrap_err() {
+        TinError::InvalidQuantity { position, .. } => assert_eq!(position, Some(1)),
+        other => panic!("expected InvalidQuantity, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CSV parsing
+// ---------------------------------------------------------------------------
+
+#[test]
+fn csv_round_trip_preserves_interactions() {
+    let interactions = paper_running_example();
+    let mut bytes = Vec::new();
+    write_csv(&mut bytes, &interactions).unwrap();
+    let parsed = read_csv(bytes.as_slice()).unwrap();
+    assert_eq!(parsed, interactions);
+}
+
+#[test]
+fn csv_with_wrong_field_count_is_a_parse_error() {
+    let err = read_csv("0,1,2.0\n".as_bytes()).unwrap_err();
+    match err {
+        TinError::Parse { line, message } => {
+            assert_eq!(line, 1);
+            assert!(message.contains("4 fields"), "message: {message}");
+        }
+        other => panic!("expected Parse, got {other:?}"),
+    }
+}
+
+#[test]
+fn csv_with_malformed_numbers_reports_line_numbers() {
+    let text = "src,dst,time,qty\n0,1,1.0,2.0\n0,banana,2.0,1.0\n";
+    let err = read_csv(text.as_bytes()).unwrap_err();
+    match err {
+        TinError::Parse { line, message } => {
+            assert_eq!(line, 3);
+            assert!(message.contains("banana"), "message: {message}");
+        }
+        other => panic!("expected Parse, got {other:?}"),
+    }
+}
+
+#[test]
+fn csv_with_invalid_quantity_is_rejected_at_validation() {
+    let text = "0 1 1.0 -5.0\n";
+    let err = read_csv(text.as_bytes()).unwrap_err();
+    assert!(matches!(err, TinError::InvalidQuantity { .. }), "{err:?}");
+}
+
+#[test]
+fn csv_skips_comments_blank_lines_and_header_and_sorts_by_time() {
+    let text = "src,dst,time,qty\n# a comment\n\n2 0 9.0 1.5\n0\t1\t1.0\t2.5\n";
+    let parsed = read_csv(text.as_bytes()).unwrap();
+    assert_eq!(parsed.len(), 2);
+    // Whitespace- and tab-separated rows are both accepted and the result is
+    // sorted by time even though the input was not.
+    assert_eq!(parsed[0], Interaction::new(0u32, 1u32, 1.0, 2.5));
+    assert_eq!(parsed[1], Interaction::new(2u32, 0u32, 9.0, 1.5));
+}
+
+#[test]
+fn missing_csv_file_is_an_io_error() {
+    let err = tin::datasets::io::read_csv_file("/nonexistent/definitely-missing.csv").unwrap_err();
+    assert!(matches!(err, TinError::Io(_)), "{err:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Tracker configuration
+// ---------------------------------------------------------------------------
+
+#[test]
+fn misconfigured_trackers_are_rejected_with_invalid_config() {
+    let bad_configs = vec![
+        PolicyConfig::Selective { tracked: vec![] },
+        PolicyConfig::Grouped {
+            num_groups: 0,
+            group_of: vec![],
+        },
+        // Group mapping of the wrong length.
+        PolicyConfig::Grouped {
+            num_groups: 2,
+            group_of: vec![0, 1],
+        },
+        PolicyConfig::Windowed { window: 0 },
+        PolicyConfig::TimeWindowed { duration: 0.0 },
+        PolicyConfig::TimeWindowed { duration: f64::NAN },
+        PolicyConfig::budget(0),
+        PolicyConfig::Budgeted {
+            capacity: 10,
+            keep_fraction: 0.0,
+            criterion: ShrinkCriterion::KeepLargest,
+            important: vec![],
+        },
+        PolicyConfig::Budgeted {
+            capacity: 10,
+            keep_fraction: 1.5,
+            criterion: ShrinkCriterion::KeepLargest,
+            important: vec![],
+        },
+    ];
+    for config in bad_configs {
+        let err = match build_tracker(&config, 3) {
+            Err(e) => e,
+            Ok(_) => panic!("config {} was unexpectedly accepted", config.key()),
+        };
+        assert!(
+            matches!(err, TinError::InvalidConfig(_)),
+            "config {} produced {err:?}",
+            config.key()
+        );
+    }
+}
+
+#[test]
+fn selective_tracking_rejects_out_of_range_tracked_vertices() {
+    let config = PolicyConfig::Selective {
+        tracked: vec![v(7)],
+    };
+    assert!(build_tracker(&config, 3).is_err());
+}

@@ -1,0 +1,162 @@
+//! Integration tests reproducing the paper's worked examples (Tables 2–5)
+//! through the public facade API, plus the Section 5.3.2 shrinking example.
+
+use tin::prelude::*;
+
+fn running_example() -> Vec<Interaction> {
+    tin::core::interaction::paper_running_example()
+}
+
+fn v(i: u32) -> VertexId {
+    VertexId::new(i)
+}
+
+/// Table 2: final buffer totals under the provenance-free baseline.
+#[test]
+fn table2_final_buffer_totals() {
+    let mut tracker = build_tracker(&PolicyConfig::Plain(SelectionPolicy::NoProvenance), 3)
+        .expect("valid config");
+    tracker.process_all(&running_example());
+    assert!((tracker.buffered(v(0)) - 3.0).abs() < 1e-9);
+    assert!((tracker.buffered(v(1)) - 2.0).abs() < 1e-9);
+    assert!((tracker.buffered(v(2)) - 4.0).abs() < 1e-9);
+}
+
+/// Table 3: final buffer contents under the least-recently-born policy.
+#[test]
+fn table3_final_lrb_origins() {
+    let mut t = GenerationTimeTracker::least_recently_born(3);
+    t.process_all(&running_example());
+    // B_v0 = {(1,1,1),(2,3,2)}; B_v1 = {(1,1,2)}; B_v2 = {(1,5,4)}.
+    let o0 = t.origins(v(0));
+    assert!((o0.quantity_from_vertex(v(1)) - 1.0).abs() < 1e-9);
+    assert!((o0.quantity_from_vertex(v(2)) - 2.0).abs() < 1e-9);
+    let o1 = t.origins(v(1));
+    assert!((o1.quantity_from_vertex(v(1)) - 2.0).abs() < 1e-9);
+    let o2 = t.origins(v(2));
+    assert!((o2.quantity_from_vertex(v(1)) - 4.0).abs() < 1e-9);
+    // Birth times survive: the 4 units at v2 were born at time 5.
+    let with_birth = t.origins_with_birth(v(2));
+    assert_eq!(with_birth.len(), 1);
+    assert_eq!((with_birth[0].0).1, Timestamp::new(5.0));
+}
+
+/// Table 4: final buffer contents under the LIFO policy.
+#[test]
+fn table4_final_lifo_pairs() {
+    let mut t = ReceiptOrderTracker::lifo(3);
+    t.process_all(&running_example());
+    // B_v0 = {(1,2),(1,1)}; B_v1 = {(1,2)}; B_v2 = {(1,1),(2,2),(1,1)}.
+    let mut p0 = t.pairs(v(0));
+    p0.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    assert_eq!(p0, vec![(v(1), 1.0), (v(1), 2.0)]);
+    assert_eq!(t.pairs(v(1)), vec![(v(1), 2.0)]);
+    let o2 = t.origins(v(2));
+    assert!((o2.quantity_from_vertex(v(1)) - 2.0).abs() < 1e-9);
+    assert!((o2.quantity_from_vertex(v(2)) - 2.0).abs() < 1e-9);
+}
+
+/// Table 5: final provenance vectors under proportional selection.
+#[test]
+fn table5_final_proportional_vectors() {
+    let mut t = ProportionalDenseTracker::new(3);
+    t.process_all(&running_example());
+    let expected = [
+        (0u32, [0.0, 2.03, 0.97]),
+        (1u32, [0.0, 1.66, 0.34]),
+        (2u32, [0.0, 3.31, 0.69]),
+    ];
+    for (vertex, vals) in expected {
+        let p = t.vector(v(vertex));
+        for (i, want) in vals.iter().enumerate() {
+            assert!(
+                (p.get(i) - want).abs() < 0.01,
+                "p_v{vertex}[{i}] = {} want {want}",
+                p.get(i)
+            );
+        }
+    }
+}
+
+/// All policies agree on buffer totals at every step (the totals are policy-
+/// independent; only the provenance decomposition differs).
+#[test]
+fn all_policies_agree_on_buffer_totals() {
+    let example = running_example();
+    let mut trackers: Vec<Box<dyn ProvenanceTracker>> = SelectionPolicy::all()
+        .iter()
+        .map(|p| build_tracker(&PolicyConfig::Plain(*p), 3).unwrap())
+        .collect();
+    for r in &example {
+        for t in trackers.iter_mut() {
+            t.process(r);
+        }
+        let reference = trackers[0].buffered(r.dst);
+        for t in &trackers {
+            assert!(
+                (t.buffered(r.dst) - reference).abs() < 1e-9,
+                "{} disagrees on |B_{}|",
+                t.name(),
+                r.dst
+            );
+        }
+    }
+}
+
+/// The Section 5.3.2 worked example: a budget of C = 5 with f = 0.6 keeps the
+/// three largest entries and folds the rest into α.
+#[test]
+fn section_5_3_2_shrinking_example() {
+    use tin::core::sparse_vec::SparseProvenance;
+    let mut p: SparseProvenance = [
+        (Origin::Vertex(v(10)), 1.0),
+        (Origin::Vertex(v(11)), 3.0),
+        (Origin::Vertex(v(12)), 2.0),
+        (Origin::Vertex(v(13)), 1.0),
+    ]
+    .into_iter()
+    .collect();
+    // Merge the new entries {(x,2),(w,1),(y,4)} of the example.
+    let incoming: SparseProvenance = [
+        (Origin::Vertex(v(14)), 2.0),
+        (Origin::Vertex(v(12)), 1.0),
+        (Origin::Vertex(v(15)), 4.0),
+    ]
+    .into_iter()
+    .collect();
+    p.merge_add(&incoming);
+    assert_eq!(p.len(), 6); // capacity C = 5 violated
+    let removed = p.shrink_keep_largest(3);
+    assert!((removed - 4.0).abs() < 1e-9);
+    assert_eq!(p.len(), 4); // {u,w,y} + α
+    assert!((p.get(Origin::Unknown) - 4.0).abs() < 1e-9);
+    assert!((p.get(Origin::Vertex(v(11))) - 3.0).abs() < 1e-9);
+    assert!((p.get(Origin::Vertex(v(12))) - 3.0).abs() < 1e-9);
+    assert!((p.get(Origin::Vertex(v(15))) - 4.0).abs() < 1e-9);
+}
+
+/// Figure 1: the FIFO transfer example from the introduction. B_v holds 4
+/// units from w and 3 from z; a transfer of 5 moves all 4 w-units plus 1
+/// z-unit.
+#[test]
+fn figure1_fifo_transfer() {
+    // Build the state of Figure 1: w sends 4 to v, z sends 3 to v, then the
+    // interaction <v, u, t, 5>.
+    let w = 0u32;
+    let z = 1u32;
+    let vv = 2u32;
+    let u = 3u32;
+    let rs = vec![
+        Interaction::new(w, vv, 1.0, 4.0),
+        Interaction::new(z, vv, 2.0, 3.0),
+        Interaction::new(vv, u, 3.0, 5.0),
+    ];
+    let mut t = ReceiptOrderTracker::fifo(4);
+    t.process_all(&rs);
+    let at_u = t.origins(VertexId::new(u));
+    assert!((at_u.quantity_from_vertex(VertexId::new(w)) - 4.0).abs() < 1e-9);
+    assert!((at_u.quantity_from_vertex(VertexId::new(z)) - 1.0).abs() < 1e-9);
+    let at_v = t.origins(VertexId::new(vv));
+    assert!((at_v.quantity_from_vertex(VertexId::new(z)) - 2.0).abs() < 1e-9);
+    assert_eq!(at_v.len(), 1);
+}

@@ -1,0 +1,193 @@
+//! Property-based tests for the extension layer (how-provenance on
+//! generation-time buffers, lazy/backtracing queries, snapshots, the engine
+//! and the flow matrix), over randomly generated interaction streams.
+
+use proptest::prelude::*;
+use tin::core::engine::ProvenanceEngine;
+use tin::prelude::*;
+
+const MAX_VERTICES: u32 = 10;
+
+/// Strategy: a stream of up to `len` valid interactions over a small vertex
+/// set with non-decreasing timestamps (same shape as `proptest_invariants`).
+fn interaction_stream(len: usize) -> impl Strategy<Value = Vec<Interaction>> {
+    prop::collection::vec(
+        (
+            0..MAX_VERTICES,
+            0..MAX_VERTICES - 1,
+            0.01f64..50.0f64,
+            0.0f64..3.0f64,
+        ),
+        1..len,
+    )
+    .prop_map(|raw| {
+        let mut time = 0.0;
+        raw.into_iter()
+            .map(|(src, dst_raw, qty, gap)| {
+                let dst = if dst_raw >= src { dst_raw + 1 } else { dst_raw };
+                time += gap;
+                Interaction::new(src, dst, time, qty)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The path-annotated trackers (Section 6) never change the origin
+    /// decomposition of the policies they extend, and the recorded paths are
+    /// internally consistent (they start at the element's origin).
+    #[test]
+    fn path_trackers_preserve_origins_and_start_paths_at_origins(
+        stream in interaction_stream(50)
+    ) {
+        let n = MAX_VERTICES as usize;
+        let mut lrb_paths = GenerationPathTracker::least_recently_born(n);
+        let mut lrb_plain = GenerationTimeTracker::least_recently_born(n);
+        let mut lifo_paths = PathTracker::lifo(n);
+        let mut lifo_plain = ReceiptOrderTracker::lifo(n);
+        for r in &stream {
+            lrb_paths.process(r);
+            lrb_plain.process(r);
+            lifo_paths.process(r);
+            lifo_plain.process(r);
+        }
+        for i in 0..n {
+            let v = VertexId::from(i);
+            prop_assert!(lrb_paths.origins(v).approx_eq(&lrb_plain.origins(v)), "LRB mismatch at {v}");
+            prop_assert!(lifo_paths.origins(v).approx_eq(&lifo_plain.origins(v)), "LIFO mismatch at {v}");
+            for e in lrb_paths.sorted_elements(v) {
+                prop_assert_eq!(e.path.first().copied(), Some(e.origin));
+            }
+            for e in lifo_paths.elements(v) {
+                prop_assert_eq!(e.path.first().copied(), Some(e.origin));
+            }
+        }
+    }
+
+    /// Lazy replay and the backtracing index answer exactly like the eager
+    /// tracker, both at the end of the stream and at a random earlier time.
+    #[test]
+    fn on_demand_queries_match_eager_tracking(
+        stream in interaction_stream(40),
+        time_fraction in 0.0f64..1.0f64,
+    ) {
+        let n = MAX_VERTICES as usize;
+        let mut eager = ProportionalSparseTracker::new(n);
+        let mut lazy = LazyReplayProvenance::proportional(n);
+        let mut backtrace = BacktraceIndex::proportional(n);
+        for r in &stream {
+            eager.process(r);
+            lazy.process(r);
+            backtrace.process(r);
+        }
+        let horizon = stream.last().map(|r| r.time.value()).unwrap_or(0.0) * time_fraction;
+        let mut eager_prefix = ProportionalSparseTracker::new(n);
+        for r in &stream {
+            if r.time.value() > horizon {
+                break;
+            }
+            eager_prefix.process(r);
+        }
+        for i in 0..n {
+            let v = VertexId::from(i);
+            prop_assert!(lazy.origins(v).approx_eq(&eager.origins(v)), "lazy mismatch at {v}");
+            prop_assert!(backtrace.origins(v).approx_eq(&eager.origins(v)), "backtrace mismatch at {v}");
+            let lazy_past = lazy.origins_at(v, horizon).unwrap();
+            let backtrace_past = backtrace.origins_at(v, horizon).unwrap();
+            prop_assert!(lazy_past.approx_eq(&eager_prefix.origins(v)), "lazy time travel mismatch at {v}");
+            prop_assert!(backtrace_past.approx_eq(&eager_prefix.origins(v)), "backtrace time travel mismatch at {v}");
+        }
+    }
+
+    /// Snapshots faithfully capture the tracker state and survive the TSV
+    /// round trip, and snapshot diffs sum to the newly generated quantity.
+    #[test]
+    fn snapshots_roundtrip_and_diffs_are_consistent(stream in interaction_stream(40)) {
+        let n = MAX_VERTICES as usize;
+        let mut tracker = ProportionalSparseTracker::new(n);
+        let empty = ProvenanceSnapshot::capture(&tracker, 0.0);
+        tracker.process_all(&stream);
+        let last_time = stream.last().map(|r| r.time.value()).unwrap_or(0.0);
+        let full = ProvenanceSnapshot::capture(&tracker, last_time);
+
+        // Capture ↔ tracker agreement.
+        for i in 0..n {
+            let v = VertexId::from(i);
+            prop_assert!(full.origins(v).approx_eq(&tracker.origins(v)));
+            prop_assert!((full.buffered(v) - tracker.buffered(v)).abs() < 1e-6);
+        }
+        // TSV round trip.
+        let mut buf = Vec::new();
+        full.write_tsv(&mut buf).unwrap();
+        let parsed = ProvenanceSnapshot::read_tsv(buf.as_slice()).unwrap();
+        prop_assert!(parsed.approx_eq(&full));
+        // The diff against the empty snapshot accounts for every buffered unit.
+        let diff = full.diff_from(&empty);
+        let delta_sum: f64 = diff.per_vertex_delta.iter().sum();
+        prop_assert!((delta_sum - tracker.total_buffered()).abs() < 1e-6);
+    }
+
+    /// The engine's flow accounting is exact: the quantity it classifies as
+    /// newborn equals the total quantity left buffered in the network, under
+    /// any policy (relayed units are never created or destroyed).
+    #[test]
+    fn engine_flow_accounting_matches_buffered_totals(stream in interaction_stream(50)) {
+        let n = MAX_VERTICES as usize;
+        for policy in [SelectionPolicy::NoProvenance, SelectionPolicy::Fifo, SelectionPolicy::ProportionalSparse] {
+            let mut engine = ProvenanceEngine::new(&PolicyConfig::Plain(policy), n).unwrap();
+            engine.process_all(&stream).unwrap();
+            let report = engine.report();
+            let buffered = engine.tracker().total_buffered();
+            prop_assert!(
+                (report.newborn_quantity - buffered).abs() < 1e-6,
+                "{policy}: newborn {} vs buffered {}", report.newborn_quantity, buffered
+            );
+            prop_assert!(report.relayed_quantity >= -1e-9);
+            prop_assert!(report.newborn_fraction() <= 1.0 + 1e-9);
+        }
+    }
+
+    /// The flow matrix is a faithful re-arrangement of the origin sets: its
+    /// column sums equal the buffered totals and its cells are non-negative.
+    #[test]
+    fn flow_matrix_is_consistent_with_the_tracker(stream in interaction_stream(40)) {
+        let n = MAX_VERTICES as usize;
+        let mut tracker = ProportionalSparseTracker::new(n);
+        tracker.process_all(&stream);
+        let matrix = FlowMatrix::from_tracker(&tracker);
+        let held = matrix.held_per_vertex();
+        for (i, held_at_vertex) in held.iter().enumerate().take(n) {
+            let v = VertexId::from(i);
+            prop_assert!((held_at_vertex - tracker.buffered(v)).abs() < 1e-6, "column sum mismatch at {v}");
+            prop_assert!(matrix.financiers_of(v).iter().all(|(_, q)| *q > 0.0));
+        }
+        prop_assert!((matrix.total_buffered() - tracker.total_buffered()).abs() < 1e-6);
+        // Row sums never exceed what the origin actually generated (which is
+        // bounded by the total newborn quantity, i.e. everything buffered).
+        let generated: f64 = matrix.generated_per_vertex().iter().sum();
+        prop_assert!(generated <= matrix.total_buffered() + 1e-6);
+    }
+
+    /// Accuracy metrics are well-behaved: comparing any tracker with itself
+    /// is exact, and the total variation distance is always within [0, 1].
+    #[test]
+    fn accuracy_metrics_are_bounded(stream in interaction_stream(40), budget in 2usize..12) {
+        let n = MAX_VERTICES as usize;
+        let mut exact = build_tracker(&PolicyConfig::Plain(SelectionPolicy::ProportionalSparse), n).unwrap();
+        exact.process_all(&stream);
+        let self_report = compare_trackers(exact.as_ref(), exact.as_ref(), 3);
+        prop_assert!(self_report.is_exact());
+
+        let mut budgeted = build_tracker(&PolicyConfig::budget(budget), n).unwrap();
+        budgeted.process_all(&stream);
+        let report = compare_trackers(budgeted.as_ref(), exact.as_ref(), 3);
+        prop_assert!(report.mean_total_variation >= -1e-12);
+        prop_assert!(report.max_total_variation <= 1.0 + 1e-9);
+        prop_assert!(report.mean_known_fraction >= -1e-12);
+        prop_assert!(report.mean_known_fraction <= 1.0 + 1e-9);
+        prop_assert!(report.mean_topk_recall >= -1e-12);
+        prop_assert!(report.mean_topk_recall <= 1.0 + 1e-9);
+    }
+}

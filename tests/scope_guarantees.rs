@@ -1,0 +1,311 @@
+//! Integration tests for the guarantees of the scope-limited trackers
+//! (Section 5): selective, grouped, windowed and budget-based provenance all
+//! trade completeness for resources, but each keeps specific promises that
+//! these tests verify on synthetic workloads end to end.
+
+use tin::prelude::*;
+
+/// A reproducible mid-sized workload with enough buffer mixing to make the
+/// scope-limiting techniques actually lose information.
+fn workload() -> (usize, Vec<Interaction>) {
+    let spec = DatasetSpec::with_seed(DatasetKind::ProsperLoans, ScaleProfile::Tiny, 7);
+    let stream = tin::datasets::generate(&spec);
+    (spec.num_vertices(), stream)
+}
+
+fn exact_tracker(num_vertices: usize, stream: &[Interaction]) -> Box<dyn ProvenanceTracker> {
+    let mut exact = build_tracker(
+        &PolicyConfig::Plain(SelectionPolicy::ProportionalSparse),
+        num_vertices,
+    )
+    .unwrap();
+    exact.process_all(stream);
+    exact
+}
+
+/// Every scope-limited tracker must still conserve quantities: buffered
+/// totals are identical to the exact tracker at every vertex.
+#[test]
+fn scope_limiting_preserves_buffered_totals() {
+    let (n, stream) = workload();
+    let exact = exact_tracker(n, &stream);
+    let tin = Tin::from_interactions(n, stream.clone()).unwrap();
+    let configs = vec![
+        PolicyConfig::Selective {
+            tracked: tin.top_k_senders(5),
+        },
+        Grouping {
+            num_groups: 4,
+            group_of: (0..n).map(|v| (v % 4) as u32).collect(),
+        }
+        .to_policy(),
+        PolicyConfig::Windowed {
+            window: stream.len() / 3,
+        },
+        PolicyConfig::TimeWindowed {
+            duration: stream.last().unwrap().time.value() / 3.0,
+        },
+        PolicyConfig::budget(10),
+    ];
+    for config in configs {
+        let mut tracker = build_tracker(&config, n).unwrap();
+        tracker.process_all(&stream);
+        assert!(tracker.check_all_invariants(), "{}", config.key());
+        for i in 0..n {
+            let v = VertexId::from(i);
+            assert!(
+                (tracker.buffered(v) - exact.buffered(v)).abs() < 1e-6,
+                "{}: buffered total diverged at {v}",
+                config.key()
+            );
+        }
+    }
+}
+
+/// Selective tracking promises exact provenance *for the tracked origins*:
+/// the quantity attributed to each tracked vertex matches the exact tracker,
+/// and no untracked vertex ever appears as a concrete origin.
+#[test]
+fn selective_tracking_is_exact_for_tracked_vertices() {
+    let (n, stream) = workload();
+    let tin = Tin::from_interactions(n, stream.clone()).unwrap();
+    let tracked = tin.top_k_senders(8);
+    let exact = exact_tracker(n, &stream);
+
+    let mut selective = build_tracker(
+        &PolicyConfig::Selective {
+            tracked: tracked.clone(),
+        },
+        n,
+    )
+    .unwrap();
+    selective.process_all(&stream);
+
+    for i in 0..n {
+        let v = VertexId::from(i);
+        let approx = selective.origins(v);
+        let truth = exact.origins(v);
+        for &t in &tracked {
+            assert!(
+                (approx.quantity_from_vertex(t) - truth.quantity_from_vertex(t)).abs() < 1e-6,
+                "tracked origin {t} mis-measured at {v}"
+            );
+        }
+        for (origin, _) in approx.iter() {
+            if let Some(vertex) = origin.as_vertex() {
+                assert!(
+                    tracked.contains(&vertex),
+                    "untracked vertex {vertex} leaked into the origin set of {v}"
+                );
+            }
+        }
+    }
+}
+
+/// Grouped tracking is exact at group granularity: coarsening the exact
+/// vertex-level answer onto the grouping reproduces the grouped answer.
+#[test]
+fn grouped_tracking_matches_coarsened_exact_answer() {
+    let (n, stream) = workload();
+    let exact = exact_tracker(n, &stream);
+    let grouping = Grouping {
+        num_groups: 6,
+        group_of: (0..n).map(|v| (v % 6) as u32).collect(),
+    };
+    let mut grouped = build_tracker(&grouping.to_policy(), n).unwrap();
+    grouped.process_all(&stream);
+    let report = compare_grouped_tracker(grouped.as_ref(), exact.as_ref(), &grouping, 5);
+    assert!(report.vertices_compared > 0);
+    assert!(
+        report.max_total_variation < 1e-6,
+        "grouped provenance diverged: {report:?}"
+    );
+}
+
+/// The time-based window extension keeps the same promises as the
+/// count-based one: a duration longer than the stream's time span is exact,
+/// and shortening the duration only ever *loses* provenance (the fraction of
+/// the buffered quantity with a known concrete origin shrinks monotonically,
+/// never the totals).
+#[test]
+fn time_windowed_tracking_degrades_gracefully() {
+    let (n, stream) = workload();
+    let exact = exact_tracker(n, &stream);
+    let span = stream.last().unwrap().time.value();
+
+    let mut unwindowed = build_tracker(&PolicyConfig::TimeWindowed { duration: span * 2.0 }, n)
+        .unwrap();
+    unwindowed.process_all(&stream);
+    let report = compare_trackers(unwindowed.as_ref(), exact.as_ref(), 5);
+    assert!(report.is_exact(), "D > time span must be exact: {report:?}");
+
+    let mut previous_known = f64::INFINITY;
+    for divisor in [2.0, 8.0, 32.0] {
+        let mut windowed =
+            build_tracker(&PolicyConfig::TimeWindowed { duration: span / divisor }, n).unwrap();
+        windowed.process_all(&stream);
+        assert!(windowed.check_all_invariants());
+        let known: f64 = (0..n)
+            .map(|i| windowed.origins(VertexId::from(i)).known_fraction())
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            known <= previous_known + 1e-9,
+            "shorter durations must not recover provenance (D = span/{divisor}: {known} > {previous_known})"
+        );
+        previous_known = known;
+        // Whatever is still attributed concretely agrees with the exact tracker.
+        for i in 0..n {
+            let v = VertexId::from(i);
+            let eo = exact.origins(v);
+            for (origin, qty) in windowed.origins(v).iter() {
+                if let Some(vertex) = origin.as_vertex() {
+                    assert!(qty <= eo.quantity_from_vertex(vertex) + 1e-6);
+                }
+            }
+        }
+    }
+}
+
+/// A window longer than the stream never resets, so windowed tracking is
+/// exact; a short window loses provenance but never invents any: whatever it
+/// still attributes to a concrete origin is also attributed to that origin by
+/// the exact tracker (within tolerance).
+#[test]
+fn windowed_tracking_degrades_gracefully() {
+    let (n, stream) = workload();
+    let exact = exact_tracker(n, &stream);
+
+    let mut unwindowed = build_tracker(
+        &PolicyConfig::Windowed {
+            window: stream.len() + 1,
+        },
+        n,
+    )
+    .unwrap();
+    unwindowed.process_all(&stream);
+    let report = compare_trackers(unwindowed.as_ref(), exact.as_ref(), 5);
+    assert!(report.is_exact(), "W > |R| must be exact: {report:?}");
+
+    let mut windowed = build_tracker(
+        &PolicyConfig::Windowed {
+            window: (stream.len() / 5).max(1),
+        },
+        n,
+    )
+    .unwrap();
+    windowed.process_all(&stream);
+    let report = compare_trackers(windowed.as_ref(), exact.as_ref(), 5);
+    assert!(report.mean_known_fraction <= 1.0 + 1e-9);
+    // Concrete attributions are never larger than the exact ones.
+    for i in 0..n {
+        let v = VertexId::from(i);
+        let truth = exact.origins(v);
+        for (origin, qty) in windowed.origins(v).iter() {
+            if origin.as_vertex().is_some() {
+                assert!(
+                    qty <= truth.quantity_from(origin) + 1e-6,
+                    "windowed tracker invented provenance at {v}: {origin} {qty}"
+                );
+            }
+        }
+    }
+}
+
+/// Budget-based tracking respects its capacity: no vertex ever reports more
+/// than C + 1 origin entries (C concrete slots plus the α bucket), and a
+/// larger budget never knows less than a smaller one.
+#[test]
+fn budget_tracking_respects_capacity_and_improves_with_budget() {
+    let (n, stream) = workload();
+    let exact = exact_tracker(n, &stream);
+
+    let small_capacity = 5;
+    let mut small = build_tracker(&PolicyConfig::budget(small_capacity), n).unwrap();
+    small.process_all(&stream);
+    for i in 0..n {
+        let v = VertexId::from(i);
+        assert!(
+            small.origins(v).len() <= small_capacity + 1,
+            "budget exceeded at {v}: {} entries",
+            small.origins(v).len()
+        );
+    }
+
+    let mut large = build_tracker(&PolicyConfig::budget(200), n).unwrap();
+    large.process_all(&stream);
+
+    let small_report = compare_trackers(small.as_ref(), exact.as_ref(), 5);
+    let large_report = compare_trackers(large.as_ref(), exact.as_ref(), 5);
+    assert!(
+        large_report.mean_known_fraction >= small_report.mean_known_fraction - 1e-9,
+        "larger budget must not know less: {} vs {}",
+        large_report.mean_known_fraction,
+        small_report.mean_known_fraction
+    );
+    assert!(
+        large_report.mean_total_variation <= small_report.mean_total_variation + 1e-9,
+        "larger budget must not be less accurate"
+    );
+}
+
+/// The budget shrink criteria only change *which* provenance is kept, never
+/// the buffered totals; the keep-important criterion keeps the designated
+/// origins when they contribute.
+#[test]
+fn budget_shrink_criteria_are_consistent() {
+    let (n, stream) = workload();
+    let tin = Tin::from_interactions(n, stream.clone()).unwrap();
+    let important = tin.top_k_senders(3);
+
+    let largest = PolicyConfig::Budgeted {
+        capacity: 6,
+        keep_fraction: 0.7,
+        criterion: ShrinkCriterion::KeepLargest,
+        important: Vec::new(),
+    };
+    let important_cfg = PolicyConfig::Budgeted {
+        capacity: 6,
+        keep_fraction: 0.7,
+        criterion: ShrinkCriterion::KeepImportant,
+        important: important.clone(),
+    };
+    let mut by_largest = build_tracker(&largest, n).unwrap();
+    let mut by_importance = build_tracker(&important_cfg, n).unwrap();
+    by_largest.process_all(&stream);
+    by_importance.process_all(&stream);
+    for i in 0..n {
+        let v = VertexId::from(i);
+        assert!(
+            (by_largest.buffered(v) - by_importance.buffered(v)).abs() < 1e-6,
+            "criteria changed buffered totals at {v}"
+        );
+    }
+}
+
+/// Accuracy improves monotonically along the paper's cost knobs: tracking
+/// more vertices selectively can only increase the known fraction.
+#[test]
+fn selective_accuracy_grows_with_k() {
+    let (n, stream) = workload();
+    let tin = Tin::from_interactions(n, stream.clone()).unwrap();
+    let exact = exact_tracker(n, &stream);
+    let mut previous = -1.0;
+    for k in [1usize, 4, 16, 64] {
+        let mut tracker = build_tracker(
+            &PolicyConfig::Selective {
+                tracked: tin.top_k_senders(k),
+            },
+            n,
+        )
+        .unwrap();
+        tracker.process_all(&stream);
+        let report = compare_trackers(tracker.as_ref(), exact.as_ref(), 5);
+        assert!(
+            report.mean_known_fraction >= previous - 1e-9,
+            "known fraction dropped when k grew to {k}"
+        );
+        previous = report.mean_known_fraction;
+    }
+    assert!(previous > 0.0);
+}

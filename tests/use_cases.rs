@@ -1,0 +1,200 @@
+//! Integration tests for the paper's use cases and the lazy-replay extension,
+//! exercised end-to-end through the facade crate on synthetic workloads.
+
+use tin::analytics::alerts::{AlertConfig, AlertEngine};
+use tin::prelude::*;
+
+fn taxi_workload() -> (usize, Vec<Interaction>) {
+    let spec = DatasetSpec::new(DatasetKind::Taxis, ScaleProfile::Tiny);
+    (spec.num_vertices(), tin::datasets::generate(&spec))
+}
+
+/// Section 8 extension end to end on a generated workload: the diffusion
+/// tracker's influence accounting is conservative, every vertex buffers at
+/// least as much as under the relay model, and the mining primitives produce
+/// a well-formed answer on the resulting provenance state.
+#[test]
+fn diffusion_influence_and_mining_on_a_generated_workload() {
+    let spec = DatasetSpec::with_seed(DatasetKind::Ctu, ScaleProfile::Tiny, 11);
+    let n = spec.num_vertices();
+    let stream = tin::datasets::generate(&spec);
+
+    let mut diffusion = DiffusionTracker::new(n);
+    let mut relay = ProportionalSparseTracker::new(n);
+    for r in &stream {
+        diffusion.process(r);
+        relay.process(r);
+    }
+    assert!(diffusion.check_all_invariants());
+    for i in 0..n {
+        let v = VertexId::from(i);
+        assert!(diffusion.buffered(v) + 1e-6 >= relay.buffered(v));
+    }
+
+    // Influence is conservative and the top origin actually reaches someone.
+    let ranking = diffusion.influence_ranking(n);
+    let total_influence: f64 = ranking.iter().map(|(_, q)| q).sum();
+    assert!(
+        (total_influence - diffusion.total_buffered()).abs()
+            < 1e-6 * diffusion.total_buffered().max(1.0)
+    );
+    let (top_origin, top_influence) = ranking[0];
+    assert!(top_influence > 0.0);
+    assert!(diffusion.reach_of(top_origin) >= 1);
+
+    // Mining the provenance state: recurrent origins are reported in
+    // descending support, and clustering partitions the occupied vertices.
+    let recurrent = recurrent_origins(&diffusion, 0.1);
+    for pair in recurrent.windows(2) {
+        assert!(pair[0].support + 1e-12 >= pair[1].support);
+    }
+    let clusters = cluster_by_provenance(&diffusion, 0.8);
+    let clustered: usize = clusters.iter().map(|c| c.len()).sum();
+    let occupied = (0..n)
+        .map(VertexId::from)
+        .filter(|&v| diffusion.buffered(v) > 0.0)
+        .count();
+    assert_eq!(clustered, occupied);
+}
+
+/// Figure 2 use case: the accumulation series of the busiest zone is
+/// consistent across selection policies in its *totals* (the provenance
+/// breakdown differs, the buffered series does not).
+#[test]
+fn accumulation_series_totals_are_policy_independent() {
+    let (n, rs) = taxi_workload();
+    let tin_graph = Tin::from_interactions(n, rs.clone()).unwrap();
+    let watched = tin_graph
+        .vertices()
+        .max_by_key(|v| tin_graph.in_degree(*v))
+        .unwrap();
+
+    let mut series = Vec::new();
+    for policy in [
+        SelectionPolicy::Fifo,
+        SelectionPolicy::LeastRecentlyBorn,
+        SelectionPolicy::ProportionalDense,
+    ] {
+        let mut tracker = build_tracker(&PolicyConfig::Plain(policy), n).unwrap();
+        series.push(record_series(tracker.as_mut(), &rs, watched));
+    }
+    let reference = &series[0];
+    for other in &series[1..] {
+        assert_eq!(reference.samples.len(), other.samples.len());
+        for (a, b) in reference.samples.iter().zip(&other.samples) {
+            assert_eq!(a.interaction_index, b.interaction_index);
+            assert!((a.buffered - b.buffered).abs() < 1e-6);
+        }
+    }
+}
+
+/// Figure 9 use case: the alert engine is deterministic and its alerts carry
+/// consistent provenance counts under the proportional policy.
+#[test]
+fn alert_engine_is_deterministic() {
+    let spec = DatasetSpec::new(DatasetKind::Bitcoin, ScaleProfile::Tiny);
+    let rs = tin::datasets::generate(&spec);
+    let n = spec.num_vertices();
+    let avg = rs.iter().map(|r| r.qty).sum::<f64>() / rs.len() as f64;
+    let config = AlertConfig {
+        quantity_threshold: 5.0 * avg,
+        require_no_neighbor_origin: true,
+    };
+    let run = |rs: &[Interaction]| {
+        let mut tracker = ProportionalSparseTracker::new(n);
+        AlertEngine::run_stream(&mut tracker, rs, config)
+    };
+    let a = run(&rs);
+    let b = run(&rs);
+    assert_eq!(a, b);
+    for alert in &a {
+        assert!(alert.buffered > config.quantity_threshold);
+        assert!(alert.interaction_index < rs.len());
+    }
+}
+
+/// Lazy replay provenance answers the same questions as the eager trackers on
+/// a realistic workload, including time-travel queries at an intermediate
+/// timestamp.
+#[test]
+fn lazy_replay_matches_eager_on_synthetic_data() {
+    let (n, rs) = taxi_workload();
+    let mut lazy = LazyReplayProvenance::proportional(n);
+    let mut eager = ProportionalSparseTracker::new(n);
+    lazy.process_all(&rs);
+    eager.process_all(&rs);
+
+    // Final-state queries agree at a sample of vertices.
+    for i in (0..n).step_by(3) {
+        let v = VertexId::from(i);
+        assert!(lazy.origins(v).approx_eq(&eager.origins(v)), "mismatch at {v}");
+    }
+
+    // Time-travel query at the median timestamp agrees with a prefix replay.
+    let mid_time = rs[rs.len() / 2].time.value();
+    let prefix: Vec<Interaction> = rs.iter().copied().filter(|r| r.time.value() <= mid_time).collect();
+    let mut eager_prefix = ProportionalSparseTracker::new(n);
+    eager_prefix.process_all(&prefix);
+    for i in (0..n).step_by(5) {
+        let v = VertexId::from(i);
+        assert!(lazy
+            .origins_at(v, mid_time)
+            .unwrap()
+            .approx_eq(&eager_prefix.origins(v)));
+    }
+}
+
+/// Grouped tracking with an attribute-based grouping: group provenance equals
+/// the sum of its members' exact provenance (medium-sized check on top of the
+/// unit-level one).
+#[test]
+fn attribute_grouping_end_to_end() {
+    let (n, rs) = taxi_workload();
+    // Attribute: "borough" = vertex id modulo 5.
+    let attrs: Vec<u32> = (0..n as u32).map(|v| v % 5).collect();
+    let grouping = tin::analytics::grouping::by_attribute(&attrs);
+    assert!(grouping.num_groups <= 5);
+    let mut grouped = build_tracker(&grouping.to_policy(), n).unwrap();
+    let mut exact = ProportionalDenseTracker::new(n);
+    grouped.process_all(&rs);
+    exact.process_all(&rs);
+
+    for i in 0..n {
+        let v = VertexId::from(i);
+        for g in 0..grouping.num_groups as u32 {
+            let expected: f64 = exact
+                .origins(v)
+                .iter()
+                .filter(|(o, _)| {
+                    o.as_vertex()
+                        .map(|x| grouping.group_of(x) == g)
+                        .unwrap_or(false)
+                })
+                .map(|(_, q)| q)
+                .sum();
+            let got = grouped.origins(v).quantity_from(Origin::Group(GroupId::new(g)));
+            assert!((expected - got).abs() < 1e-6);
+        }
+    }
+}
+
+/// The memory instrumentation reports plausible numbers for an eager tracker:
+/// the allocator peak is at least as large as the logical entry footprint for
+/// list-heavy trackers.
+#[test]
+fn memory_scope_measures_tracker_growth() {
+    let (n, rs) = taxi_workload();
+    let (tracker, report) = tin::memstats::measure(|| {
+        let mut t = ProportionalSparseTracker::new(n);
+        t.process_all(&rs);
+        t
+    });
+    // Without the counting allocator installed (tests use the system
+    // allocator), the report is all zeros; with it, it must cover the lists.
+    if tin::memstats::allocator_installed() {
+        assert!(report.peak_delta_bytes >= tracker.footprint().entries_bytes);
+    } else {
+        assert_eq!(report.peak_delta_bytes, 0);
+    }
+    assert!(tracker.footprint().entries_bytes > 0);
+}
