@@ -48,10 +48,7 @@ pub struct AccumulationSeries {
 impl AccumulationSeries {
     /// The peak buffered quantity over the series.
     pub fn peak_buffered(&self) -> Quantity {
-        self.samples
-            .iter()
-            .map(|s| s.buffered)
-            .fold(0.0, f64::max)
+        self.samples.iter().map(|s| s.buffered).fold(0.0, f64::max)
     }
 
     /// The final buffered quantity (0 if the vertex never received anything).

@@ -66,18 +66,23 @@ impl OriginSetError {
             let a = approx.quantity_from(*o);
             let e = exact.quantity_from(*o);
             l1 += (a - e).abs();
-            let ap = if approx_total > 0.0 { a / approx_total } else { 0.0 };
-            let ep = if exact_total > 0.0 { e / exact_total } else { 0.0 };
+            let ap = if approx_total > 0.0 {
+                a / approx_total
+            } else {
+                0.0
+            };
+            let ep = if exact_total > 0.0 {
+                e / exact_total
+            } else {
+                0.0
+            };
             tv += (ap - ep).abs();
         }
         let total_variation = tv / 2.0;
 
         let approx_top: Vec<Origin> = approx.top_k(k).iter().map(|s| s.origin).collect();
         let exact_top: Vec<Origin> = exact.top_k(k).iter().map(|s| s.origin).collect();
-        let hits = exact_top
-            .iter()
-            .filter(|o| approx_top.contains(o))
-            .count();
+        let hits = exact_top.iter().filter(|o| approx_top.contains(o)).count();
         let topk_recall = if exact_top.is_empty() {
             1.0
         } else {
@@ -90,10 +95,7 @@ impl OriginSetError {
                 0.0
             }
         } else {
-            approx_top
-                .iter()
-                .filter(|o| exact_top.contains(o))
-                .count() as f64
+            approx_top.iter().filter(|o| exact_top.contains(o)).count() as f64
                 / approx_top.len() as f64
         };
 
@@ -141,10 +143,7 @@ impl AccuracyReport {
         AccuracyReport {
             vertices_compared: errors.len(),
             mean_total_variation: errors.iter().map(|e| e.total_variation).sum::<f64>() / n,
-            max_total_variation: errors
-                .iter()
-                .map(|e| e.total_variation)
-                .fold(0.0, f64::max),
+            max_total_variation: errors.iter().map(|e| e.total_variation).fold(0.0, f64::max),
             mean_l1_error: errors.iter().map(|e| e.l1_error).sum::<f64>() / n,
             mean_known_fraction: errors.iter().map(|e| e.known_fraction).sum::<f64>() / n,
             mean_topk_recall: errors.iter().map(|e| e.topk_recall).sum::<f64>() / n,
@@ -163,10 +162,7 @@ impl AccuracyReport {
 /// vertex origin is replaced by its group; aggregate origins stay as they are.
 pub fn coarsen_to_groups(origins: &OriginSet, grouping: &Grouping) -> OriginSet {
     OriginSet::from_pairs(origins.iter().map(|(o, q)| match o {
-        Origin::Vertex(v) => (
-            Origin::Group(GroupId::new(grouping.group_of(v))),
-            q,
-        ),
+        Origin::Vertex(v) => (Origin::Group(GroupId::new(grouping.group_of(v))), q),
         other => (other, q),
     }))
 }
@@ -189,7 +185,11 @@ pub fn compare_trackers(
         if exact_origins.is_empty() {
             continue;
         }
-        errors.push(OriginSetError::compare(&approx.origins(v), &exact_origins, k));
+        errors.push(OriginSetError::compare(
+            &approx.origins(v),
+            &exact_origins,
+            k,
+        ));
     }
     AccuracyReport::from_errors(&errors)
 }
@@ -316,11 +316,8 @@ mod tests {
         // Track every vertex: the selective tracker must be exact.
         let rs = paper_running_example();
         let exact = {
-            let mut t = build_tracker(
-                &PolicyConfig::Plain(SelectionPolicy::ProportionalDense),
-                3,
-            )
-            .unwrap();
+            let mut t =
+                build_tracker(&PolicyConfig::Plain(SelectionPolicy::ProportionalDense), 3).unwrap();
             t.process_all(&rs);
             t
         };
@@ -367,11 +364,8 @@ mod tests {
             group_of: vec![0, 1, 1],
         };
         let exact = {
-            let mut t = build_tracker(
-                &PolicyConfig::Plain(SelectionPolicy::ProportionalDense),
-                3,
-            )
-            .unwrap();
+            let mut t =
+                build_tracker(&PolicyConfig::Plain(SelectionPolicy::ProportionalDense), 3).unwrap();
             t.process_all(&rs);
             t
         };
@@ -394,7 +388,12 @@ mod tests {
             num_groups: 2,
             group_of: vec![0, 0, 1],
         };
-        let origins = set(&[(ov(0), 1.0), (ov(1), 2.0), (ov(2), 3.0), (Origin::Unknown, 1.0)]);
+        let origins = set(&[
+            (ov(0), 1.0),
+            (ov(1), 2.0),
+            (ov(2), 3.0),
+            (Origin::Unknown, 1.0),
+        ]);
         let coarse = coarsen_to_groups(&origins, &grouping);
         assert_eq!(coarse.len(), 3);
         assert_eq!(coarse.quantity_from(Origin::Group(GroupId::new(0))), 3.0);

@@ -265,11 +265,7 @@ pub fn cluster_into(tin: &Tin, m: usize) -> Result<Grouping> {
         return Err(TinError::InvalidConfig("need at least one group".into()));
     }
     let lp = label_propagation(tin, 8, Some(m))?;
-    let distinct = lp
-        .group_sizes()
-        .iter()
-        .filter(|&&s| s > 0)
-        .count();
+    let distinct = lp.group_sizes().iter().filter(|&&s| s > 0).count();
     if distinct > 1 {
         Ok(lp)
     } else {
@@ -411,7 +407,13 @@ mod tests {
         // Degenerate cases.
         let empty = Tin::from_interactions(0, vec![]).unwrap();
         assert_eq!(
-            modularity(&empty, &Grouping { num_groups: 1, group_of: vec![] }),
+            modularity(
+                &empty,
+                &Grouping {
+                    num_groups: 1,
+                    group_of: vec![]
+                }
+            ),
             0.0
         );
         // One big group always has modularity 0 (all mass intra, expectation 1).

@@ -29,10 +29,7 @@ impl ProvenanceDistribution {
         if qty_is_zero(total) {
             return ProvenanceDistribution::default();
         }
-        let shares = origins
-            .iter()
-            .map(|(o, q)| (o, q / total))
-            .collect();
+        let shares = origins.iter().map(|(o, q)| (o, q / total)).collect();
         ProvenanceDistribution { shares, total }
     }
 
@@ -168,7 +165,8 @@ mod tests {
 
     #[test]
     fn entropy_of_uniform_distribution() {
-        let d = ProvenanceDistribution::from_origins(&set(&[(1, 1.0), (2, 1.0), (3, 1.0), (4, 1.0)]));
+        let d =
+            ProvenanceDistribution::from_origins(&set(&[(1, 1.0), (2, 1.0), (3, 1.0), (4, 1.0)]));
         assert!((d.entropy_bits() - 2.0).abs() < 1e-9);
         let single = ProvenanceDistribution::from_origins(&set(&[(1, 5.0)]));
         assert_eq!(single.entropy_bits(), 0.0);

@@ -43,14 +43,8 @@ impl Grouping {
         if self.num_groups == 0 {
             return Err(TinError::InvalidConfig("need at least one group".into()));
         }
-        if self
-            .group_of
-            .iter()
-            .any(|&g| g as usize >= self.num_groups)
-        {
-            return Err(TinError::InvalidConfig(
-                "group index out of range".into(),
-            ));
+        if self.group_of.iter().any(|&g| g as usize >= self.num_groups) {
+            return Err(TinError::InvalidConfig("group index out of range".into()));
         }
         Ok(())
     }
@@ -73,9 +67,7 @@ pub fn round_robin(num_vertices: usize, num_groups: usize) -> Result<Grouping> {
     }
     Ok(Grouping {
         num_groups,
-        group_of: (0..num_vertices)
-            .map(|v| (v % num_groups) as u32)
-            .collect(),
+        group_of: (0..num_vertices).map(|v| (v % num_groups) as u32).collect(),
     })
 }
 

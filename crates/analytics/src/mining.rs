@@ -237,10 +237,7 @@ pub struct EntropyOutlier {
 /// a strongly *positive* one flags buffers fed by unusually many sources
 /// (the "smurfing" indication of Section 7.6). Returns an empty vector when
 /// fewer than two buffers are non-empty or when the entropies are all equal.
-pub fn entropy_outliers(
-    tracker: &dyn ProvenanceTracker,
-    z_threshold: f64,
-) -> Vec<EntropyOutlier> {
+pub fn entropy_outliers(tracker: &dyn ProvenanceTracker, z_threshold: f64) -> Vec<EntropyOutlier> {
     let occupied = occupied_vertices(tracker);
     if occupied.len() < 2 {
         return Vec::new();
@@ -254,7 +251,11 @@ pub fn entropy_outliers(
         .collect();
     let n = entropies.len() as f64;
     let mean = entropies.iter().map(|(_, e)| e).sum::<f64>() / n;
-    let variance = entropies.iter().map(|(_, e)| (e - mean).powi(2)).sum::<f64>() / n;
+    let variance = entropies
+        .iter()
+        .map(|(_, e)| (e - mean).powi(2))
+        .sum::<f64>()
+        / n;
     let std_dev = variance.sqrt();
     if std_dev == 0.0 {
         return Vec::new();
@@ -363,10 +364,16 @@ mod tests {
         let clusters = cluster_by_provenance(&tracker, 0.99);
         // {v3, v4} share financiers; v5 stands alone.
         assert_eq!(clusters.len(), 2);
-        let joint = clusters.iter().find(|c| c.len() == 2).expect("joint cluster");
+        let joint = clusters
+            .iter()
+            .find(|c| c.len() == 2)
+            .expect("joint cluster");
         assert_eq!(joint.members, vec![v(3), v(4)]);
         assert_eq!(joint.representative, v(3));
-        let single = clusters.iter().find(|c| c.is_singleton()).expect("singleton");
+        let single = clusters
+            .iter()
+            .find(|c| c.is_singleton())
+            .expect("singleton");
         assert_eq!(single.members, vec![v(5)]);
     }
 

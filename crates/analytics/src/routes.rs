@@ -163,11 +163,8 @@ impl RouteTable {
 
     /// The `k` edges with the largest transit quantity, descending.
     pub fn busiest_edges(&self, k: usize) -> Vec<((VertexId, VertexId), Quantity)> {
-        let mut edges: Vec<((VertexId, VertexId), Quantity)> = self
-            .edge_transit
-            .iter()
-            .map(|(&e, &q)| (e, q))
-            .collect();
+        let mut edges: Vec<((VertexId, VertexId), Quantity)> =
+            self.edge_transit.iter().map(|(&e, &q)| (e, q)).collect();
         edges.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         edges.truncate(k);
         edges

@@ -19,20 +19,28 @@ fn bench_vector_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_vector_kernels");
     for dim in [64usize, 1024, 16_384] {
         let src: Vec<f64> = (0..dim).map(|i| i as f64 * 0.5).collect();
-        group.bench_with_input(BenchmarkId::new("chunked_add_scaled", dim), &src, |b, src| {
-            let mut dst = vec![1.0f64; src.len()];
-            b.iter(|| {
-                simd::add_scaled(&mut dst, src, 0.37);
-                dst[0]
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("scalar_add_scaled", dim), &src, |b, src| {
-            let mut dst = vec![1.0f64; src.len()];
-            b.iter(|| {
-                simd::reference::add_scaled(&mut dst, src, 0.37);
-                dst[0]
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("chunked_add_scaled", dim),
+            &src,
+            |b, src| {
+                let mut dst = vec![1.0f64; src.len()];
+                b.iter(|| {
+                    simd::add_scaled(&mut dst, src, 0.37);
+                    dst[0]
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("scalar_add_scaled", dim),
+            &src,
+            |b, src| {
+                let mut dst = vec![1.0f64; src.len()];
+                b.iter(|| {
+                    simd::reference::add_scaled(&mut dst, src, 0.37);
+                    dst[0]
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -73,11 +73,8 @@ fn bench_on_demand_queries(c: &mut Criterion) {
     let n = w.num_vertices;
     let mut lazy = LazyReplayProvenance::proportional(n);
     let mut backtrace = BacktraceIndex::proportional(n);
-    let mut eager = build_tracker(
-        &PolicyConfig::Plain(SelectionPolicy::ProportionalSparse),
-        n,
-    )
-    .unwrap();
+    let mut eager =
+        build_tracker(&PolicyConfig::Plain(SelectionPolicy::ProportionalSparse), n).unwrap();
     for r in &w.interactions {
         lazy.process(r);
         backtrace.process(r);
@@ -90,9 +87,11 @@ fn bench_on_demand_queries(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::new("eager", "origins"), &query, |b, &v| {
         b.iter(|| eager.origins(v).len())
     });
-    group.bench_with_input(BenchmarkId::new("lazy_replay", "origins"), &query, |b, &v| {
-        b.iter(|| lazy.origins_at(v, f64::INFINITY).unwrap().len())
-    });
+    group.bench_with_input(
+        BenchmarkId::new("lazy_replay", "origins"),
+        &query,
+        |b, &v| b.iter(|| lazy.origins_at(v, f64::INFINITY).unwrap().len()),
+    );
     group.bench_with_input(
         BenchmarkId::new("backtrace_pruned", "origins"),
         &query,

@@ -13,20 +13,28 @@ fn bench_path_tracking(c: &mut Criterion) {
     for kind in [DatasetKind::Flights, DatasetKind::Taxis, DatasetKind::Ctu] {
         let w = Workload::generate(kind, ScaleProfile::Tiny);
         group.throughput(Throughput::Elements(w.interactions.len() as u64));
-        group.bench_with_input(BenchmarkId::new("lifo_origins_only", kind.key()), &w, |b, w| {
-            b.iter(|| {
-                let mut tracker = ReceiptOrderTracker::lifo(w.num_vertices);
-                tracker.process_all(&w.interactions);
-                tracker.total_buffered()
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("lifo_with_paths", kind.key()), &w, |b, w| {
-            b.iter(|| {
-                let mut tracker = PathTracker::lifo(w.num_vertices);
-                tracker.process_all(&w.interactions);
-                tracker.total_buffered()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("lifo_origins_only", kind.key()),
+            &w,
+            |b, w| {
+                b.iter(|| {
+                    let mut tracker = ReceiptOrderTracker::lifo(w.num_vertices);
+                    tracker.process_all(&w.interactions);
+                    tracker.total_buffered()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("lifo_with_paths", kind.key()),
+            &w,
+            |b, w| {
+                b.iter(|| {
+                    let mut tracker = PathTracker::lifo(w.num_vertices);
+                    tracker.process_all(&w.interactions);
+                    tracker.total_buffered()
+                })
+            },
+        );
     }
     group.finish();
 }

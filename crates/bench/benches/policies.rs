@@ -30,18 +30,14 @@ fn bench_policies(c: &mut Criterion) {
             if !feasible {
                 continue;
             }
-            group.bench_with_input(
-                BenchmarkId::new(policy.key(), w.kind.key()),
-                w,
-                |b, w| {
-                    b.iter(|| {
-                        let mut tracker =
-                            build_tracker(&PolicyConfig::Plain(policy), w.num_vertices).unwrap();
-                        tracker.process_all(&w.interactions);
-                        tracker.total_buffered()
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(policy.key(), w.kind.key()), w, |b, w| {
+                b.iter(|| {
+                    let mut tracker =
+                        build_tracker(&PolicyConfig::Plain(policy), w.num_vertices).unwrap();
+                    tracker.process_all(&w.interactions);
+                    tracker.total_buffered()
+                })
+            });
         }
     }
     group.finish();

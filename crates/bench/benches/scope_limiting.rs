@@ -14,14 +14,18 @@ fn bench_windowing(c: &mut Criterion) {
     group.throughput(Throughput::Elements(n as u64));
     for divisor in [32usize, 8, 2] {
         let window = (n / divisor).max(1);
-        group.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, &window| {
-            b.iter(|| {
-                let mut tracker =
-                    build_tracker(&PolicyConfig::Windowed { window }, w.num_vertices).unwrap();
-                tracker.process_all(&w.interactions);
-                tracker.total_buffered()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(window),
+            &window,
+            |b, &window| {
+                b.iter(|| {
+                    let mut tracker =
+                        build_tracker(&PolicyConfig::Windowed { window }, w.num_vertices).unwrap();
+                    tracker.process_all(&w.interactions);
+                    tracker.total_buffered()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -20,14 +20,20 @@ fn main() {
     println!("  {}\n", w.describe());
 
     let tin = Tin::from_interactions(w.num_vertices, w.interactions.clone()).expect("valid");
-    let watched = match std::env::var("TIN_WATCH_VERTEX").ok().and_then(|s| s.parse::<u32>().ok()) {
+    let watched = match std::env::var("TIN_WATCH_VERTEX")
+        .ok()
+        .and_then(|s| s.parse::<u32>().ok())
+    {
         Some(raw) => VertexId::new(raw),
         None => tin
             .vertices()
             .max_by_key(|v| tin.in_degree(*v))
             .expect("non-empty"),
     };
-    println!("Watched zone: {watched} (in-degree {})", tin.in_degree(watched));
+    println!(
+        "Watched zone: {watched} (in-degree {})",
+        tin.in_degree(watched)
+    );
 
     let mut tracker = ProportionalDenseTracker::new(w.num_vertices);
     let series = record_series(&mut tracker, &w.interactions, watched);
@@ -35,7 +41,14 @@ fn main() {
     let step = (series.samples.len() / 20).max(1);
     let mut table = TextTable::new(
         format!("Figure 2: accumulated passengers at zone {watched}"),
-        &["arrival#", "time", "from", "delivered", "buffered", "top origins (share)"],
+        &[
+            "arrival#",
+            "time",
+            "from",
+            "delivered",
+            "buffered",
+            "top origins (share)",
+        ],
     );
     for s in series.samples.iter().step_by(step) {
         let top: Vec<String> = s

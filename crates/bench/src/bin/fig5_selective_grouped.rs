@@ -17,9 +17,15 @@ const K_VALUES: [usize; 6] = [5, 20, 50, 100, 150, 200];
 
 fn main() {
     let scale = scale_from_env();
-    println!("Reproducing Figure 5 (selective & grouped proportional provenance), scale = {scale:?}\n");
+    println!(
+        "Reproducing Figure 5 (selective & grouped proportional provenance), scale = {scale:?}\n"
+    );
 
-    for kind in [DatasetKind::Bitcoin, DatasetKind::Ctu, DatasetKind::ProsperLoans] {
+    for kind in [
+        DatasetKind::Bitcoin,
+        DatasetKind::Ctu,
+        DatasetKind::ProsperLoans,
+    ] {
         let w = Workload::generate(kind, scale);
         println!("  {}", w.describe());
 

@@ -20,7 +20,11 @@ fn main() {
     let scale = scale_from_env();
     println!("Reproducing Figure 6 (cumulative cost of sparse proportional provenance), scale = {scale:?}\n");
 
-    for kind in [DatasetKind::Bitcoin, DatasetKind::Ctu, DatasetKind::ProsperLoans] {
+    for kind in [
+        DatasetKind::Bitcoin,
+        DatasetKind::Ctu,
+        DatasetKind::ProsperLoans,
+    ] {
         let w = Workload::generate(kind, scale);
         println!("  {}", w.describe());
         let chunk = (w.interactions.len() / SAMPLES).max(1);

@@ -17,7 +17,11 @@ fn main() {
     let scale = scale_from_env();
     println!("Reproducing Figure 7 (windowing approach), scale = {scale:?}\n");
 
-    for kind in [DatasetKind::Bitcoin, DatasetKind::Ctu, DatasetKind::ProsperLoans] {
+    for kind in [
+        DatasetKind::Bitcoin,
+        DatasetKind::Ctu,
+        DatasetKind::ProsperLoans,
+    ] {
         let w = Workload::generate(kind, scale);
         println!("  {}", w.describe());
 
@@ -39,7 +43,10 @@ fn main() {
             .max(f64::MIN_POSITIVE);
 
         let mut table = TextTable::new(
-            format!("Figure 7 ({}): runtime / memory vs window size W", kind.label()),
+            format!(
+                "Figure 7 ({}): runtime / memory vs window size W",
+                kind.label()
+            ),
             &[
                 "W (interactions)",
                 "runtime (s)",

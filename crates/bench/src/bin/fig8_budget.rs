@@ -16,7 +16,11 @@ fn main() {
     let scale = scale_from_env();
     println!("Reproducing Figure 8 (budget-based provenance), scale = {scale:?}\n");
 
-    for kind in [DatasetKind::Bitcoin, DatasetKind::Ctu, DatasetKind::ProsperLoans] {
+    for kind in [
+        DatasetKind::Bitcoin,
+        DatasetKind::Ctu,
+        DatasetKind::ProsperLoans,
+    ] {
         let w = Workload::generate(kind, scale);
         println!("  {}", w.describe());
 

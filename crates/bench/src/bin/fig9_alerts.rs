@@ -45,7 +45,14 @@ fn main() {
 
     let mut table = TextTable::new(
         "Figure 9: provenance alerts (first 25 shown)",
-        &["interaction#", "time", "vertex", "buffered", "#contributing vertices", "flag"],
+        &[
+            "interaction#",
+            "time",
+            "vertex",
+            "buffered",
+            "#contributing vertices",
+            "flag",
+        ],
     );
     for a in alerts.iter().take(25) {
         table.push_row(vec![
@@ -54,7 +61,12 @@ fn main() {
             a.vertex.to_string(),
             format!("{:.3e}", a.buffered),
             a.contributing_vertices.to_string(),
-            if a.is_few_sources() { "FEW (red)" } else { "many (blue)" }.to_string(),
+            if a.is_few_sources() {
+                "FEW (red)"
+            } else {
+                "many (blue)"
+            }
+            .to_string(),
         ]);
     }
     println!("{}", table.render());

@@ -25,7 +25,10 @@ fn main() {
     let header: Vec<&str> = std::iter::once("Dataset")
         .chain(policies.iter().map(|p| p.label()))
         .collect();
-    let mut table = TextTable::new("Table 8: Peak memory used by each selection policy", &header);
+    let mut table = TextTable::new(
+        "Table 8: Peak memory used by each selection policy",
+        &header,
+    );
 
     for w in &workloads {
         let mut row = vec![w.kind.label().to_string()];

@@ -17,7 +17,11 @@ fn main() {
     let scale = scale_from_env();
     println!("Reproducing Table 9 (shrinking statistics in budget-based provenance), scale = {scale:?}\n");
 
-    let kinds = [DatasetKind::Bitcoin, DatasetKind::Ctu, DatasetKind::ProsperLoans];
+    let kinds = [
+        DatasetKind::Bitcoin,
+        DatasetKind::Ctu,
+        DatasetKind::ProsperLoans,
+    ];
     let workloads: Vec<Workload> = kinds
         .iter()
         .map(|&k| Workload::generate(k, scale))

@@ -44,7 +44,11 @@ static ALLOCATOR: CountingAllocator = CountingAllocator::new();
 
 /// Read the scale profile from `TIN_SCALE` (default: small).
 pub fn scale_from_env() -> ScaleProfile {
-    match std::env::var("TIN_SCALE").unwrap_or_default().to_lowercase().as_str() {
+    match std::env::var("TIN_SCALE")
+        .unwrap_or_default()
+        .to_lowercase()
+        .as_str()
+    {
         "tiny" => ScaleProfile::Tiny,
         "medium" => ScaleProfile::Medium,
         "paper" => ScaleProfile::Paper,

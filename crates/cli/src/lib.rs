@@ -150,7 +150,9 @@ pub fn parse_dataset(key: &str) -> Result<DatasetKind, String> {
     DatasetKind::all()
         .into_iter()
         .find(|k| k.key() == key)
-        .ok_or_else(|| format!("unknown dataset {key:?}; expected bitcoin, ctu, prosper, flights or taxis"))
+        .ok_or_else(|| {
+            format!("unknown dataset {key:?}; expected bitcoin, ctu, prosper, flights or taxis")
+        })
 }
 
 /// Parse a scale key into a [`ScaleProfile`].
@@ -160,7 +162,9 @@ pub fn parse_scale(key: &str) -> Result<ScaleProfile, String> {
         "small" => Ok(ScaleProfile::Small),
         "medium" => Ok(ScaleProfile::Medium),
         "paper" => Ok(ScaleProfile::Paper),
-        other => Err(format!("unknown scale {other:?}; expected tiny, small, medium or paper")),
+        other => Err(format!(
+            "unknown scale {other:?}; expected tiny, small, medium or paper"
+        )),
     }
 }
 
@@ -211,7 +215,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 &take_flag(&mut flags, "policy").unwrap_or_else(|| "prop_sparse".into()),
             )?,
             top: take_flag(&mut flags, "top")
-                .map(|v| v.parse::<usize>().map_err(|_| format!("invalid --top {v:?}")))
+                .map(|v| {
+                    v.parse::<usize>()
+                        .map_err(|_| format!("invalid --top {v:?}"))
+                })
                 .transpose()?
                 .unwrap_or(10),
         },
@@ -245,7 +252,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         "influence" => Command::Influence {
             path: first_positional(&positional, "trace path")?,
             top: take_flag(&mut flags, "top")
-                .map(|v| v.parse::<usize>().map_err(|_| format!("invalid --top {v:?}")))
+                .map(|v| {
+                    v.parse::<usize>()
+                        .map_err(|_| format!("invalid --top {v:?}"))
+                })
                 .transpose()?
                 .unwrap_or(10),
         },
@@ -262,7 +272,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 .transpose()?
                 .unwrap_or(0.9),
             top: take_flag(&mut flags, "top")
-                .map(|v| v.parse::<usize>().map_err(|_| format!("invalid --top {v:?}")))
+                .map(|v| {
+                    v.parse::<usize>()
+                        .map_err(|_| format!("invalid --top {v:?}"))
+                })
                 .transpose()?
                 .unwrap_or(10),
         },
@@ -347,7 +360,12 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             writeln!(out, "#interactions  : {}", stats.num_interactions).unwrap();
             writeln!(out, "avg quantity   : {:.4}", stats.avg_quantity).unwrap();
             writeln!(out, "total quantity : {:.4}", stats.total_quantity).unwrap();
-            writeln!(out, "time span      : {} .. {}", stats.min_time, stats.max_time).unwrap();
+            writeln!(
+                out,
+                "time span      : {} .. {}",
+                stats.min_time, stats.max_time
+            )
+            .unwrap();
         }
 
         Command::Track { path, policy, top } => {
@@ -395,10 +413,9 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             at,
         } => {
             let named = load(path)?;
-            let v = named
-                .interner
-                .get(vertex)
-                .ok_or_else(|| CliError::Usage(format!("vertex {vertex:?} does not appear in the trace")))?;
+            let v = named.interner.get(vertex).ok_or_else(|| {
+                CliError::Usage(format!("vertex {vertex:?} does not appear in the trace"))
+            })?;
             let origins = match at {
                 None => run_policy(&named, *policy)?.origins(v),
                 Some(t) => {
@@ -420,11 +437,21 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             )
             .unwrap();
             for (origin, qty) in origins.iter() {
-                writeln!(out, "  {:>12.4}  from {}", qty, describe_origin(&named, origin)).unwrap();
+                writeln!(
+                    out,
+                    "  {:>12.4}  from {}",
+                    qty,
+                    describe_origin(&named, origin)
+                )
+                .unwrap();
             }
         }
 
-        Command::Snapshot { path, policy, out: out_path } => {
+        Command::Snapshot {
+            path,
+            policy,
+            out: out_path,
+        } => {
             let named = load(path)?;
             let tracker = run_policy(&named, *policy)?;
             let time = named
@@ -482,7 +509,11 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                     name,
                     alert.buffered,
                     alert.contributing_vertices,
-                    if alert.is_few_sources() { "  [few sources]" } else { "" }
+                    if alert.is_few_sources() {
+                        "  [few sources]"
+                    } else {
+                        ""
+                    }
                 )
                 .unwrap();
             }
@@ -549,7 +580,11 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             }
         }
 
-        Command::Generate { kind, scale, out: out_path } => {
+        Command::Generate {
+            kind,
+            scale,
+            out: out_path,
+        } => {
             let spec = DatasetSpec::new(*kind, *scale);
             let stream = tin_datasets::generate(&spec);
             tin_datasets::io::write_csv_file(out_path, &stream)?;
@@ -592,7 +627,9 @@ mod tests {
         assert_eq!(parse_args(&args(&["help"])).unwrap(), Command::Help);
         assert_eq!(
             parse_args(&args(&["stats", "a.csv"])).unwrap(),
-            Command::Stats { path: "a.csv".into() }
+            Command::Stats {
+                path: "a.csv".into()
+            }
         );
         assert_eq!(
             parse_args(&args(&["track", "a.csv", "--policy", "fifo", "--top", "3"])).unwrap(),
@@ -603,7 +640,10 @@ mod tests {
             }
         );
         assert_eq!(
-            parse_args(&args(&["origins", "a.csv", "--vertex", "alice", "--at", "5.5"])).unwrap(),
+            parse_args(&args(&[
+                "origins", "a.csv", "--vertex", "alice", "--at", "5.5"
+            ]))
+            .unwrap(),
             Command::Origins {
                 path: "a.csv".into(),
                 vertex: "alice".into(),
@@ -627,7 +667,10 @@ mod tests {
             }
         );
         assert_eq!(
-            parse_args(&args(&["generate", "taxis", "--scale", "tiny", "--out", "t.csv"])).unwrap(),
+            parse_args(&args(&[
+                "generate", "taxis", "--scale", "tiny", "--out", "t.csv"
+            ]))
+            .unwrap(),
             Command::Generate {
                 kind: DatasetKind::Taxis,
                 scale: ScaleProfile::Tiny,
@@ -665,7 +708,10 @@ mod tests {
         assert!(parse_args(&args(&["origins", "a.csv"])).is_err());
         assert!(parse_args(&args(&["snapshot", "a.csv"])).is_err());
         assert!(parse_args(&args(&["generate", "nonsense", "--out", "x"])).is_err());
-        assert!(parse_args(&args(&["generate", "taxis", "--scale", "huge", "--out", "x"])).is_err());
+        assert!(parse_args(&args(&[
+            "generate", "taxis", "--scale", "huge", "--out", "x"
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -303,20 +303,32 @@ mod tests {
     fn engine_rejects_malformed_input() {
         let mut engine = ProvenanceEngine::new(&fifo_config(), 3).unwrap();
         // Self-loop.
-        let err = engine.process(&Interaction::new(1u32, 1u32, 1.0, 2.0)).unwrap_err();
+        let err = engine
+            .process(&Interaction::new(1u32, 1u32, 1.0, 2.0))
+            .unwrap_err();
         assert!(matches!(err, TinError::SelfLoop { .. }));
         // Non-positive quantity.
-        let err = engine.process(&Interaction::new(0u32, 1u32, 1.0, 0.0)).unwrap_err();
+        let err = engine
+            .process(&Interaction::new(0u32, 1u32, 1.0, 0.0))
+            .unwrap_err();
         assert!(matches!(err, TinError::InvalidQuantity { .. }));
         // Unknown vertex.
-        let err = engine.process(&Interaction::new(0u32, 9u32, 1.0, 2.0)).unwrap_err();
+        let err = engine
+            .process(&Interaction::new(0u32, 9u32, 1.0, 2.0))
+            .unwrap_err();
         assert!(matches!(err, TinError::UnknownVertex { .. }));
         // Out of order.
-        engine.process(&Interaction::new(0u32, 1u32, 5.0, 2.0)).unwrap();
-        let err = engine.process(&Interaction::new(0u32, 1u32, 4.0, 2.0)).unwrap_err();
+        engine
+            .process(&Interaction::new(0u32, 1u32, 5.0, 2.0))
+            .unwrap();
+        let err = engine
+            .process(&Interaction::new(0u32, 1u32, 4.0, 2.0))
+            .unwrap_err();
         assert!(matches!(err, TinError::OutOfOrder { .. }));
         // Equal timestamps are fine.
-        engine.process(&Interaction::new(1u32, 2u32, 5.0, 1.0)).unwrap();
+        engine
+            .process(&Interaction::new(1u32, 2u32, 5.0, 1.0))
+            .unwrap();
     }
 
     #[test]

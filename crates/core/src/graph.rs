@@ -189,7 +189,11 @@ impl Tin {
             num_vertices: self.num_vertices,
             num_edges: self.edges.len(),
             num_interactions: n,
-            avg_quantity: if n == 0 { 0.0 } else { total_quantity / n as f64 },
+            avg_quantity: if n == 0 {
+                0.0
+            } else {
+                total_quantity / n as f64
+            },
             total_quantity,
             min_time: self.interactions.first().map(|r| r.time.0).unwrap_or(0.0),
             max_time: self.interactions.last().map(|r| r.time.0).unwrap_or(0.0),
@@ -259,13 +263,18 @@ mod tests {
         assert_eq!((h[0].time.value(), h[0].qty), (3.0, 5.0));
         assert_eq!((h[1].time.value(), h[1].qty), (8.0, 1.0));
         // Non-existent edge.
-        assert!(tin.edge_history(VertexId::new(0), VertexId::new(2)).is_empty());
+        assert!(tin
+            .edge_history(VertexId::new(0), VertexId::new(2))
+            .is_empty());
     }
 
     #[test]
     fn neighbors_and_degrees() {
         let tin = example_tin();
-        assert_eq!(tin.out_neighbors(VertexId::new(2)), &[VertexId::new(0), VertexId::new(1)]);
+        assert_eq!(
+            tin.out_neighbors(VertexId::new(2)),
+            &[VertexId::new(0), VertexId::new(1)]
+        );
         assert_eq!(tin.in_neighbors(VertexId::new(0)), &[VertexId::new(2)]);
         assert_eq!(tin.out_degree(VertexId::new(2)), 2);
         assert_eq!(tin.in_degree(VertexId::new(2)), 1);
@@ -354,6 +363,9 @@ mod tests {
     fn vertices_iterator() {
         let tin = example_tin();
         let vs: Vec<VertexId> = tin.vertices().collect();
-        assert_eq!(vs, vec![VertexId::new(0), VertexId::new(1), VertexId::new(2)]);
+        assert_eq!(
+            vs,
+            vec![VertexId::new(0), VertexId::new(1), VertexId::new(2)]
+        );
     }
 }

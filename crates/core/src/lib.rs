@@ -75,6 +75,7 @@ pub use tracker::{build_tracker, ProvenanceTracker};
 pub mod prelude {
     pub use crate::buffer::heap_buffer::HeapKind;
     pub use crate::buffer::queue_buffer::Discipline;
+    pub use crate::engine::{EngineReport, ProvenanceEngine};
     pub use crate::graph::{Tin, TinStats};
     pub use crate::ids::{GroupId, Origin, Timestamp, VertexId};
     pub use crate::interaction::Interaction;
@@ -82,9 +83,8 @@ pub mod prelude {
     pub use crate::origins::{OriginSet, OriginShare};
     pub use crate::policy::{PolicyConfig, SelectionPolicy, ShrinkCriterion};
     pub use crate::quantity::Quantity;
-    pub use crate::stream::{InteractionSource, VecSource};
-    pub use crate::engine::{EngineReport, ProvenanceEngine};
     pub use crate::snapshot::{CheckpointedProvenance, ProvenanceSnapshot};
+    pub use crate::stream::{InteractionSource, VecSource};
     pub use crate::tracker::backtrace::BacktraceIndex;
     pub use crate::tracker::budget::BudgetTracker;
     pub use crate::tracker::diffusion::DiffusionTracker;

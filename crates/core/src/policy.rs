@@ -226,7 +226,10 @@ mod tests {
             .key(),
             "grouped_m10"
         );
-        assert_eq!(PolicyConfig::Windowed { window: 100 }.key(), "windowed_w100");
+        assert_eq!(
+            PolicyConfig::Windowed { window: 100 }.key(),
+            "windowed_w100"
+        );
         assert_eq!(
             PolicyConfig::TimeWindowed { duration: 3.5 }.key(),
             "timewindowed_d3.5"

@@ -155,7 +155,9 @@ impl ProvenanceSnapshot {
             }
             let vertex: usize = fields[0].parse().map_err(|_| parse_err(lineno, "vertex"))?;
             let origin = parse_origin_key(fields[1]).ok_or_else(|| parse_err(lineno, "origin"))?;
-            let qty: f64 = fields[2].parse().map_err(|_| parse_err(lineno, "quantity"))?;
+            let qty: f64 = fields[2]
+                .parse()
+                .map_err(|_| parse_err(lineno, "quantity"))?;
             num_vertices = num_vertices.max(vertex + 1);
             pairs.push((vertex, origin, qty));
         }
@@ -202,10 +204,16 @@ fn format_origin_key(origin: Origin) -> String {
 /// Parse an origin key produced by [`format_origin_key`].
 fn parse_origin_key(key: &str) -> Option<Origin> {
     if let Some(raw) = key.strip_prefix("v:") {
-        return raw.parse().ok().map(|r: u32| Origin::Vertex(VertexId::new(r)));
+        return raw
+            .parse()
+            .ok()
+            .map(|r: u32| Origin::Vertex(VertexId::new(r)));
     }
     if let Some(raw) = key.strip_prefix("g:") {
-        return raw.parse().ok().map(|r: u32| Origin::Group(GroupId::new(r)));
+        return raw
+            .parse()
+            .ok()
+            .map(|r: u32| Origin::Group(GroupId::new(r)));
     }
     match key {
         "untracked" => Some(Origin::Untracked),
@@ -351,7 +359,11 @@ impl ProvenanceTracker for CheckpointedProvenance {
     fn process(&mut self, r: &Interaction) {
         self.tracker.process(r);
         self.last_time = r.time.0;
-        if self.tracker.interactions_processed().is_multiple_of(self.interval) {
+        if self
+            .tracker
+            .interactions_processed()
+            .is_multiple_of(self.interval)
+        {
             self.checkpoint_now();
         }
     }
@@ -489,8 +501,7 @@ mod tests {
 
     #[test]
     fn checkpointing_every_two_interactions() {
-        let tracker =
-            build_tracker(&PolicyConfig::Plain(SelectionPolicy::Fifo), 3).unwrap();
+        let tracker = build_tracker(&PolicyConfig::Plain(SelectionPolicy::Fifo), 3).unwrap();
         let mut checkpointed = CheckpointedProvenance::new(tracker, 2).unwrap();
         checkpointed.process_all(&paper_running_example());
         assert_eq!(checkpointed.checkpoints().len(), 3);
@@ -516,8 +527,7 @@ mod tests {
 
     #[test]
     fn bounded_checkpoint_history() {
-        let tracker =
-            build_tracker(&PolicyConfig::Plain(SelectionPolicy::Fifo), 3).unwrap();
+        let tracker = build_tracker(&PolicyConfig::Plain(SelectionPolicy::Fifo), 3).unwrap();
         let mut checkpointed = CheckpointedProvenance::new(tracker, 1)
             .unwrap()
             .with_max_checkpoints(2);
@@ -530,15 +540,13 @@ mod tests {
 
     #[test]
     fn zero_interval_is_rejected() {
-        let tracker =
-            build_tracker(&PolicyConfig::Plain(SelectionPolicy::Fifo), 3).unwrap();
+        let tracker = build_tracker(&PolicyConfig::Plain(SelectionPolicy::Fifo), 3).unwrap();
         assert!(CheckpointedProvenance::new(tracker, 0).is_err());
     }
 
     #[test]
     fn manual_checkpoint() {
-        let tracker =
-            build_tracker(&PolicyConfig::Plain(SelectionPolicy::Lifo), 3).unwrap();
+        let tracker = build_tracker(&PolicyConfig::Plain(SelectionPolicy::Lifo), 3).unwrap();
         let mut checkpointed = CheckpointedProvenance::new(tracker, 1000).unwrap();
         checkpointed.process_all(&paper_running_example());
         assert!(checkpointed.checkpoints().is_empty());

@@ -214,7 +214,10 @@ impl SparseProvenance {
     /// Used by debug assertions and property tests.
     pub fn is_consistent(&self) -> bool {
         self.entries.windows(2).all(|w| w[0].0 < w[1].0)
-            && self.entries.iter().all(|(_, q)| *q > 0.0 || qty_is_zero(*q))
+            && self
+                .entries
+                .iter()
+                .all(|(_, q)| *q > 0.0 || qty_is_zero(*q))
     }
 }
 

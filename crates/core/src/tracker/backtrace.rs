@@ -154,12 +154,7 @@ impl BacktraceIndex {
     }
 
     /// `O(t, B_v)` at an arbitrary past time `t` under an explicit policy.
-    pub fn origins_at_with(
-        &self,
-        v: VertexId,
-        t: f64,
-        policy: &PolicyConfig,
-    ) -> Result<OriginSet> {
+    pub fn origins_at_with(&self, v: VertexId, t: f64, policy: &PolicyConfig) -> Result<OriginSet> {
         self.origins_at_with_stats(v, t, policy).map(|(o, _)| o)
     }
 
@@ -247,7 +242,10 @@ mod tests {
             let pruned = backtrace.origins(v(i));
             assert!(pruned.approx_eq(&eager.origins(v(i))), "mismatch at v{i}");
             assert!(pruned.approx_eq(&lazy.origins(v(i))));
-            assert!(qty_approx_eq(backtrace.buffered(v(i)), eager.buffered(v(i))));
+            assert!(qty_approx_eq(
+                backtrace.buffered(v(i)),
+                eager.buffered(v(i))
+            ));
         }
         assert!(backtrace.check_all_invariants());
         assert_eq!(backtrace.log_len(), 6);
@@ -259,7 +257,11 @@ mod tests {
         let mut backtrace = BacktraceIndex::fifo(n);
         backtrace.process_all(&rs);
         let (origins, stats) = backtrace
-            .origins_at_with_stats(v(5), f64::INFINITY, &PolicyConfig::Plain(SelectionPolicy::Fifo))
+            .origins_at_with_stats(
+                v(5),
+                f64::INFINITY,
+                &PolicyConfig::Plain(SelectionPolicy::Fifo),
+            )
             .unwrap();
         // Provenance is exact …
         let mut exact = ReceiptOrderTracker::fifo(n);
@@ -302,7 +304,10 @@ mod tests {
         eager_prefix.process_all(&rs[..3]);
         for i in 0..3u32 {
             let pruned = backtrace.origins_at(v(i), 4.0).unwrap();
-            assert!(pruned.approx_eq(&eager_prefix.origins(v(i))), "mismatch at v{i}");
+            assert!(
+                pruned.approx_eq(&eager_prefix.origins(v(i))),
+                "mismatch at v{i}"
+            );
         }
     }
 
@@ -319,7 +324,9 @@ mod tests {
             let mut exact = build_tracker(&config, n).unwrap();
             exact.process_all(&rs);
             for i in 0..n as u32 {
-                let pruned = backtrace.origins_at_with(v(i), f64::INFINITY, &config).unwrap();
+                let pruned = backtrace
+                    .origins_at_with(v(i), f64::INFINITY, &config)
+                    .unwrap();
                 assert!(
                     pruned.approx_eq(&exact.origins(v(i))),
                     "policy {policy}, vertex v{i}"

@@ -301,7 +301,10 @@ mod tests {
             budget.process(&r);
             baseline.process(&r);
             for i in 0..3u32 {
-                assert!(qty_approx_eq(budget.buffered(v(i)), baseline.buffered(v(i))));
+                assert!(qty_approx_eq(
+                    budget.buffered(v(i)),
+                    baseline.buffered(v(i))
+                ));
             }
             assert!(budget.check_all_invariants());
         }
@@ -345,14 +348,9 @@ mod tests {
 
     #[test]
     fn keep_important_retains_designated_origins() {
-        let mut t = BudgetTracker::with_criterion(
-            10,
-            3,
-            0.67,
-            ShrinkCriterion::KeepImportant,
-            vec![v(5)],
-        )
-        .unwrap();
+        let mut t =
+            BudgetTracker::with_criterion(10, 3, 0.67, ShrinkCriterion::KeepImportant, vec![v(5)])
+                .unwrap();
         // v5 contributes a *small* quantity early; larger quantities follow.
         t.process(&Interaction::new(5u32, 0u32, 1.0, 0.5));
         for i in 1..5u32 {

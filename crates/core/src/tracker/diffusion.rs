@@ -96,9 +96,7 @@ impl DiffusionTracker {
         self.vectors
             .iter()
             .enumerate()
-            .filter(|(holder, p)| {
-                *holder != origin.index() && !qty_is_zero(p.get_vertex(origin))
-            })
+            .filter(|(holder, p)| *holder != origin.index() && !qty_is_zero(p.get_vertex(origin)))
             .count()
     }
 
@@ -236,8 +234,14 @@ mod tests {
         t.process(&paper_running_example()[0]);
         assert!(qty_approx_eq(t.buffered(v(1)), 3.0));
         assert!(qty_approx_eq(t.buffered(v(2)), 3.0));
-        assert!(qty_approx_eq(t.origins(v(2)).quantity_from_vertex(v(1)), 3.0));
-        assert!(qty_approx_eq(t.origins(v(1)).quantity_from_vertex(v(1)), 3.0));
+        assert!(qty_approx_eq(
+            t.origins(v(2)).quantity_from_vertex(v(1)),
+            3.0
+        ));
+        assert!(qty_approx_eq(
+            t.origins(v(1)).quantity_from_vertex(v(1)),
+            3.0
+        ));
         assert!(qty_approx_eq(t.total_generated(), 3.0));
     }
 

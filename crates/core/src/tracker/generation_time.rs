@@ -158,9 +158,16 @@ mod tests {
         got.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let mut want = expected.to_vec();
         want.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        assert_eq!(got.len(), want.len(), "triples at v{vertex}: {got:?} vs {want:?}");
+        assert_eq!(
+            got.len(),
+            want.len(),
+            "triples at v{vertex}: {got:?} vs {want:?}"
+        );
         for (g, w) in got.iter().zip(want.iter()) {
-            assert_eq!(g.0, w.0, "origin mismatch at v{vertex}: {got:?} vs {want:?}");
+            assert_eq!(
+                g.0, w.0,
+                "origin mismatch at v{vertex}: {got:?} vs {want:?}"
+            );
             assert!(qty_approx_eq(g.1, w.1), "birth mismatch at v{vertex}");
             assert!(qty_approx_eq(g.2, w.2), "qty mismatch at v{vertex}");
         }

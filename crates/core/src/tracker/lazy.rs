@@ -80,12 +80,7 @@ impl LazyReplayProvenance {
     }
 
     /// `O(t, B_v)` at an arbitrary past time `t` under an explicit policy.
-    pub fn origins_at_with(
-        &self,
-        v: VertexId,
-        t: f64,
-        policy: &PolicyConfig,
-    ) -> Result<OriginSet> {
+    pub fn origins_at_with(&self, v: VertexId, t: f64, policy: &PolicyConfig) -> Result<OriginSet> {
         Ok(self.replay_until(t, policy)?.origins(v))
     }
 
@@ -204,7 +199,11 @@ mod tests {
         let mut lifo = ReceiptOrderTracker::lifo(3);
         lifo.process_all(&rs);
         let via_lazy = lazy
-            .origins_at_with(v(2), f64::INFINITY, &PolicyConfig::Plain(SelectionPolicy::Lifo))
+            .origins_at_with(
+                v(2),
+                f64::INFINITY,
+                &PolicyConfig::Plain(SelectionPolicy::Lifo),
+            )
             .unwrap();
         assert!(via_lazy.approx_eq(&lifo.origins(v(2))));
     }

@@ -154,7 +154,10 @@ pub fn build_tracker(
                     "selective tracking needs at least one tracked vertex".into(),
                 ));
             }
-            Box::new(selective::SelectiveTracker::new(num_vertices, tracked.clone())?)
+            Box::new(selective::SelectiveTracker::new(
+                num_vertices,
+                tracked.clone(),
+            )?)
         }
         PolicyConfig::Grouped {
             num_groups,
@@ -254,8 +257,7 @@ mod tests {
 
     #[test]
     fn process_source_drains_stream() {
-        let mut tracker =
-            build_tracker(&PolicyConfig::Plain(SelectionPolicy::Fifo), 3).unwrap();
+        let mut tracker = build_tracker(&PolicyConfig::Plain(SelectionPolicy::Fifo), 3).unwrap();
         let mut src = crate::stream::VecSource::new(paper_running_example());
         let n = tracker.process_source(&mut src).unwrap();
         assert_eq!(n, 6);
@@ -264,8 +266,7 @@ mod tests {
 
     #[test]
     fn dyn_tracker_memory_footprint_trait_object() {
-        let mut tracker =
-            build_tracker(&PolicyConfig::Plain(SelectionPolicy::Lifo), 3).unwrap();
+        let mut tracker = build_tracker(&PolicyConfig::Plain(SelectionPolicy::Lifo), 3).unwrap();
         tracker.process_all(&paper_running_example());
         let dyn_ref: &dyn ProvenanceTracker = tracker.as_ref();
         assert!(dyn_ref.footprint_bytes() > 0);

@@ -336,11 +336,7 @@ mod tests {
         assert_eq!(split.hops(), 2);
         assert!(qty_approx_eq(split.qty, 1.0));
         // The remainder kept at v0 still has the original (shorter) path.
-        let kept = t
-            .elements(v(0))
-            .iter()
-            .find(|e| e.origin == v(1))
-            .unwrap();
+        let kept = t.elements(v(0)).iter().find(|e| e.origin == v(1)).unwrap();
         assert_eq!(kept.path, vec![v(1), v(2)]);
         assert!(qty_approx_eq(kept.qty, 2.0));
     }
@@ -384,7 +380,10 @@ mod tests {
         let fp = t.footprint();
         assert!(fp.entries_bytes > 0);
         assert!(fp.paths_bytes > 0);
-        assert_eq!(fp.total(), fp.entries_bytes + fp.paths_bytes + fp.index_bytes);
+        assert_eq!(
+            fp.total(),
+            fp.entries_bytes + fp.paths_bytes + fp.index_bytes
+        );
     }
 
     #[test]

@@ -114,7 +114,12 @@ impl PathHeapBuffer {
 
     /// Select up to `amount` according to the heap order, passing every
     /// transferred element (whole or split fragment) to `sink`.
-    fn take(&mut self, kind: HeapKind, amount: Quantity, mut sink: impl FnMut(PathTriple)) -> Quantity {
+    fn take(
+        &mut self,
+        kind: HeapKind,
+        amount: Quantity,
+        mut sink: impl FnMut(PathTriple),
+    ) -> Quantity {
         let mut residue = amount;
         let mut taken = 0.0;
         while residue > 0.0 && !qty_is_zero(residue) && !self.heap.is_empty() {
@@ -205,7 +210,11 @@ impl GenerationPathTracker {
     /// order. Use [`GenerationPathTracker::sorted_elements`] for a
     /// deterministic view.
     pub fn elements(&self, v: VertexId) -> Vec<&PathTriple> {
-        self.buffers[v.index()].heap.iter().map(|e| &e.triple).collect()
+        self.buffers[v.index()]
+            .heap
+            .iter()
+            .map(|e| &e.triple)
+            .collect()
     }
 
     /// The path-annotated triples buffered at `v`, sorted by birth time then
@@ -400,12 +409,18 @@ mod tests {
         t.process_all(&rs[..4]);
         let at_v2 = t.sorted_elements(v(2));
         assert_eq!(at_v2.len(), 2);
-        let travelled = at_v2.iter().find(|e| e.birth == Timestamp::new(1.0)).unwrap();
+        let travelled = at_v2
+            .iter()
+            .find(|e| e.birth == Timestamp::new(1.0))
+            .unwrap();
         assert_eq!(travelled.origin, v(1));
         assert!(qty_approx_eq(travelled.qty, 3.0));
         assert_eq!(travelled.path, vec![v(1), v(2), v(0), v(1)]);
         assert_eq!(travelled.hops(), 3);
-        let newborn = at_v2.iter().find(|e| e.birth == Timestamp::new(5.0)).unwrap();
+        let newborn = at_v2
+            .iter()
+            .find(|e| e.birth == Timestamp::new(5.0))
+            .unwrap();
         assert_eq!(newborn.origin, v(1));
         assert!(qty_approx_eq(newborn.qty, 4.0));
         assert_eq!(newborn.path, vec![v(1)]);
@@ -413,7 +428,10 @@ mod tests {
         // (birth 1): 2 units travel on, 1 unit stays with the original path.
         t.process(&rs[4]);
         let kept = t.sorted_elements(v(2));
-        let kept_old = kept.iter().find(|e| e.birth == Timestamp::new(1.0)).unwrap();
+        let kept_old = kept
+            .iter()
+            .find(|e| e.birth == Timestamp::new(1.0))
+            .unwrap();
         assert!(qty_approx_eq(kept_old.qty, 1.0));
         assert_eq!(kept_old.path, vec![v(1), v(2), v(0), v(1)]);
         let moved = t.sorted_elements(v(1));
@@ -429,7 +447,7 @@ mod tests {
         t.process(&Interaction::new(1u32, 0u32, 1.0, 5.0)); // newborn at v1, t=1
         t.process(&Interaction::new(2u32, 0u32, 2.0, 5.0)); // newborn at v2, t=2
         t.process(&Interaction::new(0u32, 1u32, 3.0, 4.0)); // transfer 4 of 10
-        // MRB ships the t=2 units first.
+                                                            // MRB ships the t=2 units first.
         let at_v1 = t.sorted_elements(v(1));
         assert_eq!(at_v1.len(), 1);
         assert_eq!(at_v1[0].origin, v(2));
@@ -455,7 +473,10 @@ mod tests {
         let fp = t.footprint();
         assert!(fp.entries_bytes > 0);
         assert!(fp.paths_bytes > 0);
-        assert_eq!(fp.total(), fp.entries_bytes + fp.paths_bytes + fp.index_bytes);
+        assert_eq!(
+            fp.total(),
+            fp.entries_bytes + fp.paths_bytes + fp.index_bytes
+        );
         assert!(t.average_path_length() > 1.0);
     }
 
@@ -473,7 +494,10 @@ mod tests {
         assert_eq!(t.interactions_processed(), 6);
         assert!(t.total_elements() > 0);
         assert!(!t.elements(v(2)).is_empty());
-        assert_eq!(GenerationPathTracker::least_recently_born(2).average_path_length(), 0.0);
+        assert_eq!(
+            GenerationPathTracker::least_recently_born(2).average_path_length(),
+            0.0
+        );
     }
 
     #[test]

@@ -148,7 +148,10 @@ mod tests {
             "pairs at v{vertex}: got {got:?} want {want:?}"
         );
         for (g, w) in got.iter().zip(want.iter()) {
-            assert_eq!(g.0, w.0, "origin mismatch at v{vertex}: {got:?} vs {want:?}");
+            assert_eq!(
+                g.0, w.0,
+                "origin mismatch at v{vertex}: {got:?} vs {want:?}"
+            );
             assert!(qty_approx_eq(g.1, w.1), "qty mismatch at v{vertex}");
         }
     }

@@ -90,11 +90,7 @@ impl WindowedTracker {
         self.window + since_reset
     }
 
-    fn apply(
-        vectors: &mut [SparseProvenance],
-        totals: &[Quantity],
-        r: &Interaction,
-    ) {
+    fn apply(vectors: &mut [SparseProvenance], totals: &[Quantity], r: &Interaction) {
         let s = r.src.index();
         let d = r.dst.index();
         let (src_vec, dst_vec) = if s < d {

@@ -139,8 +139,7 @@ impl ScaleProfile {
             return paper_vertices;
         }
         let ratio = paper_vertices as f64 / paper_interactions as f64;
-        ((interactions as f64 * ratio).ceil() as usize)
-            .clamp(8, paper_vertices)
+        ((interactions as f64 * ratio).ceil() as usize).clamp(8, paper_vertices)
     }
 }
 
@@ -226,7 +225,10 @@ mod tests {
             let small = DatasetSpec::new(kind, ScaleProfile::Small).num_interactions();
             let medium = DatasetSpec::new(kind, ScaleProfile::Medium).num_interactions();
             let paper = DatasetSpec::new(kind, ScaleProfile::Paper).num_interactions();
-            assert!(tiny <= small && small <= medium && medium <= paper, "{kind}");
+            assert!(
+                tiny <= small && small <= medium && medium <= paper,
+                "{kind}"
+            );
         }
     }
 
@@ -253,7 +255,10 @@ mod tests {
     fn slug_and_seed() {
         let spec = DatasetSpec::with_seed(DatasetKind::Ctu, ScaleProfile::Small, 7);
         assert_eq!(spec.slug(), "ctu_small_seed7");
-        assert_eq!(DatasetSpec::new(DatasetKind::Ctu, ScaleProfile::Small).seed, 42);
+        assert_eq!(
+            DatasetSpec::new(DatasetKind::Ctu, ScaleProfile::Small).seed,
+            42
+        );
     }
 
     #[test]

@@ -384,7 +384,8 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
-        let err = read_named_edge_list("src,dst,time,qty\nalice,bob,xyz,1\n".as_bytes()).unwrap_err();
+        let err =
+            read_named_edge_list("src,dst,time,qty\nalice,bob,xyz,1\n".as_bytes()).unwrap_err();
         assert!(matches!(err, TinError::Parse { line: 2, .. }));
         let err = read_named_edge_list("alice,bob,1,notanumber\n".as_bytes()).unwrap_err();
         assert!(matches!(err, TinError::Parse { line: 1, .. }));
@@ -400,7 +401,8 @@ mod tests {
 
     #[test]
     fn file_roundtrip_and_missing_file() {
-        let path = std::env::temp_dir().join(format!("tin_formats_test_{}.csv", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("tin_formats_test_{}.csv", std::process::id()));
         std::fs::write(&path, "alice bob 1 3\n").unwrap();
         let named = read_named_edge_list_file(&path).unwrap();
         assert_eq!(named.interactions.len(), 1);

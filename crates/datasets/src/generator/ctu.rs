@@ -61,7 +61,10 @@ mod tests {
         let min = stream.iter().map(|r| r.qty).fold(f64::INFINITY, f64::min);
         let max = stream.iter().map(|r| r.qty).fold(0.0f64, f64::max);
         assert!(min > 0.0);
-        assert!(max / min > 10.0, "byte counts should span orders of magnitude");
+        assert!(
+            max / min > 10.0,
+            "byte counts should span orders of magnitude"
+        );
     }
 
     #[test]

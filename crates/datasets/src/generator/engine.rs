@@ -265,7 +265,12 @@ mod tests {
             counts[sampler.sample(&mut rng)] += 1;
         }
         // Item 0 must be sampled far more often than item 50.
-        assert!(counts[0] > counts[50] * 3, "{} vs {}", counts[0], counts[50]);
+        assert!(
+            counts[0] > counts[50] * 3,
+            "{} vs {}",
+            counts[0],
+            counts[50]
+        );
         // Every draw is in range.
         assert_eq!(counts.iter().sum::<usize>(), 20_000);
     }

@@ -91,7 +91,11 @@ pub fn ping_pong(rounds: usize, qty: f64) -> Vec<Interaction> {
     let mut t = 0.0;
     for i in 0..rounds {
         t += 1.0;
-        let (src, dst) = if i % 2 == 0 { (0usize, 1usize) } else { (1usize, 0usize) };
+        let (src, dst) = if i % 2 == 0 {
+            (0usize, 1usize)
+        } else {
+            (1usize, 0usize)
+        };
         let amount = if i % 2 == 0 { qty } else { qty / 2.0 };
         stream.push(Interaction::new(src, dst, t, amount));
     }

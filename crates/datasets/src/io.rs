@@ -57,7 +57,10 @@ pub fn read_csv<R: Read>(reader: R) -> Result<Vec<Interaction>> {
         if fields.len() != 4 {
             return Err(TinError::Parse {
                 line: lineno + 1,
-                message: format!("expected 4 fields (src,dst,time,qty), found {}", fields.len()),
+                message: format!(
+                    "expected 4 fields (src,dst,time,qty), found {}",
+                    fields.len()
+                ),
             });
         }
         let parse_u32 = |s: &str, what: &str| -> Result<u32> {

@@ -46,7 +46,12 @@ fn main() {
     // widest through the network?
     let mut table = TextTable::new(
         "Most influential origins (diffusion model)",
-        &["origin", "influence (total diffused q)", "reach (#holders)", "generated"],
+        &[
+            "origin",
+            "influence (total diffused q)",
+            "reach (#holders)",
+            "generated",
+        ],
     );
     for (origin, influence) in diffusion.influence_ranking(10) {
         table.push_row(vec![

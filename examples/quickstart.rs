@@ -22,7 +22,13 @@ fn main() {
         tin.num_interactions()
     );
     for r in tin.interactions() {
-        println!("  {} -> {} at t={} q={}", r.src, r.dst, r.time.value(), r.qty);
+        println!(
+            "  {} -> {} at t={} q={}",
+            r.src,
+            r.dst,
+            r.time.value(),
+            r.qty
+        );
     }
     println!();
 

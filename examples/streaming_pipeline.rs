@@ -32,7 +32,11 @@ fn main() {
     // 1. Load and intern the raw trace.
     let named = read_named_edge_list(RAW_TRACE.as_bytes()).expect("trace parses");
     let n = named.num_vertices();
-    println!("Loaded {} interactions over {} named vertices", named.interactions.len(), n);
+    println!(
+        "Loaded {} interactions over {} named vertices",
+        named.interactions.len(),
+        n
+    );
     for (id, name) in named.interner.iter() {
         println!("  {id} = {name}");
     }
@@ -40,13 +44,11 @@ fn main() {
 
     // 2. Stream it through an engine with proportional provenance and a
     //    checkpoint every 2 interactions.
-    let mut engine = ProvenanceEngine::new(
-        &PolicyConfig::Plain(SelectionPolicy::ProportionalSparse),
-        n,
-    )
-    .expect("valid config")
-    .with_checkpoints(2)
-    .expect("positive interval");
+    let mut engine =
+        ProvenanceEngine::new(&PolicyConfig::Plain(SelectionPolicy::ProportionalSparse), n)
+            .expect("valid config")
+            .with_checkpoints(2)
+            .expect("positive interval");
     let mut source = VecSource::new(named.interactions.clone());
     let report = engine.run(&mut source).expect("stream is well formed");
 
@@ -105,7 +107,10 @@ fn main() {
             &PolicyConfig::Plain(SelectionPolicy::ProportionalSparse),
         )
         .expect("valid query");
-    assert!(at_t6.approx_eq(&pruned), "lazy and backtraced answers agree");
+    assert!(
+        at_t6.approx_eq(&pruned),
+        "lazy and backtraced answers agree"
+    );
     println!("Provenance of dave's balance at t=6 (exact, via replay):");
     for (origin, qty) in at_t6.iter() {
         let name = origin

@@ -46,7 +46,11 @@ fn main() {
         "  fed by {} origin airports (entropy {:.2} bits, top origin covers {:.0}%)",
         distribution.len(),
         distribution.entropy_bits(),
-        distribution.shares.first().map(|(_, p)| p * 100.0).unwrap_or(0.0)
+        distribution
+            .shares
+            .first()
+            .map(|(_, p)| p * 100.0)
+            .unwrap_or(0.0)
     );
     for (origin, share) in distribution.shares.iter().take(5) {
         println!("    {:>6.1}% from {origin}", share * 100.0);
@@ -91,7 +95,10 @@ fn main() {
     println!("Memory-bounded deployments vs exact proportional provenance:");
     let window = (tin.num_interactions() / 4).max(1);
     let bounded_configs = vec![
-        ("windowed W=|R|/4".to_string(), PolicyConfig::Windowed { window }),
+        (
+            "windowed W=|R|/4".to_string(),
+            PolicyConfig::Windowed { window },
+        ),
         ("budget C=8".to_string(), PolicyConfig::budget(8)),
         ("budget C=64".to_string(), PolicyConfig::budget(64)),
     ];

@@ -13,7 +13,11 @@ fn dataset(kind: DatasetKind) -> (usize, Vec<Interaction>) {
 /// the total newborn quantity measured by the baseline.
 #[test]
 fn conservation_across_policies_and_datasets() {
-    for kind in [DatasetKind::Taxis, DatasetKind::Flights, DatasetKind::ProsperLoans] {
+    for kind in [
+        DatasetKind::Taxis,
+        DatasetKind::Flights,
+        DatasetKind::ProsperLoans,
+    ] {
         let (n, rs) = dataset(kind);
         let mut baseline = NoProvTracker::new(n);
         baseline.process_all(&rs);

@@ -133,16 +133,26 @@ fn time_windowed_tracking_degrades_gracefully() {
     let exact = exact_tracker(n, &stream);
     let span = stream.last().unwrap().time.value();
 
-    let mut unwindowed = build_tracker(&PolicyConfig::TimeWindowed { duration: span * 2.0 }, n)
-        .unwrap();
+    let mut unwindowed = build_tracker(
+        &PolicyConfig::TimeWindowed {
+            duration: span * 2.0,
+        },
+        n,
+    )
+    .unwrap();
     unwindowed.process_all(&stream);
     let report = compare_trackers(unwindowed.as_ref(), exact.as_ref(), 5);
     assert!(report.is_exact(), "D > time span must be exact: {report:?}");
 
     let mut previous_known = f64::INFINITY;
     for divisor in [2.0, 8.0, 32.0] {
-        let mut windowed =
-            build_tracker(&PolicyConfig::TimeWindowed { duration: span / divisor }, n).unwrap();
+        let mut windowed = build_tracker(
+            &PolicyConfig::TimeWindowed {
+                duration: span / divisor,
+            },
+            n,
+        )
+        .unwrap();
         windowed.process_all(&stream);
         assert!(windowed.check_all_invariants());
         let known: f64 = (0..n)

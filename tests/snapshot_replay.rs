@@ -135,15 +135,13 @@ fn lazy_and_backtrace_agree_with_eager_time_travel() {
         .iter()
         .map(|&idx| stream[idx].time.value())
         .collect();
-    let query_vertices: Vec<VertexId> = (0..n).step_by((n / 7).max(1)).map(VertexId::from).collect();
+    let query_vertices: Vec<VertexId> =
+        (0..n).step_by((n / 7).max(1)).map(VertexId::from).collect();
 
     for &t in &times {
         // Eager reference: replay the prefix directly.
-        let mut eager = build_tracker(
-            &PolicyConfig::Plain(SelectionPolicy::ProportionalSparse),
-            n,
-        )
-        .unwrap();
+        let mut eager =
+            build_tracker(&PolicyConfig::Plain(SelectionPolicy::ProportionalSparse), n).unwrap();
         for r in &stream {
             if r.time.value() > t {
                 break;
@@ -159,7 +157,10 @@ fn lazy_and_backtrace_agree_with_eager_time_travel() {
                     &PolicyConfig::Plain(SelectionPolicy::ProportionalSparse),
                 )
                 .unwrap();
-            assert!(from_lazy.approx_eq(&eager.origins(v)), "lazy diverged at {v}, t={t}");
+            assert!(
+                from_lazy.approx_eq(&eager.origins(v)),
+                "lazy diverged at {v}, t={t}"
+            );
             assert!(
                 from_backtrace.approx_eq(&eager.origins(v)),
                 "backtrace diverged at {v}, t={t}"
@@ -181,7 +182,10 @@ fn generation_path_tracking_is_consistent_at_scale() {
     plain.process_all(&stream);
     for i in 0..n {
         let v = VertexId::from(i);
-        assert!(with_paths.origins(v).approx_eq(&plain.origins(v)), "diverged at {v}");
+        assert!(
+            with_paths.origins(v).approx_eq(&plain.origins(v)),
+            "diverged at {v}"
+        );
     }
     assert!(with_paths.average_path_length() >= 0.0);
     assert!(with_paths.average_path_length() < stream.len() as f64);

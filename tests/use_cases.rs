@@ -127,12 +127,19 @@ fn lazy_replay_matches_eager_on_synthetic_data() {
     // Final-state queries agree at a sample of vertices.
     for i in (0..n).step_by(3) {
         let v = VertexId::from(i);
-        assert!(lazy.origins(v).approx_eq(&eager.origins(v)), "mismatch at {v}");
+        assert!(
+            lazy.origins(v).approx_eq(&eager.origins(v)),
+            "mismatch at {v}"
+        );
     }
 
     // Time-travel query at the median timestamp agrees with a prefix replay.
     let mid_time = rs[rs.len() / 2].time.value();
-    let prefix: Vec<Interaction> = rs.iter().copied().filter(|r| r.time.value() <= mid_time).collect();
+    let prefix: Vec<Interaction> = rs
+        .iter()
+        .copied()
+        .filter(|r| r.time.value() <= mid_time)
+        .collect();
     let mut eager_prefix = ProportionalSparseTracker::new(n);
     eager_prefix.process_all(&prefix);
     for i in (0..n).step_by(5) {
@@ -172,7 +179,9 @@ fn attribute_grouping_end_to_end() {
                 })
                 .map(|(_, q)| q)
                 .sum();
-            let got = grouped.origins(v).quantity_from(Origin::Group(GroupId::new(g)));
+            let got = grouped
+                .origins(v)
+                .quantity_from(Origin::Group(GroupId::new(g)));
             assert!((expected - got).abs() < 1e-6);
         }
     }

@@ -1,0 +1,68 @@
+//! Workspace wiring smoke test.
+//!
+//! The facade crate re-exports four library crates plus a prelude; this test
+//! exercises one public item from each so that a manifest regression (a
+//! dropped dependency, a renamed lib target, a broken re-export) fails loudly
+//! in tier-1 (`cargo test`) rather than only at bench or CLI build time.
+
+use tin::prelude::*;
+
+/// `tin::core` is wired: build a tracker directly through the re-export.
+#[test]
+fn core_reexport_is_usable() {
+    let mut tracker = tin::core::tracker::proportional_dense::ProportionalDenseTracker::new(3);
+    let interactions = tin::core::interaction::paper_running_example();
+    tracker.process_all(&interactions);
+    assert!(tracker.check_all_invariants());
+}
+
+/// `tin::datasets` is wired: generate a tiny synthetic workload.
+#[test]
+fn datasets_reexport_is_usable() {
+    let spec = tin::datasets::DatasetSpec::new(
+        tin::datasets::DatasetKind::Taxis,
+        tin::datasets::ScaleProfile::Tiny,
+    );
+    let tin = tin::datasets::generate_tin(&spec);
+    assert_eq!(tin.num_interactions(), spec.num_interactions());
+    assert!(tin.num_vertices() > 0);
+}
+
+/// `tin::analytics` is wired: summarize a tracked distribution.
+#[test]
+fn analytics_reexport_is_usable() {
+    let interactions = tin::core::interaction::paper_running_example();
+    let mut tracker = tin::core::tracker::proportional_dense::ProportionalDenseTracker::new(3);
+    tracker.process_all(&interactions);
+    let origins = tracker.origins(tin::core::ids::VertexId::new(0));
+    let distribution = tin::analytics::distribution::ProvenanceDistribution::from_origins(&origins);
+    assert!(distribution.entropy_bits() >= 0.0);
+}
+
+/// `tin::memstats` is wired: a scope measurement completes. This test binary
+/// does not install the counting allocator, so the documented contract is
+/// that the scope reports exactly zero rather than garbage.
+#[test]
+fn memstats_reexport_is_usable() {
+    let scope = tin::memstats::MemoryScope::start();
+    let data: Vec<u64> = (0..1024).collect();
+    std::hint::black_box(&data);
+    let report = scope.finish();
+    assert_eq!(report.peak_delta_bytes, 0);
+}
+
+/// The prelude exposes the working vocabulary: types from all four crates
+/// resolve from a single glob import.
+#[test]
+fn prelude_covers_the_working_vocabulary() {
+    let spec = DatasetSpec::new(DatasetKind::Bitcoin, ScaleProfile::Tiny);
+    let tin = tin::datasets::generate_tin(&spec);
+    let mut tracker = ProportionalDenseTracker::new(tin.num_vertices());
+    tracker.process_all(tin.interactions());
+    let busiest = tin
+        .vertices()
+        .max_by_key(|v| tin.in_degree(*v))
+        .expect("generated network has vertices");
+    let origins: OriginSet = tracker.origins(busiest);
+    assert!(origins.total() >= 0.0);
+}

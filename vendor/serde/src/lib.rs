@@ -1,0 +1,25 @@
+//! Offline stub of the [`serde`](https://serde.rs) facade.
+//!
+//! The build environment for this repository has no access to crates.io, and
+//! the workspace only uses serde to *mark* types as serializable via
+//! `#[derive(Serialize, Deserialize)]` — nothing in the tree drives an actual
+//! serializer (snapshots use their own line-oriented text format). This stub
+//! therefore provides just the two trait names and derive macros that expand
+//! to nothing, which is enough for every `use serde::{Deserialize,
+//! Serialize}` in the workspace to compile.
+//!
+//! If the repository later gains real serialization needs, replace this stub
+//! with the genuine crate by swapping the `[workspace.dependencies]` path
+//! entry for a registry version; no source changes are required.
+
+/// Marker trait standing in for `serde::Serialize`.
+///
+/// The no-op derive does not even emit an `impl` of this trait; it exists so
+/// that `use serde::Serialize` resolves in both the trait and macro
+/// namespaces, exactly as with the real crate.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

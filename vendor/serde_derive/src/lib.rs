@@ -1,0 +1,20 @@
+//! Offline stub of `serde_derive`.
+//!
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` expand to an empty token
+//! stream: the workspace only uses the derives as markers and never drives a
+//! real serializer. `attributes(serde)` is declared so any `#[serde(...)]`
+//! field or container attributes parse cleanly.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
