@@ -1,14 +1,18 @@
 //! Ablation benches for the design choices called out in DESIGN.md §6:
 //! chunked ("SIMD") vs. scalar dense-vector kernels, coalescing vs. plain
 //! receipt-order buffers, keep-largest vs. keep-important budget shrinking,
+//! the PR 2 select-based shrink vs. the former sort + `BTreeSet` shrink,
 //! and relay vs. diffusion propagation semantics.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tin_bench::Workload;
 use tin_core::buffer::queue_buffer::{Discipline, QueueBuffer};
 use tin_core::buffer::Pair;
+use tin_core::ids::{Origin, VertexId};
 use tin_core::policy::ShrinkCriterion;
+use tin_core::quantity::{qty_is_zero, Quantity};
 use tin_core::simd;
+use tin_core::sparse_vec::{MergeScratch, SparseProvenance};
 use tin_core::tracker::budget::BudgetTracker;
 use tin_core::tracker::diffusion::DiffusionTracker;
 use tin_core::tracker::proportional_sparse::ProportionalSparseTracker;
@@ -101,6 +105,72 @@ fn bench_shrink_criteria(c: &mut Criterion) {
     group.finish();
 }
 
+/// The pre-PR 2 shrink: full index sort plus a `BTreeSet` keep-set, kept
+/// here as the ablation reference for the `select_nth_unstable_by` +
+/// boolean-mask implementation that replaced it.
+fn reference_shrink_sort_btreeset(v: &SparseProvenance, keep: usize) -> SparseProvenance {
+    let entries: Vec<(Origin, Quantity)> = v.iter().collect();
+    let mut order: Vec<usize> = (0..entries.len()).collect();
+    order.sort_by(|&a, &b| {
+        let (ao, aq) = entries[a];
+        let (bo, bq) = entries[b];
+        (bo == Origin::Unknown)
+            .cmp(&(ao == Origin::Unknown))
+            .then(bq.total_cmp(&aq))
+            .then(ao.cmp(&bo))
+    });
+    let keep_set: std::collections::BTreeSet<usize> = order.into_iter().take(keep).collect();
+    let mut removed = 0.0;
+    let mut kept = Vec::with_capacity(keep + 1);
+    for (i, (o, q)) in entries.iter().enumerate() {
+        if keep_set.contains(&i) {
+            kept.push((*o, *q));
+        } else {
+            removed += q;
+        }
+    }
+    let mut out: SparseProvenance = kept.into_iter().collect();
+    if !qty_is_zero(removed) {
+        out.add(Origin::Unknown, removed);
+    }
+    out
+}
+
+/// Budget shrink at list lengths ℓ ∈ {8, 64, 1024}: O(ℓ) selection vs the
+/// former O(ℓ log ℓ) sort + `BTreeSet` build.
+fn bench_shrink_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_shrink_kernel");
+    for len in [8usize, 64, 1024] {
+        let keep = (len * 7 / 10).max(1);
+        let input: SparseProvenance = (0..len as u32)
+            .map(|i| {
+                (
+                    Origin::Vertex(VertexId::new(i)),
+                    ((i * 7919) % 97 + 1) as f64,
+                )
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("select_nth_mask", len),
+            &input,
+            |b, input| {
+                let mut scratch = MergeScratch::new();
+                b.iter(|| {
+                    let mut v = input.clone();
+                    v.shrink_keep_largest_with(keep, &mut scratch);
+                    v.len()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sort_btreeset", len),
+            &input,
+            |b, input| b.iter(|| reference_shrink_sort_btreeset(input, keep).len()),
+        );
+    }
+    group.finish();
+}
+
 fn bench_propagation_models(c: &mut Criterion) {
     // Relay (the paper's model) vs. diffusion (the Section 8 extension for
     // social networks) over the same proportional sparse state: diffusion
@@ -141,6 +211,6 @@ fn quick_config() -> Criterion {
 criterion_group! {
     name = benches;
     config = quick_config();
-    targets = bench_vector_kernels, bench_buffer_coalescing, bench_shrink_criteria, bench_propagation_models
+    targets = bench_vector_kernels, bench_buffer_coalescing, bench_shrink_criteria, bench_shrink_kernels, bench_propagation_models
 }
 criterion_main!(benches);

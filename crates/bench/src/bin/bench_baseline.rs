@@ -1,0 +1,285 @@
+//! `bench_baseline`: machine-readable per-policy performance baseline.
+//!
+//! Runs every feasible policy configuration over fixed-seed synthetic
+//! workloads (Bitcoin- and taxi-shaped, the two stream shapes the paper's
+//! evaluation leans on) and writes `BENCH_PR2.json`: interactions/sec, peak
+//! provenance footprint and allocator peak per policy. The JSON schema is
+//! documented in the repository README ("Benchmark baseline"); numbers from
+//! this emitter are the perf trajectory that later PRs are measured against.
+//!
+//! Scale is controlled by `TIN_SCALE` (use `TIN_SCALE=tiny` as CI smoke
+//! mode), the seed by `TIN_SEED`, timing repetitions by `TIN_BENCH_REPS`
+//! (default 3; the fastest rep is reported), and the output path by
+//! `--out PATH` (default `BENCH_PR2.json`).
+
+use std::time::Instant;
+
+use tin_bench::{
+    dense_proportional_feasible, scale_from_env, seed_from_env, sparse_proportional_feasible,
+    Workload,
+};
+use tin_core::ids::VertexId;
+use tin_core::policy::{PolicyConfig, SelectionPolicy};
+use tin_core::tracker::build_tracker;
+use tin_datasets::{DatasetKind, ScaleProfile};
+
+/// Interactions between two footprint samples of the instrumented pass.
+const SAMPLE_INTERVAL: usize = 16_384;
+
+/// Pre-optimisation reference throughput (interactions/sec) for the
+/// proportional-sparse hot path, measured by this same binary at the PR 1
+/// tree (commit a14c5bc) with `TIN_SCALE=small`, `TIN_SEED=42`, 3 reps, on
+/// the PR 2 build machine. Recorded here so every later run reports a
+/// machine-readable speedup against the pre-change baseline.
+const PRE_CHANGE_PROP_SPARSE: &[(&str, f64)] = &[("bitcoin", PRE_BITCOIN), ("taxis", PRE_TAXIS)];
+const PRE_BITCOIN: f64 = 9_720.99;
+const PRE_TAXIS: f64 = 18_222_767.42;
+
+struct PolicyRow {
+    key: String,
+    runtime_secs: f64,
+    interactions_per_sec: f64,
+    peak_footprint_bytes: usize,
+    final_footprint_bytes: usize,
+    peak_alloc_bytes: usize,
+    reps: usize,
+}
+
+/// The policy configurations measured on every workload, in output order.
+fn configs_for(w: &Workload) -> Vec<PolicyConfig> {
+    let n = w.num_vertices;
+    let k = 64.min(n.max(2) - 1).max(1);
+    let m = 64.min(n).max(1);
+    let mut configs = vec![
+        PolicyConfig::Plain(SelectionPolicy::NoProvenance),
+        PolicyConfig::Plain(SelectionPolicy::LeastRecentlyBorn),
+        PolicyConfig::Plain(SelectionPolicy::MostRecentlyBorn),
+        PolicyConfig::Plain(SelectionPolicy::Fifo),
+        PolicyConfig::Plain(SelectionPolicy::Lifo),
+    ];
+    if dense_proportional_feasible(n) {
+        configs.push(PolicyConfig::Plain(SelectionPolicy::ProportionalDense));
+    }
+    if sparse_proportional_feasible(n, w.interactions.len()) {
+        configs.push(PolicyConfig::Plain(SelectionPolicy::ProportionalSparse));
+        configs.push(PolicyConfig::adaptive());
+    }
+    configs.push(PolicyConfig::Selective {
+        tracked: (0..k as u32).map(VertexId::new).collect(),
+    });
+    configs.push(PolicyConfig::Grouped {
+        num_groups: m,
+        group_of: (0..n).map(|v| (v % m) as u32).collect(),
+    });
+    configs.push(PolicyConfig::Windowed { window: 4096 });
+    configs.push(PolicyConfig::budget(64));
+    configs
+}
+
+/// Run one policy over one workload: an instrumented pass (footprint
+/// sampling, allocator peak) followed by `reps` timed passes.
+fn run_policy(config: &PolicyConfig, w: &Workload, reps: usize) -> PolicyRow {
+    // Instrumented pass: periodic logical-footprint samples + allocator peak.
+    let scope = tin_memstats::MemoryScope::start();
+    let mut tracker = build_tracker(config, w.num_vertices).expect("benchmark configs are valid");
+    let mut peak_footprint = 0usize;
+    for (i, r) in w.interactions.iter().enumerate() {
+        tracker.process(r);
+        if i % SAMPLE_INTERVAL == 0 {
+            peak_footprint = peak_footprint.max(tracker.footprint().total());
+        }
+    }
+    let final_footprint = tracker.footprint().total();
+    peak_footprint = peak_footprint.max(final_footprint);
+    let mem = scope.finish();
+    drop(tracker);
+
+    // Timed passes: fastest of `reps` measurements. Small workloads finish
+    // in microseconds, far below timer noise, so each measurement loops the
+    // whole pass until at least ~50 ms have elapsed and reports the mean
+    // per-pass time of that batch.
+    const MIN_MEASURE_SECS: f64 = 0.05;
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let mut passes = 0u32;
+        let start = Instant::now();
+        loop {
+            let mut tracker =
+                build_tracker(config, w.num_vertices).expect("benchmark configs are valid");
+            tracker.process_all(&w.interactions);
+            passes += 1;
+            if start.elapsed().as_secs_f64() >= MIN_MEASURE_SECS {
+                break;
+            }
+        }
+        let secs = start.elapsed().as_secs_f64() / f64::from(passes);
+        best = best.min(secs);
+    }
+    let throughput = if best > 0.0 {
+        w.interactions.len() as f64 / best
+    } else {
+        0.0
+    };
+    PolicyRow {
+        key: config.key(),
+        runtime_secs: best,
+        interactions_per_sec: throughput,
+        peak_footprint_bytes: peak_footprint,
+        final_footprint_bytes: final_footprint,
+        peak_alloc_bytes: mem.peak_delta_bytes,
+        reps,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn fmt_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let seed = seed_from_env();
+    let reps: usize = std::env::var("TIN_BENCH_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3)
+        .max(1);
+    let mut out_path = "BENCH_PR2.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (supported: --out PATH)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let scale_key = match scale {
+        ScaleProfile::Tiny => "tiny",
+        ScaleProfile::Small => "small",
+        ScaleProfile::Medium => "medium",
+        ScaleProfile::Paper => "paper",
+    };
+    println!("bench_baseline: scale={scale_key}, seed={seed}, reps={reps}");
+
+    let kinds = [DatasetKind::Bitcoin, DatasetKind::Taxis];
+    let mut workload_blobs = Vec::new();
+    let mut measured_prop_sparse: Vec<(String, f64)> = Vec::new();
+    for kind in kinds {
+        let w = Workload::generate(kind, scale);
+        println!("\n  {}", w.describe());
+        let mut rows = Vec::new();
+        for config in configs_for(&w) {
+            let row = run_policy(&config, &w, reps);
+            println!(
+                "    {:<18} {:>12.0} it/s  peak {:>12}  alloc-peak {:>12}",
+                row.key,
+                row.interactions_per_sec,
+                tin_memstats::format_bytes(row.peak_footprint_bytes),
+                tin_memstats::format_bytes(row.peak_alloc_bytes),
+            );
+            if row.key == "prop_sparse" {
+                measured_prop_sparse.push((kind.key().to_string(), row.interactions_per_sec));
+            }
+            rows.push(row);
+        }
+        let policy_blobs: Vec<String> = rows
+            .iter()
+            .map(|r| {
+                format!(
+                    concat!(
+                        "{{\"policy\": \"{}\", \"runtime_secs\": {}, ",
+                        "\"interactions_per_sec\": {}, \"peak_footprint_bytes\": {}, ",
+                        "\"final_footprint_bytes\": {}, \"peak_alloc_bytes\": {}, \"reps\": {}}}"
+                    ),
+                    json_escape(&r.key),
+                    fmt_f64(r.runtime_secs),
+                    fmt_f64(r.interactions_per_sec),
+                    r.peak_footprint_bytes,
+                    r.final_footprint_bytes,
+                    r.peak_alloc_bytes,
+                    r.reps,
+                )
+            })
+            .collect();
+        workload_blobs.push(format!(
+            concat!(
+                "{{\"dataset\": \"{}\", \"num_vertices\": {}, \"num_interactions\": {},\n",
+                "     \"policies\": [\n      {}\n     ]}}"
+            ),
+            kind.key(),
+            w.num_vertices,
+            w.interactions.len(),
+            policy_blobs.join(",\n      "),
+        ));
+    }
+
+    // Speedup of the proportional-sparse hot path vs. the pre-change
+    // reference (null outside the reference scale or when no reference
+    // number was recorded for a dataset).
+    let mut speedups = Vec::new();
+    for (dataset, now) in &measured_prop_sparse {
+        let pre = PRE_CHANGE_PROP_SPARSE
+            .iter()
+            .find(|(k, _)| k == dataset)
+            .map(|(_, v)| *v)
+            .unwrap_or(f64::NAN);
+        let ratio = if pre.is_finite() && pre > 0.0 && scale == ScaleProfile::Small {
+            now / pre
+        } else {
+            f64::NAN
+        };
+        speedups.push(format!(
+            "{{\"dataset\": \"{}\", \"pre_change_interactions_per_sec\": {}, \"measured_interactions_per_sec\": {}, \"speedup\": {}}}",
+            json_escape(dataset),
+            fmt_f64(pre),
+            fmt_f64(*now),
+            fmt_f64(ratio),
+        ));
+        if ratio.is_finite() {
+            println!("\n  prop_sparse speedup on {dataset}: {ratio:.2}x vs pre-change baseline");
+        }
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema_version\": 1,\n",
+            "  \"generated_by\": \"bench_baseline\",\n",
+            "  \"scale\": \"{}\",\n",
+            "  \"seed\": {},\n",
+            "  \"sample_interval\": {},\n",
+            "  \"workloads\": [\n    {}\n  ],\n",
+            "  \"prop_sparse_reference\": {{\n",
+            "    \"description\": \"pre-optimisation proportional-sparse throughput, ",
+            "measured at the PR 1 tree (commit a14c5bc) with TIN_SCALE=small TIN_SEED=42\",\n",
+            "    \"entries\": [\n      {}\n    ]\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        scale_key,
+        seed,
+        SAMPLE_INTERVAL,
+        workload_blobs.join(",\n    "),
+        speedups.join(",\n      "),
+    );
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("\nwrote {out_path}");
+}

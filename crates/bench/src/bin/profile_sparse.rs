@@ -1,0 +1,190 @@
+//! Temporary profiling harness: pre-change (PR 1) vs current sparse kernels.
+use std::time::Instant;
+use tin_bench::Workload;
+use tin_core::ids::Origin;
+use tin_core::quantity::{qty_clamp_non_negative, qty_ge, qty_is_zero};
+use tin_core::sparse_vec::SparseProvenance;
+use tin_datasets::{DatasetKind, ScaleProfile};
+
+type E = (Origin, f64);
+
+/// The PR 1 merge: fresh allocation per merge.
+fn old_merge_add_scaled(dst: &mut Vec<E>, src: &[E], factor: f64) {
+    if src.is_empty() || qty_is_zero(factor) {
+        return;
+    }
+    let mut merged = Vec::with_capacity(dst.len() + src.len());
+    let mut i = 0;
+    let mut j = 0;
+    while i < dst.len() && j < src.len() {
+        let (ao, aq) = dst[i];
+        let (bo, bq) = src[j];
+        match ao.cmp(&bo) {
+            std::cmp::Ordering::Less => {
+                merged.push((ao, aq));
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                let q = factor * bq;
+                if !qty_is_zero(q) {
+                    merged.push((bo, q));
+                }
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                let q = aq + factor * bq;
+                if !qty_is_zero(q) {
+                    merged.push((ao, q));
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    merged.extend_from_slice(&dst[i..]);
+    for &(bo, bq) in &src[j..] {
+        let q = factor * bq;
+        if !qty_is_zero(q) {
+            merged.push((bo, q));
+        }
+    }
+    *dst = merged;
+}
+
+fn old_scale(v: &mut Vec<E>, factor: f64) {
+    if qty_is_zero(factor) {
+        v.clear();
+        return;
+    }
+    for (_, q) in v.iter_mut() {
+        *q *= factor;
+    }
+    v.retain(|(_, q)| !qty_is_zero(*q));
+}
+
+fn old_add(v: &mut Vec<E>, origin: Origin, qty: f64) {
+    if qty_is_zero(qty) {
+        return;
+    }
+    match v.binary_search_by(|(o, _)| o.cmp(&origin)) {
+        Ok(i) => v[i].1 += qty,
+        Err(i) => v.insert(i, (origin, qty)),
+    }
+}
+
+fn old_pass(w: &Workload) -> usize {
+    let n = w.num_vertices;
+    let mut vectors: Vec<Vec<E>> = (0..n).map(|_| Vec::new()).collect();
+    let mut totals = vec![0.0f64; n];
+    for r in &w.interactions {
+        let s = r.src.index();
+        let d = r.dst.index();
+        let (src_vec, dst_vec) = if s < d {
+            let (a, b) = vectors.split_at_mut(d);
+            (&mut a[s], &mut b[0])
+        } else {
+            let (a, b) = vectors.split_at_mut(s);
+            (&mut b[0], &mut a[d])
+        };
+        let src_total = totals[s];
+        if qty_ge(r.qty, src_total) {
+            old_merge_add_scaled(dst_vec, src_vec, 1.0);
+            src_vec.clear();
+            let newborn = qty_clamp_non_negative(r.qty - src_total);
+            if newborn > 0.0 {
+                old_add(dst_vec, Origin::Vertex(r.src), newborn);
+            }
+            totals[d] += r.qty;
+            totals[s] = 0.0;
+        } else {
+            let factor = r.qty / src_total;
+            old_merge_add_scaled(dst_vec, src_vec, factor);
+            old_scale(src_vec, 1.0 - factor);
+            totals[d] += r.qty;
+            totals[s] = qty_clamp_non_negative(src_total - r.qty);
+        }
+    }
+    vectors.iter().map(|v| v.len()).sum()
+}
+
+fn new_pass(w: &Workload) -> usize {
+    let n = w.num_vertices;
+    let mut vectors: Vec<SparseProvenance> = (0..n).map(|_| SparseProvenance::new()).collect();
+    let mut totals = vec![0.0f64; n];
+    for r in &w.interactions {
+        let s = r.src.index();
+        let d = r.dst.index();
+        let (src_vec, dst_vec) = if s < d {
+            let (a, b) = vectors.split_at_mut(d);
+            (&mut a[s], &mut b[0])
+        } else {
+            let (a, b) = vectors.split_at_mut(s);
+            (&mut b[0], &mut a[d])
+        };
+        let src_total = totals[s];
+        if qty_ge(r.qty, src_total) {
+            dst_vec.take_all_from(src_vec);
+            let newborn = qty_clamp_non_negative(r.qty - src_total);
+            if newborn > 0.0 {
+                dst_vec.add_vertex(r.src, newborn);
+            }
+            totals[d] += r.qty;
+            totals[s] = 0.0;
+        } else {
+            let factor = r.qty / src_total;
+            dst_vec.transfer_from(src_vec, factor);
+            totals[d] += r.qty;
+            totals[s] = qty_clamp_non_negative(src_total - r.qty);
+        }
+    }
+    vectors.iter().map(|v| v.len()).sum()
+}
+
+fn measure<F: FnMut() -> usize>(mut f: F, min_secs: f64) -> (f64, usize) {
+    let mut passes = 0u32;
+    let mut sink = 0;
+    let start = Instant::now();
+    loop {
+        sink += f();
+        passes += 1;
+        if start.elapsed().as_secs_f64() >= min_secs {
+            break;
+        }
+    }
+    (start.elapsed().as_secs_f64() / f64::from(passes), sink)
+}
+
+fn main() {
+    for kind in [DatasetKind::Taxis, DatasetKind::Bitcoin] {
+        let w = Workload::generate(kind, ScaleProfile::Small);
+        let reps = if w.interactions.len() > 50_000 { 3 } else { 5 };
+        // Interleave the two kernels within every rep so slow drift in the
+        // machine (noisy neighbours, throttling) hits both sides equally.
+        let mut old_secs = f64::INFINITY;
+        let mut new_secs = f64::INFINITY;
+        let mut old_entries = 0;
+        let mut new_entries = 0;
+        for _ in 0..reps {
+            let (secs, entries) = measure(|| old_pass(&w), 0.05);
+            if secs < old_secs {
+                old_secs = secs;
+            }
+            old_entries = entries;
+            let (secs, entries) = measure(|| new_pass(&w), 0.05);
+            if secs < new_secs {
+                new_secs = secs;
+            }
+            new_entries = entries;
+        }
+        let n = w.interactions.len() as f64;
+        println!(
+            "{}: old {:.0} it/s ({} entries) | new {:.0} it/s ({} entries) | speedup {:.2}x",
+            kind.key(),
+            n / old_secs,
+            old_entries,
+            n / new_secs,
+            new_entries,
+            old_secs / new_secs
+        );
+    }
+}

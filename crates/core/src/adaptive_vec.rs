@@ -1,0 +1,734 @@
+//! Adaptive provenance vectors: sparse lists that promote themselves to
+//! dense SIMD vectors at runtime.
+//!
+//! Section 4.3 of the paper presents dense `|V|`-length vectors and sparse
+//! ordered lists as a *compile-time* choice between two trackers: dense
+//! vectors win on small, well-mixed origin spaces (SIMD arithmetic, no
+//! branches), sparse lists win when each vertex sees few origins. On real
+//! streams the right answer varies per vertex and over time — hub vertices
+//! accumulate provenance from a large fraction of the network while leaf
+//! vertices stay near-empty.
+//!
+//! [`ProvenanceVec`] makes the choice a *runtime* decision per vector. Every
+//! vector starts as a [`SparseProvenance`] list; once its length crosses the
+//! promotion threshold of the tracker's [`AdaptiveParams`] (a fraction of
+//! `|V|`), it is promoted to a dense `Vec<f64>` indexed by origin slot and
+//! all arithmetic routes through the [`crate::simd`] kernels. Scope-limiting
+//! operations demote back to sparse: a window reset
+//! ([`ProvenanceVec::reset_to_unknown`]) or a budget shrink
+//! ([`ProvenanceVec::shrink_keep_largest_with`]) leaves at most a handful of
+//! entries, so the list representation wins again.
+//!
+//! The dense slot layout over a `|V|`-vertex network is `|V| + 2` slots:
+//! slot `v` for [`Origin::Vertex`]`(v)`, slot `|V|` for
+//! [`Origin::Untracked`], slot `|V|+1` for [`Origin::Unknown`] — ascending
+//! slot order equals ascending [`Origin`] order, so promotion and demotion
+//! are single ordered passes. Group origins (Section 5.2) never occur in the
+//! trackers that use this type; if one is ever added to a dense vector the
+//! vector safely demotes itself back to a list.
+
+use crate::ids::{Origin, VertexId};
+use crate::memory::{vec_bytes, MemoryFootprint};
+use crate::origins::OriginSet;
+use crate::quantity::{qty_is_zero, Quantity};
+use crate::simd;
+use crate::sparse_vec::{MergeScratch, SparseProvenance};
+
+thread_local! {
+    /// Reusable scratch list for the dense-source → sparse-destination
+    /// transfer path: the scaled dense slots are materialised here (bulk
+    /// load into a warmed buffer, no per-interaction allocation) before an
+    /// in-place merge into the destination.
+    static TMP_SPARSE: std::cell::RefCell<SparseProvenance> =
+        std::cell::RefCell::new(SparseProvenance::new());
+}
+
+/// Default promotion threshold: promote a vector once its list holds more
+/// than this fraction of the origin space (see
+/// [`crate::policy::PolicyConfig::AdaptiveProportional`]). At 0.5 a
+/// promoted vector is no larger than the list it replaces (8-byte dense
+/// slots vs 16-byte list entries), so the default never trades memory for
+/// speed; lower thresholds promote earlier and bet on SIMD merges, higher
+/// ones stay sparse longer.
+pub const DEFAULT_DENSE_THRESHOLD: f64 = 0.5;
+
+/// A list never promotes below this length, whatever the threshold says —
+/// tiny dense vectors would only add promote/demote churn.
+const MIN_PROMOTE_LEN: usize = 4;
+
+/// Per-tracker adaptivity configuration shared by all of its vectors.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdaptiveParams {
+    /// Dense dimension (`|V| + 2`), or 0 when promotion is disabled.
+    dense_dim: usize,
+    /// List length at which a sparse vector promotes; `usize::MAX` disables
+    /// promotion.
+    promote_len: usize,
+}
+
+impl AdaptiveParams {
+    /// Promotion disabled: vectors stay sparse forever (the paper's plain
+    /// sparse representation).
+    pub fn sparse_only() -> Self {
+        AdaptiveParams {
+            dense_dim: 0,
+            promote_len: usize::MAX,
+        }
+    }
+
+    /// Adaptive representation over `num_vertices` vertices: promote once a
+    /// list holds at least `dense_threshold · num_vertices` entries.
+    ///
+    /// # Errors
+    /// Returns [`crate::TinError::InvalidConfig`] unless
+    /// `0 < dense_threshold ≤ 1`.
+    pub fn new(num_vertices: usize, dense_threshold: f64) -> crate::Result<Self> {
+        if !(dense_threshold.is_finite() && 0.0 < dense_threshold && dense_threshold <= 1.0) {
+            return Err(crate::TinError::InvalidConfig(format!(
+                "adaptive dense threshold must be in (0, 1], got {dense_threshold}"
+            )));
+        }
+        let promote_len =
+            ((num_vertices as f64 * dense_threshold).ceil() as usize).max(MIN_PROMOTE_LEN);
+        Ok(AdaptiveParams {
+            dense_dim: num_vertices + 2,
+            promote_len,
+        })
+    }
+
+    /// True if vectors governed by these parameters may promote to dense.
+    pub fn promotion_enabled(&self) -> bool {
+        self.promote_len != usize::MAX
+    }
+
+    /// The list length at which promotion fires.
+    pub fn promote_len(&self) -> usize {
+        self.promote_len
+    }
+}
+
+/// Dense slot index of an origin, if it is representable.
+#[inline]
+fn slot_for(origin: Origin, dim: usize) -> Option<usize> {
+    match origin {
+        Origin::Vertex(v) if v.index() < dim - 2 => Some(v.index()),
+        Origin::Untracked => Some(dim - 2),
+        Origin::Unknown => Some(dim - 1),
+        _ => None,
+    }
+}
+
+/// Origin represented by a dense slot (inverse of [`slot_for`]).
+#[inline]
+fn origin_for(slot: usize, dim: usize) -> Origin {
+    if slot == dim - 1 {
+        Origin::Unknown
+    } else if slot == dim - 2 {
+        Origin::Untracked
+    } else {
+        Origin::Vertex(VertexId::from(slot))
+    }
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Repr {
+    Sparse(SparseProvenance),
+    Dense(Vec<Quantity>),
+}
+
+/// A provenance vector whose representation adapts at runtime (see the
+/// module docs).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProvenanceVec {
+    repr: Repr,
+}
+
+impl Default for ProvenanceVec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProvenanceVec {
+    /// Create an empty vector (sparse representation).
+    pub fn new() -> Self {
+        ProvenanceVec {
+            repr: Repr::Sparse(SparseProvenance::new()),
+        }
+    }
+
+    /// Wrap an existing sparse list.
+    pub fn from_sparse(sparse: SparseProvenance) -> Self {
+        ProvenanceVec {
+            repr: Repr::Sparse(sparse),
+        }
+    }
+
+    /// True if this vector currently uses the dense representation.
+    pub fn is_dense(&self) -> bool {
+        matches!(self.repr, Repr::Dense(_))
+    }
+
+    /// Number of non-zero entries (the sparse list length ℓ). O(1) for the
+    /// sparse representation, O(dim) for the dense one.
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Sparse(s) => s.len(),
+            Repr::Dense(values) => values.iter().filter(|&&q| !qty_is_zero(q)).count(),
+        }
+    }
+
+    /// True if the vector holds no quantity at all.
+    pub fn is_empty(&self) -> bool {
+        match &self.repr {
+            Repr::Sparse(s) => s.is_empty(),
+            Repr::Dense(values) => values.iter().all(|&q| qty_is_zero(q)),
+        }
+    }
+
+    /// Total represented quantity.
+    pub fn total(&self) -> Quantity {
+        match &self.repr {
+            Repr::Sparse(s) => s.total(),
+            Repr::Dense(values) => simd::sum(values),
+        }
+    }
+
+    /// Quantity attributed to `origin` (0 if absent).
+    pub fn get(&self, origin: Origin) -> Quantity {
+        match &self.repr {
+            Repr::Sparse(s) => s.get(origin),
+            Repr::Dense(values) => slot_for(origin, values.len()).map_or(0.0, |slot| values[slot]),
+        }
+    }
+
+    /// Quantity attributed to a concrete origin vertex.
+    pub fn get_vertex(&self, v: VertexId) -> Quantity {
+        self.get(Origin::Vertex(v))
+    }
+
+    /// Add `qty` to the entry for `origin`.
+    pub fn add(&mut self, origin: Origin, qty: Quantity) {
+        if qty_is_zero(qty) {
+            return;
+        }
+        match &mut self.repr {
+            Repr::Sparse(s) => {
+                s.add(origin, qty);
+                return;
+            }
+            Repr::Dense(values) => {
+                if let Some(slot) = slot_for(origin, values.len()) {
+                    values[slot] += qty;
+                    return;
+                }
+            }
+        }
+        // Unrepresentable origin (a group) in a dense vector: fall back to
+        // the sparse list, which can hold any origin.
+        self.demote();
+        self.add(origin, qty);
+    }
+
+    /// Add `qty` to the entry for a concrete vertex origin.
+    pub fn add_vertex(&mut self, v: VertexId, qty: Quantity) {
+        self.add(Origin::Vertex(v), qty);
+    }
+
+    /// Demote a dense destination whose sparse source holds an origin the
+    /// dense slot layout cannot represent (a group).
+    fn demote_if_unrepresentable(&mut self, src: &ProvenanceVec) {
+        let must_demote = match (&self.repr, &src.repr) {
+            (Repr::Dense(d), Repr::Sparse(s)) => {
+                s.iter().any(|(o, _)| slot_for(o, d.len()).is_none())
+            }
+            _ => false,
+        };
+        if must_demote {
+            self.demote();
+        }
+    }
+
+    /// Full relay (Algorithm 3 lines 5–7): `self ⊕= src; src = 0`.
+    ///
+    /// Sparse/sparse pairs swap or merge in place without allocating. An
+    /// empty sparse destination takes over a dense source by swapping
+    /// representations (O(1), no allocation); a non-empty sparse destination
+    /// promotes first — justified, because a full relay hands it *all* of
+    /// the dense source's entries.
+    pub fn take_all_from(&mut self, src: &mut ProvenanceVec) {
+        if let (Repr::Sparse(dst), Repr::Dense(s)) = (&self.repr, &src.repr) {
+            if dst.is_empty() {
+                std::mem::swap(&mut self.repr, &mut src.repr);
+                return;
+            }
+            let dim = s.len();
+            if !self.promote_to(dim) {
+                // Destination holds a group origin: demote the source.
+                src.demote();
+            }
+        }
+        self.demote_if_unrepresentable(src);
+        match (&mut self.repr, &mut src.repr) {
+            (Repr::Sparse(dst), Repr::Sparse(s)) => dst.take_all_from(s),
+            (Repr::Dense(dst), Repr::Sparse(s)) => {
+                let dim = dst.len();
+                for (o, q) in s.iter() {
+                    dst[slot_for(o, dim).expect("representability checked above")] += q;
+                }
+                s.clear();
+            }
+            (Repr::Dense(dst), Repr::Dense(s)) => {
+                debug_assert_eq!(dst.len(), s.len(), "mismatched dense dimensions");
+                simd::add_assign(dst, s);
+                simd::clear(s);
+            }
+            (Repr::Sparse(_), Repr::Dense(_)) => {
+                unreachable!("the sparse-dst/dense-src case is resolved above")
+            }
+        }
+    }
+
+    /// Proportional split (Algorithm 3 lines 8–10): `self ⊕= factor·src;
+    /// src ⊖= factor·src`. Mass is conserved exactly on both
+    /// representations (the sparse side folds epsilon-dropped entries into
+    /// α, the dense side never drops).
+    pub fn transfer_from(&mut self, src: &mut ProvenanceVec, factor: f64) {
+        debug_assert!(
+            (0.0..=1.0 + 1e-12).contains(&factor),
+            "transfer fraction must be in [0,1], got {factor}"
+        );
+        // A sparse destination is never promoted pre-emptively for a
+        // proportional transfer: with a small factor, most scaled entries
+        // drop below the epsilon and the destination may end up holding only
+        // a handful of entries — inflating it to `|V| + 2` dense slots up
+        // front would spread the dense representation virally through the
+        // network. Instead the scaled source is streamed into the sparse
+        // list, and the *tracker* decides promotion afterwards from the
+        // actual list length (`maybe_promote`).
+        if let (Repr::Sparse(_), Repr::Dense(values)) = (&self.repr, &src.repr) {
+            let dim = values.len();
+            let mut dropped = 0.0;
+            TMP_SPARSE.with(|cell| {
+                let mut tmp = cell.borrow_mut();
+                tmp.clear();
+                // Slots are visited in ascending order, so this hits
+                // `add_many`'s sorted bulk-load fast path: O(nnz), no sort,
+                // and the warmed buffer means no allocation either.
+                tmp.add_many(values.iter().enumerate().filter_map(|(slot, &v)| {
+                    let q = factor * v;
+                    if qty_is_zero(q) {
+                        // The source still gives up factor·v for this slot
+                        // (it is scaled by 1−factor below), so the share the
+                        // destination cannot represent must fold into α —
+                        // sub-epsilon *slots* included.
+                        dropped += q;
+                        None
+                    } else {
+                        Some((origin_for(slot, dim), q))
+                    }
+                }));
+                if let Repr::Sparse(dst) = &mut self.repr {
+                    dst.merge_add(&tmp);
+                    dst.fold_into_unknown(dropped);
+                }
+            });
+            src.scale(1.0 - factor);
+            return;
+        }
+        self.demote_if_unrepresentable(src);
+        match (&mut self.repr, &mut src.repr) {
+            (Repr::Sparse(dst), Repr::Sparse(s)) => dst.transfer_from(s, factor),
+            (Repr::Dense(dst), Repr::Sparse(s)) => {
+                let dim = dst.len();
+                for (o, q) in s.iter() {
+                    dst[slot_for(o, dim).expect("representability checked above")] += factor * q;
+                }
+                s.scale(1.0 - factor);
+            }
+            (Repr::Dense(dst), Repr::Dense(s)) => {
+                debug_assert_eq!(dst.len(), s.len(), "mismatched dense dimensions");
+                simd::add_scaled(dst, s, factor);
+                simd::scale(s, 1.0 - factor);
+            }
+            (Repr::Sparse(_), Repr::Dense(_)) => {
+                unreachable!("the sparse-dst/dense-src case is resolved above")
+            }
+        }
+    }
+
+    /// Multiply every entry by `factor` (with α-folding on the sparse side).
+    pub fn scale(&mut self, factor: f64) {
+        match &mut self.repr {
+            Repr::Sparse(s) => s.scale(factor),
+            Repr::Dense(values) => simd::scale(values, factor),
+        }
+    }
+
+    /// Remove all quantity. The representation is kept (a cleared dense
+    /// vector is likely to refill densely).
+    pub fn clear(&mut self) {
+        match &mut self.repr {
+            Repr::Sparse(s) => s.clear(),
+            Repr::Dense(values) => simd::clear(values),
+        }
+    }
+
+    /// Replace the whole vector by a single `(α, total)` entry — the window
+    /// reset of Section 5.3.1. Always demotes to the sparse representation
+    /// (one entry does not need `|V| + 2` slots).
+    pub fn reset_to_unknown(&mut self, total: Quantity) {
+        let mut sparse =
+            match std::mem::replace(&mut self.repr, Repr::Sparse(SparseProvenance::new())) {
+                Repr::Sparse(s) => s,
+                Repr::Dense(_) => SparseProvenance::new(),
+            };
+        sparse.reset_to_unknown(total);
+        self.repr = Repr::Sparse(sparse);
+    }
+
+    /// Budget shrink (Section 5.3.2): keep the `keep` largest entries, fold
+    /// the rest into α, and demote to the sparse representation (the result
+    /// has at most `keep + 1` entries). Returns the folded quantity.
+    pub fn shrink_keep_largest_with(
+        &mut self,
+        keep: usize,
+        scratch: &mut MergeScratch,
+    ) -> Quantity {
+        self.demote();
+        match &mut self.repr {
+            Repr::Sparse(s) => s.shrink_keep_largest_with(keep, scratch),
+            Repr::Dense(_) => unreachable!("demote() always leaves a sparse representation"),
+        }
+    }
+
+    /// Promote a sparse vector to `dim` dense slots if every entry is
+    /// representable. Returns true if the vector is dense afterwards.
+    fn promote_to(&mut self, dim: usize) -> bool {
+        let sparse = match &self.repr {
+            Repr::Dense(_) => return true,
+            Repr::Sparse(s) => s,
+        };
+        if sparse.iter().any(|(o, _)| slot_for(o, dim).is_none()) {
+            return false;
+        }
+        let mut values = vec![0.0; dim];
+        for (o, q) in sparse.iter() {
+            values[slot_for(o, dim).expect("checked above")] += q;
+        }
+        self.repr = Repr::Dense(values);
+        true
+    }
+
+    /// Demote a dense vector back to a sparse list (no-op when already
+    /// sparse).
+    fn demote(&mut self) {
+        if let Repr::Dense(values) = &self.repr {
+            let dim = values.len();
+            let sparse: SparseProvenance = values
+                .iter()
+                .enumerate()
+                .filter(|(_, &q)| !qty_is_zero(q))
+                .map(|(slot, &q)| (origin_for(slot, dim), q))
+                .collect();
+            self.repr = Repr::Sparse(sparse);
+        }
+    }
+
+    /// Promote to dense if the list has crossed the threshold of `params`.
+    /// Called by trackers after every growth operation; a no-op for
+    /// sparse-only parameters or already-dense vectors.
+    #[inline]
+    pub fn maybe_promote(&mut self, params: &AdaptiveParams) {
+        if let Repr::Sparse(s) = &self.repr {
+            if s.len() >= params.promote_len {
+                self.promote_to(params.dense_dim);
+            }
+        }
+    }
+
+    /// Visit every non-zero `(origin, quantity)` entry in origin order.
+    pub fn for_each_entry(&self, mut f: impl FnMut(Origin, Quantity)) {
+        match &self.repr {
+            Repr::Sparse(s) => {
+                for (o, q) in s.iter() {
+                    f(o, q);
+                }
+            }
+            Repr::Dense(values) => {
+                let dim = values.len();
+                for (slot, &q) in values.iter().enumerate() {
+                    if !qty_is_zero(q) {
+                        f(origin_for(slot, dim), q);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collect the non-zero entries (cold paths only — allocates).
+    pub fn collect_entries(&self) -> Vec<(Origin, Quantity)> {
+        let mut out = Vec::with_capacity(self.len());
+        self.for_each_entry(|o, q| out.push((o, q)));
+        out
+    }
+
+    /// Convert to an [`OriginSet`] query answer.
+    pub fn to_origin_set(&self) -> OriginSet {
+        let mut pairs = Vec::new();
+        self.for_each_entry(|o, q| pairs.push((o, q)));
+        OriginSet::from_pairs(pairs)
+    }
+
+    /// Internal consistency check used by debug assertions and tests.
+    pub fn is_consistent(&self) -> bool {
+        match &self.repr {
+            Repr::Sparse(s) => s.is_consistent(),
+            Repr::Dense(values) => values.iter().all(|q| q.is_finite() && *q > -1e-9),
+        }
+    }
+}
+
+impl MemoryFootprint for ProvenanceVec {
+    fn footprint_bytes(&self) -> usize {
+        match &self.repr {
+            Repr::Sparse(s) => s.footprint_bytes(),
+            Repr::Dense(values) => vec_bytes(values),
+        }
+    }
+}
+
+impl FromIterator<(Origin, Quantity)> for ProvenanceVec {
+    fn from_iter<T: IntoIterator<Item = (Origin, Quantity)>>(iter: T) -> Self {
+        Self::from_sparse(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantity::qty_approx_eq;
+
+    fn ov(i: u32) -> Origin {
+        Origin::Vertex(VertexId::new(i))
+    }
+
+    fn params(n: usize, t: f64) -> AdaptiveParams {
+        AdaptiveParams::new(n, t).unwrap()
+    }
+
+    #[test]
+    fn params_validation() {
+        assert!(AdaptiveParams::new(10, 0.0).is_err());
+        assert!(AdaptiveParams::new(10, -0.5).is_err());
+        assert!(AdaptiveParams::new(10, 1.5).is_err());
+        assert!(AdaptiveParams::new(10, f64::NAN).is_err());
+        let p = params(100, 0.25);
+        assert!(p.promotion_enabled());
+        assert_eq!(p.promote_len(), 25);
+        assert!(!AdaptiveParams::sparse_only().promotion_enabled());
+        // Tiny networks still respect the minimum promotion length.
+        assert_eq!(params(4, 0.1).promote_len(), 4);
+    }
+
+    #[test]
+    fn starts_sparse_and_promotes_at_threshold() {
+        let p = params(16, 0.5); // promote at 8 entries
+        let mut v = ProvenanceVec::new();
+        for i in 0..7u32 {
+            v.add(ov(i), 1.0);
+            v.maybe_promote(&p);
+            assert!(!v.is_dense(), "must stay sparse below the threshold");
+        }
+        v.add(ov(7), 1.0);
+        v.maybe_promote(&p);
+        assert!(v.is_dense());
+        assert_eq!(v.len(), 8);
+        assert!(qty_approx_eq(v.total(), 8.0));
+        assert!(qty_approx_eq(v.get(ov(3)), 1.0));
+        assert!(v.is_consistent());
+    }
+
+    #[test]
+    fn sparse_only_never_promotes() {
+        let p = AdaptiveParams::sparse_only();
+        let mut v = ProvenanceVec::new();
+        for i in 0..1000u32 {
+            v.add(ov(i), 1.0);
+            v.maybe_promote(&p);
+        }
+        assert!(!v.is_dense());
+        assert_eq!(v.len(), 1000);
+    }
+
+    #[test]
+    fn dense_and_sparse_agree_on_all_ops() {
+        let p = params(32, 0.1);
+        // Build identical contents in a promoted and an unpromoted vector.
+        let pairs: Vec<(Origin, Quantity)> = (0..16u32)
+            .map(|i| (ov(i), (i + 1) as f64))
+            .chain([(Origin::Unknown, 2.5), (Origin::Untracked, 1.25)])
+            .collect();
+        let mut dense: ProvenanceVec = pairs.iter().copied().collect();
+        dense.maybe_promote(&p);
+        assert!(dense.is_dense());
+        let sparse: ProvenanceVec = pairs.iter().copied().collect();
+        assert!(!sparse.is_dense());
+
+        assert!(qty_approx_eq(dense.total(), sparse.total()));
+        assert_eq!(dense.len(), sparse.len());
+        for (o, _) in &pairs {
+            assert!(qty_approx_eq(dense.get(*o), sparse.get(*o)), "{o:?}");
+        }
+        assert!(dense.to_origin_set().approx_eq(&sparse.to_origin_set()));
+
+        // Proportional transfer out of each; destinations must agree.
+        let mut dense_src = dense.clone();
+        let mut sparse_src = sparse.clone();
+        let mut dense_dst = ProvenanceVec::new();
+        let mut sparse_dst = ProvenanceVec::new();
+        dense_dst.transfer_from(&mut dense_src, 0.4);
+        sparse_dst.transfer_from(&mut sparse_src, 0.4);
+        assert!(dense_dst
+            .to_origin_set()
+            .approx_eq(&sparse_dst.to_origin_set()));
+        assert!(qty_approx_eq(dense_src.total(), sparse_src.total()));
+
+        // Full relay; sources must end empty.
+        let mut dense_dst2 = ProvenanceVec::new();
+        dense_dst2.take_all_from(&mut dense_src);
+        assert!(dense_src.is_empty());
+        let mut sparse_dst2 = ProvenanceVec::new();
+        sparse_dst2.take_all_from(&mut sparse_src);
+        assert!(sparse_src.is_empty());
+        assert!(dense_dst2
+            .to_origin_set()
+            .approx_eq(&sparse_dst2.to_origin_set()));
+    }
+
+    #[test]
+    fn reset_and_shrink_demote() {
+        let p = params(8, 0.5);
+        let mut scratch = MergeScratch::new();
+        let mut v: ProvenanceVec = (0..8u32).map(|i| (ov(i), (i + 1) as f64)).collect();
+        v.maybe_promote(&p);
+        assert!(v.is_dense());
+        let removed = v.shrink_keep_largest_with(2, &mut scratch);
+        assert!(!v.is_dense(), "shrink demotes back to sparse");
+        assert!(removed > 0.0);
+        assert_eq!(v.len(), 3); // 2 kept + α
+        assert!(qty_approx_eq(v.total(), 36.0));
+
+        let mut w: ProvenanceVec = (0..8u32).map(|i| (ov(i), 1.0)).collect();
+        w.maybe_promote(&p);
+        assert!(w.is_dense());
+        w.reset_to_unknown(8.0);
+        assert!(!w.is_dense(), "window reset demotes back to sparse");
+        assert_eq!(w.len(), 1);
+        assert!(qty_approx_eq(w.get(Origin::Unknown), 8.0));
+    }
+
+    #[test]
+    fn group_origins_fall_back_to_sparse() {
+        let p = params(8, 0.1);
+        let mut v: ProvenanceVec = (0..6u32).map(|i| (ov(i), 1.0)).collect();
+        v.maybe_promote(&p);
+        assert!(v.is_dense());
+        v.add(Origin::Group(crate::ids::GroupId::new(3)), 2.0);
+        assert!(!v.is_dense(), "unrepresentable origin demotes");
+        assert!(qty_approx_eq(v.total(), 8.0));
+        assert!(v.is_consistent());
+        // A vector holding a group origin refuses promotion but still merges.
+        let mut dense_src: ProvenanceVec = (0..6u32).map(|i| (ov(i), 1.0)).collect();
+        dense_src.maybe_promote(&p);
+        v.take_all_from(&mut dense_src);
+        assert!(qty_approx_eq(v.total(), 14.0));
+        assert!(v.is_consistent());
+    }
+
+    #[test]
+    fn mixed_representation_transfers() {
+        let p = params(16, 0.25);
+        // Dense destination, sparse source.
+        let mut dst: ProvenanceVec = (0..8u32).map(|i| (ov(i), 1.0)).collect();
+        dst.maybe_promote(&p);
+        let mut src: ProvenanceVec = vec![(ov(2), 4.0), (ov(12), 2.0)].into_iter().collect();
+        let before = dst.total() + src.total();
+        dst.transfer_from(&mut src, 0.5);
+        assert!(qty_approx_eq(dst.total() + src.total(), before));
+        assert!(qty_approx_eq(dst.get(ov(2)), 3.0));
+        assert!(qty_approx_eq(src.get(ov(12)), 1.0));
+
+        // Sparse destination, dense source: destination promotes.
+        let mut dense_src: ProvenanceVec = (0..8u32).map(|i| (ov(i), 2.0)).collect();
+        dense_src.maybe_promote(&p);
+        assert!(dense_src.is_dense());
+        let mut sparse_dst: ProvenanceVec = vec![(ov(1), 1.0)].into_iter().collect();
+        sparse_dst.take_all_from(&mut dense_src);
+        assert!(sparse_dst.is_dense());
+        assert!(dense_src.is_empty());
+        assert!(qty_approx_eq(sparse_dst.total(), 17.0));
+    }
+
+    #[test]
+    fn footprint_reflects_representation() {
+        let p = params(64, 0.1);
+        let mut v: ProvenanceVec = (0..7u32).map(|i| (ov(i), 1.0)).collect();
+        let sparse_bytes = v.footprint_bytes();
+        v.maybe_promote(&p);
+        assert!(v.is_dense());
+        // 66 dense slots outweigh 7 sparse entries.
+        assert!(v.footprint_bytes() > sparse_bytes);
+        assert_eq!(v.footprint_bytes(), 66 * std::mem::size_of::<f64>());
+    }
+
+    /// Regression (PR 2 review): the dense representation must not spread
+    /// virally. A proportional transfer out of a dense hub streams into a
+    /// sparse destination (which only promotes later, on its own length),
+    /// and a full relay into an *empty* destination is a representation
+    /// swap, not a fresh dense allocation.
+    #[test]
+    fn transfers_do_not_promote_small_destinations() {
+        let p = params(16, 0.5); // promote at 8 entries
+        let mut hub: ProvenanceVec = (0..10u32).map(|i| (ov(i), 100.0)).collect();
+        hub.maybe_promote(&p);
+        assert!(hub.is_dense());
+
+        // Tiny transfer into a near-empty leaf: the leaf stays sparse.
+        let mut leaf: ProvenanceVec = vec![(ov(12), 1.0)].into_iter().collect();
+        let before = hub.total() + leaf.total();
+        leaf.transfer_from(&mut hub, 0.01);
+        assert!(!leaf.is_dense(), "a 1%% transfer must not densify the leaf");
+        assert!(qty_approx_eq(leaf.total() + hub.total(), before));
+        assert!(leaf.is_consistent() && hub.is_consistent());
+
+        // Sub-epsilon dense slots: the transferred share of dust slots must
+        // fold into the destination's α, not vanish (the source is scaled
+        // down regardless).
+        let mut dusty: ProvenanceVec = (0..10u32).map(|i| (ov(i), 1.0)).collect();
+        dusty.maybe_promote(&p);
+        assert!(dusty.is_dense());
+        dusty.scale(1e-7); // every slot is now far below the epsilon
+        let dust_total = dusty.total();
+        let mut dst = ProvenanceVec::new();
+        dst.transfer_from(&mut dusty, 0.5);
+        assert!(
+            ((dst.total() + dusty.total()) - dust_total).abs() < 1e-15,
+            "dust transfer leaked mass: {} + {} vs {}",
+            dst.total(),
+            dusty.total(),
+            dust_total
+        );
+
+        // Full relay into an empty vector: representations swap.
+        let mut empty = ProvenanceVec::new();
+        let hub_total = hub.total();
+        empty.take_all_from(&mut hub);
+        assert!(
+            empty.is_dense(),
+            "the relay target takes over the dense buffer"
+        );
+        assert!(!hub.is_dense() && hub.is_empty());
+        assert!(qty_approx_eq(empty.total(), hub_total));
+    }
+}

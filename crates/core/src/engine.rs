@@ -48,6 +48,11 @@ pub struct EngineReport {
     pub relayed_quantity: Quantity,
     /// Logical provenance footprint at the end of the run.
     pub footprint: FootprintBreakdown,
+    /// Peak logical provenance footprint observed during the run (sampled
+    /// every [`ProvenanceEngine::FOOTPRINT_SAMPLE_INTERVAL`] interactions, so
+    /// short-lived spikes between samples may be missed). At least as large
+    /// as `footprint.total()`.
+    pub peak_footprint_bytes: usize,
     /// Number of checkpoints recorded during the run.
     pub checkpoints_taken: usize,
 }
@@ -85,10 +90,19 @@ pub struct ProvenanceEngine {
     processed: usize,
     total_quantity: Quantity,
     newborn_quantity: Quantity,
+    peak_footprint_bytes: usize,
     busy_secs: f64,
 }
 
 impl ProvenanceEngine {
+    /// Minimum number of interactions between two peak-footprint samples.
+    /// Footprint computation is O(|V|), so the actual interval scales with
+    /// the vertex count (`max(1024, |V|/64)`) to keep the amortised
+    /// accounting overhead bounded by a small constant per interaction —
+    /// provenance footprints grow smoothly, so coarser sampling on huge
+    /// graphs loses almost nothing.
+    pub const FOOTPRINT_SAMPLE_INTERVAL: usize = 1024;
+
     /// Build an engine for a policy configuration over `num_vertices`
     /// vertices.
     ///
@@ -106,6 +120,7 @@ impl ProvenanceEngine {
             processed: 0,
             total_quantity: 0.0,
             newborn_quantity: 0.0,
+            peak_footprint_bytes: 0,
             busy_secs: 0.0,
         })
     }
@@ -189,6 +204,12 @@ impl ProvenanceEngine {
 
         self.last_time = Some(r.time.0);
         self.processed += 1;
+        let sample_every = Self::FOOTPRINT_SAMPLE_INTERVAL.max(self.num_vertices / 64);
+        if self.processed.is_multiple_of(sample_every) {
+            self.peak_footprint_bytes = self
+                .peak_footprint_bytes
+                .max(self.tracker.footprint().total());
+        }
         if let Some(interval) = self.checkpoint_interval {
             if self.processed.is_multiple_of(interval) {
                 self.checkpoints
@@ -216,6 +237,7 @@ impl ProvenanceEngine {
 
     /// The report for everything processed so far.
     pub fn report(&self) -> EngineReport {
+        let footprint = self.tracker.footprint();
         EngineReport {
             policy: self.policy_key.clone(),
             interactions: self.processed,
@@ -223,7 +245,8 @@ impl ProvenanceEngine {
             total_quantity: self.total_quantity,
             newborn_quantity: self.newborn_quantity,
             relayed_quantity: self.total_quantity - self.newborn_quantity,
-            footprint: self.tracker.footprint(),
+            peak_footprint_bytes: self.peak_footprint_bytes.max(footprint.total()),
+            footprint,
             checkpoints_taken: self.checkpoints.len(),
         }
     }
@@ -289,6 +312,8 @@ mod tests {
         assert!(qty_approx_eq(report.relayed_quantity, 12.0));
         assert!((report.newborn_fraction() - 9.0 / 21.0).abs() < 1e-9);
         assert!(report.footprint.total() > 0);
+        // Peak footprint is sampled (and floored at the final footprint).
+        assert!(report.peak_footprint_bytes >= report.footprint.total());
         // Buffered totals match Table 2's final row.
         assert!(qty_approx_eq(engine.buffered(v(0)), 3.0));
         assert!(qty_approx_eq(engine.buffered(v(1)), 2.0));

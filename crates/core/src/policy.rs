@@ -127,6 +127,17 @@ pub enum PolicyConfig {
         /// Window duration D in time units.
         duration: f64,
     },
+    /// Proportional provenance with the runtime-adaptive representation of
+    /// [`crate::adaptive_vec`]: every vector starts as a sparse list and
+    /// promotes to a dense SIMD vector once its length reaches
+    /// `dense_threshold · |V|` (demoting again on window resets and budget
+    /// shrinks). Semantically identical to the plain proportional policies;
+    /// only the representation — and therefore the cost profile — differs.
+    AdaptiveProportional {
+        /// List density (fraction of `|V|`, in `(0, 1]`) at which a vector
+        /// switches to the dense representation.
+        dense_threshold: f64,
+    },
     /// Budget-based proportional provenance (Section 5.3.2) over sparse lists.
     Budgeted {
         /// Maximum number of provenance entries per vertex (budget C).
@@ -162,6 +173,9 @@ impl PolicyConfig {
             PolicyConfig::Grouped { num_groups, .. } => format!("grouped_m{num_groups}"),
             PolicyConfig::Windowed { window } => format!("windowed_w{window}"),
             PolicyConfig::TimeWindowed { duration } => format!("timewindowed_d{duration}"),
+            PolicyConfig::AdaptiveProportional { dense_threshold } => {
+                format!("prop_adaptive_t{dense_threshold}")
+            }
             PolicyConfig::Budgeted { capacity, .. } => format!("budget_c{capacity}"),
             PolicyConfig::PathTracking { lifo } => {
                 format!("paths_{}", if *lifo { "lifo" } else { "fifo" })
@@ -169,6 +183,15 @@ impl PolicyConfig {
             PolicyConfig::GenerationPaths { most_recent } => {
                 format!("paths_{}", if *most_recent { "mrb" } else { "lrb" })
             }
+        }
+    }
+
+    /// Default adaptive-representation proportional configuration
+    /// (promotion at the [`crate::adaptive_vec::DEFAULT_DENSE_THRESHOLD`]
+    /// list density).
+    pub fn adaptive() -> Self {
+        PolicyConfig::AdaptiveProportional {
+            dense_threshold: crate::adaptive_vec::DEFAULT_DENSE_THRESHOLD,
         }
     }
 
@@ -235,6 +258,14 @@ mod tests {
             "timewindowed_d3.5"
         );
         assert_eq!(PolicyConfig::budget(50).key(), "budget_c50");
+        assert_eq!(
+            PolicyConfig::AdaptiveProportional {
+                dense_threshold: 0.5
+            }
+            .key(),
+            "prop_adaptive_t0.5"
+        );
+        assert_eq!(PolicyConfig::adaptive().key(), "prop_adaptive_t0.5");
         assert_eq!(
             PolicyConfig::PathTracking { lifo: true }.key(),
             "paths_lifo"

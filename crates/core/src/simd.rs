@@ -7,6 +7,25 @@
 //! fixed-size chunks with simple, dependency-free loops that LLVM reliably
 //! auto-vectorises in release builds. (Explicit `std::simd` is still unstable
 //! and platform intrinsics would violate the no-extra-dependency rule.)
+//!
+//! ## Who runs on these kernels
+//!
+//! Three provenance representations route their arithmetic through this
+//! module:
+//!
+//! * [`crate::dense_vec::DenseProvenance`] — the paper's fixed dense
+//!   vectors (full proportional, selective, grouped tracking);
+//! * the dense half of [`crate::adaptive_vec::ProvenanceVec`] — vectors
+//!   that *promoted themselves* at runtime because their sparse list grew
+//!   past the configured density threshold. For those, `add_assign` /
+//!   `add_scaled` / `scale` replace branchy ordered-list merges with
+//!   straight-line chunked loops, which is the entire point of promoting;
+//! * the ablation bench, which compares these chunked kernels against the
+//!   scalar [`reference`] implementations.
+//!
+//! The sparse/adaptive split is described in [`crate::sparse_vec`] and
+//! [`crate::adaptive_vec`]; the promotion threshold is configured through
+//! [`crate::policy::PolicyConfig::AdaptiveProportional`].
 
 /// Chunk width used by the kernels. Eight `f64`s = one AVX-512 register or two
 /// AVX2 registers; the exact value only matters for the ablation bench.

@@ -10,6 +10,7 @@
 
 use std::collections::BTreeSet;
 
+use crate::adaptive_vec::ProvenanceVec;
 use crate::error::{Result, TinError};
 use crate::ids::{Origin, VertexId};
 use crate::interaction::Interaction;
@@ -17,8 +18,8 @@ use crate::memory::{FootprintBreakdown, MemoryFootprint};
 use crate::origins::OriginSet;
 use crate::policy::ShrinkCriterion;
 use crate::quantity::{qty_clamp_non_negative, qty_ge, qty_is_zero, Quantity};
-use crate::sparse_vec::SparseProvenance;
-use crate::tracker::ProvenanceTracker;
+use crate::sparse_vec::{MergeScratch, SparseProvenance};
+use crate::tracker::{split_src_dst, ProvenanceTracker};
 
 /// Aggregate shrink statistics, mirroring Table 9 of the paper.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -42,9 +43,10 @@ pub struct BudgetTracker {
     keep: usize,
     criterion: ShrinkCriterion,
     important: BTreeSet<Origin>,
-    vectors: Vec<SparseProvenance>,
+    vectors: Vec<ProvenanceVec>,
     totals: Vec<Quantity>,
     shrinks: Vec<u32>,
+    scratch: MergeScratch,
     processed: usize,
 }
 
@@ -88,9 +90,10 @@ impl BudgetTracker {
             keep,
             criterion,
             important: important.into_iter().map(Origin::Vertex).collect(),
-            vectors: vec![SparseProvenance::new(); num_vertices],
+            vectors: (0..num_vertices).map(|_| ProvenanceVec::new()).collect(),
             totals: vec![0.0; num_vertices],
             shrinks: vec![0; num_vertices],
+            scratch: MergeScratch::new(),
             processed: 0,
         })
     }
@@ -143,7 +146,7 @@ impl BudgetTracker {
     }
 
     /// Direct read access to the provenance list of `v`.
-    pub fn vector(&self, v: VertexId) -> &SparseProvenance {
+    pub fn vector(&self, v: VertexId) -> &ProvenanceVec {
         &self.vectors[v.index()]
     }
 
@@ -155,12 +158,14 @@ impl BudgetTracker {
         }
         match self.criterion {
             ShrinkCriterion::KeepLargest => {
-                vec.shrink_keep_largest(self.keep);
+                vec.shrink_keep_largest_with(self.keep, &mut self.scratch);
             }
             ShrinkCriterion::KeepImportant => {
                 // Keep important origins first (largest-quantity first within
                 // the class), then fill up with the largest remaining entries.
-                let mut entries: Vec<(Origin, Quantity)> = vec.iter().collect();
+                // Cold path: shrinks are rare relative to interactions, so
+                // the allocating collect/rebuild is fine here.
+                let mut entries: Vec<(Origin, Quantity)> = vec.collect_entries();
                 entries.sort_by(|a, b| {
                     let a_imp = self.important.contains(&a.0) || a.0 == Origin::Unknown;
                     let b_imp = self.important.contains(&b.0) || b.0 == Origin::Unknown;
@@ -175,7 +180,7 @@ impl BudgetTracker {
                 if !qty_is_zero(removed_total) {
                     rebuilt.add(Origin::Unknown, removed_total);
                 }
-                *vec = rebuilt;
+                *vec = ProvenanceVec::from_sparse(rebuilt);
             }
         }
         self.shrinks[vertex_index] += 1;
@@ -197,17 +202,10 @@ impl ProvenanceTracker for BudgetTracker {
         debug_assert_ne!(s, d, "self-loops are rejected at stream validation");
 
         {
-            let (src_vec, dst_vec) = if s < d {
-                let (a, b) = self.vectors.split_at_mut(d);
-                (&mut a[s], &mut b[0])
-            } else {
-                let (a, b) = self.vectors.split_at_mut(s);
-                (&mut b[0], &mut a[d])
-            };
+            let (src_vec, dst_vec) = split_src_dst(&mut self.vectors, s, d);
             let src_total = self.totals[s];
             if qty_ge(r.qty, src_total) {
-                dst_vec.merge_add(src_vec);
-                src_vec.clear();
+                dst_vec.take_all_from(src_vec);
                 let newborn = qty_clamp_non_negative(r.qty - src_total);
                 if newborn > 0.0 {
                     dst_vec.add_vertex(r.src, newborn);
@@ -216,8 +214,7 @@ impl ProvenanceTracker for BudgetTracker {
                 self.totals[s] = 0.0;
             } else {
                 let factor = r.qty / src_total;
-                dst_vec.merge_add_scaled(src_vec, factor);
-                src_vec.scale(1.0 - factor);
+                dst_vec.transfer_from(src_vec, factor);
                 self.totals[d] += r.qty;
                 self.totals[s] = qty_clamp_non_negative(src_total - r.qty);
             }
@@ -241,7 +238,8 @@ impl ProvenanceTracker for BudgetTracker {
             paths_bytes: 0,
             index_bytes: crate::memory::vec_bytes(&self.totals)
                 + crate::memory::vec_bytes(&self.shrinks)
-                + std::mem::size_of::<SparseProvenance>() * self.vectors.capacity(),
+                + std::mem::size_of::<ProvenanceVec>() * self.vectors.capacity()
+                + self.scratch.footprint_bytes(),
         }
     }
 

@@ -41,7 +41,7 @@ use crate::memory::{FootprintBreakdown, MemoryFootprint};
 use crate::origins::OriginSet;
 use crate::quantity::{qty_clamp_non_negative, qty_ge, qty_is_zero, Quantity};
 use crate::sparse_vec::SparseProvenance;
-use crate::tracker::ProvenanceTracker;
+use crate::tracker::{split_src_dst, ProvenanceTracker};
 
 /// Provenance tracking under the diffusion (copy) propagation model.
 ///
@@ -159,13 +159,7 @@ impl ProvenanceTracker for DiffusionTracker {
         let d = r.dst.index();
         debug_assert_ne!(s, d, "self-loops are rejected at stream validation");
 
-        let (src_vec, dst_vec) = if s < d {
-            let (a, b) = self.vectors.split_at_mut(d);
-            (&mut a[s], &mut b[0])
-        } else {
-            let (a, b) = self.vectors.split_at_mut(s);
-            (&mut b[0], &mut a[d])
-        };
+        let (src_vec, dst_vec) = split_src_dst(&mut self.vectors, s, d);
 
         let src_total = self.totals[s];
         if qty_ge(r.qty, src_total) {

@@ -14,7 +14,7 @@ use crate::interaction::Interaction;
 use crate::memory::{FootprintBreakdown, MemoryFootprint};
 use crate::origins::OriginSet;
 use crate::quantity::{qty_is_zero, Quantity};
-use crate::tracker::ProvenanceTracker;
+use crate::tracker::{split_src_dst, ProvenanceTracker};
 
 /// Algorithm 2: provenance tracking under generation-time selection.
 #[derive(Clone, Debug)]
@@ -95,13 +95,7 @@ impl ProvenanceTracker for GenerationTimeTracker {
 
         // Select up to r.q from the source buffer (Algorithm 2, lines 6–17).
         // The two buffers are distinct (no self-loops), so split the borrow.
-        let (src_buf, dst_buf) = if s < d {
-            let (a, b) = self.buffers.split_at_mut(d);
-            (&mut a[s], &mut b[0])
-        } else {
-            let (a, b) = self.buffers.split_at_mut(s);
-            (&mut b[0], &mut a[d])
-        };
+        let (src_buf, dst_buf) = split_src_dst(&mut self.buffers, s, d);
         let taken = src_buf.take(r.qty, |triple| dst_buf.push(triple));
 
         // Newborn residue (Algorithm 2, lines 18–21).

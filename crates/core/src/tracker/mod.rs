@@ -11,6 +11,7 @@
 //! | [`receipt_order::ReceiptOrderTracker`] | §4.2 | O(\|R\|) / O(\|R\|/\|V\|) expected |
 //! | [`proportional_dense::ProportionalDenseTracker`] | §4.3, Alg. 3 | O(\|V\|²) / O(\|V\|) |
 //! | [`proportional_sparse::ProportionalSparseTracker`] | §4.3 | O(\|V\|·ℓ) / O(ℓ) |
+//! | [`proportional_sparse::ProportionalSparseTracker::adaptive`] | §4.3 (runtime dense/sparse) | O(\|V\|·min(ℓ, \|V\|)) / O(min(ℓ, \|V\|)) |
 //! | [`selective::SelectiveTracker`] | §5.1 | O(k·\|V\|) / O(k) |
 //! | [`grouped::GroupedTracker`] | §5.2 | O(m·\|V\|) / O(m) |
 //! | [`windowed::WindowedTracker`] | §5.3.1 | bounded by window W |
@@ -46,6 +47,21 @@ use crate::origins::OriginSet;
 use crate::policy::{PolicyConfig, SelectionPolicy};
 use crate::quantity::{qty_approx_eq, Quantity};
 use crate::stream::InteractionSource;
+
+/// Split one mutable slice into simultaneous `(source, destination)` vector
+/// borrows — the per-interaction borrow dance shared by every vector-based
+/// tracker. `src` and `dst` must be distinct in-bounds indices.
+#[inline]
+pub(crate) fn split_src_dst<T>(items: &mut [T], src: usize, dst: usize) -> (&mut T, &mut T) {
+    debug_assert_ne!(src, dst, "self-loops are rejected at stream validation");
+    if src < dst {
+        let (a, b) = items.split_at_mut(dst);
+        (&mut a[src], &mut b[0])
+    } else {
+        let (a, b) = items.split_at_mut(src);
+        (&mut b[0], &mut a[dst])
+    }
+}
 
 /// The uniform streaming interface implemented by every provenance tracker.
 pub trait ProvenanceTracker {
@@ -173,6 +189,12 @@ pub fn build_tracker(
         PolicyConfig::TimeWindowed { duration } => Box::new(
             windowed_time::TimeWindowedTracker::new(num_vertices, *duration)?,
         ),
+        PolicyConfig::AdaptiveProportional { dense_threshold } => {
+            Box::new(proportional_sparse::ProportionalSparseTracker::adaptive(
+                num_vertices,
+                *dense_threshold,
+            )?)
+        }
         PolicyConfig::Budgeted {
             capacity,
             keep_fraction,

@@ -20,7 +20,7 @@ use crate::interaction::Interaction;
 use crate::memory::FootprintBreakdown;
 use crate::origins::OriginSet;
 use crate::quantity::{qty_gt, qty_is_zero, Quantity};
-use crate::tracker::ProvenanceTracker;
+use crate::tracker::{split_src_dst, ProvenanceTracker};
 
 /// A buffered quantity element annotated with its transfer path.
 #[derive(Clone, Debug, PartialEq)]
@@ -203,13 +203,7 @@ impl ProvenanceTracker for PathTracker {
         let d = r.dst.index();
         debug_assert_ne!(s, d, "self-loops are rejected at stream validation");
 
-        let (src_buf, dst_buf) = if s < d {
-            let (a, b) = self.buffers.split_at_mut(d);
-            (&mut a[s], &mut b[0])
-        } else {
-            let (a, b) = self.buffers.split_at_mut(s);
-            (&mut b[0], &mut a[d])
-        };
+        let (src_buf, dst_buf) = split_src_dst(&mut self.buffers, s, d);
 
         let discipline = self.discipline;
         let transmitter = r.src;

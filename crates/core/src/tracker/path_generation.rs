@@ -21,7 +21,7 @@ use crate::interaction::Interaction;
 use crate::memory::FootprintBreakdown;
 use crate::origins::OriginSet;
 use crate::quantity::{qty_gt, qty_is_zero, Quantity};
-use crate::tracker::ProvenanceTracker;
+use crate::tracker::{split_src_dst, ProvenanceTracker};
 
 /// A buffered quantity element annotated with its birth time and its transfer
 /// path.
@@ -274,13 +274,7 @@ impl ProvenanceTracker for GenerationPathTracker {
         let d = r.dst.index();
         debug_assert_ne!(s, d, "self-loops are rejected at stream validation");
 
-        let (src_buf, dst_buf) = if s < d {
-            let (a, b) = self.buffers.split_at_mut(d);
-            (&mut a[s], &mut b[0])
-        } else {
-            let (a, b) = self.buffers.split_at_mut(s);
-            (&mut b[0], &mut a[d])
-        };
+        let (src_buf, dst_buf) = split_src_dst(&mut self.buffers, s, d);
 
         let kind = self.kind;
         let transmitter = r.src;

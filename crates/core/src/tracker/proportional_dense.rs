@@ -14,7 +14,7 @@ use crate::interaction::Interaction;
 use crate::memory::{FootprintBreakdown, MemoryFootprint};
 use crate::origins::OriginSet;
 use crate::quantity::{qty_clamp_non_negative, qty_ge, Quantity};
-use crate::tracker::ProvenanceTracker;
+use crate::tracker::{split_src_dst, ProvenanceTracker};
 
 /// Algorithm 3: proportional provenance with dense `|V|`-length vectors.
 #[derive(Clone, Debug)]
@@ -59,13 +59,7 @@ impl ProvenanceTracker for ProportionalDenseTracker {
         let d = r.dst.index();
         debug_assert_ne!(s, d, "self-loops are rejected at stream validation");
 
-        let (src_vec, dst_vec) = if s < d {
-            let (a, b) = self.vectors.split_at_mut(d);
-            (&mut a[s], &mut b[0])
-        } else {
-            let (a, b) = self.vectors.split_at_mut(s);
-            (&mut b[0], &mut a[d])
-        };
+        let (src_vec, dst_vec) = split_src_dst(&mut self.vectors, s, d);
 
         let src_total = self.totals[s];
         if qty_ge(r.qty, src_total) {

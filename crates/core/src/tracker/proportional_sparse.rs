@@ -7,50 +7,84 @@
 //! is the average list length, and each interaction costs `O(ℓ)` list-merge
 //! work — which, as Figure 6 of the paper shows, still grows superlinearly
 //! over long streams because the lists keep getting longer.
+//!
+//! Since PR 2 the tracker stores [`ProvenanceVec`]s: merges happen in
+//! place on the destination lists (no per-interaction allocation), full
+//! relays into empty vertices are O(1) buffer swaps, and — under
+//! [`ProportionalSparseTracker::adaptive`] — a vector whose list density
+//! crosses the configured threshold promotes itself to a dense SIMD vector
+//! (the runtime version of the paper's dense-vs-sparse tradeoff).
 
+use crate::adaptive_vec::{AdaptiveParams, ProvenanceVec};
+use crate::error::Result;
 use crate::ids::VertexId;
 use crate::interaction::Interaction;
 use crate::memory::{FootprintBreakdown, MemoryFootprint};
 use crate::origins::OriginSet;
 use crate::quantity::{qty_clamp_non_negative, qty_ge, Quantity};
-use crate::sparse_vec::SparseProvenance;
-use crate::tracker::ProvenanceTracker;
+use crate::tracker::{split_src_dst, ProvenanceTracker};
 
-/// Proportional provenance with sparse list representations.
+/// Proportional provenance with sparse list representations (optionally
+/// adaptive, see [`Self::adaptive`]).
 #[derive(Clone, Debug)]
 pub struct ProportionalSparseTracker {
-    vectors: Vec<SparseProvenance>,
+    vectors: Vec<ProvenanceVec>,
     totals: Vec<Quantity>,
+    params: AdaptiveParams,
     processed: usize,
 }
 
 impl ProportionalSparseTracker {
-    /// Create a tracker for `num_vertices` vertices.
+    /// Create a tracker for `num_vertices` vertices whose vectors stay
+    /// sparse forever (the paper's plain sparse representation).
     pub fn new(num_vertices: usize) -> Self {
+        Self::with_params(num_vertices, AdaptiveParams::sparse_only())
+    }
+
+    /// Create a tracker whose vectors promote to dense SIMD vectors once
+    /// their list length reaches `dense_threshold · num_vertices` (see
+    /// [`crate::adaptive_vec`]).
+    ///
+    /// # Errors
+    /// Returns [`crate::TinError::InvalidConfig`] unless
+    /// `0 < dense_threshold ≤ 1`.
+    pub fn adaptive(num_vertices: usize, dense_threshold: f64) -> Result<Self> {
+        Ok(Self::with_params(
+            num_vertices,
+            AdaptiveParams::new(num_vertices, dense_threshold)?,
+        ))
+    }
+
+    /// Create a tracker with explicit adaptivity parameters.
+    pub fn with_params(num_vertices: usize, params: AdaptiveParams) -> Self {
         ProportionalSparseTracker {
-            vectors: vec![SparseProvenance::new(); num_vertices],
+            vectors: (0..num_vertices).map(|_| ProvenanceVec::new()).collect(),
             totals: vec![0.0; num_vertices],
+            params,
             processed: 0,
         }
     }
 
-    /// Direct read access to the sparse vector of `v`.
-    pub fn vector(&self, v: VertexId) -> &SparseProvenance {
+    /// Direct read access to the provenance vector of `v`.
+    pub fn vector(&self, v: VertexId) -> &ProvenanceVec {
         &self.vectors[v.index()]
     }
 
     /// Average provenance-list length ℓ over vertices with non-empty lists.
     pub fn average_list_length(&self) -> f64 {
-        let non_empty: Vec<usize> = self
-            .vectors
-            .iter()
-            .map(|p| p.len())
-            .filter(|&l| l > 0)
-            .collect();
-        if non_empty.is_empty() {
+        let mut count = 0usize;
+        let mut sum = 0usize;
+        for p in &self.vectors {
+            let l = p.len();
+            if l > 0 {
+                count += 1;
+                sum += l;
+            }
+        }
+        if count == 0 {
             0.0
         } else {
-            non_empty.iter().sum::<usize>() as f64 / non_empty.len() as f64
+            sum as f64 / count as f64
         }
     }
 
@@ -58,11 +92,21 @@ impl ProportionalSparseTracker {
     pub fn total_entries(&self) -> usize {
         self.vectors.iter().map(|p| p.len()).sum()
     }
+
+    /// Number of vectors currently using the dense representation (always 0
+    /// for a [`Self::new`] tracker).
+    pub fn dense_vector_count(&self) -> usize {
+        self.vectors.iter().filter(|p| p.is_dense()).count()
+    }
 }
 
 impl ProvenanceTracker for ProportionalSparseTracker {
     fn name(&self) -> &'static str {
-        "Proportional (sparse)"
+        if self.params.promotion_enabled() {
+            "Proportional (adaptive)"
+        } else {
+            "Proportional (sparse)"
+        }
     }
 
     fn num_vertices(&self) -> usize {
@@ -72,21 +116,12 @@ impl ProvenanceTracker for ProportionalSparseTracker {
     fn process(&mut self, r: &Interaction) {
         let s = r.src.index();
         let d = r.dst.index();
-        debug_assert_ne!(s, d, "self-loops are rejected at stream validation");
-
-        let (src_vec, dst_vec) = if s < d {
-            let (a, b) = self.vectors.split_at_mut(d);
-            (&mut a[s], &mut b[0])
-        } else {
-            let (a, b) = self.vectors.split_at_mut(s);
-            (&mut b[0], &mut a[d])
-        };
+        let (src_vec, dst_vec) = split_src_dst(&mut self.vectors, s, d);
 
         let src_total = self.totals[s];
         if qty_ge(r.qty, src_total) {
             // Full relay plus newborn residue.
-            dst_vec.merge_add(src_vec);
-            src_vec.clear();
+            dst_vec.take_all_from(src_vec);
             let newborn = qty_clamp_non_negative(r.qty - src_total);
             if newborn > 0.0 {
                 dst_vec.add_vertex(r.src, newborn);
@@ -96,11 +131,11 @@ impl ProvenanceTracker for ProportionalSparseTracker {
         } else {
             // Proportional split via list merges.
             let factor = r.qty / src_total;
-            dst_vec.merge_add_scaled(src_vec, factor);
-            src_vec.scale(1.0 - factor);
+            dst_vec.transfer_from(src_vec, factor);
             self.totals[d] += r.qty;
             self.totals[s] = qty_clamp_non_negative(src_total - r.qty);
         }
+        dst_vec.maybe_promote(&self.params);
         self.processed += 1;
     }
 
@@ -117,7 +152,7 @@ impl ProvenanceTracker for ProportionalSparseTracker {
             entries_bytes: self.vectors.iter().map(|p| p.footprint_bytes()).sum(),
             paths_bytes: 0,
             index_bytes: crate::memory::vec_bytes(&self.totals)
-                + std::mem::size_of::<SparseProvenance>() * self.vectors.capacity(),
+                + std::mem::size_of::<ProvenanceVec>() * self.vectors.capacity(),
         }
     }
 
@@ -158,6 +193,42 @@ mod tests {
         }
     }
 
+    /// The adaptive tracker implements the same policy again — and with an
+    /// aggressive threshold it must actually exercise the dense
+    /// representation on the running example.
+    #[test]
+    fn adaptive_matches_sparse_and_promotes() {
+        let mut adaptive = ProportionalSparseTracker::adaptive(3, 0.1).unwrap();
+        let mut sparse = ProportionalSparseTracker::new(3);
+        for r in paper_running_example() {
+            adaptive.process(&r);
+            sparse.process(&r);
+            for i in 0..3u32 {
+                assert!(qty_approx_eq(
+                    adaptive.buffered(v(i)),
+                    sparse.buffered(v(i))
+                ));
+                assert!(
+                    adaptive.origins(v(i)).approx_eq(&sparse.origins(v(i))),
+                    "origin mismatch at v{i} after {r:?}"
+                );
+            }
+        }
+        assert_eq!(adaptive.name(), "Proportional (adaptive)");
+        assert!(adaptive.check_all_invariants());
+        // Threshold 0.1 over 3 vertices promotes at the minimum list length
+        // (4), which the running example never reaches — feed a mixing hub.
+        let mut hub = ProportionalSparseTracker::adaptive(8, 0.1).unwrap();
+        for i in 1..8u32 {
+            hub.process(&Interaction::new(i, 0u32, i as f64, 1.0));
+        }
+        assert!(hub.dense_vector_count() > 0, "hub vector must promote");
+        assert!(hub.check_all_invariants());
+        // Invalid thresholds are rejected.
+        assert!(ProportionalSparseTracker::adaptive(8, 0.0).is_err());
+        assert!(ProportionalSparseTracker::adaptive(8, 2.0).is_err());
+    }
+
     /// Final vector values of Table 5, read through the sparse representation.
     #[test]
     fn table5_final_state() {
@@ -183,6 +254,7 @@ mod tests {
         assert!(qty_approx_eq(t.vector(v(2)).get_vertex(v(1)), 3.0));
         // Dense representation would store 3 slots; sparse stores 1 entry.
         assert_eq!(t.total_entries(), 1);
+        assert_eq!(t.dense_vector_count(), 0);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::interaction::Interaction;
 use crate::memory::{FootprintBreakdown, MemoryFootprint};
 use crate::origins::OriginSet;
 use crate::quantity::{qty_is_zero, Quantity};
-use crate::tracker::ProvenanceTracker;
+use crate::tracker::{split_src_dst, ProvenanceTracker};
 
 /// Provenance tracking under receipt-order selection (FIFO or LIFO buffers).
 #[derive(Clone, Debug)]
@@ -80,13 +80,7 @@ impl ProvenanceTracker for ReceiptOrderTracker {
         let d = r.dst.index();
         debug_assert_ne!(s, d, "self-loops are rejected at stream validation");
 
-        let (src_buf, dst_buf) = if s < d {
-            let (a, b) = self.buffers.split_at_mut(d);
-            (&mut a[s], &mut b[0])
-        } else {
-            let (a, b) = self.buffers.split_at_mut(s);
-            (&mut b[0], &mut a[d])
-        };
+        let (src_buf, dst_buf) = split_src_dst(&mut self.buffers, s, d);
         // Transferred pairs are appended to the destination in selection
         // order (Section 4.2).
         let taken = src_buf.take(r.qty, |pair| dst_buf.push(pair));

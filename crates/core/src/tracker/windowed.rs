@@ -10,14 +10,14 @@
 //! recently reset, which guarantees provenance for quantities born between
 //! `W` and `2W` interactions ago.
 
+use crate::adaptive_vec::ProvenanceVec;
 use crate::error::{Result, TinError};
 use crate::ids::VertexId;
 use crate::interaction::Interaction;
 use crate::memory::{FootprintBreakdown, MemoryFootprint};
 use crate::origins::OriginSet;
 use crate::quantity::{qty_clamp_non_negative, qty_ge, Quantity};
-use crate::sparse_vec::SparseProvenance;
-use crate::tracker::ProvenanceTracker;
+use crate::tracker::{split_src_dst, ProvenanceTracker};
 
 /// Which of the two per-vertex vectors a query should read.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -31,8 +31,8 @@ enum ActiveVector {
 #[derive(Clone, Debug)]
 pub struct WindowedTracker {
     window: usize,
-    odd: Vec<SparseProvenance>,
-    even: Vec<SparseProvenance>,
+    odd: Vec<ProvenanceVec>,
+    even: Vec<ProvenanceVec>,
     totals: Vec<Quantity>,
     processed: usize,
     /// How many window resets have happened so far.
@@ -52,8 +52,8 @@ impl WindowedTracker {
         }
         Ok(WindowedTracker {
             window,
-            odd: vec![SparseProvenance::new(); num_vertices],
-            even: vec![SparseProvenance::new(); num_vertices],
+            odd: (0..num_vertices).map(|_| ProvenanceVec::new()).collect(),
+            even: (0..num_vertices).map(|_| ProvenanceVec::new()).collect(),
             totals: vec![0.0; num_vertices],
             processed: 0,
             resets: 0,
@@ -90,28 +90,20 @@ impl WindowedTracker {
         self.window + since_reset
     }
 
-    fn apply(vectors: &mut [SparseProvenance], totals: &[Quantity], r: &Interaction) {
+    fn apply(vectors: &mut [ProvenanceVec], totals: &[Quantity], r: &Interaction) {
         let s = r.src.index();
         let d = r.dst.index();
-        let (src_vec, dst_vec) = if s < d {
-            let (a, b) = vectors.split_at_mut(d);
-            (&mut a[s], &mut b[0])
-        } else {
-            let (a, b) = vectors.split_at_mut(s);
-            (&mut b[0], &mut a[d])
-        };
+        let (src_vec, dst_vec) = split_src_dst(vectors, s, d);
         let src_total = totals[s];
         if qty_ge(r.qty, src_total) {
-            dst_vec.merge_add(src_vec);
-            src_vec.clear();
+            dst_vec.take_all_from(src_vec);
             let newborn = qty_clamp_non_negative(r.qty - src_total);
             if newborn > 0.0 {
                 dst_vec.add_vertex(r.src, newborn);
             }
         } else {
             let factor = r.qty / src_total;
-            dst_vec.merge_add_scaled(src_vec, factor);
-            src_vec.scale(1.0 - factor);
+            dst_vec.transfer_from(src_vec, factor);
         }
     }
 }
@@ -181,7 +173,7 @@ impl ProvenanceTracker for WindowedTracker {
                 .sum(),
             paths_bytes: 0,
             index_bytes: crate::memory::vec_bytes(&self.totals)
-                + std::mem::size_of::<SparseProvenance>()
+                + std::mem::size_of::<ProvenanceVec>()
                     * (self.odd.capacity() + self.even.capacity()),
         }
     }

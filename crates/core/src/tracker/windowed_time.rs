@@ -15,14 +15,14 @@
 //! quantity born within the last `D` time units is exact; older quantities
 //! may be attributed to the artificial vertex α.
 
+use crate::adaptive_vec::ProvenanceVec;
 use crate::error::{Result, TinError};
 use crate::ids::VertexId;
 use crate::interaction::Interaction;
 use crate::memory::{FootprintBreakdown, MemoryFootprint};
 use crate::origins::OriginSet;
 use crate::quantity::{qty_clamp_non_negative, qty_ge, Quantity};
-use crate::sparse_vec::SparseProvenance;
-use crate::tracker::ProvenanceTracker;
+use crate::tracker::{split_src_dst, ProvenanceTracker};
 
 /// Proportional provenance limited to a sliding window of `D`–`2·D` time
 /// units (compare [`super::windowed::WindowedTracker`], which counts
@@ -30,8 +30,8 @@ use crate::tracker::ProvenanceTracker;
 #[derive(Clone, Debug)]
 pub struct TimeWindowedTracker {
     duration: f64,
-    odd: Vec<SparseProvenance>,
-    even: Vec<SparseProvenance>,
+    odd: Vec<ProvenanceVec>,
+    even: Vec<ProvenanceVec>,
     totals: Vec<Quantity>,
     processed: usize,
     resets: usize,
@@ -53,8 +53,8 @@ impl TimeWindowedTracker {
         }
         Ok(TimeWindowedTracker {
             duration,
-            odd: vec![SparseProvenance::new(); num_vertices],
-            even: vec![SparseProvenance::new(); num_vertices],
+            odd: (0..num_vertices).map(|_| ProvenanceVec::new()).collect(),
+            even: (0..num_vertices).map(|_| ProvenanceVec::new()).collect(),
             totals: vec![0.0; num_vertices],
             processed: 0,
             resets: 0,
@@ -80,28 +80,20 @@ impl TimeWindowedTracker {
         self.epoch.saturating_sub(1) as f64 * self.duration
     }
 
-    fn apply(vectors: &mut [SparseProvenance], totals: &[Quantity], r: &Interaction) {
+    fn apply(vectors: &mut [ProvenanceVec], totals: &[Quantity], r: &Interaction) {
         let s = r.src.index();
         let d = r.dst.index();
-        let (src_vec, dst_vec) = if s < d {
-            let (a, b) = vectors.split_at_mut(d);
-            (&mut a[s], &mut b[0])
-        } else {
-            let (a, b) = vectors.split_at_mut(s);
-            (&mut b[0], &mut a[d])
-        };
+        let (src_vec, dst_vec) = split_src_dst(vectors, s, d);
         let src_total = totals[s];
         if qty_ge(r.qty, src_total) {
-            dst_vec.merge_add(src_vec);
-            src_vec.clear();
+            dst_vec.take_all_from(src_vec);
             let newborn = qty_clamp_non_negative(r.qty - src_total);
             if newborn > 0.0 {
                 dst_vec.add_vertex(r.src, newborn);
             }
         } else {
             let factor = r.qty / src_total;
-            dst_vec.merge_add_scaled(src_vec, factor);
-            src_vec.scale(1.0 - factor);
+            dst_vec.transfer_from(src_vec, factor);
         }
     }
 }
@@ -174,7 +166,7 @@ impl ProvenanceTracker for TimeWindowedTracker {
                 .sum(),
             paths_bytes: 0,
             index_bytes: crate::memory::vec_bytes(&self.totals)
-                + std::mem::size_of::<SparseProvenance>()
+                + std::mem::size_of::<ProvenanceVec>()
                     * (self.odd.capacity() + self.even.capacity()),
         }
     }

@@ -1,0 +1,121 @@
+//! Property tests: the three proportional representations — dense vectors,
+//! sparse lists, and the PR 2 runtime-adaptive representation — must give
+//! identical provenance answers on arbitrary interaction streams.
+//!
+//! This is the safety net under the adaptive promotion/demotion machinery of
+//! `tin_core::adaptive_vec`: whatever representation a vector happens to be
+//! in, `buffered` and `origins` must match the dense reference within the
+//! library tolerance, and quantity must be conserved.
+
+use proptest::prelude::*;
+use tin::prelude::*;
+
+const MAX_VERTICES: u32 = 12;
+
+/// A stream of valid interactions over a small vertex set with
+/// non-decreasing timestamps (same construction as `proptest_invariants`).
+fn interaction_stream(len: usize) -> impl Strategy<Value = Vec<Interaction>> {
+    prop::collection::vec(
+        (
+            0..MAX_VERTICES,
+            0..MAX_VERTICES - 1,
+            0.01f64..100.0f64,
+            0.0f64..5.0f64,
+        ),
+        1..len,
+    )
+    .prop_map(|raw| {
+        let mut time = 0.0;
+        raw.into_iter()
+            .map(|(src, dst_raw, qty, gap)| {
+                let dst = if dst_raw >= src { dst_raw + 1 } else { dst_raw };
+                time += gap;
+                Interaction::new(src, dst, time, qty)
+            })
+            .collect()
+    })
+}
+
+/// Build the representations under test: the dense reference, plain sparse,
+/// and adaptive trackers at several thresholds (0.01 promotes almost
+/// immediately, 0.99 almost never — both extremes must agree with the
+/// middle).
+fn proportional_trackers(n: usize) -> Vec<Box<dyn ProvenanceTracker>> {
+    vec![
+        build_tracker(&PolicyConfig::Plain(SelectionPolicy::ProportionalDense), n).unwrap(),
+        build_tracker(&PolicyConfig::Plain(SelectionPolicy::ProportionalSparse), n).unwrap(),
+        build_tracker(
+            &PolicyConfig::AdaptiveProportional {
+                dense_threshold: 0.01,
+            },
+            n,
+        )
+        .unwrap(),
+        build_tracker(&PolicyConfig::adaptive(), n).unwrap(),
+        build_tracker(
+            &PolicyConfig::AdaptiveProportional {
+                dense_threshold: 0.99,
+            },
+            n,
+        )
+        .unwrap(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All representations agree with the dense reference after every
+    /// interaction: same buffered totals, same origin sets.
+    #[test]
+    fn representations_are_interchangeable(stream in interaction_stream(60)) {
+        let n = MAX_VERTICES as usize;
+        let mut trackers = proportional_trackers(n);
+        for r in &stream {
+            for t in trackers.iter_mut() {
+                t.process(r);
+            }
+            for i in 0..n {
+                let v = VertexId::from(i);
+                let reference = trackers[0].buffered(v);
+                let ref_origins = trackers[0].origins(v);
+                for t in trackers.iter().skip(1) {
+                    prop_assert!(
+                        (t.buffered(v) - reference).abs() < 1e-6,
+                        "{} buffered mismatch at {}: {} vs {}",
+                        t.name(), v, t.buffered(v), reference
+                    );
+                    prop_assert!(
+                        t.origins(v).approx_eq(&ref_origins),
+                        "{} origin mismatch at {}: {:?} vs {:?}",
+                        t.name(), v, t.origins(v), ref_origins
+                    );
+                }
+            }
+        }
+    }
+
+    /// Conservation (Definition 2) holds for every representation at the end
+    /// of an arbitrary stream, including after sub-epsilon mass has been
+    /// folded into α by the sparse kernels.
+    #[test]
+    fn conservation_holds_for_all_representations(stream in interaction_stream(80)) {
+        let n = MAX_VERTICES as usize;
+        let mut trackers = proportional_trackers(n);
+        for r in &stream {
+            for t in trackers.iter_mut() {
+                t.process(r);
+            }
+        }
+        for t in &trackers {
+            prop_assert!(t.check_all_invariants(), "{} broke Definition 2", t.name());
+        }
+        let reference = trackers[0].total_buffered();
+        for t in trackers.iter().skip(1) {
+            prop_assert!(
+                (t.total_buffered() - reference).abs() < 1e-6,
+                "{} total mismatch: {} vs {}", t.name(), t.total_buffered(), reference
+            );
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Allocation regression test for the adaptive-representation hot path
+//! (companion to `alloc_counting.rs`, which covers the never-promoting
+//! sparse tracker — this binary covers `PolicyConfig::AdaptiveProportional`,
+//! including the dense↔sparse mixed-representation transfer kernels).
+//!
+//! Single test per binary: the measurement relies on process-global
+//! allocator counters.
+
+use tin::prelude::*;
+use tin_memstats::CountingAllocator;
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator::new();
+
+#[test]
+fn steady_state_adaptive_hot_path_does_not_allocate() {
+    let num_vertices = 16usize;
+    // Aggressive threshold so hub vectors actually promote and the replay
+    // exercises dense/dense, dense/sparse and sparse/dense kernels.
+    let mut tracker = ProportionalSparseTracker::adaptive(num_vertices, 0.3).unwrap();
+
+    let mut time = 0.0;
+    let mut interactions = Vec::new();
+    for round in 0..60u32 {
+        for v in 0..num_vertices as u32 {
+            // Vertex 0 acts as a hub: everyone feeds it, it splits back out.
+            let dst = if v == 0 {
+                1 + round % (num_vertices as u32 - 1)
+            } else {
+                0
+            };
+            time += 1.0;
+            let qty = if round % 3 == 0 { 100.0 } else { 1.5 };
+            interactions.push(Interaction::new(v, dst, time, qty));
+        }
+    }
+    for r in &interactions {
+        tracker.process(r);
+    }
+    assert!(
+        tracker.dense_vector_count() > 0,
+        "the hub must have promoted for this test to cover the dense paths"
+    );
+
+    // Steady state: replaying the same pattern must not allocate.
+    let replay: Vec<Interaction> = interactions
+        .iter()
+        .map(|r| Interaction::new(r.src, r.dst, r.time.value() + time, r.qty))
+        .collect();
+    assert!(tin_memstats::allocator_installed());
+    let before = tin_memstats::snapshot();
+    for r in &replay {
+        tracker.process(r);
+    }
+    let after = tin_memstats::snapshot();
+    assert_eq!(
+        after.allocations - before.allocations,
+        0,
+        "steady-state adaptive processing of {} interactions allocated",
+        replay.len()
+    );
+    assert!(tracker.check_all_invariants());
+}
