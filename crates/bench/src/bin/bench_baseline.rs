@@ -2,15 +2,36 @@
 //!
 //! Runs every feasible policy configuration over fixed-seed synthetic
 //! workloads (Bitcoin- and taxi-shaped, the two stream shapes the paper's
-//! evaluation leans on) and writes `BENCH_PR2.json`: interactions/sec, peak
-//! provenance footprint and allocator peak per policy. The JSON schema is
-//! documented in the repository README ("Benchmark baseline"); numbers from
-//! this emitter are the perf trajectory that later PRs are measured against.
+//! evaluation leans on) and writes `BENCH_PR5.json`: interactions/sec, peak
+//! provenance footprint and allocator peak per policy, plus a
+//! sequential-vs-sharded scaling section for the `tin-shard` wavefront
+//! engine. The JSON schema is documented in the repository README
+//! ("Benchmark baseline"); numbers from this emitter are the perf
+//! trajectory that later PRs are measured against.
+//!
+//! ## Measurement methodology (median of K interleaved repetitions)
+//!
+//! Early revisions timed each policy's repetitions back to back and
+//! reported the fastest, which left ±3× run-to-run swings on the
+//! `grouped`/`selective`/`windowed` rows: a frequency ramp or a background
+//! task during one policy's window skews all of its reps at once.
+//! Repetitions are now **interleaved** `profile_sparse`-style — rep 0 of
+//! every policy, then rep 1 of every policy, … — so slow phases of the
+//! machine spread across all policies instead of landing on one, and each
+//! row reports the **median** per-pass time with the min/max range
+//! alongside.
+//!
+//! Modes:
+//! * default — the per-policy table plus the sequential-vs-sharded scaling
+//!   section;
+//! * `--sweep-threshold` — additionally sweep the adaptive promotion
+//!   threshold (0.1–0.9) of `PolicyConfig::AdaptiveProportional`, one JSON
+//!   row per setting (feeds the cost-model-driven-threshold roadmap item).
 //!
 //! Scale is controlled by `TIN_SCALE` (use `TIN_SCALE=tiny` as CI smoke
 //! mode), the seed by `TIN_SEED`, timing repetitions by `TIN_BENCH_REPS`
-//! (default 3; the fastest rep is reported), and the output path by
-//! `--out PATH` (default `BENCH_PR2.json`).
+//! (default 5), and the output path by `--out PATH` (default
+//! `BENCH_PR5.json`).
 
 use std::time::Instant;
 
@@ -22,23 +43,74 @@ use tin_core::ids::VertexId;
 use tin_core::policy::{PolicyConfig, SelectionPolicy};
 use tin_core::tracker::build_tracker;
 use tin_datasets::{DatasetKind, ScaleProfile};
+use tin_shard::ShardedEngine;
 
 /// Interactions between two footprint samples of the instrumented pass.
 const SAMPLE_INTERVAL: usize = 16_384;
 
+/// Minimum wall-clock time of one measurement batch: small workloads finish
+/// in microseconds, far below timer noise, so each measurement loops whole
+/// passes until this much time has elapsed and reports the mean per-pass
+/// time of the batch.
+const MIN_MEASURE_SECS: f64 = 0.05;
+
+/// Shard counts measured by the scaling section (sequential is measured
+/// separately as the baseline).
+const SCALING_SHARDS: &[usize] = &[1, 2, 4, 8];
+
 /// Pre-optimisation reference throughput (interactions/sec) for the
 /// proportional-sparse hot path, measured by this same binary at the PR 1
-/// tree (commit a14c5bc) with `TIN_SCALE=small`, `TIN_SEED=42`, 3 reps, on
-/// the PR 2 build machine. Recorded here so every later run reports a
+/// tree (commit a14c5bc) with `TIN_SCALE=small`, `TIN_SEED=42`, on the PR 2
+/// build machine. Recorded here so every later run reports a
 /// machine-readable speedup against the pre-change baseline.
 const PRE_CHANGE_PROP_SPARSE: &[(&str, f64)] = &[("bitcoin", PRE_BITCOIN), ("taxis", PRE_TAXIS)];
 const PRE_BITCOIN: f64 = 9_720.99;
 const PRE_TAXIS: f64 = 18_222_767.42;
 
+/// Median / min / max of a set of per-pass timings (seconds).
+#[derive(Clone, Copy, Debug)]
+struct TimingStats {
+    median_secs: f64,
+    min_secs: f64,
+    max_secs: f64,
+}
+
+impl TimingStats {
+    fn from_samples(samples: &mut [f64]) -> TimingStats {
+        assert!(!samples.is_empty(), "at least one timing sample");
+        samples.sort_by(f64::total_cmp);
+        let median_secs = if samples.len() % 2 == 1 {
+            samples[samples.len() / 2]
+        } else {
+            0.5 * (samples[samples.len() / 2 - 1] + samples[samples.len() / 2])
+        };
+        TimingStats {
+            median_secs,
+            min_secs: samples[0],
+            max_secs: samples[samples.len() - 1],
+        }
+    }
+
+    fn per_sec(&self, items: usize) -> (f64, f64, f64) {
+        let rate = |secs: f64| {
+            if secs > 0.0 {
+                items as f64 / secs
+            } else {
+                0.0
+            }
+        };
+        // Fastest pass = highest rate, so min/max swap roles.
+        (
+            rate(self.median_secs),
+            rate(self.max_secs),
+            rate(self.min_secs),
+        )
+    }
+}
+
 struct PolicyRow {
     key: String,
-    runtime_secs: f64,
-    interactions_per_sec: f64,
+    timing: TimingStats,
     peak_footprint_bytes: usize,
     final_footprint_bytes: usize,
     peak_alloc_bytes: usize,
@@ -76,10 +148,27 @@ fn configs_for(w: &Workload) -> Vec<PolicyConfig> {
     configs
 }
 
-/// Run one policy over one workload: an instrumented pass (footprint
-/// sampling, allocator peak) followed by `reps` timed passes.
-fn run_policy(config: &PolicyConfig, w: &Workload, reps: usize) -> PolicyRow {
-    // Instrumented pass: periodic logical-footprint samples + allocator peak.
+/// One timed measurement of `config` over `w` on the plain tracker: loops
+/// whole passes until [`MIN_MEASURE_SECS`] elapsed, returns mean per-pass
+/// seconds.
+fn time_tracker_pass(config: &PolicyConfig, w: &Workload) -> f64 {
+    let mut passes = 0u32;
+    let start = Instant::now();
+    loop {
+        let mut tracker =
+            build_tracker(config, w.num_vertices).expect("benchmark configs are valid");
+        tracker.process_all(&w.interactions);
+        passes += 1;
+        if start.elapsed().as_secs_f64() >= MIN_MEASURE_SECS {
+            break;
+        }
+    }
+    start.elapsed().as_secs_f64() / f64::from(passes)
+}
+
+/// Instrumented pass for one policy: periodic logical-footprint samples and
+/// the allocator peak (not timed).
+fn instrument_policy(config: &PolicyConfig, w: &Workload) -> (usize, usize, usize) {
     let scope = tin_memstats::MemoryScope::start();
     let mut tracker = build_tracker(config, w.num_vertices).expect("benchmark configs are valid");
     let mut peak_footprint = 0usize;
@@ -92,43 +181,163 @@ fn run_policy(config: &PolicyConfig, w: &Workload, reps: usize) -> PolicyRow {
     let final_footprint = tracker.footprint().total();
     peak_footprint = peak_footprint.max(final_footprint);
     let mem = scope.finish();
-    drop(tracker);
+    (peak_footprint, final_footprint, mem.peak_delta_bytes)
+}
 
-    // Timed passes: fastest of `reps` measurements. Small workloads finish
-    // in microseconds, far below timer noise, so each measurement loops the
-    // whole pass until at least ~50 ms have elapsed and reports the mean
-    // per-pass time of that batch.
-    const MIN_MEASURE_SECS: f64 = 0.05;
-    let mut best = f64::INFINITY;
+/// Measure every policy over one workload with K interleaved repetitions
+/// (see the module docs), reporting median + min/max per policy.
+fn run_policy_table(w: &Workload, reps: usize) -> Vec<PolicyRow> {
+    let configs = configs_for(w);
+    let mut samples: Vec<Vec<f64>> = vec![Vec::with_capacity(reps); configs.len()];
     for _ in 0..reps {
-        let mut passes = 0u32;
-        let start = Instant::now();
-        loop {
-            let mut tracker =
-                build_tracker(config, w.num_vertices).expect("benchmark configs are valid");
-            tracker.process_all(&w.interactions);
-            passes += 1;
-            if start.elapsed().as_secs_f64() >= MIN_MEASURE_SECS {
-                break;
+        for (i, config) in configs.iter().enumerate() {
+            samples[i].push(time_tracker_pass(config, w));
+        }
+    }
+    configs
+        .iter()
+        .zip(samples.iter_mut())
+        .map(|(config, times)| {
+            let (peak_footprint, final_footprint, peak_alloc) = instrument_policy(config, w);
+            PolicyRow {
+                key: config.key(),
+                timing: TimingStats::from_samples(times),
+                peak_footprint_bytes: peak_footprint,
+                final_footprint_bytes: final_footprint,
+                peak_alloc_bytes: peak_alloc,
+                reps,
+            }
+        })
+        .collect()
+}
+
+/// One scaling-section measurement mode: the sequential engine or the
+/// sharded engine at a given shard count.
+#[derive(Clone, Copy)]
+enum ScalingMode {
+    Sequential,
+    Sharded(usize),
+}
+
+/// One timed engine pass: `process_all` + `report` (so the sharded engine
+/// pays for its quiesce like a real caller would). Engine construction and
+/// teardown are *excluded* from the timed region — a `ShardedEngine` spawns
+/// and joins N OS threads, and at small scales that lifecycle cost would
+/// otherwise dominate the row and misreport the scaling of stream
+/// processing itself.
+fn time_engine_pass(config: &PolicyConfig, w: &Workload, mode: ScalingMode) -> f64 {
+    let mut passes = 0u32;
+    let mut timed = 0.0f64;
+    loop {
+        match mode {
+            ScalingMode::Sequential => {
+                let mut engine = tin_core::engine::ProvenanceEngine::new(config, w.num_vertices)
+                    .expect("benchmark configs are valid");
+                let start = Instant::now();
+                engine.process_all(&w.interactions).expect("valid stream");
+                std::hint::black_box(engine.report());
+                timed += start.elapsed().as_secs_f64();
+            }
+            ScalingMode::Sharded(shards) => {
+                let mut engine = ShardedEngine::new(config, w.num_vertices, shards)
+                    .expect("benchmark configs are valid");
+                let start = Instant::now();
+                engine.process_all(&w.interactions).expect("valid stream");
+                std::hint::black_box(engine.report());
+                timed += start.elapsed().as_secs_f64();
             }
         }
-        let secs = start.elapsed().as_secs_f64() / f64::from(passes);
-        best = best.min(secs);
+        passes += 1;
+        if timed >= MIN_MEASURE_SECS {
+            break;
+        }
     }
-    let throughput = if best > 0.0 {
-        w.interactions.len() as f64 / best
-    } else {
-        0.0
-    };
-    PolicyRow {
-        key: config.key(),
-        runtime_secs: best,
-        interactions_per_sec: throughput,
-        peak_footprint_bytes: peak_footprint,
-        final_footprint_bytes: final_footprint,
-        peak_alloc_bytes: mem.peak_delta_bytes,
-        reps,
+    timed / f64::from(passes)
+}
+
+struct ScalingRow {
+    mode: &'static str,
+    shards: usize,
+    timing: TimingStats,
+    speedup_vs_sequential: f64,
+}
+
+/// Sequential vs sharded scaling for one workload: K interleaved reps per
+/// mode, median-of-K, speedup relative to the sequential engine.
+fn run_scaling(config: &PolicyConfig, w: &Workload, reps: usize) -> Vec<ScalingRow> {
+    let modes: Vec<ScalingMode> = std::iter::once(ScalingMode::Sequential)
+        .chain(SCALING_SHARDS.iter().map(|&s| ScalingMode::Sharded(s)))
+        .collect();
+    let mut samples: Vec<Vec<f64>> = vec![Vec::with_capacity(reps); modes.len()];
+    for _ in 0..reps {
+        for (i, mode) in modes.iter().enumerate() {
+            samples[i].push(time_engine_pass(config, w, *mode));
+        }
     }
+    let stats: Vec<TimingStats> = samples
+        .iter_mut()
+        .map(|s| TimingStats::from_samples(s))
+        .collect();
+    let sequential_median = stats[0].median_secs;
+    modes
+        .iter()
+        .zip(stats)
+        .map(|(mode, timing)| {
+            let (label, shards) = match mode {
+                ScalingMode::Sequential => ("sequential", 0),
+                ScalingMode::Sharded(s) => ("sharded", *s),
+            };
+            ScalingRow {
+                mode: label,
+                shards,
+                timing,
+                speedup_vs_sequential: if timing.median_secs > 0.0 {
+                    sequential_median / timing.median_secs
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect()
+}
+
+struct SweepRow {
+    dense_threshold: f64,
+    timing: TimingStats,
+    peak_footprint_bytes: usize,
+    final_footprint_bytes: usize,
+    reps: usize,
+}
+
+/// `--sweep-threshold`: adaptive promotion threshold sweep, K interleaved
+/// reps per setting.
+fn run_threshold_sweep(w: &Workload, reps: usize) -> Vec<SweepRow> {
+    let thresholds: Vec<f64> = (1..=9).map(|i| f64::from(i) / 10.0).collect();
+    let configs: Vec<PolicyConfig> = thresholds
+        .iter()
+        .map(|&dense_threshold| PolicyConfig::AdaptiveProportional { dense_threshold })
+        .collect();
+    let mut samples: Vec<Vec<f64>> = vec![Vec::with_capacity(reps); configs.len()];
+    for _ in 0..reps {
+        for (i, config) in configs.iter().enumerate() {
+            samples[i].push(time_tracker_pass(config, w));
+        }
+    }
+    thresholds
+        .iter()
+        .zip(configs.iter())
+        .zip(samples.iter_mut())
+        .map(|((&dense_threshold, config), times)| {
+            let (peak_footprint, final_footprint, _) = instrument_policy(config, w);
+            SweepRow {
+                dense_threshold,
+                timing: TimingStats::from_samples(times),
+                peak_footprint_bytes: peak_footprint,
+                final_footprint_bytes: final_footprint,
+                reps,
+            }
+        })
+        .collect()
 }
 
 fn json_escape(s: &str) -> String {
@@ -149,9 +358,10 @@ fn main() {
     let reps: usize = std::env::var("TIN_BENCH_REPS")
         .ok()
         .and_then(|s| s.parse().ok())
-        .unwrap_or(3)
+        .unwrap_or(5)
         .max(1);
-    let mut out_path = "BENCH_PR2.json".to_string();
+    let mut out_path = "BENCH_PR5.json".to_string();
+    let mut sweep_threshold = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -161,8 +371,9 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--sweep-threshold" => sweep_threshold = true,
             other => {
-                eprintln!("unknown argument {other:?} (supported: --out PATH)");
+                eprintln!("unknown argument {other:?} (supported: --out PATH, --sweep-threshold)");
                 std::process::exit(2);
             }
         }
@@ -174,41 +385,60 @@ fn main() {
         ScaleProfile::Medium => "medium",
         ScaleProfile::Paper => "paper",
     };
-    println!("bench_baseline: scale={scale_key}, seed={seed}, reps={reps}");
+    println!(
+        "bench_baseline: scale={scale_key}, seed={seed}, reps={reps} (interleaved, median){}",
+        if sweep_threshold {
+            ", threshold sweep on"
+        } else {
+            ""
+        }
+    );
 
     let kinds = [DatasetKind::Bitcoin, DatasetKind::Taxis];
     let mut workload_blobs = Vec::new();
+    let mut scaling_blobs = Vec::new();
+    let mut sweep_blobs = Vec::new();
     let mut measured_prop_sparse: Vec<(String, f64)> = Vec::new();
     for kind in kinds {
         let w = Workload::generate(kind, scale);
         println!("\n  {}", w.describe());
-        let mut rows = Vec::new();
-        for config in configs_for(&w) {
-            let row = run_policy(&config, &w, reps);
+
+        // Per-policy table: K interleaved reps, median + min/max.
+        let rows = run_policy_table(&w, reps);
+        for row in &rows {
+            let (median, lo, hi) = row.timing.per_sec(w.interactions.len());
             println!(
-                "    {:<18} {:>12.0} it/s  peak {:>12}  alloc-peak {:>12}",
+                "    {:<18} {:>12.0} it/s  [{:>12.0} .. {:>12.0}]  peak {:>12}",
                 row.key,
-                row.interactions_per_sec,
+                median,
+                lo,
+                hi,
                 tin_memstats::format_bytes(row.peak_footprint_bytes),
-                tin_memstats::format_bytes(row.peak_alloc_bytes),
             );
             if row.key == "prop_sparse" {
-                measured_prop_sparse.push((kind.key().to_string(), row.interactions_per_sec));
+                measured_prop_sparse.push((kind.key().to_string(), median));
             }
-            rows.push(row);
         }
         let policy_blobs: Vec<String> = rows
             .iter()
             .map(|r| {
+                let (median, lo, hi) = r.timing.per_sec(w.interactions.len());
                 format!(
                     concat!(
                         "{{\"policy\": \"{}\", \"runtime_secs\": {}, ",
-                        "\"interactions_per_sec\": {}, \"peak_footprint_bytes\": {}, ",
+                        "\"runtime_secs_min\": {}, \"runtime_secs_max\": {}, ",
+                        "\"interactions_per_sec\": {}, ",
+                        "\"interactions_per_sec_min\": {}, \"interactions_per_sec_max\": {}, ",
+                        "\"peak_footprint_bytes\": {}, ",
                         "\"final_footprint_bytes\": {}, \"peak_alloc_bytes\": {}, \"reps\": {}}}"
                     ),
                     json_escape(&r.key),
-                    fmt_f64(r.runtime_secs),
-                    fmt_f64(r.interactions_per_sec),
+                    fmt_f64(r.timing.median_secs),
+                    fmt_f64(r.timing.min_secs),
+                    fmt_f64(r.timing.max_secs),
+                    fmt_f64(median),
+                    fmt_f64(lo),
+                    fmt_f64(hi),
                     r.peak_footprint_bytes,
                     r.final_footprint_bytes,
                     r.peak_alloc_bytes,
@@ -226,6 +456,74 @@ fn main() {
             w.interactions.len(),
             policy_blobs.join(",\n      "),
         ));
+
+        // Sequential-vs-sharded scaling on the workload's hot-path policy.
+        let scaling_config = if sparse_proportional_feasible(w.num_vertices, w.interactions.len()) {
+            PolicyConfig::Plain(SelectionPolicy::ProportionalSparse)
+        } else {
+            PolicyConfig::Plain(SelectionPolicy::Fifo)
+        };
+        println!("    scaling ({}):", scaling_config.key());
+        for row in run_scaling(&scaling_config, &w, reps) {
+            let (median, _, _) = row.timing.per_sec(w.interactions.len());
+            let label = match row.mode {
+                "sequential" => "sequential".to_string(),
+                _ => format!("sharded x{}", row.shards),
+            };
+            println!(
+                "      {label:<14} {median:>12.0} it/s  speedup {:.2}x",
+                row.speedup_vs_sequential
+            );
+            scaling_blobs.push(format!(
+                concat!(
+                    "{{\"dataset\": \"{}\", \"policy\": \"{}\", \"mode\": \"{}\", ",
+                    "\"shards\": {}, \"runtime_secs\": {}, \"runtime_secs_min\": {}, ",
+                    "\"runtime_secs_max\": {}, \"interactions_per_sec\": {}, ",
+                    "\"speedup_vs_sequential\": {}, \"reps\": {}}}"
+                ),
+                kind.key(),
+                json_escape(&scaling_config.key()),
+                row.mode,
+                row.shards,
+                fmt_f64(row.timing.median_secs),
+                fmt_f64(row.timing.min_secs),
+                fmt_f64(row.timing.max_secs),
+                fmt_f64(median),
+                fmt_f64(row.speedup_vs_sequential),
+                reps,
+            ));
+        }
+
+        // Optional adaptive-promotion-threshold sweep.
+        if sweep_threshold && sparse_proportional_feasible(w.num_vertices, w.interactions.len()) {
+            println!("    threshold sweep (prop_adaptive):");
+            for row in run_threshold_sweep(&w, reps) {
+                let (median, _, _) = row.timing.per_sec(w.interactions.len());
+                println!(
+                    "      t={:.1}  {median:>12.0} it/s  peak {:>12}",
+                    row.dense_threshold,
+                    tin_memstats::format_bytes(row.peak_footprint_bytes),
+                );
+                sweep_blobs.push(format!(
+                    concat!(
+                        "{{\"dataset\": \"{}\", \"dense_threshold\": {}, ",
+                        "\"runtime_secs\": {}, \"runtime_secs_min\": {}, ",
+                        "\"runtime_secs_max\": {}, \"interactions_per_sec\": {}, ",
+                        "\"peak_footprint_bytes\": {}, \"final_footprint_bytes\": {}, ",
+                        "\"reps\": {}}}"
+                    ),
+                    kind.key(),
+                    fmt_f64(row.dense_threshold),
+                    fmt_f64(row.timing.median_secs),
+                    fmt_f64(row.timing.min_secs),
+                    fmt_f64(row.timing.max_secs),
+                    fmt_f64(median),
+                    row.peak_footprint_bytes,
+                    row.final_footprint_bytes,
+                    row.reps,
+                ));
+            }
+        }
     }
 
     // Speedup of the proportional-sparse hot path vs. the pre-change
@@ -255,15 +553,26 @@ fn main() {
         }
     }
 
+    let sweep_section = if sweep_blobs.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "  \"threshold_sweep\": [\n    {}\n  ],\n",
+            sweep_blobs.join(",\n    ")
+        )
+    };
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema_version\": 1,\n",
+            "  \"schema_version\": 2,\n",
             "  \"generated_by\": \"bench_baseline\",\n",
             "  \"scale\": \"{}\",\n",
             "  \"seed\": {},\n",
             "  \"sample_interval\": {},\n",
+            "  \"methodology\": \"median of K interleaved repetitions; min/max alongside\",\n",
             "  \"workloads\": [\n    {}\n  ],\n",
+            "  \"sharded_scaling\": [\n    {}\n  ],\n",
+            "{}",
             "  \"prop_sparse_reference\": {{\n",
             "    \"description\": \"pre-optimisation proportional-sparse throughput, ",
             "measured at the PR 1 tree (commit a14c5bc) with TIN_SCALE=small TIN_SEED=42\",\n",
@@ -275,6 +584,8 @@ fn main() {
         seed,
         SAMPLE_INTERVAL,
         workload_blobs.join(",\n    "),
+        scaling_blobs.join(",\n    "),
+        sweep_section,
         speedups.join(",\n      "),
     );
     std::fs::write(&out_path, &json).unwrap_or_else(|e| {

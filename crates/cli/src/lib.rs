@@ -6,6 +6,7 @@
 //!
 //! ```text
 //! tin-cli stats    <trace>                               # Table 6-style statistics
+//! tin-cli run      <trace> --policy fifo [--shards 4]    # full engine run (sequential or sharded)
 //! tin-cli track    <trace> --policy fifo [--top 10]      # per-vertex origin summary
 //! tin-cli origins  <trace> --vertex NAME [--policy KEY] [--at TIME]
 //! tin-cli snapshot <trace> --policy KEY --out FILE.tsv   # persist the final state
@@ -47,6 +48,19 @@ pub enum Command {
     Stats {
         /// Path to the trace file.
         path: String,
+    },
+    /// Run the full provenance engine over the trace — sequentially or on
+    /// the sharded wavefront engine — and print a deterministic report
+    /// (identical output for every `--shards` value, by construction).
+    Run {
+        /// Path to the trace file.
+        path: String,
+        /// Selection policy to run.
+        policy: SelectionPolicy,
+        /// Number of worker shards (1 = sequential `ProvenanceEngine`).
+        shards: usize,
+        /// How many vertices to show (by buffered quantity).
+        top: usize,
     },
     /// Run a selection policy over the trace and summarise the provenance of
     /// the busiest vertices.
@@ -125,6 +139,7 @@ tin-cli — provenance in temporal interaction networks
 
 USAGE:
   tin-cli stats    <trace>
+  tin-cli run      <trace> [--policy KEY] [--shards N] [--top N]
   tin-cli track    <trace> [--policy KEY] [--top N]
   tin-cli origins  <trace> --vertex NAME [--policy KEY] [--at TIME]
   tin-cli snapshot <trace> [--policy KEY] --out FILE.tsv
@@ -208,6 +223,28 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let parsed = match command.as_str() {
         "stats" => Command::Stats {
             path: first_positional(&positional, "trace path")?,
+        },
+        "run" => Command::Run {
+            path: first_positional(&positional, "trace path")?,
+            policy: parse_policy(
+                &take_flag(&mut flags, "policy").unwrap_or_else(|| "prop_sparse".into()),
+            )?,
+            shards: take_flag(&mut flags, "shards")
+                .map(|v| {
+                    v.parse::<usize>()
+                        .ok()
+                        .filter(|s| *s >= 1)
+                        .ok_or_else(|| format!("invalid --shards {v:?} (expected an integer >= 1)"))
+                })
+                .transpose()?
+                .unwrap_or(1),
+            top: take_flag(&mut flags, "top")
+                .map(|v| {
+                    v.parse::<usize>()
+                        .map_err(|_| format!("invalid --top {v:?}"))
+                })
+                .transpose()?
+                .unwrap_or(10),
         },
         "track" => Command::Track {
             path: first_positional(&positional, "trace path")?,
@@ -366,6 +403,87 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                 stats.min_time, stats.max_time
             )
             .unwrap();
+        }
+
+        Command::Run {
+            path,
+            policy,
+            shards,
+            top,
+        } => {
+            let named = load(path)?;
+            let n = named.num_vertices();
+            let config = PolicyConfig::Plain(*policy);
+            // Collect the provenance-determined results into plain data so
+            // both engines print through one code path. Runtime and
+            // footprint are deliberately absent: the output depends only on
+            // the provenance state, which is bit-identical across shard
+            // counts, so `run --shards 1` and `run --shards N` diff clean.
+            // Rank first and fetch origin sets only for the surviving top-N
+            // rows — in sharded mode every origins() is a channel
+            // round-trip and the sets can be large. Both branches share
+            // this row collection so the printed report cannot diverge
+            // between `--shards 1` and `--shards N`.
+            fn rows_from(
+                buffered: Vec<f64>,
+                top: usize,
+                mut origins_of: impl FnMut(usize) -> tin_core::origins::OriginSet,
+            ) -> Vec<(usize, f64, tin_core::origins::OriginSet)> {
+                let mut ranked: Vec<(usize, f64)> = buffered
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(_, q)| *q > 0.0)
+                    .collect();
+                ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+                ranked.truncate(top);
+                ranked
+                    .into_iter()
+                    .map(|(i, q)| (i, q, origins_of(i)))
+                    .collect()
+            }
+            let (report, rows) = if *shards <= 1 {
+                let mut engine = tin_core::engine::ProvenanceEngine::new(&config, n)?;
+                engine.process_all(&named.interactions)?;
+                let buffered = (0..n)
+                    .map(|i| engine.buffered(tin_core::ids::VertexId::from(i)))
+                    .collect();
+                let rows = rows_from(buffered, *top, |i| {
+                    engine.origins(tin_core::ids::VertexId::from(i))
+                });
+                (engine.report(), rows)
+            } else {
+                let mut engine = tin_shard::ShardedEngine::new(&config, n, *shards)?;
+                engine.process_all(&named.interactions)?;
+                let buffered = engine.buffered_all();
+                let rows = rows_from(buffered, *top, |i| {
+                    engine.origins(tin_core::ids::VertexId::from(i))
+                });
+                (engine.report(), rows)
+            };
+            writeln!(out, "policy          : {}", policy.label()).unwrap();
+            writeln!(out, "interactions    : {}", report.interactions).unwrap();
+            writeln!(out, "total quantity  : {:.4}", report.total_quantity).unwrap();
+            writeln!(out, "newborn quantity: {:.4}", report.newborn_quantity).unwrap();
+            writeln!(out, "relayed quantity: {:.4}", report.relayed_quantity).unwrap();
+            writeln!(out, "top vertices by buffered quantity:").unwrap();
+            for (i, buffered, origins) in &rows {
+                let v = tin_core::ids::VertexId::from(*i);
+                let name = named.interner.name_of(v).unwrap_or("?");
+                let dist = ProvenanceDistribution::from_origins(origins);
+                let top_origins: Vec<String> = dist
+                    .shares
+                    .iter()
+                    .take(3)
+                    .map(|(o, p)| format!("{} {:.0}%", describe_origin(&named, *o), p * 100.0))
+                    .collect();
+                writeln!(
+                    out,
+                    "  {name}: buffered {buffered:.4} from {} origins [{}]",
+                    origins.len(),
+                    top_origins.join(", ")
+                )
+                .unwrap();
+            }
         }
 
         Command::Track { path, policy, top } => {
@@ -632,6 +750,27 @@ mod tests {
             }
         );
         assert_eq!(
+            parse_args(&args(&[
+                "run", "a.csv", "--policy", "fifo", "--shards", "4"
+            ]))
+            .unwrap(),
+            Command::Run {
+                path: "a.csv".into(),
+                policy: SelectionPolicy::Fifo,
+                shards: 4,
+                top: 10
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&["run", "a.csv"])).unwrap(),
+            Command::Run {
+                path: "a.csv".into(),
+                policy: SelectionPolicy::ProportionalSparse,
+                shards: 1,
+                top: 10
+            }
+        );
+        assert_eq!(
             parse_args(&args(&["track", "a.csv", "--policy", "fifo", "--top", "3"])).unwrap(),
             Command::Track {
                 path: "a.csv".into(),
@@ -699,6 +838,8 @@ mod tests {
     fn rejects_malformed_invocations() {
         assert!(parse_args(&args(&["frobnicate"])).is_err());
         assert!(parse_args(&args(&["stats"])).is_err());
+        assert!(parse_args(&args(&["run", "a.csv", "--shards", "0"])).is_err());
+        assert!(parse_args(&args(&["run", "a.csv", "--shards", "many"])).is_err());
         assert!(parse_args(&args(&["influence", "a.csv", "--top", "lots"])).is_err());
         assert!(parse_args(&args(&["similar", "a.csv", "--threshold", "high"])).is_err());
         assert!(parse_args(&args(&["track", "a.csv", "--policy", "bogus"])).is_err());
@@ -748,6 +889,31 @@ mod tests {
         .unwrap();
         assert!(out.contains("policy: FIFO"));
         assert!(out.contains("carol"));
+        std::fs::remove_file(path).ok();
+    }
+
+    /// The `run` command's whole point: the stdout report is byte-identical
+    /// for every shard count (the CI smoke step diffs `--shards 1` against
+    /// `--shards 2` on a generated dataset).
+    #[test]
+    fn run_output_is_identical_across_shard_counts() {
+        let path = write_trace();
+        let path_str = path.to_string_lossy().into_owned();
+        let mut outputs = Vec::new();
+        for shards in [1usize, 2, 3] {
+            let out = run(&Command::Run {
+                path: path_str.clone(),
+                policy: SelectionPolicy::ProportionalSparse,
+                shards,
+                top: 10,
+            })
+            .unwrap();
+            assert!(out.contains("interactions    : 4"));
+            assert!(out.contains("carol"));
+            outputs.push(out);
+        }
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[0], outputs[2]);
         std::fs::remove_file(path).ok();
     }
 

@@ -100,8 +100,16 @@ impl ProvenanceEngine {
     /// the vertex count (`max(1024, |V|/64)`) to keep the amortised
     /// accounting overhead bounded by a small constant per interaction —
     /// provenance footprints grow smoothly, so coarser sampling on huge
-    /// graphs loses almost nothing.
+    /// graphs loses almost nothing. Trackers with a spike monitor (see
+    /// [`ProvenanceTracker::arm_spike_monitor`]) additionally push a
+    /// notification whenever their footprint estimate drifts by more than
+    /// [`Self::SPIKE_FRACTION`] between samples, so short-lived spikes no
+    /// longer hide between the periodic samples.
     pub const FOOTPRINT_SAMPLE_INTERVAL: usize = 1024;
+
+    /// Relative footprint drift at which a tracker-pushed spike notification
+    /// triggers an out-of-schedule footprint sample.
+    pub const SPIKE_FRACTION: f64 = 0.25;
 
     /// Build an engine for a policy configuration over `num_vertices`
     /// vertices.
@@ -109,7 +117,8 @@ impl ProvenanceEngine {
     /// # Errors
     /// Propagates [`TinError::InvalidConfig`] from the tracker factory.
     pub fn new(config: &PolicyConfig, num_vertices: usize) -> Result<Self> {
-        let tracker = build_tracker(config, num_vertices)?;
+        let mut tracker = build_tracker(config, num_vertices)?;
+        tracker.arm_spike_monitor(Self::SPIKE_FRACTION);
         Ok(ProvenanceEngine {
             tracker,
             policy_key: config.key(),
@@ -172,29 +181,11 @@ impl ProvenanceEngine {
     /// * [`TinError::UnknownVertex`] for endpoints outside the vertex set,
     /// * [`TinError::OutOfOrder`] if time goes backwards.
     pub fn process(&mut self, r: &Interaction) -> Result<()> {
-        r.validate(Some(self.processed))?;
-        for endpoint in [r.src, r.dst] {
-            if endpoint.index() >= self.num_vertices {
-                return Err(TinError::UnknownVertex {
-                    vertex: endpoint,
-                    num_vertices: self.num_vertices,
-                });
-            }
-        }
-        if let Some(prev) = self.last_time {
-            if r.time.0 < prev {
-                return Err(TinError::OutOfOrder {
-                    position: self.processed,
-                    previous: prev,
-                    current: r.time.0,
-                });
-            }
-        }
+        validate_stream_step(r, self.processed, self.num_vertices, self.last_time)?;
 
         // Flow accounting (Algorithm 1): anything the source buffer cannot
         // cover is newly generated at the source.
-        let available = self.tracker.buffered(r.src);
-        let newborn = (r.qty - available).max(0.0);
+        let newborn = newborn_quantity(self.tracker.buffered(r.src), r.qty);
         self.total_quantity += r.qty;
         self.newborn_quantity += newborn;
 
@@ -205,10 +196,19 @@ impl ProvenanceEngine {
         self.last_time = Some(r.time.0);
         self.processed += 1;
         let sample_every = Self::FOOTPRINT_SAMPLE_INTERVAL.max(self.num_vertices / 64);
-        if self.processed.is_multiple_of(sample_every) {
+        // Read the spike flag unconditionally: a short-circuited read on a
+        // periodic-sample interaction would leave the monitor un-rebaselined
+        // and trigger a redundant full sample one interaction later.
+        let spiked = self.tracker.take_footprint_spike();
+        if spiked || self.processed.is_multiple_of(sample_every) {
             self.peak_footprint_bytes = self
                 .peak_footprint_bytes
                 .max(self.tracker.footprint().total());
+            if !spiked {
+                // A spike read re-baselines on its own; periodic samples
+                // re-baseline here so drift is measured from the last sample.
+                self.tracker.note_footprint_sampled();
+            }
         }
         if let Some(interval) = self.checkpoint_interval {
             if self.processed.is_multiple_of(interval) {
@@ -261,6 +261,52 @@ impl std::fmt::Debug for ProvenanceEngine {
             .field("checkpoints", &self.checkpoints.len())
             .finish()
     }
+}
+
+/// Stream-step validation shared by every engine front-end (the sequential
+/// [`ProvenanceEngine`] and the sharded engine of the `tin-shard` crate):
+/// malformed interaction, unknown endpoint, or time going backwards. Keeping
+/// one copy is what makes the two engines' "identical validation and error
+/// surface" claim safe against future rule changes.
+///
+/// # Errors
+/// * [`TinError::InvalidQuantity`] / [`TinError::InvalidTimestamp`] /
+///   [`TinError::SelfLoop`] for malformed interactions,
+/// * [`TinError::UnknownVertex`] for endpoints outside the vertex set,
+/// * [`TinError::OutOfOrder`] if time goes backwards.
+pub fn validate_stream_step(
+    r: &Interaction,
+    processed: usize,
+    num_vertices: usize,
+    last_time: Option<f64>,
+) -> Result<()> {
+    r.validate(Some(processed))?;
+    for endpoint in [r.src, r.dst] {
+        if endpoint.index() >= num_vertices {
+            return Err(TinError::UnknownVertex {
+                vertex: endpoint,
+                num_vertices,
+            });
+        }
+    }
+    if let Some(prev) = last_time {
+        if r.time.0 < prev {
+            return Err(TinError::OutOfOrder {
+                position: processed,
+                previous: prev,
+                current: r.time.0,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Algorithm 1's newborn split, shared by every engine front-end: the part
+/// of a transfer that the source's buffered quantity cannot cover is newly
+/// generated at the source.
+#[inline]
+pub fn newborn_quantity(buffered_at_src: Quantity, qty: Quantity) -> Quantity {
+    (qty - buffered_at_src).max(0.0)
 }
 
 /// Run several policy configurations over the same interaction sequence and
@@ -402,6 +448,57 @@ mod tests {
         // An invalid member aborts the whole ensemble.
         let bad = vec![PolicyConfig::Windowed { window: 0 }];
         assert!(run_ensemble(&bad, 3, &paper_running_example()).is_err());
+    }
+
+    /// Satellite (PR 5): trackers push footprint-spike notifications, so a
+    /// spike that lives and dies *between* two periodic samples still shows
+    /// up in `peak_footprint_bytes`. The stream below grows a large
+    /// provenance list at a hub and then lets a keep-important budget shrink
+    /// rebuild it with a tight capacity — the only periodic sample lands
+    /// mid-growth, so without the spike callback the reported peak would
+    /// miss the top of the ramp.
+    #[test]
+    fn spike_callback_catches_peaks_between_samples() {
+        use crate::policy::ShrinkCriterion;
+        let n = 2000usize;
+        let capacity = 1500usize;
+        let config = PolicyConfig::Budgeted {
+            capacity,
+            keep_fraction: 0.5,
+            criterion: ShrinkCriterion::KeepImportant,
+            important: vec![VertexId::new(1)],
+        };
+        let mut engine = ProvenanceEngine::new(&config, n).unwrap();
+        // Phase 1: `capacity` distinct generators feed vertex 0 — its list
+        // grows to the budget limit without shrinking.
+        for i in 1..=capacity as u32 {
+            engine
+                .process(&Interaction::new(i, 0u32, i as f64, 1.0))
+                .unwrap();
+        }
+        let at_peak = engine.tracker().footprint().total();
+        // Phase 2: one more origin pushes the list over budget; the
+        // keep-important shrink rebuilds it at half the entries with a
+        // fresh, tight allocation.
+        engine
+            .process(&Interaction::new(1501u32, 0u32, 1501.0, 1.0))
+            .unwrap();
+        let report = engine.report();
+        // The shrink genuinely released memory...
+        assert!(
+            report.footprint.total() < at_peak,
+            "shrink should drop the footprint: {} vs {at_peak}",
+            report.footprint.total()
+        );
+        // ...and the single periodic sample (at interaction 1024, two thirds
+        // up the ramp) undercounts the true peak, which only the spike
+        // samples reach.
+        assert!(
+            report.peak_footprint_bytes as f64 >= 0.95 * at_peak as f64,
+            "peak {} missed the spike of {at_peak}",
+            report.peak_footprint_bytes
+        );
+        assert!(report.peak_footprint_bytes > report.footprint.total());
     }
 
     #[test]

@@ -71,7 +71,7 @@ pub use interaction::Interaction;
 pub use origins::{OriginSet, OriginShare};
 pub use policy::{PolicyConfig, SelectionPolicy, ShrinkCriterion};
 pub use quantity::Quantity;
-pub use tracker::{build_tracker, ProvenanceTracker};
+pub use tracker::{build_tracker, ProvenanceTracker, ShardVertexState};
 
 /// Convenient glob-import of the most frequently used types.
 pub mod prelude {

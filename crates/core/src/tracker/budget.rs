@@ -14,12 +14,20 @@ use crate::adaptive_vec::ProvenanceVec;
 use crate::error::{Result, TinError};
 use crate::ids::{Origin, VertexId};
 use crate::interaction::Interaction;
-use crate::memory::{FootprintBreakdown, MemoryFootprint};
+use crate::memory::{FootprintBreakdown, MemoryFootprint, SpikeMonitor};
 use crate::origins::OriginSet;
 use crate::policy::ShrinkCriterion;
 use crate::quantity::{qty_clamp_non_negative, qty_ge, qty_is_zero, Quantity};
 use crate::sparse_vec::{MergeScratch, SparseProvenance};
-use crate::tracker::{split_src_dst, ProvenanceTracker};
+use crate::tracker::{split_src_dst, ProvenanceTracker, ShardVertexState};
+
+/// Per-vertex state moved by the shard protocol: the provenance list, the
+/// scalar total, and the vertex's shrink counter.
+struct TakenState {
+    vec: ProvenanceVec,
+    total: Quantity,
+    shrinks: u32,
+}
 
 /// Aggregate shrink statistics, mirroring Table 9 of the paper.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -48,6 +56,7 @@ pub struct BudgetTracker {
     shrinks: Vec<u32>,
     scratch: MergeScratch,
     processed: usize,
+    monitor: Option<SpikeMonitor>,
 }
 
 impl BudgetTracker {
@@ -95,6 +104,7 @@ impl BudgetTracker {
             shrinks: vec![0; num_vertices],
             scratch: MergeScratch::new(),
             processed: 0,
+            monitor: None,
         })
     }
 
@@ -200,6 +210,11 @@ impl ProvenanceTracker for BudgetTracker {
         let s = r.src.index();
         let d = r.dst.index();
         debug_assert_ne!(s, d, "self-loops are rejected at stream validation");
+        let fp_before = if self.monitor.is_some() {
+            self.vectors[s].footprint_bytes() + self.vectors[d].footprint_bytes()
+        } else {
+            0
+        };
 
         {
             let (src_vec, dst_vec) = split_src_dst(&mut self.vectors, s, d);
@@ -221,6 +236,10 @@ impl ProvenanceTracker for BudgetTracker {
         }
         // Only the destination list can have grown beyond the budget.
         self.enforce_budget(d);
+        if let Some(monitor) = &mut self.monitor {
+            let fp_after = self.vectors[s].footprint_bytes() + self.vectors[d].footprint_bytes();
+            monitor.apply_delta(fp_after as isize - fp_before as isize);
+        }
         self.processed += 1;
     }
 
@@ -245,6 +264,48 @@ impl ProvenanceTracker for BudgetTracker {
 
     fn interactions_processed(&self) -> usize {
         self.processed
+    }
+
+    fn take_vertex_state(&mut self, v: VertexId) -> Option<ShardVertexState> {
+        let i = v.index();
+        let vec = std::mem::take(&mut self.vectors[i]);
+        // Migrating state carries its footprint with it (see
+        // `ProportionalSparseTracker::take_vertex_state`).
+        if let Some(monitor) = &mut self.monitor {
+            monitor.apply_delta(-(vec.footprint_bytes() as isize));
+        }
+        Some(ShardVertexState::new(TakenState {
+            vec,
+            total: std::mem::take(&mut self.totals[i]),
+            shrinks: std::mem::take(&mut self.shrinks[i]),
+        }))
+    }
+
+    fn put_vertex_state(&mut self, v: VertexId, state: ShardVertexState) {
+        let taken: TakenState = state.downcast();
+        let i = v.index();
+        if let Some(monitor) = &mut self.monitor {
+            monitor.apply_delta(taken.vec.footprint_bytes() as isize);
+        }
+        self.vectors[i] = taken.vec;
+        self.totals[i] = taken.total;
+        self.shrinks[i] = taken.shrinks;
+    }
+
+    fn arm_spike_monitor(&mut self, fraction: f64) -> bool {
+        let estimate: usize = self.vectors.iter().map(|p| p.footprint_bytes()).sum();
+        self.monitor = Some(SpikeMonitor::new(fraction, estimate));
+        true
+    }
+
+    fn take_footprint_spike(&mut self) -> bool {
+        self.monitor.as_mut().is_some_and(SpikeMonitor::take_spike)
+    }
+
+    fn note_footprint_sampled(&mut self) {
+        if let Some(monitor) = &mut self.monitor {
+            monitor.rebaseline();
+        }
     }
 }
 

@@ -14,7 +14,14 @@ use crate::interaction::Interaction;
 use crate::memory::{FootprintBreakdown, MemoryFootprint};
 use crate::origins::OriginSet;
 use crate::quantity::{qty_is_zero, Quantity};
-use crate::tracker::{split_src_dst, ProvenanceTracker};
+use crate::tracker::{split_src_dst, ProvenanceTracker, ShardVertexState};
+
+/// Per-vertex state moved by the shard protocol: the whole generation-time
+/// heap (its backing array — and therefore its exact tie-breaking layout —
+/// moves wholesale).
+struct TakenState {
+    buf: HeapBuffer,
+}
 
 /// Algorithm 2: provenance tracking under generation-time selection.
 #[derive(Clone, Debug)]
@@ -128,6 +135,18 @@ impl ProvenanceTracker for GenerationTimeTracker {
 
     fn interactions_processed(&self) -> usize {
         self.processed
+    }
+
+    fn take_vertex_state(&mut self, v: VertexId) -> Option<ShardVertexState> {
+        let i = v.index();
+        Some(ShardVertexState::new(TakenState {
+            buf: std::mem::replace(&mut self.buffers[i], HeapBuffer::new(self.kind)),
+        }))
+    }
+
+    fn put_vertex_state(&mut self, v: VertexId, state: ShardVertexState) {
+        let taken: TakenState = state.downcast();
+        self.buffers[v.index()] = taken.buf;
     }
 }
 

@@ -48,6 +48,47 @@ use crate::policy::{PolicyConfig, SelectionPolicy};
 use crate::quantity::{qty_approx_eq, Quantity};
 use crate::stream::InteractionSource;
 
+/// The per-vertex provenance state of one vertex, moved out of a tracker for
+/// sharded execution (the `tin-shard` crate).
+///
+/// Every tracker's state is a per-vertex structure — a provenance vector, a
+/// receipt queue, a generation-time heap, a path buffer — plus read-only
+/// configuration and scalar counters. A sharded engine migrates exactly this
+/// per-vertex structure between shard-local tracker replicas: the native
+/// buffers are *moved* (the sparse vectors keep their packed SoA key/value
+/// layout from [`crate::sparse_vec`]), never re-serialised, so a re-imported
+/// vertex behaves bit-identically to one that never left.
+///
+/// The payload is type-erased: each tracker knows its own state shape and
+/// [`ShardVertexState::downcast`]s it back on import. Mixing states between
+/// tracker types is a programming error and panics.
+pub struct ShardVertexState(Box<dyn std::any::Any + Send>);
+
+impl ShardVertexState {
+    /// Wrap a tracker-specific per-vertex state payload.
+    pub fn new<T: std::any::Any + Send>(payload: T) -> Self {
+        ShardVertexState(Box::new(payload))
+    }
+
+    /// Recover the concrete payload.
+    ///
+    /// # Panics
+    /// Panics if the state was produced by a different tracker type — shard
+    /// protocol states must round-trip through trackers of one configuration.
+    pub fn downcast<T: std::any::Any + Send>(self) -> T {
+        *self
+            .0
+            .downcast::<T>()
+            .unwrap_or_else(|_| panic!("vertex state belongs to a different tracker type"))
+    }
+}
+
+impl std::fmt::Debug for ShardVertexState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ShardVertexState(..)")
+    }
+}
+
 /// Split one mutable slice into simultaneous `(source, destination)` vector
 /// borrows — the per-interaction borrow dance shared by every vector-based
 /// tracker. `src` and `dst` must be distinct in-bounds indices.
@@ -123,6 +164,73 @@ pub trait ProvenanceTracker {
     fn check_all_invariants(&self) -> bool {
         (0..self.num_vertices()).all(|i| self.check_origin_invariant(VertexId::from(i)))
     }
+
+    // --- sharded execution support (see the `tin-shard` crate) ---
+
+    /// Move vertex `v`'s provenance state out of the tracker, leaving a
+    /// hollow (empty) slot behind. The state can later be re-installed —
+    /// into this tracker or into another instance of the *same*
+    /// configuration — with [`Self::put_vertex_state`].
+    ///
+    /// A hollow slot must not be read or processed until a state is put
+    /// back; the sharded engine's conflict-free batching guarantees this.
+    ///
+    /// Returns `None` for trackers that do not support sharded execution
+    /// (none of the [`build_tracker`] policies — they all do — but external
+    /// tracker implementations get a safe default).
+    fn take_vertex_state(&mut self, v: VertexId) -> Option<ShardVertexState> {
+        let _ = v;
+        None
+    }
+
+    /// Re-install a per-vertex state previously produced by
+    /// [`Self::take_vertex_state`] on a tracker of the same configuration.
+    ///
+    /// # Panics
+    /// The default implementation panics: trackers that support sharding
+    /// override both methods together.
+    fn put_vertex_state(&mut self, v: VertexId, state: ShardVertexState) {
+        let _ = (v, state);
+        panic!("this tracker does not support sharded execution");
+    }
+
+    /// Advance the tracker's global-epoch clock — the stream position
+    /// (`processed` interactions so far) and the latest timestamp — without
+    /// processing any interaction, firing any window resets crossed on the
+    /// way (count-based and time-based windowed tracking key their resets to
+    /// these global coordinates). Trackers without epoch semantics ignore
+    /// this; the sharded engine calls it so every shard replica fires the
+    /// same resets at the same logical stream positions as a sequential run.
+    fn sync_epoch(&mut self, processed: usize, now: f64) {
+        let _ = (processed, now);
+    }
+
+    // --- footprint spike notifications (engine peak accounting) ---
+
+    /// Arm an internal footprint-spike monitor: after this call the tracker
+    /// cheaply tracks its own footprint estimate and reports — via
+    /// [`Self::take_footprint_spike`] — whenever the estimate drifted by
+    /// more than `fraction` (relative) since the engine last sampled.
+    /// Returns `true` if the tracker supports spike monitoring.
+    fn arm_spike_monitor(&mut self, fraction: f64) -> bool {
+        let _ = fraction;
+        false
+    }
+
+    /// True if the footprint estimate spiked past the armed threshold since
+    /// the last engine sample (a `true` reading re-baselines the monitor;
+    /// `false` leaves it untouched). The engine samples the full footprint
+    /// whenever this fires, so
+    /// [`crate::engine::EngineReport::peak_footprint_bytes`] no longer
+    /// misses spikes between its periodic samples.
+    fn take_footprint_spike(&mut self) -> bool {
+        false
+    }
+
+    /// Notification that the engine just took a full footprint sample for a
+    /// reason other than a spike (the periodic schedule): monitored trackers
+    /// re-baseline so drift is always measured against the last sample.
+    fn note_footprint_sampled(&mut self) {}
 }
 
 impl MemoryFootprint for dyn ProvenanceTracker + '_ {

@@ -11,7 +11,14 @@ use crate::interaction::Interaction;
 use crate::memory::{vec_bytes, FootprintBreakdown};
 use crate::origins::OriginSet;
 use crate::quantity::{qty_clamp_non_negative, qty_is_zero, Quantity};
-use crate::tracker::ProvenanceTracker;
+use crate::tracker::{ProvenanceTracker, ShardVertexState};
+
+/// Per-vertex state moved by the shard protocol: the scalar buffer plus the
+/// generated-so-far counter.
+struct TakenState {
+    buffered: Quantity,
+    generated: Quantity,
+}
 
 /// Algorithm 1: quantity propagation without provenance tracking.
 #[derive(Clone, Debug)]
@@ -100,6 +107,21 @@ impl ProvenanceTracker for NoProvTracker {
 
     fn interactions_processed(&self) -> usize {
         self.processed
+    }
+
+    fn take_vertex_state(&mut self, v: VertexId) -> Option<ShardVertexState> {
+        let i = v.index();
+        Some(ShardVertexState::new(TakenState {
+            buffered: std::mem::take(&mut self.buffers[i]),
+            generated: std::mem::take(&mut self.generated[i]),
+        }))
+    }
+
+    fn put_vertex_state(&mut self, v: VertexId, state: ShardVertexState) {
+        let taken: TakenState = state.downcast();
+        let i = v.index();
+        self.buffers[i] = taken.buffered;
+        self.generated[i] = taken.generated;
     }
 }
 

@@ -20,7 +20,13 @@ use crate::interaction::Interaction;
 use crate::memory::FootprintBreakdown;
 use crate::origins::OriginSet;
 use crate::quantity::{qty_gt, qty_is_zero, Quantity};
-use crate::tracker::{split_src_dst, ProvenanceTracker};
+use crate::tracker::{split_src_dst, ProvenanceTracker, ShardVertexState};
+
+/// Per-vertex state moved by the shard protocol: the whole path buffer
+/// (elements, paths and receipt order move wholesale).
+struct TakenState {
+    buf: PathBuffer,
+}
 
 /// A buffered quantity element annotated with its transfer path.
 #[derive(Clone, Debug, PartialEq)]
@@ -250,6 +256,18 @@ impl ProvenanceTracker for PathTracker {
 
     fn interactions_processed(&self) -> usize {
         self.processed
+    }
+
+    fn take_vertex_state(&mut self, v: VertexId) -> Option<ShardVertexState> {
+        let i = v.index();
+        Some(ShardVertexState::new(TakenState {
+            buf: std::mem::take(&mut self.buffers[i]),
+        }))
+    }
+
+    fn put_vertex_state(&mut self, v: VertexId, state: ShardVertexState) {
+        let taken: TakenState = state.downcast();
+        self.buffers[v.index()] = taken.buf;
     }
 }
 

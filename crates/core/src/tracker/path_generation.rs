@@ -21,7 +21,14 @@ use crate::interaction::Interaction;
 use crate::memory::FootprintBreakdown;
 use crate::origins::OriginSet;
 use crate::quantity::{qty_gt, qty_is_zero, Quantity};
-use crate::tracker::{split_src_dst, ProvenanceTracker};
+use crate::tracker::{split_src_dst, ProvenanceTracker, ShardVertexState};
+
+/// Per-vertex state moved by the shard protocol: the whole path heap (its
+/// backing array, per-vertex sequence counter and tie-breaking layout move
+/// wholesale).
+struct TakenState {
+    buf: PathHeapBuffer,
+}
 
 /// A buffered quantity element annotated with its birth time and its transfer
 /// path.
@@ -325,6 +332,18 @@ impl ProvenanceTracker for GenerationPathTracker {
 
     fn interactions_processed(&self) -> usize {
         self.processed
+    }
+
+    fn take_vertex_state(&mut self, v: VertexId) -> Option<ShardVertexState> {
+        let i = v.index();
+        Some(ShardVertexState::new(TakenState {
+            buf: std::mem::replace(&mut self.buffers[i], PathHeapBuffer::new()),
+        }))
+    }
+
+    fn put_vertex_state(&mut self, v: VertexId, state: ShardVertexState) {
+        let taken: TakenState = state.downcast();
+        self.buffers[v.index()] = taken.buf;
     }
 }
 

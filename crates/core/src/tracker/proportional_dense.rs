@@ -14,7 +14,14 @@ use crate::interaction::Interaction;
 use crate::memory::{FootprintBreakdown, MemoryFootprint};
 use crate::origins::OriginSet;
 use crate::quantity::{qty_clamp_non_negative, qty_ge, Quantity};
-use crate::tracker::{split_src_dst, ProvenanceTracker};
+use crate::tracker::{split_src_dst, ProvenanceTracker, ShardVertexState};
+
+/// Per-vertex state moved by the shard protocol: the dense row (its `Vec`
+/// allocation moves wholesale) plus the scalar total.
+struct TakenState {
+    row: DenseProvenance,
+    total: Quantity,
+}
 
 /// Algorithm 3: proportional provenance with dense `|V|`-length vectors.
 #[derive(Clone, Debug)]
@@ -105,6 +112,21 @@ impl ProvenanceTracker for ProportionalDenseTracker {
 
     fn interactions_processed(&self) -> usize {
         self.processed
+    }
+
+    fn take_vertex_state(&mut self, v: VertexId) -> Option<ShardVertexState> {
+        let i = v.index();
+        Some(ShardVertexState::new(TakenState {
+            row: std::mem::replace(&mut self.vectors[i], DenseProvenance::zeros(0)),
+            total: std::mem::take(&mut self.totals[i]),
+        }))
+    }
+
+    fn put_vertex_state(&mut self, v: VertexId, state: ShardVertexState) {
+        let taken: TakenState = state.downcast();
+        let i = v.index();
+        self.vectors[i] = taken.row;
+        self.totals[i] = taken.total;
     }
 }
 

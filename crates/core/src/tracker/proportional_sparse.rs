@@ -19,10 +19,17 @@ use crate::adaptive_vec::{AdaptiveParams, ProvenanceVec};
 use crate::error::Result;
 use crate::ids::VertexId;
 use crate::interaction::Interaction;
-use crate::memory::{FootprintBreakdown, MemoryFootprint};
+use crate::memory::{FootprintBreakdown, MemoryFootprint, SpikeMonitor};
 use crate::origins::OriginSet;
 use crate::quantity::{qty_clamp_non_negative, qty_ge, Quantity};
-use crate::tracker::{split_src_dst, ProvenanceTracker};
+use crate::tracker::{split_src_dst, ProvenanceTracker, ShardVertexState};
+
+/// Per-vertex state moved by the shard protocol: the provenance vector (its
+/// packed SoA buffers move wholesale, sparse or dense) plus the scalar total.
+struct TakenState {
+    vec: ProvenanceVec,
+    total: Quantity,
+}
 
 /// Proportional provenance with sparse list representations (optionally
 /// adaptive, see [`Self::adaptive`]).
@@ -32,6 +39,7 @@ pub struct ProportionalSparseTracker {
     totals: Vec<Quantity>,
     params: AdaptiveParams,
     processed: usize,
+    monitor: Option<SpikeMonitor>,
 }
 
 impl ProportionalSparseTracker {
@@ -62,6 +70,7 @@ impl ProportionalSparseTracker {
             totals: vec![0.0; num_vertices],
             params,
             processed: 0,
+            monitor: None,
         }
     }
 
@@ -117,6 +126,11 @@ impl ProvenanceTracker for ProportionalSparseTracker {
         let s = r.src.index();
         let d = r.dst.index();
         let (src_vec, dst_vec) = split_src_dst(&mut self.vectors, s, d);
+        let fp_before = if self.monitor.is_some() {
+            src_vec.footprint_bytes() + dst_vec.footprint_bytes()
+        } else {
+            0
+        };
 
         let src_total = self.totals[s];
         if qty_ge(r.qty, src_total) {
@@ -136,6 +150,10 @@ impl ProvenanceTracker for ProportionalSparseTracker {
             self.totals[s] = qty_clamp_non_negative(src_total - r.qty);
         }
         dst_vec.maybe_promote(&self.params);
+        if let Some(monitor) = &mut self.monitor {
+            let fp_after = src_vec.footprint_bytes() + dst_vec.footprint_bytes();
+            monitor.apply_delta(fp_after as isize - fp_before as isize);
+        }
         self.processed += 1;
     }
 
@@ -158,6 +176,47 @@ impl ProvenanceTracker for ProportionalSparseTracker {
 
     fn interactions_processed(&self) -> usize {
         self.processed
+    }
+
+    fn take_vertex_state(&mut self, v: VertexId) -> Option<ShardVertexState> {
+        let i = v.index();
+        let vec = std::mem::take(&mut self.vectors[i]);
+        // Migrating state carries its footprint with it: without the delta a
+        // borrowing shard's estimate inflates by every borrowed growth while
+        // the owner's misses it, so spikes fire on the wrong replica.
+        if let Some(monitor) = &mut self.monitor {
+            monitor.apply_delta(-(vec.footprint_bytes() as isize));
+        }
+        Some(ShardVertexState::new(TakenState {
+            vec,
+            total: std::mem::take(&mut self.totals[i]),
+        }))
+    }
+
+    fn put_vertex_state(&mut self, v: VertexId, state: ShardVertexState) {
+        let taken: TakenState = state.downcast();
+        let i = v.index();
+        if let Some(monitor) = &mut self.monitor {
+            monitor.apply_delta(taken.vec.footprint_bytes() as isize);
+        }
+        self.vectors[i] = taken.vec;
+        self.totals[i] = taken.total;
+    }
+
+    fn arm_spike_monitor(&mut self, fraction: f64) -> bool {
+        let estimate: usize = self.vectors.iter().map(|p| p.footprint_bytes()).sum();
+        self.monitor = Some(SpikeMonitor::new(fraction, estimate));
+        true
+    }
+
+    fn take_footprint_spike(&mut self) -> bool {
+        self.monitor.as_mut().is_some_and(SpikeMonitor::take_spike)
+    }
+
+    fn note_footprint_sampled(&mut self) {
+        if let Some(monitor) = &mut self.monitor {
+            monitor.rebaseline();
+        }
     }
 }
 

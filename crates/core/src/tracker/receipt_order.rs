@@ -12,7 +12,13 @@ use crate::interaction::Interaction;
 use crate::memory::{FootprintBreakdown, MemoryFootprint};
 use crate::origins::OriginSet;
 use crate::quantity::{qty_is_zero, Quantity};
-use crate::tracker::{split_src_dst, ProvenanceTracker};
+use crate::tracker::{split_src_dst, ProvenanceTracker, ShardVertexState};
+
+/// Per-vertex state moved by the shard protocol: the whole receipt-order
+/// queue (pairs in receipt order, ring buffer moved wholesale).
+struct TakenState {
+    buf: QueueBuffer,
+}
 
 /// Provenance tracking under receipt-order selection (FIFO or LIFO buffers).
 #[derive(Clone, Debug)]
@@ -113,6 +119,18 @@ impl ProvenanceTracker for ReceiptOrderTracker {
 
     fn interactions_processed(&self) -> usize {
         self.processed
+    }
+
+    fn take_vertex_state(&mut self, v: VertexId) -> Option<ShardVertexState> {
+        let i = v.index();
+        Some(ShardVertexState::new(TakenState {
+            buf: std::mem::replace(&mut self.buffers[i], QueueBuffer::new(self.discipline)),
+        }))
+    }
+
+    fn put_vertex_state(&mut self, v: VertexId, state: ShardVertexState) {
+        let taken: TakenState = state.downcast();
+        self.buffers[v.index()] = taken.buf;
     }
 }
 

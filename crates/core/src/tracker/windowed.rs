@@ -14,10 +14,18 @@ use crate::adaptive_vec::ProvenanceVec;
 use crate::error::{Result, TinError};
 use crate::ids::VertexId;
 use crate::interaction::Interaction;
-use crate::memory::{FootprintBreakdown, MemoryFootprint};
+use crate::memory::{FootprintBreakdown, MemoryFootprint, SpikeMonitor};
 use crate::origins::OriginSet;
 use crate::quantity::{qty_clamp_non_negative, qty_ge, Quantity};
-use crate::tracker::{split_src_dst, ProvenanceTracker};
+use crate::tracker::{split_src_dst, ProvenanceTracker, ShardVertexState};
+
+/// Per-vertex state moved by the shard protocol: both vector families plus
+/// the scalar total.
+struct TakenState {
+    odd: ProvenanceVec,
+    even: ProvenanceVec,
+    total: Quantity,
+}
 
 /// Which of the two per-vertex vectors a query should read.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -37,6 +45,7 @@ pub struct WindowedTracker {
     processed: usize,
     /// How many window resets have happened so far.
     resets: usize,
+    monitor: Option<SpikeMonitor>,
 }
 
 impl WindowedTracker {
@@ -57,7 +66,33 @@ impl WindowedTracker {
             totals: vec![0.0; num_vertices],
             processed: 0,
             resets: 0,
+            monitor: None,
         })
+    }
+
+    /// Fire one window reset: clear whichever vector family's turn it is to
+    /// the single entry `(α, |B_v|)` at every vertex (Figure 4).
+    fn fire_reset(&mut self) {
+        self.resets += 1;
+        let targets = if self.resets % 2 == 1 {
+            &mut self.odd
+        } else {
+            &mut self.even
+        };
+        for (v, vec) in targets.iter_mut().enumerate() {
+            vec.reset_to_unknown(self.totals[v]);
+        }
+        if let Some(monitor) = &mut self.monitor {
+            // A reset rewrites every vector of one family; re-basing the
+            // estimate costs O(|V|), same as the reset itself.
+            let estimate: usize = self
+                .odd
+                .iter()
+                .chain(self.even.iter())
+                .map(|p| p.footprint_bytes())
+                .sum();
+            monitor.set_estimate(estimate);
+        }
     }
 
     /// The window length W.
@@ -121,6 +156,14 @@ impl ProvenanceTracker for WindowedTracker {
         let s = r.src.index();
         let d = r.dst.index();
         debug_assert_ne!(s, d, "self-loops are rejected at stream validation");
+        let fp_before = if self.monitor.is_some() {
+            self.odd[s].footprint_bytes()
+                + self.odd[d].footprint_bytes()
+                + self.even[s].footprint_bytes()
+                + self.even[d].footprint_bytes()
+        } else {
+            0
+        };
 
         // Both vector families are updated at every interaction.
         Self::apply(&mut self.odd, &self.totals, r);
@@ -135,19 +178,17 @@ impl ProvenanceTracker for WindowedTracker {
         }
         self.totals[d] += r.qty;
         self.processed += 1;
+        if let Some(monitor) = &mut self.monitor {
+            let fp_after = self.odd[s].footprint_bytes()
+                + self.odd[d].footprint_bytes()
+                + self.even[s].footprint_bytes()
+                + self.even[d].footprint_bytes();
+            monitor.apply_delta(fp_after as isize - fp_before as isize);
+        }
 
         // Reset at multiples of W (Figure 4).
         if self.processed.is_multiple_of(self.window) {
-            self.resets += 1;
-            let odd_multiple = self.resets % 2 == 1;
-            let targets = if odd_multiple {
-                &mut self.odd
-            } else {
-                &mut self.even
-            };
-            for (v, vec) in targets.iter_mut().enumerate() {
-                vec.reset_to_unknown(self.totals[v]);
-            }
+            self.fire_reset();
         }
     }
 
@@ -180,6 +221,72 @@ impl ProvenanceTracker for WindowedTracker {
 
     fn interactions_processed(&self) -> usize {
         self.processed
+    }
+
+    fn take_vertex_state(&mut self, v: VertexId) -> Option<ShardVertexState> {
+        let i = v.index();
+        let odd = std::mem::take(&mut self.odd[i]);
+        let even = std::mem::take(&mut self.even[i]);
+        // Migrating state carries its footprint with it (see
+        // `ProportionalSparseTracker::take_vertex_state`).
+        if let Some(monitor) = &mut self.monitor {
+            monitor.apply_delta(-((odd.footprint_bytes() + even.footprint_bytes()) as isize));
+        }
+        Some(ShardVertexState::new(TakenState {
+            odd,
+            even,
+            total: std::mem::take(&mut self.totals[i]),
+        }))
+    }
+
+    fn put_vertex_state(&mut self, v: VertexId, state: ShardVertexState) {
+        let taken: TakenState = state.downcast();
+        let i = v.index();
+        if let Some(monitor) = &mut self.monitor {
+            monitor
+                .apply_delta((taken.odd.footprint_bytes() + taken.even.footprint_bytes()) as isize);
+        }
+        self.odd[i] = taken.odd;
+        self.even[i] = taken.even;
+        self.totals[i] = taken.total;
+    }
+
+    fn sync_epoch(&mut self, processed: usize, _now: f64) {
+        // A shard replica may have processed only a subset of the stream; the
+        // reset schedule is keyed to the *global* interaction count, so jump
+        // the clock forward and fire every window boundary crossed on the
+        // way. Resets already fired locally (a replica whose own counter hit
+        // the boundary) are not fired twice: `resets == processed / window`
+        // is an invariant on both paths.
+        if processed <= self.processed {
+            return;
+        }
+        let due = processed / self.window;
+        while self.resets < due {
+            self.fire_reset();
+        }
+        self.processed = processed;
+    }
+
+    fn arm_spike_monitor(&mut self, fraction: f64) -> bool {
+        let estimate: usize = self
+            .odd
+            .iter()
+            .chain(self.even.iter())
+            .map(|p| p.footprint_bytes())
+            .sum();
+        self.monitor = Some(SpikeMonitor::new(fraction, estimate));
+        true
+    }
+
+    fn take_footprint_spike(&mut self) -> bool {
+        self.monitor.as_mut().is_some_and(SpikeMonitor::take_spike)
+    }
+
+    fn note_footprint_sampled(&mut self) {
+        if let Some(monitor) = &mut self.monitor {
+            monitor.rebaseline();
+        }
     }
 }
 

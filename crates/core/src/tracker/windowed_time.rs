@@ -19,10 +19,18 @@ use crate::adaptive_vec::ProvenanceVec;
 use crate::error::{Result, TinError};
 use crate::ids::VertexId;
 use crate::interaction::Interaction;
-use crate::memory::{FootprintBreakdown, MemoryFootprint};
+use crate::memory::{FootprintBreakdown, MemoryFootprint, SpikeMonitor};
 use crate::origins::OriginSet;
 use crate::quantity::{qty_clamp_non_negative, qty_ge, Quantity};
-use crate::tracker::{split_src_dst, ProvenanceTracker};
+use crate::tracker::{split_src_dst, ProvenanceTracker, ShardVertexState};
+
+/// Per-vertex state moved by the shard protocol: both vector families plus
+/// the scalar total.
+struct TakenState {
+    odd: ProvenanceVec,
+    even: ProvenanceVec,
+    total: Quantity,
+}
 
 /// Proportional provenance limited to a sliding window of `D`–`2·D` time
 /// units (compare [`super::windowed::WindowedTracker`], which counts
@@ -37,6 +45,7 @@ pub struct TimeWindowedTracker {
     resets: usize,
     /// Index of the last window boundary crossed: `floor(t / duration)`.
     epoch: u64,
+    monitor: Option<SpikeMonitor>,
 }
 
 impl TimeWindowedTracker {
@@ -59,6 +68,7 @@ impl TimeWindowedTracker {
             processed: 0,
             resets: 0,
             epoch: 0,
+            monitor: None,
         })
     }
 
@@ -78,6 +88,38 @@ impl TimeWindowedTracker {
         // The active vector was last reset at the start of the previous epoch
         // (or at time 0 when no reset has fired yet).
         self.epoch.saturating_sub(1) as f64 * self.duration
+    }
+
+    /// Fire every window boundary crossed up to timestamp `now` (the reset
+    /// loop of `process`, shared with the shard-replica epoch sync).
+    fn fire_resets_until(&mut self, now: f64) {
+        let epoch_now = (now / self.duration).floor() as u64;
+        let fired = self.epoch < epoch_now;
+        while self.epoch < epoch_now {
+            self.epoch += 1;
+            self.resets += 1;
+            let targets = if self.resets % 2 == 1 {
+                &mut self.odd
+            } else {
+                &mut self.even
+            };
+            for (v, vec) in targets.iter_mut().enumerate() {
+                vec.reset_to_unknown(self.totals[v]);
+            }
+        }
+        if let Some(monitor) = &mut self.monitor {
+            if fired {
+                // A reset rewrites every vector of one family; re-basing the
+                // estimate costs O(|V|), same as the reset itself.
+                let estimate: usize = self
+                    .odd
+                    .iter()
+                    .chain(self.even.iter())
+                    .map(|p| p.footprint_bytes())
+                    .sum();
+                monitor.set_estimate(estimate);
+            }
+        }
     }
 
     fn apply(vectors: &mut [ProvenanceVec], totals: &[Quantity], r: &Interaction) {
@@ -113,20 +155,18 @@ impl ProvenanceTracker for TimeWindowedTracker {
         debug_assert_ne!(s, d, "self-loops are rejected at stream validation");
 
         // Fire any window boundaries passed since the previous interaction
-        // *before* applying it, so the new quantities belong to the new epoch.
-        let epoch_now = (r.time.value() / self.duration).floor() as u64;
-        while self.epoch < epoch_now {
-            self.epoch += 1;
-            self.resets += 1;
-            let targets = if self.resets % 2 == 1 {
-                &mut self.odd
-            } else {
-                &mut self.even
-            };
-            for (v, vec) in targets.iter_mut().enumerate() {
-                vec.reset_to_unknown(self.totals[v]);
-            }
-        }
+        // *before* applying it, so the new quantities belong to the new epoch
+        // (and before measuring the monitored footprint delta, so the reset's
+        // wholesale re-estimate is not double-counted).
+        self.fire_resets_until(r.time.value());
+        let fp_before = if self.monitor.is_some() {
+            self.odd[s].footprint_bytes()
+                + self.odd[d].footprint_bytes()
+                + self.even[s].footprint_bytes()
+                + self.even[d].footprint_bytes()
+        } else {
+            0
+        };
 
         Self::apply(&mut self.odd, &self.totals, r);
         Self::apply(&mut self.even, &self.totals, r);
@@ -139,6 +179,13 @@ impl ProvenanceTracker for TimeWindowedTracker {
         }
         self.totals[d] += r.qty;
         self.processed += 1;
+        if let Some(monitor) = &mut self.monitor {
+            let fp_after = self.odd[s].footprint_bytes()
+                + self.odd[d].footprint_bytes()
+                + self.even[s].footprint_bytes()
+                + self.even[d].footprint_bytes();
+            monitor.apply_delta(fp_after as isize - fp_before as isize);
+        }
     }
 
     fn buffered(&self, v: VertexId) -> Quantity {
@@ -173,6 +220,63 @@ impl ProvenanceTracker for TimeWindowedTracker {
 
     fn interactions_processed(&self) -> usize {
         self.processed
+    }
+
+    fn take_vertex_state(&mut self, v: VertexId) -> Option<ShardVertexState> {
+        let i = v.index();
+        let odd = std::mem::take(&mut self.odd[i]);
+        let even = std::mem::take(&mut self.even[i]);
+        // Migrating state carries its footprint with it (see
+        // `ProportionalSparseTracker::take_vertex_state`).
+        if let Some(monitor) = &mut self.monitor {
+            monitor.apply_delta(-((odd.footprint_bytes() + even.footprint_bytes()) as isize));
+        }
+        Some(ShardVertexState::new(TakenState {
+            odd,
+            even,
+            total: std::mem::take(&mut self.totals[i]),
+        }))
+    }
+
+    fn put_vertex_state(&mut self, v: VertexId, state: ShardVertexState) {
+        let taken: TakenState = state.downcast();
+        let i = v.index();
+        if let Some(monitor) = &mut self.monitor {
+            monitor
+                .apply_delta((taken.odd.footprint_bytes() + taken.even.footprint_bytes()) as isize);
+        }
+        self.odd[i] = taken.odd;
+        self.even[i] = taken.even;
+        self.totals[i] = taken.total;
+    }
+
+    fn sync_epoch(&mut self, _processed: usize, now: f64) {
+        // The reset schedule is keyed to the stream timestamps; a replica
+        // that saw no interaction of the new epoch yet fires the pending
+        // boundary resets here. Replicas that already crossed the boundary
+        // inside `process` are untouched (`epoch` is monotone).
+        self.fire_resets_until(now);
+    }
+
+    fn arm_spike_monitor(&mut self, fraction: f64) -> bool {
+        let estimate: usize = self
+            .odd
+            .iter()
+            .chain(self.even.iter())
+            .map(|p| p.footprint_bytes())
+            .sum();
+        self.monitor = Some(SpikeMonitor::new(fraction, estimate));
+        true
+    }
+
+    fn take_footprint_spike(&mut self) -> bool {
+        self.monitor.as_mut().is_some_and(SpikeMonitor::take_spike)
+    }
+
+    fn note_footprint_sampled(&mut self) {
+        if let Some(monitor) = &mut self.monitor {
+            monitor.rebaseline();
+        }
     }
 }
 

@@ -1,0 +1,825 @@
+//! The sharded parallel provenance engine.
+//!
+//! ## Execution model
+//!
+//! `N` worker shards each own a full tracker replica built from the same
+//! [`PolicyConfig`]. Vertices are hash-partitioned: shard `h(v)` holds the
+//! *authoritative* per-vertex state of `v`; every other replica's slot for
+//! `v` is hollow. The main thread validates the stream, accounts flow
+//! (Algorithm 1's newborn-vs-relayed split), and cuts it into conflict-free
+//! wavefronts with the [`WavefrontScheduler`]; each wavefront fans out to
+//! the shards over `std::sync::mpsc` channels:
+//!
+//! * an interaction whose endpoints share an owner is processed *locally*
+//!   by that shard's tracker — the exact same `process` code path as the
+//!   sequential engine;
+//! * a cross-shard interaction is processed by the **destination owner**:
+//!   the source owner first ships the source vertex's state as a packed
+//!   provenance-delta message (the native per-vertex buffers move wholesale
+//!   — sparse vectors keep the SoA key/value layout of
+//!   `tin_core::sparse_vec`), the destination owner installs it, runs
+//!   `process`, and ships the updated source state home. A shard therefore
+//!   never touches another shard's vectors.
+//!
+//! Because interactions inside a wavefront touch pairwise-disjoint vertex
+//! pairs, each per-vertex state sees exactly the same operation sequence, in
+//! the same order, executed by the same tracker code as a sequential run —
+//! so `origins`, `buffered` and the flow totals are **bit-identical** to
+//! [`tin_core::engine::ProvenanceEngine`] for every policy (enforced by the
+//! `sharded_equivalence` test suite). Global window epochs (count- and
+//! time-based resets) are kept deterministic by cutting wavefronts at epoch
+//! boundaries and syncing every shard's epoch clock
+//! ([`tin_core::ProvenanceTracker::sync_epoch`]) before it touches state.
+//!
+//! ## What is *not* identical
+//!
+//! Memory accounting differs: every shard allocates its own `|V|`-slot spine
+//! and the merged [`EngineReport::footprint`] sums the per-shard breakdowns,
+//! so index bytes scale with the shard count (that memory is genuinely
+//! allocated). `peak_footprint_bytes` sums per-shard peaks, an upper-ish
+//! approximation of the true global peak. Checkpoints are not supported in
+//! sharded mode — use the sequential engine for snapshot/replay workflows.
+//! [`EngineReport::runtime_secs`] also means something different here: the
+//! sequential engine times only `tracker.process` calls, while this engine
+//! times the *main thread's* work — scheduling, dispatch, quiesce waits and
+//! query rounds — and excludes worker compute running concurrently. Compare
+//! sharded-vs-sequential throughput with external wall-clock timing (as
+//! `bench_baseline`'s scaling section does), not with `runtime_secs`.
+//!
+//! ## Failure model
+//!
+//! The protocol is deadlock-free for well-behaved workers: every shard
+//! sends its exports unconditionally before waiting on anything, and
+//! returns depend only on exports, so all dispatched wavefronts drain
+//! without main-thread intervention. A worker *panic* mid-wavefront,
+//! however, is not recovered: a peer waiting on the dead worker's state
+//! blocks indefinitely rather than failing fast. No factory-built tracker
+//! can panic in the protocol (every replica is built from the same
+//! validated `PolicyConfig`, so state payloads always downcast), which is
+//! why the gap is accepted for now — see the ROADMAP for the
+//! panic-propagation open item before running third-party trackers here.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use tin_core::engine::{newborn_quantity, validate_stream_step, EngineReport};
+use tin_core::error::Result;
+use tin_core::ids::VertexId;
+use tin_core::interaction::Interaction;
+use tin_core::memory::FootprintBreakdown;
+use tin_core::origins::OriginSet;
+use tin_core::policy::PolicyConfig;
+use tin_core::quantity::Quantity;
+use tin_core::stream::InteractionSource;
+use tin_core::tracker::{build_tracker, ProvenanceTracker, ShardVertexState};
+
+use crate::wavefront::{EpochRule, WavefrontScheduler};
+
+/// Deterministic vertex → shard assignment (Fibonacci hashing of the raw
+/// id, so consecutive vertex ids spread across shards).
+#[inline]
+pub fn shard_of(v: VertexId, num_shards: usize) -> usize {
+    ((u64::from(v.raw()).wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 32) as usize % num_shards
+}
+
+/// Maximum number of wavefronts in flight before the main thread blocks on
+/// completions (bounds queued messages and the newborn reassembly buffers).
+const MAX_IN_FLIGHT: usize = 8;
+
+/// How many locally processed interactions between two footprint samples on
+/// a shard (mirrors the sequential engine's
+/// `ProvenanceEngine::FOOTPRINT_SAMPLE_INTERVAL`).
+const SHARD_SAMPLE_INTERVAL: usize = 1024;
+
+/// One wavefront's worth of work for one shard.
+struct BatchCmd {
+    /// Global stream index of the wavefront's first interaction.
+    start: usize,
+    /// Timestamp of the wavefront's first interaction (epoch sync).
+    start_time: f64,
+    /// Same-owner interactions, `(offset_in_batch, interaction)`.
+    locals: Vec<(u32, Interaction)>,
+    /// Vertices this shard owns whose state must be shipped to another
+    /// shard for a cross-shard interaction, `(vertex, destination shard)`.
+    exports: Vec<(VertexId, usize)>,
+    /// Cross-shard interactions this shard processes once the source vertex
+    /// state arrives, `(offset_in_batch, interaction)`.
+    imports: Vec<(u32, Interaction)>,
+    /// Number of lent-out vertex states that come home during this batch.
+    returns_expected: usize,
+}
+
+/// A migrating per-vertex state.
+struct StateMsg {
+    vertex: VertexId,
+    state: ShardVertexState,
+    /// `false`: an export travelling to the borrowing shard; `true`: the
+    /// state returning to its owner after the borrowed interaction.
+    coming_home: bool,
+}
+
+enum ToShard {
+    Batch(Box<BatchCmd>),
+    State(StateMsg),
+    /// Quiesce: advance the epoch clock to the global stream position and
+    /// acknowledge.
+    Sync {
+        processed: usize,
+        now: f64,
+    },
+    QueryOrigins(VertexId),
+    QueryBuffered(VertexId),
+    /// Buffered quantities of every vertex this shard owns, in one message.
+    QueryBufferedAll,
+    QueryFootprint,
+    Shutdown,
+}
+
+enum FromShard {
+    BatchDone {
+        start: usize,
+        /// `(offset_in_batch, newborn_quantity)` for every interaction this
+        /// shard processed.
+        newborn: Vec<(u32, f64)>,
+    },
+    Origins(OriginSet),
+    Buffered(Quantity),
+    /// `(vertex raw id, buffered)` for every owned vertex.
+    BufferedAll(Vec<(u32, Quantity)>),
+    Footprint {
+        breakdown: FootprintBreakdown,
+        peak: usize,
+    },
+    Synced,
+}
+
+/// Reassembly buffer for one in-flight wavefront.
+struct PendingBatch {
+    len: usize,
+    involved_shards: usize,
+    done_shards: usize,
+    /// Newborn quantity per offset, filled by shard completions.
+    newborn: Vec<f64>,
+}
+
+/// A parallel drop-in for [`tin_core::engine::ProvenanceEngine`]: same validation, flow
+/// accounting and report surface, bit-identical provenance, `N`-way shard
+/// parallelism (see the module docs).
+pub struct ShardedEngine {
+    policy_key: String,
+    num_vertices: usize,
+    num_shards: usize,
+    scheduler: WavefrontScheduler,
+    to_shards: Vec<Sender<ToShard>>,
+    from_shards: Receiver<FromShard>,
+    handles: Vec<JoinHandle<()>>,
+    /// Interactions of the currently open (undispatched) wavefront.
+    open_batch: Vec<Interaction>,
+    /// Global index of the first interaction of the open wavefront.
+    open_start: usize,
+    /// In-flight wavefronts keyed by start index.
+    in_flight: BTreeMap<usize, PendingBatch>,
+    /// Start index of the next wavefront to fold into the flow totals.
+    next_fold: usize,
+    processed: usize,
+    /// Stream position the shards were last quiesced at: a repeated quiesce
+    /// with no interactions in between is a no-op, so query loops (e.g. the
+    /// CLI printing every vertex) pay the synchronisation round once.
+    synced_through: usize,
+    last_time: Option<f64>,
+    total_quantity: Quantity,
+    newborn_quantity: Quantity,
+    busy_secs: f64,
+}
+
+impl ShardedEngine {
+    /// Build a sharded engine for `config` over `num_vertices` vertices with
+    /// `num_shards` worker shards (values are clamped to at least 1).
+    ///
+    /// # Errors
+    /// Propagates [`TinError::InvalidConfig`] from the tracker factory (the
+    /// configuration is validated once up front; worker replicas cannot
+    /// fail afterwards).
+    pub fn new(config: &PolicyConfig, num_vertices: usize, num_shards: usize) -> Result<Self> {
+        // Validate the configuration on the caller's thread so errors
+        // surface synchronously.
+        let probe = build_tracker(config, num_vertices)?;
+        drop(probe);
+        let num_shards = num_shards.max(1);
+
+        let (to_main, from_shards) = channel::<FromShard>();
+        let mut to_shards = Vec::with_capacity(num_shards);
+        let mut receivers = Vec::with_capacity(num_shards);
+        for _ in 0..num_shards {
+            let (tx, rx) = channel::<ToShard>();
+            to_shards.push(tx);
+            receivers.push(rx);
+        }
+        let mut handles = Vec::with_capacity(num_shards);
+        for (id, rx) in receivers.into_iter().enumerate() {
+            let peers: Vec<Sender<ToShard>> = to_shards.clone();
+            let main_tx = to_main.clone();
+            let config = config.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("tin-shard-{id}"))
+                .spawn(move || shard_worker(id, &config, num_vertices, &rx, &peers, &main_tx))
+                .expect("spawning a shard worker thread");
+            handles.push(handle);
+        }
+
+        Ok(ShardedEngine {
+            policy_key: config.key(),
+            num_vertices,
+            num_shards,
+            scheduler: WavefrontScheduler::new(num_vertices, EpochRule::for_policy(config)),
+            to_shards,
+            from_shards,
+            handles,
+            open_batch: Vec::new(),
+            open_start: 0,
+            in_flight: BTreeMap::new(),
+            next_fold: 0,
+            processed: 0,
+            synced_through: 0,
+            last_time: None,
+            total_quantity: 0.0,
+            newborn_quantity: 0.0,
+            busy_secs: 0.0,
+        })
+    }
+
+    /// The number of worker shards.
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// The stable key of the policy this engine runs.
+    pub fn policy_key(&self) -> &str {
+        &self.policy_key
+    }
+
+    /// Validate and enqueue one interaction (identical validation and error
+    /// surface to [`tin_core::engine::ProvenanceEngine::process`]). The interaction executes
+    /// asynchronously; queries and reports synchronise first.
+    ///
+    /// # Errors
+    /// Same as [`tin_core::engine::ProvenanceEngine::process`]: invalid quantity/timestamp,
+    /// self-loop, unknown vertex, or time going backwards.
+    pub fn process(&mut self, r: &Interaction) -> Result<()> {
+        validate_stream_step(r, self.processed, self.num_vertices, self.last_time)?;
+
+        let start = Instant::now();
+        self.total_quantity += r.qty;
+        if !self.scheduler.offer(r, self.processed) {
+            self.dispatch_open_batch();
+            let joined = self.scheduler.offer(r, self.processed);
+            debug_assert!(joined, "a fresh wavefront always accepts");
+        }
+        if self.open_batch.is_empty() {
+            self.open_start = self.processed;
+        }
+        self.open_batch.push(*r);
+        self.last_time = Some(r.time.0);
+        self.processed += 1;
+        self.busy_secs += start.elapsed().as_secs_f64();
+        Ok(())
+    }
+
+    /// Process every interaction of a slice, stopping at the first error.
+    ///
+    /// # Errors
+    /// See [`Self::process`].
+    pub fn process_all(&mut self, interactions: &[Interaction]) -> Result<()> {
+        for r in interactions {
+            self.process(r)?;
+        }
+        Ok(())
+    }
+
+    /// Drain an [`InteractionSource`], returning the final report.
+    ///
+    /// # Errors
+    /// Propagates source errors and validation errors (see [`Self::process`]).
+    pub fn run(&mut self, source: &mut dyn InteractionSource) -> Result<EngineReport> {
+        while let Some(r) = source.next_interaction()? {
+            self.process(&r)?;
+        }
+        Ok(self.report())
+    }
+
+    /// Current provenance of the quantity buffered at `v` (synchronises all
+    /// in-flight work first; bit-identical to the sequential engine).
+    pub fn origins(&mut self, v: VertexId) -> OriginSet {
+        self.quiesce();
+        let shard = shard_of(v, self.num_shards);
+        self.send_to(shard, ToShard::QueryOrigins(v));
+        match self.recv() {
+            FromShard::Origins(set) => set,
+            _ => unreachable!("quiesced shard answers queries in order"),
+        }
+    }
+
+    /// Current buffered quantity `|B_v|` (synchronises first).
+    pub fn buffered(&mut self, v: VertexId) -> Quantity {
+        self.quiesce();
+        let shard = shard_of(v, self.num_shards);
+        self.send_to(shard, ToShard::QueryBuffered(v));
+        match self.recv() {
+            FromShard::Buffered(q) => q,
+            _ => unreachable!("quiesced shard answers queries in order"),
+        }
+    }
+
+    /// Buffered quantities of *every* vertex, indexed by vertex id, in
+    /// O(shards) messages — use this instead of `num_vertices` calls to
+    /// [`Self::buffered`] when scanning the whole graph (each of those is a
+    /// blocking channel round-trip).
+    pub fn buffered_all(&mut self) -> Vec<Quantity> {
+        self.quiesce();
+        for shard in 0..self.num_shards {
+            self.send_to(shard, ToShard::QueryBufferedAll);
+        }
+        let mut out = vec![0.0; self.num_vertices];
+        for _ in 0..self.num_shards {
+            match self.recv() {
+                FromShard::BufferedAll(entries) => {
+                    for (raw, q) in entries {
+                        out[raw as usize] = q;
+                    }
+                }
+                _ => unreachable!("quiesced shards answer queries in order"),
+            }
+        }
+        out
+    }
+
+    /// The report for everything processed so far (synchronises first).
+    /// Flow totals are bit-identical to [`tin_core::engine::ProvenanceEngine::report`];
+    /// footprint figures are summed across shards (see the module docs).
+    pub fn report(&mut self) -> EngineReport {
+        // `quiesce` accounts for its own duration; time only the footprint
+        // query phase here, or the quiesce would be counted twice.
+        self.quiesce();
+        let start = Instant::now();
+        let mut footprint = FootprintBreakdown::default();
+        let mut peak = 0usize;
+        for shard in 0..self.num_shards {
+            self.send_to(shard, ToShard::QueryFootprint);
+        }
+        for _ in 0..self.num_shards {
+            match self.recv() {
+                FromShard::Footprint { breakdown, peak: p } => {
+                    footprint.entries_bytes += breakdown.entries_bytes;
+                    footprint.paths_bytes += breakdown.paths_bytes;
+                    footprint.index_bytes += breakdown.index_bytes;
+                    peak += p;
+                }
+                _ => unreachable!("quiesced shards answer queries in order"),
+            }
+        }
+        self.busy_secs += start.elapsed().as_secs_f64();
+        EngineReport {
+            policy: self.policy_key.clone(),
+            interactions: self.processed,
+            runtime_secs: self.busy_secs,
+            total_quantity: self.total_quantity,
+            newborn_quantity: self.newborn_quantity,
+            relayed_quantity: self.total_quantity - self.newborn_quantity,
+            peak_footprint_bytes: peak.max(footprint.total()),
+            footprint,
+            checkpoints_taken: 0,
+        }
+    }
+
+    /// Dispatch the open wavefront (if any) and block until every shard has
+    /// finished every wavefront and advanced its epoch clock to the current
+    /// stream position.
+    fn quiesce(&mut self) {
+        if self.synced_through == self.processed {
+            debug_assert!(self.open_batch.is_empty() && self.in_flight.is_empty());
+            return;
+        }
+        let start = Instant::now();
+        if !self.open_batch.is_empty() {
+            self.dispatch_open_batch();
+        }
+        while self.next_fold < self.processed {
+            self.handle_completion();
+        }
+        let now = self.last_time.unwrap_or(0.0);
+        for shard in 0..self.num_shards {
+            self.send_to(
+                shard,
+                ToShard::Sync {
+                    processed: self.processed,
+                    now,
+                },
+            );
+        }
+        for _ in 0..self.num_shards {
+            match self.recv() {
+                FromShard::Synced => {}
+                _ => unreachable!("only sync acknowledgements are outstanding"),
+            }
+        }
+        self.synced_through = self.processed;
+        self.busy_secs += start.elapsed().as_secs_f64();
+    }
+
+    /// Partition the open wavefront across shards and send the commands.
+    fn dispatch_open_batch(&mut self) {
+        let (start, len) = self.scheduler.begin_batch();
+        debug_assert_eq!(start, self.open_start);
+        debug_assert_eq!(len, self.open_batch.len());
+        if len == 0 {
+            return;
+        }
+        let start_time = self.open_batch[0].time.value();
+
+        let mut cmds: Vec<BatchCmd> = (0..self.num_shards)
+            .map(|_| BatchCmd {
+                start,
+                start_time,
+                locals: Vec::new(),
+                exports: Vec::new(),
+                imports: Vec::new(),
+                returns_expected: 0,
+            })
+            .collect();
+        for (off, r) in self.open_batch.drain(..).enumerate() {
+            let off = off as u32;
+            let src_shard = shard_of(r.src, self.num_shards);
+            let dst_shard = shard_of(r.dst, self.num_shards);
+            if src_shard == dst_shard {
+                cmds[src_shard].locals.push((off, r));
+            } else {
+                cmds[src_shard].exports.push((r.src, dst_shard));
+                cmds[src_shard].returns_expected += 1;
+                cmds[dst_shard].imports.push((off, r));
+            }
+        }
+
+        let mut involved = 0;
+        for (shard, cmd) in cmds.into_iter().enumerate() {
+            if cmd.locals.is_empty() && cmd.exports.is_empty() && cmd.imports.is_empty() {
+                continue;
+            }
+            involved += 1;
+            self.send_to(shard, ToShard::Batch(Box::new(cmd)));
+        }
+        self.in_flight.insert(
+            start,
+            PendingBatch {
+                len,
+                involved_shards: involved,
+                done_shards: 0,
+                newborn: vec![0.0; len],
+            },
+        );
+        // Backpressure: bound the number of wavefronts in flight.
+        while self.in_flight.len() > MAX_IN_FLIGHT {
+            self.handle_completion();
+        }
+    }
+
+    /// Block for one shard completion and fold finished wavefronts — in
+    /// stream order — into the flow totals.
+    fn handle_completion(&mut self) {
+        match self.recv() {
+            FromShard::BatchDone { start, newborn } => {
+                let batch = self
+                    .in_flight
+                    .get_mut(&start)
+                    .expect("completion for an in-flight wavefront");
+                for (off, q) in newborn {
+                    batch.newborn[off as usize] = q;
+                }
+                batch.done_shards += 1;
+            }
+            _ => unreachable!("only batch completions are outstanding here"),
+        }
+        // Fold completed wavefronts strictly in stream order so the newborn
+        // accumulation order — and therefore the float result — matches the
+        // sequential engine exactly.
+        while let Some(entry) = self.in_flight.first_entry() {
+            if entry.get().done_shards < entry.get().involved_shards {
+                break;
+            }
+            let (start, batch) = entry.remove_entry();
+            debug_assert_eq!(start, self.next_fold);
+            for q in &batch.newborn {
+                self.newborn_quantity += *q;
+            }
+            self.next_fold = start + batch.len;
+        }
+    }
+
+    fn send_to(&self, shard: usize, msg: ToShard) {
+        self.to_shards[shard]
+            .send(msg)
+            .expect("shard worker terminated unexpectedly");
+    }
+
+    fn recv(&self) -> FromShard {
+        self.from_shards
+            .recv()
+            .expect("all shard workers terminated unexpectedly")
+    }
+}
+
+impl Drop for ShardedEngine {
+    fn drop(&mut self) {
+        // The open (undispatched) wavefront is simply abandoned: no worker
+        // ever waits on undispatched work, and already-dispatched batches
+        // drain on their own because every involved shard received its
+        // command at dispatch time. Workers see `Shutdown` after the batches
+        // queued ahead of it (channels are FIFO per sender) or defer it to
+        // their backlog if it arrives mid-wavefront.
+        for tx in &self.to_shards {
+            // Ignore send failures: a worker that already exited (panic)
+            // must not abort the drop.
+            let _ = tx.send(ToShard::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardedEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedEngine")
+            .field("policy", &self.policy_key)
+            .field("num_vertices", &self.num_vertices)
+            .field("num_shards", &self.num_shards)
+            .field("processed", &self.processed)
+            .finish()
+    }
+}
+
+/// Algorithm 1 flow accounting for one interaction, using the same shared
+/// arithmetic as the sequential engine
+/// ([`tin_core::engine::newborn_quantity`]).
+fn process_one(tracker: &mut dyn ProvenanceTracker, r: &Interaction) -> f64 {
+    let newborn = newborn_quantity(tracker.buffered(r.src), r.qty);
+    tracker.process(r);
+    newborn
+}
+
+/// The shard worker: one tracker replica plus the batch protocol.
+fn shard_worker(
+    shard_id: usize,
+    config: &PolicyConfig,
+    num_vertices: usize,
+    rx: &Receiver<ToShard>,
+    peers: &[Sender<ToShard>],
+    main_tx: &Sender<FromShard>,
+) {
+    let mut tracker =
+        build_tracker(config, num_vertices).expect("configuration validated by ShardedEngine::new");
+    // Arm the same footprint-spike monitor the sequential engine arms, so
+    // shard-local peak accounting catches spikes between samples and — just
+    // as importantly — the sequential-vs-sharded scaling benchmark compares
+    // two equally instrumented trackers.
+    tracker.arm_spike_monitor(tin_core::engine::ProvenanceEngine::SPIKE_FRACTION);
+    // Exported states that arrived before the batch that consumes them
+    // (peers may run several wavefronts ahead). Per-vertex FIFO keeps
+    // multiple in-flight generations of the same vertex ordered.
+    let mut stash: HashMap<u32, VecDeque<ShardVertexState>> = HashMap::new();
+    // Non-`State` messages (pipelined later wavefronts, the shutdown) that
+    // arrived while a batch was blocked waiting for peer states; replayed in
+    // arrival order before reading the channel again.
+    let mut backlog: VecDeque<ToShard> = VecDeque::new();
+    let mut processed_local = 0usize;
+    let mut next_sample = SHARD_SAMPLE_INTERVAL;
+    let mut peak_footprint = 0usize;
+
+    loop {
+        let msg = match backlog.pop_front() {
+            Some(m) => m,
+            None => match rx.recv() {
+                Ok(m) => m,
+                Err(_) => return,
+            },
+        };
+        match msg {
+            ToShard::Shutdown => return,
+            ToShard::Sync { processed, now } => {
+                tracker.sync_epoch(processed, now);
+                let _ = main_tx.send(FromShard::Synced);
+            }
+            ToShard::QueryOrigins(v) => {
+                let _ = main_tx.send(FromShard::Origins(tracker.origins(v)));
+            }
+            ToShard::QueryBuffered(v) => {
+                let _ = main_tx.send(FromShard::Buffered(tracker.buffered(v)));
+            }
+            ToShard::QueryBufferedAll => {
+                let entries: Vec<(u32, f64)> = (0..num_vertices)
+                    .map(VertexId::from)
+                    .filter(|v| shard_of(*v, peers.len()) == shard_id)
+                    .map(|v| (v.raw(), tracker.buffered(v)))
+                    .collect();
+                let _ = main_tx.send(FromShard::BufferedAll(entries));
+            }
+            ToShard::QueryFootprint => {
+                let breakdown = tracker.footprint();
+                peak_footprint = peak_footprint.max(breakdown.total());
+                let _ = main_tx.send(FromShard::Footprint {
+                    breakdown,
+                    peak: peak_footprint,
+                });
+            }
+            ToShard::State(sm) => {
+                debug_assert!(!sm.coming_home, "returns only arrive mid-batch");
+                stash
+                    .entry(sm.vertex.raw())
+                    .or_default()
+                    .push_back(sm.state);
+            }
+            ToShard::Batch(cmd) => {
+                run_batch(
+                    shard_id,
+                    tracker.as_mut(),
+                    *cmd,
+                    rx,
+                    peers,
+                    main_tx,
+                    &mut stash,
+                    &mut backlog,
+                    &mut processed_local,
+                );
+                // Read the spike flag unconditionally so the monitor
+                // re-baselines even on periodic-sample batches.
+                let spiked = tracker.take_footprint_spike();
+                if spiked || processed_local >= next_sample {
+                    next_sample = processed_local + SHARD_SAMPLE_INTERVAL;
+                    peak_footprint = peak_footprint.max(tracker.footprint().total());
+                    if !spiked {
+                        tracker.note_footprint_sampled();
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Execute one wavefront on one shard (see the module docs for the
+/// deadlock-freedom argument: all exports are sent unconditionally before
+/// any shard waits, and returns depend only on exports).
+#[allow(clippy::too_many_arguments)]
+fn run_batch(
+    shard_id: usize,
+    tracker: &mut dyn ProvenanceTracker,
+    cmd: BatchCmd,
+    rx: &Receiver<ToShard>,
+    peers: &[Sender<ToShard>],
+    main_tx: &Sender<FromShard>,
+    stash: &mut HashMap<u32, VecDeque<ShardVertexState>>,
+    backlog: &mut VecDeque<ToShard>,
+    processed_local: &mut usize,
+) {
+    // 1. Epoch sync *before* any state is read, exported or processed.
+    tracker.sync_epoch(cmd.start, cmd.start_time);
+
+    // 2. Ship lent vertex states (peers may already be waiting on them).
+    for (v, to) in &cmd.exports {
+        let state = tracker
+            .take_vertex_state(*v)
+            .expect("factory trackers support sharded execution");
+        peers[*to]
+            .send(ToShard::State(StateMsg {
+                vertex: *v,
+                state,
+                coming_home: false,
+            }))
+            .expect("peer shard terminated unexpectedly");
+    }
+
+    let mut newborn = Vec::with_capacity(cmd.locals.len() + cmd.imports.len());
+
+    // 3. Local interactions: plain sequential processing.
+    for (off, r) in &cmd.locals {
+        newborn.push((*off, process_one(tracker, r)));
+        *processed_local += 1;
+    }
+
+    // 4. Cross-shard interactions: install the source state, process with
+    // the native tracker code, ship the state home. States may arrive in
+    // any order (and early, via the stash).
+    let mut pending: HashMap<u32, (u32, Interaction)> = cmd
+        .imports
+        .iter()
+        .map(|&(off, r)| (r.src.raw(), (off, r)))
+        .collect();
+    let mut returns_outstanding = cmd.returns_expected;
+
+    let consume = |tracker: &mut dyn ProvenanceTracker,
+                   vertex: VertexId,
+                   state: ShardVertexState,
+                   pending: &mut HashMap<u32, (u32, Interaction)>,
+                   newborn: &mut Vec<(u32, f64)>,
+                   processed_local: &mut usize| {
+        let (off, r) = pending
+            .remove(&vertex.raw())
+            .expect("an imported state matches a pending interaction");
+        tracker.put_vertex_state(vertex, state);
+        newborn.push((off, process_one(tracker, &r)));
+        *processed_local += 1;
+        let state = tracker
+            .take_vertex_state(vertex)
+            .expect("factory trackers support sharded execution");
+        let owner = shard_of(vertex, peers.len());
+        debug_assert_ne!(owner, shard_id, "imports come from other shards");
+        peers[owner]
+            .send(ToShard::State(StateMsg {
+                vertex,
+                state,
+                coming_home: true,
+            }))
+            .expect("peer shard terminated unexpectedly");
+    };
+
+    // Drain whatever the stash already holds for this batch.
+    let ready: Vec<u32> = pending
+        .keys()
+        .copied()
+        .filter(|v| stash.get(v).is_some_and(|q| !q.is_empty()))
+        .collect();
+    for v in ready {
+        let state = stash
+            .get_mut(&v)
+            .and_then(VecDeque::pop_front)
+            .expect("checked non-empty above");
+        consume(
+            tracker,
+            VertexId::new(v),
+            state,
+            &mut pending,
+            &mut newborn,
+            processed_local,
+        );
+    }
+
+    while !pending.is_empty() || returns_outstanding > 0 {
+        let msg = rx.recv().expect("main thread terminated mid-wavefront");
+        match msg {
+            ToShard::State(sm) => {
+                if sm.coming_home {
+                    tracker.put_vertex_state(sm.vertex, sm.state);
+                    returns_outstanding -= 1;
+                } else if pending.contains_key(&sm.vertex.raw()) {
+                    consume(
+                        tracker,
+                        sm.vertex,
+                        sm.state,
+                        &mut pending,
+                        &mut newborn,
+                        processed_local,
+                    );
+                } else {
+                    // An export for a later wavefront arriving early.
+                    stash
+                        .entry(sm.vertex.raw())
+                        .or_default()
+                        .push_back(sm.state);
+                }
+            }
+            // The main thread pipelines later wavefronts (and, on drop, the
+            // shutdown) into the same channel the peer states travel on;
+            // replay them in order once this wavefront completes.
+            other => backlog.push_back(other),
+        }
+    }
+
+    main_tx
+        .send(FromShard::BatchDone {
+            start: cmd.start,
+            newborn,
+        })
+        .expect("main thread terminated unexpectedly");
+}
+
+/// Run several policy configurations over the same interaction sequence on a
+/// sharded engine each — the sharded counterpart of
+/// [`tin_core::engine::run_ensemble`].
+///
+/// # Errors
+/// Propagates configuration and validation errors; an invalid member aborts
+/// the whole ensemble.
+pub fn run_ensemble_sharded(
+    configs: &[PolicyConfig],
+    num_vertices: usize,
+    interactions: &[Interaction],
+    num_shards: usize,
+) -> Result<Vec<EngineReport>> {
+    let mut reports = Vec::with_capacity(configs.len());
+    for config in configs {
+        let mut engine = ShardedEngine::new(config, num_vertices, num_shards)?;
+        engine.process_all(interactions)?;
+        reports.push(engine.report());
+    }
+    Ok(reports)
+}

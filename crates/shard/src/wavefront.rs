@@ -1,0 +1,325 @@
+//! Deterministic wavefront scheduling: maximal conflict-free batches.
+//!
+//! Every provenance tracker's `process(r)` reads and writes only the
+//! per-vertex state of `r.src` and `r.dst` (one source vector is debited,
+//! one destination vector is credited — Algorithms 1–3 of the paper). Two
+//! interactions whose `{src, dst}` sets are disjoint therefore touch
+//! disjoint state and *commute exactly*, bit for bit, under every selection
+//! policy — the same observation the temporal-quantity algebra literature
+//! makes about operations on disjoint vertex supports. The scheduler scans
+//! the time-ordered stream once and greedily cuts it into **wavefronts**:
+//! maximal runs of consecutive interactions with pairwise-disjoint endpoint
+//! sets. Everything inside a wavefront may execute concurrently; wavefronts
+//! execute in stream order.
+//!
+//! Two tracker families key behaviour to *global* stream coordinates rather
+//! than per-vertex state: count-windowed tracking resets at multiples of the
+//! window length `W`, and time-windowed tracking resets when the timestamp
+//! crosses a multiple of the duration `D`. A wavefront must not straddle
+//! such an epoch boundary (the reset touches every vertex), so the scheduler
+//! additionally cuts at the boundary dictated by its [`EpochRule`].
+
+use tin_core::interaction::Interaction;
+use tin_core::policy::PolicyConfig;
+
+/// Global-epoch constraint a batch must respect, derived from the policy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EpochRule {
+    /// No global epochs: batches are cut only by conflicts and size.
+    None,
+    /// Count-based windows (Section 5.3.1): no batch may span a global
+    /// interaction index that is a multiple of `W`.
+    Count(usize),
+    /// Time-based windows: every interaction of a batch must fall in the
+    /// same window epoch `floor(t / D)`.
+    Time(f64),
+}
+
+impl EpochRule {
+    /// The epoch rule imposed by a policy configuration.
+    pub fn for_policy(config: &PolicyConfig) -> EpochRule {
+        match config {
+            PolicyConfig::Windowed { window } => EpochRule::Count(*window),
+            PolicyConfig::TimeWindowed { duration } => EpochRule::Time(*duration),
+            _ => EpochRule::None,
+        }
+    }
+}
+
+/// Default cap on wavefront length: bounds the per-batch bookkeeping and the
+/// latency before results of early interactions are applied.
+pub const DEFAULT_MAX_BATCH: usize = 4096;
+
+/// Greedy scanner that cuts a time-ordered stream into maximal
+/// conflict-free wavefronts (see the module docs).
+///
+/// The batcher is incremental: [`WavefrontScheduler::offer`] answers, in
+/// O(1), whether the next interaction may join the currently open batch or
+/// must start a new one. Conflict detection uses a stamped array (one `u64`
+/// batch id per vertex), so opening a new batch never clears anything.
+#[derive(Clone, Debug)]
+pub struct WavefrontScheduler {
+    /// `stamp[v] == batch_id` iff vertex v is already touched by the open batch.
+    stamp: Vec<u64>,
+    /// Id of the currently open batch (stamps with older ids are stale).
+    batch_id: u64,
+    /// Number of interactions in the currently open batch.
+    batch_len: usize,
+    /// Global index of the first interaction of the open batch.
+    batch_start: usize,
+    /// Window epoch (`floor(t / D)`) of the open batch under a time rule.
+    batch_time_epoch: u64,
+    epoch: EpochRule,
+    max_batch: usize,
+}
+
+impl WavefrontScheduler {
+    /// Create a scheduler over `num_vertices` vertices with the given epoch
+    /// rule and the [`DEFAULT_MAX_BATCH`] size cap.
+    pub fn new(num_vertices: usize, epoch: EpochRule) -> Self {
+        Self::with_max_batch(num_vertices, epoch, DEFAULT_MAX_BATCH)
+    }
+
+    /// Create a scheduler with an explicit batch size cap (at least 1).
+    pub fn with_max_batch(num_vertices: usize, epoch: EpochRule, max_batch: usize) -> Self {
+        WavefrontScheduler {
+            stamp: vec![0; num_vertices],
+            batch_id: 0,
+            batch_len: 0,
+            batch_start: 0,
+            batch_time_epoch: 0,
+            epoch,
+            max_batch: max_batch.max(1),
+        }
+    }
+
+    /// Number of interactions in the currently open batch.
+    pub fn open_batch_len(&self) -> usize {
+        self.batch_len
+    }
+
+    /// Offer the interaction at global stream index `index` to the open
+    /// batch. Returns `true` if it joined; `false` if it conflicts (shared
+    /// endpoint, size cap, or epoch boundary), in which case the caller must
+    /// dispatch the open batch, call [`WavefrontScheduler::begin_batch`],
+    /// and offer the interaction again (a fresh batch always accepts).
+    pub fn offer(&mut self, r: &Interaction, index: usize) -> bool {
+        let s = r.src.index();
+        let d = r.dst.index();
+        if self.batch_len == 0 {
+            self.admit(r, index, s, d);
+            return true;
+        }
+        if self.batch_len >= self.max_batch
+            || self.stamp[s] == self.batch_id
+            || self.stamp[d] == self.batch_id
+        {
+            return false;
+        }
+        match self.epoch {
+            EpochRule::None => {}
+            EpochRule::Count(w) => {
+                // The open batch covers [batch_start, index]; it must not
+                // span a multiple of W strictly inside that range — i.e. the
+                // batch may *end* at a boundary but not continue past one.
+                if index.is_multiple_of(w) {
+                    return false;
+                }
+            }
+            EpochRule::Time(d_len) => {
+                if time_epoch(r.time.value(), d_len) != self.batch_time_epoch {
+                    return false;
+                }
+            }
+        }
+        self.admit(r, index, s, d);
+        true
+    }
+
+    /// Close the open batch and start an empty one. Returns the
+    /// `(start_index, len)` of the batch that was closed.
+    pub fn begin_batch(&mut self) -> (usize, usize) {
+        let closed = (self.batch_start, self.batch_len);
+        self.batch_id += 1;
+        self.batch_len = 0;
+        closed
+    }
+
+    fn admit(&mut self, r: &Interaction, index: usize, s: usize, d: usize) {
+        if self.batch_len == 0 {
+            self.batch_id += 1;
+            self.batch_start = index;
+            if let EpochRule::Time(d_len) = self.epoch {
+                self.batch_time_epoch = time_epoch(r.time.value(), d_len);
+            }
+        }
+        self.stamp[s] = self.batch_id;
+        self.stamp[d] = self.batch_id;
+        self.batch_len += 1;
+    }
+}
+
+/// Window epoch of a timestamp under duration `d` (the `floor(t / D)` of the
+/// time-windowed tracker).
+#[inline]
+fn time_epoch(t: f64, d: f64) -> u64 {
+    (t / d).floor() as u64
+}
+
+/// Split a whole stream into wavefronts, returning `(start, len)` pairs.
+/// Convenience for tests and offline batch planning; the engine drives the
+/// scheduler incrementally instead.
+pub fn plan_wavefronts(
+    num_vertices: usize,
+    epoch: EpochRule,
+    interactions: &[Interaction],
+) -> Vec<(usize, usize)> {
+    let mut scheduler = WavefrontScheduler::new(num_vertices, epoch);
+    let mut out = Vec::new();
+    for (i, r) in interactions.iter().enumerate() {
+        if !scheduler.offer(r, i) {
+            out.push(scheduler.begin_batch());
+            let joined = scheduler.offer(r, i);
+            debug_assert!(joined, "a fresh batch always accepts");
+        }
+    }
+    if scheduler.open_batch_len() > 0 {
+        out.push(scheduler.begin_batch());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tin_core::interaction::paper_running_example;
+
+    fn r(src: u32, dst: u32, t: f64) -> Interaction {
+        Interaction::new(src, dst, t, 1.0)
+    }
+
+    /// The wavefront batcher must never place two interactions that share an
+    /// endpoint into the same batch (the satellite's correctness unit test).
+    #[test]
+    fn batches_are_conflict_free() {
+        // A stream engineered with overlapping endpoints in many patterns.
+        let stream: Vec<Interaction> = vec![
+            r(0, 1, 1.0), // batch 0
+            r(2, 3, 1.0), // batch 0
+            r(4, 5, 1.0), // batch 0
+            r(1, 6, 2.0), // conflicts on 1 -> batch 1
+            r(7, 8, 2.0), // batch 1
+            r(8, 9, 2.0), // conflicts on 8 -> batch 2
+            r(0, 2, 3.0), // batch 2
+            r(3, 4, 3.0), // batch 2
+            r(2, 4, 3.0), // conflicts on 2 and 4 -> batch 3
+        ];
+        let plan = plan_wavefronts(10, EpochRule::None, &stream);
+        assert_eq!(plan, vec![(0, 3), (3, 2), (5, 3), (8, 1)]);
+        // Property: within every batch, all endpoint sets are disjoint.
+        for &(start, len) in &plan {
+            let mut seen = std::collections::HashSet::new();
+            for x in &stream[start..start + len] {
+                assert!(seen.insert(x.src), "src conflict inside batch at {start}");
+                assert!(seen.insert(x.dst), "dst conflict inside batch at {start}");
+            }
+        }
+    }
+
+    #[test]
+    fn conflict_freedom_on_random_streams() {
+        // Deterministic pseudo-random stream over few vertices (lots of
+        // conflicts), checked exhaustively.
+        let mut x = 0x2545_f491_4f6c_dd1du64;
+        let mut stream = Vec::new();
+        let mut t = 0.0;
+        for _ in 0..500 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let src = (x % 7) as u32;
+            let dst = ((x >> 16) % 7) as u32;
+            if src == dst {
+                continue;
+            }
+            t += ((x >> 32) % 3) as f64 * 0.25;
+            stream.push(r(src, dst, t));
+        }
+        for epoch in [EpochRule::None, EpochRule::Count(16), EpochRule::Time(2.0)] {
+            let plan = plan_wavefronts(7, epoch, &stream);
+            let total: usize = plan.iter().map(|&(_, l)| l).sum();
+            assert_eq!(total, stream.len(), "every interaction is scheduled");
+            let mut next = 0;
+            for &(start, len) in &plan {
+                assert_eq!(start, next, "batches tile the stream in order");
+                next = start + len;
+                let mut seen = std::collections::HashSet::new();
+                for x in &stream[start..start + len] {
+                    assert!(seen.insert(x.src));
+                    assert!(seen.insert(x.dst));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn count_epochs_cut_at_window_multiples() {
+        // 10 pairwise-disjoint interactions, W = 4: cuts after global
+        // indices 4 and 8 regardless of conflicts.
+        let stream: Vec<Interaction> = (0..10).map(|i| r(2 * i, 2 * i + 1, i as f64)).collect();
+        let plan = plan_wavefronts(20, EpochRule::Count(4), &stream);
+        assert_eq!(plan, vec![(0, 4), (4, 4), (8, 2)]);
+    }
+
+    #[test]
+    fn time_epochs_keep_batches_within_one_window() {
+        // Disjoint interactions with timestamps 0,1,2,3,4,5 and D = 2.5:
+        // epochs 0,0,0,1,1,2.
+        let stream: Vec<Interaction> = (0..6).map(|i| r(2 * i, 2 * i + 1, i as f64)).collect();
+        let plan = plan_wavefronts(12, EpochRule::Time(2.5), &stream);
+        assert_eq!(plan, vec![(0, 3), (3, 2), (5, 1)]);
+    }
+
+    #[test]
+    fn size_cap_limits_batches() {
+        let stream: Vec<Interaction> = (0..9).map(|i| r(2 * i, 2 * i + 1, 0.0)).collect();
+        let mut scheduler = WavefrontScheduler::with_max_batch(18, EpochRule::None, 4);
+        let mut lens = Vec::new();
+        for (i, x) in stream.iter().enumerate() {
+            if !scheduler.offer(x, i) {
+                lens.push(scheduler.begin_batch().1);
+                assert!(scheduler.offer(x, i));
+            }
+        }
+        lens.push(scheduler.begin_batch().1);
+        assert_eq!(lens, vec![4, 4, 1]);
+    }
+
+    #[test]
+    fn running_example_is_fully_sequential() {
+        // The 3-vertex running example has a shared vertex between every
+        // consecutive pair of interactions except r1 -> r2 (v1→v2 then
+        // v2→v0: they share v2).
+        let plan = plan_wavefronts(3, EpochRule::None, &paper_running_example());
+        for &(_, len) in &plan {
+            assert_eq!(len, 1, "3-vertex example admits no parallelism");
+        }
+    }
+
+    #[test]
+    fn epoch_rule_from_policy() {
+        use tin_core::policy::SelectionPolicy;
+        assert_eq!(
+            EpochRule::for_policy(&PolicyConfig::Windowed { window: 7 }),
+            EpochRule::Count(7)
+        );
+        assert_eq!(
+            EpochRule::for_policy(&PolicyConfig::TimeWindowed { duration: 1.5 }),
+            EpochRule::Time(1.5)
+        );
+        assert_eq!(
+            EpochRule::for_policy(&PolicyConfig::Plain(SelectionPolicy::Fifo)),
+            EpochRule::None
+        );
+    }
+}

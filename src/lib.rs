@@ -11,7 +11,10 @@
 //!   series, grouping strategies and report formatting (Sections 1, 5.2,
 //!   7.6);
 //! * [`memstats`] (`tin-memstats`) — allocator-level memory measurement used
-//!   by the experiment harness (Section 7.2).
+//!   by the experiment harness (Section 7.2);
+//! * [`shard`] (`tin-shard`) — the sharded parallel execution engine with
+//!   deterministic wavefront scheduling (bit-identical to the sequential
+//!   engine; see the README's Architecture section).
 //!
 //! ```
 //! use tin::prelude::*;
@@ -31,6 +34,7 @@ pub use tin_analytics as analytics;
 pub use tin_core as core;
 pub use tin_datasets as datasets;
 pub use tin_memstats as memstats;
+pub use tin_shard as shard;
 
 /// One-stop import for applications: the core prelude plus the most used
 /// dataset and analytics types.

@@ -1,0 +1,205 @@
+//! Property-based equivalence of the sharded and sequential engines.
+//!
+//! The tentpole guarantee of the `tin-shard` crate is that wavefront-parallel
+//! execution is *bit-identical* to the sequential [`ProvenanceEngine`] — not
+//! approximately equal, but the same `f64`s in the same places — because each
+//! per-vertex state sees the same operations in the same order executed by
+//! the same tracker code. These properties check that claim on random valid
+//! streams for every factory-reachable policy configuration and shard counts
+//! {1, 2, 4, 7} (1 = trivial degenerate case, 7 = more shards than busy
+//! vertices on small streams, so hollow shards and heavy migration both get
+//! exercised).
+
+use proptest::prelude::*;
+use tin::prelude::*;
+use tin_core::engine::ProvenanceEngine;
+use tin_shard::ShardedEngine;
+
+const MAX_VERTICES: u32 = 10;
+
+/// Strategy: a stream of up to `len` valid interactions over a small vertex
+/// set with non-decreasing timestamps (self-loops avoided by construction).
+fn interaction_stream(len: usize) -> impl Strategy<Value = Vec<Interaction>> {
+    prop::collection::vec(
+        (
+            0..MAX_VERTICES,
+            0..MAX_VERTICES - 1,
+            0.01f64..100.0f64,
+            0.0f64..5.0f64,
+        ),
+        1..len,
+    )
+    .prop_map(|raw| {
+        let mut time = 0.0;
+        raw.into_iter()
+            .map(|(src, dst_raw, qty, gap)| {
+                let dst = if dst_raw >= src { dst_raw + 1 } else { dst_raw };
+                time += gap;
+                Interaction::new(src, dst, time, qty)
+            })
+            .collect()
+    })
+}
+
+/// Every policy configuration the factory can build, including the
+/// scope-limited, windowed, budgeted and path-tracking families.
+fn all_configs(num_vertices: usize) -> Vec<PolicyConfig> {
+    let mut configs: Vec<PolicyConfig> = SelectionPolicy::all()
+        .into_iter()
+        .map(PolicyConfig::Plain)
+        .collect();
+    configs.push(PolicyConfig::Selective {
+        tracked: vec![VertexId::new(0), VertexId::new(3)],
+    });
+    configs.push(PolicyConfig::Grouped {
+        num_groups: 3,
+        group_of: (0..num_vertices).map(|v| (v % 3) as u32).collect(),
+    });
+    configs.push(PolicyConfig::Windowed { window: 5 });
+    configs.push(PolicyConfig::TimeWindowed { duration: 7.5 });
+    configs.push(PolicyConfig::adaptive());
+    configs.push(PolicyConfig::budget(3));
+    configs.push(PolicyConfig::PathTracking { lifo: false });
+    configs.push(PolicyConfig::GenerationPaths { most_recent: true });
+    configs
+}
+
+/// Acceptance criterion: bit-identical output on fixed-seed generated
+/// Bitcoin- and taxi-shaped streams (the two shapes `bench_baseline` leans
+/// on) for all policies — not just on uniform random streams.
+#[test]
+fn sharded_matches_sequential_on_generated_datasets() {
+    use tin_datasets::{DatasetKind, DatasetSpec, ScaleProfile};
+    for kind in [DatasetKind::Bitcoin, DatasetKind::Taxis] {
+        let spec = DatasetSpec::with_seed(kind, ScaleProfile::Tiny, 42);
+        let n = spec.num_vertices();
+        let stream = tin_datasets::generate(&spec);
+        for config in all_configs(n) {
+            let mut sequential = ProvenanceEngine::new(&config, n).unwrap();
+            sequential.process_all(&stream).unwrap();
+            let seq_report = sequential.report();
+            for shards in [2usize, 4] {
+                let mut sharded = ShardedEngine::new(&config, n, shards).unwrap();
+                sharded.process_all(&stream).unwrap();
+                let report = sharded.report();
+                assert_eq!(
+                    report.total_quantity,
+                    seq_report.total_quantity,
+                    "total mismatch: {:?} {} shards={shards}",
+                    kind,
+                    config.key()
+                );
+                assert_eq!(
+                    report.newborn_quantity,
+                    seq_report.newborn_quantity,
+                    "newborn mismatch: {:?} {} shards={shards}",
+                    kind,
+                    config.key()
+                );
+                for v in 0..n {
+                    let v = VertexId::from(v);
+                    assert_eq!(
+                        sharded.buffered(v),
+                        sequential.buffered(v),
+                        "buffered({v}) mismatch: {:?} {} shards={shards}",
+                        kind,
+                        config.key()
+                    );
+                    assert_eq!(
+                        sharded.origins(v),
+                        sequential.origins(v),
+                        "origins({v}) mismatch: {:?} {} shards={shards}",
+                        kind,
+                        config.key()
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For every policy and shard count, the sharded engine reproduces the
+    /// sequential engine's `origins(v)`, `buffered(v)` and flow totals
+    /// exactly (`==` on floats, not approximate comparison).
+    #[test]
+    fn sharded_engine_is_bit_identical(stream in interaction_stream(48)) {
+        let n = MAX_VERTICES as usize;
+        for config in all_configs(n) {
+            let mut sequential = ProvenanceEngine::new(&config, n).unwrap();
+            sequential.process_all(&stream).unwrap();
+            let seq_report = sequential.report();
+            for shards in [1usize, 2, 4, 7] {
+                let mut sharded = ShardedEngine::new(&config, n, shards).unwrap();
+                sharded.process_all(&stream).unwrap();
+                let report = sharded.report();
+                prop_assert_eq!(
+                    report.total_quantity,
+                    seq_report.total_quantity,
+                    "total_quantity mismatch under {} with {} shards",
+                    config.key(),
+                    shards
+                );
+                prop_assert_eq!(
+                    report.newborn_quantity,
+                    seq_report.newborn_quantity,
+                    "newborn_quantity mismatch under {} with {} shards",
+                    config.key(),
+                    shards
+                );
+                prop_assert_eq!(
+                    report.relayed_quantity,
+                    seq_report.relayed_quantity,
+                    "relayed_quantity mismatch under {} with {} shards",
+                    config.key(),
+                    shards
+                );
+                for v in 0..n {
+                    let v = VertexId::from(v);
+                    prop_assert_eq!(
+                        sharded.buffered(v),
+                        sequential.buffered(v),
+                        "buffered({}) mismatch under {} with {} shards",
+                        v,
+                        config.key(),
+                        shards
+                    );
+                    prop_assert_eq!(
+                        sharded.origins(v),
+                        sequential.origins(v),
+                        "origins({}) mismatch under {} with {} shards",
+                        v,
+                        config.key(),
+                        shards
+                    );
+                }
+            }
+        }
+    }
+
+    /// Mid-stream queries (which quiesce the shard pipeline) never perturb
+    /// later results: interleaving queries with processing still matches a
+    /// sequential run.
+    #[test]
+    fn queries_do_not_perturb_sharded_state(stream in interaction_stream(40)) {
+        let n = MAX_VERTICES as usize;
+        let config = PolicyConfig::Plain(SelectionPolicy::ProportionalSparse);
+        let mut sequential = ProvenanceEngine::new(&config, n).unwrap();
+        let mut sharded = ShardedEngine::new(&config, n, 3).unwrap();
+        for (i, r) in stream.iter().enumerate() {
+            sequential.process(r).unwrap();
+            sharded.process(r).unwrap();
+            if i % 11 == 0 {
+                let v = VertexId::from(i % n);
+                prop_assert_eq!(sharded.buffered(v), sequential.buffered(v));
+                prop_assert_eq!(sharded.origins(v), sequential.origins(v));
+            }
+        }
+        prop_assert_eq!(
+            sharded.report().newborn_quantity,
+            sequential.report().newborn_quantity
+        );
+    }
+}
