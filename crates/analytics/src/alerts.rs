@@ -2,7 +2,7 @@
 //!
 //! The paper's demonstration: *"after each interaction, we issue an alert
 //! when the receiving vertex does not have any quantity that originates from
-//! its [direct] neighbours and the total quantity in its buffer exceeds 10K
+//! its \[direct\] neighbours and the total quantity in its buffer exceeds 10K
 //! BTC"*. Alerts where the amount was accumulated from many origins are an
 //! indication of possible "smurfing" (structuring a large transfer as many
 //! small ones through intermediaries).

@@ -4,7 +4,7 @@
 //! depth the computed provenance data in TINs, with the help of data mining
 //! approaches, in order to find interesting insights in them". This module
 //! provides a first set of such analyses on top of any
-//! [`ProvenanceTracker`](tin_core::tracker::ProvenanceTracker):
+//! [`ProvenanceTracker`] impl:
 //!
 //! * **provenance similarity** — how alike are the origin compositions of two
 //!   vertices ([`cosine_similarity`], [`most_similar_pairs`])? Vertices with

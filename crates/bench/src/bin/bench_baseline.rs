@@ -243,7 +243,7 @@ fn time_engine_pass(config: &PolicyConfig, w: &Workload, mode: ScalingMode) -> f
                     .expect("benchmark configs are valid");
                 let start = Instant::now();
                 engine.process_all(&w.interactions).expect("valid stream");
-                std::hint::black_box(engine.report());
+                std::hint::black_box(engine.report().expect("workers healthy"));
                 timed += start.elapsed().as_secs_f64();
             }
         }

@@ -424,11 +424,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             // round-trip and the sets can be large. Both branches share
             // this row collection so the printed report cannot diverge
             // between `--shards 1` and `--shards N`.
-            fn rows_from(
-                buffered: Vec<f64>,
-                top: usize,
-                mut origins_of: impl FnMut(usize) -> tin_core::origins::OriginSet,
-            ) -> Vec<(usize, f64, tin_core::origins::OriginSet)> {
+            fn rank_rows(buffered: Vec<f64>, top: usize) -> Vec<(usize, f64)> {
                 let mut ranked: Vec<(usize, f64)> = buffered
                     .into_iter()
                     .enumerate()
@@ -437,9 +433,6 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                 ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
                 ranked.truncate(top);
                 ranked
-                    .into_iter()
-                    .map(|(i, q)| (i, q, origins_of(i)))
-                    .collect()
             }
             let (report, rows) = if *shards <= 1 {
                 let mut engine = tin_core::engine::ProvenanceEngine::new(&config, n)?;
@@ -447,18 +440,21 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                 let buffered = (0..n)
                     .map(|i| engine.buffered(tin_core::ids::VertexId::from(i)))
                     .collect();
-                let rows = rows_from(buffered, *top, |i| {
-                    engine.origins(tin_core::ids::VertexId::from(i))
-                });
+                let rows: Vec<_> = rank_rows(buffered, *top)
+                    .into_iter()
+                    .map(|(i, q)| (i, q, engine.origins(tin_core::ids::VertexId::from(i))))
+                    .collect();
                 (engine.report(), rows)
             } else {
                 let mut engine = tin_shard::ShardedEngine::new(&config, n, *shards)?;
                 engine.process_all(&named.interactions)?;
-                let buffered = engine.buffered_all();
-                let rows = rows_from(buffered, *top, |i| {
-                    engine.origins(tin_core::ids::VertexId::from(i))
-                });
-                (engine.report(), rows)
+                let buffered = engine.buffered_all()?;
+                let ranked = rank_rows(buffered, *top);
+                let mut rows = Vec::with_capacity(ranked.len());
+                for (i, q) in ranked {
+                    rows.push((i, q, engine.origins(tin_core::ids::VertexId::from(i))?));
+                }
+                (engine.report()?, rows)
             };
             writeln!(out, "policy          : {}", policy.label()).unwrap();
             writeln!(out, "interactions    : {}", report.interactions).unwrap();

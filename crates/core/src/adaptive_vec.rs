@@ -84,6 +84,7 @@ impl AdaptiveParams {
     /// `0 < dense_threshold ≤ 1`.
     pub fn new(num_vertices: usize, dense_threshold: f64) -> crate::Result<Self> {
         if !(dense_threshold.is_finite() && 0.0 < dense_threshold && dense_threshold <= 1.0) {
+            // tin-lint: allow(hot-path-alloc): config-validation error path, runs once at construction
             return Err(crate::TinError::InvalidConfig(format!(
                 "adaptive dense threshold must be in (0, 1], got {dense_threshold}"
             )));
@@ -412,6 +413,7 @@ impl ProvenanceVec {
         if sparse.iter().any(|(o, _)| slot_for(o, dim).is_none()) {
             return false;
         }
+        // tin-lint: allow(hot-path-alloc): promotion is a rare representation switch, amortized over many interactions
         let mut values = vec![0.0; dim];
         for (o, q) in sparse.iter() {
             values[slot_for(o, dim).expect("checked above")] += q;
@@ -430,7 +432,7 @@ impl ProvenanceVec {
                 .enumerate()
                 .filter(|(_, &q)| !qty_is_zero(q))
                 .map(|(slot, &q)| (origin_for(slot, dim), q))
-                .collect();
+                .collect(); // tin-lint: allow(hot-path-alloc): demotion is a rare representation switch (window reset / budget shrink)
             self.repr = Repr::Sparse(sparse);
         }
     }
@@ -475,6 +477,7 @@ impl ProvenanceVec {
 
     /// Convert to an [`OriginSet`] query answer.
     pub fn to_origin_set(&self) -> OriginSet {
+        // tin-lint: allow(hot-path-alloc): query-path conversion, not the per-interaction kernel; empty Vec::new never allocates
         let mut pairs = Vec::new();
         self.for_each_entry(|o, q| pairs.push((o, q)));
         OriginSet::from_pairs(pairs)
@@ -500,6 +503,7 @@ impl MemoryFootprint for ProvenanceVec {
 
 impl FromIterator<(Origin, Quantity)> for ProvenanceVec {
     fn from_iter<T: IntoIterator<Item = (Origin, Quantity)>>(iter: T) -> Self {
+        // tin-lint: allow(hot-path-alloc): FromIterator construction happens at build/test time, not per interaction
         Self::from_sparse(iter.into_iter().collect())
     }
 }

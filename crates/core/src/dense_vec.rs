@@ -22,6 +22,7 @@ impl DenseProvenance {
     /// Create a zero vector of dimension `dim`.
     pub fn zeros(dim: usize) -> Self {
         DenseProvenance {
+            // tin-lint: allow(hot-path-alloc): constructor; vectors are allocated once per vertex at setup
             values: vec![0.0; dim],
         }
     }

@@ -57,6 +57,14 @@ pub enum TinError {
     InvalidConfig(String),
     /// An I/O error, stringified to keep the error type `Clone + PartialEq`.
     Io(String),
+    /// A shard worker thread of the parallel engine terminated (panicked or
+    /// dropped its channels) before the computation finished. The engine is
+    /// poisoned: every subsequent operation returns this error instead of
+    /// hanging on a channel that will never be served.
+    WorkerLost {
+        /// The shard whose worker died first, when known.
+        shard: Option<usize>,
+    },
 }
 
 impl fmt::Display for TinError {
@@ -95,6 +103,18 @@ impl fmt::Display for TinError {
             TinError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
             TinError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             TinError::Io(msg) => write!(f, "I/O error: {msg}"),
+            TinError::WorkerLost { shard } => match shard {
+                Some(s) => write!(
+                    f,
+                    "shard worker {s} terminated before the computation finished; \
+                     the sharded engine is poisoned"
+                ),
+                None => write!(
+                    f,
+                    "a shard worker terminated before the computation finished; \
+                     the sharded engine is poisoned"
+                ),
+            },
         }
     }
 }

@@ -21,7 +21,7 @@
 //!   `add_scaled` / `scale` replace branchy ordered-list merges with
 //!   straight-line chunked loops, which is the entire point of promoting;
 //! * the ablation bench, which compares these chunked kernels against the
-//!   scalar [`reference`] implementations.
+//!   scalar [`mod@reference`] implementations.
 //!
 //! The sparse/adaptive split is described in [`crate::sparse_vec`] and
 //! [`crate::adaptive_vec`]; the promotion threshold is configured through

@@ -178,6 +178,7 @@ thread_local! {
     /// (never swapped wholesale without a capacity check), so each vector's
     /// capacity stays proportional to its own list.
     static MERGE_BUF: std::cell::RefCell<MergeBuf> =
+        // tin-lint: allow(hot-path-alloc): const-initialized empty Vec::new never allocates
         const { std::cell::RefCell::new(MergeBuf { keys: Vec::new(), vals: Vec::new() }) };
 }
 
@@ -488,7 +489,7 @@ impl SparseProvenance {
     /// Create an empty sparse vector.
     pub fn new() -> Self {
         SparseProvenance {
-            keys: Vec::new(),
+            keys: Vec::new(), // tin-lint: allow(hot-path-alloc): empty Vec::new never allocates
             vals: Vec::new(),
         }
     }
@@ -587,7 +588,7 @@ impl SparseProvenance {
             .iter()
             .copied()
             .zip(self.vals.iter().copied())
-            .collect();
+            .collect(); // tin-lint: allow(hot-path-alloc): unsorted-input repair path, hit once per out-of-order load, never in the steady state
         pairs.sort_unstable_by_key(|&(k, _)| k);
         self.keys.clear();
         self.vals.clear();

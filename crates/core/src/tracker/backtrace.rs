@@ -164,6 +164,7 @@ impl BacktraceIndex {
     }
 }
 
+// tin-lint: allow(tracker-conformance): the backtrace index replays the full log per query and is not shardable — it is never built by the sharded engine
 impl ProvenanceTracker for BacktraceIndex {
     fn name(&self) -> &'static str {
         "Backtrace (pruned replay on demand)"

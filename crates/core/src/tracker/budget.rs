@@ -19,11 +19,11 @@ use crate::origins::OriginSet;
 use crate::policy::ShrinkCriterion;
 use crate::quantity::{qty_clamp_non_negative, qty_ge, qty_is_zero, Quantity};
 use crate::sparse_vec::{MergeScratch, SparseProvenance};
-use crate::tracker::{split_src_dst, ProvenanceTracker, ShardVertexState};
+use crate::tracker::{split_src_dst, MigratableTracker, ProvenanceTracker};
 
 /// Per-vertex state moved by the shard protocol: the provenance list, the
 /// scalar total, and the vertex's shrink counter.
-struct TakenState {
+pub struct TakenState {
     vec: ProvenanceVec,
     total: Quantity,
     shrinks: u32,
@@ -266,46 +266,41 @@ impl ProvenanceTracker for BudgetTracker {
         self.processed
     }
 
-    fn take_vertex_state(&mut self, v: VertexId) -> Option<ShardVertexState> {
+    crate::impl_migration_hooks!();
+    crate::impl_spike_monitor_hooks!();
+}
+
+impl MigratableTracker for BudgetTracker {
+    type Taken = TakenState;
+
+    fn extract(&mut self, v: VertexId) -> TakenState {
         let i = v.index();
-        let vec = std::mem::take(&mut self.vectors[i]);
-        // Migrating state carries its footprint with it (see
-        // `ProportionalSparseTracker::take_vertex_state`).
-        if let Some(monitor) = &mut self.monitor {
-            monitor.apply_delta(-(vec.footprint_bytes() as isize));
-        }
-        Some(ShardVertexState::new(TakenState {
-            vec,
+        TakenState {
+            vec: std::mem::take(&mut self.vectors[i]),
             total: std::mem::take(&mut self.totals[i]),
             shrinks: std::mem::take(&mut self.shrinks[i]),
-        }))
+        }
     }
 
-    fn put_vertex_state(&mut self, v: VertexId, state: ShardVertexState) {
-        let taken: TakenState = state.downcast();
+    fn install(&mut self, v: VertexId, taken: TakenState) {
         let i = v.index();
-        if let Some(monitor) = &mut self.monitor {
-            monitor.apply_delta(taken.vec.footprint_bytes() as isize);
-        }
         self.vectors[i] = taken.vec;
         self.totals[i] = taken.total;
         self.shrinks[i] = taken.shrinks;
     }
 
-    fn arm_spike_monitor(&mut self, fraction: f64) -> bool {
-        let estimate: usize = self.vectors.iter().map(|p| p.footprint_bytes()).sum();
-        self.monitor = Some(SpikeMonitor::new(fraction, estimate));
-        true
+    // Migrating state carries its footprint with it (see
+    // `ProportionalSparseTracker`).
+    fn taken_footprint(taken: &TakenState) -> usize {
+        taken.vec.footprint_bytes()
     }
 
-    fn take_footprint_spike(&mut self) -> bool {
-        self.monitor.as_mut().is_some_and(SpikeMonitor::take_spike)
+    fn monitor_store(&mut self) -> Option<&mut Option<SpikeMonitor>> {
+        Some(&mut self.monitor)
     }
 
-    fn note_footprint_sampled(&mut self) {
-        if let Some(monitor) = &mut self.monitor {
-            monitor.rebaseline();
-        }
+    fn footprint_estimate(&self) -> usize {
+        self.vectors.iter().map(|p| p.footprint_bytes()).sum()
     }
 }
 

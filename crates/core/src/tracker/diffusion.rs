@@ -145,6 +145,7 @@ impl DiffusionTracker {
     }
 }
 
+// tin-lint: allow(tracker-conformance): the diffusion model is a sequential analytical baseline and is not shardable — it is never built by the sharded engine
 impl ProvenanceTracker for DiffusionTracker {
     fn name(&self) -> &'static str {
         "Diffusion (copy)"

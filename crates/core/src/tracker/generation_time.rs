@@ -14,12 +14,12 @@ use crate::interaction::Interaction;
 use crate::memory::{FootprintBreakdown, MemoryFootprint};
 use crate::origins::OriginSet;
 use crate::quantity::{qty_is_zero, Quantity};
-use crate::tracker::{split_src_dst, ProvenanceTracker, ShardVertexState};
+use crate::tracker::{split_src_dst, MigratableTracker, ProvenanceTracker};
 
 /// Per-vertex state moved by the shard protocol: the whole generation-time
 /// heap (its backing array — and therefore its exact tie-breaking layout —
 /// moves wholesale).
-struct TakenState {
+pub struct TakenState {
     buf: HeapBuffer,
 }
 
@@ -137,15 +137,20 @@ impl ProvenanceTracker for GenerationTimeTracker {
         self.processed
     }
 
-    fn take_vertex_state(&mut self, v: VertexId) -> Option<ShardVertexState> {
+    crate::impl_migration_hooks!();
+}
+
+impl MigratableTracker for GenerationTimeTracker {
+    type Taken = TakenState;
+
+    fn extract(&mut self, v: VertexId) -> TakenState {
         let i = v.index();
-        Some(ShardVertexState::new(TakenState {
+        TakenState {
             buf: std::mem::replace(&mut self.buffers[i], HeapBuffer::new(self.kind)),
-        }))
+        }
     }
 
-    fn put_vertex_state(&mut self, v: VertexId, state: ShardVertexState) {
-        let taken: TakenState = state.downcast();
+    fn install(&mut self, v: VertexId, taken: TakenState) {
         self.buffers[v.index()] = taken.buf;
     }
 }

@@ -103,6 +103,7 @@ impl LazyReplayProvenance {
     }
 }
 
+// tin-lint: allow(tracker-conformance): lazy replay defers all tracking to query time over the whole log and is not shardable — it is never built by the sharded engine
 impl ProvenanceTracker for LazyReplayProvenance {
     fn name(&self) -> &'static str {
         "Lazy (replay on demand)"

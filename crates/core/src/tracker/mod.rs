@@ -42,7 +42,7 @@ pub mod windowed_time;
 use crate::error::Result;
 use crate::ids::VertexId;
 use crate::interaction::Interaction;
-use crate::memory::{FootprintBreakdown, MemoryFootprint};
+use crate::memory::{FootprintBreakdown, MemoryFootprint, SpikeMonitor};
 use crate::origins::OriginSet;
 use crate::policy::{PolicyConfig, SelectionPolicy};
 use crate::quantity::{qty_approx_eq, Quantity};
@@ -87,6 +87,155 @@ impl std::fmt::Debug for ShardVertexState {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str("ShardVertexState(..)")
     }
+}
+
+/// The per-tracker half of the shared state-migration and spike-monitor
+/// plumbing.
+///
+/// Every factory tracker used to hand-roll its `take_vertex_state` /
+/// `put_vertex_state` / spike-monitor trait methods — 13 near-identical
+/// copies whose protocol details (type-erasure, downcast, the order of
+/// monitor accounting relative to the state move) silently drifted apart.
+/// Now a tracker implements only the genuinely varying part — *which* fields
+/// migrate and how an empty slot is rebuilt — and wires the trait methods
+/// through the one shared implementation with [`impl_migration_hooks!`] and
+/// [`impl_spike_monitor_hooks!`]. The `tin-lint` pass (lint
+/// `tracker_conformance`) enforces that every tracker uses this path.
+///
+/// [`impl_migration_hooks!`]: crate::impl_migration_hooks
+/// [`impl_spike_monitor_hooks!`]: crate::impl_spike_monitor_hooks
+pub trait MigratableTracker {
+    /// The concrete per-vertex payload moved by the shard protocol.
+    type Taken: std::any::Any + Send;
+
+    /// Move vertex `v`'s provenance slots out, leaving hollow (empty)
+    /// replacements behind. The hollow slot is never read or processed until
+    /// [`Self::install`] puts a state back (guaranteed by the sharded
+    /// engine's conflict-free batching).
+    fn extract(&mut self, v: VertexId) -> Self::Taken;
+
+    /// Re-install a payload previously produced by [`Self::extract`] on a
+    /// tracker of the same configuration.
+    fn install(&mut self, v: VertexId, taken: Self::Taken);
+
+    /// Footprint bytes that travel with the payload. Monitored trackers
+    /// report the migrated buffer bytes here so the spike estimate moves
+    /// with the state: without the delta a borrowing shard's estimate
+    /// inflates by every borrowed growth while the owner's misses it, and
+    /// spikes fire on the wrong replica.
+    fn taken_footprint(_taken: &Self::Taken) -> usize {
+        0
+    }
+
+    /// The tracker's spike-monitor slot, for trackers that support footprint
+    /// spike notifications. `None` (the default) opts out of monitoring.
+    fn monitor_store(&mut self) -> Option<&mut Option<SpikeMonitor>> {
+        None
+    }
+
+    /// A full O(state) footprint estimate, used to baseline the monitor when
+    /// it is armed. Only meaningful for trackers with a monitor store.
+    fn footprint_estimate(&self) -> usize {
+        0
+    }
+}
+
+/// Shared take-side of the shard migration protocol: extract the payload,
+/// migrate its footprint out of the spike estimate, type-erase it.
+pub fn shared_take<T: MigratableTracker>(tracker: &mut T, v: VertexId) -> ShardVertexState {
+    let taken = tracker.extract(v);
+    let migrated = T::taken_footprint(&taken);
+    if migrated > 0 {
+        if let Some(monitor) = tracker.monitor_store().and_then(Option::as_mut) {
+            monitor.apply_delta(-(migrated as isize));
+        }
+    }
+    ShardVertexState::new(taken)
+}
+
+/// Shared put-side of the shard migration protocol: downcast the payload,
+/// migrate its footprint back into the spike estimate, re-install it.
+pub fn shared_put<T: MigratableTracker>(tracker: &mut T, v: VertexId, state: ShardVertexState) {
+    let taken: T::Taken = state.downcast();
+    let migrated = T::taken_footprint(&taken);
+    if migrated > 0 {
+        if let Some(monitor) = tracker.monitor_store().and_then(Option::as_mut) {
+            monitor.apply_delta(migrated as isize);
+        }
+    }
+    tracker.install(v, taken);
+}
+
+/// Shared implementation behind `ProvenanceTracker::arm_spike_monitor`.
+pub fn shared_arm_spike_monitor<T: MigratableTracker>(tracker: &mut T, fraction: f64) -> bool {
+    let estimate = tracker.footprint_estimate();
+    match tracker.monitor_store() {
+        Some(slot) => {
+            *slot = Some(SpikeMonitor::new(fraction, estimate));
+            true
+        }
+        None => false,
+    }
+}
+
+/// Shared implementation behind `ProvenanceTracker::take_footprint_spike`.
+pub fn shared_take_footprint_spike<T: MigratableTracker>(tracker: &mut T) -> bool {
+    tracker
+        .monitor_store()
+        .and_then(Option::as_mut)
+        .is_some_and(SpikeMonitor::take_spike)
+}
+
+/// Shared implementation behind `ProvenanceTracker::note_footprint_sampled`.
+pub fn shared_note_footprint_sampled<T: MigratableTracker>(tracker: &mut T) {
+    if let Some(monitor) = tracker.monitor_store().and_then(Option::as_mut) {
+        monitor.rebaseline();
+    }
+}
+
+/// Wire `take_vertex_state` / `put_vertex_state` through the shared
+/// [`MigratableTracker`] plumbing. Invoke inside an
+/// `impl ProvenanceTracker for T` block of a type that implements
+/// [`MigratableTracker`]; expands to the two trait methods.
+#[macro_export]
+macro_rules! impl_migration_hooks {
+    () => {
+        fn take_vertex_state(
+            &mut self,
+            v: $crate::ids::VertexId,
+        ) -> Option<$crate::tracker::ShardVertexState> {
+            Some($crate::tracker::shared_take(self, v))
+        }
+
+        fn put_vertex_state(
+            &mut self,
+            v: $crate::ids::VertexId,
+            state: $crate::tracker::ShardVertexState,
+        ) {
+            $crate::tracker::shared_put(self, v, state);
+        }
+    };
+}
+
+/// Wire the three spike-monitor trait methods through the shared
+/// [`MigratableTracker`] plumbing. Invoke inside an
+/// `impl ProvenanceTracker for T` block of a type whose
+/// [`MigratableTracker::monitor_store`] returns its monitor slot.
+#[macro_export]
+macro_rules! impl_spike_monitor_hooks {
+    () => {
+        fn arm_spike_monitor(&mut self, fraction: f64) -> bool {
+            $crate::tracker::shared_arm_spike_monitor(self, fraction)
+        }
+
+        fn take_footprint_spike(&mut self) -> bool {
+            $crate::tracker::shared_take_footprint_spike(self)
+        }
+
+        fn note_footprint_sampled(&mut self) {
+            $crate::tracker::shared_note_footprint_sampled(self)
+        }
+    };
 }
 
 /// Split one mutable slice into simultaneous `(source, destination)` vector

@@ -11,11 +11,11 @@ use crate::interaction::Interaction;
 use crate::memory::{vec_bytes, FootprintBreakdown};
 use crate::origins::OriginSet;
 use crate::quantity::{qty_clamp_non_negative, qty_is_zero, Quantity};
-use crate::tracker::{ProvenanceTracker, ShardVertexState};
+use crate::tracker::{MigratableTracker, ProvenanceTracker};
 
 /// Per-vertex state moved by the shard protocol: the scalar buffer plus the
 /// generated-so-far counter.
-struct TakenState {
+pub struct TakenState {
     buffered: Quantity,
     generated: Quantity,
 }
@@ -109,16 +109,21 @@ impl ProvenanceTracker for NoProvTracker {
         self.processed
     }
 
-    fn take_vertex_state(&mut self, v: VertexId) -> Option<ShardVertexState> {
+    crate::impl_migration_hooks!();
+}
+
+impl MigratableTracker for NoProvTracker {
+    type Taken = TakenState;
+
+    fn extract(&mut self, v: VertexId) -> TakenState {
         let i = v.index();
-        Some(ShardVertexState::new(TakenState {
+        TakenState {
             buffered: std::mem::take(&mut self.buffers[i]),
             generated: std::mem::take(&mut self.generated[i]),
-        }))
+        }
     }
 
-    fn put_vertex_state(&mut self, v: VertexId, state: ShardVertexState) {
-        let taken: TakenState = state.downcast();
+    fn install(&mut self, v: VertexId, taken: TakenState) {
         let i = v.index();
         self.buffers[i] = taken.buffered;
         self.generated[i] = taken.generated;

@@ -20,11 +20,11 @@ use crate::interaction::Interaction;
 use crate::memory::FootprintBreakdown;
 use crate::origins::OriginSet;
 use crate::quantity::{qty_gt, qty_is_zero, Quantity};
-use crate::tracker::{split_src_dst, ProvenanceTracker, ShardVertexState};
+use crate::tracker::{split_src_dst, MigratableTracker, ProvenanceTracker};
 
 /// Per-vertex state moved by the shard protocol: the whole path buffer
 /// (elements, paths and receipt order move wholesale).
-struct TakenState {
+pub struct TakenState {
     buf: PathBuffer,
 }
 
@@ -258,15 +258,20 @@ impl ProvenanceTracker for PathTracker {
         self.processed
     }
 
-    fn take_vertex_state(&mut self, v: VertexId) -> Option<ShardVertexState> {
+    crate::impl_migration_hooks!();
+}
+
+impl MigratableTracker for PathTracker {
+    type Taken = TakenState;
+
+    fn extract(&mut self, v: VertexId) -> TakenState {
         let i = v.index();
-        Some(ShardVertexState::new(TakenState {
+        TakenState {
             buf: std::mem::take(&mut self.buffers[i]),
-        }))
+        }
     }
 
-    fn put_vertex_state(&mut self, v: VertexId, state: ShardVertexState) {
-        let taken: TakenState = state.downcast();
+    fn install(&mut self, v: VertexId, taken: TakenState) {
         self.buffers[v.index()] = taken.buf;
     }
 }

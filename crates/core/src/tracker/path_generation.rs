@@ -21,12 +21,12 @@ use crate::interaction::Interaction;
 use crate::memory::FootprintBreakdown;
 use crate::origins::OriginSet;
 use crate::quantity::{qty_gt, qty_is_zero, Quantity};
-use crate::tracker::{split_src_dst, ProvenanceTracker, ShardVertexState};
+use crate::tracker::{split_src_dst, MigratableTracker, ProvenanceTracker};
 
 /// Per-vertex state moved by the shard protocol: the whole path heap (its
 /// backing array, per-vertex sequence counter and tie-breaking layout move
 /// wholesale).
-struct TakenState {
+pub struct TakenState {
     buf: PathHeapBuffer,
 }
 
@@ -334,15 +334,20 @@ impl ProvenanceTracker for GenerationPathTracker {
         self.processed
     }
 
-    fn take_vertex_state(&mut self, v: VertexId) -> Option<ShardVertexState> {
+    crate::impl_migration_hooks!();
+}
+
+impl MigratableTracker for GenerationPathTracker {
+    type Taken = TakenState;
+
+    fn extract(&mut self, v: VertexId) -> TakenState {
         let i = v.index();
-        Some(ShardVertexState::new(TakenState {
+        TakenState {
             buf: std::mem::replace(&mut self.buffers[i], PathHeapBuffer::new()),
-        }))
+        }
     }
 
-    fn put_vertex_state(&mut self, v: VertexId, state: ShardVertexState) {
-        let taken: TakenState = state.downcast();
+    fn install(&mut self, v: VertexId, taken: TakenState) {
         self.buffers[v.index()] = taken.buf;
     }
 }

@@ -14,11 +14,11 @@ use crate::interaction::Interaction;
 use crate::memory::{FootprintBreakdown, MemoryFootprint};
 use crate::origins::OriginSet;
 use crate::quantity::{qty_clamp_non_negative, qty_ge, Quantity};
-use crate::tracker::{split_src_dst, ProvenanceTracker, ShardVertexState};
+use crate::tracker::{split_src_dst, MigratableTracker, ProvenanceTracker};
 
 /// Per-vertex state moved by the shard protocol: the dense row (its `Vec`
 /// allocation moves wholesale) plus the scalar total.
-struct TakenState {
+pub struct TakenState {
     row: DenseProvenance,
     total: Quantity,
 }
@@ -114,16 +114,21 @@ impl ProvenanceTracker for ProportionalDenseTracker {
         self.processed
     }
 
-    fn take_vertex_state(&mut self, v: VertexId) -> Option<ShardVertexState> {
+    crate::impl_migration_hooks!();
+}
+
+impl MigratableTracker for ProportionalDenseTracker {
+    type Taken = TakenState;
+
+    fn extract(&mut self, v: VertexId) -> TakenState {
         let i = v.index();
-        Some(ShardVertexState::new(TakenState {
+        TakenState {
             row: std::mem::replace(&mut self.vectors[i], DenseProvenance::zeros(0)),
             total: std::mem::take(&mut self.totals[i]),
-        }))
+        }
     }
 
-    fn put_vertex_state(&mut self, v: VertexId, state: ShardVertexState) {
-        let taken: TakenState = state.downcast();
+    fn install(&mut self, v: VertexId, taken: TakenState) {
         let i = v.index();
         self.vectors[i] = taken.row;
         self.totals[i] = taken.total;

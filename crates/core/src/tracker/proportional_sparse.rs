@@ -22,11 +22,11 @@ use crate::interaction::Interaction;
 use crate::memory::{FootprintBreakdown, MemoryFootprint, SpikeMonitor};
 use crate::origins::OriginSet;
 use crate::quantity::{qty_clamp_non_negative, qty_ge, Quantity};
-use crate::tracker::{split_src_dst, ProvenanceTracker, ShardVertexState};
+use crate::tracker::{split_src_dst, MigratableTracker, ProvenanceTracker};
 
 /// Per-vertex state moved by the shard protocol: the provenance vector (its
 /// packed SoA buffers move wholesale, sparse or dense) plus the scalar total.
-struct TakenState {
+pub struct TakenState {
     vec: ProvenanceVec,
     total: Quantity,
 }
@@ -178,45 +178,40 @@ impl ProvenanceTracker for ProportionalSparseTracker {
         self.processed
     }
 
-    fn take_vertex_state(&mut self, v: VertexId) -> Option<ShardVertexState> {
+    crate::impl_migration_hooks!();
+    crate::impl_spike_monitor_hooks!();
+}
+
+impl MigratableTracker for ProportionalSparseTracker {
+    type Taken = TakenState;
+
+    fn extract(&mut self, v: VertexId) -> TakenState {
         let i = v.index();
-        let vec = std::mem::take(&mut self.vectors[i]);
-        // Migrating state carries its footprint with it: without the delta a
-        // borrowing shard's estimate inflates by every borrowed growth while
-        // the owner's misses it, so spikes fire on the wrong replica.
-        if let Some(monitor) = &mut self.monitor {
-            monitor.apply_delta(-(vec.footprint_bytes() as isize));
-        }
-        Some(ShardVertexState::new(TakenState {
-            vec,
+        TakenState {
+            vec: std::mem::take(&mut self.vectors[i]),
             total: std::mem::take(&mut self.totals[i]),
-        }))
+        }
     }
 
-    fn put_vertex_state(&mut self, v: VertexId, state: ShardVertexState) {
-        let taken: TakenState = state.downcast();
+    fn install(&mut self, v: VertexId, taken: TakenState) {
         let i = v.index();
-        if let Some(monitor) = &mut self.monitor {
-            monitor.apply_delta(taken.vec.footprint_bytes() as isize);
-        }
         self.vectors[i] = taken.vec;
         self.totals[i] = taken.total;
     }
 
-    fn arm_spike_monitor(&mut self, fraction: f64) -> bool {
-        let estimate: usize = self.vectors.iter().map(|p| p.footprint_bytes()).sum();
-        self.monitor = Some(SpikeMonitor::new(fraction, estimate));
-        true
+    // Migrating state carries its footprint with it: without the delta a
+    // borrowing shard's estimate inflates by every borrowed growth while
+    // the owner's misses it, so spikes fire on the wrong replica.
+    fn taken_footprint(taken: &TakenState) -> usize {
+        taken.vec.footprint_bytes()
     }
 
-    fn take_footprint_spike(&mut self) -> bool {
-        self.monitor.as_mut().is_some_and(SpikeMonitor::take_spike)
+    fn monitor_store(&mut self) -> Option<&mut Option<SpikeMonitor>> {
+        Some(&mut self.monitor)
     }
 
-    fn note_footprint_sampled(&mut self) {
-        if let Some(monitor) = &mut self.monitor {
-            monitor.rebaseline();
-        }
+    fn footprint_estimate(&self) -> usize {
+        self.vectors.iter().map(|p| p.footprint_bytes()).sum()
     }
 }
 

@@ -12,11 +12,11 @@ use crate::interaction::Interaction;
 use crate::memory::{FootprintBreakdown, MemoryFootprint};
 use crate::origins::OriginSet;
 use crate::quantity::{qty_is_zero, Quantity};
-use crate::tracker::{split_src_dst, ProvenanceTracker, ShardVertexState};
+use crate::tracker::{split_src_dst, MigratableTracker, ProvenanceTracker};
 
 /// Per-vertex state moved by the shard protocol: the whole receipt-order
 /// queue (pairs in receipt order, ring buffer moved wholesale).
-struct TakenState {
+pub struct TakenState {
     buf: QueueBuffer,
 }
 
@@ -121,15 +121,20 @@ impl ProvenanceTracker for ReceiptOrderTracker {
         self.processed
     }
 
-    fn take_vertex_state(&mut self, v: VertexId) -> Option<ShardVertexState> {
+    crate::impl_migration_hooks!();
+}
+
+impl MigratableTracker for ReceiptOrderTracker {
+    type Taken = TakenState;
+
+    fn extract(&mut self, v: VertexId) -> TakenState {
         let i = v.index();
-        Some(ShardVertexState::new(TakenState {
+        TakenState {
             buf: std::mem::replace(&mut self.buffers[i], QueueBuffer::new(self.discipline)),
-        }))
+        }
     }
 
-    fn put_vertex_state(&mut self, v: VertexId, state: ShardVertexState) {
-        let taken: TakenState = state.downcast();
+    fn install(&mut self, v: VertexId, taken: TakenState) {
         self.buffers[v.index()] = taken.buf;
     }
 }

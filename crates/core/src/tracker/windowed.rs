@@ -17,11 +17,11 @@ use crate::interaction::Interaction;
 use crate::memory::{FootprintBreakdown, MemoryFootprint, SpikeMonitor};
 use crate::origins::OriginSet;
 use crate::quantity::{qty_clamp_non_negative, qty_ge, Quantity};
-use crate::tracker::{split_src_dst, ProvenanceTracker, ShardVertexState};
+use crate::tracker::{split_src_dst, MigratableTracker, ProvenanceTracker};
 
 /// Per-vertex state moved by the shard protocol: both vector families plus
 /// the scalar total.
-struct TakenState {
+pub struct TakenState {
     odd: ProvenanceVec,
     even: ProvenanceVec,
     total: Quantity,
@@ -223,33 +223,7 @@ impl ProvenanceTracker for WindowedTracker {
         self.processed
     }
 
-    fn take_vertex_state(&mut self, v: VertexId) -> Option<ShardVertexState> {
-        let i = v.index();
-        let odd = std::mem::take(&mut self.odd[i]);
-        let even = std::mem::take(&mut self.even[i]);
-        // Migrating state carries its footprint with it (see
-        // `ProportionalSparseTracker::take_vertex_state`).
-        if let Some(monitor) = &mut self.monitor {
-            monitor.apply_delta(-((odd.footprint_bytes() + even.footprint_bytes()) as isize));
-        }
-        Some(ShardVertexState::new(TakenState {
-            odd,
-            even,
-            total: std::mem::take(&mut self.totals[i]),
-        }))
-    }
-
-    fn put_vertex_state(&mut self, v: VertexId, state: ShardVertexState) {
-        let taken: TakenState = state.downcast();
-        let i = v.index();
-        if let Some(monitor) = &mut self.monitor {
-            monitor
-                .apply_delta((taken.odd.footprint_bytes() + taken.even.footprint_bytes()) as isize);
-        }
-        self.odd[i] = taken.odd;
-        self.even[i] = taken.even;
-        self.totals[i] = taken.total;
-    }
+    crate::impl_migration_hooks!();
 
     fn sync_epoch(&mut self, processed: usize, _now: f64) {
         // A shard replica may have processed only a subset of the stream; the
@@ -268,25 +242,44 @@ impl ProvenanceTracker for WindowedTracker {
         self.processed = processed;
     }
 
-    fn arm_spike_monitor(&mut self, fraction: f64) -> bool {
-        let estimate: usize = self
-            .odd
+    crate::impl_spike_monitor_hooks!();
+}
+
+impl MigratableTracker for WindowedTracker {
+    type Taken = TakenState;
+
+    fn extract(&mut self, v: VertexId) -> TakenState {
+        let i = v.index();
+        TakenState {
+            odd: std::mem::take(&mut self.odd[i]),
+            even: std::mem::take(&mut self.even[i]),
+            total: std::mem::take(&mut self.totals[i]),
+        }
+    }
+
+    fn install(&mut self, v: VertexId, taken: TakenState) {
+        let i = v.index();
+        self.odd[i] = taken.odd;
+        self.even[i] = taken.even;
+        self.totals[i] = taken.total;
+    }
+
+    // Migrating state carries its footprint with it (see
+    // `ProportionalSparseTracker`).
+    fn taken_footprint(taken: &TakenState) -> usize {
+        taken.odd.footprint_bytes() + taken.even.footprint_bytes()
+    }
+
+    fn monitor_store(&mut self) -> Option<&mut Option<SpikeMonitor>> {
+        Some(&mut self.monitor)
+    }
+
+    fn footprint_estimate(&self) -> usize {
+        self.odd
             .iter()
             .chain(self.even.iter())
             .map(|p| p.footprint_bytes())
-            .sum();
-        self.monitor = Some(SpikeMonitor::new(fraction, estimate));
-        true
-    }
-
-    fn take_footprint_spike(&mut self) -> bool {
-        self.monitor.as_mut().is_some_and(SpikeMonitor::take_spike)
-    }
-
-    fn note_footprint_sampled(&mut self) {
-        if let Some(monitor) = &mut self.monitor {
-            monitor.rebaseline();
-        }
+            .sum()
     }
 }
 

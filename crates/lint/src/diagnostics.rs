@@ -1,0 +1,102 @@
+//! Diagnostics and their human/JSON renderings.
+
+/// One lint finding, anchored to a file and line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Lint name (`determinism`, `channel-protocol`, `tracker-conformance`,
+    /// `hot-path-alloc`, or `malformed-directive`).
+    pub lint: &'static str,
+    /// Path as reported (workspace-relative when run via `--workspace`).
+    pub file: String,
+    /// 1-indexed line.
+    pub line: usize,
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub fn new(
+        lint: &'static str,
+        file: impl Into<String>,
+        line: usize,
+        message: impl Into<String>,
+    ) -> Self {
+        Self {
+            lint,
+            file: file.into(),
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// `path/to/file.rs:42: [lint-name] message` — the classic clickable
+    /// compiler-diagnostic shape.
+    pub fn human(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// Render diagnostics as a JSON array (hand-rolled: this crate is
+/// dependency-free). Stable field order: lint, file, line, message.
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"lint\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            escape(d.lint),
+            escape(&d.file),
+            d.line,
+            escape(&d.message)
+        ));
+    }
+    if !diags.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_rendering_is_clickable() {
+        let d = Diagnostic::new("determinism", "crates/core/src/x.rs", 7, "msg");
+        assert_eq!(d.human(), "crates/core/src/x.rs:7: [determinism] msg");
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_backslashes() {
+        let d = Diagnostic::new("channel-protocol", "a\\b.rs", 1, "say \"hi\"");
+        let json = to_json(&[d]);
+        assert!(json.contains(r#""file": "a\\b.rs""#));
+        assert!(json.contains(r#"say \"hi\""#));
+    }
+
+    #[test]
+    fn empty_is_an_empty_array() {
+        assert_eq!(to_json(&[]), "[]");
+    }
+}

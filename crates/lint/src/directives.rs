@@ -1,0 +1,175 @@
+//! Allow-directive parsing.
+//!
+//! Two forms suppress a lint, both requiring a written justification:
+//!
+//! * Comment form, for real workspace code:
+//!   `// tin-lint: allow(<lint>): <justification>`
+//! * Attribute form, for fixtures that never compile as part of the
+//!   workspace: `#[lint::allow(<lint>, reason = "<justification>")]`
+//!
+//! A directive suppresses matching diagnostics on its own line and on the
+//! first following line that holds any code — so it can sit above the
+//! offending construct or trail it on the same line. A directive with an
+//! unknown lint name or an empty justification is itself reported.
+
+use crate::diagnostics::Diagnostic;
+use crate::lints::LINT_NAMES;
+
+/// One parsed allow-directive.
+#[derive(Debug, Clone)]
+pub struct Directive {
+    /// Lint name this directive suppresses.
+    pub lint: String,
+    /// The written justification (may be empty — reported as malformed).
+    pub justification: String,
+    /// Line the directive appears on (1-indexed).
+    pub line: usize,
+    /// The next line after `line` that contains code (the construct the
+    /// directive covers when it is written above it).
+    pub covers_line: usize,
+}
+
+/// Extract every directive from the raw source, plus diagnostics for
+/// malformed ones (unknown lint name, missing justification).
+pub fn parse(file: &str, src: &str) -> (Vec<Directive>, Vec<Diagnostic>) {
+    let mut directives = Vec::new();
+    let mut problems = Vec::new();
+    let lines: Vec<&str> = src.lines().collect();
+    for (idx, raw) in lines.iter().enumerate() {
+        let line_no = idx + 1;
+        let parsed = parse_comment_form(raw).or_else(|| parse_attribute_form(raw));
+        let Some((lint, justification)) = parsed else {
+            continue;
+        };
+        if !LINT_NAMES.contains(&lint.as_str()) {
+            problems.push(Diagnostic::new(
+                "malformed-directive",
+                file,
+                line_no,
+                format!(
+                    "allow-directive names unknown lint `{lint}` (known: {})",
+                    LINT_NAMES.join(", ")
+                ),
+            ));
+            continue;
+        }
+        if justification.trim().is_empty() {
+            problems.push(Diagnostic::new(
+                "malformed-directive",
+                file,
+                line_no,
+                format!(
+                    "allow({lint}) directive has no justification — say why the exception is sound"
+                ),
+            ));
+            continue;
+        }
+        // The covered line: the next line below that holds code. Skips
+        // blank lines, further comments, and attributes so a directive can
+        // sit in a comment block above the construct it excuses.
+        let covers_line = (idx + 1..lines.len())
+            .find(|&j| {
+                let t = lines[j].trim();
+                !t.is_empty()
+                    && !t.starts_with("//")
+                    && !t.starts_with("#[")
+                    && !t.starts_with("#!")
+            })
+            .map(|j| j + 1)
+            .unwrap_or(line_no);
+        directives.push(Directive {
+            lint,
+            justification,
+            line: line_no,
+            covers_line,
+        });
+    }
+    (directives, problems)
+}
+
+/// `// tin-lint: allow(<lint>): <justification>` (anywhere in the line, so
+/// it can trail code).
+fn parse_comment_form(line: &str) -> Option<(String, String)> {
+    let start = line.find("// tin-lint: allow(")?;
+    let rest = &line[start + "// tin-lint: allow(".len()..];
+    let close = rest.find(')')?;
+    let lint = rest[..close].trim().to_string();
+    let after = rest[close + 1..].trim_start();
+    let justification = after.strip_prefix(':').unwrap_or("").trim().to_string();
+    Some((lint, justification))
+}
+
+/// `#[lint::allow(<lint>, reason = "<justification>")]` — fixture-only form.
+fn parse_attribute_form(line: &str) -> Option<(String, String)> {
+    let start = line.find("#[lint::allow(")?;
+    let rest = &line[start + "#[lint::allow(".len()..];
+    let close = rest.rfind(")]")?;
+    let inner = &rest[..close];
+    let (lint, tail) = match inner.find(',') {
+        Some(comma) => (inner[..comma].trim(), inner[comma + 1..].trim()),
+        None => (inner.trim(), ""),
+    };
+    let justification = tail
+        .strip_prefix("reason")
+        .and_then(|t| t.trim_start().strip_prefix('='))
+        .map(|t| t.trim().trim_matches('"').to_string())
+        .unwrap_or_default();
+    Some((lint.to_string(), justification))
+}
+
+/// Is a diagnostic of `lint` at `line` suppressed by one of `directives`?
+pub fn suppressed(directives: &[Directive], lint: &str, line: usize) -> bool {
+    directives
+        .iter()
+        .any(|d| d.lint == lint && (d.line == line || d.covers_line == line))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comment_form_parses() {
+        let src = "let x = 1; // tin-lint: allow(determinism): order-independent fold\n";
+        let (ds, problems) = parse("f.rs", src);
+        assert!(problems.is_empty());
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].lint, "determinism");
+        assert_eq!(ds[0].justification, "order-independent fold");
+        assert!(suppressed(&ds, "determinism", 1));
+        assert!(!suppressed(&ds, "hot-path-alloc", 1));
+    }
+
+    #[test]
+    fn directive_above_covers_next_code_line() {
+        let src = "// tin-lint: allow(channel-protocol): test-only helper\n\n// more\nrx.recv().unwrap();\n";
+        let (ds, _) = parse("f.rs", src);
+        assert_eq!(ds[0].covers_line, 4);
+        assert!(suppressed(&ds, "channel-protocol", 4));
+    }
+
+    #[test]
+    fn missing_justification_is_reported() {
+        let (ds, problems) = parse("f.rs", "// tin-lint: allow(determinism)\n");
+        assert!(ds.is_empty());
+        assert_eq!(problems.len(), 1);
+        assert_eq!(problems[0].lint, "malformed-directive");
+    }
+
+    #[test]
+    fn unknown_lint_is_reported() {
+        let (ds, problems) = parse("f.rs", "// tin-lint: allow(made-up): because\n");
+        assert!(ds.is_empty());
+        assert_eq!(problems.len(), 1);
+    }
+
+    #[test]
+    fn attribute_form_parses() {
+        let src = "#[lint::allow(hot-path-alloc, reason = \"cold constructor\")]\nfn f() {}\n";
+        let (ds, problems) = parse("f.rs", src);
+        assert!(problems.is_empty());
+        assert_eq!(ds[0].lint, "hot-path-alloc");
+        assert_eq!(ds[0].justification, "cold constructor");
+        assert_eq!(ds[0].covers_line, 2);
+    }
+}

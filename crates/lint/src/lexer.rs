@@ -1,0 +1,366 @@
+//! A hand-rolled Rust lexer sufficient for token-level lint matching.
+//!
+//! This is deliberately *not* a full Rust parser: the lints in this crate
+//! only need a faithful token stream with line numbers, which means the
+//! lexer's one hard job is never mis-classifying the things that would make
+//! token matching lie — comments, string/char literals (including raw and
+//! byte forms), lifetimes vs. char literals, and nested block comments.
+//! Everything else degrades gracefully to punctuation tokens.
+
+/// A single lexed token with the 1-indexed line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`for`, `HashMap`, `recv`, ...).
+    Ident,
+    /// Lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+    /// String, raw-string, byte-string, char, or numeric literal.
+    Literal,
+    /// Punctuation. Common compound operators (`::`, `+=`, `->`, ...) are
+    /// lexed as a single token so lints can match them directly.
+    Punct,
+    /// `(`, `[`, `{`.
+    OpenDelim,
+    /// `)`, `]`, `}`.
+    CloseDelim,
+}
+
+impl Token {
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == s
+    }
+}
+
+/// Compound operators lexed as one token, longest first.
+const COMPOUND: &[&str] = &[
+    "..=", "<<=", ">>=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=",
+    "/=", "%=", "^=", "&=", "|=", "..", "<<", ">>",
+];
+
+/// Lex `src` into a flat token stream. Comments and whitespace are dropped
+/// (allow-directives are collected separately from the raw source by
+/// [`crate::directives`]). The lexer never fails: bytes it does not
+/// understand become single-character punctuation tokens.
+pub fn lex(src: &str) -> Vec<Token> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                // Line comment (incl. doc comments): skip to end of line.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comment, possibly nested.
+                let mut depth = 1;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                let (end, newlines) = scan_string(bytes, i);
+                tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: src[i..end].to_string(),
+                    line,
+                });
+                line += newlines;
+                i = end;
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(bytes, i) => {
+                let (end, newlines) = scan_raw_or_byte(bytes, i);
+                tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: src[i..end].to_string(),
+                    line,
+                });
+                line += newlines;
+                i = end;
+            }
+            b'\'' => {
+                // Lifetime or char literal. A lifetime is `'` + ident not
+                // followed by a closing quote; a char literal always closes.
+                let (tok, end) = scan_quote(src, bytes, i, line);
+                tokens.push(tok);
+                i = end;
+            }
+            b'(' | b'[' | b'{' => {
+                tokens.push(Token {
+                    kind: TokenKind::OpenDelim,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+            b')' | b']' | b'}' => {
+                tokens.push(Token {
+                    kind: TokenKind::CloseDelim,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'.')
+                {
+                    // Stop before `..` (range operator), which is punctuation.
+                    if bytes[i] == b'.' && bytes.get(i + 1) == Some(&b'.') {
+                        break;
+                    }
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            _ => {
+                let rest = &src[i..];
+                let compound = COMPOUND.iter().find(|op| rest.starts_with(**op));
+                let text = match compound {
+                    Some(op) => (*op).to_string(),
+                    None => (c as char).to_string(),
+                };
+                i += text.len();
+                tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text,
+                    line,
+                });
+            }
+        }
+    }
+    tokens
+}
+
+/// Scan a `"..."` string starting at `start`; returns (end index, newlines).
+fn scan_string(bytes: &[u8], start: usize) -> (usize, usize) {
+    let mut i = start + 1;
+    let mut newlines = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return (i + 1, newlines),
+            b'\n' => {
+                newlines += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (i, newlines)
+}
+
+/// Does `r"`, `r#"`, `b"`, `br"`, `br#"`, `rb...` start here?
+fn starts_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    // Up to two prefix letters (r, b in either order), then optional `#`s,
+    // then a quote.
+    let mut letters = 0;
+    while j < bytes.len() && (bytes[j] == b'r' || bytes[j] == b'b') && letters < 2 {
+        j += 1;
+        letters += 1;
+    }
+    let raw = bytes[i..j].contains(&b'r');
+    if raw {
+        while j < bytes.len() && bytes[j] == b'#' {
+            j += 1;
+        }
+    }
+    letters > 0 && bytes.get(j) == Some(&b'"')
+}
+
+/// Scan a raw/byte string starting at `start`; returns (end, newlines).
+fn scan_raw_or_byte(bytes: &[u8], start: usize) -> (usize, usize) {
+    let mut i = start;
+    while i < bytes.len() && (bytes[i] == b'r' || bytes[i] == b'b') {
+        i += 1;
+    }
+    let mut hashes = 0;
+    while i < bytes.len() && bytes[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    debug_assert_eq!(bytes.get(i), Some(&b'"'));
+    i += 1;
+    let raw = bytes[start..i].contains(&b'r');
+    let mut newlines = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if !raw => i += 2,
+            b'"' => {
+                // A raw string only closes on `"` followed by `hashes` #s.
+                let closing = (0..hashes).all(|k| bytes.get(i + 1 + k) == Some(&b'#'));
+                if closing {
+                    return (i + 1 + hashes, newlines);
+                }
+                i += 1;
+            }
+            b'\n' => {
+                newlines += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (i, newlines)
+}
+
+/// Scan from a `'`: either a lifetime (`'a`) or a char literal (`'x'`).
+fn scan_quote(src: &str, bytes: &[u8], start: usize, line: usize) -> (Token, usize) {
+    let next = bytes.get(start + 1).copied();
+    let is_ident_start = next.is_some_and(|c| c.is_ascii_alphabetic() || c == b'_');
+    if is_ident_start && bytes.get(start + 2) != Some(&b'\'') {
+        // Lifetime: `'` + identifier with no closing quote right after one
+        // character. (`'a'` is a char literal; `'abc` is a lifetime.)
+        let mut i = start + 1;
+        while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+            i += 1;
+        }
+        // `'a'` where the ident is exactly one char was excluded above, but
+        // `'ab'` is not valid Rust; treat a trailing quote as part of a char
+        // literal anyway to stay out of trouble.
+        if bytes.get(i) == Some(&b'\'') {
+            i += 1;
+            return (
+                Token {
+                    kind: TokenKind::Literal,
+                    text: src[start..i].to_string(),
+                    line,
+                },
+                i,
+            );
+        }
+        return (
+            Token {
+                kind: TokenKind::Lifetime,
+                text: src[start..i].to_string(),
+                line,
+            },
+            i,
+        );
+    }
+    // Char literal, possibly escaped: `'x'`, `'\n'`, `'\u{1F600}'`.
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\'' => {
+                i += 1;
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    (
+        Token {
+            kind: TokenKind::Literal,
+            text: src[start..i].to_string(),
+            line,
+        },
+        i,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn comments_are_dropped_and_lines_tracked() {
+        let toks = lex("a // x\n/* b \n c */ d");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].text, "a");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].text, "d");
+        assert_eq!(toks[1].line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        assert_eq!(texts("a /* x /* y */ z */ b"), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        assert_eq!(texts(r#"x "for in {" y"#), vec!["x", "\"for in {\"", "y"]);
+        assert_eq!(
+            texts(r##"x r#"recv().unwrap()"# y"##),
+            vec!["x", "r#\"recv().unwrap()\"#", "y"]
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = lex("&'a str 'x' '\\n'");
+        assert_eq!(toks[1].kind, TokenKind::Lifetime);
+        assert_eq!(toks[1].text, "'a");
+        assert_eq!(toks[3].kind, TokenKind::Literal);
+        assert_eq!(toks[3].text, "'x'");
+        assert_eq!(toks[4].text, "'\\n'");
+    }
+
+    #[test]
+    fn compound_operators_are_single_tokens() {
+        assert_eq!(
+            texts("a += b :: c -> d"),
+            vec!["a", "+=", "b", "::", "c", "->", "d"]
+        );
+    }
+
+    #[test]
+    fn numbers_including_floats() {
+        assert_eq!(texts("1.5f64 0..10"), vec!["1.5f64", "0", "..", "10"]);
+    }
+}

@@ -1,0 +1,98 @@
+//! L2 — channel protocol: a `recv()`/`recv_timeout()`/`try_recv()` on a
+//! shard mpsc channel whose `Result` is `.unwrap()`ed or `.expect()`ed
+//! turns a peer's death into a panic in *this* thread — which detaches the
+//! panic from the failing shard, defeats the sentinel's fail-fast
+//! broadcast, and (before the sentinel existed) deadlocked the remaining
+//! workers. Every receive must match on the `Result` and treat `Err` /
+//! `Disconnected` as peer death.
+
+use super::{in_ranges, test_mod_ranges};
+use crate::diagnostics::Diagnostic;
+use crate::lexer::{Token, TokenKind};
+
+const RECV_METHODS: &[&str] = &["recv", "recv_timeout", "try_recv"];
+
+pub fn check(file: &str, tokens: &[Token]) -> Vec<Diagnostic> {
+    let skip = test_mod_ranges(tokens);
+    let mut diags = Vec::new();
+    for i in 0..tokens.len() {
+        if in_ranges(&skip, i) {
+            continue;
+        }
+        // `. recv ( ... ) . unwrap|expect`
+        if !tokens[i].is_punct(".") {
+            continue;
+        }
+        let Some(method) = tokens.get(i + 1) else {
+            continue;
+        };
+        if method.kind != TokenKind::Ident || !RECV_METHODS.contains(&method.text.as_str()) {
+            continue;
+        }
+        let Some(open) = tokens.get(i + 2) else {
+            continue;
+        };
+        if open.kind != TokenKind::OpenDelim || open.text != "(" {
+            continue;
+        }
+        let close = super::matching_close(tokens, i + 2);
+        let after = &tokens[close + 1..tokens.len().min(close + 3)];
+        if after.len() == 2
+            && after[0].is_punct(".")
+            && (after[1].is_ident("unwrap") || after[1].is_ident("expect"))
+        {
+            diags.push(Diagnostic::new(
+                "channel-protocol",
+                file,
+                method.line,
+                format!(
+                    "`.{}()` result is `.{}()`ed; a peer's death must be handled as \
+                     disconnect (match on the Result and abort the wavefront), not turned \
+                     into a panic on this thread",
+                    method.text, after[1].text
+                ),
+            ));
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn fires_on_unwrapped_recv() {
+        let d = check("x.rs", &lex("let msg = rx.recv().unwrap();"));
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("recv"));
+    }
+
+    #[test]
+    fn fires_on_expected_recv_timeout() {
+        let d = check(
+            "x.rs",
+            &lex("let msg = rx.recv_timeout(d).expect(\"alive\");"),
+        );
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn clean_on_matched_recv() {
+        let src =
+            "match rx.recv() { Ok(m) => handle(m), Err(_) => return Err(BatchAbort::MainLost), }";
+        assert!(check("x.rs", &lex(src)).is_empty());
+    }
+
+    #[test]
+    fn clean_on_let_else() {
+        let src = "let Ok(m) = rx.recv() else { return; };";
+        assert!(check("x.rs", &lex(src)).is_empty());
+    }
+
+    #[test]
+    fn unwrap_elsewhere_is_fine() {
+        assert!(check("x.rs", &lex("let x = maybe.unwrap();")).is_empty());
+    }
+}

@@ -1,0 +1,205 @@
+//! L1 — determinism: iterating a `HashMap`/`HashSet` while accumulating
+//! floating-point state or emitting per-vertex output makes results depend
+//! on the hasher's iteration order. Float addition is not associative, so
+//! even a "sum over all entries" silently stops being bit-identical between
+//! runs — exactly the property the sequential-vs-sharded equivalence tests
+//! pin down. The fix is a `BTreeMap`/`BTreeSet`, an explicit sort before
+//! the loop, or a justified allow-directive for genuinely order-independent
+//! folds (integer counters, max-tracking, and the like).
+
+use super::{in_ranges, matching_close, test_mod_ranges};
+use crate::diagnostics::Diagnostic;
+use crate::lexer::{Token, TokenKind};
+use std::collections::BTreeSet;
+
+pub fn check(file: &str, tokens: &[Token]) -> Vec<Diagnostic> {
+    let skip = test_mod_ranges(tokens);
+    let hash_names = hash_typed_names(tokens);
+    let mut diags = Vec::new();
+
+    let mut i = 0;
+    while i < tokens.len() {
+        if in_ranges(&skip, i) || !tokens[i].is_ident("for") {
+            i += 1;
+            continue;
+        }
+        // `for <pat> in <expr> { body }` — find `in` and the body brace at
+        // nesting depth 0 (Rust forbids bare struct literals in a for head,
+        // so the first depth-0 `{` opens the body).
+        let Some(in_idx) = find_at_depth0(tokens, i + 1, |t| t.is_ident("in")) else {
+            i += 1;
+            continue;
+        };
+        let Some(body_open) = find_at_depth0(tokens, in_idx + 1, |t| {
+            t.kind == TokenKind::OpenDelim && t.text == "{"
+        }) else {
+            i += 1;
+            continue;
+        };
+        let body_close = matching_close(tokens, body_open);
+        let expr = &tokens[in_idx + 1..body_open];
+        let body = &tokens[body_open..=body_close];
+
+        if let Some(name) = hash_ordered_source(expr, &hash_names) {
+            if let Some(sink) = order_sensitive_sink(body) {
+                diags.push(Diagnostic::new(
+                    "determinism",
+                    file,
+                    tokens[i].line,
+                    format!(
+                        "iteration over hash-ordered `{name}` {sink}; HashMap/HashSet order is \
+                         nondeterministic — use a BTreeMap/BTreeSet, sort before the loop, or \
+                         justify with `// tin-lint: allow(determinism): <why>`"
+                    ),
+                ));
+            }
+        }
+        i = body_open + 1;
+    }
+    diags
+}
+
+/// Names bound to `HashMap`/`HashSet` values in this file: `let` bindings,
+/// struct fields, and typed params (`name: HashMap<...>`).
+fn hash_typed_names(tokens: &[Token]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for i in 0..tokens.len() {
+        // `let [mut] NAME ... HashMap/HashSet ... ;` (bounded lookahead).
+        if tokens[i].is_ident("let") {
+            let mut j = i + 1;
+            if j < tokens.len() && tokens[j].is_ident("mut") {
+                j += 1;
+            }
+            if j < tokens.len() && tokens[j].kind == TokenKind::Ident {
+                let name = &tokens[j].text;
+                let window = &tokens[j + 1..tokens.len().min(j + 60)];
+                let mut saw_hash = false;
+                for t in window {
+                    if t.is_punct(";") {
+                        break;
+                    }
+                    if t.is_ident("HashMap") || t.is_ident("HashSet") {
+                        saw_hash = true;
+                        break;
+                    }
+                }
+                if saw_hash {
+                    names.insert(name.clone());
+                }
+            }
+        }
+        // `NAME : [&mut ...] HashMap/HashSet <` — fields and params.
+        if tokens[i].kind == TokenKind::Ident && i + 2 < tokens.len() && tokens[i + 1].is_punct(":")
+        {
+            let window = &tokens[i + 2..tokens.len().min(i + 8)];
+            if window
+                .iter()
+                .take_while(|t| !t.is_punct(",") && !t.is_punct(";"))
+                .any(|t| t.is_ident("HashMap") || t.is_ident("HashSet"))
+            {
+                names.insert(tokens[i].text.clone());
+            }
+        }
+    }
+    names
+}
+
+/// Does the for-loop head iterate a hash-ordered container? Returns the name
+/// to report. Direct constructor calls (`HashMap::new()`) count too.
+fn hash_ordered_source(expr: &[Token], hash_names: &BTreeSet<String>) -> Option<String> {
+    for t in expr {
+        if t.kind == TokenKind::Ident {
+            if t.text == "HashMap" || t.text == "HashSet" {
+                return Some(t.text.clone());
+            }
+            if hash_names.contains(&t.text) {
+                return Some(t.text.clone());
+            }
+        }
+    }
+    None
+}
+
+/// Does the loop body accumulate floats or emit per-vertex output? Returns a
+/// short description of the sink for the message.
+fn order_sensitive_sink(body: &[Token]) -> Option<&'static str> {
+    for (i, t) in body.iter().enumerate() {
+        if t.is_punct("+=") || t.is_punct("-=") || t.is_punct("*=") || t.is_punct("/=") {
+            return Some("accumulates with a compound assignment");
+        }
+        if t.is_punct(".") {
+            if let Some(next) = body.get(i + 1) {
+                if next.is_ident("push")
+                    || next.is_ident("push_str")
+                    || next.is_ident("send")
+                    || next.is_ident("extend")
+                {
+                    return Some("emits per-entry output");
+                }
+            }
+        }
+        if t.kind == TokenKind::Ident
+            && (t.text == "println"
+                || t.text == "writeln"
+                || t.text == "write"
+                || t.text == "print")
+            && body.get(i + 1).is_some_and(|n| n.is_punct("!"))
+        {
+            return Some("emits per-entry output");
+        }
+    }
+    None
+}
+
+/// First token at delimiter depth 0 (relative to `start`) matching `pred`.
+fn find_at_depth0(tokens: &[Token], start: usize, pred: impl Fn(&Token) -> bool) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(start) {
+        match t.kind {
+            TokenKind::OpenDelim => {
+                if depth == 0 && pred(t) {
+                    return Some(i);
+                }
+                depth += 1;
+            }
+            TokenKind::CloseDelim => {
+                depth = depth.checked_sub(1)?;
+            }
+            _ if depth == 0 && pred(t) => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn fires_on_hashmap_iteration_with_float_accumulation() {
+        let src = "fn f() { let m: HashMap<u32, f64> = HashMap::new(); let mut s = 0.0; for (_, v) in m.iter() { s += v; } }";
+        let d = check("x.rs", &lex(src));
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains('m'));
+    }
+
+    #[test]
+    fn clean_on_btreemap() {
+        let src = "fn f() { let m: BTreeMap<u32, f64> = BTreeMap::new(); let mut s = 0.0; for (_, v) in m.iter() { s += v; } }";
+        assert!(check("x.rs", &lex(src)).is_empty());
+    }
+
+    #[test]
+    fn clean_when_loop_only_counts() {
+        let src = "fn f(m: HashMap<u32, f64>) -> usize { let mut n = 0; for _ in m.keys() { n = n.max(1); } n }";
+        assert!(check("x.rs", &lex(src)).is_empty());
+    }
+
+    #[test]
+    fn test_modules_are_skipped() {
+        let src = "mod tests { fn f(m: HashMap<u32, f64>) { let mut s = 0.0; for v in m.values() { s += v; } } }";
+        assert!(check("x.rs", &lex(src)).is_empty());
+    }
+}

@@ -1,0 +1,84 @@
+//! The four workspace lints, over flat token streams from [`crate::lexer`].
+//!
+//! Each lint is a pure function `(file, tokens) -> Vec<Diagnostic>`; the
+//! caller ([`crate::lint_source`]) filters the result through the file's
+//! allow-directives. Lints are token-level pattern matchers, not a type
+//! checker: they are tuned so that every firing is either a real violation
+//! of the invariant or close enough that an explicit, justified
+//! allow-directive is the right fix.
+
+pub mod alloc;
+pub mod channel;
+pub mod determinism;
+pub mod tracker;
+
+use crate::diagnostics::Diagnostic;
+use crate::lexer::{Token, TokenKind};
+
+/// Every lint name, in stable order. `malformed-directive` is reserved for
+/// directive-parsing problems and is not a matchable lint.
+pub const LINT_NAMES: &[&str] = &[
+    "determinism",
+    "channel-protocol",
+    "tracker-conformance",
+    "hot-path-alloc",
+];
+
+/// Run one lint by name over a token stream.
+pub fn run(lint: &str, file: &str, tokens: &[Token]) -> Vec<Diagnostic> {
+    match lint {
+        "determinism" => determinism::check(file, tokens),
+        "channel-protocol" => channel::check(file, tokens),
+        "tracker-conformance" => tracker::check(file, tokens),
+        "hot-path-alloc" => alloc::check(file, tokens),
+        other => panic!("unknown lint `{other}`"),
+    }
+}
+
+/// Index of the delimiter closing the group opened at `open` (which must be
+/// an [`TokenKind::OpenDelim`]). Returns `tokens.len() - 1` on unbalanced
+/// input rather than panicking — lints degrade, they don't crash.
+pub(crate) fn matching_close(tokens: &[Token], open: usize) -> usize {
+    debug_assert_eq!(tokens[open].kind, TokenKind::OpenDelim);
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        match t.kind {
+            TokenKind::OpenDelim => depth += 1,
+            TokenKind::CloseDelim => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Token-index ranges covering `mod tests { ... }` bodies (the workspace
+/// idiom for `#[cfg(test)]` modules). Production invariants do not bind
+/// test scaffolding, so lints skip these ranges.
+pub(crate) fn test_mod_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i + 2 < tokens.len() {
+        if tokens[i].is_ident("mod")
+            && tokens[i + 1].kind == TokenKind::Ident
+            && (tokens[i + 1].text == "tests" || tokens[i + 1].text.starts_with("test_"))
+            && tokens[i + 2].kind == TokenKind::OpenDelim
+            && tokens[i + 2].text == "{"
+        {
+            let close = matching_close(tokens, i + 2);
+            ranges.push((i, close));
+            i = close + 1;
+        } else {
+            i += 1;
+        }
+    }
+    ranges
+}
+
+pub(crate) fn in_ranges(ranges: &[(usize, usize)], i: usize) -> bool {
+    ranges.iter().any(|&(a, b)| i >= a && i <= b)
+}

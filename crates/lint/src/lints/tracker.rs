@@ -1,0 +1,172 @@
+//! L3 — tracker conformance: every `impl ProvenanceTracker` must wire the
+//! take/put migration hooks and (when the tracker owns a `SpikeMonitor`)
+//! the spike-monitor hooks through the shared implementation in
+//! `tracker::mod` — either by invoking `crate::impl_migration_hooks!` /
+//! `crate::impl_spike_monitor_hooks!` in the impl body, or by delegating
+//! explicitly to `shared_take` / `shared_put` / `shared_arm_spike_monitor`.
+//! Hand-rolled copies of that plumbing are exactly how the 13 factory
+//! trackers drifted apart before the dedup; this lint keeps them converged.
+//! Trackers that are genuinely not shardable (no migration support by
+//! design) document that with a justified allow-directive.
+
+use crate::diagnostics::Diagnostic;
+use crate::lexer::{Token, TokenKind};
+
+pub fn check(file: &str, tokens: &[Token]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let file_has_monitor_store = has_seq(tokens, &["Option", "<", "SpikeMonitor", ">"]);
+
+    let mut i = 0;
+    while i < tokens.len() {
+        if !tokens[i].is_ident("impl") {
+            i += 1;
+            continue;
+        }
+        // `impl [<...>] ProvenanceTracker for NAME [where ...] { body }`.
+        let Some((name, name_line, body_open)) = match_tracker_impl(tokens, i) else {
+            i += 1;
+            continue;
+        };
+        let body_close = super::matching_close(tokens, body_open);
+        let body = &tokens[body_open..=body_close];
+
+        let has_macro_hooks = body.iter().any(|t| t.is_ident("impl_migration_hooks"));
+        let has_shared_delegation = body.iter().any(|t| t.is_ident("shared_take"))
+            && body.iter().any(|t| t.is_ident("shared_put"));
+        if !has_macro_hooks && !has_shared_delegation {
+            diags.push(Diagnostic::new(
+                "tracker-conformance",
+                file,
+                name_line,
+                format!(
+                    "impl ProvenanceTracker for {name} does not wire take/put migration hooks \
+                     through the shared implementation — invoke crate::impl_migration_hooks! \
+                     (or delegate to shared_take/shared_put), or justify why this tracker is \
+                     not shardable with `// tin-lint: allow(tracker-conformance): <why>`"
+                ),
+            ));
+        }
+
+        if file_has_monitor_store {
+            let has_spike_hooks = body.iter().any(|t| t.is_ident("impl_spike_monitor_hooks"))
+                || body.iter().any(|t| t.is_ident("shared_arm_spike_monitor"));
+            if !has_spike_hooks {
+                diags.push(Diagnostic::new(
+                    "tracker-conformance",
+                    file,
+                    name_line,
+                    format!(
+                        "{name} owns a SpikeMonitor store but its ProvenanceTracker impl does \
+                         not route the spike hooks through the shared implementation — invoke \
+                         crate::impl_spike_monitor_hooks! (or delegate to \
+                         shared_arm_spike_monitor/shared_take_footprint_spike)"
+                    ),
+                ));
+            }
+        }
+        i = body_close + 1;
+    }
+    diags
+}
+
+/// If `impl_idx` starts `impl ... ProvenanceTracker for NAME ... {`, return
+/// `(NAME, line of NAME, index of the body brace)`.
+fn match_tracker_impl(tokens: &[Token], impl_idx: usize) -> Option<(String, usize, usize)> {
+    // Scan a bounded window for `ProvenanceTracker` before the body brace;
+    // generics may nest `<...>` but not `{`.
+    let mut j = impl_idx + 1;
+    let mut trait_idx = None;
+    while j < tokens.len() && j < impl_idx + 40 {
+        let t = &tokens[j];
+        if t.kind == TokenKind::OpenDelim && t.text == "{" {
+            break;
+        }
+        if t.is_ident("ProvenanceTracker") {
+            trait_idx = Some(j);
+            break;
+        }
+        j += 1;
+    }
+    let trait_idx = trait_idx?;
+    // `for NAME` must follow (otherwise this is the trait definition or an
+    // unrelated `impl SomethingElse`).
+    let mut k = trait_idx + 1;
+    while k < tokens.len() && !tokens[k].is_ident("for") {
+        if tokens[k].kind == TokenKind::OpenDelim && tokens[k].text == "{" {
+            return None;
+        }
+        k += 1;
+    }
+    let name_tok = tokens.get(k + 1)?;
+    if name_tok.kind != TokenKind::Ident {
+        return None;
+    }
+    // Body brace: first `{` at depth 0 after the name (where-clauses cannot
+    // contain braces).
+    let mut m = k + 2;
+    let mut depth = 0usize;
+    while m < tokens.len() {
+        match tokens[m].kind {
+            TokenKind::OpenDelim if tokens[m].text == "{" && depth == 0 => {
+                return Some((name_tok.text.clone(), name_tok.line, m));
+            }
+            TokenKind::OpenDelim => depth += 1,
+            TokenKind::CloseDelim => depth = depth.saturating_sub(1),
+            _ => {}
+        }
+        m += 1;
+    }
+    None
+}
+
+fn has_seq(tokens: &[Token], seq: &[&str]) -> bool {
+    tokens
+        .windows(seq.len())
+        .any(|w| w.iter().zip(seq).all(|(t, s)| t.text == *s))
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn fires_on_impl_without_hooks() {
+        let src = "impl ProvenanceTracker for Foo { fn origins(&self) {} }";
+        let d = check("x.rs", &lex(src));
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("Foo"));
+    }
+
+    #[test]
+    fn clean_with_macro_hooks() {
+        let src = "impl ProvenanceTracker for Foo { crate::impl_migration_hooks!(); }";
+        assert!(check("x.rs", &lex(src)).is_empty());
+    }
+
+    #[test]
+    fn clean_with_shared_delegation() {
+        let src = "impl ProvenanceTracker for Foo { fn take_vertex_state(&mut self, v: VertexId) -> Option<S> { shared_take(self, v) } fn put_vertex_state(&mut self, v: VertexId, s: S) { shared_put(self, v, s) } }";
+        assert!(check("x.rs", &lex(src)).is_empty());
+    }
+
+    #[test]
+    fn monitored_tracker_needs_spike_hooks() {
+        let src = "struct Foo { monitor: Option<SpikeMonitor> } impl ProvenanceTracker for Foo { crate::impl_migration_hooks!(); }";
+        let d = check("x.rs", &lex(src));
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("SpikeMonitor"));
+    }
+
+    #[test]
+    fn monitored_tracker_with_spike_macro_is_clean() {
+        let src = "struct Foo { monitor: Option<SpikeMonitor> } impl ProvenanceTracker for Foo { crate::impl_migration_hooks!(); crate::impl_spike_monitor_hooks!(); }";
+        assert!(check("x.rs", &lex(src)).is_empty());
+    }
+
+    #[test]
+    fn trait_definition_itself_is_not_an_impl() {
+        let src = "pub trait ProvenanceTracker { fn origins(&self); }";
+        assert!(check("x.rs", &lex(src)).is_empty());
+    }
+}

@@ -1,0 +1,102 @@
+//! CLI for `tin-lint`.
+//!
+//! ```text
+//! tin-lint --workspace [--root DIR] [--json]   # lint crates/ and src/
+//! tin-lint [--json] FILE...                    # lint specific files
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error. CI runs
+//! `cargo run -p tin-lint -- --workspace` as a required gate.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut workspace = false;
+    let mut json = false;
+    let mut root = PathBuf::from(".");
+    let mut files: Vec<PathBuf> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root requires a directory"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "tin-lint: static analysis for the tin workspace\n\n\
+                     USAGE:\n  tin-lint --workspace [--root DIR] [--json]\n  \
+                     tin-lint [--json] FILE...\n\n\
+                     Lints: {}",
+                    tin_lint::lints::LINT_NAMES.join(", ")
+                );
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                return usage(&format!("unknown flag `{other}`"));
+            }
+            path => files.push(PathBuf::from(path)),
+        }
+    }
+    if !workspace && files.is_empty() {
+        return usage("pass --workspace or at least one file");
+    }
+
+    let diags = if workspace {
+        match tin_lint::workspace::run(&root) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!(
+                    "tin-lint: failed to walk workspace at {}: {e}",
+                    root.display()
+                );
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let mut diags = Vec::new();
+        for file in &files {
+            let rel = file.to_string_lossy().replace('\\', "/");
+            let lints = tin_lint::workspace::applicable_lints(&rel);
+            match std::fs::read_to_string(file) {
+                Ok(src) => diags.extend(tin_lint::lint_source(&rel, &src, &lints)),
+                Err(e) => {
+                    eprintln!("tin-lint: cannot read {rel}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        diags
+    };
+
+    if json {
+        println!("{}", tin_lint::to_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{}", d.human());
+        }
+        if diags.is_empty() {
+            println!("tin-lint: clean");
+        } else {
+            println!(
+                "tin-lint: {} finding{} — fix or add a justified allow-directive",
+                diags.len(),
+                if diags.len() == 1 { "" } else { "s" }
+            );
+        }
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("tin-lint: {problem} (see --help)");
+    ExitCode::from(2)
+}

@@ -1,0 +1,121 @@
+//! Fixture-driven lint tests: every lint is demonstrated by at least two
+//! firing and two clean fixtures under `tests/fixtures/<lint>/`.
+//!
+//! Fixtures are `.rs` snippets that are never compiled as part of the
+//! workspace — they exist to pin down each lint's firing boundary, so a
+//! matcher regression (either direction) fails this suite. The naming
+//! convention IS the oracle: `firing_*.rs` must produce at least one
+//! diagnostic of the directory's lint, `clean_*.rs` must produce none.
+
+use std::path::{Path, PathBuf};
+
+fn fixtures_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn fixtures_for(lint: &str) -> Vec<(String, String)> {
+    let dir = fixtures_root().join(lint);
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(&dir).unwrap_or_else(|e| panic!("{}: {e}", dir.display())) {
+        let path = entry.unwrap().path();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        if name.ends_with(".rs") {
+            let src = std::fs::read_to_string(&path).unwrap();
+            out.push((name, src));
+        }
+    }
+    out.sort();
+    assert!(
+        out.iter().filter(|(n, _)| n.starts_with("firing_")).count() >= 2,
+        "lint `{lint}` needs at least two firing fixtures"
+    );
+    assert!(
+        out.iter().filter(|(n, _)| n.starts_with("clean_")).count() >= 2,
+        "lint `{lint}` needs at least two clean fixtures"
+    );
+    out
+}
+
+fn check_lint(lint: &str) {
+    for (name, src) in fixtures_for(lint) {
+        let diags = tin_lint::lint_source(&name, &src, &[lint]);
+        let fired: Vec<_> = diags.iter().filter(|d| d.lint == lint).collect();
+        let malformed: Vec<_> = diags
+            .iter()
+            .filter(|d| d.lint == "malformed-directive")
+            .collect();
+        assert!(
+            malformed.is_empty(),
+            "{lint}/{name}: fixture directives must be well-formed: {malformed:?}"
+        );
+        if name.starts_with("firing_") {
+            assert!(
+                !fired.is_empty(),
+                "{lint}/{name}: expected at least one `{lint}` diagnostic, got none"
+            );
+            for d in &fired {
+                assert!(d.line > 0, "{lint}/{name}: diagnostic missing a line");
+                assert_eq!(d.file, name);
+            }
+        } else {
+            assert!(
+                fired.is_empty(),
+                "{lint}/{name}: expected no diagnostics, got: {:?}",
+                fired.iter().map(|d| d.human()).collect::<Vec<_>>()
+            );
+        }
+    }
+}
+
+#[test]
+fn determinism_fixtures() {
+    check_lint("determinism");
+}
+
+#[test]
+fn channel_protocol_fixtures() {
+    check_lint("channel-protocol");
+}
+
+#[test]
+fn tracker_conformance_fixtures() {
+    check_lint("tracker-conformance");
+}
+
+#[test]
+fn hot_path_alloc_fixtures() {
+    check_lint("hot-path-alloc");
+}
+
+/// The firing fixtures double as a JSON-output regression test: rendering
+/// must produce valid-looking, line-anchored records.
+#[test]
+fn json_output_is_well_formed() {
+    let (name, src) = fixtures_for("channel-protocol")
+        .into_iter()
+        .find(|(n, _)| n.starts_with("firing_"))
+        .unwrap();
+    let diags = tin_lint::lint_source(&name, &src, &["channel-protocol"]);
+    let json = tin_lint::to_json(&diags);
+    assert!(json.starts_with('[') && json.ends_with(']'));
+    assert!(json.contains("\"lint\": \"channel-protocol\""));
+    assert!(json.contains("\"line\": "));
+}
+
+/// The workspace itself must lint clean — the same invariant CI enforces
+/// with `cargo run -p tin-lint -- --workspace`, pinned here so a plain
+/// `cargo test` catches violations too.
+#[test]
+fn workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let diags = tin_lint::workspace::run(&root).unwrap();
+    assert!(
+        diags.is_empty(),
+        "workspace lint findings:\n{}",
+        diags
+            .iter()
+            .map(|d| d.human())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -1,0 +1,12 @@
+//! CLEAN: let-else handles the disconnect arm without panicking.
+use std::sync::mpsc::Receiver;
+
+fn drain(rx: &Receiver<u64>) -> u64 {
+    let mut last = 0;
+    loop {
+        let Ok(m) = rx.recv() else {
+            return last;
+        };
+        last = m;
+    }
+}

@@ -1,0 +1,13 @@
+//! CLEAN: the Result is matched and Err (peer death) aborts the wavefront.
+use std::sync::mpsc::Receiver;
+
+enum Abort {
+    PeerLost,
+}
+
+fn next_message(rx: &Receiver<u64>) -> Result<u64, Abort> {
+    match rx.recv() {
+        Ok(m) => Ok(m),
+        Err(_) => Err(Abort::PeerLost),
+    }
+}

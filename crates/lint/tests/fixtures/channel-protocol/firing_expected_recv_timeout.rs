@@ -1,0 +1,9 @@
+//! FIRING: .expect() on recv_timeout() — same panic-on-disconnect hazard,
+//! with a message that lies about the invariant.
+use std::sync::mpsc::Receiver;
+use std::time::Duration;
+
+fn poll(rx: &Receiver<u64>) -> u64 {
+    rx.recv_timeout(Duration::from_millis(10))
+        .expect("worker always alive")
+}

@@ -1,0 +1,7 @@
+//! FIRING: unwrapping recv() panics on peer death instead of treating the
+//! disconnect as a protocol event.
+use std::sync::mpsc::Receiver;
+
+fn next_message(rx: &Receiver<u64>) -> u64 {
+    rx.recv().unwrap()
+}

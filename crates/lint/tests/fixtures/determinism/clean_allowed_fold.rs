@@ -1,0 +1,14 @@
+//! CLEAN: hash iteration with a justified allow-directive for an
+//! order-independent fold (integer count — no floats, no output).
+use std::collections::HashMap;
+
+fn live_entries(depths: &HashMap<u32, u32>) -> u64 {
+    let mut count = 0u64;
+    #[lint::allow(determinism, reason = "integer count is order-independent")]
+    for (_, d) in depths.iter() {
+        if *d > 0 {
+            count += 1;
+        }
+    }
+    count
+}

@@ -1,0 +1,10 @@
+//! CLEAN: a BTreeMap iterates in key order, so the fold is deterministic.
+use std::collections::BTreeMap;
+
+fn total_buffered(buffered: &BTreeMap<u32, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_, qty) in buffered.iter() {
+        total += qty;
+    }
+    total
+}

@@ -1,0 +1,13 @@
+//! CLEAN: entries are collected and sorted before the order-sensitive loop,
+//! so hash order never reaches the accumulator.
+use std::collections::HashMap;
+
+fn total_buffered(buffered: &HashMap<u32, f64>) -> f64 {
+    let mut entries: Vec<(u32, f64)> = buffered.iter().map(|(k, v)| (*k, *v)).collect();
+    entries.sort_unstable_by_key(|&(k, _)| k);
+    let mut total = 0.0;
+    for (_, qty) in entries {
+        total += qty;
+    }
+    total
+}

@@ -1,0 +1,11 @@
+//! FIRING: iterating a HashMap while accumulating an f64 — the sum depends
+//! on hash iteration order because float addition is not associative.
+use std::collections::HashMap;
+
+fn total_buffered(buffered: &HashMap<u32, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_, qty) in buffered.iter() {
+        total += qty;
+    }
+    total
+}

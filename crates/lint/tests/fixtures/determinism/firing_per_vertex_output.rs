@@ -1,0 +1,11 @@
+//! FIRING: iterating a HashSet and pushing per-vertex rows — output order
+//! changes run to run.
+use std::collections::HashSet;
+
+fn report_rows(active: &HashSet<u32>) -> Vec<String> {
+    let mut rows = Vec::new();
+    for v in active.iter() {
+        rows.push(v.to_string());
+    }
+    rows
+}

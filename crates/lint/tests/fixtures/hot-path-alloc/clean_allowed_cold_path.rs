@@ -1,0 +1,13 @@
+//! CLEAN: a constructor allocation with a justification, plus test-module
+//! code which the lint never binds.
+fn zeros(dim: usize) -> Vec<f64> {
+    #[lint::allow(hot-path-alloc, reason = "runs once per vertex at setup, not per interaction")]
+    let values = vec![0.0; dim];
+    values
+}
+
+mod tests {
+    fn scratch() -> Vec<u64> {
+        vec![1, 2, 3]
+    }
+}

@@ -1,0 +1,9 @@
+//! CLEAN: the kernel idiom — clear and refill a caller-owned buffer,
+//! preallocate with capacity at setup time.
+fn merge_into(dst: &mut Vec<u64>, src: &[u64]) {
+    dst.clear();
+    if dst.capacity() < src.len() {
+        dst.reserve(src.len() - dst.capacity());
+    }
+    dst.extend_from_slice(src);
+}

@@ -1,0 +1,5 @@
+//! FIRING: .collect() and Box::new allocate per call.
+fn doubled(vals: &[f64]) -> Box<Vec<f64>> {
+    let doubled: Vec<f64> = vals.iter().map(|v| v * 2.0).collect();
+    Box::new(doubled)
+}

@@ -1,0 +1,10 @@
+//! FIRING: allocating constructs on the per-interaction path.
+fn merge_keys(keys: &[u64]) -> Vec<u64> {
+    let mut out = Vec::new();
+    for k in keys {
+        out.push(*k);
+    }
+    let label = format!("{} keys", out.len());
+    drop(label);
+    out
+}

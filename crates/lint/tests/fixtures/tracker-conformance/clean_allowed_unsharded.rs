@@ -1,0 +1,11 @@
+//! CLEAN: a deliberately unsharded tracker, exempted with a justification.
+struct ReplayOnlyTracker {
+    log: Vec<u64>,
+}
+
+#[lint::allow(tracker-conformance, reason = "replays the full log per query; never built by the sharded engine")]
+impl ProvenanceTracker for ReplayOnlyTracker {
+    fn name(&self) -> &'static str {
+        "replay-only"
+    }
+}

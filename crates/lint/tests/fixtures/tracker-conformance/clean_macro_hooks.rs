@@ -1,0 +1,10 @@
+//! CLEAN: migration and spike hooks both come from the shared macros.
+struct ConformingTracker {
+    rows: Vec<f64>,
+    monitor: Option<SpikeMonitor>,
+}
+
+impl ProvenanceTracker for ConformingTracker {
+    crate::impl_migration_hooks!();
+    crate::impl_spike_monitor_hooks!();
+}

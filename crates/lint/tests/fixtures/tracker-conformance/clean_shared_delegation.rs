@@ -1,0 +1,14 @@
+//! CLEAN: no monitor, and take/put delegate to the shared free functions.
+struct DelegatingTracker {
+    rows: Vec<f64>,
+}
+
+impl ProvenanceTracker for DelegatingTracker {
+    fn take_vertex_state(&mut self, v: VertexId) -> Option<ShardVertexState> {
+        shared_take(self, v)
+    }
+
+    fn put_vertex_state(&mut self, v: VertexId, state: ShardVertexState) {
+        shared_put(self, v, state)
+    }
+}

@@ -1,0 +1,16 @@
+//! FIRING: the impl re-implements take/put by hand instead of routing
+//! through the shared implementation — exactly the drift the lint forbids.
+struct HandRolledTracker {
+    rows: Vec<f64>,
+}
+
+impl ProvenanceTracker for HandRolledTracker {
+    fn take_vertex_state(&mut self, v: VertexId) -> Option<ShardVertexState> {
+        let row = std::mem::take(&mut self.rows[v.index()]);
+        Some(ShardVertexState::new(row))
+    }
+
+    fn put_vertex_state(&mut self, v: VertexId, state: ShardVertexState) {
+        self.rows[v.index()] = state.downcast();
+    }
+}

@@ -1,0 +1,10 @@
+//! FIRING: the tracker owns a SpikeMonitor store but its impl never wires
+//! the spike hooks through the shared implementation.
+struct MonitoredTracker {
+    rows: Vec<f64>,
+    monitor: Option<SpikeMonitor>,
+}
+
+impl ProvenanceTracker for MonitoredTracker {
+    crate::impl_migration_hooks!();
+}

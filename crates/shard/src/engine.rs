@@ -36,13 +36,16 @@
 //! Memory accounting differs: every shard allocates its own `|V|`-slot spine
 //! and the merged [`EngineReport::footprint`] sums the per-shard breakdowns,
 //! so index bytes scale with the shard count (that memory is genuinely
-//! allocated). `peak_footprint_bytes` sums per-shard peaks, an upper-ish
-//! approximation of the true global peak. Checkpoints are not supported in
-//! sharded mode — use the sequential engine for snapshot/replay workflows.
-//! [`EngineReport::runtime_secs`] also means something different here: the
-//! sequential engine times only `tracker.process` calls, while this engine
-//! times the *main thread's* work — scheduling, dispatch, quiesce waits and
-//! query rounds — and excludes worker compute running concurrently. Compare
+//! allocated). `peak_footprint_bytes` is the maximum, over time, of the sum
+//! of the *latest* per-shard footprint samples — a synchronized global
+//! estimate, sampled on the same spike-or-interval schedule as the
+//! sequential engine, not the (inflated) sum of each shard's individual
+//! peak. Checkpoints are not supported in sharded mode — use the sequential
+//! engine for snapshot/replay workflows. [`EngineReport::runtime_secs`] also
+//! means something different here: the sequential engine times only
+//! `tracker.process` calls, while this engine times the *main thread's*
+//! work — scheduling, dispatch, quiesce waits and query rounds — and
+//! excludes worker compute running concurrently. Compare
 //! sharded-vs-sequential throughput with external wall-clock timing (as
 //! `bench_baseline`'s scaling section does), not with `runtime_secs`.
 //!
@@ -51,21 +54,33 @@
 //! The protocol is deadlock-free for well-behaved workers: every shard
 //! sends its exports unconditionally before waiting on anything, and
 //! returns depend only on exports, so all dispatched wavefronts drain
-//! without main-thread intervention. A worker *panic* mid-wavefront,
-//! however, is not recovered: a peer waiting on the dead worker's state
-//! blocks indefinitely rather than failing fast. No factory-built tracker
-//! can panic in the protocol (every replica is built from the same
-//! validated `PolicyConfig`, so state payloads always downcast), which is
-//! why the gap is accepted for now — see the ROADMAP for the
-//! panic-propagation open item before running third-party trackers here.
+//! without main-thread intervention. A worker that dies mid-computation
+//! (panic, or any early exit) **fails fast** instead of hanging its peers:
+//!
+//! * a `PanicSentinel` drop guard on every worker thread broadcasts
+//!   `PeerFailed` to all peers and `WorkerFailed` to the main thread the
+//!   moment the worker unwinds;
+//! * a peer blocked mid-wavefront on the dead worker's state wakes up on
+//!   the broadcast, abandons the wavefront and exits cleanly (its own
+//!   peers were notified by the same broadcast, so nobody waits on *it*);
+//! * the main thread turns the notification — or any closed channel — into
+//!   [`TinError::WorkerLost`] and **poisons** the engine: the failing call
+//!   and every subsequent operation return the error instead of blocking
+//!   on a channel that will never be served.
+//!
+//! `process` drains completion messages without blocking, so a death
+//! surfaces on the next call rather than at the final report. The
+//! `failure_injection` integration tests kill a live worker mid-stream
+//! (via [`ShardedEngine::inject_worker_panic`]) and assert the error
+//! surfaces promptly on every public entry point.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use tin_core::engine::{newborn_quantity, validate_stream_step, EngineReport};
-use tin_core::error::Result;
+use tin_core::error::{Result, TinError};
 use tin_core::ids::VertexId;
 use tin_core::interaction::Interaction;
 use tin_core::memory::FootprintBreakdown;
@@ -134,25 +149,42 @@ enum ToShard {
     /// Buffered quantities of every vertex this shard owns, in one message.
     QueryBufferedAll,
     QueryFootprint,
+    /// Broadcast by a dying worker's [`PanicSentinel`]: shard `shard` is
+    /// gone. A worker blocked mid-wavefront on the dead peer's state wakes
+    /// up and exits instead of waiting forever.
+    PeerFailed,
+    /// Test hook ([`ShardedEngine::inject_worker_panic`]): panic on receipt,
+    /// exercising the real unwind-and-broadcast failure path.
+    InjectPanic,
     Shutdown,
 }
 
 enum FromShard {
     BatchDone {
         start: usize,
+        shard: usize,
         /// `(offset_in_batch, newborn_quantity)` for every interaction this
         /// shard processed.
         newborn: Vec<(u32, f64)>,
+        /// A fresh full-footprint sample (total bytes), attached when the
+        /// shard's spike-or-interval schedule fired after this batch. The
+        /// main thread folds it into the synchronized global peak.
+        footprint: Option<usize>,
     },
     Origins(OriginSet),
     Buffered(Quantity),
     /// `(vertex raw id, buffered)` for every owned vertex.
     BufferedAll(Vec<(u32, Quantity)>),
     Footprint {
+        shard: usize,
         breakdown: FootprintBreakdown,
-        peak: usize,
     },
     Synced,
+    /// Sent by a dying worker's [`PanicSentinel`]: the engine must poison
+    /// itself and surface [`TinError::WorkerLost`].
+    WorkerFailed {
+        shard: usize,
+    },
 }
 
 /// Reassembly buffer for one in-flight wavefront.
@@ -162,6 +194,59 @@ struct PendingBatch {
     done_shards: usize,
     /// Newborn quantity per offset, filled by shard completions.
     newborn: Vec<f64>,
+}
+
+/// Drop guard armed for the whole lifetime of a worker thread: if the
+/// worker unwinds (or exits early without disarming), every peer and the
+/// main thread are notified so nobody blocks on the dead worker's channels.
+struct PanicSentinel {
+    shard_id: usize,
+    peers: Vec<Sender<ToShard>>,
+    main_tx: Sender<FromShard>,
+    armed: bool,
+}
+
+impl PanicSentinel {
+    fn new(shard_id: usize, peers: Vec<Sender<ToShard>>, main_tx: Sender<FromShard>) -> Self {
+        PanicSentinel {
+            shard_id,
+            peers,
+            main_tx,
+            armed: true,
+        }
+    }
+
+    /// Clean shutdown: the worker is exiting because it was told to (or the
+    /// failure was already broadcast by someone else); no notification.
+    fn disarm(&mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for PanicSentinel {
+    fn drop(&mut self) {
+        if !self.armed && !std::thread::panicking() {
+            return;
+        }
+        for (peer, tx) in self.peers.iter().enumerate() {
+            if peer != self.shard_id {
+                // A send can only fail if the peer is already gone — fine.
+                let _ = tx.send(ToShard::PeerFailed);
+            }
+        }
+        let _ = self.main_tx.send(FromShard::WorkerFailed {
+            shard: self.shard_id,
+        });
+    }
+}
+
+/// Why a worker abandoned a wavefront mid-flight.
+enum BatchAbort {
+    /// A peer shard died (its sentinel broadcast reached us, or a send to
+    /// it failed) — the wavefront can never complete.
+    PeerLost,
+    /// The channel from the main thread closed mid-wavefront.
+    MainLost,
 }
 
 /// A parallel drop-in for [`tin_core::engine::ProvenanceEngine`]: same validation, flow
@@ -192,6 +277,14 @@ pub struct ShardedEngine {
     total_quantity: Quantity,
     newborn_quantity: Quantity,
     busy_secs: f64,
+    /// The most recent full-footprint sample (total bytes) of each shard.
+    latest_footprint: Vec<usize>,
+    /// Maximum, over time, of `latest_footprint.iter().sum()` — the
+    /// synchronized global footprint peak reported by [`Self::report`].
+    peak_footprint: usize,
+    /// Set on the first worker failure; every subsequent operation returns
+    /// this error instead of touching the (dead) channels.
+    poisoned: Option<TinError>,
 }
 
 impl ShardedEngine {
@@ -247,6 +340,9 @@ impl ShardedEngine {
             total_quantity: 0.0,
             newborn_quantity: 0.0,
             busy_secs: 0.0,
+            latest_footprint: vec![0; num_shards],
+            peak_footprint: 0,
+            poisoned: None,
         })
     }
 
@@ -260,20 +356,38 @@ impl ShardedEngine {
         &self.policy_key
     }
 
+    /// Test hook: make worker `shard` panic on its next message, exercising
+    /// the real failure path (unwind, sentinel broadcast, engine poisoning).
+    /// Used by the `failure_injection` integration tests.
+    ///
+    /// # Errors
+    /// [`TinError::WorkerLost`] if the engine is already poisoned or the
+    /// worker is already gone.
+    pub fn inject_worker_panic(&mut self, shard: usize) -> Result<()> {
+        self.check_poisoned()?;
+        self.send_to(shard, ToShard::InjectPanic)
+    }
+
     /// Validate and enqueue one interaction (identical validation and error
     /// surface to [`tin_core::engine::ProvenanceEngine::process`]). The interaction executes
     /// asynchronously; queries and reports synchronise first.
     ///
     /// # Errors
     /// Same as [`tin_core::engine::ProvenanceEngine::process`]: invalid quantity/timestamp,
-    /// self-loop, unknown vertex, or time going backwards.
+    /// self-loop, unknown vertex, or time going backwards — plus
+    /// [`TinError::WorkerLost`] if a shard worker died.
     pub fn process(&mut self, r: &Interaction) -> Result<()> {
         validate_stream_step(r, self.processed, self.num_vertices, self.last_time)?;
+        self.check_poisoned()?;
+        // Fail fast: fold completions already delivered — and notice worker
+        // deaths — without blocking, so a death surfaces on the next call
+        // rather than at the final report.
+        self.drain_completions()?;
 
         let start = Instant::now();
         self.total_quantity += r.qty;
         if !self.scheduler.offer(r, self.processed) {
-            self.dispatch_open_batch();
+            self.dispatch_open_batch()?;
             let joined = self.scheduler.offer(r, self.processed);
             debug_assert!(joined, "a fresh wavefront always accepts");
         }
@@ -306,28 +420,34 @@ impl ShardedEngine {
         while let Some(r) = source.next_interaction()? {
             self.process(&r)?;
         }
-        Ok(self.report())
+        self.report()
     }
 
     /// Current provenance of the quantity buffered at `v` (synchronises all
     /// in-flight work first; bit-identical to the sequential engine).
-    pub fn origins(&mut self, v: VertexId) -> OriginSet {
-        self.quiesce();
+    ///
+    /// # Errors
+    /// [`TinError::WorkerLost`] if a shard worker died.
+    pub fn origins(&mut self, v: VertexId) -> Result<OriginSet> {
+        self.quiesce()?;
         let shard = shard_of(v, self.num_shards);
-        self.send_to(shard, ToShard::QueryOrigins(v));
-        match self.recv() {
-            FromShard::Origins(set) => set,
+        self.send_to(shard, ToShard::QueryOrigins(v))?;
+        match self.recv()? {
+            FromShard::Origins(set) => Ok(set),
             _ => unreachable!("quiesced shard answers queries in order"),
         }
     }
 
     /// Current buffered quantity `|B_v|` (synchronises first).
-    pub fn buffered(&mut self, v: VertexId) -> Quantity {
-        self.quiesce();
+    ///
+    /// # Errors
+    /// [`TinError::WorkerLost`] if a shard worker died.
+    pub fn buffered(&mut self, v: VertexId) -> Result<Quantity> {
+        self.quiesce()?;
         let shard = shard_of(v, self.num_shards);
-        self.send_to(shard, ToShard::QueryBuffered(v));
-        match self.recv() {
-            FromShard::Buffered(q) => q,
+        self.send_to(shard, ToShard::QueryBuffered(v))?;
+        match self.recv()? {
+            FromShard::Buffered(q) => Ok(q),
             _ => unreachable!("quiesced shard answers queries in order"),
         }
     }
@@ -336,14 +456,17 @@ impl ShardedEngine {
     /// O(shards) messages — use this instead of `num_vertices` calls to
     /// [`Self::buffered`] when scanning the whole graph (each of those is a
     /// blocking channel round-trip).
-    pub fn buffered_all(&mut self) -> Vec<Quantity> {
-        self.quiesce();
+    ///
+    /// # Errors
+    /// [`TinError::WorkerLost`] if a shard worker died.
+    pub fn buffered_all(&mut self) -> Result<Vec<Quantity>> {
+        self.quiesce()?;
         for shard in 0..self.num_shards {
-            self.send_to(shard, ToShard::QueryBufferedAll);
+            self.send_to(shard, ToShard::QueryBufferedAll)?;
         }
         let mut out = vec![0.0; self.num_vertices];
         for _ in 0..self.num_shards {
-            match self.recv() {
+            match self.recv()? {
                 FromShard::BufferedAll(entries) => {
                     for (raw, q) in entries {
                         out[raw as usize] = q;
@@ -352,61 +475,70 @@ impl ShardedEngine {
                 _ => unreachable!("quiesced shards answer queries in order"),
             }
         }
-        out
+        Ok(out)
     }
 
     /// The report for everything processed so far (synchronises first).
     /// Flow totals are bit-identical to [`tin_core::engine::ProvenanceEngine::report`];
-    /// footprint figures are summed across shards (see the module docs).
-    pub fn report(&mut self) -> EngineReport {
+    /// footprint figures are summed across shards and the peak is the
+    /// synchronized global peak (see the module docs).
+    ///
+    /// # Errors
+    /// [`TinError::WorkerLost`] if a shard worker died.
+    pub fn report(&mut self) -> Result<EngineReport> {
         // `quiesce` accounts for its own duration; time only the footprint
         // query phase here, or the quiesce would be counted twice.
-        self.quiesce();
+        self.quiesce()?;
         let start = Instant::now();
         let mut footprint = FootprintBreakdown::default();
-        let mut peak = 0usize;
         for shard in 0..self.num_shards {
-            self.send_to(shard, ToShard::QueryFootprint);
+            self.send_to(shard, ToShard::QueryFootprint)?;
         }
         for _ in 0..self.num_shards {
-            match self.recv() {
-                FromShard::Footprint { breakdown, peak: p } => {
+            match self.recv()? {
+                FromShard::Footprint { shard, breakdown } => {
                     footprint.entries_bytes += breakdown.entries_bytes;
                     footprint.paths_bytes += breakdown.paths_bytes;
                     footprint.index_bytes += breakdown.index_bytes;
-                    peak += p;
+                    self.latest_footprint[shard] = breakdown.total();
                 }
                 _ => unreachable!("quiesced shards answer queries in order"),
             }
         }
+        // All shards are quiesced at the same stream position, so the sum of
+        // these simultaneous samples IS the current global footprint; fold
+        // it into the running peak.
+        let current: usize = self.latest_footprint.iter().sum();
+        self.peak_footprint = self.peak_footprint.max(current);
         self.busy_secs += start.elapsed().as_secs_f64();
-        EngineReport {
+        Ok(EngineReport {
             policy: self.policy_key.clone(),
             interactions: self.processed,
             runtime_secs: self.busy_secs,
             total_quantity: self.total_quantity,
             newborn_quantity: self.newborn_quantity,
             relayed_quantity: self.total_quantity - self.newborn_quantity,
-            peak_footprint_bytes: peak.max(footprint.total()),
+            peak_footprint_bytes: self.peak_footprint,
             footprint,
             checkpoints_taken: 0,
-        }
+        })
     }
 
     /// Dispatch the open wavefront (if any) and block until every shard has
     /// finished every wavefront and advanced its epoch clock to the current
     /// stream position.
-    fn quiesce(&mut self) {
+    fn quiesce(&mut self) -> Result<()> {
+        self.check_poisoned()?;
         if self.synced_through == self.processed {
             debug_assert!(self.open_batch.is_empty() && self.in_flight.is_empty());
-            return;
+            return Ok(());
         }
         let start = Instant::now();
         if !self.open_batch.is_empty() {
-            self.dispatch_open_batch();
+            self.dispatch_open_batch()?;
         }
         while self.next_fold < self.processed {
-            self.handle_completion();
+            self.handle_completion()?;
         }
         let now = self.last_time.unwrap_or(0.0);
         for shard in 0..self.num_shards {
@@ -416,25 +548,26 @@ impl ShardedEngine {
                     processed: self.processed,
                     now,
                 },
-            );
+            )?;
         }
         for _ in 0..self.num_shards {
-            match self.recv() {
+            match self.recv()? {
                 FromShard::Synced => {}
                 _ => unreachable!("only sync acknowledgements are outstanding"),
             }
         }
         self.synced_through = self.processed;
         self.busy_secs += start.elapsed().as_secs_f64();
+        Ok(())
     }
 
     /// Partition the open wavefront across shards and send the commands.
-    fn dispatch_open_batch(&mut self) {
+    fn dispatch_open_batch(&mut self) -> Result<()> {
         let (start, len) = self.scheduler.begin_batch();
         debug_assert_eq!(start, self.open_start);
         debug_assert_eq!(len, self.open_batch.len());
         if len == 0 {
-            return;
+            return Ok(());
         }
         let start_time = self.open_batch[0].time.value();
 
@@ -467,7 +600,7 @@ impl ShardedEngine {
                 continue;
             }
             involved += 1;
-            self.send_to(shard, ToShard::Batch(Box::new(cmd)));
+            self.send_to(shard, ToShard::Batch(Box::new(cmd)))?;
         }
         self.in_flight.insert(
             start,
@@ -480,26 +613,71 @@ impl ShardedEngine {
         );
         // Backpressure: bound the number of wavefronts in flight.
         while self.in_flight.len() > MAX_IN_FLIGHT {
-            self.handle_completion();
+            self.handle_completion()?;
         }
+        Ok(())
     }
 
     /// Block for one shard completion and fold finished wavefronts — in
     /// stream order — into the flow totals.
-    fn handle_completion(&mut self) {
-        match self.recv() {
-            FromShard::BatchDone { start, newborn } => {
-                let batch = self
-                    .in_flight
-                    .get_mut(&start)
-                    .expect("completion for an in-flight wavefront");
-                for (off, q) in newborn {
-                    batch.newborn[off as usize] = q;
-                }
-                batch.done_shards += 1;
-            }
+    fn handle_completion(&mut self) -> Result<()> {
+        match self.recv()? {
+            FromShard::BatchDone {
+                start,
+                shard,
+                newborn,
+                footprint,
+            } => self.fold_batch_done(start, shard, newborn, footprint),
             _ => unreachable!("only batch completions are outstanding here"),
         }
+        Ok(())
+    }
+
+    /// Fold already-delivered completion messages without blocking.
+    fn drain_completions(&mut self) -> Result<()> {
+        loop {
+            match self.from_shards.try_recv() {
+                Ok(FromShard::BatchDone {
+                    start,
+                    shard,
+                    newborn,
+                    footprint,
+                }) => self.fold_batch_done(start, shard, newborn, footprint),
+                Ok(FromShard::WorkerFailed { shard }) => return Err(self.poison(Some(shard))),
+                Ok(_) => unreachable!("only batch completions are outstanding here"),
+                Err(TryRecvError::Empty) => return Ok(()),
+                Err(TryRecvError::Disconnected) => return Err(self.poison(None)),
+            }
+        }
+    }
+
+    fn fold_batch_done(
+        &mut self,
+        start: usize,
+        shard: usize,
+        newborn: Vec<(u32, f64)>,
+        footprint: Option<usize>,
+    ) {
+        if let Some(total) = footprint {
+            // The shard took a fresh full-footprint sample after this batch:
+            // fold the sum of every shard's latest sample into the global
+            // peak. Samples from different shards are not perfectly
+            // simultaneous, but each is the shard's true footprint at a
+            // recent stream position — unlike summing per-shard *peaks*,
+            // which combines maxima from unrelated moments and can only
+            // overestimate.
+            self.latest_footprint[shard] = total;
+            let current: usize = self.latest_footprint.iter().sum();
+            self.peak_footprint = self.peak_footprint.max(current);
+        }
+        let batch = self
+            .in_flight
+            .get_mut(&start)
+            .expect("completion for an in-flight wavefront");
+        for (off, q) in newborn {
+            batch.newborn[off as usize] = q;
+        }
+        batch.done_shards += 1;
         // Fold completed wavefronts strictly in stream order so the newborn
         // accumulation order — and therefore the float result — matches the
         // sequential engine exactly.
@@ -516,16 +694,39 @@ impl ShardedEngine {
         }
     }
 
-    fn send_to(&self, shard: usize, msg: ToShard) {
-        self.to_shards[shard]
-            .send(msg)
-            .expect("shard worker terminated unexpectedly");
+    /// The poisoned-engine check every public operation performs first.
+    fn check_poisoned(&self) -> Result<()> {
+        match &self.poisoned {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
     }
 
-    fn recv(&self) -> FromShard {
-        self.from_shards
-            .recv()
-            .expect("all shard workers terminated unexpectedly")
+    /// Record the first worker failure and return the error for it. Later
+    /// failures keep the first (root-cause) shard id.
+    fn poison(&mut self, shard: Option<usize>) -> TinError {
+        if self.poisoned.is_none() {
+            self.poisoned = Some(TinError::WorkerLost { shard });
+        }
+        self.poisoned.clone().expect("just set")
+    }
+
+    fn send_to(&mut self, shard: usize, msg: ToShard) -> Result<()> {
+        if self.to_shards[shard].send(msg).is_err() {
+            // The worker's receiver is gone: it died. Its sentinel
+            // notification may still be queued; poison now so the caller
+            // fails fast either way.
+            return Err(self.poison(Some(shard)));
+        }
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<FromShard> {
+        match self.from_shards.recv() {
+            Ok(FromShard::WorkerFailed { shard }) => Err(self.poison(Some(shard))),
+            Ok(msg) => Ok(msg),
+            Err(_) => Err(self.poison(None)),
+        }
     }
 }
 
@@ -536,7 +737,8 @@ impl Drop for ShardedEngine {
         // drain on their own because every involved shard received its
         // command at dispatch time. Workers see `Shutdown` after the batches
         // queued ahead of it (channels are FIFO per sender) or defer it to
-        // their backlog if it arrives mid-wavefront.
+        // their backlog if it arrives mid-wavefront. A dead worker's peers
+        // were woken by its sentinel broadcast and exit on their own.
         for tx in &self.to_shards {
             // Ignore send failures: a worker that already exited (panic)
             // must not abort the drop.
@@ -555,6 +757,7 @@ impl std::fmt::Debug for ShardedEngine {
             .field("num_vertices", &self.num_vertices)
             .field("num_shards", &self.num_shards)
             .field("processed", &self.processed)
+            .field("poisoned", &self.poisoned.is_some())
             .finish()
     }
 }
@@ -577,6 +780,10 @@ fn shard_worker(
     peers: &[Sender<ToShard>],
     main_tx: &Sender<FromShard>,
 ) {
+    // Armed before anything that can unwind: a panic anywhere below (the
+    // tracker factory, `process`, a poisoned downcast, the injected test
+    // panic) broadcasts the failure instead of silently stranding peers.
+    let mut sentinel = PanicSentinel::new(shard_id, peers.to_vec(), main_tx.clone());
     let mut tracker =
         build_tracker(config, num_vertices).expect("configuration validated by ShardedEngine::new");
     // Arm the same footprint-spike monitor the sequential engine arms, so
@@ -594,18 +801,35 @@ fn shard_worker(
     let mut backlog: VecDeque<ToShard> = VecDeque::new();
     let mut processed_local = 0usize;
     let mut next_sample = SHARD_SAMPLE_INTERVAL;
-    let mut peak_footprint = 0usize;
 
     loop {
         let msg = match backlog.pop_front() {
             Some(m) => m,
             None => match rx.recv() {
                 Ok(m) => m,
-                Err(_) => return,
+                Err(_) => {
+                    // The main thread dropped the engine without a shutdown
+                    // message (and no peer holds work for us): clean exit.
+                    sentinel.disarm();
+                    return;
+                }
             },
         };
         match msg {
-            ToShard::Shutdown => return,
+            ToShard::Shutdown => {
+                sentinel.disarm();
+                return;
+            }
+            ToShard::PeerFailed => {
+                // A peer died. The engine is poisoned and every live worker
+                // received the same broadcast, so nobody waits on us: exit
+                // without re-broadcasting.
+                sentinel.disarm();
+                return;
+            }
+            ToShard::InjectPanic => {
+                panic!("injected worker panic (tin-shard test hook)");
+            }
             ToShard::Sync { processed, now } => {
                 tracker.sync_epoch(processed, now);
                 let _ = main_tx.send(FromShard::Synced);
@@ -625,11 +849,13 @@ fn shard_worker(
                 let _ = main_tx.send(FromShard::BufferedAll(entries));
             }
             ToShard::QueryFootprint => {
+                // A full sample: re-baseline the spike monitor like the
+                // sequential engine does on its periodic samples.
                 let breakdown = tracker.footprint();
-                peak_footprint = peak_footprint.max(breakdown.total());
+                tracker.note_footprint_sampled();
                 let _ = main_tx.send(FromShard::Footprint {
+                    shard: shard_id,
                     breakdown,
-                    peak: peak_footprint,
                 });
             }
             ToShard::State(sm) => {
@@ -640,26 +866,50 @@ fn shard_worker(
                     .push_back(sm.state);
             }
             ToShard::Batch(cmd) => {
-                run_batch(
+                let start = cmd.start;
+                let newborn = match run_batch(
                     shard_id,
                     tracker.as_mut(),
                     *cmd,
                     rx,
                     peers,
-                    main_tx,
                     &mut stash,
                     &mut backlog,
                     &mut processed_local,
-                );
+                ) {
+                    Ok(newborn) => newborn,
+                    Err(BatchAbort::PeerLost) | Err(BatchAbort::MainLost) => {
+                        // The wavefront can never complete. Whoever died
+                        // already broadcast the failure (or the main thread
+                        // is gone); exit without re-broadcasting.
+                        sentinel.disarm();
+                        return;
+                    }
+                };
                 // Read the spike flag unconditionally so the monitor
-                // re-baselines even on periodic-sample batches.
+                // re-baselines even on periodic-sample batches; attach the
+                // full sample to the completion so the main thread folds it
+                // into the synchronized global peak.
                 let spiked = tracker.take_footprint_spike();
+                let mut sample = None;
                 if spiked || processed_local >= next_sample {
                     next_sample = processed_local + SHARD_SAMPLE_INTERVAL;
-                    peak_footprint = peak_footprint.max(tracker.footprint().total());
+                    sample = Some(tracker.footprint().total());
                     if !spiked {
                         tracker.note_footprint_sampled();
                     }
+                }
+                if main_tx
+                    .send(FromShard::BatchDone {
+                        start,
+                        shard: shard_id,
+                        newborn,
+                        footprint: sample,
+                    })
+                    .is_err()
+                {
+                    sentinel.disarm();
+                    return;
                 }
             }
         }
@@ -668,7 +918,9 @@ fn shard_worker(
 
 /// Execute one wavefront on one shard (see the module docs for the
 /// deadlock-freedom argument: all exports are sent unconditionally before
-/// any shard waits, and returns depend only on exports).
+/// any shard waits, and returns depend only on exports). Returns the
+/// per-offset newborn quantities, or [`BatchAbort`] if a peer or the main
+/// thread died mid-wavefront.
 #[allow(clippy::too_many_arguments)]
 fn run_batch(
     shard_id: usize,
@@ -676,11 +928,10 @@ fn run_batch(
     cmd: BatchCmd,
     rx: &Receiver<ToShard>,
     peers: &[Sender<ToShard>],
-    main_tx: &Sender<FromShard>,
     stash: &mut HashMap<u32, VecDeque<ShardVertexState>>,
     backlog: &mut VecDeque<ToShard>,
     processed_local: &mut usize,
-) {
+) -> std::result::Result<Vec<(u32, f64)>, BatchAbort> {
     // 1. Epoch sync *before* any state is read, exported or processed.
     tracker.sync_epoch(cmd.start, cmd.start_time);
 
@@ -689,13 +940,16 @@ fn run_batch(
         let state = tracker
             .take_vertex_state(*v)
             .expect("factory trackers support sharded execution");
-        peers[*to]
+        if peers[*to]
             .send(ToShard::State(StateMsg {
                 vertex: *v,
                 state,
                 coming_home: false,
             }))
-            .expect("peer shard terminated unexpectedly");
+            .is_err()
+        {
+            return Err(BatchAbort::PeerLost);
+        }
     }
 
     let mut newborn = Vec::with_capacity(cmd.locals.len() + cmd.imports.len());
@@ -708,8 +962,11 @@ fn run_batch(
 
     // 4. Cross-shard interactions: install the source state, process with
     // the native tracker code, ship the state home. States may arrive in
-    // any order (and early, via the stash).
-    let mut pending: HashMap<u32, (u32, Interaction)> = cmd
+    // any order (and early, via the stash). A BTreeMap keyed by source
+    // vertex keeps the stash-drain order deterministic (the outcome is
+    // order-independent — wavefront interactions are pairwise disjoint —
+    // but deterministic message order keeps replays reproducible).
+    let mut pending: BTreeMap<u32, (u32, Interaction)> = cmd
         .imports
         .iter()
         .map(|&(off, r)| (r.src.raw(), (off, r)))
@@ -719,9 +976,10 @@ fn run_batch(
     let consume = |tracker: &mut dyn ProvenanceTracker,
                    vertex: VertexId,
                    state: ShardVertexState,
-                   pending: &mut HashMap<u32, (u32, Interaction)>,
+                   pending: &mut BTreeMap<u32, (u32, Interaction)>,
                    newborn: &mut Vec<(u32, f64)>,
-                   processed_local: &mut usize| {
+                   processed_local: &mut usize|
+     -> std::result::Result<(), BatchAbort> {
         let (off, r) = pending
             .remove(&vertex.raw())
             .expect("an imported state matches a pending interaction");
@@ -733,13 +991,17 @@ fn run_batch(
             .expect("factory trackers support sharded execution");
         let owner = shard_of(vertex, peers.len());
         debug_assert_ne!(owner, shard_id, "imports come from other shards");
-        peers[owner]
+        if peers[owner]
             .send(ToShard::State(StateMsg {
                 vertex,
                 state,
                 coming_home: true,
             }))
-            .expect("peer shard terminated unexpectedly");
+            .is_err()
+        {
+            return Err(BatchAbort::PeerLost);
+        }
+        Ok(())
     };
 
     // Drain whatever the stash already holds for this batch.
@@ -760,11 +1022,17 @@ fn run_batch(
             &mut pending,
             &mut newborn,
             processed_local,
-        );
+        )?;
     }
 
     while !pending.is_empty() || returns_outstanding > 0 {
-        let msg = rx.recv().expect("main thread terminated mid-wavefront");
+        // Disconnect-aware: if the channel closes (the main thread and
+        // every peer dropped their senders) the wavefront can never
+        // complete — abort instead of unwrapping into a hang-then-panic.
+        let msg = match rx.recv() {
+            Ok(m) => m,
+            Err(_) => return Err(BatchAbort::MainLost),
+        };
         match msg {
             ToShard::State(sm) => {
                 if sm.coming_home {
@@ -778,7 +1046,7 @@ fn run_batch(
                         &mut pending,
                         &mut newborn,
                         processed_local,
-                    );
+                    )?;
                 } else {
                     // An export for a later wavefront arriving early.
                     stash
@@ -787,6 +1055,10 @@ fn run_batch(
                         .push_back(sm.state);
                 }
             }
+            ToShard::PeerFailed => {
+                // The state we are waiting on will never arrive.
+                return Err(BatchAbort::PeerLost);
+            }
             // The main thread pipelines later wavefronts (and, on drop, the
             // shutdown) into the same channel the peer states travel on;
             // replay them in order once this wavefront completes.
@@ -794,12 +1066,7 @@ fn run_batch(
         }
     }
 
-    main_tx
-        .send(FromShard::BatchDone {
-            start: cmd.start,
-            newborn,
-        })
-        .expect("main thread terminated unexpectedly");
+    Ok(newborn)
 }
 
 /// Run several policy configurations over the same interaction sequence on a
@@ -819,7 +1086,7 @@ pub fn run_ensemble_sharded(
     for config in configs {
         let mut engine = ShardedEngine::new(config, num_vertices, num_shards)?;
         engine.process_all(interactions)?;
-        reports.push(engine.report());
+        reports.push(engine.report()?);
     }
     Ok(reports)
 }

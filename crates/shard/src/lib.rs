@@ -27,7 +27,7 @@
 //! let config = PolicyConfig::Plain(SelectionPolicy::ProportionalSparse);
 //! let mut engine = ShardedEngine::new(&config, 3, 2).unwrap();
 //! engine.process_all(&paper_running_example()).unwrap();
-//! let report = engine.report();
+//! let report = engine.report().unwrap();
 //! assert_eq!(report.interactions, 6);
 //! assert!((report.total_quantity - 21.0).abs() < 1e-9);
 //! ```
@@ -106,7 +106,7 @@ mod tests {
             for shards in [1usize, 2, 4, 7] {
                 let mut sharded = ShardedEngine::new(&config, n, shards).unwrap();
                 sharded.process_all(&stream).unwrap();
-                let report = sharded.report();
+                let report = sharded.report().unwrap();
                 assert_eq!(
                     report.total_quantity,
                     seq_report.total_quantity,
@@ -122,13 +122,13 @@ mod tests {
                 for v in 0..n {
                     let v = VertexId::from(v);
                     assert_eq!(
-                        sharded.buffered(v),
+                        sharded.buffered(v).unwrap(),
                         sequential.buffered(v),
                         "buffered mismatch at {v}: {} shards={shards}",
                         config.key()
                     );
                     assert_eq!(
-                        sharded.origins(v),
+                        sharded.origins(v).unwrap(),
                         sequential.origins(v),
                         "origins mismatch at {v}: {} shards={shards}",
                         config.key()
@@ -152,11 +152,11 @@ mod tests {
             sharded.process(r).unwrap();
             if i % 37 == 0 {
                 let v = VertexId::new((i % n) as u32);
-                assert_eq!(sharded.buffered(v), sequential.buffered(v));
-                assert_eq!(sharded.origins(v), sequential.origins(v));
+                assert_eq!(sharded.buffered(v).unwrap(), sequential.buffered(v));
+                assert_eq!(sharded.origins(v).unwrap(), sequential.origins(v));
             }
         }
-        let report = sharded.report();
+        let report = sharded.report().unwrap();
         assert_eq!(report.interactions, stream.len());
         assert_eq!(
             report.newborn_quantity,
@@ -188,7 +188,7 @@ mod tests {
         engine
             .process(&Interaction::new(1u32, 2u32, 5.0, 1.0))
             .unwrap();
-        let report = engine.report();
+        let report = engine.report().unwrap();
         assert_eq!(report.interactions, 2);
         // An invalid config fails synchronously.
         assert!(ShardedEngine::new(&PolicyConfig::Windowed { window: 0 }, 3, 2).is_err());
@@ -202,10 +202,10 @@ mod tests {
             let config = PolicyConfig::Plain(SelectionPolicy::ProportionalSparse);
             let mut engine = ShardedEngine::new(&config, 3, shards).unwrap();
             engine.process_all(&paper_running_example()).unwrap();
-            assert!((engine.buffered(VertexId::new(0)) - 3.0).abs() < 1e-9);
-            assert!((engine.buffered(VertexId::new(1)) - 2.0).abs() < 1e-9);
-            assert!((engine.buffered(VertexId::new(2)) - 4.0).abs() < 1e-9);
-            let report = engine.report();
+            assert!((engine.buffered(VertexId::new(0)).unwrap() - 3.0).abs() < 1e-9);
+            assert!((engine.buffered(VertexId::new(1)).unwrap() - 2.0).abs() < 1e-9);
+            assert!((engine.buffered(VertexId::new(2)).unwrap() - 4.0).abs() < 1e-9);
+            let report = engine.report().unwrap();
             assert!((report.newborn_quantity - 9.0).abs() < 1e-9);
             assert!((report.relayed_quantity - 12.0).abs() < 1e-9);
             assert!(report.footprint.total() > 0);
@@ -249,10 +249,14 @@ mod tests {
         let config = PolicyConfig::Plain(SelectionPolicy::Fifo);
         let mut engine = ShardedEngine::new(&config, n, 3).unwrap();
         engine.process_all(&stream).unwrap();
-        let all = engine.buffered_all();
+        let all = engine.buffered_all().unwrap();
         assert_eq!(all.len(), n);
         for (i, q) in all.iter().enumerate() {
-            assert_eq!(*q, engine.buffered(VertexId::from(i)), "vertex {i}");
+            assert_eq!(
+                *q,
+                engine.buffered(VertexId::from(i)).unwrap(),
+                "vertex {i}"
+            );
         }
     }
 

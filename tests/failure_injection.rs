@@ -273,3 +273,96 @@ fn selective_tracking_rejects_out_of_range_tracked_vertices() {
     };
     assert!(build_tracker(&config, 3).is_err());
 }
+
+// ---------------------------------------------------------------------------
+// Sharded-engine worker failure
+// ---------------------------------------------------------------------------
+
+/// Streams the paper running example into a sharded engine, kills one worker
+/// mid-flight, and asserts the engine surfaces [`TinError::WorkerLost`]
+/// instead of hanging. A watchdog thread turns a hang into a loud panic so
+/// the failure mode is a test failure, not a stuck CI job.
+#[test]
+fn killed_shard_worker_fails_fast_instead_of_hanging() {
+    use std::sync::mpsc;
+
+    let (done_tx, done_rx) = mpsc::channel();
+    let watchdog = std::thread::spawn(move || {
+        if done_rx
+            .recv_timeout(std::time::Duration::from_secs(30))
+            .is_err()
+        {
+            panic!("sharded engine hung after a worker was killed");
+        }
+    });
+
+    let stream = paper_running_example();
+    let config = PolicyConfig::Plain(SelectionPolicy::ProportionalSparse);
+    let mut engine = tin::shard::ShardedEngine::new(&config, 5, 3).unwrap();
+    engine.process_all(&stream).unwrap();
+
+    engine.inject_worker_panic(1).unwrap();
+
+    // Every subsequent entry point must fail fast with WorkerLost. Looping
+    // `process` guarantees we eventually observe the failure even if the
+    // first call wins the race against the sentinel's notification.
+    let mut saw_worker_lost = false;
+    for i in 0..64u32 {
+        let interaction =
+            Interaction::try_new(i % 5, (i + 1) % 5, 1_000.0 + f64::from(i), 1.0).unwrap();
+        match engine.process(&interaction) {
+            Ok(()) => continue,
+            Err(TinError::WorkerLost { .. }) => {
+                saw_worker_lost = true;
+                break;
+            }
+            Err(other) => panic!("expected WorkerLost, got {other:?}"),
+        }
+    }
+    if !saw_worker_lost {
+        // The stash may have absorbed every enqueue without touching the dead
+        // worker; the synchronous report barrier must still detect the loss.
+        match engine.report() {
+            Err(TinError::WorkerLost { .. }) => {}
+            other => panic!("expected WorkerLost from report(), got {other:?}"),
+        }
+    }
+
+    // Once poisoned, every query keeps failing with the original error —
+    // the engine never silently serves partial provenance.
+    assert!(matches!(engine.report(), Err(TinError::WorkerLost { .. })));
+    assert!(matches!(
+        engine.buffered_all(),
+        Err(TinError::WorkerLost { .. })
+    ));
+    assert!(matches!(
+        engine.origins(v(0)),
+        Err(TinError::WorkerLost { .. })
+    ));
+
+    // Drop must also terminate cleanly (surviving workers shut down).
+    drop(engine);
+    done_tx.send(()).unwrap();
+    watchdog.join().unwrap();
+}
+
+/// A worker killed before *any* interaction is processed must poison the
+/// engine on the very first barrier, and surviving shards must exit cleanly.
+#[test]
+fn worker_killed_before_first_batch_poisons_report() {
+    let config = PolicyConfig::Grouped {
+        num_groups: 2,
+        group_of: vec![0, 1, 0, 1, 0, 1, 0, 1],
+    };
+    let mut engine = tin::shard::ShardedEngine::new(&config, 8, 4).unwrap();
+    engine.inject_worker_panic(0).unwrap();
+    match engine.report() {
+        Err(TinError::WorkerLost { .. }) => {}
+        other => panic!("expected WorkerLost, got {other:?}"),
+    }
+    // Poisoning is sticky: injecting another panic is rejected too.
+    assert!(matches!(
+        engine.inject_worker_panic(2),
+        Err(TinError::WorkerLost { .. })
+    ));
+}

@@ -81,7 +81,7 @@ fn sharded_matches_sequential_on_generated_datasets() {
             for shards in [2usize, 4] {
                 let mut sharded = ShardedEngine::new(&config, n, shards).unwrap();
                 sharded.process_all(&stream).unwrap();
-                let report = sharded.report();
+                let report = sharded.report().unwrap();
                 assert_eq!(
                     report.total_quantity,
                     seq_report.total_quantity,
@@ -99,14 +99,14 @@ fn sharded_matches_sequential_on_generated_datasets() {
                 for v in 0..n {
                     let v = VertexId::from(v);
                     assert_eq!(
-                        sharded.buffered(v),
+                        sharded.buffered(v).unwrap(),
                         sequential.buffered(v),
                         "buffered({v}) mismatch: {:?} {} shards={shards}",
                         kind,
                         config.key()
                     );
                     assert_eq!(
-                        sharded.origins(v),
+                        sharded.origins(v).unwrap(),
                         sequential.origins(v),
                         "origins({v}) mismatch: {:?} {} shards={shards}",
                         kind,
@@ -134,7 +134,7 @@ proptest! {
             for shards in [1usize, 2, 4, 7] {
                 let mut sharded = ShardedEngine::new(&config, n, shards).unwrap();
                 sharded.process_all(&stream).unwrap();
-                let report = sharded.report();
+                let report = sharded.report().unwrap();
                 prop_assert_eq!(
                     report.total_quantity,
                     seq_report.total_quantity,
@@ -159,7 +159,7 @@ proptest! {
                 for v in 0..n {
                     let v = VertexId::from(v);
                     prop_assert_eq!(
-                        sharded.buffered(v),
+                        sharded.buffered(v).unwrap(),
                         sequential.buffered(v),
                         "buffered({}) mismatch under {} with {} shards",
                         v,
@@ -167,7 +167,7 @@ proptest! {
                         shards
                     );
                     prop_assert_eq!(
-                        sharded.origins(v),
+                        sharded.origins(v).unwrap(),
                         sequential.origins(v),
                         "origins({}) mismatch under {} with {} shards",
                         v,
@@ -193,12 +193,12 @@ proptest! {
             sharded.process(r).unwrap();
             if i % 11 == 0 {
                 let v = VertexId::from(i % n);
-                prop_assert_eq!(sharded.buffered(v), sequential.buffered(v));
-                prop_assert_eq!(sharded.origins(v), sequential.origins(v));
+                prop_assert_eq!(sharded.buffered(v).unwrap(), sequential.buffered(v));
+                prop_assert_eq!(sharded.origins(v).unwrap(), sequential.origins(v));
             }
         }
         prop_assert_eq!(
-            sharded.report().newborn_quantity,
+            sharded.report().unwrap().newborn_quantity,
             sequential.report().newborn_quantity
         );
     }

@@ -4,7 +4,7 @@
 //! The build environment has no crates.io access. The tests need: the
 //! [`proptest!`] macro, [`prop_assert!`] / [`prop_assert_eq!`], numeric range
 //! strategies, tuple strategies, `prop::collection::vec`, `prop::bool::ANY`,
-//! [`Strategy::prop_map`] and `ProptestConfig::with_cases`. This crate
+//! [`Strategy::prop_map`](strategy::Strategy::prop_map) and `ProptestConfig::with_cases`. This crate
 //! implements exactly that: each test runs `cases` deterministic random
 //! inputs (seeded from the test's module path and name, so failures
 //! reproduce) and reports the first failing case.
@@ -221,7 +221,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Number-of-elements specification accepted by [`vec`].
+    /// Number-of-elements specification accepted by [`vec()`].
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         min: usize,
