@@ -301,6 +301,147 @@ fn run_scaling(config: &PolicyConfig, w: &Workload, reps: usize) -> Vec<ScalingR
         .collect()
 }
 
+struct CheckpointIntervalRow {
+    /// Durable-checkpoint interval (0 = checkpointing disabled).
+    checkpoint_every: usize,
+    timing: TimingStats,
+    overhead_percent: f64,
+    checkpoints_per_pass: usize,
+    peak_alloc_bytes: usize,
+}
+
+struct CheckpointSection {
+    policy: String,
+    capture_secs: f64,
+    save_secs: f64,
+    encoded_bytes: usize,
+    rows: Vec<CheckpointIntervalRow>,
+}
+
+fn checkpoint_scratch_dir() -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("tin_bench_ckpt_{}", std::process::id()))
+}
+
+/// One timed sequential-engine pass with durable checkpoints every `every`
+/// interactions (0 disables them entirely — the baseline the overhead is
+/// measured against). Engine and store construction are excluded from the
+/// timed region, matching [`time_engine_pass`].
+fn time_durable_pass(config: &PolicyConfig, w: &Workload, every: usize) -> f64 {
+    let dir = checkpoint_scratch_dir();
+    let mut passes = 0u32;
+    let mut timed = 0.0f64;
+    loop {
+        let mut engine = tin_core::engine::ProvenanceEngine::new(config, w.num_vertices)
+            .expect("benchmark configs are valid");
+        if every > 0 {
+            let store =
+                tin_core::checkpoint::CheckpointStore::open(&dir).expect("scratch dir is writable");
+            engine = engine
+                .with_durable_checkpoints(store, every)
+                .expect("interval is positive");
+        }
+        let start = Instant::now();
+        engine.process_all(&w.interactions).expect("valid stream");
+        std::hint::black_box(engine.report());
+        timed += start.elapsed().as_secs_f64();
+        passes += 1;
+        if timed >= MIN_MEASURE_SECS {
+            break;
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    timed / f64::from(passes)
+}
+
+/// Allocator peak of one durable (or disabled) pass — pins down that the
+/// zero-allocation steady state is untouched while checkpointing is off and
+/// quantifies what the capture path allocates when it is on.
+fn alloc_peak_durable(config: &PolicyConfig, w: &Workload, every: usize) -> usize {
+    let dir = checkpoint_scratch_dir();
+    let scope = tin_memstats::MemoryScope::start();
+    let mut engine = tin_core::engine::ProvenanceEngine::new(config, w.num_vertices)
+        .expect("benchmark configs are valid");
+    if every > 0 {
+        let store =
+            tin_core::checkpoint::CheckpointStore::open(&dir).expect("scratch dir is writable");
+        engine = engine
+            .with_durable_checkpoints(store, every)
+            .expect("interval is positive");
+    }
+    engine.process_all(&w.interactions).expect("valid stream");
+    std::hint::black_box(engine.report());
+    let mem = scope.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+    mem.peak_delta_bytes
+}
+
+/// Checkpoint cost per interval for one workload: the cost of a single
+/// end-state capture and atomic save, plus end-to-end overhead at several
+/// checkpoint intervals against the disabled baseline.
+fn run_checkpoint_section(config: &PolicyConfig, w: &Workload, reps: usize) -> CheckpointSection {
+    let len = w.interactions.len();
+    // 0 = disabled baseline; then roughly 4 and 16 checkpoints per pass.
+    let intervals = [0usize, len.div_ceil(4).max(1), len.div_ceil(16).max(1)];
+
+    let mut samples: Vec<Vec<f64>> = vec![Vec::with_capacity(reps); intervals.len()];
+    for _ in 0..reps {
+        for (i, &every) in intervals.iter().enumerate() {
+            samples[i].push(time_durable_pass(config, w, every));
+        }
+    }
+    let stats: Vec<TimingStats> = samples
+        .iter_mut()
+        .map(|s| TimingStats::from_samples(s))
+        .collect();
+    let baseline_median = stats[0].median_secs;
+    let rows = intervals
+        .iter()
+        .zip(stats)
+        .map(|(&every, timing)| CheckpointIntervalRow {
+            checkpoint_every: every,
+            timing,
+            overhead_percent: if baseline_median > 0.0 {
+                (timing.median_secs / baseline_median - 1.0) * 100.0
+            } else {
+                0.0
+            },
+            checkpoints_per_pass: len.checked_div(every).unwrap_or(0),
+            peak_alloc_bytes: alloc_peak_durable(config, w, every),
+        })
+        .collect();
+
+    // Single end-state capture and atomic save, median of 5.
+    let mut engine = tin_core::engine::ProvenanceEngine::new(config, w.num_vertices)
+        .expect("benchmark configs are valid");
+    engine.process_all(&w.interactions).expect("valid stream");
+    let mut capture_samples: Vec<f64> = (0..5)
+        .map(|_| {
+            let start = Instant::now();
+            let checkpoint = engine.checkpoint().expect("policy supports checkpoints");
+            std::hint::black_box(&checkpoint);
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    let capture_secs = TimingStats::from_samples(&mut capture_samples).median_secs;
+    let checkpoint = engine.checkpoint().expect("policy supports checkpoints");
+    let encoded_bytes = checkpoint.encode().len();
+    let dir = checkpoint_scratch_dir();
+    let mut store =
+        tin_core::checkpoint::CheckpointStore::open(&dir).expect("scratch dir is writable");
+    let start = Instant::now();
+    store.save(&checkpoint).expect("scratch dir is writable");
+    let save_secs = start.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    CheckpointSection {
+        policy: config.key(),
+        capture_secs,
+        save_secs,
+        encoded_bytes,
+        rows,
+    }
+}
+
 struct SweepRow {
     dense_threshold: f64,
     timing: TimingStats,
@@ -397,6 +538,7 @@ fn main() {
     let kinds = [DatasetKind::Bitcoin, DatasetKind::Taxis];
     let mut workload_blobs = Vec::new();
     let mut scaling_blobs = Vec::new();
+    let mut checkpoint_blobs = Vec::new();
     let mut sweep_blobs = Vec::new();
     let mut measured_prop_sparse: Vec<(String, f64)> = Vec::new();
     for kind in kinds {
@@ -494,6 +636,63 @@ fn main() {
             ));
         }
 
+        // Durable-checkpoint cost on the same hot-path policy: single
+        // capture/save cost plus end-to-end overhead per interval.
+        let ckpt = run_checkpoint_section(&scaling_config, &w, reps);
+        println!(
+            "    checkpoint ({}): capture {:.3} ms, save {:.3} ms, {} bytes",
+            ckpt.policy,
+            ckpt.capture_secs * 1e3,
+            ckpt.save_secs * 1e3,
+            ckpt.encoded_bytes,
+        );
+        let interval_blobs: Vec<String> = ckpt
+            .rows
+            .iter()
+            .map(|row| {
+                let label = if row.checkpoint_every == 0 {
+                    "disabled".to_string()
+                } else {
+                    format!("every {}", row.checkpoint_every)
+                };
+                println!(
+                    "      {label:<14} {:>10.3} ms/pass  overhead {:+6.2}%  alloc peak {:>12}",
+                    row.timing.median_secs * 1e3,
+                    row.overhead_percent,
+                    tin_memstats::format_bytes(row.peak_alloc_bytes),
+                );
+                format!(
+                    concat!(
+                        "{{\"checkpoint_every\": {}, \"checkpoints_per_pass\": {}, ",
+                        "\"runtime_secs\": {}, \"runtime_secs_min\": {}, ",
+                        "\"runtime_secs_max\": {}, \"overhead_percent\": {}, ",
+                        "\"peak_alloc_bytes\": {}}}"
+                    ),
+                    row.checkpoint_every,
+                    row.checkpoints_per_pass,
+                    fmt_f64(row.timing.median_secs),
+                    fmt_f64(row.timing.min_secs),
+                    fmt_f64(row.timing.max_secs),
+                    fmt_f64(row.overhead_percent),
+                    row.peak_alloc_bytes,
+                )
+            })
+            .collect();
+        checkpoint_blobs.push(format!(
+            concat!(
+                "{{\"dataset\": \"{}\", \"policy\": \"{}\", \"capture_secs\": {}, ",
+                "\"save_secs\": {}, \"encoded_bytes\": {}, \"reps\": {},\n",
+                "     \"intervals\": [\n      {}\n     ]}}"
+            ),
+            kind.key(),
+            json_escape(&ckpt.policy),
+            fmt_f64(ckpt.capture_secs),
+            fmt_f64(ckpt.save_secs),
+            ckpt.encoded_bytes,
+            reps,
+            interval_blobs.join(",\n      "),
+        ));
+
         // Optional adaptive-promotion-threshold sweep.
         if sweep_threshold && sparse_proportional_feasible(w.num_vertices, w.interactions.len()) {
             println!("    threshold sweep (prop_adaptive):");
@@ -572,6 +771,7 @@ fn main() {
             "  \"methodology\": \"median of K interleaved repetitions; min/max alongside\",\n",
             "  \"workloads\": [\n    {}\n  ],\n",
             "  \"sharded_scaling\": [\n    {}\n  ],\n",
+            "  \"checkpoint_cost\": [\n    {}\n  ],\n",
             "{}",
             "  \"prop_sparse_reference\": {{\n",
             "    \"description\": \"pre-optimisation proportional-sparse throughput, ",
@@ -585,6 +785,7 @@ fn main() {
         SAMPLE_INTERVAL,
         workload_blobs.join(",\n    "),
         scaling_blobs.join(",\n    "),
+        checkpoint_blobs.join(",\n    "),
         sweep_section,
         speedups.join(",\n      "),
     );

@@ -7,6 +7,7 @@
 //! ```text
 //! tin-cli stats    <trace>                               # Table 6-style statistics
 //! tin-cli run      <trace> --policy fifo [--shards 4]    # full engine run (sequential or sharded)
+//!                  [--checkpoint-dir D --checkpoint-every N] [--resume] [--crash-at K]
 //! tin-cli track    <trace> --policy fifo [--top 10]      # per-vertex origin summary
 //! tin-cli origins  <trace> --vertex NAME [--policy KEY] [--at TIME]
 //! tin-cli snapshot <trace> --policy KEY --out FILE.tsv   # persist the final state
@@ -32,6 +33,7 @@ use std::fmt::Write as _;
 use tin_analytics::alerts::{AlertConfig, AlertEngine};
 use tin_analytics::distribution::ProvenanceDistribution;
 use tin_analytics::mining::{cluster_by_provenance, most_similar_pairs};
+use tin_core::checkpoint::CheckpointStore;
 use tin_core::error::TinError;
 use tin_core::memory::format_bytes;
 use tin_core::policy::{PolicyConfig, SelectionPolicy};
@@ -61,6 +63,16 @@ pub enum Command {
         shards: usize,
         /// How many vertices to show (by buffered quantity).
         top: usize,
+        /// Directory for durable checkpoints (`None` disables them).
+        checkpoint_dir: Option<String>,
+        /// Take a durable checkpoint every this many interactions.
+        checkpoint_every: usize,
+        /// Recover from the newest valid checkpoint in `--checkpoint-dir`
+        /// and replay only the tail of the trace.
+        resume: bool,
+        /// Fault injection: exit with an error after this many interactions,
+        /// leaving the durable checkpoints behind for a later `--resume`.
+        crash_at: Option<usize>,
     },
     /// Run a selection policy over the trace and summarise the provenance of
     /// the busiest vertices.
@@ -140,6 +152,8 @@ tin-cli — provenance in temporal interaction networks
 USAGE:
   tin-cli stats    <trace>
   tin-cli run      <trace> [--policy KEY] [--shards N] [--top N]
+                   [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
+                   [--crash-at K]
   tin-cli track    <trace> [--policy KEY] [--top N]
   tin-cli origins  <trace> --vertex NAME [--policy KEY] [--at TIME]
   tin-cli snapshot <trace> [--policy KEY] --out FILE.tsv
@@ -150,7 +164,10 @@ USAGE:
   tin-cli help
 
 POLICY KEYS: noprov, lrb, mrb, fifo, lifo, prop_dense, prop_sparse
-TRACE FORMAT: one `src dst time qty` record per line; names may be strings.";
+TRACE FORMAT: one `src dst time qty` record per line; names may be strings.
+CHECKPOINTS: --checkpoint-dir persists recovery checkpoints while running;
+  --resume restarts from the newest valid one; --crash-at K injects a crash
+  after K interactions (non-zero exit) for recovery drills.";
 
 /// Parse a policy key (`fifo`, `prop_sparse`, …) into a [`SelectionPolicy`].
 pub fn parse_policy(key: &str) -> Result<SelectionPolicy, String> {
@@ -200,11 +217,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     }
 
     // Split the remainder into positional arguments and `--flag value` pairs.
+    // Flags in `VALUELESS` are booleans: present or absent, no value.
+    const VALUELESS: &[&str] = &["resume"];
     let mut positional: Vec<String> = Vec::new();
     let mut flags: Vec<(String, String)> = Vec::new();
     let mut rest = args[1..].iter().peekable();
     while let Some(arg) = rest.next() {
         if let Some(name) = arg.strip_prefix("--") {
+            if VALUELESS.contains(&name) {
+                flags.push((name.to_string(), String::new()));
+                continue;
+            }
             let value = rest
                 .next()
                 .ok_or_else(|| format!("flag --{name} expects a value"))?;
@@ -245,6 +268,22 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 })
                 .transpose()?
                 .unwrap_or(10),
+            checkpoint_dir: take_flag(&mut flags, "checkpoint-dir"),
+            checkpoint_every: take_flag(&mut flags, "checkpoint-every")
+                .map(|v| {
+                    v.parse::<usize>().ok().filter(|n| *n >= 1).ok_or_else(|| {
+                        format!("invalid --checkpoint-every {v:?} (expected an integer >= 1)")
+                    })
+                })
+                .transpose()?
+                .unwrap_or(1000),
+            resume: take_flag(&mut flags, "resume").is_some(),
+            crash_at: take_flag(&mut flags, "crash-at")
+                .map(|v| {
+                    v.parse::<usize>()
+                        .map_err(|_| format!("invalid --crash-at {v:?}"))
+                })
+                .transpose()?,
         },
         "track" => Command::Track {
             path: first_positional(&positional, "trace path")?,
@@ -410,10 +449,64 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             policy,
             shards,
             top,
+            checkpoint_dir,
+            checkpoint_every,
+            resume,
+            crash_at,
         } => {
             let named = load(path)?;
             let n = named.num_vertices();
             let config = PolicyConfig::Plain(*policy);
+            // Recovery: locate the newest valid checkpoint before building
+            // any engine, and refuse checkpoints that disagree with the
+            // requested run (wrong policy or a different trace).
+            let resumed = if *resume {
+                let dir = checkpoint_dir.as_deref().ok_or_else(|| {
+                    CliError::Usage("run: --resume requires --checkpoint-dir DIR".into())
+                })?;
+                let store = CheckpointStore::open(dir)?;
+                let loaded = store.load_latest_valid()?;
+                if let Some((_, checkpoint)) = &loaded {
+                    if checkpoint.policy != config {
+                        return Err(CliError::Usage(format!(
+                            "run: checkpoint was taken under policy {:?} but --policy asks for {:?}",
+                            checkpoint.policy.key(),
+                            config.key()
+                        )));
+                    }
+                    if checkpoint.num_vertices != n {
+                        return Err(CliError::Usage(format!(
+                            "run: checkpoint covers {} vertices but the trace has {n}",
+                            checkpoint.num_vertices
+                        )));
+                    }
+                    if checkpoint.cursor.processed > named.interactions.len() {
+                        return Err(CliError::Usage(format!(
+                            "run: checkpoint is ahead of the trace ({} > {} interactions)",
+                            checkpoint.cursor.processed,
+                            named.interactions.len()
+                        )));
+                    }
+                }
+                loaded.map(|(_, checkpoint)| checkpoint)
+            } else {
+                None
+            };
+            // A resumed run replays only the tail; `--crash-at K` truncates
+            // the stream at interaction K (counted from the trace start) and
+            // exits with an error afterwards, like a process crash would.
+            let skip = resumed.as_ref().map_or(0, |c| c.cursor.processed);
+            let end = crash_at.map_or(named.interactions.len(), |k| {
+                k.clamp(skip, named.interactions.len())
+            });
+            let stream = &named.interactions[skip..end];
+            let durable_store =
+                |dir: &Option<String>| -> Result<Option<CheckpointStore>, CliError> {
+                    Ok(match dir {
+                        Some(dir) => Some(CheckpointStore::open(dir)?),
+                        None => None,
+                    })
+                };
             // Collect the provenance-determined results into plain data so
             // both engines print through one code path. Runtime and
             // footprint are deliberately absent: the output depends only on
@@ -435,8 +528,21 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                 ranked
             }
             let (report, rows) = if *shards <= 1 {
-                let mut engine = tin_core::engine::ProvenanceEngine::new(&config, n)?;
-                engine.process_all(&named.interactions)?;
+                let mut engine = match &resumed {
+                    Some(checkpoint) => {
+                        tin_core::engine::ProvenanceEngine::resume_from(checkpoint)?
+                    }
+                    None => tin_core::engine::ProvenanceEngine::new(&config, n)?,
+                };
+                if let Some(store) = durable_store(checkpoint_dir)? {
+                    engine = engine.with_durable_checkpoints(store, *checkpoint_every)?;
+                }
+                engine.process_all(stream)?;
+                if let Some(k) = crash_at {
+                    return Err(CliError::Usage(format!(
+                        "run: injected crash at interaction {k} (durable checkpoints retained)"
+                    )));
+                }
                 let buffered = (0..n)
                     .map(|i| engine.buffered(tin_core::ids::VertexId::from(i)))
                     .collect();
@@ -446,8 +552,19 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                     .collect();
                 (engine.report(), rows)
             } else {
-                let mut engine = tin_shard::ShardedEngine::new(&config, n, *shards)?;
-                engine.process_all(&named.interactions)?;
+                let mut engine = match &resumed {
+                    Some(checkpoint) => tin_shard::ShardedEngine::resume_from(checkpoint, *shards)?,
+                    None => tin_shard::ShardedEngine::new(&config, n, *shards)?,
+                };
+                if let Some(store) = durable_store(checkpoint_dir)? {
+                    engine = engine.with_durable_checkpoints(store, *checkpoint_every)?;
+                }
+                engine.process_all(stream)?;
+                if let Some(k) = crash_at {
+                    return Err(CliError::Usage(format!(
+                        "run: injected crash at interaction {k} (durable checkpoints retained)"
+                    )));
+                }
                 let buffered = engine.buffered_all()?;
                 let ranked = rank_rows(buffered, *top);
                 let mut rows = Vec::with_capacity(ranked.len());
@@ -754,7 +871,11 @@ mod tests {
                 path: "a.csv".into(),
                 policy: SelectionPolicy::Fifo,
                 shards: 4,
-                top: 10
+                top: 10,
+                checkpoint_dir: None,
+                checkpoint_every: 1000,
+                resume: false,
+                crash_at: None
             }
         );
         assert_eq!(
@@ -763,7 +884,35 @@ mod tests {
                 path: "a.csv".into(),
                 policy: SelectionPolicy::ProportionalSparse,
                 shards: 1,
-                top: 10
+                top: 10,
+                checkpoint_dir: None,
+                checkpoint_every: 1000,
+                resume: false,
+                crash_at: None
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&[
+                "run",
+                "a.csv",
+                "--checkpoint-dir",
+                "ckpts",
+                "--checkpoint-every",
+                "50",
+                "--resume",
+                "--crash-at",
+                "7"
+            ]))
+            .unwrap(),
+            Command::Run {
+                path: "a.csv".into(),
+                policy: SelectionPolicy::ProportionalSparse,
+                shards: 1,
+                top: 10,
+                checkpoint_dir: Some("ckpts".into()),
+                checkpoint_every: 50,
+                resume: true,
+                crash_at: Some(7)
             }
         );
         assert_eq!(
@@ -836,6 +985,10 @@ mod tests {
         assert!(parse_args(&args(&["stats"])).is_err());
         assert!(parse_args(&args(&["run", "a.csv", "--shards", "0"])).is_err());
         assert!(parse_args(&args(&["run", "a.csv", "--shards", "many"])).is_err());
+        assert!(parse_args(&args(&["run", "a.csv", "--checkpoint-every", "0"])).is_err());
+        assert!(parse_args(&args(&["run", "a.csv", "--checkpoint-every", "x"])).is_err());
+        assert!(parse_args(&args(&["run", "a.csv", "--crash-at", "soon"])).is_err());
+        assert!(parse_args(&args(&["run", "a.csv", "--checkpoint-dir"])).is_err());
         assert!(parse_args(&args(&["influence", "a.csv", "--top", "lots"])).is_err());
         assert!(parse_args(&args(&["similar", "a.csv", "--threshold", "high"])).is_err());
         assert!(parse_args(&args(&["track", "a.csv", "--policy", "bogus"])).is_err());
@@ -902,6 +1055,10 @@ mod tests {
                 policy: SelectionPolicy::ProportionalSparse,
                 shards,
                 top: 10,
+                checkpoint_dir: None,
+                checkpoint_every: 1000,
+                resume: false,
+                crash_at: None,
             })
             .unwrap();
             assert!(out.contains("interactions    : 4"));
@@ -910,6 +1067,74 @@ mod tests {
         }
         assert_eq!(outputs[0], outputs[1]);
         assert_eq!(outputs[0], outputs[2]);
+        std::fs::remove_file(path).ok();
+    }
+
+    /// The CI crash-recovery smoke in miniature: run with durable
+    /// checkpoints and an injected crash, then `--resume` and check the
+    /// report is byte-identical to an uninterrupted run — sequential and
+    /// sharded, including a resumed shard count that differs from the
+    /// crashed run's.
+    #[test]
+    fn crash_then_resume_matches_uninterrupted_run() {
+        let path = write_trace();
+        let path_str = path.to_string_lossy().into_owned();
+        let cmd = |policy: SelectionPolicy,
+                   shards: usize,
+                   dir: Option<&std::path::Path>,
+                   resume: bool,
+                   crash_at: Option<usize>| {
+            Command::Run {
+                path: path_str.clone(),
+                policy,
+                shards,
+                top: 10,
+                checkpoint_dir: dir.map(|d| d.to_string_lossy().into_owned()),
+                checkpoint_every: 1,
+                resume,
+                crash_at,
+            }
+        };
+        let prop = SelectionPolicy::ProportionalSparse;
+        let uninterrupted = run(&cmd(prop, 1, None, false, None)).unwrap();
+
+        for (crash_shards, resume_shards) in [(1usize, 1usize), (1, 2), (2, 1), (2, 3)] {
+            let dir = temp_path(&format!("ckpt_{crash_shards}_{resume_shards}"));
+            let _ = std::fs::remove_dir_all(&dir);
+            match run(&cmd(prop, crash_shards, Some(&dir), false, Some(3))) {
+                Err(CliError::Usage(msg)) => assert!(msg.contains("injected crash"), "{msg}"),
+                other => panic!("expected the injected crash to error, got {other:?}"),
+            }
+            let resumed = run(&cmd(prop, resume_shards, Some(&dir), true, None)).unwrap();
+            assert_eq!(
+                resumed, uninterrupted,
+                "resume mismatch for shards {crash_shards} -> {resume_shards}"
+            );
+            std::fs::remove_dir_all(&dir).ok();
+        }
+
+        // `--resume` with an empty checkpoint directory starts from scratch.
+        let dir = temp_path("ckpt_empty");
+        let _ = std::fs::remove_dir_all(&dir);
+        let fresh = run(&cmd(prop, 1, Some(&dir), true, None)).unwrap();
+        assert_eq!(fresh, uninterrupted);
+        std::fs::remove_dir_all(&dir).ok();
+
+        // `--resume` without a checkpoint directory is a usage error.
+        assert!(matches!(
+            run(&cmd(prop, 1, None, true, None)),
+            Err(CliError::Usage(_))
+        ));
+
+        // A checkpoint taken under another policy is refused on resume.
+        let dir = temp_path("ckpt_policy_mismatch");
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = run(&cmd(SelectionPolicy::Fifo, 1, Some(&dir), false, Some(3)));
+        match run(&cmd(prop, 1, Some(&dir), true, None)) {
+            Err(CliError::Usage(msg)) => assert!(msg.contains("policy"), "{msg}"),
+            other => panic!("expected a policy-mismatch error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
         std::fs::remove_file(path).ok();
     }
 

@@ -170,6 +170,49 @@ impl ProvenanceVec {
         matches!(self.repr, Repr::Dense(_))
     }
 
+    /// Append the checkpoint encoding. The representation tag is part of the
+    /// state: a restored vector stays in the same representation as the
+    /// original, so promotion/demotion history replays identically.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        use crate::codec::{put_f64, put_u8, put_usize};
+        match &self.repr {
+            Repr::Sparse(s) => {
+                put_u8(out, 0);
+                s.encode_into(out);
+            }
+            Repr::Dense(values) => {
+                put_u8(out, 1);
+                put_usize(out, values.len());
+                for &v in values {
+                    put_f64(out, v);
+                }
+            }
+        }
+    }
+
+    /// Decode a vector written by [`Self::encode_into`].
+    pub fn decode_from(r: &mut crate::codec::ByteReader<'_>) -> crate::error::Result<Self> {
+        let repr = match r.u8()? {
+            0 => Repr::Sparse(SparseProvenance::decode_from(r)?),
+            1 => {
+                let len = r.usize()?;
+                if r.remaining() < len.saturating_mul(8) {
+                    // tin-lint: allow(hot-path-alloc): corrupt-checkpoint error path, not the streaming kernel
+                    return Err(r.corrupt(format!("truncated: {len} dense slots declared")));
+                }
+                // tin-lint: allow(hot-path-alloc): checkpoint restore path, not the streaming kernel
+                let mut values = Vec::with_capacity(len);
+                for _ in 0..len {
+                    values.push(r.f64()?);
+                }
+                Repr::Dense(values)
+            }
+            // tin-lint: allow(hot-path-alloc): corrupt-checkpoint error path, not the streaming kernel
+            other => return Err(r.corrupt(format!("unknown provenance repr tag {other}"))),
+        };
+        Ok(ProvenanceVec { repr })
+    }
+
     /// Number of non-zero entries (the sparse list length ℓ). O(1) for the
     /// sparse representation, O(dim) for the dense one.
     pub fn len(&self) -> usize {

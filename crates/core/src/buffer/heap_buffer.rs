@@ -186,6 +186,70 @@ impl HeapBuffer {
         self.total = 0.0;
         out
     }
+
+    /// Append the checkpoint encoding. Entries are written in the heap's
+    /// *internal array order* (not selection order): rebuilding a
+    /// `BinaryHeap` from an array that already satisfies the heap property
+    /// leaves the layout untouched, so a restored buffer replays subsequent
+    /// splits and pops bit-identically to the original.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        use crate::codec::{put_f64, put_u32, put_u64, put_u8, put_usize};
+        put_u8(
+            out,
+            match self.kind {
+                HeapKind::LeastRecentlyBorn => 0,
+                HeapKind::MostRecentlyBorn => 1,
+            },
+        );
+        put_f64(out, self.total);
+        put_u64(out, self.next_seq);
+        put_usize(out, self.heap.len());
+        for e in self.heap.iter() {
+            put_f64(out, e.key);
+            put_u64(out, e.seq);
+            put_u32(out, e.triple.origin.raw());
+            put_f64(out, e.triple.birth.0);
+            put_f64(out, e.triple.qty);
+        }
+    }
+
+    /// Decode a buffer written by [`Self::encode_into`].
+    pub fn decode_from(r: &mut crate::codec::ByteReader<'_>) -> crate::error::Result<Self> {
+        use crate::ids::{Timestamp, VertexId};
+        let kind = match r.u8()? {
+            0 => HeapKind::LeastRecentlyBorn,
+            1 => HeapKind::MostRecentlyBorn,
+            other => return Err(r.corrupt(format!("unknown heap kind {other}"))),
+        };
+        let total = r.f64()?;
+        let next_seq = r.u64()?;
+        let len = r.usize()?;
+        const ENTRY_BYTES: usize = 36;
+        if r.remaining() < len.saturating_mul(ENTRY_BYTES) {
+            return Err(r.corrupt(format!("truncated: {len} heap entries declared")));
+        }
+        let mut entries = Vec::with_capacity(len);
+        for _ in 0..len {
+            let key = r.f64()?;
+            let seq = r.u64()?;
+            let origin = VertexId::new(r.u32()?);
+            let birth = Timestamp(r.f64()?);
+            let qty = r.f64()?;
+            entries.push(Entry {
+                key,
+                seq,
+                triple: Triple { origin, birth, qty },
+            });
+        }
+        Ok(HeapBuffer {
+            kind,
+            // `From<Vec<_>>` heapifies with sift-downs, which move nothing
+            // when the array is already a valid heap — layout is preserved.
+            heap: BinaryHeap::from(entries),
+            total,
+            next_seq,
+        })
+    }
 }
 
 impl MemoryFootprint for HeapBuffer {
@@ -371,6 +435,51 @@ mod tests {
         }
         assert!(b.footprint_bytes() > empty);
         assert!(b.footprint_bytes() >= 100 * std::mem::size_of::<Triple>());
+    }
+
+    #[test]
+    fn codec_round_trip_preserves_internal_layout() {
+        for kind in [HeapKind::LeastRecentlyBorn, HeapKind::MostRecentlyBorn] {
+            let mut b = HeapBuffer::new(kind);
+            for i in 0..20 {
+                b.push(t(i, f64::from(i % 5), 0.1 + f64::from(i)));
+            }
+            // Partially consume so the heap has a history-dependent layout.
+            b.take(7.3, |_| {});
+
+            let mut buf = Vec::new();
+            b.encode_into(&mut buf);
+            let mut r = crate::codec::ByteReader::new(&buf, "states");
+            let restored = HeapBuffer::decode_from(&mut r).unwrap();
+            r.expect_end().unwrap();
+
+            assert_eq!(restored.kind(), b.kind());
+            assert_eq!(restored.total().to_bits(), b.total().to_bits());
+            assert_eq!(restored.next_seq, b.next_seq);
+            // Internal array order must match exactly, not just the multiset.
+            let orig: Vec<(u64, u32, u64)> = b
+                .heap
+                .iter()
+                .map(|e| (e.key.to_bits(), e.triple.origin.raw(), e.seq))
+                .collect();
+            let back: Vec<(u64, u32, u64)> = restored
+                .heap
+                .iter()
+                .map(|e| (e.key.to_bits(), e.triple.origin.raw(), e.seq))
+                .collect();
+            assert_eq!(orig, back);
+        }
+    }
+
+    #[test]
+    fn codec_rejects_truncated_entries() {
+        let mut b = HeapBuffer::new(HeapKind::LeastRecentlyBorn);
+        b.push(t(1, 1.0, 2.0));
+        let mut buf = Vec::new();
+        b.encode_into(&mut buf);
+        buf.truncate(buf.len() - 5);
+        let mut r = crate::codec::ByteReader::new(&buf, "states");
+        assert!(HeapBuffer::decode_from(&mut r).is_err());
     }
 
     #[test]

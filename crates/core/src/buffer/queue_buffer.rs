@@ -166,6 +166,53 @@ impl QueueBuffer {
     pub fn as_pairs(&self) -> Vec<(VertexId, Quantity)> {
         self.deque.iter().map(|p| (p.origin, p.qty)).collect()
     }
+
+    /// Append the checkpoint encoding (pairs in receipt order).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        use crate::codec::{put_bool, put_f64, put_u32, put_u8, put_usize};
+        put_u8(
+            out,
+            match self.discipline {
+                Discipline::Fifo => 0,
+                Discipline::Lifo => 1,
+            },
+        );
+        put_bool(out, self.coalesce);
+        put_f64(out, self.total);
+        put_usize(out, self.deque.len());
+        for p in &self.deque {
+            put_u32(out, p.origin.raw());
+            put_f64(out, p.qty);
+        }
+    }
+
+    /// Decode a buffer written by [`Self::encode_into`].
+    pub fn decode_from(r: &mut crate::codec::ByteReader<'_>) -> crate::error::Result<Self> {
+        let discipline = match r.u8()? {
+            0 => Discipline::Fifo,
+            1 => Discipline::Lifo,
+            other => return Err(r.corrupt(format!("unknown queue discipline {other}"))),
+        };
+        let coalesce = r.bool()?;
+        let total = r.f64()?;
+        let len = r.usize()?;
+        const PAIR_BYTES: usize = 12;
+        if r.remaining() < len.saturating_mul(PAIR_BYTES) {
+            return Err(r.corrupt(format!("truncated: {len} queue pairs declared")));
+        }
+        let mut deque = VecDeque::with_capacity(len);
+        for _ in 0..len {
+            let origin = VertexId::new(r.u32()?);
+            let qty = r.f64()?;
+            deque.push_back(Pair { origin, qty });
+        }
+        Ok(QueueBuffer {
+            discipline,
+            deque,
+            total,
+            coalesce,
+        })
+    }
 }
 
 impl MemoryFootprint for QueueBuffer {
@@ -344,6 +391,28 @@ mod tests {
         }
         assert!(b.footprint_bytes() > empty);
         assert!(b.footprint_bytes() >= 100 * std::mem::size_of::<Pair>());
+    }
+
+    #[test]
+    fn codec_round_trips_contents_and_flags() {
+        for make in [QueueBuffer::new, QueueBuffer::new_coalescing] {
+            for disc in [Discipline::Fifo, Discipline::Lifo] {
+                let mut b = make(disc);
+                for i in 0..12 {
+                    b.push(p(i % 4, 0.3 + f64::from(i)));
+                }
+                b.take(2.7, |_| {});
+                let mut buf = Vec::new();
+                b.encode_into(&mut buf);
+                let mut r = crate::codec::ByteReader::new(&buf, "states");
+                let restored = QueueBuffer::decode_from(&mut r).unwrap();
+                r.expect_end().unwrap();
+                assert_eq!(restored.discipline(), b.discipline());
+                assert_eq!(restored.coalesce, b.coalesce);
+                assert_eq!(restored.total().to_bits(), b.total().to_bits());
+                assert_eq!(restored.as_pairs(), b.as_pairs());
+            }
+        }
     }
 
     #[test]

@@ -108,6 +108,30 @@ impl DenseProvenance {
         dst.add_scaled(self, factor);
         self.scale(1.0 - factor);
     }
+
+    /// Append the checkpoint encoding (dimension + every slot's bit pattern).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        use crate::codec::{put_f64, put_usize};
+        put_usize(out, self.values.len());
+        for &v in &self.values {
+            put_f64(out, v);
+        }
+    }
+
+    /// Decode a vector written by [`Self::encode_into`].
+    pub fn decode_from(r: &mut crate::codec::ByteReader<'_>) -> crate::error::Result<Self> {
+        let len = r.usize()?;
+        if r.remaining() < len.saturating_mul(8) {
+            // tin-lint: allow(hot-path-alloc): corrupt-checkpoint error path, not the streaming kernel
+            return Err(r.corrupt(format!("truncated: {len} dense slots declared")));
+        }
+        // tin-lint: allow(hot-path-alloc): checkpoint restore path, not the streaming kernel
+        let mut values = Vec::with_capacity(len);
+        for _ in 0..len {
+            values.push(r.f64()?);
+        }
+        Ok(DenseProvenance { values })
+    }
 }
 
 impl MemoryFootprint for DenseProvenance {

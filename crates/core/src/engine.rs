@@ -16,8 +16,10 @@
 //! and [`run_ensemble`] runs several policies side by side over the same
 //! stream — the shape of every experiment in Section 7.
 
+use std::path::PathBuf;
 use std::time::Instant;
 
+use crate::checkpoint::{Checkpoint, CheckpointStore, StreamCursor};
 use crate::error::{Result, TinError};
 use crate::ids::VertexId;
 use crate::interaction::Interaction;
@@ -82,10 +84,12 @@ impl EngineReport {
 /// A validated, instrumented streaming front-end for one provenance tracker.
 pub struct ProvenanceEngine {
     tracker: Box<dyn ProvenanceTracker>,
+    config: PolicyConfig,
     policy_key: String,
     num_vertices: usize,
     checkpoint_interval: Option<usize>,
     checkpoints: Vec<ProvenanceSnapshot>,
+    durable: Option<(CheckpointStore, usize)>,
     last_time: Option<f64>,
     processed: usize,
     total_quantity: Quantity,
@@ -121,10 +125,12 @@ impl ProvenanceEngine {
         tracker.arm_spike_monitor(Self::SPIKE_FRACTION);
         Ok(ProvenanceEngine {
             tracker,
+            config: config.clone(),
             policy_key: config.key(),
             num_vertices,
             checkpoint_interval: None,
             checkpoints: Vec::new(),
+            durable: None,
             last_time: None,
             processed: 0,
             total_quantity: 0.0,
@@ -146,6 +152,80 @@ impl ProvenanceEngine {
         }
         self.checkpoint_interval = Some(interval);
         Ok(self)
+    }
+
+    /// Write a durable [`Checkpoint`] into `store` every `every`
+    /// interactions. Unlike [`Self::with_checkpoints`] (lossy in-memory
+    /// summaries), these are full lossless state captures a crashed run can
+    /// resume from with [`Self::resume_from`].
+    ///
+    /// # Errors
+    /// Returns [`TinError::InvalidConfig`] if `every` is zero.
+    pub fn with_durable_checkpoints(
+        mut self,
+        store: CheckpointStore,
+        every: usize,
+    ) -> Result<Self> {
+        if every == 0 {
+            return Err(TinError::InvalidConfig(
+                "durable checkpoint interval must be positive".into(),
+            ));
+        }
+        self.durable = Some((store, every));
+        Ok(self)
+    }
+
+    /// Rebuild an engine from a durable [`Checkpoint`], bit-identical to the
+    /// engine that captured it: tracker state, stream position, and flow
+    /// counters all resume exactly. The caller then replays the interaction
+    /// stream starting at interaction `checkpoint.cursor.processed`.
+    ///
+    /// # Errors
+    /// Propagates factory errors for the embedded policy and
+    /// [`TinError::CorruptCheckpoint`] for undecodable vertex payloads.
+    pub fn resume_from(checkpoint: &Checkpoint) -> Result<Self> {
+        let mut engine = ProvenanceEngine::new(&checkpoint.policy, checkpoint.num_vertices)?;
+        checkpoint.restore_into(engine.tracker.as_mut())?;
+        // Re-arm the spike monitor: `new` baselined it on an empty tracker,
+        // and drift must be measured from the restored footprint.
+        engine.tracker.arm_spike_monitor(Self::SPIKE_FRACTION);
+        engine.processed = checkpoint.cursor.processed;
+        engine.last_time = checkpoint.cursor.last_time;
+        engine.total_quantity = checkpoint.cursor.total_quantity;
+        engine.newborn_quantity = checkpoint.cursor.newborn_quantity;
+        engine.peak_footprint_bytes = checkpoint.cursor.peak_footprint_bytes;
+        Ok(engine)
+    }
+
+    /// The engine's current stream position and flow counters.
+    pub fn cursor(&self) -> StreamCursor {
+        StreamCursor {
+            processed: self.processed,
+            last_time: self.last_time,
+            total_quantity: self.total_quantity,
+            newborn_quantity: self.newborn_quantity,
+            peak_footprint_bytes: self.peak_footprint_bytes,
+        }
+    }
+
+    /// Capture a durable [`Checkpoint`] of the current state without
+    /// touching disk. The tracker's observable state is unchanged.
+    ///
+    /// # Errors
+    /// Returns [`TinError::InvalidConfig`] for trackers without durable
+    /// checkpoint support (none of the factory policies).
+    pub fn checkpoint(&mut self) -> Result<Checkpoint> {
+        Checkpoint::capture(&self.config, self.cursor(), self.tracker.as_mut())
+    }
+
+    /// Capture the current state and save it into `store` (atomic write,
+    /// retry, retention). Returns the checkpoint file's path.
+    ///
+    /// # Errors
+    /// Propagates capture errors and the store's [`TinError::Io`] failures.
+    pub fn checkpoint_to(&mut self, store: &mut CheckpointStore) -> Result<PathBuf> {
+        let checkpoint = self.checkpoint()?;
+        store.save(&checkpoint)
     }
 
     /// The wrapped tracker.
@@ -216,6 +296,14 @@ impl ProvenanceEngine {
                     .push(ProvenanceSnapshot::capture(self.tracker.as_ref(), r.time.0));
             }
         }
+        if let Some((_, every)) = &self.durable {
+            if self.processed.is_multiple_of(*every) {
+                let checkpoint =
+                    Checkpoint::capture(&self.config, self.cursor(), self.tracker.as_mut())?;
+                let (store, _) = self.durable.as_mut().expect("durable checked above");
+                store.save(&checkpoint)?;
+            }
+        }
         Ok(())
     }
 
@@ -247,7 +335,8 @@ impl ProvenanceEngine {
             relayed_quantity: self.total_quantity - self.newborn_quantity,
             peak_footprint_bytes: self.peak_footprint_bytes.max(footprint.total()),
             footprint,
-            checkpoints_taken: self.checkpoints.len(),
+            checkpoints_taken: self.checkpoints.len()
+                + self.durable.as_ref().map_or(0, |(store, _)| store.saves()),
         }
     }
 }
@@ -499,6 +588,66 @@ mod tests {
             report.peak_footprint_bytes
         );
         assert!(report.peak_footprint_bytes > report.footprint.total());
+    }
+
+    #[test]
+    fn durable_checkpoints_resume_bit_identically() {
+        use crate::checkpoint::CheckpointStore;
+        let dir = std::env::temp_dir().join(format!("tin_engine_ckpt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = CheckpointStore::open(&dir).unwrap();
+        let interactions = paper_running_example();
+
+        // Interrupted run: durable checkpoint every 2 interactions, "crash"
+        // after 4.
+        let mut engine = ProvenanceEngine::new(&fifo_config(), 3)
+            .unwrap()
+            .with_durable_checkpoints(store, 2)
+            .unwrap();
+        engine.process_all(&interactions[..4]).unwrap();
+        assert_eq!(engine.report().checkpoints_taken, 2);
+
+        // Recover from disk and replay the tail.
+        let store = CheckpointStore::open(&dir).unwrap();
+        let (_, checkpoint) = store.load_latest_valid().unwrap().unwrap();
+        assert_eq!(checkpoint.cursor.processed, 4);
+        let mut resumed = ProvenanceEngine::resume_from(&checkpoint).unwrap();
+        resumed
+            .process_all(&interactions[checkpoint.cursor.processed..])
+            .unwrap();
+
+        // Uninterrupted reference run.
+        let mut reference = ProvenanceEngine::new(&fifo_config(), 3).unwrap();
+        reference.process_all(&interactions).unwrap();
+
+        // Bit-identical: exact float equality, not approximate.
+        let resumed_report = resumed.report();
+        let reference_report = reference.report();
+        assert_eq!(resumed_report.interactions, reference_report.interactions);
+        assert_eq!(
+            resumed_report.total_quantity,
+            reference_report.total_quantity
+        );
+        assert_eq!(
+            resumed_report.newborn_quantity,
+            reference_report.newborn_quantity
+        );
+        for i in 0..3u32 {
+            assert_eq!(resumed.buffered(v(i)), reference.buffered(v(i)));
+            assert_eq!(resumed.origins(v(i)), reference.origins(v(i)));
+        }
+
+        // Zero interval is rejected.
+        let store = CheckpointStore::open(&dir).unwrap();
+        assert!(ProvenanceEngine::new(&fifo_config(), 3)
+            .unwrap()
+            .with_durable_checkpoints(store, 0)
+            .is_err());
+        // On-demand checkpoint_to saves one more file.
+        let mut store = CheckpointStore::open(&dir).unwrap();
+        let path = reference.checkpoint_to(&mut store).unwrap();
+        assert!(path.exists());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -65,6 +65,27 @@ pub enum TinError {
         /// The shard whose worker died first, when known.
         shard: Option<usize>,
     },
+    /// A checkpoint file failed validation: a section checksum mismatched,
+    /// the file was truncated, or a decoded value was malformed. Recovery
+    /// never installs state from such a file; it falls back to the previous
+    /// retained checkpoint instead.
+    CorruptCheckpoint {
+        /// Path of the offending checkpoint file (empty when the error was
+        /// raised below the file layer, before the path is known).
+        path: String,
+        /// The file section that failed (`header`, `policy`, `cursor`,
+        /// `states`, …).
+        section: String,
+        /// Human-readable description of the failure.
+        reason: String,
+    },
+    /// A checkpoint file carries a schema version this build cannot decode.
+    CheckpointVersionMismatch {
+        /// The schema version found in the file header.
+        found: u32,
+        /// The schema version this build supports.
+        supported: u32,
+    },
 }
 
 impl fmt::Display for TinError {
@@ -115,6 +136,25 @@ impl fmt::Display for TinError {
                      the sharded engine is poisoned"
                 ),
             },
+            TinError::CorruptCheckpoint {
+                path,
+                section,
+                reason,
+            } => {
+                if path.is_empty() {
+                    write!(f, "corrupt checkpoint: section `{section}`: {reason}")
+                } else {
+                    write!(
+                        f,
+                        "corrupt checkpoint {path}: section `{section}`: {reason}"
+                    )
+                }
+            }
+            TinError::CheckpointVersionMismatch { found, supported } => write!(
+                f,
+                "checkpoint schema version {found} is not supported \
+                 (this build reads version {supported})"
+            ),
         }
     }
 }
@@ -191,6 +231,40 @@ mod tests {
         let e: TinError = io.into();
         assert!(matches!(e, TinError::Io(_)));
         assert!(e.to_string().contains("missing file"));
+    }
+
+    #[test]
+    fn display_corrupt_checkpoint() {
+        let e = TinError::CorruptCheckpoint {
+            path: "ckpt/ckpt-000000000064.tin".into(),
+            section: "states".into(),
+            reason: "crc mismatch".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("ckpt-000000000064.tin"));
+        assert!(msg.contains("`states`"));
+        assert!(msg.contains("crc mismatch"));
+
+        let e = TinError::CorruptCheckpoint {
+            path: String::new(),
+            section: "cursor".into(),
+            reason: "truncated".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "corrupt checkpoint: section `cursor`: truncated"
+        );
+    }
+
+    #[test]
+    fn display_checkpoint_version_mismatch() {
+        let e = TinError::CheckpointVersionMismatch {
+            found: 9,
+            supported: 1,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("version 9"));
+        assert!(msg.contains("version 1"));
     }
 
     #[test]

@@ -48,6 +48,8 @@
 
 pub mod adaptive_vec;
 pub mod buffer;
+pub mod checkpoint;
+pub mod codec;
 pub mod dense_vec;
 pub mod engine;
 pub mod error;
@@ -78,6 +80,7 @@ pub mod prelude {
     pub use crate::adaptive_vec::{AdaptiveParams, ProvenanceVec, DEFAULT_DENSE_THRESHOLD};
     pub use crate::buffer::heap_buffer::HeapKind;
     pub use crate::buffer::queue_buffer::Discipline;
+    pub use crate::checkpoint::{Checkpoint, CheckpointStore, RetentionPolicy, StreamCursor};
     pub use crate::engine::{EngineReport, ProvenanceEngine};
     pub use crate::graph::{Tin, TinStats};
     pub use crate::ids::{GroupId, Origin, Timestamp, VertexId};

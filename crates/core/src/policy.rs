@@ -205,6 +205,156 @@ impl PolicyConfig {
             important: Vec::new(),
         }
     }
+
+    /// Append the binary encoding used by checkpoint headers (see
+    /// [`crate::checkpoint`]). Exact inverse of [`Self::decode_from`].
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        use crate::codec::{put_bool, put_f64, put_u32, put_u8, put_usize};
+        match self {
+            PolicyConfig::Plain(p) => {
+                put_u8(out, 0);
+                let tag = match p {
+                    SelectionPolicy::NoProvenance => 0,
+                    SelectionPolicy::LeastRecentlyBorn => 1,
+                    SelectionPolicy::MostRecentlyBorn => 2,
+                    SelectionPolicy::Fifo => 3,
+                    SelectionPolicy::Lifo => 4,
+                    SelectionPolicy::ProportionalDense => 5,
+                    SelectionPolicy::ProportionalSparse => 6,
+                };
+                put_u8(out, tag);
+            }
+            PolicyConfig::Selective { tracked } => {
+                put_u8(out, 1);
+                put_usize(out, tracked.len());
+                for v in tracked {
+                    put_u32(out, v.raw());
+                }
+            }
+            PolicyConfig::Grouped {
+                num_groups,
+                group_of,
+            } => {
+                put_u8(out, 2);
+                put_usize(out, *num_groups);
+                put_usize(out, group_of.len());
+                for g in group_of {
+                    put_u32(out, *g);
+                }
+            }
+            PolicyConfig::Windowed { window } => {
+                put_u8(out, 3);
+                put_usize(out, *window);
+            }
+            PolicyConfig::TimeWindowed { duration } => {
+                put_u8(out, 4);
+                put_f64(out, *duration);
+            }
+            PolicyConfig::AdaptiveProportional { dense_threshold } => {
+                put_u8(out, 5);
+                put_f64(out, *dense_threshold);
+            }
+            PolicyConfig::Budgeted {
+                capacity,
+                keep_fraction,
+                criterion,
+                important,
+            } => {
+                put_u8(out, 6);
+                put_usize(out, *capacity);
+                put_f64(out, *keep_fraction);
+                put_u8(
+                    out,
+                    match criterion {
+                        ShrinkCriterion::KeepLargest => 0,
+                        ShrinkCriterion::KeepImportant => 1,
+                    },
+                );
+                put_usize(out, important.len());
+                for v in important {
+                    put_u32(out, v.raw());
+                }
+            }
+            PolicyConfig::PathTracking { lifo } => {
+                put_u8(out, 7);
+                put_bool(out, *lifo);
+            }
+            PolicyConfig::GenerationPaths { most_recent } => {
+                put_u8(out, 8);
+                put_bool(out, *most_recent);
+            }
+        }
+    }
+
+    /// Decode a configuration written by [`Self::encode_into`].
+    pub fn decode_from(r: &mut crate::codec::ByteReader<'_>) -> crate::error::Result<Self> {
+        let tag = r.u8()?;
+        Ok(match tag {
+            0 => {
+                let p = match r.u8()? {
+                    0 => SelectionPolicy::NoProvenance,
+                    1 => SelectionPolicy::LeastRecentlyBorn,
+                    2 => SelectionPolicy::MostRecentlyBorn,
+                    3 => SelectionPolicy::Fifo,
+                    4 => SelectionPolicy::Lifo,
+                    5 => SelectionPolicy::ProportionalDense,
+                    6 => SelectionPolicy::ProportionalSparse,
+                    other => return Err(r.corrupt(format!("unknown selection policy {other}"))),
+                };
+                PolicyConfig::Plain(p)
+            }
+            1 => {
+                let len = r.usize()?;
+                let mut tracked = Vec::with_capacity(len.min(1 << 20));
+                for _ in 0..len {
+                    tracked.push(VertexId::new(r.u32()?));
+                }
+                PolicyConfig::Selective { tracked }
+            }
+            2 => {
+                let num_groups = r.usize()?;
+                let len = r.usize()?;
+                let mut group_of = Vec::with_capacity(len.min(1 << 20));
+                for _ in 0..len {
+                    group_of.push(r.u32()?);
+                }
+                PolicyConfig::Grouped {
+                    num_groups,
+                    group_of,
+                }
+            }
+            3 => PolicyConfig::Windowed { window: r.usize()? },
+            4 => PolicyConfig::TimeWindowed { duration: r.f64()? },
+            5 => PolicyConfig::AdaptiveProportional {
+                dense_threshold: r.f64()?,
+            },
+            6 => {
+                let capacity = r.usize()?;
+                let keep_fraction = r.f64()?;
+                let criterion = match r.u8()? {
+                    0 => ShrinkCriterion::KeepLargest,
+                    1 => ShrinkCriterion::KeepImportant,
+                    other => return Err(r.corrupt(format!("unknown shrink criterion {other}"))),
+                };
+                let len = r.usize()?;
+                let mut important = Vec::with_capacity(len.min(1 << 20));
+                for _ in 0..len {
+                    important.push(VertexId::new(r.u32()?));
+                }
+                PolicyConfig::Budgeted {
+                    capacity,
+                    keep_fraction,
+                    criterion,
+                    important,
+                }
+            }
+            7 => PolicyConfig::PathTracking { lifo: r.bool()? },
+            8 => PolicyConfig::GenerationPaths {
+                most_recent: r.bool()?,
+            },
+            other => return Err(r.corrupt(format!("unknown policy config tag {other}"))),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -293,5 +443,55 @@ mod tests {
     #[test]
     fn shrink_criterion_default() {
         assert_eq!(ShrinkCriterion::default(), ShrinkCriterion::KeepLargest);
+    }
+
+    #[test]
+    fn binary_codec_round_trips_every_variant() {
+        let configs = vec![
+            PolicyConfig::Plain(SelectionPolicy::NoProvenance),
+            PolicyConfig::Plain(SelectionPolicy::LeastRecentlyBorn),
+            PolicyConfig::Plain(SelectionPolicy::MostRecentlyBorn),
+            PolicyConfig::Plain(SelectionPolicy::Fifo),
+            PolicyConfig::Plain(SelectionPolicy::Lifo),
+            PolicyConfig::Plain(SelectionPolicy::ProportionalDense),
+            PolicyConfig::Plain(SelectionPolicy::ProportionalSparse),
+            PolicyConfig::Selective {
+                tracked: vec![VertexId::new(0), VertexId::new(3)],
+            },
+            PolicyConfig::Grouped {
+                num_groups: 3,
+                group_of: vec![0, 1, 2, 0, 1],
+            },
+            PolicyConfig::Windowed { window: 5 },
+            PolicyConfig::TimeWindowed { duration: 7.5 },
+            PolicyConfig::adaptive(),
+            PolicyConfig::budget(3),
+            PolicyConfig::Budgeted {
+                capacity: 8,
+                keep_fraction: 0.6,
+                criterion: ShrinkCriterion::KeepImportant,
+                important: vec![VertexId::new(2)],
+            },
+            PolicyConfig::PathTracking { lifo: true },
+            PolicyConfig::PathTracking { lifo: false },
+            PolicyConfig::GenerationPaths { most_recent: true },
+        ];
+        for config in configs {
+            let mut buf = Vec::new();
+            config.encode_into(&mut buf);
+            let mut r = crate::codec::ByteReader::new(&buf, "policy");
+            let decoded = PolicyConfig::decode_from(&mut r).unwrap();
+            r.expect_end().unwrap();
+            assert_eq!(decoded, config);
+        }
+    }
+
+    #[test]
+    fn codec_rejects_unknown_tag() {
+        let mut r = crate::codec::ByteReader::new(&[0xFF], "policy");
+        assert!(matches!(
+            PolicyConfig::decode_from(&mut r),
+            Err(crate::TinError::CorruptCheckpoint { .. })
+        ));
     }
 }

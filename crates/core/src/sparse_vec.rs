@@ -901,6 +901,42 @@ impl SparseProvenance {
             && self.keys.windows(2).all(|w| w[0] < w[1])
             && self.vals.iter().all(|&q| q > 0.0 || qty_is_zero(q))
     }
+
+    /// Append the checkpoint encoding (packed keys + quantity bit patterns).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        use crate::codec::{put_f64, put_u32, put_usize};
+        put_usize(out, self.keys.len());
+        for &k in &self.keys {
+            put_u32(out, k);
+        }
+        for &q in &self.vals {
+            put_f64(out, q);
+        }
+    }
+
+    /// Decode a vector written by [`Self::encode_into`].
+    pub fn decode_from(r: &mut crate::codec::ByteReader<'_>) -> crate::error::Result<Self> {
+        let len = r.usize()?;
+        if r.remaining() < len.saturating_mul(12) {
+            // tin-lint: allow(hot-path-alloc): corrupt-checkpoint error path, not the streaming kernel
+            return Err(r.corrupt(format!("truncated: {len} sparse entries declared")));
+        }
+        // tin-lint: allow(hot-path-alloc): checkpoint restore path, not the streaming kernel
+        let mut keys = Vec::with_capacity(len);
+        for _ in 0..len {
+            keys.push(r.u32()?);
+        }
+        // tin-lint: allow(hot-path-alloc): checkpoint restore path, not the streaming kernel
+        let mut vals = Vec::with_capacity(len);
+        for _ in 0..len {
+            vals.push(r.f64()?);
+        }
+        let v = SparseProvenance { keys, vals };
+        if !v.keys.windows(2).all(|w| w[0] < w[1]) {
+            return Err(r.corrupt("sparse keys not strictly increasing"));
+        }
+        Ok(v)
+    }
 }
 
 impl MemoryFootprint for SparseProvenance {

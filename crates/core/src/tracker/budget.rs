@@ -289,6 +289,20 @@ impl MigratableTracker for BudgetTracker {
         self.shrinks[i] = taken.shrinks;
     }
 
+    fn encode_taken(taken: &TakenState, out: &mut Vec<u8>) {
+        taken.vec.encode_into(out);
+        crate::codec::put_f64(out, taken.total);
+        crate::codec::put_u32(out, taken.shrinks);
+    }
+
+    fn decode_taken(r: &mut crate::codec::ByteReader<'_>) -> crate::error::Result<TakenState> {
+        Ok(TakenState {
+            vec: ProvenanceVec::decode_from(r)?,
+            total: r.f64()?,
+            shrinks: r.u32()?,
+        })
+    }
+
     // Migrating state carries its footprint with it (see
     // `ProportionalSparseTracker`).
     fn taken_footprint(taken: &TakenState) -> usize {

@@ -138,6 +138,14 @@ pub trait MigratableTracker {
     fn footprint_estimate(&self) -> usize {
         0
     }
+
+    /// Append the checkpoint encoding of a migrated payload. Must be the
+    /// exact inverse of [`Self::decode_taken`]: a decoded payload installed
+    /// via [`Self::install`] behaves bit-identically to the original.
+    fn encode_taken(taken: &Self::Taken, out: &mut Vec<u8>);
+
+    /// Decode a payload written by [`Self::encode_taken`].
+    fn decode_taken(r: &mut crate::codec::ByteReader<'_>) -> Result<Self::Taken>;
 }
 
 /// Shared take-side of the shard migration protocol: extract the payload,
@@ -164,6 +172,37 @@ pub fn shared_put<T: MigratableTracker>(tracker: &mut T, v: VertexId, state: Sha
         }
     }
     tracker.install(v, taken);
+}
+
+/// Shared checkpoint-capture path: extract the payload, encode it, put it
+/// straight back. The extract/install round-trip moves the buffers
+/// wholesale, so the tracker's observable state is untouched.
+pub fn shared_encode<T: MigratableTracker>(tracker: &mut T, v: VertexId, out: &mut Vec<u8>) {
+    let taken = tracker.extract(v);
+    T::encode_taken(&taken, out);
+    tracker.install(v, taken);
+}
+
+/// Shared checkpoint-restore path: decode a payload and install it. The
+/// target slot must be hollow (freshly built or previously extracted).
+pub fn shared_restore<T: MigratableTracker>(
+    tracker: &mut T,
+    v: VertexId,
+    r: &mut crate::codec::ByteReader<'_>,
+) -> Result<()> {
+    let taken = T::decode_taken(r)?;
+    tracker.install(v, taken);
+    Ok(())
+}
+
+/// Shared decode-without-install path: turn checkpoint bytes into the
+/// type-erased [`ShardVertexState`] the shard protocol moves around. The
+/// sharded engine's main thread uses a probe tracker of the right
+/// configuration to decode states it then routes to the owning shard.
+pub fn shared_decode_state<T: MigratableTracker>(
+    r: &mut crate::codec::ByteReader<'_>,
+) -> Result<ShardVertexState> {
+    Ok(ShardVertexState::new(T::decode_taken(r)?))
 }
 
 /// Shared implementation behind `ProvenanceTracker::arm_spike_monitor`.
@@ -213,6 +252,26 @@ macro_rules! impl_migration_hooks {
             state: $crate::tracker::ShardVertexState,
         ) {
             $crate::tracker::shared_put(self, v, state);
+        }
+
+        fn encode_vertex_state(&mut self, v: $crate::ids::VertexId, out: &mut Vec<u8>) -> bool {
+            $crate::tracker::shared_encode(self, v, out);
+            true
+        }
+
+        fn restore_vertex_state(
+            &mut self,
+            v: $crate::ids::VertexId,
+            r: &mut $crate::codec::ByteReader<'_>,
+        ) -> $crate::error::Result<()> {
+            $crate::tracker::shared_restore(self, v, r)
+        }
+
+        fn decode_vertex_state(
+            &self,
+            r: &mut $crate::codec::ByteReader<'_>,
+        ) -> $crate::error::Result<$crate::tracker::ShardVertexState> {
+            $crate::tracker::shared_decode_state::<Self>(r)
         }
     };
 }
@@ -341,6 +400,43 @@ pub trait ProvenanceTracker {
     fn put_vertex_state(&mut self, v: VertexId, state: ShardVertexState) {
         let _ = (v, state);
         panic!("this tracker does not support sharded execution");
+    }
+
+    /// Append the checkpoint encoding of vertex `v`'s provenance state to
+    /// `out`. Returns `false` (writing nothing) for trackers that do not
+    /// support durable checkpoints; every [`build_tracker`] policy does.
+    ///
+    /// Implemented internally as an extract → encode → re-install round
+    /// trip over the migration payload, so the tracker's observable state
+    /// is unchanged by the capture.
+    fn encode_vertex_state(&mut self, v: VertexId, out: &mut Vec<u8>) -> bool {
+        let _ = (v, out);
+        false
+    }
+
+    /// Install vertex `v`'s state from checkpoint bytes written by
+    /// [`Self::encode_vertex_state`] on a tracker of the same configuration.
+    /// Call [`Self::sync_epoch`] to the checkpoint's stream position
+    /// *before* restoring any vertex, so window resets fired by the sync
+    /// cannot clobber restored state.
+    fn restore_vertex_state(
+        &mut self,
+        v: VertexId,
+        r: &mut crate::codec::ByteReader<'_>,
+    ) -> Result<()> {
+        let _ = v;
+        Err(r.corrupt("this tracker does not support checkpoint restore"))
+    }
+
+    /// Decode checkpoint bytes into the type-erased per-vertex state of the
+    /// shard migration protocol, without installing it. The sharded engine's
+    /// main thread uses this (on a probe tracker of the run's configuration)
+    /// to repartition a checkpoint across a possibly different shard count.
+    fn decode_vertex_state(
+        &self,
+        r: &mut crate::codec::ByteReader<'_>,
+    ) -> Result<ShardVertexState> {
+        Err(r.corrupt("this tracker does not support checkpoint restore"))
     }
 
     /// Advance the tracker's global-epoch clock — the stream position

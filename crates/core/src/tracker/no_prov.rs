@@ -128,6 +128,18 @@ impl MigratableTracker for NoProvTracker {
         self.buffers[i] = taken.buffered;
         self.generated[i] = taken.generated;
     }
+
+    fn encode_taken(taken: &TakenState, out: &mut Vec<u8>) {
+        crate::codec::put_f64(out, taken.buffered);
+        crate::codec::put_f64(out, taken.generated);
+    }
+
+    fn decode_taken(r: &mut crate::codec::ByteReader<'_>) -> crate::error::Result<TakenState> {
+        Ok(TakenState {
+            buffered: r.f64()?,
+            generated: r.f64()?,
+        })
+    }
 }
 
 #[cfg(test)]

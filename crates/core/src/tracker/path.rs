@@ -118,6 +118,44 @@ impl PathBuffer {
         taken
     }
 
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        use crate::codec::{put_f64, put_u32, put_usize};
+        put_f64(out, self.total);
+        put_usize(out, self.elements.len());
+        for e in &self.elements {
+            put_u32(out, e.origin.raw());
+            put_f64(out, e.qty);
+            put_usize(out, e.path.len());
+            for p in &e.path {
+                put_u32(out, p.raw());
+            }
+        }
+    }
+
+    fn decode_from(r: &mut crate::codec::ByteReader<'_>) -> crate::error::Result<Self> {
+        let total = r.f64()?;
+        let len = r.usize()?;
+        // Each element is ≥ 20 bytes (origin + qty + path length prefix).
+        if r.remaining() < len.saturating_mul(20) {
+            return Err(r.corrupt(format!("truncated: {len} path elements declared")));
+        }
+        let mut elements = VecDeque::with_capacity(len);
+        for _ in 0..len {
+            let origin = VertexId::new(r.u32()?);
+            let qty = r.f64()?;
+            let hops = r.usize()?;
+            if r.remaining() < hops.saturating_mul(4) {
+                return Err(r.corrupt(format!("truncated: path of {hops} hops declared")));
+            }
+            let mut path = Vec::with_capacity(hops);
+            for _ in 0..hops {
+                path.push(VertexId::new(r.u32()?));
+            }
+            elements.push_back(PathElement { origin, qty, path });
+        }
+        Ok(PathBuffer { elements, total })
+    }
+
     fn entries_bytes(&self) -> usize {
         self.elements.capacity() * std::mem::size_of::<PathElement>()
     }
@@ -273,6 +311,16 @@ impl MigratableTracker for PathTracker {
 
     fn install(&mut self, v: VertexId, taken: TakenState) {
         self.buffers[v.index()] = taken.buf;
+    }
+
+    fn encode_taken(taken: &TakenState, out: &mut Vec<u8>) {
+        taken.buf.encode_into(out);
+    }
+
+    fn decode_taken(r: &mut crate::codec::ByteReader<'_>) -> crate::error::Result<TakenState> {
+        Ok(TakenState {
+            buf: PathBuffer::decode_from(r)?,
+        })
     }
 }
 

@@ -167,6 +167,69 @@ impl PathHeapBuffer {
         taken
     }
 
+    /// Checkpoint encoding: entries in the heap's internal array order (see
+    /// [`crate::buffer::heap_buffer::HeapBuffer::encode_into`] — rebuilding
+    /// from an already-valid heap array preserves the layout, so restored
+    /// tie-breaks and splits replay bit-identically).
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        use crate::codec::{put_f64, put_u32, put_u64, put_usize};
+        put_f64(out, self.total);
+        put_u64(out, self.next_seq);
+        put_usize(out, self.heap.len());
+        for e in self.heap.iter() {
+            put_f64(out, e.key);
+            put_u64(out, e.seq);
+            put_u32(out, e.triple.origin.raw());
+            put_f64(out, e.triple.birth.0);
+            put_f64(out, e.triple.qty);
+            put_usize(out, e.triple.path.len());
+            for p in &e.triple.path {
+                put_u32(out, p.raw());
+            }
+        }
+    }
+
+    fn decode_from(r: &mut crate::codec::ByteReader<'_>) -> crate::error::Result<Self> {
+        let total = r.f64()?;
+        let next_seq = r.u64()?;
+        let len = r.usize()?;
+        // Each entry is ≥ 44 bytes (key, seq, origin, birth, qty, path len).
+        if r.remaining() < len.saturating_mul(44) {
+            return Err(r.corrupt(format!("truncated: {len} path-heap entries declared")));
+        }
+        let mut entries = Vec::with_capacity(len);
+        for _ in 0..len {
+            let key = r.f64()?;
+            let seq = r.u64()?;
+            let origin = VertexId::new(r.u32()?);
+            let birth = Timestamp(r.f64()?);
+            let qty = r.f64()?;
+            let hops = r.usize()?;
+            if r.remaining() < hops.saturating_mul(4) {
+                return Err(r.corrupt(format!("truncated: path of {hops} hops declared")));
+            }
+            let mut path = Vec::with_capacity(hops);
+            for _ in 0..hops {
+                path.push(VertexId::new(r.u32()?));
+            }
+            entries.push(Entry {
+                key,
+                seq,
+                triple: PathTriple {
+                    origin,
+                    birth,
+                    qty,
+                    path,
+                },
+            });
+        }
+        Ok(PathHeapBuffer {
+            heap: BinaryHeap::from(entries),
+            total,
+            next_seq,
+        })
+    }
+
     fn entries_bytes(&self) -> usize {
         self.heap.capacity() * std::mem::size_of::<Entry>()
     }
@@ -349,6 +412,16 @@ impl MigratableTracker for GenerationPathTracker {
 
     fn install(&mut self, v: VertexId, taken: TakenState) {
         self.buffers[v.index()] = taken.buf;
+    }
+
+    fn encode_taken(taken: &TakenState, out: &mut Vec<u8>) {
+        taken.buf.encode_into(out);
+    }
+
+    fn decode_taken(r: &mut crate::codec::ByteReader<'_>) -> crate::error::Result<TakenState> {
+        Ok(TakenState {
+            buf: PathHeapBuffer::decode_from(r)?,
+        })
     }
 }
 

@@ -133,6 +133,18 @@ impl MigratableTracker for ProportionalDenseTracker {
         self.vectors[i] = taken.row;
         self.totals[i] = taken.total;
     }
+
+    fn encode_taken(taken: &TakenState, out: &mut Vec<u8>) {
+        taken.row.encode_into(out);
+        crate::codec::put_f64(out, taken.total);
+    }
+
+    fn decode_taken(r: &mut crate::codec::ByteReader<'_>) -> crate::error::Result<TakenState> {
+        Ok(TakenState {
+            row: DenseProvenance::decode_from(r)?,
+            total: r.f64()?,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -199,6 +199,18 @@ impl MigratableTracker for ProportionalSparseTracker {
         self.totals[i] = taken.total;
     }
 
+    fn encode_taken(taken: &TakenState, out: &mut Vec<u8>) {
+        taken.vec.encode_into(out);
+        crate::codec::put_f64(out, taken.total);
+    }
+
+    fn decode_taken(r: &mut crate::codec::ByteReader<'_>) -> crate::error::Result<TakenState> {
+        Ok(TakenState {
+            vec: ProvenanceVec::decode_from(r)?,
+            total: r.f64()?,
+        })
+    }
+
     // Migrating state carries its footprint with it: without the delta a
     // borrowing shard's estimate inflates by every borrowed growth while
     // the owner's misses it, so spikes fire on the wrong replica.

@@ -137,6 +137,16 @@ impl MigratableTracker for ReceiptOrderTracker {
     fn install(&mut self, v: VertexId, taken: TakenState) {
         self.buffers[v.index()] = taken.buf;
     }
+
+    fn encode_taken(taken: &TakenState, out: &mut Vec<u8>) {
+        taken.buf.encode_into(out);
+    }
+
+    fn decode_taken(r: &mut crate::codec::ByteReader<'_>) -> crate::error::Result<TakenState> {
+        Ok(TakenState {
+            buf: QueueBuffer::decode_from(r)?,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -254,6 +254,20 @@ impl MigratableTracker for TimeWindowedTracker {
         self.totals[i] = taken.total;
     }
 
+    fn encode_taken(taken: &TakenState, out: &mut Vec<u8>) {
+        taken.odd.encode_into(out);
+        taken.even.encode_into(out);
+        crate::codec::put_f64(out, taken.total);
+    }
+
+    fn decode_taken(r: &mut crate::codec::ByteReader<'_>) -> crate::error::Result<TakenState> {
+        Ok(TakenState {
+            odd: ProvenanceVec::decode_from(r)?,
+            even: ProvenanceVec::decode_from(r)?,
+            total: r.f64()?,
+        })
+    }
+
     // Migrating state carries its footprint with it (see
     // `ProportionalSparseTracker`).
     fn taken_footprint(taken: &TakenState) -> usize {

@@ -1,7 +1,7 @@
 //! `tin-lint` — workspace-aware static analysis for the tin provenance
 //! engine.
 //!
-//! Four invariants that ordinary `clippy` cannot see keep this codebase
+//! Five invariants that ordinary `clippy` cannot see keep this codebase
 //! honest, and this crate enforces them offline with a hand-rolled lexer
 //! and token-level matchers (no `syn`, no dependencies):
 //!
@@ -19,6 +19,10 @@
 //! * **`hot-path-alloc`** — no `Vec::new`/`vec!`/`format!`/`.collect()`/
 //!   `Box::new` in the kernel modules (`sparse_vec`, `dense_vec`,
 //!   `adaptive_vec`, `simd`), whose steady state is allocation-free.
+//! * **`checkpoint-durability`** — no `write_all`/`fs::write` without an
+//!   `sync_all`/`sync_data` in the same function inside the checkpoint
+//!   module: a checkpoint visible under its final name must be on disk,
+//!   not in the page cache.
 //!
 //! Exceptions are explicit and audited: a finding is suppressed only by a
 //! justified allow-directive (see [`directives`]), and a malformed

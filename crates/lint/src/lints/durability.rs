@@ -1,0 +1,154 @@
+//! L5 — checkpoint durability: the checkpoint module promises that a file
+//! visible under its final name is complete and on disk (temp sibling →
+//! `write_all` → fsync → rename → directory fsync). A function that calls
+//! `write_all` or the `fs::write` shortcut without also calling
+//! `sync_all`/`sync_data` publishes bytes the kernel may still be holding in
+//! the page cache — exactly the window a crash-recovery subsystem exists to
+//! close. Every unsynced write is either a real durability hole or a
+//! deliberate cold path that deserves a justified allow-directive.
+
+use super::{in_ranges, matching_close, test_mod_ranges};
+use crate::diagnostics::Diagnostic;
+use crate::lexer::{Token, TokenKind};
+
+pub fn check(file: &str, tokens: &[Token]) -> Vec<Diagnostic> {
+    let skip = test_mod_ranges(tokens);
+    let mut diags = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !tokens[i].is_ident("fn") || in_ranges(&skip, i) {
+            i += 1;
+            continue;
+        }
+        // Find the function's body: skip the parameter list (and any other
+        // parenthesised group in the signature), stop at `;` for bodiless
+        // trait methods.
+        let mut j = i + 1;
+        let mut body = None;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.kind == TokenKind::OpenDelim && t.text == "(" {
+                j = matching_close(tokens, j) + 1;
+                continue;
+            }
+            if t.kind == TokenKind::OpenDelim && t.text == "{" {
+                body = Some((j, matching_close(tokens, j)));
+                break;
+            }
+            if t.is_punct(";") {
+                break;
+            }
+            j += 1;
+        }
+        let Some((open, close)) = body else {
+            i = j + 1;
+            continue;
+        };
+        let synced = (open..=close)
+            .any(|k| tokens[k].is_ident("sync_all") || tokens[k].is_ident("sync_data"));
+        if !synced {
+            for k in open..=close {
+                if let Some(call) = unsynced_write(tokens, k) {
+                    diags.push(Diagnostic::new(
+                        "checkpoint-durability",
+                        file,
+                        tokens[k].line,
+                        format!(
+                            "`{call}` without `sync_all`/`sync_data` in the same function: \
+                             checkpoint bytes must reach disk before they become visible; \
+                             write to a temp sibling, fsync, then rename — or mark a \
+                             non-durable path with \
+                             `// tin-lint: allow(checkpoint-durability): <why>`"
+                        ),
+                    ));
+                }
+            }
+        }
+        i = close + 1;
+    }
+    diags
+}
+
+/// A call that puts bytes into a file without any durability guarantee:
+/// `.write_all(...)` or the `fs::write(...)` convenience.
+fn unsynced_write(tokens: &[Token], k: usize) -> Option<&'static str> {
+    let calls = tokens
+        .get(k + 1)
+        .is_some_and(|t| t.kind == TokenKind::OpenDelim && t.text == "(");
+    if !calls {
+        return None;
+    }
+    if tokens[k].is_ident("write_all") && k > 0 && tokens[k - 1].is_punct(".") {
+        return Some(".write_all()");
+    }
+    if tokens[k].is_ident("write")
+        && k > 1
+        && tokens[k - 1].is_punct("::")
+        && tokens[k - 2].is_ident("fs")
+    {
+        return Some("fs::write");
+    }
+    None
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn fires_on_unsynced_writes() {
+        for (src, call) in [
+            (
+                "fn save(f: &mut File, b: &[u8]) -> io::Result<()> { f.write_all(b) }",
+                ".write_all()",
+            ),
+            (
+                "fn dump(p: &Path, b: &[u8]) { fs::write(p, b).unwrap(); }",
+                "fs::write",
+            ),
+            (
+                "fn dump(p: &Path, b: &[u8]) { std::fs::write(p, b).unwrap(); }",
+                "fs::write",
+            ),
+        ] {
+            let d = check("x.rs", &lex(src));
+            assert_eq!(d.len(), 1, "{src}");
+            assert!(d[0].message.contains(call), "{src}");
+        }
+    }
+
+    #[test]
+    fn clean_when_the_same_function_syncs() {
+        for src in [
+            "fn save(f: &mut File, b: &[u8]) -> io::Result<()> { f.write_all(b)?; f.sync_all() }",
+            "fn save(f: &mut File, b: &[u8]) -> io::Result<()> { f.write_all(b)?; f.sync_data() }",
+        ] {
+            assert!(check("x.rs", &lex(src)).is_empty(), "{src}");
+        }
+    }
+
+    #[test]
+    fn clean_on_unrelated_code() {
+        for src in [
+            "fn read(p: &Path) -> io::Result<Vec<u8>> { fs::read(p) }",
+            "fn f(w: &mut W) { w.write_fmt(args).unwrap(); }",
+            // `write_all` as a mention, not a call.
+            "fn f() { let write_all = 3; }",
+        ] {
+            assert!(check("x.rs", &lex(src)).is_empty(), "{src}");
+        }
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "mod tests { fn corrupt(p: &Path) { fs::write(p, b\"x\").unwrap(); } }";
+        assert!(check("x.rs", &lex(src)).is_empty());
+    }
+
+    #[test]
+    fn bodiless_trait_methods_are_skipped() {
+        let src = "trait Sink { fn save(&mut self, b: &[u8]) -> io::Result<()>; }";
+        assert!(check("x.rs", &lex(src)).is_empty());
+    }
+}

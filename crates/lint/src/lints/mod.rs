@@ -1,4 +1,4 @@
-//! The four workspace lints, over flat token streams from [`crate::lexer`].
+//! The five workspace lints, over flat token streams from [`crate::lexer`].
 //!
 //! Each lint is a pure function `(file, tokens) -> Vec<Diagnostic>`; the
 //! caller ([`crate::lint_source`]) filters the result through the file's
@@ -10,6 +10,7 @@
 pub mod alloc;
 pub mod channel;
 pub mod determinism;
+pub mod durability;
 pub mod tracker;
 
 use crate::diagnostics::Diagnostic;
@@ -22,6 +23,7 @@ pub const LINT_NAMES: &[&str] = &[
     "channel-protocol",
     "tracker-conformance",
     "hot-path-alloc",
+    "checkpoint-durability",
 ];
 
 /// Run one lint by name over a token stream.
@@ -31,6 +33,7 @@ pub fn run(lint: &str, file: &str, tokens: &[Token]) -> Vec<Diagnostic> {
         "channel-protocol" => channel::check(file, tokens),
         "tracker-conformance" => tracker::check(file, tokens),
         "hot-path-alloc" => alloc::check(file, tokens),
+        "checkpoint-durability" => durability::check(file, tokens),
         other => panic!("unknown lint `{other}`"),
     }
 }

@@ -11,6 +11,7 @@
 //! | `channel-protocol`    | `crates/shard/src/`                            |
 //! | `tracker-conformance` | `crates/core/src/tracker/`                     |
 //! | `hot-path-alloc`      | kernel modules under `crates/core/src/`        |
+//! | `checkpoint-durability` | `crates/core/src/checkpoint.rs`              |
 
 use crate::diagnostics::Diagnostic;
 use std::path::{Path, PathBuf};
@@ -45,6 +46,9 @@ pub fn applicable_lints(rel: &str) -> Vec<&'static str> {
             .any(|k| rel.ends_with(&format!("/{k}")))
     {
         lints.push("hot-path-alloc");
+    }
+    if rel == "crates/core/src/checkpoint.rs" {
+        lints.push("checkpoint-durability");
     }
     lints
 }
@@ -123,6 +127,10 @@ mod unit {
         assert_eq!(
             applicable_lints("crates/core/src/sparse_vec.rs"),
             vec!["determinism", "hot-path-alloc"]
+        );
+        assert_eq!(
+            applicable_lints("crates/core/src/checkpoint.rs"),
+            vec!["determinism", "checkpoint-durability"]
         );
         assert!(applicable_lints("crates/cli/src/lib.rs").is_empty());
         assert!(applicable_lints("crates/lint/src/lib.rs").is_empty());

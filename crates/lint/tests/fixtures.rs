@@ -87,6 +87,11 @@ fn hot_path_alloc_fixtures() {
     check_lint("hot-path-alloc");
 }
 
+#[test]
+fn checkpoint_durability_fixtures() {
+    check_lint("checkpoint-durability");
+}
+
 /// The firing fixtures double as a JSON-output regression test: rendering
 /// must produce valid-looking, line-anchored records.
 #[test]

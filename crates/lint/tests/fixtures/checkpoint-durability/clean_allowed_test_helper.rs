@@ -1,0 +1,18 @@
+// Reading is always fine, and a deliberately non-durable write can be
+// allowed with a justification the next reader sees.
+fn read_checkpoint(path: &Path) -> io::Result<Vec<u8>> {
+    fs::read(path)
+}
+
+fn scratch_note(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    // tin-lint: allow(checkpoint-durability): debug scratch file, never read back after a crash
+    fs::write(path, bytes)
+}
+
+mod tests {
+    // Test corruption helpers clobber files on purpose; test modules are
+    // exempt wholesale.
+    fn corrupt(path: &Path) {
+        fs::write(path, b"garbage").unwrap();
+    }
+}

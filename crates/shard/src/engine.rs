@@ -40,8 +40,7 @@
 //! of the *latest* per-shard footprint samples — a synchronized global
 //! estimate, sampled on the same spike-or-interval schedule as the
 //! sequential engine, not the (inflated) sum of each shard's individual
-//! peak. Checkpoints are not supported in sharded mode — use the sequential
-//! engine for snapshot/replay workflows. [`EngineReport::runtime_secs`] also
+//! peak. [`EngineReport::runtime_secs`] also
 //! means something different here: the sequential engine times only
 //! `tracker.process` calls, while this engine times the *main thread's*
 //! work — scheduling, dispatch, quiesce waits and query rounds — and
@@ -73,12 +72,29 @@
 //! `failure_injection` integration tests kill a live worker mid-stream
 //! (via [`ShardedEngine::inject_worker_panic`]) and assert the error
 //! surfaces promptly on every public entry point.
+//!
+//! ## Durable checkpoints
+//!
+//! [`ShardedEngine::checkpoint`] quiesces the engine — every shard finishes
+//! every wavefront and advances its epoch clock to the same global stream
+//! position — then collects each shard's owned per-vertex payloads
+//! ([`tin_core::ProvenanceTracker::encode_vertex_state`]) into **one**
+//! shard-count-independent [`Checkpoint`] file, byte-identical to what a
+//! sequential engine at the same stream position captures.
+//! [`ShardedEngine::resume_from`] repartitions such a file across a possibly
+//! *different* shard count: the main thread decodes every payload with a
+//! probe tracker, syncs all shards to the checkpoint's epoch *first* (so
+//! window resets fired by the sync cannot clobber restored state), then
+//! routes each vertex state to its new owner.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::path::PathBuf;
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use tin_core::checkpoint::{Checkpoint, CheckpointStore, StreamCursor};
+use tin_core::codec::ByteReader;
 use tin_core::engine::{newborn_quantity, validate_stream_step, EngineReport};
 use tin_core::error::{Result, TinError};
 use tin_core::ids::VertexId;
@@ -149,6 +165,17 @@ enum ToShard {
     /// Buffered quantities of every vertex this shard owns, in one message.
     QueryBufferedAll,
     QueryFootprint,
+    /// Checkpoint capture: encode the state of every vertex this shard owns
+    /// (the engine quiesces first, so every shard captures at the identical
+    /// global stream position).
+    CaptureStates,
+    /// Recovery: install one decoded vertex state on its (new) owner. Sent
+    /// strictly after the epoch [`ToShard::Sync`], so resets fired by the
+    /// sync cannot clobber the restored state.
+    Restore {
+        vertex: VertexId,
+        state: ShardVertexState,
+    },
     /// Broadcast by a dying worker's [`PanicSentinel`]: shard `shard` is
     /// gone. A worker blocked mid-wavefront on the dead peer's state wakes
     /// up and exits instead of waiting forever.
@@ -179,6 +206,8 @@ enum FromShard {
         shard: usize,
         breakdown: FootprintBreakdown,
     },
+    /// `(vertex raw id, checkpoint payload)` for every owned vertex.
+    StatesCaptured(Vec<(u32, Vec<u8>)>),
     Synced,
     /// Sent by a dying worker's [`PanicSentinel`]: the engine must poison
     /// itself and surface [`TinError::WorkerLost`].
@@ -253,6 +282,7 @@ enum BatchAbort {
 /// accounting and report surface, bit-identical provenance, `N`-way shard
 /// parallelism (see the module docs).
 pub struct ShardedEngine {
+    config: PolicyConfig,
     policy_key: String,
     num_vertices: usize,
     num_shards: usize,
@@ -282,6 +312,11 @@ pub struct ShardedEngine {
     /// Maximum, over time, of `latest_footprint.iter().sum()` — the
     /// synchronized global footprint peak reported by [`Self::report`].
     peak_footprint: usize,
+    /// Durable checkpoint store and interval, when periodic checkpoints are
+    /// enabled via [`Self::with_durable_checkpoints`].
+    durable: Option<(CheckpointStore, usize)>,
+    /// Durable checkpoints written so far (periodic and on-demand).
+    checkpoints_taken: usize,
     /// Set on the first worker failure; every subsequent operation returns
     /// this error instead of touching the (dead) channels.
     poisoned: Option<TinError>,
@@ -323,6 +358,7 @@ impl ShardedEngine {
         }
 
         Ok(ShardedEngine {
+            config: config.clone(),
             policy_key: config.key(),
             num_vertices,
             num_shards,
@@ -342,8 +378,140 @@ impl ShardedEngine {
             busy_secs: 0.0,
             latest_footprint: vec![0; num_shards],
             peak_footprint: 0,
+            durable: None,
+            checkpoints_taken: 0,
             poisoned: None,
         })
+    }
+
+    /// Write a durable [`Checkpoint`] into `store` every `every`
+    /// interactions. Each capture quiesces the engine (all shards reach the
+    /// same stream position), so pick an interval coarse enough for the
+    /// workload — the CLI default is 10 000.
+    ///
+    /// # Errors
+    /// Returns [`TinError::InvalidConfig`] if `every` is zero.
+    pub fn with_durable_checkpoints(
+        mut self,
+        store: CheckpointStore,
+        every: usize,
+    ) -> Result<Self> {
+        if every == 0 {
+            return Err(TinError::InvalidConfig(
+                "durable checkpoint interval must be positive".into(),
+            ));
+        }
+        self.durable = Some((store, every));
+        Ok(self)
+    }
+
+    /// Quiesce all shards at the current stream position and capture one
+    /// shard-count-independent [`Checkpoint`] of the full engine state.
+    ///
+    /// # Errors
+    /// [`TinError::WorkerLost`] if a shard worker died.
+    pub fn checkpoint(&mut self) -> Result<Checkpoint> {
+        self.quiesce()?;
+        let start = Instant::now();
+        for shard in 0..self.num_shards {
+            self.send_to(shard, ToShard::CaptureStates)?;
+        }
+        let mut states: Vec<(u32, Vec<u8>)> = Vec::with_capacity(self.num_vertices);
+        for _ in 0..self.num_shards {
+            match self.recv()? {
+                FromShard::StatesCaptured(entries) => states.extend(entries),
+                _ => unreachable!("quiesced shards answer queries in order"),
+            }
+        }
+        // Each shard reports its owned subset; merge into global vertex
+        // order so the file is independent of the shard count that wrote it.
+        states.sort_unstable_by_key(|(v, _)| *v);
+        debug_assert_eq!(states.len(), self.num_vertices);
+        self.busy_secs += start.elapsed().as_secs_f64();
+        Ok(Checkpoint {
+            policy: self.config.clone(),
+            num_vertices: self.num_vertices,
+            cursor: StreamCursor {
+                processed: self.processed,
+                last_time: self.last_time,
+                total_quantity: self.total_quantity,
+                newborn_quantity: self.newborn_quantity,
+                peak_footprint_bytes: self.peak_footprint,
+            },
+            states,
+        })
+    }
+
+    /// Capture the current state and save it into `store` (atomic write,
+    /// retry, retention). Returns the checkpoint file's path.
+    ///
+    /// # Errors
+    /// Propagates capture errors and the store's [`TinError::Io`] failures.
+    pub fn checkpoint_to(&mut self, store: &mut CheckpointStore) -> Result<PathBuf> {
+        let checkpoint = self.checkpoint()?;
+        let path = store.save(&checkpoint)?;
+        self.checkpoints_taken += 1;
+        Ok(path)
+    }
+
+    /// Rebuild a sharded engine from a durable [`Checkpoint`], repartitioned
+    /// across `num_shards` workers — the checkpoint may have been captured
+    /// by a sequential engine or by a sharded engine with a *different*
+    /// shard count. Provenance state, stream position and flow counters all
+    /// resume bit-identically; the caller then replays the interaction
+    /// stream starting at interaction `checkpoint.cursor.processed`.
+    ///
+    /// # Errors
+    /// Propagates factory errors for the embedded policy,
+    /// [`TinError::CorruptCheckpoint`] for undecodable vertex payloads, and
+    /// [`TinError::WorkerLost`] if a worker dies during recovery.
+    pub fn resume_from(checkpoint: &Checkpoint, num_shards: usize) -> Result<Self> {
+        let mut engine = Self::new(&checkpoint.policy, checkpoint.num_vertices, num_shards)?;
+        // A probe tracker of the run's configuration decodes the type-erased
+        // payloads the shard protocol moves around.
+        let probe = build_tracker(&checkpoint.policy, checkpoint.num_vertices)?;
+        let processed = checkpoint.cursor.processed;
+        let now = checkpoint.cursor.last_time.unwrap_or(0.0);
+        // Epoch sync strictly before any install (per-shard channels are
+        // FIFO): window resets fired on the empty replicas are harmless, and
+        // every epoch clock ends up at the checkpoint's position.
+        engine.sync_barrier(processed, now)?;
+        for (v, bytes) in &checkpoint.states {
+            let mut r = ByteReader::new(bytes, "states");
+            let state = probe.decode_vertex_state(&mut r)?;
+            r.expect_end()?;
+            let vertex = VertexId::new(*v);
+            let shard = shard_of(vertex, engine.num_shards);
+            engine.send_to(shard, ToShard::Restore { vertex, state })?;
+        }
+        // Barrier: a second sync round-trip confirms every install was
+        // consumed (or surfaces a worker death) before the engine is handed
+        // back.
+        engine.sync_barrier(processed, now)?;
+        engine.processed = processed;
+        engine.open_start = processed;
+        engine.next_fold = processed;
+        engine.synced_through = processed;
+        engine.last_time = checkpoint.cursor.last_time;
+        engine.total_quantity = checkpoint.cursor.total_quantity;
+        engine.newborn_quantity = checkpoint.cursor.newborn_quantity;
+        engine.peak_footprint = checkpoint.cursor.peak_footprint_bytes;
+        Ok(engine)
+    }
+
+    /// One sync round-trip to every shard: advance epoch clocks to
+    /// (`processed`, `now`) and wait for all acknowledgements.
+    fn sync_barrier(&mut self, processed: usize, now: f64) -> Result<()> {
+        for shard in 0..self.num_shards {
+            self.send_to(shard, ToShard::Sync { processed, now })?;
+        }
+        for _ in 0..self.num_shards {
+            match self.recv()? {
+                FromShard::Synced => {}
+                _ => unreachable!("only sync acknowledgements are outstanding"),
+            }
+        }
+        Ok(())
     }
 
     /// The number of worker shards.
@@ -398,6 +566,15 @@ impl ShardedEngine {
         self.last_time = Some(r.time.0);
         self.processed += 1;
         self.busy_secs += start.elapsed().as_secs_f64();
+        if let Some((_, every)) = &self.durable {
+            let every = *every;
+            if self.processed.is_multiple_of(every) {
+                let checkpoint = self.checkpoint()?;
+                let (store, _) = self.durable.as_mut().expect("durable checked above");
+                store.save(&checkpoint)?;
+                self.checkpoints_taken += 1;
+            }
+        }
         Ok(())
     }
 
@@ -520,7 +697,7 @@ impl ShardedEngine {
             relayed_quantity: self.total_quantity - self.newborn_quantity,
             peak_footprint_bytes: self.peak_footprint,
             footprint,
-            checkpoints_taken: 0,
+            checkpoints_taken: self.checkpoints_taken,
         })
     }
 
@@ -847,6 +1024,22 @@ fn shard_worker(
                     .map(|v| (v.raw(), tracker.buffered(v)))
                     .collect();
                 let _ = main_tx.send(FromShard::BufferedAll(entries));
+            }
+            ToShard::CaptureStates => {
+                let entries: Vec<(u32, Vec<u8>)> = (0..num_vertices)
+                    .map(VertexId::from)
+                    .filter(|v| shard_of(*v, peers.len()) == shard_id)
+                    .map(|v| {
+                        let mut bytes = Vec::new();
+                        let supported = tracker.encode_vertex_state(v, &mut bytes);
+                        assert!(supported, "factory trackers support durable checkpoints");
+                        (v.raw(), bytes)
+                    })
+                    .collect();
+                let _ = main_tx.send(FromShard::StatesCaptured(entries));
+            }
+            ToShard::Restore { vertex, state } => {
+                tracker.put_vertex_state(vertex, state);
             }
             ToShard::QueryFootprint => {
                 // A full sample: re-baseline the spike monitor like the

@@ -346,6 +346,169 @@ fn killed_shard_worker_fails_fast_instead_of_hanging() {
     watchdog.join().unwrap();
 }
 
+// ---------------------------------------------------------------------------
+// Checkpoint I/O fault injection
+// ---------------------------------------------------------------------------
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tin::core::checkpoint::CheckpointStore;
+use tin::core::engine::ProvenanceEngine;
+
+fn fault_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tin_fault_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Crash-at-interaction-K harness: drive a durably checkpointed engine,
+/// abandon it after `k` interactions (the simulated crash loses all
+/// in-memory state), then recover from the newest on-disk checkpoint and
+/// replay the tail of the stream.
+fn crash_at(
+    stream: &[Interaction],
+    config: &PolicyConfig,
+    num_vertices: usize,
+    k: usize,
+    every: usize,
+    dir: &std::path::Path,
+) -> ProvenanceEngine {
+    let store = CheckpointStore::open(dir).unwrap();
+    let mut engine = ProvenanceEngine::new(config, num_vertices)
+        .unwrap()
+        .with_durable_checkpoints(store, every)
+        .unwrap();
+    for r in &stream[..k] {
+        engine.process(r).unwrap();
+    }
+    drop(engine); // crash: everything in memory is gone
+
+    let store = CheckpointStore::open(dir).unwrap();
+    let (_, checkpoint) = store
+        .load_latest_valid()
+        .unwrap()
+        .expect("at least one checkpoint was persisted before the crash");
+    let mut resumed = ProvenanceEngine::resume_from(&checkpoint).unwrap();
+    for r in &stream[checkpoint.cursor.processed..] {
+        resumed.process(r).unwrap();
+    }
+    resumed
+}
+
+#[test]
+fn crash_at_every_interaction_k_recovers_bit_identically() {
+    let stream = paper_running_example();
+    let config = PolicyConfig::Plain(SelectionPolicy::ProportionalSparse);
+    let mut reference = ProvenanceEngine::new(&config, 3).unwrap();
+    reference.process_all(&stream).unwrap();
+
+    // Crash after every K that has at least one checkpoint on disk
+    // (checkpoints are taken every 2 interactions).
+    for k in 2..=stream.len() {
+        let dir = fault_dir(&format!("crash_k{k}"));
+        let resumed = crash_at(&stream, &config, 3, k, 2, &dir);
+        for i in 0..3u32 {
+            assert_eq!(
+                resumed.buffered(v(i)),
+                reference.buffered(v(i)),
+                "buffered({i}) after crash at k={k}"
+            );
+            assert_eq!(
+                resumed.origins(v(i)),
+                reference.origins(v(i)),
+                "origins({i}) after crash at k={k}"
+            );
+        }
+        let (resumed_cursor, reference_cursor) = (resumed.cursor(), reference.cursor());
+        assert_eq!(resumed_cursor.processed, reference_cursor.processed);
+        assert_eq!(
+            resumed_cursor.total_quantity,
+            reference_cursor.total_quantity
+        );
+        assert_eq!(
+            resumed_cursor.newborn_quantity,
+            reference_cursor.newborn_quantity
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn transient_checkpoint_io_faults_are_absorbed_by_retry() {
+    let dir = fault_dir("transient");
+    let mut store = CheckpointStore::open(&dir)
+        .unwrap()
+        .with_retry(3, Duration::from_millis(1));
+    let attempts = Arc::new(AtomicUsize::new(0));
+    let seen = Arc::clone(&attempts);
+    store.set_fault_hook(Box::new(move || {
+        // The first two attempts of every save hit a transient I/O error;
+        // the third succeeds, so retry-with-backoff must absorb them all.
+        if seen.fetch_add(1, Ordering::SeqCst) % 3 < 2 {
+            Err(std::io::Error::new(
+                std::io::ErrorKind::Interrupted,
+                "injected transient fault",
+            ))
+        } else {
+            Ok(())
+        }
+    }));
+
+    let stream = paper_running_example();
+    let config = PolicyConfig::Plain(SelectionPolicy::ProportionalDense);
+    let mut engine = ProvenanceEngine::new(&config, 3)
+        .unwrap()
+        .with_durable_checkpoints(store, 2)
+        .unwrap();
+    // No error escapes to the caller despite every save failing twice.
+    engine.process_all(&stream).unwrap();
+    assert_eq!(engine.report().checkpoints_taken, 3);
+    assert_eq!(attempts.load(Ordering::SeqCst), 9, "3 attempts per save");
+
+    // The surviving files are valid: recovery finds the newest one.
+    let store = CheckpointStore::open(&dir).unwrap();
+    let (_, checkpoint) = store.load_latest_valid().unwrap().unwrap();
+    assert_eq!(checkpoint.cursor.processed, stream.len());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn exhausted_checkpoint_retries_surface_io_and_leave_no_partial_file() {
+    let dir = fault_dir("persistent");
+    let mut store = CheckpointStore::open(&dir)
+        .unwrap()
+        .with_retry(2, Duration::from_millis(1));
+    store.set_fault_hook(Box::new(|| {
+        Err(std::io::Error::other("injected persistent fault"))
+    }));
+
+    let stream = paper_running_example();
+    let config = PolicyConfig::Plain(SelectionPolicy::ProportionalSparse);
+    let mut engine = ProvenanceEngine::new(&config, 3)
+        .unwrap()
+        .with_durable_checkpoints(store, 2)
+        .unwrap();
+    engine.process(&stream[0]).unwrap();
+    let err = engine.process(&stream[1]).unwrap_err();
+    assert!(matches!(err, TinError::Io(_)), "{err:?}");
+
+    // The failed save left no file — partial checkpoints are never visible
+    // under the final name, even when every retry is exhausted.
+    let store = CheckpointStore::open(&dir).unwrap();
+    assert!(store.list().unwrap().is_empty());
+
+    // The interaction itself was applied before the checkpoint attempt, so
+    // the in-memory state is still consistent and processing can continue.
+    assert_eq!(engine.cursor().processed, 2);
+    let mut reference = ProvenanceEngine::new(&config, 3).unwrap();
+    reference.process_all(&stream[..2]).unwrap();
+    for i in 0..3u32 {
+        assert_eq!(engine.buffered(v(i)), reference.buffered(v(i)));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// A worker killed before *any* interaction is processed must poison the
 /// engine on the very first barrier, and surviving shards must exit cleanly.
 #[test]
