@@ -2,12 +2,13 @@
 //!
 //! Runs every feasible policy configuration over fixed-seed synthetic
 //! workloads (Bitcoin- and taxi-shaped, the two stream shapes the paper's
-//! evaluation leans on) and writes `BENCH_PR5.json`: interactions/sec, peak
-//! provenance footprint and allocator peak per policy, plus a
-//! sequential-vs-sharded scaling section for the `tin-shard` wavefront
-//! engine. The JSON schema is documented in the repository README
-//! ("Benchmark baseline"); numbers from this emitter are the perf
-//! trajectory that later PRs are measured against.
+//! evaluation leans on) and writes `BENCH_PR8.json`: interactions/sec,
+//! per-interaction latency quantiles (p50/p90/p99/max from the `tin-obs`
+//! `tracker_latency_ns` histogram), peak provenance footprint and allocator
+//! peak per policy, plus a sequential-vs-sharded scaling section for the
+//! `tin-shard` wavefront engine. The JSON schema is documented in the
+//! repository README ("Benchmark baseline"); numbers from this emitter are
+//! the perf trajectory that later PRs are measured against.
 //!
 //! ## Measurement methodology (median of K interleaved repetitions)
 //!
@@ -31,7 +32,7 @@
 //! Scale is controlled by `TIN_SCALE` (use `TIN_SCALE=tiny` as CI smoke
 //! mode), the seed by `TIN_SEED`, timing repetitions by `TIN_BENCH_REPS`
 //! (default 5), and the output path by `--out PATH` (default
-//! `BENCH_PR5.json`).
+//! `BENCH_PR8.json`).
 
 use std::time::Instant;
 
@@ -108,9 +109,21 @@ impl TimingStats {
     }
 }
 
+/// Per-interaction tracker latency quantiles from one instrumented
+/// sequential-engine pass (the `tracker_latency_ns` histogram of `tin-obs`,
+/// log-bucket resolution).
+#[derive(Clone, Copy, Debug, Default)]
+struct LatencyQuantiles {
+    p50_ns: u64,
+    p90_ns: u64,
+    p99_ns: u64,
+    max_ns: u64,
+}
+
 struct PolicyRow {
     key: String,
     timing: TimingStats,
+    latency: LatencyQuantiles,
     peak_footprint_bytes: usize,
     final_footprint_bytes: usize,
     peak_alloc_bytes: usize,
@@ -184,6 +197,30 @@ fn instrument_policy(config: &PolicyConfig, w: &Workload) -> (usize, usize, usiz
     (peak_footprint, final_footprint, mem.peak_delta_bytes)
 }
 
+/// One instrumented sequential-engine pass: per-interaction latency
+/// quantiles from the `tracker_latency_ns` histogram (not timed — histogram
+/// observation adds a clock read per interaction, so this pass is kept
+/// separate from the throughput measurements above).
+fn measure_latency(config: &PolicyConfig, w: &Workload) -> LatencyQuantiles {
+    let mut engine = tin_core::engine::ProvenanceEngine::new(config, w.num_vertices)
+        .expect("benchmark configs are valid")
+        .with_observability(tin_obs::Obs::new());
+    engine.process_all(&w.interactions).expect("valid stream");
+    let obs = engine.take_obs().expect("observability was attached");
+    let snap = obs.snapshot();
+    let hist = snap
+        .histograms
+        .iter()
+        .find(|h| h.name == "tracker_latency_ns")
+        .expect("engine registers tracker_latency_ns");
+    LatencyQuantiles {
+        p50_ns: hist.p50,
+        p90_ns: hist.p90,
+        p99_ns: hist.p99,
+        max_ns: hist.max,
+    }
+}
+
 /// Measure every policy over one workload with K interleaved repetitions
 /// (see the module docs), reporting median + min/max per policy.
 fn run_policy_table(w: &Workload, reps: usize) -> Vec<PolicyRow> {
@@ -202,6 +239,7 @@ fn run_policy_table(w: &Workload, reps: usize) -> Vec<PolicyRow> {
             PolicyRow {
                 key: config.key(),
                 timing: TimingStats::from_samples(times),
+                latency: measure_latency(config, w),
                 peak_footprint_bytes: peak_footprint,
                 final_footprint_bytes: final_footprint,
                 peak_alloc_bytes: peak_alloc,
@@ -501,7 +539,7 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(5)
         .max(1);
-    let mut out_path = "BENCH_PR5.json".to_string();
+    let mut out_path = "BENCH_PR8.json".to_string();
     let mut sweep_threshold = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -550,11 +588,12 @@ fn main() {
         for row in &rows {
             let (median, lo, hi) = row.timing.per_sec(w.interactions.len());
             println!(
-                "    {:<18} {:>12.0} it/s  [{:>12.0} .. {:>12.0}]  peak {:>12}",
+                "    {:<18} {:>12.0} it/s  [{:>12.0} .. {:>12.0}]  p99 {:>8} ns  peak {:>12}",
                 row.key,
                 median,
                 lo,
                 hi,
+                row.latency.p99_ns,
                 tin_memstats::format_bytes(row.peak_footprint_bytes),
             );
             if row.key == "prop_sparse" {
@@ -571,6 +610,8 @@ fn main() {
                         "\"runtime_secs_min\": {}, \"runtime_secs_max\": {}, ",
                         "\"interactions_per_sec\": {}, ",
                         "\"interactions_per_sec_min\": {}, \"interactions_per_sec_max\": {}, ",
+                        "\"latency_p50_ns\": {}, \"latency_p90_ns\": {}, ",
+                        "\"latency_p99_ns\": {}, \"latency_max_ns\": {}, ",
                         "\"peak_footprint_bytes\": {}, ",
                         "\"final_footprint_bytes\": {}, \"peak_alloc_bytes\": {}, \"reps\": {}}}"
                     ),
@@ -581,6 +622,10 @@ fn main() {
                     fmt_f64(median),
                     fmt_f64(lo),
                     fmt_f64(hi),
+                    r.latency.p50_ns,
+                    r.latency.p90_ns,
+                    r.latency.p99_ns,
+                    r.latency.max_ns,
                     r.peak_footprint_bytes,
                     r.final_footprint_bytes,
                     r.peak_alloc_bytes,
@@ -763,7 +808,7 @@ fn main() {
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema_version\": 2,\n",
+            "  \"schema_version\": 3,\n",
             "  \"generated_by\": \"bench_baseline\",\n",
             "  \"scale\": \"{}\",\n",
             "  \"seed\": {},\n",

@@ -73,6 +73,17 @@ pub enum Command {
         /// Fault injection: exit with an error after this many interactions,
         /// leaving the durable checkpoints behind for a later `--resume`.
         crash_at: Option<usize>,
+        /// Write a metrics snapshot (counters/gauges/histograms JSON) here
+        /// after the run.
+        metrics_out: Option<String>,
+        /// Write a Chrome trace-event JSON (Perfetto-loadable) here after
+        /// the run.
+        trace_out: Option<String>,
+        /// Print a progress line to stderr every this many interactions
+        /// (stderr, so stdout stays byte-identical across shard counts).
+        progress_every: Option<usize>,
+        /// Override the engines' footprint sampling interval.
+        footprint_sample_every: Option<usize>,
     },
     /// Run a selection policy over the trace and summarise the provenance of
     /// the busiest vertices.
@@ -153,7 +164,8 @@ USAGE:
   tin-cli stats    <trace>
   tin-cli run      <trace> [--policy KEY] [--shards N] [--top N]
                    [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
-                   [--crash-at K]
+                   [--crash-at K] [--metrics-out FILE.json] [--trace-out FILE.json]
+                   [--progress-every N] [--footprint-sample-every N]
   tin-cli track    <trace> [--policy KEY] [--top N]
   tin-cli origins  <trace> --vertex NAME [--policy KEY] [--at TIME]
   tin-cli snapshot <trace> [--policy KEY] --out FILE.tsv
@@ -167,7 +179,10 @@ POLICY KEYS: noprov, lrb, mrb, fifo, lifo, prop_dense, prop_sparse
 TRACE FORMAT: one `src dst time qty` record per line; names may be strings.
 CHECKPOINTS: --checkpoint-dir persists recovery checkpoints while running;
   --resume restarts from the newest valid one; --crash-at K injects a crash
-  after K interactions (non-zero exit) for recovery drills.";
+  after K interactions (non-zero exit) for recovery drills.
+OBSERVABILITY: --metrics-out writes a metrics JSON snapshot after the run;
+  --trace-out writes a Chrome trace-event JSON (open in ui.perfetto.dev);
+  --progress-every N prints progress to stderr every N interactions.";
 
 /// Parse a policy key (`fifo`, `prop_sparse`, …) into a [`SelectionPolicy`].
 pub fn parse_policy(key: &str) -> Result<SelectionPolicy, String> {
@@ -282,6 +297,22 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 .map(|v| {
                     v.parse::<usize>()
                         .map_err(|_| format!("invalid --crash-at {v:?}"))
+                })
+                .transpose()?,
+            metrics_out: take_flag(&mut flags, "metrics-out"),
+            trace_out: take_flag(&mut flags, "trace-out"),
+            progress_every: take_flag(&mut flags, "progress-every")
+                .map(|v| {
+                    v.parse::<usize>().ok().filter(|n| *n >= 1).ok_or_else(|| {
+                        format!("invalid --progress-every {v:?} (expected an integer >= 1)")
+                    })
+                })
+                .transpose()?,
+            footprint_sample_every: take_flag(&mut flags, "footprint-sample-every")
+                .map(|v| {
+                    v.parse::<usize>().ok().filter(|n| *n >= 1).ok_or_else(|| {
+                        format!("invalid --footprint-sample-every {v:?} (expected an integer >= 1)")
+                    })
                 })
                 .transpose()?,
         },
@@ -453,6 +484,10 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             checkpoint_every,
             resume,
             crash_at,
+            metrics_out,
+            trace_out,
+            progress_every,
+            footprint_sample_every,
         } => {
             let named = load(path)?;
             let n = named.num_vertices();
@@ -527,17 +562,40 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                 ranked.truncate(top);
                 ranked
             }
-            let (report, rows) = if *shards <= 1 {
+            // Observability: attach a sink only when the user asked for an
+            // export, so the default run pays nothing beyond one branch.
+            let want_obs = metrics_out.is_some() || trace_out.is_some();
+            let total_interactions = named.interactions.len();
+            // Progress goes to stderr: stdout must stay byte-identical
+            // across shard counts (the CI smoke step diffs it).
+            let progress = |done: usize| {
+                if let Some(every) = progress_every {
+                    if done.is_multiple_of(*every) || done == total_interactions {
+                        eprintln!("run: {done}/{total_interactions} interactions");
+                    }
+                }
+            };
+            let run_started = std::time::Instant::now();
+            let (report, rows, obs) = if *shards <= 1 {
                 let mut engine = match &resumed {
                     Some(checkpoint) => {
                         tin_core::engine::ProvenanceEngine::resume_from(checkpoint)?
                     }
                     None => tin_core::engine::ProvenanceEngine::new(&config, n)?,
                 };
+                if let Some(every) = footprint_sample_every {
+                    engine = engine.with_footprint_sample_interval(*every)?;
+                }
+                if want_obs {
+                    engine = engine.with_observability(tin_obs::Obs::new());
+                }
                 if let Some(store) = durable_store(checkpoint_dir)? {
                     engine = engine.with_durable_checkpoints(store, *checkpoint_every)?;
                 }
-                engine.process_all(stream)?;
+                for (i, r) in stream.iter().enumerate() {
+                    engine.process(r)?;
+                    progress(skip + i + 1);
+                }
                 if let Some(k) = crash_at {
                     return Err(CliError::Usage(format!(
                         "run: injected crash at interaction {k} (durable checkpoints retained)"
@@ -550,16 +608,26 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                     .into_iter()
                     .map(|(i, q)| (i, q, engine.origins(tin_core::ids::VertexId::from(i))))
                     .collect();
-                (engine.report(), rows)
+                let obs = engine.take_obs();
+                (engine.report(), rows, obs)
             } else {
                 let mut engine = match &resumed {
                     Some(checkpoint) => tin_shard::ShardedEngine::resume_from(checkpoint, *shards)?,
                     None => tin_shard::ShardedEngine::new(&config, n, *shards)?,
                 };
+                if let Some(every) = footprint_sample_every {
+                    engine = engine.with_footprint_sample_interval(*every)?;
+                }
+                if want_obs {
+                    engine = engine.with_observability(tin_obs::Obs::new())?;
+                }
                 if let Some(store) = durable_store(checkpoint_dir)? {
                     engine = engine.with_durable_checkpoints(store, *checkpoint_every)?;
                 }
-                engine.process_all(stream)?;
+                for (i, r) in stream.iter().enumerate() {
+                    engine.process(r)?;
+                    progress(skip + i + 1);
+                }
                 if let Some(k) = crash_at {
                     return Err(CliError::Usage(format!(
                         "run: injected crash at interaction {k} (durable checkpoints retained)"
@@ -571,8 +639,20 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                 for (i, q) in ranked {
                     rows.push((i, q, engine.origins(tin_core::ids::VertexId::from(i))?));
                 }
-                (engine.report()?, rows)
+                let obs = engine.take_obs()?;
+                (engine.report()?, rows, obs)
             };
+            if let Some(mut obs) = obs {
+                // One whole-run span on the coordinator track, so even a
+                // sequential trace (no per-batch spans) has a timeline.
+                obs.trace.record("run", 0, run_started);
+                if let Some(path) = metrics_out {
+                    std::fs::write(path, obs.snapshot().to_json()).map_err(TinError::from)?;
+                }
+                if let Some(path) = trace_out {
+                    std::fs::write(path, obs.trace.to_chrome_trace()).map_err(TinError::from)?;
+                }
+            }
             writeln!(out, "policy          : {}", policy.label()).unwrap();
             writeln!(out, "interactions    : {}", report.interactions).unwrap();
             writeln!(out, "total quantity  : {:.4}", report.total_quantity).unwrap();
@@ -875,7 +955,11 @@ mod tests {
                 checkpoint_dir: None,
                 checkpoint_every: 1000,
                 resume: false,
-                crash_at: None
+                crash_at: None,
+                metrics_out: None,
+                trace_out: None,
+                progress_every: None,
+                footprint_sample_every: None
             }
         );
         assert_eq!(
@@ -888,7 +972,11 @@ mod tests {
                 checkpoint_dir: None,
                 checkpoint_every: 1000,
                 resume: false,
-                crash_at: None
+                crash_at: None,
+                metrics_out: None,
+                trace_out: None,
+                progress_every: None,
+                footprint_sample_every: None
             }
         );
         assert_eq!(
@@ -912,7 +1000,40 @@ mod tests {
                 checkpoint_dir: Some("ckpts".into()),
                 checkpoint_every: 50,
                 resume: true,
-                crash_at: Some(7)
+                crash_at: Some(7),
+                metrics_out: None,
+                trace_out: None,
+                progress_every: None,
+                footprint_sample_every: None
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&[
+                "run",
+                "a.csv",
+                "--metrics-out",
+                "m.json",
+                "--trace-out",
+                "t.json",
+                "--progress-every",
+                "500",
+                "--footprint-sample-every",
+                "256"
+            ]))
+            .unwrap(),
+            Command::Run {
+                path: "a.csv".into(),
+                policy: SelectionPolicy::ProportionalSparse,
+                shards: 1,
+                top: 10,
+                checkpoint_dir: None,
+                checkpoint_every: 1000,
+                resume: false,
+                crash_at: None,
+                metrics_out: Some("m.json".into()),
+                trace_out: Some("t.json".into()),
+                progress_every: Some(500),
+                footprint_sample_every: Some(256)
             }
         );
         assert_eq!(
@@ -989,6 +1110,11 @@ mod tests {
         assert!(parse_args(&args(&["run", "a.csv", "--checkpoint-every", "x"])).is_err());
         assert!(parse_args(&args(&["run", "a.csv", "--crash-at", "soon"])).is_err());
         assert!(parse_args(&args(&["run", "a.csv", "--checkpoint-dir"])).is_err());
+        assert!(parse_args(&args(&["run", "a.csv", "--progress-every", "0"])).is_err());
+        assert!(parse_args(&args(&["run", "a.csv", "--progress-every", "x"])).is_err());
+        assert!(parse_args(&args(&["run", "a.csv", "--footprint-sample-every", "0"])).is_err());
+        assert!(parse_args(&args(&["run", "a.csv", "--metrics-out"])).is_err());
+        assert!(parse_args(&args(&["run", "a.csv", "--trace-out"])).is_err());
         assert!(parse_args(&args(&["influence", "a.csv", "--top", "lots"])).is_err());
         assert!(parse_args(&args(&["similar", "a.csv", "--threshold", "high"])).is_err());
         assert!(parse_args(&args(&["track", "a.csv", "--policy", "bogus"])).is_err());
@@ -1059,6 +1185,10 @@ mod tests {
                 checkpoint_every: 1000,
                 resume: false,
                 crash_at: None,
+                metrics_out: None,
+                trace_out: None,
+                progress_every: None,
+                footprint_sample_every: None,
             })
             .unwrap();
             assert!(out.contains("interactions    : 4"));
@@ -1067,6 +1197,55 @@ mod tests {
         }
         assert_eq!(outputs[0], outputs[1]);
         assert_eq!(outputs[0], outputs[2]);
+        std::fs::remove_file(path).ok();
+    }
+
+    /// `--metrics-out` / `--trace-out` write well-formed exports for both
+    /// engines, and instrumentation leaves the stdout report untouched.
+    #[test]
+    fn run_exports_metrics_and_trace_files() {
+        let path = write_trace();
+        let path_str = path.to_string_lossy().into_owned();
+        let cmd = |shards: usize, metrics: Option<String>, trace: Option<String>| Command::Run {
+            path: path_str.clone(),
+            policy: SelectionPolicy::ProportionalSparse,
+            shards,
+            top: 10,
+            checkpoint_dir: None,
+            checkpoint_every: 1000,
+            resume: false,
+            crash_at: None,
+            progress_every: metrics.as_ref().map(|_| 2),
+            footprint_sample_every: metrics.as_ref().map(|_| 1),
+            metrics_out: metrics,
+            trace_out: trace,
+        };
+        for shards in [1usize, 2] {
+            let metrics_path = temp_path(&format!("metrics_{shards}.json"));
+            let trace_path = temp_path(&format!("trace_{shards}.json"));
+            let baseline = run(&cmd(shards, None, None)).unwrap();
+            let instrumented = run(&cmd(
+                shards,
+                Some(metrics_path.to_string_lossy().into_owned()),
+                Some(trace_path.to_string_lossy().into_owned()),
+            ))
+            .unwrap();
+            assert_eq!(instrumented, baseline, "instrumentation changed stdout");
+            let metrics = std::fs::read_to_string(&metrics_path).unwrap();
+            assert!(metrics.contains("\"schema\": 1"));
+            assert!(metrics.contains("\"counters\""));
+            assert!(metrics.contains("\"histograms\""));
+            if shards == 1 {
+                assert!(metrics.contains("\"tracker_latency_ns\""));
+            } else {
+                assert!(metrics.contains("\"shard_local_interactions_total\""));
+            }
+            let trace = std::fs::read_to_string(&trace_path).unwrap();
+            assert!(trace.contains("\"traceEvents\""));
+            assert!(trace.contains("\"dropped_events\""));
+            std::fs::remove_file(&metrics_path).ok();
+            std::fs::remove_file(&trace_path).ok();
+        }
         std::fs::remove_file(path).ok();
     }
 
@@ -1093,6 +1272,10 @@ mod tests {
                 checkpoint_every: 1,
                 resume,
                 crash_at,
+                metrics_out: None,
+                trace_out: None,
+                progress_every: None,
+                footprint_sample_every: None,
             }
         };
         let prop = SelectionPolicy::ProportionalSparse;

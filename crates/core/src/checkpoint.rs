@@ -47,7 +47,7 @@
 use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::time::{Duration, SystemTime};
+use std::time::{Duration, Instant, SystemTime};
 
 use crate::codec::{self, ByteReader};
 use crate::error::{Result, TinError};
@@ -289,17 +289,7 @@ impl Checkpoint {
     /// # Errors
     /// Propagates the underlying I/O failures as [`TinError::Io`].
     pub fn write_atomic(&self, path: &Path) -> Result<()> {
-        let bytes = self.encode();
-        let tmp = tmp_sibling(path);
-        let mut file = fs::File::create(&tmp)?;
-        file.write_all(&bytes)?;
-        file.sync_all()?;
-        drop(file);
-        fs::rename(&tmp, path)?;
-        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
-            fs::File::open(dir)?.sync_all()?;
-        }
-        Ok(())
+        write_atomic_bytes(&self.encode(), path)
     }
 
     /// Read and validate a checkpoint file.
@@ -312,6 +302,23 @@ impl Checkpoint {
         let bytes = fs::read(path)?;
         Self::decode(&bytes, &path.display().to_string())
     }
+}
+
+/// Write already-encoded checkpoint bytes to `path` with the atomic
+/// durability protocol (temp file → `write_all` → fsync → rename → directory
+/// fsync). Factored out of [`Checkpoint::write_atomic`] so the store's save
+/// loop encodes once and retries only the I/O.
+fn write_atomic_bytes(bytes: &[u8], path: &Path) -> Result<()> {
+    let tmp = tmp_sibling(path);
+    let mut file = fs::File::create(&tmp)?;
+    file.write_all(bytes)?;
+    file.sync_all()?;
+    drop(file);
+    fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        fs::File::open(dir)?.sync_all()?;
+    }
+    Ok(())
 }
 
 /// Append one `len | crc32 | body` section.
@@ -399,6 +406,22 @@ impl Default for RetentionPolicy {
     }
 }
 
+/// Timing and size figures for the most recent successful
+/// [`CheckpointStore::save`] — the raw material for the engines' checkpoint
+/// metrics (encode vs. fsync stalls vs. retry churn).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SaveStats {
+    /// Seconds spent encoding the checkpoint into its byte form.
+    pub encode_secs: f64,
+    /// Seconds spent in the atomic write protocol (temp file, `write_all`,
+    /// fsync, rename, directory fsync), summed over every attempt.
+    pub write_secs: f64,
+    /// Failed attempts before the write succeeded (0 for a clean save).
+    pub retries: usize,
+    /// Size of the encoded checkpoint in bytes.
+    pub encoded_bytes: usize,
+}
+
 /// A directory of retained checkpoint files with atomic saves, bounded
 /// retry on transient I/O errors, retention pruning, and corrupt-file
 /// fallback on load.
@@ -413,6 +436,7 @@ pub struct CheckpointStore {
     #[allow(clippy::type_complexity)]
     fault_hook: Option<Box<dyn FnMut() -> std::io::Result<()> + Send>>,
     saves: usize,
+    last_save_stats: Option<SaveStats>,
 }
 
 impl std::fmt::Debug for CheckpointStore {
@@ -441,6 +465,7 @@ impl CheckpointStore {
             retry_backoff: Duration::from_millis(10),
             fault_hook: None,
             saves: 0,
+            last_save_stats: None,
         })
     }
 
@@ -475,6 +500,13 @@ impl CheckpointStore {
         self.saves
     }
 
+    /// Encode/write timings of the most recent successful [`Self::save`]
+    /// (`None` before the first). Engines poll this after a periodic
+    /// checkpoint to feed their observability histograms.
+    pub fn last_save_stats(&self) -> Option<SaveStats> {
+        self.last_save_stats
+    }
+
     /// The on-disk path a checkpoint at stream position `processed` gets.
     pub fn path_for(&self, processed: usize) -> PathBuf {
         self.dir
@@ -489,21 +521,33 @@ impl CheckpointStore {
     /// Returns the last attempt's [`TinError::Io`] if every retry failed.
     pub fn save(&mut self, checkpoint: &Checkpoint) -> Result<PathBuf> {
         let path = self.path_for(checkpoint.cursor.processed);
+        let encode_start = Instant::now();
+        let bytes = checkpoint.encode();
+        let encode_secs = encode_start.elapsed().as_secs_f64();
         let mut delay = self.retry_backoff;
         let mut last_err = None;
+        let mut write_secs = 0.0;
         for attempt in 0..self.retry_attempts {
             if attempt > 0 {
                 std::thread::sleep(delay);
                 delay = delay.saturating_mul(2);
             }
+            let write_start = Instant::now();
             let attempt_result = match self.fault_hook.as_mut() {
                 Some(hook) => hook().map_err(TinError::from),
                 None => Ok(()),
             }
-            .and_then(|()| checkpoint.write_atomic(&path));
+            .and_then(|()| write_atomic_bytes(&bytes, &path));
+            write_secs += write_start.elapsed().as_secs_f64();
             match attempt_result {
                 Ok(()) => {
                     self.saves += 1;
+                    self.last_save_stats = Some(SaveStats {
+                        encode_secs,
+                        write_secs,
+                        retries: attempt,
+                        encoded_bytes: bytes.len(),
+                    });
                     self.enforce_retention()?;
                     return Ok(path);
                 }

@@ -17,9 +17,11 @@
 //! stream — the shape of every experiment in Section 7.
 
 use std::path::PathBuf;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use crate::checkpoint::{Checkpoint, CheckpointStore, StreamCursor};
+use tin_obs::{CounterId, GaugeId, HistogramId, Obs};
+
+use crate::checkpoint::{Checkpoint, CheckpointStore, SaveStats, StreamCursor};
 use crate::error::{Result, TinError};
 use crate::ids::VertexId;
 use crate::interaction::Interaction;
@@ -81,6 +83,81 @@ impl EngineReport {
     }
 }
 
+/// Preregistered metric handles for an attached [`Obs`] unit. Registration
+/// happens once in [`ProvenanceEngine::with_observability`]; every hot-path
+/// update is an index into pre-sized storage (zero steady-state
+/// allocations, enforced by the `obs_alloc_counting` integration test).
+struct EngineObsState {
+    obs: Obs,
+    /// Per-interaction `tracker.process` latency.
+    latency_ns: HistogramId,
+    /// Sampled logical footprint (every periodic or spike-driven sample).
+    footprint_bytes: GaugeId,
+    /// Spike-monitor firings that forced an out-of-schedule sample.
+    spikes: CounterId,
+    /// Durable checkpoint phase timings and retry churn.
+    ckpt_capture_ns: HistogramId,
+    ckpt_encode_ns: HistogramId,
+    ckpt_write_ns: HistogramId,
+    ckpt_retries: CounterId,
+    ckpt_bytes: GaugeId,
+}
+
+impl EngineObsState {
+    fn new(mut obs: Obs) -> Self {
+        let latency_ns = obs.metrics.histogram("tracker_latency_ns", "ns");
+        let footprint_bytes = obs.metrics.gauge("footprint_bytes", "bytes");
+        let spikes = obs.metrics.counter("footprint_spikes_total", "count");
+        let ckpt_capture_ns = obs.metrics.histogram("checkpoint_capture_ns", "ns");
+        let ckpt_encode_ns = obs.metrics.histogram("checkpoint_encode_ns", "ns");
+        let ckpt_write_ns = obs.metrics.histogram("checkpoint_write_ns", "ns");
+        let ckpt_retries = obs.metrics.counter("checkpoint_retries_total", "count");
+        let ckpt_bytes = obs.metrics.gauge("checkpoint_bytes", "bytes");
+        EngineObsState {
+            obs,
+            latency_ns,
+            footprint_bytes,
+            spikes,
+            ckpt_capture_ns,
+            ckpt_encode_ns,
+            ckpt_write_ns,
+            ckpt_retries,
+            ckpt_bytes,
+        }
+    }
+
+    /// Fold one durable-save's phase timings into the checkpoint metrics
+    /// and drop a span on the flight recorder.
+    fn record_checkpoint(
+        &mut self,
+        capture_started: Instant,
+        capture: Duration,
+        stats: Option<SaveStats>,
+    ) {
+        self.obs
+            .metrics
+            .observe_duration(self.ckpt_capture_ns, capture);
+        if let Some(s) = stats {
+            self.obs
+                .metrics
+                .observe(self.ckpt_encode_ns, secs_to_ns(s.encode_secs));
+            self.obs
+                .metrics
+                .observe(self.ckpt_write_ns, secs_to_ns(s.write_secs));
+            self.obs.metrics.add(self.ckpt_retries, s.retries as u64);
+            self.obs
+                .metrics
+                .set_gauge(self.ckpt_bytes, s.encoded_bytes as u64);
+        }
+        self.obs.trace.record("checkpoint", 0, capture_started);
+    }
+}
+
+/// Whole nanoseconds from fractional seconds (saturating).
+fn secs_to_ns(secs: f64) -> u64 {
+    (secs * 1e9).max(0.0).min(u64::MAX as f64) as u64
+}
+
 /// A validated, instrumented streaming front-end for one provenance tracker.
 pub struct ProvenanceEngine {
     tracker: Box<dyn ProvenanceTracker>,
@@ -96,6 +173,12 @@ pub struct ProvenanceEngine {
     newborn_quantity: Quantity,
     peak_footprint_bytes: usize,
     busy_secs: f64,
+    /// Explicit footprint-sampling interval; `None` uses the default
+    /// schedule `max(FOOTPRINT_SAMPLE_INTERVAL, |V|/64)`.
+    footprint_sample_interval: Option<usize>,
+    /// Attached observability unit (`None` = uninstrumented: the hot path
+    /// pays exactly one branch).
+    obs: Option<Box<EngineObsState>>,
 }
 
 impl ProvenanceEngine {
@@ -137,7 +220,50 @@ impl ProvenanceEngine {
             newborn_quantity: 0.0,
             peak_footprint_bytes: 0,
             busy_secs: 0.0,
+            footprint_sample_interval: None,
+            obs: None,
         })
+    }
+
+    /// Sample the footprint every `every` interactions instead of the
+    /// default `max(`[`Self::FOOTPRINT_SAMPLE_INTERVAL`]`, |V|/64)`
+    /// schedule. Spike-monitor notifications still force out-of-schedule
+    /// samples. Footprint computation is O(|V|), so a small interval on a
+    /// large graph trades throughput for timeline resolution.
+    ///
+    /// # Errors
+    /// Returns [`TinError::InvalidConfig`] if `every` is zero.
+    pub fn with_footprint_sample_interval(mut self, every: usize) -> Result<Self> {
+        if every == 0 {
+            return Err(TinError::InvalidConfig(
+                "footprint sample interval must be positive".into(),
+            ));
+        }
+        self.footprint_sample_interval = Some(every);
+        Ok(self)
+    }
+
+    /// Attach an observability unit: per-interaction tracker latency,
+    /// footprint samples, spike firings and checkpoint phase timings land
+    /// in its metrics, checkpoint spans on its flight recorder. All metric
+    /// handles are preregistered here, so the instrumented hot path stays
+    /// allocation-free; the engine's observable results are unaffected.
+    /// Retrieve the unit with [`Self::take_obs`] when the run ends.
+    #[must_use]
+    pub fn with_observability(mut self, obs: Obs) -> Self {
+        self.obs = Some(Box::new(EngineObsState::new(obs)));
+        self
+    }
+
+    /// The attached observability unit, if any (live scraping via
+    /// [`Obs::snapshot`]).
+    pub fn obs(&self) -> Option<&Obs> {
+        self.obs.as_deref().map(|state| &state.obs)
+    }
+
+    /// Detach and return the observability unit for export.
+    pub fn take_obs(&mut self) -> Option<Obs> {
+        self.obs.take().map(|state| state.obs)
     }
 
     /// Record a [`ProvenanceSnapshot`] every `interval` interactions.
@@ -224,8 +350,15 @@ impl ProvenanceEngine {
     /// # Errors
     /// Propagates capture errors and the store's [`TinError::Io`] failures.
     pub fn checkpoint_to(&mut self, store: &mut CheckpointStore) -> Result<PathBuf> {
+        let capture_start = Instant::now();
         let checkpoint = self.checkpoint()?;
-        store.save(&checkpoint)
+        let capture_elapsed = capture_start.elapsed();
+        let path = store.save(&checkpoint)?;
+        let stats = store.last_save_stats();
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.record_checkpoint(capture_start, capture_elapsed, stats);
+        }
+        Ok(path)
     }
 
     /// The wrapped tracker.
@@ -271,19 +404,32 @@ impl ProvenanceEngine {
 
         let start = Instant::now();
         self.tracker.process(r);
-        self.busy_secs += start.elapsed().as_secs_f64();
+        let elapsed = start.elapsed();
+        self.busy_secs += elapsed.as_secs_f64();
+        if let Some(o) = self.obs.as_deref_mut() {
+            // Reuses the latency measurement the engine takes anyway; the
+            // record itself is an array index plus integer adds.
+            o.obs.metrics.observe_duration(o.latency_ns, elapsed);
+        }
 
         self.last_time = Some(r.time.0);
         self.processed += 1;
-        let sample_every = Self::FOOTPRINT_SAMPLE_INTERVAL.max(self.num_vertices / 64);
+        let sample_every = self
+            .footprint_sample_interval
+            .unwrap_or_else(|| Self::FOOTPRINT_SAMPLE_INTERVAL.max(self.num_vertices / 64));
         // Read the spike flag unconditionally: a short-circuited read on a
         // periodic-sample interaction would leave the monitor un-rebaselined
         // and trigger a redundant full sample one interaction later.
         let spiked = self.tracker.take_footprint_spike();
         if spiked || self.processed.is_multiple_of(sample_every) {
-            self.peak_footprint_bytes = self
-                .peak_footprint_bytes
-                .max(self.tracker.footprint().total());
+            let total = self.tracker.footprint().total();
+            self.peak_footprint_bytes = self.peak_footprint_bytes.max(total);
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.obs.metrics.set_gauge(o.footprint_bytes, total as u64);
+                if spiked {
+                    o.obs.metrics.inc(o.spikes);
+                }
+            }
             if !spiked {
                 // A spike read re-baselines on its own; periodic samples
                 // re-baseline here so drift is measured from the last sample.
@@ -298,10 +444,16 @@ impl ProvenanceEngine {
         }
         if let Some((_, every)) = &self.durable {
             if self.processed.is_multiple_of(*every) {
+                let capture_start = Instant::now();
                 let checkpoint =
                     Checkpoint::capture(&self.config, self.cursor(), self.tracker.as_mut())?;
+                let capture_elapsed = capture_start.elapsed();
                 let (store, _) = self.durable.as_mut().expect("durable checked above");
                 store.save(&checkpoint)?;
+                let stats = store.last_save_stats();
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.record_checkpoint(capture_start, capture_elapsed, stats);
+                }
             }
         }
         Ok(())
@@ -648,6 +800,75 @@ mod tests {
         let path = reference.checkpoint_to(&mut store).unwrap();
         assert!(path.exists());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// PR 8 tentpole + satellite: an attached [`Obs`] unit records
+    /// per-interaction latency, footprint samples at the configured
+    /// interval, and checkpoint phase timings — without changing any
+    /// engine-observable result.
+    #[test]
+    fn observability_records_latency_footprint_and_checkpoints() {
+        let interactions = paper_running_example();
+        let dir = std::env::temp_dir().join(format!("tin_obs_engine_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ckpt_store = CheckpointStore::open(&dir).unwrap();
+        let mut engine = ProvenanceEngine::new(&fifo_config(), 3)
+            .unwrap()
+            .with_footprint_sample_interval(2)
+            .unwrap()
+            .with_durable_checkpoints(ckpt_store, 3)
+            .unwrap()
+            .with_observability(Obs::new());
+        let mut plain = ProvenanceEngine::new(&fifo_config(), 3).unwrap();
+        engine.process_all(&interactions).unwrap();
+        plain.process_all(&interactions).unwrap();
+
+        // Instrumentation must not perturb results: exact equality.
+        for i in 0..3u32 {
+            assert_eq!(engine.buffered(v(i)), plain.buffered(v(i)));
+            assert_eq!(engine.origins(v(i)), plain.origins(v(i)));
+        }
+        assert_eq!(
+            engine.report().total_quantity,
+            plain.report().total_quantity
+        );
+
+        let snap = engine.obs().expect("obs attached").snapshot();
+        let hist = |name: &str| {
+            snap.histograms
+                .iter()
+                .find(|h| h.name == name)
+                .unwrap_or_else(|| panic!("{name} registered"))
+                .clone()
+        };
+        assert_eq!(hist("tracker_latency_ns").count, 6);
+        assert!(hist("tracker_latency_ns").p50 <= hist("tracker_latency_ns").max);
+        // Sample interval 2 over 6 interactions: at least 3 gauge samples.
+        let footprint = snap.gauges.iter().find(|g| g.name == "footprint_bytes");
+        assert!(footprint.unwrap().samples >= 3);
+        assert!(footprint.unwrap().last > 0);
+        // Durable checkpoints every 3 interactions: 2 saves, each timed.
+        assert_eq!(hist("checkpoint_capture_ns").count, 2);
+        assert_eq!(hist("checkpoint_encode_ns").count, 2);
+        assert_eq!(hist("checkpoint_write_ns").count, 2);
+        // ...and spans on the flight recorder.
+        let obs = engine.take_obs().expect("detachable");
+        assert_eq!(
+            obs.trace
+                .events()
+                .iter()
+                .filter(|e| e.name == "checkpoint")
+                .count(),
+            2
+        );
+        assert!(engine.obs().is_none());
+
+        // Zero interval is rejected.
+        assert!(ProvenanceEngine::new(&fifo_config(), 3)
+            .unwrap()
+            .with_footprint_sample_interval(0)
+            .is_err());
+        std::fs::remove_dir_all(dir).ok();
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The five workspace lints, over flat token streams from [`crate::lexer`].
+//! The six workspace lints, over flat token streams from [`crate::lexer`].
 //!
 //! Each lint is a pure function `(file, tokens) -> Vec<Diagnostic>`; the
 //! caller ([`crate::lint_source`]) filters the result through the file's
@@ -11,6 +11,7 @@ pub mod alloc;
 pub mod channel;
 pub mod determinism;
 pub mod durability;
+pub mod obs;
 pub mod tracker;
 
 use crate::diagnostics::Diagnostic;
@@ -24,6 +25,7 @@ pub const LINT_NAMES: &[&str] = &[
     "tracker-conformance",
     "hot-path-alloc",
     "checkpoint-durability",
+    "obs-conformance",
 ];
 
 /// Run one lint by name over a token stream.
@@ -34,6 +36,7 @@ pub fn run(lint: &str, file: &str, tokens: &[Token]) -> Vec<Diagnostic> {
         "tracker-conformance" => tracker::check(file, tokens),
         "hot-path-alloc" => alloc::check(file, tokens),
         "checkpoint-durability" => durability::check(file, tokens),
+        "obs-conformance" => obs::check(file, tokens),
         other => panic!("unknown lint `{other}`"),
     }
 }

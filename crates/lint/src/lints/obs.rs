@@ -1,0 +1,80 @@
+//! L6 — obs conformance: a bare `println!`/`eprintln!` in the engine
+//! crates (`crates/core`, `crates/shard`) bypasses the `tin-obs` facade —
+//! it is invisible to the metrics registry and the flight recorder, it
+//! interleaves nondeterministically with worker threads, and in the CLI's
+//! case it corrupts the byte-identical stdout contract the shard-count
+//! smoke test diffs. Engine code reports through metrics, spans, or a
+//! returned error; user-facing text belongs to the CLI layer. Genuinely
+//! justified prints (none exist today) need an explicit
+//! `// tin-lint: allow(obs-conformance): <why>` directive.
+
+use super::{in_ranges, test_mod_ranges};
+use crate::diagnostics::Diagnostic;
+use crate::lexer::{Token, TokenKind};
+
+const PRINT_MACROS: &[&str] = &["println", "eprintln", "print", "eprint", "dbg"];
+
+pub fn check(file: &str, tokens: &[Token]) -> Vec<Diagnostic> {
+    let skip = test_mod_ranges(tokens);
+    let mut diags = Vec::new();
+    for i in 0..tokens.len() {
+        if in_ranges(&skip, i) {
+            continue;
+        }
+        // `println ! ( ... )` — a macro invocation, not e.g. a doc-comment
+        // mention or an identifier that merely contains the name.
+        let name = &tokens[i];
+        if name.kind != TokenKind::Ident || !PRINT_MACROS.contains(&name.text.as_str()) {
+            continue;
+        }
+        let Some(bang) = tokens.get(i + 1) else {
+            continue;
+        };
+        if !bang.is_punct("!") {
+            continue;
+        }
+        let Some(open) = tokens.get(i + 2) else {
+            continue;
+        };
+        if open.kind != TokenKind::OpenDelim {
+            continue;
+        }
+        diags.push(Diagnostic::new(
+            "obs-conformance",
+            file,
+            name.line,
+            format!(
+                "`{}!` in engine code bypasses the tin-obs facade; record a metric or \
+                 span (or return an error) instead — or justify a cold-path print with \
+                 `// tin-lint: allow(obs-conformance): <why>`",
+                name.text
+            ),
+        ));
+    }
+    diags
+}
+
+#[cfg(test)]
+mod unit {
+    use crate::lexer::lex;
+
+    fn check(src: &str) -> Vec<crate::diagnostics::Diagnostic> {
+        super::check("f.rs", &lex(src))
+    }
+
+    #[test]
+    fn fires_on_bare_prints() {
+        assert_eq!(check("fn f() { println!(\"hi\"); }").len(), 1);
+        assert_eq!(check("fn f() { eprintln!(\"warn: {x}\"); }").len(), 1);
+        assert_eq!(check("fn f(x: u32) -> u32 { dbg!(x) }").len(), 1);
+    }
+
+    #[test]
+    fn ignores_test_modules_and_lookalikes() {
+        assert!(check("mod tests { fn t() { println!(\"ok\"); } }").is_empty());
+        // An identifier that merely contains the name is not a macro call.
+        assert!(check("fn f() { my_println(); let println_count = 1; }").is_empty());
+        // `writeln!` into an explicit sink is how the CLI builds output.
+        assert!(check("fn f(out: &mut String) { writeln!(out, \"x\").unwrap(); }").is_empty());
+    }
+}

@@ -12,6 +12,7 @@
 //! | `tracker-conformance` | `crates/core/src/tracker/`                     |
 //! | `hot-path-alloc`      | kernel modules under `crates/core/src/`        |
 //! | `checkpoint-durability` | `crates/core/src/checkpoint.rs`              |
+//! | `obs-conformance`     | `crates/core/src/`, `crates/shard/src/`        |
 
 use crate::diagnostics::Diagnostic;
 use std::path::{Path, PathBuf};
@@ -49,6 +50,9 @@ pub fn applicable_lints(rel: &str) -> Vec<&'static str> {
     }
     if rel == "crates/core/src/checkpoint.rs" {
         lints.push("checkpoint-durability");
+    }
+    if rel.starts_with("crates/core/src/") || rel.starts_with("crates/shard/src/") {
+        lints.push("obs-conformance");
     }
     lints
 }
@@ -118,19 +122,23 @@ mod unit {
     fn applicability_table() {
         assert_eq!(
             applicable_lints("crates/shard/src/engine.rs"),
-            vec!["determinism", "channel-protocol"]
+            vec!["determinism", "channel-protocol", "obs-conformance"]
         );
         assert_eq!(
             applicable_lints("crates/core/src/tracker/grouped.rs"),
-            vec!["determinism", "tracker-conformance"]
+            vec!["determinism", "tracker-conformance", "obs-conformance"]
         );
         assert_eq!(
             applicable_lints("crates/core/src/sparse_vec.rs"),
-            vec!["determinism", "hot-path-alloc"]
+            vec!["determinism", "hot-path-alloc", "obs-conformance"]
         );
         assert_eq!(
             applicable_lints("crates/core/src/checkpoint.rs"),
-            vec!["determinism", "checkpoint-durability"]
+            vec!["determinism", "checkpoint-durability", "obs-conformance"]
+        );
+        assert_eq!(
+            applicable_lints("crates/obs/src/metrics.rs"),
+            Vec::<&str>::new()
         );
         assert!(applicable_lints("crates/cli/src/lib.rs").is_empty());
         assert!(applicable_lints("crates/lint/src/lib.rs").is_empty());

@@ -92,6 +92,11 @@ fn checkpoint_durability_fixtures() {
     check_lint("checkpoint-durability");
 }
 
+#[test]
+fn obs_conformance_fixtures() {
+    check_lint("obs-conformance");
+}
+
 /// The firing fixtures double as a JSON-output regression test: rendering
 /// must produce valid-looking, line-anchored records.
 #[test]

@@ -1,0 +1,10 @@
+// Reporting through the tin-obs facade: counters and spans, no prints.
+pub fn on_spike(obs: &mut tin_obs::Obs, spikes: tin_obs::CounterId) {
+    obs.metrics.inc(spikes);
+}
+
+// writeln! into an explicit sink is fine — output the caller owns.
+pub fn render(out: &mut String, done: usize) {
+    use std::fmt::Write as _;
+    writeln!(out, "processed {done}").unwrap();
+}

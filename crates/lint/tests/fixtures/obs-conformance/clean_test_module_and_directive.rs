@@ -1,0 +1,12 @@
+// Test modules may print freely, and a justified cold-path print is
+// allowed with an explicit directive.
+pub fn recovery_banner(path: &str) {
+    // tin-lint: allow(obs-conformance): one-shot recovery banner on startup, before any worker exists
+    eprintln!("recovering from checkpoint {path}");
+}
+
+mod tests {
+    pub fn debug_dump(xs: &[u64]) {
+        println!("{xs:?}");
+    }
+}

@@ -1,0 +1,6 @@
+// A bare println! in engine code: invisible to tin-obs, nondeterministic
+// interleaving with worker threads, and it pollutes the byte-identical
+// stdout contract.
+pub fn process_batch(done: usize, total: usize) {
+    println!("processed {done}/{total}");
+}

@@ -1,0 +1,101 @@
+//! Zero-overhead observability for the TIN engines.
+//!
+//! The serving roadmap (work-stealing, tiered storage, incremental
+//! checkpoints) needs to see *inside* a run — wavefront sizes, shard queue
+//! waits, checkpoint fsync stalls, per-interaction latency percentiles — but
+//! the build environment is offline, so the usual `tracing`/`prometheus`
+//! stack is unavailable. This crate is the dependency-free replacement,
+//! built around two constraints:
+//!
+//! 1. **Zero steady-state allocations.** Every metric is preregistered
+//!    before the stream starts and updated through an index-based handle
+//!    ([`CounterId`], [`GaugeId`], [`HistogramId`]) into pre-sized storage;
+//!    recording a value is an array index plus integer arithmetic. The
+//!    engines' allocator-counting tests run with metrics *enabled*.
+//! 2. **Near-no-op when disabled.** Engines hold an `Option` around their
+//!    observability state, so an uninstrumented hot path pays one branch.
+//!
+//! Three pieces:
+//!
+//! * [`Registry`] — fixed-size counters, gauges, and log-bucketed
+//!   [`Histogram`]s with p50/p90/p99 estimation, mergeable across shard
+//!   workers (deterministically, in shard order) and exportable as JSON.
+//! * [`Recorder`] — a bounded flight recorder of timestamped [`SpanEvent`]s
+//!   (wavefront dispatch, shard barriers, checkpoint captures) exportable as
+//!   Chrome trace-event JSON, loadable in Perfetto or `chrome://tracing`.
+//! * [`Obs`] — the pair of them, the unit the engines attach and the future
+//!   serve loop scrapes via [`Obs::snapshot`].
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{CounterId, GaugeId, Histogram, HistogramId, MetricsSnapshot, Registry};
+pub use trace::{Recorder, SpanEvent};
+
+/// Default flight-recorder capacity (events) for [`Obs::new`].
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+/// One attachable observability unit: a metrics registry plus a span flight
+/// recorder. Engines take an `Obs` at build time, update it through
+/// preregistered handles while streaming, and hand it back for export (or
+/// live scraping via [`Obs::snapshot`]) when the run ends.
+#[derive(Debug)]
+pub struct Obs {
+    /// Counters, gauges and histograms.
+    pub metrics: Registry,
+    /// The span flight recorder.
+    pub trace: Recorder,
+}
+
+impl Obs {
+    /// An empty unit with the default flight-recorder capacity.
+    #[must_use]
+    pub fn new() -> Self {
+        Obs::with_trace_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// An empty unit whose flight recorder holds at most `capacity` events
+    /// (later events are counted as dropped, never reallocated).
+    #[must_use]
+    pub fn with_trace_capacity(capacity: usize) -> Self {
+        Obs {
+            metrics: Registry::new(),
+            trace: Recorder::new(capacity),
+        }
+    }
+
+    /// A point-in-time copy of every metric — the scrape API for a live
+    /// serve loop: cheap, allocation-bounded, and independent of the
+    /// registry it was taken from.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Obs::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obs_bundles_registry_and_recorder() {
+        let mut obs = Obs::new();
+        let c = obs.metrics.counter("events_total", "count");
+        obs.metrics.add(c, 3);
+        let snap = obs.snapshot();
+        assert_eq!(snap.counters.len(), 1);
+        assert_eq!(snap.counters[0].value, 3);
+        assert_eq!(obs.trace.events().len(), 0);
+        let default = Obs::default();
+        assert_eq!(default.snapshot().counters.len(), 0);
+    }
+}

@@ -1,0 +1,722 @@
+//! The metrics registry: counters, gauges and log-bucketed histograms.
+//!
+//! All metrics are preregistered (name + unit) before the hot loop starts;
+//! registration returns a plain-index handle and is the only allocating
+//! operation. Updating through a handle is an array index plus integer
+//! arithmetic — no locks, no allocation, no formatting.
+//!
+//! Shard workers keep their own private `Registry` with an identical
+//! registration prefix and ship it to the main thread at sync barriers;
+//! [`Registry::merge_prefix_from`] folds such a delta in. Merging is
+//! integer-only and the engine merges deltas in shard order, so repeated
+//! runs aggregate deterministically given identical per-shard observations.
+
+/// Handle for a registered counter (monotonically increasing `u64`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle for a registered gauge (a sampled level: last/min/max are kept).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle for a registered histogram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+/// Number of histogram buckets: bucket 0 holds zeros, bucket `i >= 1` holds
+/// values in `[2^(i-1), 2^i - 1]` (bucket 64 tops out at `u64::MAX`).
+pub const NUM_BUCKETS: usize = 65;
+
+/// A log-bucketed histogram of `u64` observations (power-of-two bucket
+/// boundaries), with exact count/sum/min/max and bucket-resolution
+/// percentile estimates. Recording is branch-light integer arithmetic —
+/// suitable for per-interaction latencies on the hot path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; NUM_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket index a value falls into: 0 for 0, otherwise the value's
+    /// bit length (so bucket `i` spans `[2^(i-1), 2^i - 1]`).
+    #[inline]
+    #[must_use]
+    pub fn bucket_index(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Inclusive `[low, high]` value range of bucket `index`.
+    ///
+    /// # Panics
+    /// If `index >= NUM_BUCKETS`.
+    #[must_use]
+    pub fn bucket_bounds(index: usize) -> (u64, u64) {
+        assert!(index < NUM_BUCKETS, "bucket index out of range");
+        match index {
+            0 => (0, 0),
+            64 => (1 << 63, u64::MAX),
+            i => (1 << (i - 1), (1 << i) - 1),
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observation (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) at bucket resolution: the
+    /// upper bound of the bucket containing the rank-`ceil(q·count)`
+    /// observation, clamped to the exact observed `[min, max]`. Exact for
+    /// min (q=0) and max (q=1); within a 2× bucket for everything between.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q == 0.0 {
+            return self.min;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let (_, high) = Self::bucket_bounds(i);
+                return high.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Per-bucket counts (length [`NUM_BUCKETS`]).
+    #[must_use]
+    pub fn buckets(&self) -> &[u64; NUM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Fold another histogram's observations into this one.
+    pub fn merge_from(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Drop all observations, keeping the allocation-free layout.
+    pub fn reset(&mut self) {
+        *self = Histogram::new();
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Counter {
+    name: &'static str,
+    unit: &'static str,
+    value: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Gauge {
+    name: &'static str,
+    unit: &'static str,
+    last: u64,
+    min: u64,
+    max: u64,
+    samples: u64,
+}
+
+#[derive(Clone, Debug)]
+struct HistEntry {
+    name: &'static str,
+    unit: &'static str,
+    hist: Histogram,
+}
+
+/// A fixed set of preregistered metrics. Registration (allocating) happens
+/// once at engine build time; every later update is allocation-free.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    counters: Vec<Counter>,
+    gauges: Vec<Gauge>,
+    hists: Vec<HistEntry>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Register a counter. `unit` is a free-form annotation (`"count"`,
+    /// `"bytes"`, …) carried into the JSON export.
+    pub fn counter(&mut self, name: &'static str, unit: &'static str) -> CounterId {
+        self.counters.push(Counter {
+            name,
+            unit,
+            value: 0,
+        });
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Register a gauge.
+    pub fn gauge(&mut self, name: &'static str, unit: &'static str) -> GaugeId {
+        self.gauges.push(Gauge {
+            name,
+            unit,
+            last: 0,
+            min: u64::MAX,
+            max: 0,
+            samples: 0,
+        });
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Register a histogram.
+    pub fn histogram(&mut self, name: &'static str, unit: &'static str) -> HistogramId {
+        self.hists.push(HistEntry {
+            name,
+            unit,
+            hist: Histogram::new(),
+        });
+        HistogramId(self.hists.len() - 1)
+    }
+
+    /// Increment a counter by 1.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId) {
+        self.counters[id.0].value += 1;
+    }
+
+    /// Increment a counter by `n`.
+    #[inline]
+    pub fn add(&mut self, id: CounterId, n: u64) {
+        self.counters[id.0].value += n;
+    }
+
+    /// Current counter value.
+    #[must_use]
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0].value
+    }
+
+    /// Record a gauge sample (keeps last/min/max/sample-count).
+    #[inline]
+    pub fn set_gauge(&mut self, id: GaugeId, value: u64) {
+        let g = &mut self.gauges[id.0];
+        g.last = value;
+        g.min = g.min.min(value);
+        g.max = g.max.max(value);
+        g.samples += 1;
+    }
+
+    /// Most recent gauge sample (0 before the first sample).
+    #[must_use]
+    pub fn gauge_last(&self, id: GaugeId) -> u64 {
+        self.gauges[id.0].last
+    }
+
+    /// Record a histogram observation.
+    #[inline]
+    pub fn observe(&mut self, id: HistogramId, value: u64) {
+        self.hists[id.0].hist.record(value);
+    }
+
+    /// Record a duration as whole nanoseconds.
+    #[inline]
+    pub fn observe_duration(&mut self, id: HistogramId, duration: std::time::Duration) {
+        self.observe(id, duration.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Read access to a registered histogram.
+    #[must_use]
+    pub fn histogram_data(&self, id: HistogramId) -> &Histogram {
+        &self.hists[id.0].hist
+    }
+
+    /// Fold another registry into this one. `other` must have been built by
+    /// the same registration sequence as a *prefix* of this registry's —
+    /// the shard-worker pattern, where workers register the shared worker
+    /// metrics and the main thread registers the same prefix plus
+    /// engine-level extras. Counters and histogram buckets add; gauges keep
+    /// min-of-min / max-of-max and adopt `other`'s last sample when it has
+    /// one. Integer-only, so merging shard deltas in shard order is
+    /// deterministic.
+    ///
+    /// # Panics
+    /// If `other`'s metrics are not a name-for-name prefix of this
+    /// registry's (a protocol bug, not a data error).
+    pub fn merge_prefix_from(&mut self, other: &Registry) {
+        assert!(
+            other.counters.len() <= self.counters.len()
+                && other.gauges.len() <= self.gauges.len()
+                && other.hists.len() <= self.hists.len(),
+            "merge source registers more metrics than the destination"
+        );
+        for (mine, theirs) in self.counters.iter_mut().zip(other.counters.iter()) {
+            assert_eq!(mine.name, theirs.name, "counter layout mismatch");
+            mine.value += theirs.value;
+        }
+        for (mine, theirs) in self.gauges.iter_mut().zip(other.gauges.iter()) {
+            assert_eq!(mine.name, theirs.name, "gauge layout mismatch");
+            if theirs.samples > 0 {
+                mine.last = theirs.last;
+                mine.min = mine.min.min(theirs.min);
+                mine.max = mine.max.max(theirs.max);
+                mine.samples += theirs.samples;
+            }
+        }
+        for (mine, theirs) in self.hists.iter_mut().zip(other.hists.iter()) {
+            assert_eq!(mine.name, theirs.name, "histogram layout mismatch");
+            mine.hist.merge_from(&theirs.hist);
+        }
+    }
+
+    /// Zero every value while keeping the registered layout — how a shard
+    /// worker turns its registry back into an empty delta after shipping it
+    /// at a sync barrier. Allocation-free.
+    pub fn reset_values(&mut self) {
+        for c in &mut self.counters {
+            c.value = 0;
+        }
+        for g in &mut self.gauges {
+            g.last = 0;
+            g.min = u64::MAX;
+            g.max = 0;
+            g.samples = 0;
+        }
+        for h in &mut self.hists {
+            h.hist.reset();
+        }
+    }
+
+    /// A point-in-time copy of every metric.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|c| CounterSnapshot {
+                    name: c.name,
+                    unit: c.unit,
+                    value: c.value,
+                })
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|g| GaugeSnapshot {
+                    name: g.name,
+                    unit: g.unit,
+                    last: g.last,
+                    min: if g.samples == 0 { 0 } else { g.min },
+                    max: g.max,
+                    samples: g.samples,
+                })
+                .collect(),
+            histograms: self
+                .hists
+                .iter()
+                .map(|h| HistogramSnapshot {
+                    name: h.name,
+                    unit: h.unit,
+                    count: h.hist.count(),
+                    sum: h.hist.sum(),
+                    min: h.hist.min(),
+                    max: h.hist.max(),
+                    p50: h.hist.quantile(0.50),
+                    p90: h.hist.quantile(0.90),
+                    p99: h.hist.quantile(0.99),
+                    buckets: h
+                        .hist
+                        .buckets()
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, n)| **n > 0)
+                        .map(|(i, n)| {
+                            let (low, high) = Histogram::bucket_bounds(i);
+                            (low, high, *n)
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A frozen counter value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Metric name.
+    pub name: &'static str,
+    /// Unit annotation.
+    pub unit: &'static str,
+    /// Counter value.
+    pub value: u64,
+}
+
+/// A frozen gauge value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GaugeSnapshot {
+    /// Metric name.
+    pub name: &'static str,
+    /// Unit annotation.
+    pub unit: &'static str,
+    /// Most recent sample (0 before the first).
+    pub last: u64,
+    /// Smallest sample (0 before the first).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Number of samples recorded.
+    pub samples: u64,
+}
+
+/// A frozen histogram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: &'static str,
+    /// Unit annotation.
+    pub unit: &'static str,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Smallest observation.
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Estimated median (bucket resolution).
+    pub p50: u64,
+    /// Estimated 90th percentile.
+    pub p90: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+    /// Occupied buckets as `(low, high, count)`, ascending.
+    pub buckets: Vec<(u64, u64, u64)>,
+}
+
+/// A point-in-time copy of a [`Registry`] — what [`crate::Obs::snapshot`]
+/// hands to a scraper and what the `--metrics-out` JSON is rendered from.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// All counters, in registration order.
+    pub counters: Vec<CounterSnapshot>,
+    /// All gauges, in registration order.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// All histograms, in registration order.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Render as a self-describing JSON document with top-level keys
+    /// `schema`, `counters`, `gauges` and `histograms` (the CI smoke step
+    /// validates exactly these).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"schema\": 1,\n  \"counters\": {");
+        for (i, c) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    \"{}\": {{\"unit\": \"{}\", \"value\": {}}}",
+                c.name, c.unit, c.value
+            ));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, g) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    \"{}\": {{\"unit\": \"{}\", \"last\": {}, \"min\": {}, \"max\": {}, \"samples\": {}}}",
+                g.name, g.unit, g.last, g.min, g.max, g.samples
+            ));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    \"{}\": {{\"unit\": \"{}\", \"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"buckets\": [",
+                h.name, h.unit, h.count, h.sum, h.min, h.max, h.p50, h.p90, h.p99
+            ));
+            for (j, (low, high, n)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("[{low}, {high}, {n}]"));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        // Bucket 0 is exactly zero.
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_bounds(0), (0, 0));
+        // Bucket i spans [2^(i-1), 2^i - 1]; check every boundary pair.
+        for i in 1..64usize {
+            let low = 1u64 << (i - 1);
+            let high = (1u64 << i) - 1;
+            assert_eq!(Histogram::bucket_bounds(i), (low, high), "bucket {i}");
+            assert_eq!(Histogram::bucket_index(low), i, "low edge of bucket {i}");
+            assert_eq!(Histogram::bucket_index(high), i, "high edge of bucket {i}");
+            if i > 1 {
+                assert_eq!(Histogram::bucket_index(low - 1), i - 1);
+            }
+        }
+        // The top bucket absorbs everything from 2^63 up.
+        assert_eq!(Histogram::bucket_index(1 << 63), 64);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_bounds(64), (1 << 63, u64::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket index out of range")]
+    fn bucket_bounds_reject_out_of_range() {
+        let _ = Histogram::bucket_bounds(NUM_BUCKETS);
+    }
+
+    #[test]
+    fn histogram_tracks_exact_count_sum_min_max() {
+        let mut h = Histogram::new();
+        assert_eq!((h.count(), h.sum(), h.min(), h.max()), (0, 0, 0, 0));
+        assert_eq!(h.quantile(0.5), 0);
+        for v in [3u64, 9, 1, 1000, 9] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1022);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 204.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_land_in_the_right_bucket() {
+        let mut h = Histogram::new();
+        // 89 small values (bucket [8,15]) and 11 large (bucket [1024,2047]):
+        // p50 and p80 must resolve to the small bucket, p99 to the large one.
+        for _ in 0..89 {
+            h.record(10);
+        }
+        for _ in 0..11 {
+            h.record(1500);
+        }
+        assert_eq!(h.quantile(0.0), 10); // clamped to exact min
+        assert!(h.quantile(0.5) <= 15);
+        assert!(h.quantile(0.80) <= 15);
+        assert!(h.quantile(0.99) >= 1024);
+        assert_eq!(h.quantile(1.0), 1500); // clamped to exact max
+    }
+
+    #[test]
+    fn quantile_of_uniform_stream_is_within_one_bucket() {
+        let mut h = Histogram::new();
+        for v in 1..=1024u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5);
+        // True median 512; bucket resolution allows up to the bucket edge.
+        assert!((512..=1023).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile(0.99);
+        assert!((1014..=1024).contains(&p99), "p99 = {p99}");
+    }
+
+    #[test]
+    fn merge_and_reset_preserve_layout() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(5);
+        b.record(100);
+        b.record(2);
+        a.merge_from(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), 2);
+        assert_eq!(a.max(), 100);
+        a.reset();
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.max(), 0);
+        // Merging an empty histogram is a no-op.
+        let empty = Histogram::new();
+        b.merge_from(&empty);
+        assert_eq!(b.count(), 2);
+    }
+
+    #[test]
+    fn registry_counters_gauges_histograms_round_trip() {
+        let mut r = Registry::new();
+        let c = r.counter("batches_total", "count");
+        let g = r.gauge("depth", "messages");
+        let h = r.histogram("latency_ns", "ns");
+        r.inc(c);
+        r.add(c, 4);
+        r.set_gauge(g, 7);
+        r.set_gauge(g, 3);
+        r.observe(h, 1000);
+        r.observe_duration(h, std::time::Duration::from_nanos(500));
+        assert_eq!(r.counter_value(c), 5);
+        assert_eq!(r.gauge_last(g), 3);
+        assert_eq!(r.histogram_data(h).count(), 2);
+
+        let snap = r.snapshot();
+        assert_eq!(snap.counters[0].value, 5);
+        assert_eq!(snap.gauges[0].min, 3);
+        assert_eq!(snap.gauges[0].max, 7);
+        assert_eq!(snap.gauges[0].samples, 2);
+        assert_eq!(snap.histograms[0].count, 2);
+        assert_eq!(snap.histograms[0].min, 500);
+        assert_eq!(snap.histograms[0].max, 1000);
+
+        let json = snap.to_json();
+        assert!(json.contains("\"schema\": 1"));
+        assert!(json.contains("\"batches_total\""));
+        assert!(json.contains("\"latency_ns\""));
+        assert!(json.contains("\"buckets\": ["));
+    }
+
+    #[test]
+    fn prefix_merge_adds_counters_and_folds_gauges() {
+        let build_worker = |r: &mut Registry| {
+            (
+                r.counter("locals_total", "count"),
+                r.gauge("backlog", "messages"),
+                r.histogram("batch_ns", "ns"),
+            )
+        };
+        let mut main = Registry::new();
+        let (mc, mg, mh) = build_worker(&mut main);
+        let main_only = main.counter("wavefronts_total", "count");
+
+        let mut worker = Registry::new();
+        let (wc, wg, wh) = build_worker(&mut worker);
+        worker.add(wc, 10);
+        worker.set_gauge(wg, 4);
+        worker.observe(wh, 99);
+
+        main.inc(main_only);
+        main.merge_prefix_from(&worker);
+        assert_eq!(main.counter_value(mc), 10);
+        assert_eq!(main.gauge_last(mg), 4);
+        assert_eq!(main.histogram_data(mh).count(), 1);
+        assert_eq!(main.counter_value(main_only), 1);
+
+        // A second merge after reset contributes nothing.
+        worker.reset_values();
+        main.merge_prefix_from(&worker);
+        assert_eq!(main.counter_value(mc), 10);
+        assert_eq!(main.histogram_data(mh).count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "layout mismatch")]
+    fn prefix_merge_rejects_mismatched_layouts() {
+        let mut a = Registry::new();
+        a.counter("one", "count");
+        let mut b = Registry::new();
+        b.counter("two", "count");
+        a.merge_prefix_from(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "more metrics than the destination")]
+    fn prefix_merge_rejects_longer_source() {
+        let mut a = Registry::new();
+        let mut b = Registry::new();
+        b.counter("extra", "count");
+        a.merge_prefix_from(&b);
+    }
+
+    #[test]
+    fn empty_snapshot_renders_valid_json_shape() {
+        let json = Registry::new().snapshot().to_json();
+        assert!(json.contains("\"counters\": {"));
+        assert!(json.contains("\"gauges\": {"));
+        assert!(json.contains("\"histograms\": {"));
+    }
+}

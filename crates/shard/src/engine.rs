@@ -93,7 +93,7 @@ use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use tin_core::checkpoint::{Checkpoint, CheckpointStore, StreamCursor};
+use tin_core::checkpoint::{Checkpoint, CheckpointStore, SaveStats, StreamCursor};
 use tin_core::codec::ByteReader;
 use tin_core::engine::{newborn_quantity, validate_stream_step, EngineReport};
 use tin_core::error::{Result, TinError};
@@ -105,6 +105,7 @@ use tin_core::policy::PolicyConfig;
 use tin_core::quantity::Quantity;
 use tin_core::stream::InteractionSource;
 use tin_core::tracker::{build_tracker, ProvenanceTracker, ShardVertexState};
+use tin_obs::{CounterId, GaugeId, HistogramId, Obs, Recorder, Registry, SpanEvent};
 
 use crate::wavefront::{EpochRule, WavefrontScheduler};
 
@@ -123,6 +124,63 @@ const MAX_IN_FLIGHT: usize = 8;
 /// a shard (mirrors the sequential engine's
 /// `ProvenanceEngine::FOOTPRINT_SAMPLE_INTERVAL`).
 const SHARD_SAMPLE_INTERVAL: usize = 1024;
+
+/// Span capacity of each worker's private flight recorder. Workers ship and
+/// clear their spans at every sync barrier, so this only bounds the spans
+/// of one barrier-to-barrier window.
+const WORKER_TRACE_CAPACITY: usize = 4096;
+
+/// Metric handles for the per-shard metrics. Workers register exactly these
+/// (and nothing else) into their private registries; the main thread
+/// registers them *first* into the user's [`Obs`] so worker deltas fold in
+/// by index via [`Registry::merge_prefix_from`] — the two sides share this
+/// one registration function precisely so the layouts cannot drift.
+struct WorkerMetricIds {
+    /// Same-owner interactions processed locally.
+    locals: CounterId,
+    /// Cross-shard interactions processed after importing the source state.
+    imports: CounterId,
+    /// Per-vertex states shipped between shards (exports + returns).
+    migrations: CounterId,
+    /// Footprint spikes caught by the shard's spike monitor.
+    spikes: CounterId,
+    /// Wall time of one shard's share of one wavefront.
+    batch_ns: HistogramId,
+    /// Deferred messages queued behind the current wavefront.
+    backlog_depth: GaugeId,
+    /// Early-arrived peer states parked for later wavefronts.
+    stash_depth: GaugeId,
+}
+
+fn register_worker_metrics(metrics: &mut Registry) -> WorkerMetricIds {
+    WorkerMetricIds {
+        locals: metrics.counter("shard_local_interactions_total", "interactions"),
+        imports: metrics.counter("shard_import_interactions_total", "interactions"),
+        migrations: metrics.counter("shard_state_migrations_total", "states"),
+        spikes: metrics.counter("footprint_spikes_total", "spikes"),
+        batch_ns: metrics.histogram("shard_batch_ns", "ns"),
+        backlog_depth: metrics.gauge("shard_backlog_depth", "messages"),
+        stash_depth: metrics.gauge("shard_stash_depth", "states"),
+    }
+}
+
+/// A worker's private observability state: metrics registered by
+/// [`register_worker_metrics`] plus a flight recorder sharing the main
+/// sink's epoch (so worker spans land on the same timeline).
+struct WorkerObs {
+    ids: WorkerMetricIds,
+    metrics: Registry,
+    trace: Recorder,
+}
+
+/// One shard's accumulated metrics and spans since its previous sync
+/// barrier, attached to the [`FromShard::Synced`] acknowledgement. The main
+/// thread folds deltas in shard-id order, so the merged registry is
+/// deterministic regardless of acknowledgement arrival order.
+struct WorkerObsDelta {
+    metrics: Registry,
+    events: Vec<SpanEvent>,
+}
 
 /// One wavefront's worth of work for one shard.
 struct BatchCmd {
@@ -176,6 +234,15 @@ enum ToShard {
         vertex: VertexId,
         state: ShardVertexState,
     },
+    /// Create the worker's private observability state, recording spans
+    /// against `epoch` (the main sink's trace epoch, so all spans share one
+    /// timeline). Sent once by [`ShardedEngine::with_observability`].
+    EnableObs {
+        epoch: Instant,
+    },
+    /// Change the worker's footprint sampling interval
+    /// ([`ShardedEngine::with_footprint_sample_interval`]).
+    SetSampleInterval(usize),
     /// Broadcast by a dying worker's [`PanicSentinel`]: shard `shard` is
     /// gone. A worker blocked mid-wavefront on the dead peer's state wakes
     /// up and exits instead of waiting forever.
@@ -208,7 +275,12 @@ enum FromShard {
     },
     /// `(vertex raw id, checkpoint payload)` for every owned vertex.
     StatesCaptured(Vec<(u32, Vec<u8>)>),
-    Synced,
+    /// Sync acknowledgement, carrying the shard's observability delta when
+    /// instrumentation is enabled.
+    Synced {
+        shard: usize,
+        obs: Option<Box<WorkerObsDelta>>,
+    },
     /// Sent by a dying worker's [`PanicSentinel`]: the engine must poison
     /// itself and surface [`TinError::WorkerLost`].
     WorkerFailed {
@@ -278,6 +350,81 @@ enum BatchAbort {
     MainLost,
 }
 
+/// The main thread's observability state: the user's [`Obs`] with the
+/// shared worker-metric prefix registered first (the
+/// [`Registry::merge_prefix_from`] layout contract), followed by the
+/// main-thread scheduling, barrier and checkpoint metrics.
+struct ShardObsState {
+    obs: Obs,
+    wavefront_size: HistogramId,
+    wavefronts: CounterId,
+    inflight: GaugeId,
+    barrier_ns: HistogramId,
+    footprint_bytes: GaugeId,
+    ckpt_capture_ns: HistogramId,
+    ckpt_encode_ns: HistogramId,
+    ckpt_write_ns: HistogramId,
+    ckpt_retries: CounterId,
+    ckpt_bytes: GaugeId,
+}
+
+impl ShardObsState {
+    fn new(mut obs: Obs) -> Self {
+        // Worker prefix first: shard deltas merge into the registry by
+        // index, so the prefix layouts must be identical.
+        let _ = register_worker_metrics(&mut obs.metrics);
+        let m = &mut obs.metrics;
+        let wavefront_size = m.histogram("wavefront_batch_size", "interactions");
+        let wavefronts = m.counter("wavefronts_total", "wavefronts");
+        let inflight = m.gauge("wavefronts_in_flight", "wavefronts");
+        let barrier_ns = m.histogram("sync_barrier_ns", "ns");
+        let footprint_bytes = m.gauge("footprint_bytes", "bytes");
+        let ckpt_capture_ns = m.histogram("checkpoint_capture_ns", "ns");
+        let ckpt_encode_ns = m.histogram("checkpoint_encode_ns", "ns");
+        let ckpt_write_ns = m.histogram("checkpoint_write_ns", "ns");
+        let ckpt_retries = m.counter("checkpoint_retries_total", "attempts");
+        let ckpt_bytes = m.gauge("checkpoint_bytes", "bytes");
+        ShardObsState {
+            obs,
+            wavefront_size,
+            wavefronts,
+            inflight,
+            barrier_ns,
+            footprint_bytes,
+            ckpt_capture_ns,
+            ckpt_encode_ns,
+            ckpt_write_ns,
+            ckpt_retries,
+            ckpt_bytes,
+        }
+    }
+
+    /// Fold one [`CheckpointStore::save`]'s timing figures into the
+    /// checkpoint metrics.
+    fn record_save(&mut self, stats: Option<SaveStats>) {
+        let Some(s) = stats else { return };
+        self.obs
+            .metrics
+            .observe(self.ckpt_encode_ns, secs_to_ns(s.encode_secs));
+        self.obs
+            .metrics
+            .observe(self.ckpt_write_ns, secs_to_ns(s.write_secs));
+        self.obs.metrics.add(self.ckpt_retries, s.retries as u64);
+        self.obs
+            .metrics
+            .set_gauge(self.ckpt_bytes, s.encoded_bytes as u64);
+    }
+}
+
+/// Seconds (as measured) to integer nanoseconds for histogram observation.
+fn secs_to_ns(secs: f64) -> u64 {
+    if secs <= 0.0 {
+        0
+    } else {
+        (secs * 1e9).round().min(u64::MAX as f64) as u64
+    }
+}
+
 /// A parallel drop-in for [`tin_core::engine::ProvenanceEngine`]: same validation, flow
 /// accounting and report surface, bit-identical provenance, `N`-way shard
 /// parallelism (see the module docs).
@@ -320,6 +467,9 @@ pub struct ShardedEngine {
     /// Set on the first worker failure; every subsequent operation returns
     /// this error instead of touching the (dead) channels.
     poisoned: Option<TinError>,
+    /// Observability sink, when attached via [`Self::with_observability`].
+    /// Boxed so the uninstrumented engine pays one pointer and one branch.
+    obs: Option<Box<ShardObsState>>,
 }
 
 impl ShardedEngine {
@@ -381,6 +531,7 @@ impl ShardedEngine {
             durable: None,
             checkpoints_taken: 0,
             poisoned: None,
+            obs: None,
         })
     }
 
@@ -405,6 +556,65 @@ impl ShardedEngine {
         Ok(self)
     }
 
+    /// Attach an observability sink: metrics and spans from the main thread
+    /// and every shard worker land in `obs`. Workers accumulate into
+    /// private registries and ship deltas at each sync barrier, where they
+    /// are merged in shard-id order — instrumentation therefore adds no
+    /// cross-thread synchronisation and leaves results bit-identical.
+    /// Worker spans share the sink's trace epoch, so the exported trace
+    /// shows one timeline (tid 0 = main thread, tid `shard + 1` = workers).
+    ///
+    /// # Errors
+    /// [`TinError::WorkerLost`] if a shard worker died.
+    pub fn with_observability(mut self, obs: Obs) -> Result<Self> {
+        let state = Box::new(ShardObsState::new(obs));
+        let epoch = state.obs.trace.epoch();
+        for shard in 0..self.num_shards {
+            self.send_to(shard, ToShard::EnableObs { epoch })?;
+        }
+        self.obs = Some(state);
+        Ok(self)
+    }
+
+    /// Take a full footprint sample every `every` locally processed
+    /// interactions on each shard (default: every
+    /// 1024, mirroring the sequential engine). Spike-triggered samples are
+    /// unaffected.
+    ///
+    /// # Errors
+    /// [`TinError::InvalidConfig`] if `every` is zero;
+    /// [`TinError::WorkerLost`] if a shard worker died.
+    pub fn with_footprint_sample_interval(mut self, every: usize) -> Result<Self> {
+        if every == 0 {
+            return Err(TinError::InvalidConfig(
+                "footprint sample interval must be positive".into(),
+            ));
+        }
+        for shard in 0..self.num_shards {
+            self.send_to(shard, ToShard::SetSampleInterval(every))?;
+        }
+        Ok(self)
+    }
+
+    /// The attached observability sink, if any. Worker metrics lag until
+    /// the next sync barrier; use [`Self::take_obs`] for final numbers.
+    pub fn obs(&self) -> Option<&Obs> {
+        self.obs.as_deref().map(|s| &s.obs)
+    }
+
+    /// Quiesce (folding every worker's outstanding metric and span deltas
+    /// into the sink) and detach the observability sink.
+    ///
+    /// # Errors
+    /// [`TinError::WorkerLost`] if a shard worker died.
+    pub fn take_obs(&mut self) -> Result<Option<Obs>> {
+        if self.obs.is_none() {
+            return Ok(None);
+        }
+        self.quiesce()?;
+        Ok(self.obs.take().map(|s| s.obs))
+    }
+
     /// Quiesce all shards at the current stream position and capture one
     /// shard-count-independent [`Checkpoint`] of the full engine state.
     ///
@@ -427,7 +637,12 @@ impl ShardedEngine {
         // order so the file is independent of the shard count that wrote it.
         states.sort_unstable_by_key(|(v, _)| *v);
         debug_assert_eq!(states.len(), self.num_vertices);
-        self.busy_secs += start.elapsed().as_secs_f64();
+        let capture = start.elapsed();
+        self.busy_secs += capture.as_secs_f64();
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.obs.metrics.observe_duration(o.ckpt_capture_ns, capture);
+            o.obs.trace.record("checkpoint_capture", 0, start);
+        }
         Ok(Checkpoint {
             policy: self.config.clone(),
             num_vertices: self.num_vertices,
@@ -451,6 +666,10 @@ impl ShardedEngine {
         let checkpoint = self.checkpoint()?;
         let path = store.save(&checkpoint)?;
         self.checkpoints_taken += 1;
+        let stats = store.last_save_stats();
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.record_save(stats);
+        }
         Ok(path)
     }
 
@@ -505,10 +724,30 @@ impl ShardedEngine {
         for shard in 0..self.num_shards {
             self.send_to(shard, ToShard::Sync { processed, now })?;
         }
+        self.collect_sync_acks()
+    }
+
+    /// Receive one sync acknowledgement per shard and fold any attached
+    /// observability deltas into the main sink — sorted by shard id first,
+    /// so the merged registry does not depend on acknowledgement arrival
+    /// order.
+    fn collect_sync_acks(&mut self) -> Result<()> {
+        let mut deltas: Vec<(usize, Box<WorkerObsDelta>)> = Vec::new();
         for _ in 0..self.num_shards {
             match self.recv()? {
-                FromShard::Synced => {}
+                FromShard::Synced { shard, obs } => {
+                    if let Some(delta) = obs {
+                        deltas.push((shard, delta));
+                    }
+                }
                 _ => unreachable!("only sync acknowledgements are outstanding"),
+            }
+        }
+        if let Some(o) = self.obs.as_deref_mut() {
+            deltas.sort_by_key(|(shard, _)| *shard);
+            for (_, delta) in &deltas {
+                o.obs.metrics.merge_prefix_from(&delta.metrics);
+                o.obs.trace.extend_from(&delta.events);
             }
         }
         Ok(())
@@ -572,7 +811,11 @@ impl ShardedEngine {
                 let checkpoint = self.checkpoint()?;
                 let (store, _) = self.durable.as_mut().expect("durable checked above");
                 store.save(&checkpoint)?;
+                let stats = store.last_save_stats();
                 self.checkpoints_taken += 1;
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.record_save(stats);
+                }
             }
         }
         Ok(())
@@ -687,6 +930,9 @@ impl ShardedEngine {
         // it into the running peak.
         let current: usize = self.latest_footprint.iter().sum();
         self.peak_footprint = self.peak_footprint.max(current);
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.obs.metrics.set_gauge(o.footprint_bytes, current as u64);
+        }
         self.busy_secs += start.elapsed().as_secs_f64();
         Ok(EngineReport {
             policy: self.policy_key.clone(),
@@ -727,14 +973,14 @@ impl ShardedEngine {
                 },
             )?;
         }
-        for _ in 0..self.num_shards {
-            match self.recv()? {
-                FromShard::Synced => {}
-                _ => unreachable!("only sync acknowledgements are outstanding"),
-            }
-        }
+        self.collect_sync_acks()?;
         self.synced_through = self.processed;
-        self.busy_secs += start.elapsed().as_secs_f64();
+        let elapsed = start.elapsed();
+        self.busy_secs += elapsed.as_secs_f64();
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.obs.metrics.observe_duration(o.barrier_ns, elapsed);
+            o.obs.trace.record("quiesce", 0, start);
+        }
         Ok(())
     }
 
@@ -747,6 +993,11 @@ impl ShardedEngine {
             return Ok(());
         }
         let start_time = self.open_batch[0].time.value();
+        let dispatch_started = self.obs.is_some().then(Instant::now);
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.obs.metrics.observe(o.wavefront_size, len as u64);
+            o.obs.metrics.inc(o.wavefronts);
+        }
 
         let mut cmds: Vec<BatchCmd> = (0..self.num_shards)
             .map(|_| BatchCmd {
@@ -788,6 +1039,12 @@ impl ShardedEngine {
                 newborn: vec![0.0; len],
             },
         );
+        if let (Some(started), Some(o)) = (dispatch_started, self.obs.as_deref_mut()) {
+            o.obs.trace.record("wavefront_dispatch", 0, started);
+            o.obs
+                .metrics
+                .set_gauge(o.inflight, self.in_flight.len() as u64);
+        }
         // Backpressure: bound the number of wavefronts in flight.
         while self.in_flight.len() > MAX_IN_FLIGHT {
             self.handle_completion()?;
@@ -846,6 +1103,9 @@ impl ShardedEngine {
             self.latest_footprint[shard] = total;
             let current: usize = self.latest_footprint.iter().sum();
             self.peak_footprint = self.peak_footprint.max(current);
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.obs.metrics.set_gauge(o.footprint_bytes, current as u64);
+            }
         }
         let batch = self
             .in_flight
@@ -977,7 +1237,12 @@ fn shard_worker(
     // arrival order before reading the channel again.
     let mut backlog: VecDeque<ToShard> = VecDeque::new();
     let mut processed_local = 0usize;
-    let mut next_sample = SHARD_SAMPLE_INTERVAL;
+    let mut sample_interval = SHARD_SAMPLE_INTERVAL;
+    let mut next_sample = sample_interval;
+    // Private observability state, created on `EnableObs`: the worker
+    // accumulates locally (no cross-thread synchronisation on the batch
+    // path) and ships a delta with every sync acknowledgement.
+    let mut obs: Option<WorkerObs> = None;
 
     loop {
         let msg = match backlog.pop_front() {
@@ -1009,7 +1274,35 @@ fn shard_worker(
             }
             ToShard::Sync { processed, now } => {
                 tracker.sync_epoch(processed, now);
-                let _ = main_tx.send(FromShard::Synced);
+                // Ship accumulated metrics and spans, then reset: counters
+                // and histograms fold additively on the main side, so each
+                // delta must cover exactly one barrier-to-barrier window.
+                let delta = obs.as_mut().map(|o| {
+                    let d = Box::new(WorkerObsDelta {
+                        metrics: o.metrics.clone(),
+                        events: o.trace.events().to_vec(),
+                    });
+                    o.metrics.reset_values();
+                    o.trace.clear();
+                    d
+                });
+                let _ = main_tx.send(FromShard::Synced {
+                    shard: shard_id,
+                    obs: delta,
+                });
+            }
+            ToShard::EnableObs { epoch } => {
+                let mut metrics = Registry::new();
+                let ids = register_worker_metrics(&mut metrics);
+                obs = Some(WorkerObs {
+                    ids,
+                    metrics,
+                    trace: Recorder::with_epoch(WORKER_TRACE_CAPACITY, epoch),
+                });
+            }
+            ToShard::SetSampleInterval(every) => {
+                sample_interval = every;
+                next_sample = processed_local + every;
             }
             ToShard::QueryOrigins(v) => {
                 let _ = main_tx.send(FromShard::Origins(tracker.origins(v)));
@@ -1060,6 +1353,9 @@ fn shard_worker(
             }
             ToShard::Batch(cmd) => {
                 let start = cmd.start;
+                let (n_locals, n_imports, n_exports) =
+                    (cmd.locals.len(), cmd.imports.len(), cmd.exports.len());
+                let batch_started = obs.is_some().then(Instant::now);
                 let newborn = match run_batch(
                     shard_id,
                     tracker.as_mut(),
@@ -1086,11 +1382,31 @@ fn shard_worker(
                 let spiked = tracker.take_footprint_spike();
                 let mut sample = None;
                 if spiked || processed_local >= next_sample {
-                    next_sample = processed_local + SHARD_SAMPLE_INTERVAL;
+                    next_sample = processed_local + sample_interval;
                     sample = Some(tracker.footprint().total());
                     if !spiked {
                         tracker.note_footprint_sampled();
                     }
+                }
+                if let (Some(o), Some(started)) = (obs.as_mut(), batch_started) {
+                    o.metrics.add(o.ids.locals, n_locals as u64);
+                    o.metrics.add(o.ids.imports, n_imports as u64);
+                    // Each export ships one state out; each import ships
+                    // the borrowed state home after processing.
+                    o.metrics
+                        .add(o.ids.migrations, (n_exports + n_imports) as u64);
+                    if spiked {
+                        o.metrics.inc(o.ids.spikes);
+                    }
+                    o.metrics
+                        .observe_duration(o.ids.batch_ns, started.elapsed());
+                    o.metrics
+                        .set_gauge(o.ids.backlog_depth, backlog.len() as u64);
+                    o.metrics.set_gauge(
+                        o.ids.stash_depth,
+                        stash.values().map(VecDeque::len).sum::<usize>() as u64,
+                    );
+                    o.trace.record("shard_batch", shard_id as u32 + 1, started);
                 }
                 if main_tx
                     .send(FromShard::BatchDone {

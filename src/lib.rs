@@ -34,6 +34,7 @@ pub use tin_analytics as analytics;
 pub use tin_core as core;
 pub use tin_datasets as datasets;
 pub use tin_memstats as memstats;
+pub use tin_obs as obs;
 pub use tin_shard as shard;
 
 /// One-stop import for applications: the core prelude plus the most used

@@ -118,6 +118,82 @@ fn sharded_matches_sequential_on_generated_datasets() {
     }
 }
 
+/// Observability is invisible to results, and the merged worker metrics
+/// account for every interaction exactly once across all shards.
+#[test]
+fn sharded_observability_merges_worker_metrics_deterministically() {
+    use tin_datasets::{DatasetKind, DatasetSpec, ScaleProfile};
+    use tin_obs::Obs;
+    let spec = DatasetSpec::with_seed(DatasetKind::Bitcoin, ScaleProfile::Tiny, 7);
+    let n = spec.num_vertices();
+    let stream = tin_datasets::generate(&spec);
+    let config = PolicyConfig::Plain(SelectionPolicy::ProportionalSparse);
+
+    let mut plain = ShardedEngine::new(&config, n, 3).unwrap();
+    plain.process_all(&stream).unwrap();
+    let plain_report = plain.report().unwrap();
+
+    let mut instrumented = ShardedEngine::new(&config, n, 3)
+        .unwrap()
+        .with_observability(Obs::new())
+        .unwrap()
+        .with_footprint_sample_interval(64)
+        .unwrap();
+    instrumented.process_all(&stream).unwrap();
+    let report = instrumented.report().unwrap();
+    // Flow totals are bit-identical; `peak_footprint_bytes` is *not*
+    // compared because the denser sampling interval legitimately observes
+    // different peaks — sampling cadence is not part of the guarantee.
+    assert_eq!(report.total_quantity, plain_report.total_quantity);
+    assert_eq!(report.newborn_quantity, plain_report.newborn_quantity);
+
+    let obs = instrumented.take_obs().unwrap().expect("sink was attached");
+    assert!(instrumented.obs().is_none(), "take_obs detaches the sink");
+    let snap = obs.snapshot();
+    let counter = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|c| c.name == name)
+            .unwrap_or_else(|| panic!("counter {name} registered"))
+            .value
+    };
+    // Every interaction is processed exactly once, either locally on the
+    // owning shard or as an import on the destination owner.
+    assert_eq!(
+        counter("shard_local_interactions_total") + counter("shard_import_interactions_total"),
+        stream.len() as u64
+    );
+    // Each import moves a state out and home again: two migrations per
+    // cross-shard interaction.
+    assert_eq!(
+        counter("shard_state_migrations_total"),
+        2 * counter("shard_import_interactions_total")
+    );
+    let wavefronts = counter("wavefronts_total");
+    assert!(wavefronts > 0);
+    let sizes = snap
+        .histograms
+        .iter()
+        .find(|h| h.name == "wavefront_batch_size")
+        .expect("wavefront size histogram registered");
+    assert_eq!(sizes.count, wavefronts);
+    assert_eq!(sizes.sum, stream.len() as u64);
+    // The footprint gauge saw the shards' merged samples.
+    let footprint = snap
+        .gauges
+        .iter()
+        .find(|g| g.name == "footprint_bytes")
+        .expect("footprint gauge registered");
+    assert!(footprint.samples > 0 && footprint.last > 0);
+    // Worker spans were re-based onto the shared timeline.
+    assert!(obs.trace.events().iter().any(|e| e.name == "shard_batch"));
+    assert!(obs
+        .trace
+        .events()
+        .iter()
+        .any(|e| e.name == "wavefront_dispatch" && e.tid == 0));
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -175,6 +251,74 @@ proptest! {
                         shards
                     );
                 }
+            }
+        }
+    }
+
+    /// A metrics-and-trace-enabled sharded run is bit-identical to an
+    /// uninstrumented sequential run — the observability layer observes,
+    /// it never participates. Checked across policies and shard counts.
+    #[test]
+    fn instrumented_sharded_matches_uninstrumented_sequential(stream in interaction_stream(40)) {
+        let n = MAX_VERTICES as usize;
+        for config in all_configs(n) {
+            let mut sequential = ProvenanceEngine::new(&config, n).unwrap();
+            sequential.process_all(&stream).unwrap();
+            let seq_report = sequential.report();
+            for shards in [2usize, 5] {
+                let mut sharded = ShardedEngine::new(&config, n, shards)
+                    .unwrap()
+                    .with_observability(tin_obs::Obs::new())
+                    .unwrap()
+                    .with_footprint_sample_interval(16)
+                    .unwrap();
+                sharded.process_all(&stream).unwrap();
+                let report = sharded.report().unwrap();
+                prop_assert_eq!(
+                    report.total_quantity,
+                    seq_report.total_quantity,
+                    "instrumented total_quantity mismatch under {} with {} shards",
+                    config.key(),
+                    shards
+                );
+                prop_assert_eq!(
+                    report.newborn_quantity,
+                    seq_report.newborn_quantity,
+                    "instrumented newborn_quantity mismatch under {} with {} shards",
+                    config.key(),
+                    shards
+                );
+                for v in 0..n {
+                    let v = VertexId::from(v);
+                    prop_assert_eq!(
+                        sharded.buffered(v).unwrap(),
+                        sequential.buffered(v),
+                        "instrumented buffered({}) mismatch under {} with {} shards",
+                        v,
+                        config.key(),
+                        shards
+                    );
+                    prop_assert_eq!(
+                        sharded.origins(v).unwrap(),
+                        sequential.origins(v),
+                        "instrumented origins({}) mismatch under {} with {} shards",
+                        v,
+                        config.key(),
+                        shards
+                    );
+                }
+                let obs = sharded.take_obs().unwrap().expect("sink was attached");
+                let processed: u64 = obs
+                    .snapshot()
+                    .counters
+                    .iter()
+                    .filter(|c| {
+                        c.name == "shard_local_interactions_total"
+                            || c.name == "shard_import_interactions_total"
+                    })
+                    .map(|c| c.value)
+                    .sum();
+                prop_assert_eq!(processed, stream.len() as u64);
             }
         }
     }
