@@ -2,11 +2,14 @@
 //!
 //! Runs every feasible policy configuration over fixed-seed synthetic
 //! workloads (Bitcoin- and taxi-shaped, the two stream shapes the paper's
-//! evaluation leans on) and writes `BENCH_PR8.json`: interactions/sec,
+//! evaluation leans on) and writes `BENCH_PR9.json`: interactions/sec,
 //! per-interaction latency quantiles (p50/p90/p99/max from the `tin-obs`
 //! `tracker_latency_ns` histogram), peak provenance footprint and allocator
 //! peak per policy, plus a sequential-vs-sharded scaling section for the
-//! `tin-shard` wavefront engine. The JSON schema is documented in the
+//! `tin-shard` wavefront engine, a durable-checkpoint cost section, and a
+//! `recovery_time` section that kills one worker mid-stream on a
+//! self-healing sharded engine and reports the measured recovery-time
+//! objective per snapshot interval. The JSON schema is documented in the
 //! repository README ("Benchmark baseline"); numbers from this emitter are
 //! the perf trajectory that later PRs are measured against.
 //!
@@ -32,7 +35,7 @@
 //! Scale is controlled by `TIN_SCALE` (use `TIN_SCALE=tiny` as CI smoke
 //! mode), the seed by `TIN_SEED`, timing repetitions by `TIN_BENCH_REPS`
 //! (default 5), and the output path by `--out PATH` (default
-//! `BENCH_PR8.json`).
+//! `BENCH_PR9.json`).
 
 use std::time::Instant;
 
@@ -480,6 +483,116 @@ fn run_checkpoint_section(config: &PolicyConfig, w: &Workload, reps: usize) -> C
     }
 }
 
+struct RecoveryRow {
+    /// In-memory recovery-snapshot interval (interactions between
+    /// snapshots): bounds the replay work a recovery has to redo.
+    snapshot_every: usize,
+    /// Measured recovery-time objective: wall-clock from failure detection
+    /// to the end of replay, per [`tin_shard::RecoveryStats::last_rto_secs`].
+    rto: TimingStats,
+    /// Most interactions any rep's recovery had to replay (worst case over
+    /// the K reps; bounded above by `snapshot_every`).
+    replayed_interactions: usize,
+    reps: usize,
+}
+
+struct RecoverySection {
+    policy: String,
+    shards: usize,
+    rows: Vec<RecoveryRow>,
+}
+
+/// One self-healing pass: kill one worker mid-stream, let the supervised
+/// engine respawn + restore + replay, and read back the measured RTO.
+/// Returns `(last_rto_secs, replayed_interactions)`.
+fn time_recovery_pass(
+    config: &PolicyConfig,
+    w: &Workload,
+    shards: usize,
+    snapshot_every: usize,
+) -> (f64, usize) {
+    let policy = tin_shard::RecoveryPolicy {
+        snapshot_every,
+        restart_backoff: std::time::Duration::from_millis(1),
+        ..Default::default()
+    };
+    let mut engine = ShardedEngine::new(config, w.num_vertices, shards)
+        .expect("benchmark configs are valid")
+        .with_self_healing(policy)
+        .expect("recovery policy is valid");
+    let kill_at = w.interactions.len() / 2;
+    for (i, r) in w.interactions.iter().enumerate() {
+        if i == kill_at {
+            engine
+                .inject_worker_panic(i % shards)
+                .expect("workers healthy before the kill");
+        }
+        engine.process(r).expect("self-healing absorbs the kill");
+    }
+    std::hint::black_box(engine.report().expect("workers healthy"));
+    let stats = engine.recovery_stats();
+    assert!(
+        stats.recoveries >= 1,
+        "the injected worker panic must trigger a recovery"
+    );
+    (stats.last_rto_secs, stats.replayed_interactions)
+}
+
+/// Measured recovery-time objective at two snapshot intervals: K
+/// interleaved reps per interval, each killing one worker halfway through
+/// the stream on a self-healing sharded engine. The RTO is the engine's own
+/// failure-to-replay-complete clock, so it isolates recovery cost from the
+/// surrounding pass.
+fn run_recovery_section(config: &PolicyConfig, w: &Workload, reps: usize) -> RecoverySection {
+    // Every pass kills one worker on purpose; keep the resulting panic
+    // messages out of the report. Non-worker panics still print.
+    let prev = std::sync::Arc::new(std::panic::take_hook());
+    let fwd = prev.clone();
+    std::panic::set_hook(Box::new(move |info| {
+        let worker = std::thread::current()
+            .name()
+            .is_some_and(|n| n.starts_with("tin-shard"));
+        if !worker {
+            fwd(info);
+        }
+    }));
+
+    let len = w.interactions.len();
+    let shards = 4usize;
+    // Roughly 4 and 16 snapshots per pass — the same interval grid as the
+    // durable-checkpoint section, so replay-bound effects line up.
+    let intervals = [len.div_ceil(4).max(1), len.div_ceil(16).max(1)];
+
+    let mut rto_samples: Vec<Vec<f64>> = vec![Vec::with_capacity(reps); intervals.len()];
+    let mut replayed: Vec<usize> = vec![0; intervals.len()];
+    for _ in 0..reps {
+        for (i, &every) in intervals.iter().enumerate() {
+            let (rto, n) = time_recovery_pass(config, w, shards, every);
+            rto_samples[i].push(rto);
+            replayed[i] = replayed[i].max(n);
+        }
+    }
+    let rows = intervals
+        .iter()
+        .zip(rto_samples.iter_mut())
+        .zip(replayed)
+        .map(
+            |((&snapshot_every, samples), replayed_interactions)| RecoveryRow {
+                snapshot_every,
+                rto: TimingStats::from_samples(samples),
+                replayed_interactions,
+                reps,
+            },
+        )
+        .collect();
+    std::panic::set_hook(Box::new(move |info| prev(info)));
+    RecoverySection {
+        policy: config.key(),
+        shards,
+        rows,
+    }
+}
+
 struct SweepRow {
     dense_threshold: f64,
     timing: TimingStats,
@@ -539,7 +652,7 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(5)
         .max(1);
-    let mut out_path = "BENCH_PR8.json".to_string();
+    let mut out_path = "BENCH_PR9.json".to_string();
     let mut sweep_threshold = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -577,6 +690,7 @@ fn main() {
     let mut workload_blobs = Vec::new();
     let mut scaling_blobs = Vec::new();
     let mut checkpoint_blobs = Vec::new();
+    let mut recovery_blobs = Vec::new();
     let mut sweep_blobs = Vec::new();
     let mut measured_prop_sparse: Vec<(String, f64)> = Vec::new();
     for kind in kinds {
@@ -738,6 +852,49 @@ fn main() {
             interval_blobs.join(",\n      "),
         ));
 
+        // Measured RTO of the self-healing sharded engine at two snapshot
+        // intervals, same hot-path policy.
+        let recovery = run_recovery_section(&scaling_config, &w, reps);
+        println!(
+            "    recovery ({}, {} shards):",
+            recovery.policy, recovery.shards
+        );
+        let recovery_rows: Vec<String> = recovery
+            .rows
+            .iter()
+            .map(|row| {
+                println!(
+                    "      snapshot every {:<8} rto {:>10.3} ms  replayed <= {}",
+                    row.snapshot_every,
+                    row.rto.median_secs * 1e3,
+                    row.replayed_interactions,
+                );
+                format!(
+                    concat!(
+                        "{{\"snapshot_every\": {}, \"rto_secs\": {}, ",
+                        "\"rto_secs_min\": {}, \"rto_secs_max\": {}, ",
+                        "\"replayed_interactions\": {}, \"reps\": {}}}"
+                    ),
+                    row.snapshot_every,
+                    fmt_f64(row.rto.median_secs),
+                    fmt_f64(row.rto.min_secs),
+                    fmt_f64(row.rto.max_secs),
+                    row.replayed_interactions,
+                    row.reps,
+                )
+            })
+            .collect();
+        recovery_blobs.push(format!(
+            concat!(
+                "{{\"dataset\": \"{}\", \"policy\": \"{}\", \"shards\": {},\n",
+                "     \"intervals\": [\n      {}\n     ]}}"
+            ),
+            kind.key(),
+            json_escape(&recovery.policy),
+            recovery.shards,
+            recovery_rows.join(",\n      "),
+        ));
+
         // Optional adaptive-promotion-threshold sweep.
         if sweep_threshold && sparse_proportional_feasible(w.num_vertices, w.interactions.len()) {
             println!("    threshold sweep (prop_adaptive):");
@@ -808,7 +965,7 @@ fn main() {
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema_version\": 3,\n",
+            "  \"schema_version\": 4,\n",
             "  \"generated_by\": \"bench_baseline\",\n",
             "  \"scale\": \"{}\",\n",
             "  \"seed\": {},\n",
@@ -817,6 +974,7 @@ fn main() {
             "  \"workloads\": [\n    {}\n  ],\n",
             "  \"sharded_scaling\": [\n    {}\n  ],\n",
             "  \"checkpoint_cost\": [\n    {}\n  ],\n",
+            "  \"recovery_time\": [\n    {}\n  ],\n",
             "{}",
             "  \"prop_sparse_reference\": {{\n",
             "    \"description\": \"pre-optimisation proportional-sparse throughput, ",
@@ -831,6 +989,7 @@ fn main() {
         workload_blobs.join(",\n    "),
         scaling_blobs.join(",\n    "),
         checkpoint_blobs.join(",\n    "),
+        recovery_blobs.join(",\n    "),
         sweep_section,
         speedups.join(",\n      "),
     );

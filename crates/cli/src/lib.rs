@@ -33,6 +33,7 @@ use std::fmt::Write as _;
 use tin_analytics::alerts::{AlertConfig, AlertEngine};
 use tin_analytics::distribution::ProvenanceDistribution;
 use tin_analytics::mining::{cluster_by_provenance, most_similar_pairs};
+use tin_chaos::ChaosPlan;
 use tin_core::checkpoint::CheckpointStore;
 use tin_core::error::TinError;
 use tin_core::memory::format_bytes;
@@ -84,6 +85,14 @@ pub enum Command {
         progress_every: Option<usize>,
         /// Override the engines' footprint sampling interval.
         footprint_sample_every: Option<usize>,
+        /// Fault-injection plan (see `tin-chaos`): worker kills/stalls at
+        /// given stream positions and transient checkpoint write faults.
+        chaos_plan: Option<String>,
+        /// Seed for resolving chaos-plan victims deterministically.
+        chaos_seed: u64,
+        /// Self-healing budget for sharded runs: how many times the worker
+        /// pool may be respawned after a failure (0 = fail fast).
+        max_worker_restarts: usize,
     },
     /// Run a selection policy over the trace and summarise the provenance of
     /// the busiest vertices.
@@ -166,6 +175,7 @@ USAGE:
                    [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
                    [--crash-at K] [--metrics-out FILE.json] [--trace-out FILE.json]
                    [--progress-every N] [--footprint-sample-every N]
+                   [--chaos-plan PLAN] [--chaos-seed S] [--max-worker-restarts N]
   tin-cli track    <trace> [--policy KEY] [--top N]
   tin-cli origins  <trace> --vertex NAME [--policy KEY] [--at TIME]
   tin-cli snapshot <trace> [--policy KEY] --out FILE.tsv
@@ -182,7 +192,12 @@ CHECKPOINTS: --checkpoint-dir persists recovery checkpoints while running;
   after K interactions (non-zero exit) for recovery drills.
 OBSERVABILITY: --metrics-out writes a metrics JSON snapshot after the run;
   --trace-out writes a Chrome trace-event JSON (open in ui.perfetto.dev);
-  --progress-every N prints progress to stderr every N interactions.";
+  --progress-every N prints progress to stderr every N interactions.
+SELF-HEALING & CHAOS: sharded runs recover from worker deaths automatically
+  (--max-worker-restarts N respawn budget, default 3; 0 = fail fast).
+  --chaos-plan injects deterministic faults: kill-worker@K[:SHARD],
+  stall-worker@K:MILLIS[:SHARD], ckpt-fault@NTH[xCOUNT], comma-separated;
+  --chaos-seed S picks victims for events without an explicit shard.";
 
 /// Parse a policy key (`fifo`, `prop_sparse`, …) into a [`SelectionPolicy`].
 pub fn parse_policy(key: &str) -> Result<SelectionPolicy, String> {
@@ -315,6 +330,29 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     })
                 })
                 .transpose()?,
+            chaos_plan: take_flag(&mut flags, "chaos-plan")
+                .map(|v| {
+                    // Validate the grammar at parse time so typos are usage
+                    // errors before any trace is loaded.
+                    ChaosPlan::parse(&v)
+                        .map(|_| v.clone())
+                        .map_err(|e| format!("invalid --chaos-plan {v:?}: {e}"))
+                })
+                .transpose()?,
+            chaos_seed: take_flag(&mut flags, "chaos-seed")
+                .map(|v| {
+                    v.parse::<u64>()
+                        .map_err(|_| format!("invalid --chaos-seed {v:?}"))
+                })
+                .transpose()?
+                .unwrap_or(0),
+            max_worker_restarts: take_flag(&mut flags, "max-worker-restarts")
+                .map(|v| {
+                    v.parse::<usize>()
+                        .map_err(|_| format!("invalid --max-worker-restarts {v:?}"))
+                })
+                .transpose()?
+                .unwrap_or(3),
         },
         "track" => Command::Track {
             path: first_positional(&positional, "trace path")?,
@@ -488,10 +526,21 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             trace_out,
             progress_every,
             footprint_sample_every,
+            chaos_plan,
+            chaos_seed,
+            max_worker_restarts,
         } => {
             let named = load(path)?;
             let n = named.num_vertices();
             let config = PolicyConfig::Plain(*policy);
+            // Chaos: the plan's grammar was validated at parse time;
+            // resolving it against the shard count can still fail (worker
+            // events on a sequential run, explicit shard out of range).
+            let chaos = chaos_plan
+                .as_deref()
+                .map(ChaosPlan::parse)
+                .transpose()
+                .map_err(|e| CliError::Usage(format!("run: {e}")))?;
             // Recovery: locate the newest valid checkpoint before building
             // any engine, and refuse checkpoints that disagree with the
             // requested run (wrong policy or a different trace).
@@ -538,7 +587,16 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             let durable_store =
                 |dir: &Option<String>| -> Result<Option<CheckpointStore>, CliError> {
                     Ok(match dir {
-                        Some(dir) => Some(CheckpointStore::open(dir)?),
+                        Some(dir) => {
+                            let mut store = CheckpointStore::open(dir)?;
+                            // ckpt-fault events fail write *attempts*; the
+                            // store's bounded retry loop absorbs transient
+                            // windows shorter than its attempt budget.
+                            if let Some(plan) = &chaos {
+                                plan.arm_checkpoint_store(&mut store);
+                            }
+                            Some(store)
+                        }
                         None => None,
                     })
                 };
@@ -577,6 +635,11 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             };
             let run_started = std::time::Instant::now();
             let (report, rows, obs) = if *shards <= 1 {
+                if chaos.as_ref().is_some_and(ChaosPlan::has_worker_events) {
+                    return Err(CliError::Usage(
+                        "run: worker chaos events need --shards >= 2".into(),
+                    ));
+                }
                 let mut engine = match &resumed {
                     Some(checkpoint) => {
                         tin_core::engine::ProvenanceEngine::resume_from(checkpoint)?
@@ -611,10 +674,24 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                 let obs = engine.take_obs();
                 (engine.report(), rows, obs)
             } else {
+                let mut driver = chaos
+                    .as_ref()
+                    .map(|plan| plan.driver(*shards, *chaos_seed))
+                    .transpose()
+                    .map_err(|e| CliError::Usage(format!("run: {e}")))?;
                 let mut engine = match &resumed {
                     Some(checkpoint) => tin_shard::ShardedEngine::resume_from(checkpoint, *shards)?,
                     None => tin_shard::ShardedEngine::new(&config, n, *shards)?,
                 };
+                // Sharded runs self-heal by default: worker deaths trigger
+                // respawn + snapshot restore + deterministic replay, so the
+                // report below is byte-identical to an undisturbed run.
+                if *max_worker_restarts > 0 {
+                    engine = engine.with_self_healing(tin_shard::RecoveryPolicy {
+                        max_worker_restarts: *max_worker_restarts,
+                        ..tin_shard::RecoveryPolicy::default()
+                    })?;
+                }
                 if let Some(every) = footprint_sample_every {
                     engine = engine.with_footprint_sample_interval(*every)?;
                 }
@@ -625,6 +702,9 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                     engine = engine.with_durable_checkpoints(store, *checkpoint_every)?;
                 }
                 for (i, r) in stream.iter().enumerate() {
+                    if let Some(driver) = driver.as_mut() {
+                        driver.before_interaction(skip + i, &mut engine)?;
+                    }
                     engine.process(r)?;
                     progress(skip + i + 1);
                 }
@@ -959,7 +1039,10 @@ mod tests {
                 metrics_out: None,
                 trace_out: None,
                 progress_every: None,
-                footprint_sample_every: None
+                footprint_sample_every: None,
+                chaos_plan: None,
+                chaos_seed: 0,
+                max_worker_restarts: 3
             }
         );
         assert_eq!(
@@ -976,7 +1059,10 @@ mod tests {
                 metrics_out: None,
                 trace_out: None,
                 progress_every: None,
-                footprint_sample_every: None
+                footprint_sample_every: None,
+                chaos_plan: None,
+                chaos_seed: 0,
+                max_worker_restarts: 3
             }
         );
         assert_eq!(
@@ -1004,7 +1090,10 @@ mod tests {
                 metrics_out: None,
                 trace_out: None,
                 progress_every: None,
-                footprint_sample_every: None
+                footprint_sample_every: None,
+                chaos_plan: None,
+                chaos_seed: 0,
+                max_worker_restarts: 3
             }
         );
         assert_eq!(
@@ -1033,7 +1122,42 @@ mod tests {
                 metrics_out: Some("m.json".into()),
                 trace_out: Some("t.json".into()),
                 progress_every: Some(500),
-                footprint_sample_every: Some(256)
+                footprint_sample_every: Some(256),
+                chaos_plan: None,
+                chaos_seed: 0,
+                max_worker_restarts: 3
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&[
+                "run",
+                "a.csv",
+                "--shards",
+                "2",
+                "--chaos-plan",
+                "kill-worker@450,ckpt-fault@2x2",
+                "--chaos-seed",
+                "7",
+                "--max-worker-restarts",
+                "5"
+            ]))
+            .unwrap(),
+            Command::Run {
+                path: "a.csv".into(),
+                policy: SelectionPolicy::ProportionalSparse,
+                shards: 2,
+                top: 10,
+                checkpoint_dir: None,
+                checkpoint_every: 1000,
+                resume: false,
+                crash_at: None,
+                metrics_out: None,
+                trace_out: None,
+                progress_every: None,
+                footprint_sample_every: None,
+                chaos_plan: Some("kill-worker@450,ckpt-fault@2x2".into()),
+                chaos_seed: 7,
+                max_worker_restarts: 5
             }
         );
         assert_eq!(
@@ -1115,6 +1239,10 @@ mod tests {
         assert!(parse_args(&args(&["run", "a.csv", "--footprint-sample-every", "0"])).is_err());
         assert!(parse_args(&args(&["run", "a.csv", "--metrics-out"])).is_err());
         assert!(parse_args(&args(&["run", "a.csv", "--trace-out"])).is_err());
+        assert!(parse_args(&args(&["run", "a.csv", "--chaos-plan", "explode@now"])).is_err());
+        assert!(parse_args(&args(&["run", "a.csv", "--chaos-plan", "kill-worker@"])).is_err());
+        assert!(parse_args(&args(&["run", "a.csv", "--chaos-seed", "entropy"])).is_err());
+        assert!(parse_args(&args(&["run", "a.csv", "--max-worker-restarts", "x"])).is_err());
         assert!(parse_args(&args(&["influence", "a.csv", "--top", "lots"])).is_err());
         assert!(parse_args(&args(&["similar", "a.csv", "--threshold", "high"])).is_err());
         assert!(parse_args(&args(&["track", "a.csv", "--policy", "bogus"])).is_err());
@@ -1189,6 +1317,9 @@ mod tests {
                 trace_out: None,
                 progress_every: None,
                 footprint_sample_every: None,
+                chaos_plan: None,
+                chaos_seed: 0,
+                max_worker_restarts: 3,
             })
             .unwrap();
             assert!(out.contains("interactions    : 4"));
@@ -1219,6 +1350,9 @@ mod tests {
             footprint_sample_every: metrics.as_ref().map(|_| 1),
             metrics_out: metrics,
             trace_out: trace,
+            chaos_plan: None,
+            chaos_seed: 0,
+            max_worker_restarts: 3,
         };
         for shards in [1usize, 2] {
             let metrics_path = temp_path(&format!("metrics_{shards}.json"));
@@ -1276,6 +1410,9 @@ mod tests {
                 trace_out: None,
                 progress_every: None,
                 footprint_sample_every: None,
+                chaos_plan: None,
+                chaos_seed: 0,
+                max_worker_restarts: 3,
             }
         };
         let prop = SelectionPolicy::ProportionalSparse;
@@ -1317,6 +1454,90 @@ mod tests {
             Err(CliError::Usage(msg)) => assert!(msg.contains("policy"), "{msg}"),
             other => panic!("expected a policy-mismatch error, got {other:?}"),
         }
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_file(path).ok();
+    }
+
+    /// The CI chaos smoke in miniature: a sharded run with an injected
+    /// worker kill self-heals and prints stdout byte-identical to both the
+    /// undisturbed sharded run and the sequential reference.
+    #[test]
+    fn chaos_kill_output_matches_undisturbed_run() {
+        let path = write_trace();
+        let path_str = path.to_string_lossy().into_owned();
+        let cmd =
+            |shards: usize, chaos_plan: Option<&str>, max_worker_restarts: usize| Command::Run {
+                path: path_str.clone(),
+                policy: SelectionPolicy::ProportionalSparse,
+                shards,
+                top: 10,
+                checkpoint_dir: None,
+                checkpoint_every: 1000,
+                resume: false,
+                crash_at: None,
+                metrics_out: None,
+                trace_out: None,
+                progress_every: None,
+                footprint_sample_every: None,
+                chaos_plan: chaos_plan.map(String::from),
+                chaos_seed: 0,
+                max_worker_restarts,
+            };
+        let reference = run(&cmd(1, None, 3)).unwrap();
+        for seed_plan in ["kill-worker@2", "kill-worker@1:1", "stall-worker@2:20:0"] {
+            let chaotic = run(&cmd(2, Some(seed_plan), 3)).unwrap();
+            assert_eq!(chaotic, reference, "plan {seed_plan} changed stdout");
+        }
+        // With healing disabled, the kill is fatal — the old fail-fast path.
+        assert!(matches!(
+            run(&cmd(2, Some("kill-worker@2"), 0)),
+            Err(CliError::Tin(TinError::WorkerLost { .. }))
+        ));
+        // Worker events cannot target a sequential run.
+        match run(&cmd(1, Some("kill-worker@2"), 3)) {
+            Err(CliError::Usage(msg)) => assert!(msg.contains("--shards"), "{msg}"),
+            other => panic!("expected a usage error, got {other:?}"),
+        }
+        // An explicit victim shard beyond the pool is a usage error too.
+        match run(&cmd(2, Some("kill-worker@2:9"), 3)) {
+            Err(CliError::Usage(msg)) => assert!(msg.contains("out of range"), "{msg}"),
+            other => panic!("expected a usage error, got {other:?}"),
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    /// `ckpt-fault` chaos exercises the checkpoint store's bounded retry:
+    /// a transient window is absorbed and the run (and its checkpoints)
+    /// complete; resuming from them still matches the reference.
+    #[test]
+    fn chaos_checkpoint_faults_are_absorbed_by_retry() {
+        let path = write_trace();
+        let path_str = path.to_string_lossy().into_owned();
+        let dir = temp_path("chaos_ckpt");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cmd = |chaos_plan: Option<&str>, dir: Option<&std::path::Path>| Command::Run {
+            path: path_str.clone(),
+            policy: SelectionPolicy::ProportionalSparse,
+            shards: 2,
+            top: 10,
+            checkpoint_dir: dir.map(|d| d.to_string_lossy().into_owned()),
+            checkpoint_every: 2,
+            resume: false,
+            crash_at: None,
+            metrics_out: None,
+            trace_out: None,
+            progress_every: None,
+            footprint_sample_every: None,
+            chaos_plan: chaos_plan.map(String::from),
+            chaos_seed: 0,
+            max_worker_restarts: 3,
+        };
+        let reference = run(&cmd(None, None)).unwrap();
+        let faulted = run(&cmd(Some("ckpt-fault@1,kill-worker@3"), Some(&dir))).unwrap();
+        assert_eq!(faulted, reference, "chaos changed stdout");
+        // The faulted run still left valid durable checkpoints behind.
+        let store = CheckpointStore::open(&dir).unwrap();
+        assert!(store.load_latest_valid().unwrap().is_some());
         std::fs::remove_dir_all(&dir).ok();
         std::fs::remove_file(path).ok();
     }

@@ -1,4 +1,4 @@
-//! The six workspace lints, over flat token streams from [`crate::lexer`].
+//! The seven workspace lints, over flat token streams from [`crate::lexer`].
 //!
 //! Each lint is a pure function `(file, tokens) -> Vec<Diagnostic>`; the
 //! caller ([`crate::lint_source`]) filters the result through the file's
@@ -12,6 +12,7 @@ pub mod channel;
 pub mod determinism;
 pub mod durability;
 pub mod obs;
+pub mod retry;
 pub mod tracker;
 
 use crate::diagnostics::Diagnostic;
@@ -26,6 +27,7 @@ pub const LINT_NAMES: &[&str] = &[
     "hot-path-alloc",
     "checkpoint-durability",
     "obs-conformance",
+    "bounded-retry",
 ];
 
 /// Run one lint by name over a token stream.
@@ -37,6 +39,7 @@ pub fn run(lint: &str, file: &str, tokens: &[Token]) -> Vec<Diagnostic> {
         "hot-path-alloc" => alloc::check(file, tokens),
         "checkpoint-durability" => durability::check(file, tokens),
         "obs-conformance" => obs::check(file, tokens),
+        "bounded-retry" => retry::check(file, tokens),
         other => panic!("unknown lint `{other}`"),
     }
 }

@@ -1,0 +1,176 @@
+//! L7 — bounded retry: the self-healing machinery promises that every
+//! failure-recovery loop terminates — a respawn budget, a retry attempt
+//! cap, a backoff schedule, a deadline. An unconditional `loop { retry }`
+//! in `crates/shard` or the checkpoint store turns one crashed worker (or
+//! one wedged disk) into a coordinator that spins forever, which is worse
+//! than the fail-fast behavior recovery replaced. Any `loop`/`while` body
+//! that retries, respawns, restarts or heals must live in a function that
+//! visibly references its bound (`max*`, `*budget*`, `*backoff*`,
+//! `*attempts*`, `*limit*`, `*deadline*`, `*timeout*`). `for` loops are
+//! inherently bounded by their iterator and are not scanned.
+
+use super::{in_ranges, matching_close, test_mod_ranges};
+use crate::diagnostics::Diagnostic;
+use crate::lexer::{Token, TokenKind};
+
+/// Identifier substrings that mark a loop as failure-recovery machinery.
+const RETRY_MARKERS: &[&str] = &["retry", "respawn", "restart", "reconnect", "heal"];
+
+/// Identifier substrings that count as an explicit bound or backoff.
+const BOUND_MARKERS: &[&str] = &[
+    "max", "budget", "backoff", "attempts", "limit", "deadline", "timeout",
+];
+
+pub fn check(file: &str, tokens: &[Token]) -> Vec<Diagnostic> {
+    let skip = test_mod_ranges(tokens);
+    let mut diags = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !tokens[i].is_ident("fn") || in_ranges(&skip, i) {
+            i += 1;
+            continue;
+        }
+        // Locate the function body: skip parenthesised signature groups,
+        // stop at `;` for bodiless trait methods.
+        let mut j = i + 1;
+        let mut body = None;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.kind == TokenKind::OpenDelim && t.text == "(" {
+                j = matching_close(tokens, j) + 1;
+                continue;
+            }
+            if t.kind == TokenKind::OpenDelim && t.text == "{" {
+                body = Some((j, matching_close(tokens, j)));
+                break;
+            }
+            if t.is_punct(";") {
+                break;
+            }
+            j += 1;
+        }
+        let Some((open, close)) = body else {
+            i = j + 1;
+            continue;
+        };
+        let bounded = (open..=close).any(|k| has_marker(&tokens[k], BOUND_MARKERS));
+        if !bounded {
+            for k in open..=close {
+                if let Some((keyword, line)) = unbounded_retry_loop(tokens, k, close) {
+                    diags.push(Diagnostic::new(
+                        "bounded-retry",
+                        file,
+                        line,
+                        format!(
+                            "`{keyword}` loop retries without an explicit bound: recovery \
+                             loops must reference a budget, attempt cap, backoff or \
+                             deadline in the enclosing function (one wedged resource must \
+                             not spin the coordinator forever) — or mark a deliberately \
+                             unbounded loop with \
+                             `// tin-lint: allow(bounded-retry): <why>`"
+                        ),
+                    ));
+                }
+            }
+        }
+        i = close + 1;
+    }
+    diags
+}
+
+/// Is token `k` a `loop`/`while` keyword whose body contains retry-flavored
+/// identifiers? Returns the keyword and its line for the diagnostic.
+fn unbounded_retry_loop(
+    tokens: &[Token],
+    k: usize,
+    fn_close: usize,
+) -> Option<(&'static str, usize)> {
+    let keyword = if tokens[k].is_ident("loop") {
+        "loop"
+    } else if tokens[k].is_ident("while") {
+        "while"
+    } else {
+        return None;
+    };
+    // Find the loop body `{`, skipping parenthesised groups in a `while`
+    // condition. A `loop` keyword is followed directly by its body.
+    let mut j = k + 1;
+    while j <= fn_close {
+        let t = &tokens[j];
+        if t.kind == TokenKind::OpenDelim && t.text == "(" {
+            j = matching_close(tokens, j) + 1;
+            continue;
+        }
+        if t.kind == TokenKind::OpenDelim && t.text == "{" {
+            let close = matching_close(tokens, j);
+            let retries = (j..=close).any(|m| has_marker(&tokens[m], RETRY_MARKERS));
+            return retries.then_some((keyword, tokens[k].line));
+        }
+        if t.is_punct(";") {
+            return None;
+        }
+        j += 1;
+    }
+    None
+}
+
+fn has_marker(token: &Token, markers: &[&str]) -> bool {
+    if token.kind != TokenKind::Ident {
+        return false;
+    }
+    let lower = token.text.to_ascii_lowercase();
+    markers.iter().any(|m| lower.contains(m))
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn fires_on_unbounded_retry_loops() {
+        for src in [
+            "fn f(c: &mut Conn) { loop { if c.retry().is_ok() { break; } } }",
+            "fn f(p: &mut Pool) { while !p.healthy() { p.respawn_worker(); } }",
+            "fn f(s: &mut S) { loop { s.restart(); } }",
+            "fn f(s: &mut S) { while s.down() { s.heal(); } }",
+        ] {
+            let d = check("x.rs", &lex(src));
+            assert_eq!(d.len(), 1, "{src}");
+            assert_eq!(d[0].lint, "bounded-retry");
+        }
+    }
+
+    #[test]
+    fn clean_when_the_function_references_a_bound() {
+        for src in [
+            "fn f(c: &mut Conn, max_tries: u32) { let mut n = 0; loop { if c.retry().is_ok() \
+             || n >= max_tries { break; } n += 1; } }",
+            "fn f(s: &mut S) { while s.down() { if s.respawns_used >= s.respawn_budget { \
+             return; } s.respawn(); } }",
+            "fn f(c: &mut C) { loop { if c.retry_with_backoff().is_ok() { break; } } }",
+            "fn f(c: &mut C) { let deadline = now() + WAIT; while c.retry().is_err() { if \
+             now() > deadline { break; } } }",
+        ] {
+            assert!(check("x.rs", &lex(src)).is_empty(), "{src}");
+        }
+    }
+
+    #[test]
+    fn clean_on_loops_that_do_not_retry() {
+        for src in [
+            "fn drain(v: &mut Vec<u32>) { while let Some(_) = v.pop() {} }",
+            "fn spin() { loop { step(); } }",
+            // `for` loops are bounded by their iterator.
+            "fn f(s: &mut S) { for _ in 0..3 { s.retry(); } }",
+        ] {
+            assert!(check("x.rs", &lex(src)).is_empty(), "{src}");
+        }
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "mod tests { fn f(c: &mut C) { loop { c.retry(); } } }";
+        assert!(check("x.rs", &lex(src)).is_empty());
+    }
+}

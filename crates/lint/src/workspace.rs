@@ -13,6 +13,7 @@
 //! | `hot-path-alloc`      | kernel modules under `crates/core/src/`        |
 //! | `checkpoint-durability` | `crates/core/src/checkpoint.rs`              |
 //! | `obs-conformance`     | `crates/core/src/`, `crates/shard/src/`        |
+//! | `bounded-retry`       | `crates/shard/src/`, `crates/core/src/checkpoint.rs` |
 
 use crate::diagnostics::Diagnostic;
 use std::path::{Path, PathBuf};
@@ -53,6 +54,9 @@ pub fn applicable_lints(rel: &str) -> Vec<&'static str> {
     }
     if rel.starts_with("crates/core/src/") || rel.starts_with("crates/shard/src/") {
         lints.push("obs-conformance");
+    }
+    if rel.starts_with("crates/shard/src/") || rel == "crates/core/src/checkpoint.rs" {
+        lints.push("bounded-retry");
     }
     lints
 }
@@ -122,7 +126,12 @@ mod unit {
     fn applicability_table() {
         assert_eq!(
             applicable_lints("crates/shard/src/engine.rs"),
-            vec!["determinism", "channel-protocol", "obs-conformance"]
+            vec![
+                "determinism",
+                "channel-protocol",
+                "obs-conformance",
+                "bounded-retry"
+            ]
         );
         assert_eq!(
             applicable_lints("crates/core/src/tracker/grouped.rs"),
@@ -134,7 +143,12 @@ mod unit {
         );
         assert_eq!(
             applicable_lints("crates/core/src/checkpoint.rs"),
-            vec!["determinism", "checkpoint-durability", "obs-conformance"]
+            vec![
+                "determinism",
+                "checkpoint-durability",
+                "obs-conformance",
+                "bounded-retry"
+            ]
         );
         assert_eq!(
             applicable_lints("crates/obs/src/metrics.rs"),

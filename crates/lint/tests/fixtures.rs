@@ -97,6 +97,11 @@ fn obs_conformance_fixtures() {
     check_lint("obs-conformance");
 }
 
+#[test]
+fn bounded_retry_fixtures() {
+    check_lint("bounded-retry");
+}
+
 /// The firing fixtures double as a JSON-output regression test: rendering
 /// must produce valid-looking, line-anchored records.
 #[test]

@@ -1,0 +1,17 @@
+//! Clean: the respawn loop references an explicit budget and a backoff
+//! constant, so each pass visibly consumes a bounded resource.
+
+pub fn heal_within_budget(pool: &mut Pool, max_restarts: usize) -> bool {
+    let mut used = 0;
+    loop {
+        if pool.healthy() {
+            return true;
+        }
+        if used >= max_restarts {
+            return false;
+        }
+        std::thread::sleep(pool.restart_backoff(used));
+        pool.respawn_all();
+        used += 1;
+    }
+}

@@ -1,0 +1,18 @@
+//! Clean: ordinary loops that drain queues or iterate a fixed range are
+//! not retry machinery — and `for` loops are bounded by their iterator
+//! even when they do retry.
+
+pub fn drain(queue: &mut Vec<Job>) -> usize {
+    let mut handled = 0;
+    while let Some(job) = queue.pop() {
+        job.run();
+        handled += 1;
+    }
+    handled
+}
+
+pub fn warm_up(conn: &mut Conn) {
+    for _ in 0..3 {
+        let _ = conn.retry_handshake();
+    }
+}

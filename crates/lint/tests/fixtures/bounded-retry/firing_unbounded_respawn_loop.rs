@@ -1,0 +1,12 @@
+//! Firing: a supervisor that respawns a worker forever — no budget, no
+//! backoff, no deadline. One persistently-crashing worker spins this loop
+//! for the rest of the process's life.
+
+pub fn keep_worker_alive(pool: &mut Pool, shard: usize) {
+    loop {
+        if pool.is_healthy(shard) {
+            break;
+        }
+        pool.respawn(shard);
+    }
+}

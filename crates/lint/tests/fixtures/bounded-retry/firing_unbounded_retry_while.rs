@@ -1,0 +1,10 @@
+//! Firing: a `while` loop that retries an I/O operation until it succeeds.
+//! A wedged disk makes this loop — and the checkpoint it guards — hang
+//! forever instead of surfacing an error.
+
+pub fn save_until_it_sticks(store: &mut Store, bytes: &[u8]) {
+    let mut done = false;
+    while !done {
+        done = store.retry_write(bytes).is_ok();
+    }
+}

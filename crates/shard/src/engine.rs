@@ -73,6 +73,42 @@
 //! (via [`ShardedEngine::inject_worker_panic`]) and assert the error
 //! surfaces promptly on every public entry point.
 //!
+//! ## Supervised self-healing
+//!
+//! [`ShardedEngine::with_self_healing`] upgrades the poison path to
+//! in-run recovery. While healing is enabled the coordinator keeps a
+//! bounded **replay buffer** of the interactions processed since its most
+//! recent **recovery snapshot** — an in-memory [`Checkpoint`] refreshed
+//! whenever the buffer reaches [`RecoveryPolicy::snapshot_every`] and at
+//! every durable periodic save (so the restore point never lags the
+//! newest durable file). When a worker loss surfaces — a `WorkerFailed`
+//! notification, a closed channel, or a blocking receive exceeding
+//! [`RecoveryPolicy::hang_timeout`] — the coordinator:
+//!
+//! 1. **abandons the wounded pool wholesale**: a best-effort `Shutdown`
+//!    nudges survivors (a hung worker's peers never saw a sentinel
+//!    broadcast), the old channels and join handles are detached, and a
+//!    brand-new generation of workers is spawned on fresh channels — so a
+//!    straggler message from the old generation (say, the *second*
+//!    `WorkerFailed` of a double kill) can never reach the new receiver;
+//! 2. **restores** the recovery snapshot exactly like
+//!    [`ShardedEngine::resume_from`] (epoch sync, `Restore` routing,
+//!    counter seeding), and
+//! 3. **replays** the buffered suffix through the normal scheduling path.
+//!    The replayed wavefront cuts may differ from the original run's, but
+//!    conflict-free wavefronts commute bit-for-bit and newborn folding
+//!    stays in strict stream order, so the results — and the final stdout
+//!    — are byte-identical to an undisturbed run (enforced by the
+//!    `self_healing` proptests).
+//!
+//! Respawns draw on a budget ([`RecoveryPolicy::max_worker_restarts`],
+//! exponential backoff): a worker that dies *during* recovery consumes
+//! another unit, and an exhausted budget falls back to the original
+//! fail-fast poisoning. A permanently hung worker's generation is
+//! detached, not joined — those threads are leaked by design (joining a
+//! hung thread would block recovery forever); their channels die with the
+//! generation and any late sends fail harmlessly.
+//!
 //! ## Durable checkpoints
 //!
 //! [`ShardedEngine::checkpoint`] quiesces the engine — every shard finishes
@@ -89,9 +125,9 @@
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::path::PathBuf;
-use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use tin_core::checkpoint::{Checkpoint, CheckpointStore, SaveStats, StreamCursor};
 use tin_core::codec::ByteReader;
@@ -129,6 +165,66 @@ const SHARD_SAMPLE_INTERVAL: usize = 1024;
 /// clear their spans at every sync barrier, so this only bounds the spans
 /// of one barrier-to-barrier window.
 const WORKER_TRACE_CAPACITY: usize = 4096;
+
+/// Default number of interactions between two in-memory recovery snapshots —
+/// the bound on the coordinator-side replay buffer (see [`RecoveryPolicy`]).
+const DEFAULT_SNAPSHOT_EVERY: usize = 4096;
+
+/// Configuration for supervised worker recovery
+/// ([`ShardedEngine::with_self_healing`]). See the module docs for the
+/// recovery sequence this parameterises.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Worker-pool respawns allowed over the engine's lifetime before a
+    /// failure falls through to the fail-fast poison path. Zero makes
+    /// every failure terminal (equivalent to not enabling self-healing).
+    pub max_worker_restarts: usize,
+    /// Base delay before the *second* and later respawn attempts, doubling
+    /// per consecutive restart (exponential backoff; the first respawn is
+    /// immediate).
+    pub restart_backoff: Duration,
+    /// Interactions between two in-memory recovery snapshots. This bounds
+    /// both the replay buffer's memory and the worst-case replay cost of a
+    /// recovery; smaller values trade steady-state snapshot overhead for a
+    /// tighter recovery-time objective.
+    pub snapshot_every: usize,
+    /// Declare a worker *hung* — and recover as if it had died — when a
+    /// blocking coordinator receive exceeds this. `None` (the default)
+    /// waits forever, which is the right call when worker compute per
+    /// wavefront is unbounded.
+    pub hang_timeout: Option<Duration>,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_worker_restarts: 3,
+            restart_backoff: Duration::from_millis(10),
+            snapshot_every: DEFAULT_SNAPSHOT_EVERY,
+            hang_timeout: None,
+        }
+    }
+}
+
+/// What supervised recovery has actually done on one engine — the CLI and
+/// benches read the measured recovery-time objective from here.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RecoveryStats {
+    /// Successful recoveries (pool respawn + restore + replay).
+    pub recoveries: usize,
+    /// Worker threads spawned by recovery: `num_shards` per respawn
+    /// attempt, including attempts that themselves failed.
+    pub workers_respawned: usize,
+    /// Interactions re-processed from the replay buffer by successful
+    /// recoveries.
+    pub replayed_interactions: usize,
+    /// Wall-clock seconds of the most recent successful recovery, from
+    /// failure detection to the end of replay (the measured RTO).
+    pub last_rto_secs: f64,
+    /// Wall-clock seconds spent across *all* recovery attempts, successful
+    /// or not.
+    pub total_recovery_secs: f64,
+}
 
 /// Metric handles for the per-shard metrics. Workers register exactly these
 /// (and nothing else) into their private registries; the main thread
@@ -250,6 +346,10 @@ enum ToShard {
     /// Test hook ([`ShardedEngine::inject_worker_panic`]): panic on receipt,
     /// exercising the real unwind-and-broadcast failure path.
     InjectPanic,
+    /// Test hook ([`ShardedEngine::inject_worker_stall`]): sleep for the
+    /// given milliseconds on receipt, exercising hang detection
+    /// ([`RecoveryPolicy::hang_timeout`]) without killing anything.
+    InjectStall(u64),
     Shutdown,
 }
 
@@ -366,6 +466,10 @@ struct ShardObsState {
     ckpt_write_ns: HistogramId,
     ckpt_retries: CounterId,
     ckpt_bytes: GaugeId,
+    respawns: CounterId,
+    recoveries: CounterId,
+    replayed: CounterId,
+    recovery_ns: HistogramId,
 }
 
 impl ShardObsState {
@@ -384,6 +488,10 @@ impl ShardObsState {
         let ckpt_write_ns = m.histogram("checkpoint_write_ns", "ns");
         let ckpt_retries = m.counter("checkpoint_retries_total", "attempts");
         let ckpt_bytes = m.gauge("checkpoint_bytes", "bytes");
+        let respawns = m.counter("worker_respawns_total", "workers");
+        let recoveries = m.counter("recoveries_total", "recoveries");
+        let replayed = m.counter("replayed_interactions", "interactions");
+        let recovery_ns = m.histogram("recovery_ns", "ns");
         ShardObsState {
             obs,
             wavefront_size,
@@ -396,6 +504,10 @@ impl ShardObsState {
             ckpt_write_ns,
             ckpt_retries,
             ckpt_bytes,
+            respawns,
+            recoveries,
+            replayed,
+            recovery_ns,
         }
     }
 
@@ -470,6 +582,26 @@ pub struct ShardedEngine {
     /// Observability sink, when attached via [`Self::with_observability`].
     /// Boxed so the uninstrumented engine pays one pointer and one branch.
     obs: Option<Box<ShardObsState>>,
+    /// Supervised-recovery configuration ([`Self::with_self_healing`]).
+    /// `None` (the default): worker death poisons the engine (fail fast).
+    recovery: Option<RecoveryPolicy>,
+    /// The in-memory restore point recovery rebuilds from — refreshed when
+    /// the replay buffer reaches [`RecoveryPolicy::snapshot_every`] and at
+    /// every durable periodic save. `None` iff `recovery` is `None`.
+    recovery_snapshot: Option<Checkpoint>,
+    /// Interactions processed since `recovery_snapshot` — deterministically
+    /// replayed after a restore. Empty when `recovery` is `None`.
+    replay_buffer: VecDeque<Interaction>,
+    /// What recovery has done so far ([`Self::recovery_stats`]).
+    recovery_stats: RecoveryStats,
+    /// Pool respawns consumed from [`RecoveryPolicy::max_worker_restarts`].
+    restarts_used: usize,
+    /// Footprint sample interval to re-arm on a respawned pool
+    /// ([`Self::with_footprint_sample_interval`]).
+    sample_interval: Option<usize>,
+    /// Test hook ([`Self::inject_panic_on_respawn`]): how many upcoming
+    /// respawned pools immediately receive an injected panic.
+    respawn_panics: usize,
 }
 
 impl ShardedEngine {
@@ -487,25 +619,7 @@ impl ShardedEngine {
         drop(probe);
         let num_shards = num_shards.max(1);
 
-        let (to_main, from_shards) = channel::<FromShard>();
-        let mut to_shards = Vec::with_capacity(num_shards);
-        let mut receivers = Vec::with_capacity(num_shards);
-        for _ in 0..num_shards {
-            let (tx, rx) = channel::<ToShard>();
-            to_shards.push(tx);
-            receivers.push(rx);
-        }
-        let mut handles = Vec::with_capacity(num_shards);
-        for (id, rx) in receivers.into_iter().enumerate() {
-            let peers: Vec<Sender<ToShard>> = to_shards.clone();
-            let main_tx = to_main.clone();
-            let config = config.clone();
-            let handle = std::thread::Builder::new()
-                .name(format!("tin-shard-{id}"))
-                .spawn(move || shard_worker(id, &config, num_vertices, &rx, &peers, &main_tx))
-                .expect("spawning a shard worker thread");
-            handles.push(handle);
-        }
+        let (to_shards, from_shards, handles) = spawn_pool(config, num_vertices, num_shards);
 
         Ok(ShardedEngine {
             config: config.clone(),
@@ -532,6 +646,13 @@ impl ShardedEngine {
             checkpoints_taken: 0,
             poisoned: None,
             obs: None,
+            recovery: None,
+            recovery_snapshot: None,
+            replay_buffer: VecDeque::new(),
+            recovery_stats: RecoveryStats::default(),
+            restarts_used: 0,
+            sample_interval: None,
+            respawn_panics: 0,
         })
     }
 
@@ -593,7 +714,64 @@ impl ShardedEngine {
         for shard in 0..self.num_shards {
             self.send_to(shard, ToShard::SetSampleInterval(every))?;
         }
+        // Remembered so a pool respawned by supervised recovery is re-armed
+        // with the same interval.
+        self.sample_interval = Some(every);
         Ok(self)
+    }
+
+    /// Enable supervised self-healing: worker losses (panics, closed
+    /// channels, and — when [`RecoveryPolicy::hang_timeout`] is set — hung
+    /// workers) are recovered in-run by respawning the pool, restoring the
+    /// most recent snapshot and replaying the buffered suffix, instead of
+    /// poisoning the engine. See the module docs for the full sequence and
+    /// the bit-identity argument.
+    ///
+    /// Seeds the restore point with an immediate snapshot, so an engine
+    /// resumed mid-stream ([`Self::resume_from`]) never falls back to
+    /// position zero.
+    ///
+    /// # Errors
+    /// [`TinError::InvalidConfig`] if `policy.snapshot_every` is zero;
+    /// [`TinError::WorkerLost`] if a shard worker died before enabling.
+    pub fn with_self_healing(mut self, policy: RecoveryPolicy) -> Result<Self> {
+        if policy.snapshot_every == 0 {
+            return Err(TinError::InvalidConfig(
+                "recovery snapshot interval must be positive".into(),
+            ));
+        }
+        self.recovery = Some(policy);
+        let snapshot = self.checkpoint_attempt()?;
+        self.adopt_snapshot(snapshot);
+        Ok(self)
+    }
+
+    /// What supervised recovery has done so far — in particular the
+    /// measured recovery-time objective of the latest heal
+    /// ([`RecoveryStats::last_rto_secs`]).
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery_stats
+    }
+
+    /// Test hook: make worker `shard` sleep `millis` on its next message,
+    /// exercising hang detection ([`RecoveryPolicy::hang_timeout`]) without
+    /// killing anything. The stalled worker's generation is abandoned by
+    /// the recovery; when the sleep ends the worker drains its `Shutdown`
+    /// nudge and exits.
+    ///
+    /// # Errors
+    /// [`TinError::WorkerLost`] if the engine is already poisoned or the
+    /// worker is already gone.
+    pub fn inject_worker_stall(&mut self, shard: usize, millis: u64) -> Result<()> {
+        self.check_poisoned()?;
+        self.send_to(shard, ToShard::InjectStall(millis))
+    }
+
+    /// Test hook: each of the next `times` respawned pools immediately
+    /// receives an injected panic, exercising the worker-dies-*during*-
+    /// recovery path (each failed attempt consumes respawn budget).
+    pub fn inject_panic_on_respawn(&mut self, times: usize) {
+        self.respawn_panics = times;
     }
 
     /// The attached observability sink, if any. Worker metrics lag until
@@ -611,7 +789,7 @@ impl ShardedEngine {
         if self.obs.is_none() {
             return Ok(None);
         }
-        self.quiesce()?;
+        self.with_heal(Self::quiesce)?;
         Ok(self.obs.take().map(|s| s.obs))
     }
 
@@ -619,8 +797,15 @@ impl ShardedEngine {
     /// shard-count-independent [`Checkpoint`] of the full engine state.
     ///
     /// # Errors
-    /// [`TinError::WorkerLost`] if a shard worker died.
+    /// [`TinError::WorkerLost`] if a shard worker died (and, when
+    /// self-healing is enabled, the respawn budget is exhausted).
     pub fn checkpoint(&mut self) -> Result<Checkpoint> {
+        self.with_heal(Self::checkpoint_attempt)
+    }
+
+    /// One capture attempt ([`Self::checkpoint`] owns the heal-and-retry
+    /// loop; recovery itself captures through here).
+    fn checkpoint_attempt(&mut self) -> Result<Checkpoint> {
         self.quiesce()?;
         let start = Instant::now();
         for shard in 0..self.num_shards {
@@ -686,6 +871,15 @@ impl ShardedEngine {
     /// [`TinError::WorkerLost`] if a worker dies during recovery.
     pub fn resume_from(checkpoint: &Checkpoint, num_shards: usize) -> Result<Self> {
         let mut engine = Self::new(&checkpoint.policy, checkpoint.num_vertices, num_shards)?;
+        engine.install_states(checkpoint)?;
+        Ok(engine)
+    }
+
+    /// Restore `checkpoint` into this engine's (idle) worker pool: epoch
+    /// sync, per-vertex state routing, counter seeding. Shared by
+    /// [`Self::resume_from`] (fresh engine) and supervised recovery (fresh
+    /// *pool*). The workers must hold no in-flight work.
+    fn install_states(&mut self, checkpoint: &Checkpoint) -> Result<()> {
         // A probe tracker of the run's configuration decodes the type-erased
         // payloads the shard protocol moves around.
         let probe = build_tracker(&checkpoint.policy, checkpoint.num_vertices)?;
@@ -694,28 +888,32 @@ impl ShardedEngine {
         // Epoch sync strictly before any install (per-shard channels are
         // FIFO): window resets fired on the empty replicas are harmless, and
         // every epoch clock ends up at the checkpoint's position.
-        engine.sync_barrier(processed, now)?;
+        self.sync_barrier(processed, now)?;
         for (v, bytes) in &checkpoint.states {
             let mut r = ByteReader::new(bytes, "states");
             let state = probe.decode_vertex_state(&mut r)?;
             r.expect_end()?;
             let vertex = VertexId::new(*v);
-            let shard = shard_of(vertex, engine.num_shards);
-            engine.send_to(shard, ToShard::Restore { vertex, state })?;
+            let shard = shard_of(vertex, self.num_shards);
+            self.send_to(shard, ToShard::Restore { vertex, state })?;
         }
         // Barrier: a second sync round-trip confirms every install was
         // consumed (or surfaces a worker death) before the engine is handed
         // back.
-        engine.sync_barrier(processed, now)?;
-        engine.processed = processed;
-        engine.open_start = processed;
-        engine.next_fold = processed;
-        engine.synced_through = processed;
-        engine.last_time = checkpoint.cursor.last_time;
-        engine.total_quantity = checkpoint.cursor.total_quantity;
-        engine.newborn_quantity = checkpoint.cursor.newborn_quantity;
-        engine.peak_footprint = checkpoint.cursor.peak_footprint_bytes;
-        Ok(engine)
+        self.sync_barrier(processed, now)?;
+        self.processed = processed;
+        self.open_start = processed;
+        self.next_fold = processed;
+        self.synced_through = processed;
+        self.last_time = checkpoint.cursor.last_time;
+        self.total_quantity = checkpoint.cursor.total_quantity;
+        self.newborn_quantity = checkpoint.cursor.newborn_quantity;
+        // `max`: on a fresh engine this seeds the checkpoint's peak; during
+        // recovery the live peak (≥ the snapshot's) must survive.
+        self.peak_footprint = self
+            .peak_footprint
+            .max(checkpoint.cursor.peak_footprint_bytes);
+        Ok(())
     }
 
     /// One sync round-trip to every shard: advance epoch clocks to
@@ -785,12 +983,62 @@ impl ShardedEngine {
     /// [`TinError::WorkerLost`] if a shard worker died.
     pub fn process(&mut self, r: &Interaction) -> Result<()> {
         validate_stream_step(r, self.processed, self.num_vertices, self.last_time)?;
+        // The interaction enters the replay buffer *before* it is applied,
+        // so a successful heal may already have re-applied it — the stream
+        // position tells the two cases apart.
+        let target = self.processed + 1;
+        loop {
+            match self.process_attempt(r) {
+                Ok(()) => return Ok(()),
+                Err(e @ TinError::WorkerLost { .. }) if self.recovery.is_some() => {
+                    self.heal_within_budget(e)?;
+                    if self.processed >= target {
+                        return Ok(());
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One attempt at processing `r` (validation already done by
+    /// [`Self::process`], which owns the heal-and-retry loop).
+    fn process_attempt(&mut self, r: &Interaction) -> Result<()> {
         self.check_poisoned()?;
         // Fail fast: fold completions already delivered — and notice worker
         // deaths — without blocking, so a death surfaces on the next call
         // rather than at the final report.
         self.drain_completions()?;
+        if self.recovery.is_some() {
+            self.refresh_snapshot_if_due()?;
+            self.replay_buffer.push_back(*r);
+        }
+        self.apply_interaction(r)?;
+        if let Some((_, every)) = &self.durable {
+            let every = *every;
+            if self.processed.is_multiple_of(every) {
+                let checkpoint = self.checkpoint_attempt()?;
+                let (store, _) = self.durable.as_mut().expect("durable checked above");
+                store.save(&checkpoint)?;
+                let stats = store.last_save_stats();
+                self.checkpoints_taken += 1;
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.record_save(stats);
+                }
+                // The restore point must never lag the newest durable file:
+                // an older in-memory snapshot would need replay-buffer
+                // entries this save just made safe to drop.
+                self.adopt_snapshot(checkpoint);
+            }
+        }
+        Ok(())
+    }
 
+    /// Flow accounting + wavefront scheduling for one (validated)
+    /// interaction — the write path shared by live processing and recovery
+    /// replay (replay must not re-enter the buffer/durable bookkeeping of
+    /// [`Self::process_attempt`]).
+    fn apply_interaction(&mut self, r: &Interaction) -> Result<()> {
         let start = Instant::now();
         self.total_quantity += r.qty;
         if !self.scheduler.offer(r, self.processed) {
@@ -805,19 +1053,6 @@ impl ShardedEngine {
         self.last_time = Some(r.time.0);
         self.processed += 1;
         self.busy_secs += start.elapsed().as_secs_f64();
-        if let Some((_, every)) = &self.durable {
-            let every = *every;
-            if self.processed.is_multiple_of(every) {
-                let checkpoint = self.checkpoint()?;
-                let (store, _) = self.durable.as_mut().expect("durable checked above");
-                store.save(&checkpoint)?;
-                let stats = store.last_save_stats();
-                self.checkpoints_taken += 1;
-                if let Some(o) = self.obs.as_deref_mut() {
-                    o.record_save(stats);
-                }
-            }
-        }
         Ok(())
     }
 
@@ -849,6 +1084,10 @@ impl ShardedEngine {
     /// # Errors
     /// [`TinError::WorkerLost`] if a shard worker died.
     pub fn origins(&mut self, v: VertexId) -> Result<OriginSet> {
+        self.with_heal(|e| e.origins_attempt(v))
+    }
+
+    fn origins_attempt(&mut self, v: VertexId) -> Result<OriginSet> {
         self.quiesce()?;
         let shard = shard_of(v, self.num_shards);
         self.send_to(shard, ToShard::QueryOrigins(v))?;
@@ -863,6 +1102,10 @@ impl ShardedEngine {
     /// # Errors
     /// [`TinError::WorkerLost`] if a shard worker died.
     pub fn buffered(&mut self, v: VertexId) -> Result<Quantity> {
+        self.with_heal(|e| e.buffered_attempt(v))
+    }
+
+    fn buffered_attempt(&mut self, v: VertexId) -> Result<Quantity> {
         self.quiesce()?;
         let shard = shard_of(v, self.num_shards);
         self.send_to(shard, ToShard::QueryBuffered(v))?;
@@ -880,6 +1123,10 @@ impl ShardedEngine {
     /// # Errors
     /// [`TinError::WorkerLost`] if a shard worker died.
     pub fn buffered_all(&mut self) -> Result<Vec<Quantity>> {
+        self.with_heal(Self::buffered_all_attempt)
+    }
+
+    fn buffered_all_attempt(&mut self) -> Result<Vec<Quantity>> {
         self.quiesce()?;
         for shard in 0..self.num_shards {
             self.send_to(shard, ToShard::QueryBufferedAll)?;
@@ -906,6 +1153,10 @@ impl ShardedEngine {
     /// # Errors
     /// [`TinError::WorkerLost`] if a shard worker died.
     pub fn report(&mut self) -> Result<EngineReport> {
+        self.with_heal(Self::report_attempt)
+    }
+
+    fn report_attempt(&mut self) -> Result<EngineReport> {
         // `quiesce` accounts for its own duration; time only the footprint
         // query phase here, or the quiesce would be counted twice.
         self.quiesce()?;
@@ -1131,6 +1382,180 @@ impl ShardedEngine {
         }
     }
 
+    /// Run `op`, healing worker losses and retrying until it succeeds, it
+    /// fails for a non-worker reason, or `heal_within_budget` exhausts the
+    /// respawn budget (which re-poisons and surfaces the loss). Wraps every
+    /// idempotent public operation; `process` has its own loop because a
+    /// heal may already re-apply the in-flight interaction.
+    fn with_heal<T>(&mut self, mut op: impl FnMut(&mut Self) -> Result<T>) -> Result<T> {
+        loop {
+            match op(self) {
+                Err(e @ TinError::WorkerLost { .. }) if self.recovery.is_some() => {
+                    self.heal_within_budget(e)?;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Supervised recovery after a worker loss: respawn the pool, restore
+    /// the snapshot, replay the suffix — consuming one unit of
+    /// [`RecoveryPolicy::max_worker_restarts`] per attempt, with
+    /// exponential backoff between consecutive attempts. On success the
+    /// engine continues as if nothing happened; once the budget is
+    /// exhausted (or recovery fails for a non-worker reason) the engine is
+    /// re-poisoned and `cause` surfaces — the pre-existing fail-fast path.
+    fn heal_within_budget(&mut self, cause: TinError) -> Result<()> {
+        let start = Instant::now();
+        loop {
+            let Some(policy) = self.recovery.clone() else {
+                return Err(cause);
+            };
+            if self.restarts_used >= policy.max_worker_restarts {
+                self.poisoned = Some(cause.clone());
+                self.recovery_stats.total_recovery_secs += start.elapsed().as_secs_f64();
+                return Err(cause);
+            }
+            if self.restarts_used > 0 {
+                // Exponential backoff: base × 2^(consecutive restarts), the
+                // first respawn is immediate.
+                let exp = u32::try_from(self.restarts_used.min(16)).expect("≤ 16");
+                std::thread::sleep(policy.restart_backoff.saturating_mul(1u32 << exp));
+            }
+            self.restarts_used += 1;
+            self.recovery_stats.workers_respawned += self.num_shards;
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.obs.metrics.add(o.respawns, self.num_shards as u64);
+            }
+            match self.heal_attempt() {
+                Ok(replayed) => {
+                    let elapsed = start.elapsed();
+                    self.recovery_stats.recoveries += 1;
+                    self.recovery_stats.replayed_interactions += replayed;
+                    self.recovery_stats.last_rto_secs = elapsed.as_secs_f64();
+                    self.recovery_stats.total_recovery_secs += elapsed.as_secs_f64();
+                    if let Some(o) = self.obs.as_deref_mut() {
+                        o.obs.metrics.inc(o.recoveries);
+                        o.obs.metrics.add(o.replayed, replayed as u64);
+                        o.obs.metrics.observe_duration(o.recovery_ns, elapsed);
+                        o.obs.trace.record("recovery", 0, start);
+                    }
+                    return Ok(());
+                }
+                // A worker died (or hung) *during* recovery: loop, drawing
+                // another unit of budget.
+                Err(TinError::WorkerLost { .. }) => continue,
+                Err(e) => {
+                    self.poisoned = Some(e.clone());
+                    self.recovery_stats.total_recovery_secs += start.elapsed().as_secs_f64();
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// One pool-replacement attempt: tear down the wounded generation,
+    /// spawn a fresh one, restore the recovery snapshot and replay the
+    /// buffered suffix. Returns the number of interactions replayed.
+    fn heal_attempt(&mut self) -> Result<usize> {
+        // Survivors of a panicked pool saw the sentinel broadcast and are
+        // exiting; a *hung* pool never got one, so nudge every worker with
+        // a best-effort Shutdown (a stalled worker drains it when it wakes).
+        for tx in &self.to_shards {
+            let _ = tx.send(ToShard::Shutdown);
+        }
+        // Replace channels and handles wholesale. The old handles are
+        // detached, not joined — joining a genuinely hung thread would
+        // block recovery forever — and the old generation's `main_tx` now
+        // points at a dropped receiver, so its stragglers (including the
+        // second `WorkerFailed` of a double kill) can never reach us.
+        let (to_shards, from_shards, handles) =
+            spawn_pool(&self.config, self.num_vertices, self.num_shards);
+        self.to_shards = to_shards;
+        self.from_shards = from_shards;
+        self.handles = handles;
+        // Coordinator state tied to the dead pool: in-flight wavefronts are
+        // lost (their interactions sit in the replay buffer), the open
+        // batch is re-cut by the replay, footprint samples restart.
+        self.poisoned = None;
+        self.scheduler =
+            WavefrontScheduler::new(self.num_vertices, EpochRule::for_policy(&self.config));
+        self.open_batch.clear();
+        self.in_flight.clear();
+        self.latest_footprint = vec![0; self.num_shards];
+        // Re-arm per-worker configuration the wounded pool carried.
+        if let Some(every) = self.sample_interval {
+            for shard in 0..self.num_shards {
+                self.send_to(shard, ToShard::SetSampleInterval(every))?;
+            }
+        }
+        if let Some(epoch) = self.obs.as_deref().map(|o| o.obs.trace.epoch()) {
+            for shard in 0..self.num_shards {
+                self.send_to(shard, ToShard::EnableObs { epoch })?;
+            }
+        }
+        if self.respawn_panics > 0 {
+            self.respawn_panics -= 1;
+            self.send_to(0, ToShard::InjectPanic)?;
+        }
+        match self.recovery_snapshot.take() {
+            Some(snapshot) => {
+                let restored = self.install_states(&snapshot);
+                self.recovery_snapshot = Some(snapshot);
+                restored?;
+            }
+            None => {
+                // No snapshot was ever adopted (`with_self_healing` seeds
+                // one, so this is defensive): the replay buffer covers the
+                // whole prefix — rewind the stream counters to zero and let
+                // the replay rebuild everything on the fresh trackers.
+                self.processed = 0;
+                self.open_start = 0;
+                self.next_fold = 0;
+                self.synced_through = 0;
+                self.last_time = None;
+                self.total_quantity = 0.0;
+                self.newborn_quantity = 0.0;
+            }
+        }
+        // Deterministic replay through the normal scheduling path, in
+        // strict stream order. The wavefront cuts may differ from the
+        // original run's, but conflict-free wavefronts commute bit-for-bit
+        // and newborn folding stays in stream order, so results match an
+        // undisturbed run exactly.
+        let replay: Vec<Interaction> = self.replay_buffer.iter().copied().collect();
+        for r in &replay {
+            self.apply_interaction(r)?;
+        }
+        Ok(replay.len())
+    }
+
+    /// Capture a fresh in-memory recovery snapshot once the replay buffer
+    /// hits its bound ([`RecoveryPolicy::snapshot_every`]) — the cost that
+    /// keeps both replay length and buffer memory bounded.
+    fn refresh_snapshot_if_due(&mut self) -> Result<()> {
+        let Some(policy) = &self.recovery else {
+            return Ok(());
+        };
+        if self.recovery_snapshot.is_some() && self.replay_buffer.len() < policy.snapshot_every {
+            return Ok(());
+        }
+        let snapshot = self.checkpoint_attempt()?;
+        self.adopt_snapshot(snapshot);
+        Ok(())
+    }
+
+    /// Install `snapshot` (captured at the current stream position) as the
+    /// recovery restore point and drop the replay prefix it covers.
+    fn adopt_snapshot(&mut self, snapshot: Checkpoint) {
+        if self.recovery.is_none() {
+            return;
+        }
+        debug_assert_eq!(snapshot.cursor.processed, self.processed);
+        self.replay_buffer.clear();
+        self.recovery_snapshot = Some(snapshot);
+    }
+
     /// The poisoned-engine check every public operation performs first.
     fn check_poisoned(&self) -> Result<()> {
         match &self.poisoned {
@@ -1159,7 +1584,18 @@ impl ShardedEngine {
     }
 
     fn recv(&mut self) -> Result<FromShard> {
-        match self.from_shards.recv() {
+        let received: std::result::Result<FromShard, RecvTimeoutError> =
+            match self.recovery.as_ref().and_then(|p| p.hang_timeout) {
+                // Hang detection: a worker that exceeds the budget is
+                // treated exactly like a dead one — recovery replaces the
+                // whole pool, stalled thread included.
+                Some(limit) => self.from_shards.recv_timeout(limit),
+                None => self
+                    .from_shards
+                    .recv()
+                    .map_err(|_| RecvTimeoutError::Disconnected),
+            };
+        match received {
             Ok(FromShard::WorkerFailed { shard }) => Err(self.poison(Some(shard))),
             Ok(msg) => Ok(msg),
             Err(_) => Err(self.poison(None)),
@@ -1206,6 +1642,41 @@ fn process_one(tracker: &mut dyn ProvenanceTracker, r: &Interaction) -> f64 {
     let newborn = newborn_quantity(tracker.buffered(r.src), r.qty);
     tracker.process(r);
     newborn
+}
+
+/// Spawn one generation of `num_shards` worker threads wired to fresh
+/// channels. Shared by construction and by supervised recovery, which
+/// replaces a wounded pool wholesale — fresh channels guarantee no message
+/// from an older generation can ever reach the new receiver.
+fn spawn_pool(
+    config: &PolicyConfig,
+    num_vertices: usize,
+    num_shards: usize,
+) -> (
+    Vec<Sender<ToShard>>,
+    Receiver<FromShard>,
+    Vec<JoinHandle<()>>,
+) {
+    let (to_main, from_shards) = channel::<FromShard>();
+    let mut to_shards = Vec::with_capacity(num_shards);
+    let mut receivers = Vec::with_capacity(num_shards);
+    for _ in 0..num_shards {
+        let (tx, rx) = channel::<ToShard>();
+        to_shards.push(tx);
+        receivers.push(rx);
+    }
+    let mut handles = Vec::with_capacity(num_shards);
+    for (id, rx) in receivers.into_iter().enumerate() {
+        let peers: Vec<Sender<ToShard>> = to_shards.clone();
+        let main_tx = to_main.clone();
+        let config = config.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("tin-shard-{id}"))
+            .spawn(move || shard_worker(id, &config, num_vertices, &rx, &peers, &main_tx))
+            .expect("spawning a shard worker thread");
+        handles.push(handle);
+    }
+    (to_shards, from_shards, handles)
 }
 
 /// The shard worker: one tracker replica plus the batch protocol.
@@ -1271,6 +1742,9 @@ fn shard_worker(
             }
             ToShard::InjectPanic => {
                 panic!("injected worker panic (tin-shard test hook)");
+            }
+            ToShard::InjectStall(millis) => {
+                std::thread::sleep(Duration::from_millis(millis));
             }
             ToShard::Sync { processed, now } => {
                 tracker.sync_epoch(processed, now);

@@ -17,7 +17,12 @@
 //!   `tin_core::sparse_vec`), and merges per-shard flow and footprint
 //!   accounting into one [`tin_core::engine::EngineReport`];
 //! * [`engine::run_ensemble_sharded`] is the sharded counterpart of
-//!   [`tin_core::engine::run_ensemble`].
+//!   [`tin_core::engine::run_ensemble`];
+//! * [`engine::ShardedEngine::with_self_healing`] upgrades worker-death
+//!   fail-fast to supervised in-run recovery (pool respawn + snapshot
+//!   restore + bounded deterministic replay, budgeted by
+//!   [`engine::RecoveryPolicy`]) with results bit-identical to an
+//!   undisturbed run.
 //!
 //! ```
 //! use tin_core::interaction::paper_running_example;
@@ -38,7 +43,7 @@
 pub mod engine;
 pub mod wavefront;
 
-pub use engine::{run_ensemble_sharded, shard_of, ShardedEngine};
+pub use engine::{run_ensemble_sharded, shard_of, RecoveryPolicy, RecoveryStats, ShardedEngine};
 pub use wavefront::{EpochRule, WavefrontScheduler, DEFAULT_MAX_BATCH};
 
 #[cfg(test)]

@@ -1,0 +1,617 @@
+//! Supervised self-healing: a sharded engine with
+//! [`tin_shard::RecoveryPolicy`] attached must survive injected worker
+//! deaths (and hangs) and still produce results **bit-identical** to an
+//! undisturbed run — the same `f64`s in the same places — because recovery
+//! restores a quiesced snapshot and replays the suffix in strict stream
+//! order through the same scheduling code.
+//!
+//! Alongside the kill-at-every-K × policy × shard-count equivalence
+//! property (the PR's acceptance criterion), this file pins the edge cases:
+//! two workers dying in the same wavefront (idempotent poisoning in both
+//! fail-fast and healing modes), a worker dying *during* recovery
+//! (respawn-within-respawn up to the budget), recovery with durable
+//! checkpointing disabled (the in-memory snapshot path), death after the
+//! final wavefront but before the last sync barrier, hang detection, and
+//! budget exhaustion falling back to the poison path.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use tin::prelude::*;
+use tin_core::engine::ProvenanceEngine;
+use tin_shard::{RecoveryPolicy, ShardedEngine};
+
+const MAX_VERTICES: u32 = 10;
+
+/// A fast-respawning recovery policy for tests: 1 ms backoff and a small
+/// snapshot interval so short streams still exercise snapshot cycling.
+fn healing(max_worker_restarts: usize, snapshot_every: usize) -> RecoveryPolicy {
+    RecoveryPolicy {
+        max_worker_restarts,
+        restart_backoff: Duration::from_millis(1),
+        snapshot_every,
+        hang_timeout: None,
+    }
+}
+
+/// Strategy: a stream of up to `len` valid interactions over a small vertex
+/// set with non-decreasing timestamps (self-loops avoided by construction).
+fn interaction_stream(len: usize) -> impl Strategy<Value = Vec<Interaction>> {
+    prop::collection::vec(
+        (
+            0..MAX_VERTICES,
+            0..MAX_VERTICES - 1,
+            0.01f64..100.0f64,
+            0.0f64..5.0f64,
+        ),
+        2..len,
+    )
+    .prop_map(|raw| {
+        let mut time = 0.0;
+        raw.into_iter()
+            .map(|(src, dst_raw, qty, gap)| {
+                let dst = if dst_raw >= src { dst_raw + 1 } else { dst_raw };
+                time += gap;
+                Interaction::new(src, dst, time, qty)
+            })
+            .collect()
+    })
+}
+
+/// Every policy configuration the factory can build.
+fn all_configs(num_vertices: usize) -> Vec<PolicyConfig> {
+    let mut configs: Vec<PolicyConfig> = SelectionPolicy::all()
+        .into_iter()
+        .map(PolicyConfig::Plain)
+        .collect();
+    configs.push(PolicyConfig::Selective {
+        tracked: vec![VertexId::new(0), VertexId::new(3)],
+    });
+    configs.push(PolicyConfig::Grouped {
+        num_groups: 3,
+        group_of: (0..num_vertices).map(|v| (v % 3) as u32).collect(),
+    });
+    configs.push(PolicyConfig::Windowed { window: 5 });
+    configs.push(PolicyConfig::TimeWindowed { duration: 7.5 });
+    configs.push(PolicyConfig::adaptive());
+    configs.push(PolicyConfig::budget(3));
+    configs.push(PolicyConfig::PathTracking { lifo: false });
+    configs.push(PolicyConfig::GenerationPaths { most_recent: true });
+    configs
+}
+
+/// Assert the sharded engine's final state is bit-identical to the
+/// sequential reference: flow totals, every `buffered(v)`, every
+/// `origins(v)` — `==` on floats throughout.
+fn assert_bit_identical(
+    sharded: &mut ShardedEngine,
+    sequential: &mut ProvenanceEngine,
+    n: usize,
+    context: &str,
+) {
+    let report = sharded.report().unwrap();
+    let seq_report = sequential.report();
+    assert_eq!(
+        report.total_quantity, seq_report.total_quantity,
+        "total_quantity mismatch: {context}"
+    );
+    assert_eq!(
+        report.newborn_quantity, seq_report.newborn_quantity,
+        "newborn_quantity mismatch: {context}"
+    );
+    assert_eq!(
+        report.relayed_quantity, seq_report.relayed_quantity,
+        "relayed_quantity mismatch: {context}"
+    );
+    assert_eq!(report.interactions, seq_report.interactions, "{context}");
+    for v in 0..n {
+        let v = VertexId::from(v);
+        assert_eq!(
+            sharded.buffered(v).unwrap(),
+            sequential.buffered(v),
+            "buffered({v}) mismatch: {context}"
+        );
+        assert_eq!(
+            sharded.origins(v).unwrap(),
+            sequential.origins(v),
+            "origins({v}) mismatch: {context}"
+        );
+    }
+}
+
+/// Run `body` under a watchdog: a hang becomes a loud panic, not a stuck CI
+/// job (recovery bugs love to deadlock).
+fn with_watchdog(body: impl FnOnce() + Send + 'static) {
+    let worker = std::thread::spawn(body);
+    let deadline = std::time::Instant::now() + Duration::from_secs(120);
+    while !worker.is_finished() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "self-healing test hung"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    worker.join().unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance criterion: kill-at-K × policy × shard count, bit-identical
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For every factory policy and shards ∈ {2, 4, 7}, killing a worker at
+    /// a random stream position recovers in-run and the final state is
+    /// bit-identical to an undisturbed sequential run.
+    #[test]
+    fn kill_at_k_recovers_bit_identically(
+        stream in interaction_stream(40),
+        kill_frac in 0.0f64..1.0f64,
+    ) {
+        let n = MAX_VERTICES as usize;
+        let kill_at = ((stream.len() as f64) * kill_frac) as usize;
+        for config in all_configs(n) {
+            let mut sequential = ProvenanceEngine::new(&config, n).unwrap();
+            sequential.process_all(&stream).unwrap();
+            let seq_report = sequential.report();
+            for shards in [2usize, 4, 7] {
+                let victim = kill_at % shards;
+                let mut sharded = ShardedEngine::new(&config, n, shards)
+                    .unwrap()
+                    .with_self_healing(healing(4, 8))
+                    .unwrap();
+                for (i, r) in stream.iter().enumerate() {
+                    if i == kill_at {
+                        sharded.inject_worker_panic(victim).unwrap();
+                    }
+                    sharded.process(r).unwrap();
+                }
+                let report = sharded.report().unwrap();
+                prop_assert_eq!(
+                    report.total_quantity,
+                    seq_report.total_quantity,
+                    "total_quantity mismatch under {} with {} shards, kill at {}",
+                    config.key(),
+                    shards,
+                    kill_at
+                );
+                prop_assert_eq!(
+                    report.newborn_quantity,
+                    seq_report.newborn_quantity,
+                    "newborn_quantity mismatch under {} with {} shards, kill at {}",
+                    config.key(),
+                    shards,
+                    kill_at
+                );
+                for v in 0..n {
+                    let v = VertexId::from(v);
+                    prop_assert_eq!(
+                        sharded.buffered(v).unwrap(),
+                        sequential.buffered(v),
+                        "buffered({}) mismatch under {} with {} shards, kill at {}",
+                        v,
+                        config.key(),
+                        shards,
+                        kill_at
+                    );
+                    prop_assert_eq!(
+                        sharded.origins(v).unwrap(),
+                        sequential.origins(v),
+                        "origins({}) mismatch under {} with {} shards, kill at {}",
+                        v,
+                        config.key(),
+                        shards,
+                        kill_at
+                    );
+                }
+                prop_assert!(sharded.recovery_stats().recoveries >= 1);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Idempotent, race-free poisoning (two deaths in the same wavefront)
+// ---------------------------------------------------------------------------
+
+/// Fail-fast mode: two near-simultaneous worker deaths must poison the
+/// engine exactly once (the first root cause wins) and never deadlock.
+#[test]
+fn double_kill_same_wavefront_poisons_once_without_healing() {
+    with_watchdog(|| {
+        let n = MAX_VERTICES as usize;
+        let config = PolicyConfig::Plain(SelectionPolicy::ProportionalSparse);
+        let mut engine = ShardedEngine::new(&config, n, 4).unwrap();
+        let stream: Vec<Interaction> = (0..32u32)
+            .map(|i| Interaction::new(i % 9, (i % 9) + 1, f64::from(i), 1.0))
+            .collect();
+        engine.process_all(&stream[..16]).unwrap();
+        // Two victims killed back-to-back: both sentinels broadcast into
+        // the same wavefront's barrier.
+        engine.inject_worker_panic(0).unwrap();
+        let _ = engine.inject_worker_panic(1);
+        let first = match engine.report() {
+            Err(e @ TinError::WorkerLost { .. }) => e,
+            other => panic!("expected WorkerLost, got {other:?}"),
+        };
+        // Every subsequent operation keeps surfacing the *first* error —
+        // the second sentinel neither re-poisons nor deadlocks anything.
+        for _ in 0..4 {
+            match engine.report() {
+                Err(e) => assert_eq!(e, first, "poisoning must be idempotent"),
+                Ok(_) => panic!("poisoned engine served a report"),
+            }
+        }
+        drop(engine);
+    });
+}
+
+/// Healing mode: both deaths land in the same wavefront; one recovery
+/// absorbs them (the second sentinel's notification dies with the old
+/// channel generation) and the results still match the reference.
+#[test]
+fn double_kill_same_wavefront_heals_once() {
+    with_watchdog(|| {
+        let n = MAX_VERTICES as usize;
+        let config = PolicyConfig::Plain(SelectionPolicy::ProportionalSparse);
+        let stream: Vec<Interaction> = (0..48u32)
+            .map(|i| Interaction::new(i % 9, (i % 9) + 1, f64::from(i), 1.0 + f64::from(i % 3)))
+            .collect();
+        let mut sequential = ProvenanceEngine::new(&config, n).unwrap();
+        sequential.process_all(&stream).unwrap();
+
+        let mut engine = ShardedEngine::new(&config, n, 4)
+            .unwrap()
+            .with_self_healing(healing(4, 8))
+            .unwrap();
+        engine.process_all(&stream[..24]).unwrap();
+        engine.inject_worker_panic(0).unwrap();
+        let _ = engine.inject_worker_panic(1);
+        engine.process_all(&stream[24..]).unwrap();
+        assert_bit_identical(&mut engine, &mut sequential, n, "double kill, healing");
+        let stats = engine.recovery_stats();
+        assert!(stats.recoveries >= 1);
+        assert!(stats.last_rto_secs > 0.0);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Worker dies *during* recovery (respawn-within-respawn)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn death_during_recovery_consumes_budget_and_still_heals() {
+    with_watchdog(|| {
+        let n = MAX_VERTICES as usize;
+        let config = PolicyConfig::Plain(SelectionPolicy::Fifo);
+        let stream: Vec<Interaction> = (0..40u32)
+            .map(|i| Interaction::new(i % 7, (i % 7) + 2, f64::from(i), 2.0))
+            .collect();
+        let mut sequential = ProvenanceEngine::new(&config, n).unwrap();
+        sequential.process_all(&stream).unwrap();
+
+        let shards = 3usize;
+        let mut engine = ShardedEngine::new(&config, n, shards)
+            .unwrap()
+            .with_self_healing(healing(5, 16))
+            .unwrap();
+        engine.process_all(&stream[..20]).unwrap();
+        // The next two respawned pools die immediately: recovery must chew
+        // through the budget (attempts 1 and 2 fail, attempt 3 succeeds).
+        engine.inject_panic_on_respawn(2);
+        engine.inject_worker_panic(1).unwrap();
+        engine.process_all(&stream[20..]).unwrap();
+        assert_bit_identical(&mut engine, &mut sequential, n, "respawn-within-respawn");
+        let stats = engine.recovery_stats();
+        assert_eq!(stats.recoveries, 1, "one logical recovery");
+        assert_eq!(
+            stats.workers_respawned,
+            3 * shards,
+            "two failed attempts + one success, each a full pool"
+        );
+    });
+}
+
+#[test]
+fn death_during_recovery_past_budget_falls_back_to_poison() {
+    with_watchdog(|| {
+        let n = MAX_VERTICES as usize;
+        let config = PolicyConfig::Plain(SelectionPolicy::Fifo);
+        let stream: Vec<Interaction> = (0..20u32)
+            .map(|i| Interaction::new(i % 7, (i % 7) + 2, f64::from(i), 2.0))
+            .collect();
+        let mut engine = ShardedEngine::new(&config, n, 3)
+            .unwrap()
+            .with_self_healing(healing(1, 16))
+            .unwrap();
+        engine.process_all(&stream[..10]).unwrap();
+        // Budget of 1, and the single respawned pool dies too.
+        engine.inject_panic_on_respawn(1);
+        engine.inject_worker_panic(0).unwrap();
+        let mut saw_worker_lost = false;
+        for r in &stream[10..] {
+            if let Err(e) = engine.process(r) {
+                assert!(matches!(e, TinError::WorkerLost { .. }), "{e:?}");
+                saw_worker_lost = true;
+                break;
+            }
+        }
+        if !saw_worker_lost {
+            assert!(matches!(engine.report(), Err(TinError::WorkerLost { .. })));
+        }
+        // Sticky: the exhausted budget leaves the engine poisoned for good.
+        assert!(matches!(engine.report(), Err(TinError::WorkerLost { .. })));
+        drop(engine);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointing disabled: the in-memory barrier-snapshot path
+// ---------------------------------------------------------------------------
+
+/// No durable store anywhere: recovery restores purely from the in-memory
+/// snapshot, with `snapshot_every` small enough that several snapshot
+/// refreshes happen mid-stream before the kill.
+#[test]
+fn heals_from_in_memory_snapshot_without_durable_checkpoints() {
+    with_watchdog(|| {
+        let n = MAX_VERTICES as usize;
+        for snapshot_every in [4usize, 64] {
+            let config = PolicyConfig::Windowed { window: 5 };
+            let stream: Vec<Interaction> = (0..60u32)
+                .map(|i| {
+                    Interaction::new(
+                        i % 9,
+                        (i % 9) + 1,
+                        f64::from(i) * 0.5,
+                        1.5 + f64::from(i % 4),
+                    )
+                })
+                .collect();
+            let mut sequential = ProvenanceEngine::new(&config, n).unwrap();
+            sequential.process_all(&stream).unwrap();
+
+            let mut engine = ShardedEngine::new(&config, n, 3)
+                .unwrap()
+                .with_self_healing(healing(3, snapshot_every))
+                .unwrap();
+            engine.process_all(&stream[..45]).unwrap();
+            engine.inject_worker_panic(2).unwrap();
+            engine.process_all(&stream[45..]).unwrap();
+            assert_bit_identical(
+                &mut engine,
+                &mut sequential,
+                n,
+                &format!("in-memory snapshots, snapshot_every={snapshot_every}"),
+            );
+            let stats = engine.recovery_stats();
+            assert_eq!(stats.recoveries, 1);
+            // The replay is bounded by the snapshot interval: never more
+            // than snapshot_every interactions re-processed per recovery.
+            assert!(
+                stats.replayed_interactions <= snapshot_every,
+                "replayed {} > snapshot_every {snapshot_every}",
+                stats.replayed_interactions
+            );
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Death after the final wavefront, before the last sync barrier
+// ---------------------------------------------------------------------------
+
+#[test]
+fn death_between_final_wavefront_and_last_barrier_heals_on_report() {
+    with_watchdog(|| {
+        let n = MAX_VERTICES as usize;
+        let config = PolicyConfig::Plain(SelectionPolicy::ProportionalSparse);
+        let stream: Vec<Interaction> = (0..30u32)
+            .map(|i| Interaction::new(i % 8, (i % 8) + 1, f64::from(i), 3.0))
+            .collect();
+        let mut sequential = ProvenanceEngine::new(&config, n).unwrap();
+        sequential.process_all(&stream).unwrap();
+
+        let mut engine = ShardedEngine::new(&config, n, 3)
+            .unwrap()
+            .with_self_healing(healing(3, 8))
+            .unwrap();
+        // Everything processed (wavefronts dispatched, maybe even drained)
+        // but the closing barrier has not run yet: the kill lands between
+        // the final wavefront and the report's quiesce.
+        engine.process_all(&stream).unwrap();
+        engine.inject_worker_panic(1).unwrap();
+        assert_bit_identical(&mut engine, &mut sequential, n, "kill before last barrier");
+        assert_eq!(engine.recovery_stats().recoveries, 1);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Durable checkpoints + self-healing combined
+// ---------------------------------------------------------------------------
+
+#[test]
+fn heals_with_durable_checkpoints_enabled_and_keeps_saving() {
+    use tin::core::checkpoint::CheckpointStore;
+    with_watchdog(|| {
+        let dir =
+            std::env::temp_dir().join(format!("tin_self_heal_durable_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let n = MAX_VERTICES as usize;
+        let config = PolicyConfig::Plain(SelectionPolicy::ProportionalSparse);
+        let stream: Vec<Interaction> = (0..50u32)
+            .map(|i| Interaction::new(i % 9, (i % 9) + 1, f64::from(i), 2.0 + f64::from(i % 5)))
+            .collect();
+        let mut sequential = ProvenanceEngine::new(&config, n).unwrap();
+        sequential.process_all(&stream).unwrap();
+
+        let store = CheckpointStore::open(&dir).unwrap();
+        let mut engine = ShardedEngine::new(&config, n, 3)
+            .unwrap()
+            .with_self_healing(healing(3, 1024))
+            .unwrap()
+            .with_durable_checkpoints(store, 10)
+            .unwrap();
+        engine.process_all(&stream[..25]).unwrap();
+        engine.inject_worker_panic(0).unwrap();
+        engine.process_all(&stream[25..]).unwrap();
+        assert_bit_identical(&mut engine, &mut sequential, n, "durable + healing");
+        assert_eq!(engine.recovery_stats().recoveries, 1);
+        // Durable periodic saves adopt the snapshot, so the replay never
+        // exceeds the *durable* interval here (1024 ≫ 10).
+        assert!(engine.recovery_stats().replayed_interactions <= 10);
+        let report = engine.report().unwrap();
+        assert!(report.checkpoints_taken >= 4, "saves continued after heal");
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Hang detection
+// ---------------------------------------------------------------------------
+
+/// A worker that stalls past `hang_timeout` is treated as lost: the pool is
+/// replaced and the run completes bit-identically. The stalled thread is
+/// detached and exits on its own once the sleep ends.
+#[test]
+fn hung_worker_is_detected_and_replaced() {
+    with_watchdog(|| {
+        let n = MAX_VERTICES as usize;
+        let config = PolicyConfig::Plain(SelectionPolicy::Fifo);
+        let stream: Vec<Interaction> = (0..30u32)
+            .map(|i| Interaction::new(i % 8, (i % 8) + 1, f64::from(i), 1.0))
+            .collect();
+        let mut sequential = ProvenanceEngine::new(&config, n).unwrap();
+        sequential.process_all(&stream).unwrap();
+
+        let policy = RecoveryPolicy {
+            hang_timeout: Some(Duration::from_millis(100)),
+            ..healing(3, 8)
+        };
+        let mut engine = ShardedEngine::new(&config, n, 3)
+            .unwrap()
+            .with_self_healing(policy)
+            .unwrap();
+        engine.process_all(&stream[..15]).unwrap();
+        // 1.5 s stall ≫ 100 ms budget: the next barrier times out.
+        engine.inject_worker_stall(1, 1500).unwrap();
+        engine.process_all(&stream[15..]).unwrap();
+        assert_bit_identical(&mut engine, &mut sequential, n, "hung worker");
+        assert_eq!(engine.recovery_stats().recoveries, 1);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Recovery observability
+// ---------------------------------------------------------------------------
+
+#[test]
+fn recovery_metrics_and_span_land_in_obs() {
+    with_watchdog(|| {
+        let n = MAX_VERTICES as usize;
+        let shards = 3usize;
+        let config = PolicyConfig::Plain(SelectionPolicy::ProportionalSparse);
+        let stream: Vec<Interaction> = (0..40u32)
+            .map(|i| Interaction::new(i % 9, (i % 9) + 1, f64::from(i), 2.0))
+            .collect();
+        let mut engine = ShardedEngine::new(&config, n, shards)
+            .unwrap()
+            .with_observability(tin_obs::Obs::new())
+            .unwrap()
+            .with_self_healing(healing(3, 8))
+            .unwrap();
+        engine.process_all(&stream[..20]).unwrap();
+        engine.inject_worker_panic(2).unwrap();
+        engine.process_all(&stream[20..]).unwrap();
+        let _ = engine.report().unwrap();
+        let stats = engine.recovery_stats();
+        let obs = engine.take_obs().unwrap().expect("sink attached");
+        let snap = obs.snapshot();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|c| c.name == name)
+                .unwrap_or_else(|| panic!("counter {name} registered"))
+                .value
+        };
+        assert_eq!(counter("recoveries_total"), 1);
+        assert_eq!(counter("worker_respawns_total"), shards as u64);
+        assert_eq!(
+            counter("replayed_interactions"),
+            stats.replayed_interactions as u64
+        );
+        let rto = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "recovery_ns")
+            .expect("recovery_ns histogram registered");
+        assert_eq!(rto.count, 1);
+        assert!(rto.sum > 0);
+        assert!(obs.trace.events().iter().any(|e| e.name == "recovery"));
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Budget semantics
+// ---------------------------------------------------------------------------
+
+/// `max_worker_restarts: 0` is exactly the pre-existing fail-fast behavior
+/// even with a recovery policy attached.
+#[test]
+fn zero_restart_budget_is_fail_fast() {
+    with_watchdog(|| {
+        let n = MAX_VERTICES as usize;
+        let config = PolicyConfig::Plain(SelectionPolicy::Fifo);
+        let mut engine = ShardedEngine::new(&config, n, 3)
+            .unwrap()
+            .with_self_healing(healing(0, 8))
+            .unwrap();
+        engine
+            .process(&Interaction::new(0u32, 1u32, 1.0, 2.0))
+            .unwrap();
+        engine.inject_worker_panic(0).unwrap();
+        assert!(matches!(engine.report(), Err(TinError::WorkerLost { .. })));
+        assert!(matches!(engine.report(), Err(TinError::WorkerLost { .. })));
+        assert_eq!(engine.recovery_stats().recoveries, 0);
+    });
+}
+
+/// The budget is engine-lifetime: repeated kills drain it, and the
+/// (budget + 1)-th failure is terminal.
+#[test]
+fn repeated_kills_drain_the_lifetime_budget() {
+    with_watchdog(|| {
+        let n = MAX_VERTICES as usize;
+        let config = PolicyConfig::Plain(SelectionPolicy::Fifo);
+        let stream: Vec<Interaction> = (0..60u32)
+            .map(|i| Interaction::new(i % 7, (i % 7) + 2, f64::from(i), 1.0))
+            .collect();
+        let mut engine = ShardedEngine::new(&config, n, 2)
+            .unwrap()
+            .with_self_healing(healing(2, 16))
+            .unwrap();
+        engine.process_all(&stream[..10]).unwrap();
+        engine.inject_worker_panic(0).unwrap();
+        engine.process_all(&stream[10..20]).unwrap();
+        let _ = engine.report().unwrap(); // first heal certainly done
+        engine.inject_worker_panic(1).unwrap();
+        engine.process_all(&stream[20..30]).unwrap();
+        let _ = engine.report().unwrap(); // second heal done
+        assert_eq!(engine.recovery_stats().recoveries, 2);
+        // Third kill: budget exhausted, terminal.
+        engine.inject_worker_panic(0).unwrap();
+        let mut failed = false;
+        for r in &stream[30..] {
+            if engine.process(r).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(
+            failed || engine.report().is_err(),
+            "third failure must be terminal"
+        );
+        assert!(matches!(engine.report(), Err(TinError::WorkerLost { .. })));
+    });
+}
