@@ -2,16 +2,18 @@
 //!
 //! Runs every feasible policy configuration over fixed-seed synthetic
 //! workloads (Bitcoin- and taxi-shaped, the two stream shapes the paper's
-//! evaluation leans on) and writes `BENCH_PR9.json`: interactions/sec,
+//! evaluation leans on) and writes `BENCH_PR10.json`: interactions/sec,
 //! per-interaction latency quantiles (p50/p90/p99/max from the `tin-obs`
 //! `tracker_latency_ns` histogram), peak provenance footprint and allocator
 //! peak per policy, plus a sequential-vs-sharded scaling section for the
-//! `tin-shard` wavefront engine, a durable-checkpoint cost section, and a
+//! `tin-shard` wavefront engine, a durable-checkpoint cost section, a
 //! `recovery_time` section that kills one worker mid-stream on a
 //! self-healing sharded engine and reports the measured recovery-time
-//! objective per snapshot interval. The JSON schema is documented in the
-//! repository README ("Benchmark baseline"); numbers from this emitter are
-//! the perf trajectory that later PRs are measured against.
+//! objective per snapshot interval, and a `telemetry_overhead` section that
+//! isolates what live JSONL telemetry streaming costs on top of plain
+//! observability. The JSON schema is documented in the repository README
+//! ("Benchmark baseline"); numbers from this emitter are the perf
+//! trajectory that later PRs are measured against.
 //!
 //! ## Measurement methodology (median of K interleaved repetitions)
 //!
@@ -35,7 +37,7 @@
 //! Scale is controlled by `TIN_SCALE` (use `TIN_SCALE=tiny` as CI smoke
 //! mode), the seed by `TIN_SEED`, timing repetitions by `TIN_BENCH_REPS`
 //! (default 5), and the output path by `--out PATH` (default
-//! `BENCH_PR9.json`).
+//! `BENCH_PR10.json`).
 
 use std::time::Instant;
 
@@ -112,7 +114,7 @@ impl TimingStats {
     }
 }
 
-/// Per-interaction tracker latency quantiles from one instrumented
+/// Per-interaction tracker latency quantiles from the instrumented
 /// sequential-engine pass (the `tracker_latency_ns` histogram of `tin-obs`,
 /// log-bucket resolution).
 #[derive(Clone, Copy, Debug, Default)]
@@ -121,6 +123,15 @@ struct LatencyQuantiles {
     p90_ns: u64,
     p99_ns: u64,
     max_ns: u64,
+}
+
+/// Everything the single (untimed) instrumented pass yields: footprint
+/// peaks, allocator peak, and latency quantiles.
+struct InstrumentedPass {
+    peak_footprint_bytes: usize,
+    final_footprint_bytes: usize,
+    peak_alloc_bytes: usize,
+    latency: LatencyQuantiles,
 }
 
 struct PolicyRow {
@@ -182,45 +193,40 @@ fn time_tracker_pass(config: &PolicyConfig, w: &Workload) -> f64 {
     start.elapsed().as_secs_f64() / f64::from(passes)
 }
 
-/// Instrumented pass for one policy: periodic logical-footprint samples and
-/// the allocator peak (not timed).
-fn instrument_policy(config: &PolicyConfig, w: &Workload) -> (usize, usize, usize) {
-    let scope = tin_memstats::MemoryScope::start();
-    let mut tracker = build_tracker(config, w.num_vertices).expect("benchmark configs are valid");
-    let mut peak_footprint = 0usize;
-    for (i, r) in w.interactions.iter().enumerate() {
-        tracker.process(r);
-        if i % SAMPLE_INTERVAL == 0 {
-            peak_footprint = peak_footprint.max(tracker.footprint().total());
-        }
-    }
-    let final_footprint = tracker.footprint().total();
-    peak_footprint = peak_footprint.max(final_footprint);
-    let mem = scope.finish();
-    (peak_footprint, final_footprint, mem.peak_delta_bytes)
-}
-
-/// One instrumented sequential-engine pass: per-interaction latency
-/// quantiles from the `tracker_latency_ns` histogram (not timed — histogram
+/// The single instrumented pass for one policy (not timed — histogram
 /// observation adds a clock read per interaction, so this pass is kept
-/// separate from the throughput measurements above).
-fn measure_latency(config: &PolicyConfig, w: &Workload) -> LatencyQuantiles {
+/// separate from the throughput measurements above). One observability-
+/// attached sequential-engine run yields the periodic logical-footprint
+/// peaks, the allocator peak, *and* the per-interaction latency quantiles
+/// from the `tracker_latency_ns` histogram; earlier revisions burned a
+/// second full pass on the quantiles alone.
+fn instrument_policy(config: &PolicyConfig, w: &Workload) -> InstrumentedPass {
+    let scope = tin_memstats::MemoryScope::start();
     let mut engine = tin_core::engine::ProvenanceEngine::new(config, w.num_vertices)
         .expect("benchmark configs are valid")
+        .with_footprint_sample_interval(SAMPLE_INTERVAL)
+        .expect("sample interval is positive")
         .with_observability(tin_obs::Obs::new());
     engine.process_all(&w.interactions).expect("valid stream");
+    let report = engine.report();
     let obs = engine.take_obs().expect("observability was attached");
+    let mem = scope.finish();
     let snap = obs.snapshot();
     let hist = snap
         .histograms
         .iter()
         .find(|h| h.name == "tracker_latency_ns")
         .expect("engine registers tracker_latency_ns");
-    LatencyQuantiles {
-        p50_ns: hist.p50,
-        p90_ns: hist.p90,
-        p99_ns: hist.p99,
-        max_ns: hist.max,
+    InstrumentedPass {
+        peak_footprint_bytes: report.peak_footprint_bytes,
+        final_footprint_bytes: report.footprint.total(),
+        peak_alloc_bytes: mem.peak_delta_bytes,
+        latency: LatencyQuantiles {
+            p50_ns: hist.p50,
+            p90_ns: hist.p90,
+            p99_ns: hist.p99,
+            max_ns: hist.max,
+        },
     }
 }
 
@@ -238,14 +244,14 @@ fn run_policy_table(w: &Workload, reps: usize) -> Vec<PolicyRow> {
         .iter()
         .zip(samples.iter_mut())
         .map(|(config, times)| {
-            let (peak_footprint, final_footprint, peak_alloc) = instrument_policy(config, w);
+            let pass = instrument_policy(config, w);
             PolicyRow {
                 key: config.key(),
                 timing: TimingStats::from_samples(times),
-                latency: measure_latency(config, w),
-                peak_footprint_bytes: peak_footprint,
-                final_footprint_bytes: final_footprint,
-                peak_alloc_bytes: peak_alloc,
+                latency: pass.latency,
+                peak_footprint_bytes: pass.peak_footprint_bytes,
+                final_footprint_bytes: pass.final_footprint_bytes,
+                peak_alloc_bytes: pass.peak_alloc_bytes,
                 reps,
             }
         })
@@ -593,6 +599,165 @@ fn run_recovery_section(config: &PolicyConfig, w: &Workload, reps: usize) -> Rec
     }
 }
 
+/// One telemetry-overhead measurement mode for the sequential engine.
+#[derive(Clone, Copy)]
+enum TelemetryMode {
+    /// No observability at all — the uninstrumented baseline.
+    Plain,
+    /// Observability attached, no telemetry stream.
+    Obs,
+    /// Observability plus a live JSONL telemetry stream at the given
+    /// interval, written into `std::io::sink()` so the measurement isolates
+    /// snapshot + delta-encoding + serialisation cost from disk speed.
+    ObsTelemetry(usize),
+}
+
+/// A telemetry sink that only counts: bytes written and records (newlines),
+/// shared through atomics so the counters survive the engine taking
+/// ownership of the sink.
+struct CountingSink {
+    bytes: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+    records: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+}
+
+impl std::io::Write for CountingSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.bytes.fetch_add(buf.len(), Relaxed);
+        self.records
+            .fetch_add(buf.iter().filter(|&&b| b == b'\n').count(), Relaxed);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// One timed sequential-engine pass in a telemetry-overhead mode. Engine
+/// construction is excluded from the timed region, matching
+/// [`time_engine_pass`]; the telemetry mode pays the end-of-stream `final`
+/// record a real caller emits too (a no-op in the other modes).
+fn time_telemetry_pass(config: &PolicyConfig, w: &Workload, mode: TelemetryMode) -> f64 {
+    let mut passes = 0u32;
+    let mut timed = 0.0f64;
+    loop {
+        let mut engine = tin_core::engine::ProvenanceEngine::new(config, w.num_vertices)
+            .expect("benchmark configs are valid");
+        match mode {
+            TelemetryMode::Plain => {}
+            TelemetryMode::Obs => engine = engine.with_observability(tin_obs::Obs::new()),
+            TelemetryMode::ObsTelemetry(every) => {
+                engine = engine
+                    .with_observability(tin_obs::Obs::new())
+                    .with_telemetry(tin_obs::Telemetry::new(Box::new(std::io::sink())), every)
+                    .expect("interval is positive");
+            }
+        }
+        let start = Instant::now();
+        engine.process_all(&w.interactions).expect("valid stream");
+        engine
+            .emit_telemetry("final")
+            .expect("sink writes cannot fail");
+        std::hint::black_box(engine.report());
+        timed += start.elapsed().as_secs_f64();
+        passes += 1;
+        if timed >= MIN_MEASURE_SECS {
+            break;
+        }
+    }
+    timed / f64::from(passes)
+}
+
+struct TelemetryOverheadRow {
+    mode: &'static str,
+    timing: TimingStats,
+    overhead_vs_plain_percent: f64,
+}
+
+struct TelemetryOverheadSection {
+    policy: String,
+    telemetry_every: usize,
+    records_per_pass: usize,
+    bytes_per_pass: usize,
+    /// The headline number: obs+telemetry vs obs-only, median-over-median —
+    /// what the live stream itself costs on an already-instrumented engine.
+    telemetry_overhead_percent: f64,
+    rows: Vec<TelemetryOverheadRow>,
+}
+
+/// Telemetry streaming cost for one workload: K interleaved reps of the
+/// three modes (uninstrumented / obs-only / obs + telemetry into a null
+/// sink at `every = max(1024, len/16)`, the interval the CLI defaults
+/// approximate at scale), plus one untimed counting pass for the record
+/// and byte volume.
+fn run_telemetry_overhead(
+    config: &PolicyConfig,
+    w: &Workload,
+    reps: usize,
+) -> TelemetryOverheadSection {
+    let every = (w.interactions.len() / 16).max(1024);
+    let modes = [
+        ("plain", TelemetryMode::Plain),
+        ("obs", TelemetryMode::Obs),
+        ("obs_telemetry", TelemetryMode::ObsTelemetry(every)),
+    ];
+    let mut samples: Vec<Vec<f64>> = vec![Vec::with_capacity(reps); modes.len()];
+    for _ in 0..reps {
+        for (i, (_, mode)) in modes.iter().enumerate() {
+            samples[i].push(time_telemetry_pass(config, w, *mode));
+        }
+    }
+    let stats: Vec<TimingStats> = samples
+        .iter_mut()
+        .map(|s| TimingStats::from_samples(s))
+        .collect();
+    let plain_median = stats[0].median_secs;
+    let obs_median = stats[1].median_secs;
+    let telemetry_median = stats[2].median_secs;
+    let overhead = |vs: f64, secs: f64| {
+        if vs > 0.0 {
+            (secs / vs - 1.0) * 100.0
+        } else {
+            0.0
+        }
+    };
+
+    // Untimed counting pass: how much the stream actually emits.
+    let bytes = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let records = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let sink = CountingSink {
+        bytes: bytes.clone(),
+        records: records.clone(),
+    };
+    let mut engine = tin_core::engine::ProvenanceEngine::new(config, w.num_vertices)
+        .expect("benchmark configs are valid")
+        .with_observability(tin_obs::Obs::new())
+        .with_telemetry(tin_obs::Telemetry::new(Box::new(sink)), every)
+        .expect("interval is positive");
+    engine.process_all(&w.interactions).expect("valid stream");
+    engine
+        .emit_telemetry("final")
+        .expect("sink writes cannot fail");
+
+    TelemetryOverheadSection {
+        policy: config.key(),
+        telemetry_every: every,
+        records_per_pass: records.load(std::sync::atomic::Ordering::Relaxed),
+        bytes_per_pass: bytes.load(std::sync::atomic::Ordering::Relaxed),
+        telemetry_overhead_percent: overhead(obs_median, telemetry_median),
+        rows: modes
+            .iter()
+            .zip(stats)
+            .map(|((label, _), timing)| TelemetryOverheadRow {
+                mode: label,
+                timing,
+                overhead_vs_plain_percent: overhead(plain_median, timing.median_secs),
+            })
+            .collect(),
+    }
+}
+
 struct SweepRow {
     dense_threshold: f64,
     timing: TimingStats,
@@ -620,12 +785,12 @@ fn run_threshold_sweep(w: &Workload, reps: usize) -> Vec<SweepRow> {
         .zip(configs.iter())
         .zip(samples.iter_mut())
         .map(|((&dense_threshold, config), times)| {
-            let (peak_footprint, final_footprint, _) = instrument_policy(config, w);
+            let pass = instrument_policy(config, w);
             SweepRow {
                 dense_threshold,
                 timing: TimingStats::from_samples(times),
-                peak_footprint_bytes: peak_footprint,
-                final_footprint_bytes: final_footprint,
+                peak_footprint_bytes: pass.peak_footprint_bytes,
+                final_footprint_bytes: pass.final_footprint_bytes,
                 reps,
             }
         })
@@ -652,7 +817,7 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(5)
         .max(1);
-    let mut out_path = "BENCH_PR9.json".to_string();
+    let mut out_path = "BENCH_PR10.json".to_string();
     let mut sweep_threshold = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -691,6 +856,7 @@ fn main() {
     let mut scaling_blobs = Vec::new();
     let mut checkpoint_blobs = Vec::new();
     let mut recovery_blobs = Vec::new();
+    let mut telemetry_blobs = Vec::new();
     let mut sweep_blobs = Vec::new();
     let mut measured_prop_sparse: Vec<(String, f64)> = Vec::new();
     for kind in kinds {
@@ -895,6 +1061,59 @@ fn main() {
             recovery_rows.join(",\n      "),
         ));
 
+        // Live-telemetry streaming cost on the same hot-path policy.
+        let telemetry = run_telemetry_overhead(&scaling_config, &w, reps);
+        println!(
+            "    telemetry overhead ({}, every {}):",
+            telemetry.policy, telemetry.telemetry_every
+        );
+        let mode_blobs: Vec<String> = telemetry
+            .rows
+            .iter()
+            .map(|row| {
+                println!(
+                    "      {:<14} {:>10.3} ms/pass  vs plain {:+6.2}%",
+                    row.mode,
+                    row.timing.median_secs * 1e3,
+                    row.overhead_vs_plain_percent,
+                );
+                format!(
+                    concat!(
+                        "{{\"mode\": \"{}\", \"runtime_secs\": {}, ",
+                        "\"runtime_secs_min\": {}, \"runtime_secs_max\": {}, ",
+                        "\"overhead_vs_plain_percent\": {}}}"
+                    ),
+                    row.mode,
+                    fmt_f64(row.timing.median_secs),
+                    fmt_f64(row.timing.min_secs),
+                    fmt_f64(row.timing.max_secs),
+                    fmt_f64(row.overhead_vs_plain_percent),
+                )
+            })
+            .collect();
+        println!(
+            "      streaming cost vs obs: {:+.2}%  ({} records, {} per pass)",
+            telemetry.telemetry_overhead_percent,
+            telemetry.records_per_pass,
+            tin_memstats::format_bytes(telemetry.bytes_per_pass),
+        );
+        telemetry_blobs.push(format!(
+            concat!(
+                "{{\"dataset\": \"{}\", \"policy\": \"{}\", \"telemetry_every\": {}, ",
+                "\"records_per_pass\": {}, \"bytes_per_pass\": {}, ",
+                "\"telemetry_overhead_percent\": {}, \"reps\": {},\n",
+                "     \"modes\": [\n      {}\n     ]}}"
+            ),
+            kind.key(),
+            json_escape(&telemetry.policy),
+            telemetry.telemetry_every,
+            telemetry.records_per_pass,
+            telemetry.bytes_per_pass,
+            fmt_f64(telemetry.telemetry_overhead_percent),
+            reps,
+            mode_blobs.join(",\n      "),
+        ));
+
         // Optional adaptive-promotion-threshold sweep.
         if sweep_threshold && sparse_proportional_feasible(w.num_vertices, w.interactions.len()) {
             println!("    threshold sweep (prop_adaptive):");
@@ -965,7 +1184,7 @@ fn main() {
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema_version\": 4,\n",
+            "  \"schema_version\": 5,\n",
             "  \"generated_by\": \"bench_baseline\",\n",
             "  \"scale\": \"{}\",\n",
             "  \"seed\": {},\n",
@@ -975,6 +1194,7 @@ fn main() {
             "  \"sharded_scaling\": [\n    {}\n  ],\n",
             "  \"checkpoint_cost\": [\n    {}\n  ],\n",
             "  \"recovery_time\": [\n    {}\n  ],\n",
+            "  \"telemetry_overhead\": [\n    {}\n  ],\n",
             "{}",
             "  \"prop_sparse_reference\": {{\n",
             "    \"description\": \"pre-optimisation proportional-sparse throughput, ",
@@ -990,6 +1210,7 @@ fn main() {
         scaling_blobs.join(",\n    "),
         checkpoint_blobs.join(",\n    "),
         recovery_blobs.join(",\n    "),
+        telemetry_blobs.join(",\n    "),
         sweep_section,
         speedups.join(",\n      "),
     );

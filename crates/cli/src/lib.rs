@@ -45,6 +45,10 @@ use tin_datasets::formats::{read_named_edge_list_file, NamedTin};
 use tin_datasets::{DatasetKind, DatasetSpec, ScaleProfile};
 
 /// A parsed CLI invocation.
+// One `Command` is parsed per process and dropped after dispatch; the size
+// spread between the flag-heavy `Run` variant and the rest buys nothing
+// from indirection here.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, PartialEq)]
 pub enum Command {
     /// Print Table 6-style statistics of a trace.
@@ -93,6 +97,14 @@ pub enum Command {
         /// Self-healing budget for sharded runs: how many times the worker
         /// pool may be respawned after a failure (0 = fail fast).
         max_worker_restarts: usize,
+        /// Stream live telemetry records (delta-encoded JSONL) here while
+        /// the run is in flight.
+        telemetry_out: Option<String>,
+        /// Emit a telemetry record every this many interactions (sharded
+        /// runs additionally emit at every sync barrier).
+        telemetry_every: usize,
+        /// Where to dump the black-box crash report when a run dies.
+        crash_report: CrashReportMode,
     },
     /// Run a selection policy over the trace and summarise the provenance of
     /// the busiest vertices.
@@ -161,8 +173,30 @@ pub enum Command {
         /// Output CSV path.
         out: String,
     },
+    /// Render a summary (latency quantiles, the imbalance trajectory, the
+    /// hottest vertices) from a telemetry JSONL stream written by
+    /// `run --telemetry-out`.
+    Report {
+        /// Path to the telemetry JSONL file.
+        path: String,
+    },
     /// Print the usage text.
     Help,
+}
+
+/// Where `run` dumps its black-box crash report when a run dies with a
+/// terminal error (worker lost, recovery budget exhausted, corrupt
+/// checkpoint).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CrashReportMode {
+    /// Default: sharded runs write `<trace path>.crash` next to the input;
+    /// sequential runs skip forensics (their failures are plain errors with
+    /// no worker pool to post-mortem).
+    Auto,
+    /// Forensics disabled (`--crash-report-dir none`).
+    Off,
+    /// Write the report into this directory.
+    Dir(String),
 }
 
 /// The usage text printed by `tin-cli help` and on argument errors.
@@ -175,7 +209,10 @@ USAGE:
                    [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
                    [--crash-at K] [--metrics-out FILE.json] [--trace-out FILE.json]
                    [--progress-every N] [--footprint-sample-every N]
+                   [--telemetry-out FILE.jsonl] [--telemetry-every N]
+                   [--crash-report-dir DIR|none]
                    [--chaos-plan PLAN] [--chaos-seed S] [--max-worker-restarts N]
+  tin-cli report   <telemetry.jsonl>
   tin-cli track    <trace> [--policy KEY] [--top N]
   tin-cli origins  <trace> --vertex NAME [--policy KEY] [--at TIME]
   tin-cli snapshot <trace> [--policy KEY] --out FILE.tsv
@@ -193,6 +230,11 @@ CHECKPOINTS: --checkpoint-dir persists recovery checkpoints while running;
 OBSERVABILITY: --metrics-out writes a metrics JSON snapshot after the run;
   --trace-out writes a Chrome trace-event JSON (open in ui.perfetto.dev);
   --progress-every N prints progress to stderr every N interactions.
+TELEMETRY & FORENSICS: --telemetry-out streams delta-encoded JSONL records
+  every --telemetry-every N interactions (default 1000) and at every sync
+  barrier; `tin-cli report` renders them. When a sharded run dies it dumps
+  a crash-report directory (report.json, metrics.json, trace.json) to
+  --crash-report-dir (default: <trace>.crash; `none` disables it).
 SELF-HEALING & CHAOS: sharded runs recover from worker deaths automatically
   (--max-worker-restarts N respawn budget, default 3; 0 = fail fast).
   --chaos-plan injects deterministic faults: kill-worker@K[:SHARD],
@@ -353,6 +395,23 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 })
                 .transpose()?
                 .unwrap_or(3),
+            telemetry_out: take_flag(&mut flags, "telemetry-out"),
+            telemetry_every: take_flag(&mut flags, "telemetry-every")
+                .map(|v| {
+                    v.parse::<usize>().ok().filter(|n| *n >= 1).ok_or_else(|| {
+                        format!("invalid --telemetry-every {v:?} (expected an integer >= 1)")
+                    })
+                })
+                .transpose()?
+                .unwrap_or(1000),
+            crash_report: match take_flag(&mut flags, "crash-report-dir") {
+                None => CrashReportMode::Auto,
+                Some(v) if v == "none" => CrashReportMode::Off,
+                Some(dir) => CrashReportMode::Dir(dir),
+            },
+        },
+        "report" => Command::Report {
+            path: first_positional(&positional, "telemetry JSONL path")?,
         },
         "track" => Command::Track {
             path: first_positional(&positional, "trace path")?,
@@ -489,6 +548,240 @@ fn describe_origin(named: &NamedTin, origin: tin_core::ids::Origin) -> String {
     }
 }
 
+/// Dump the black-box crash report for a dying sharded run. Best effort by
+/// design: the caller keeps reporting the *original* failure, so a
+/// forensics I/O problem only earns a stderr note.
+#[allow(clippy::too_many_arguments)]
+fn write_crash_report(
+    dir: &std::path::Path,
+    err: &CliError,
+    obs: Option<tin_obs::Obs>,
+    processed: u64,
+    policy: &str,
+    shards: usize,
+    chaos_plan: Option<&str>,
+    chaos_seed: Option<u64>,
+    checkpoint_dir: Option<&str>,
+) {
+    let last_checkpoint = checkpoint_dir.and_then(|d| {
+        let store = CheckpointStore::open(d).ok()?;
+        let (path, _) = store.load_latest_valid().ok().flatten()?;
+        let file = path.file_name()?.to_string_lossy().into_owned();
+        let bytes = std::fs::metadata(&path).ok()?.len();
+        Some(tin_obs::CheckpointMeta { file, bytes })
+    });
+    let report = tin_obs::CrashReport {
+        failure_reason: err.to_string(),
+        processed_interactions: processed,
+        policy: policy.to_string(),
+        shards: shards as u64,
+        chaos_plan: chaos_plan.map(String::from),
+        chaos_seed,
+        last_checkpoint,
+        metrics: obs.as_ref().map(tin_obs::Obs::snapshot),
+        trace_json: obs.as_ref().map(|o| o.trace.to_chrome_trace()),
+    };
+    match report.write_to(dir) {
+        Ok(_) => eprintln!("run: crash report written to {}", dir.display()),
+        Err(io) => eprintln!(
+            "run: failed to write crash report to {}: {io}",
+            dir.display()
+        ),
+    }
+}
+
+/// Aggregate and render a telemetry JSONL stream (`run --telemetry-out`):
+/// counter totals, latency quantiles per histogram, the load-imbalance
+/// trajectory, and the hottest-vertex tables from the last record. Counters
+/// and histogram count/sum are re-accumulated from the deltas; gauges,
+/// quantiles and the sketches are levels, so the last record wins.
+fn render_telemetry_report(path: &str) -> Result<String, CliError> {
+    use std::collections::BTreeMap;
+    use tin_obs::json::Value;
+
+    fn num(v: Option<&Value>) -> u64 {
+        v.and_then(Value::as_u64).unwrap_or(0)
+    }
+
+    let text = std::fs::read_to_string(path).map_err(TinError::from)?;
+    let bad = |line: usize, what: &str| CliError::Usage(format!("report: {path}:{line}: {what}"));
+
+    #[derive(Default)]
+    struct Hist {
+        unit: String,
+        count: u64,
+        sum: u64,
+        max: u64,
+        p50: u64,
+        p90: u64,
+        p99: u64,
+    }
+    let mut counters: BTreeMap<String, (String, u64)> = BTreeMap::new();
+    let mut gauges: BTreeMap<String, (String, u64)> = BTreeMap::new();
+    let mut hists: BTreeMap<String, Hist> = BTreeMap::new();
+    let mut imbalance: Vec<(u64, u64, String, u64)> = Vec::new();
+    let mut last: Option<Value> = None;
+    let mut records = 0u64;
+
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = Value::parse(line).map_err(|e| bad(lineno, &e))?;
+        let full = match v.get("kind").and_then(Value::as_str) {
+            Some("full") => true,
+            Some("delta") => false,
+            other => return Err(bad(lineno, &format!("unknown record kind {other:?}"))),
+        };
+        if let Some(members) = v.get("counters").and_then(Value::as_obj) {
+            for (name, m) in members {
+                let entry = counters.entry(name.clone()).or_default();
+                if full {
+                    if let Some(unit) = m.get("unit").and_then(Value::as_str) {
+                        entry.0 = unit.to_string();
+                    }
+                    entry.1 = num(m.get("value"));
+                } else {
+                    entry.1 += num(Some(m));
+                }
+            }
+        }
+        if let Some(members) = v.get("gauges").and_then(Value::as_obj) {
+            for (name, m) in members {
+                let entry = gauges.entry(name.clone()).or_default();
+                if full {
+                    if let Some(unit) = m.get("unit").and_then(Value::as_str) {
+                        entry.0 = unit.to_string();
+                    }
+                    entry.1 = num(m.get("last"));
+                } else {
+                    entry.1 = num(Some(m));
+                }
+                if name == "batch_imbalance_ratio" {
+                    imbalance.push((
+                        num(v.get("at")),
+                        num(v.get("seq")),
+                        v.get("source")
+                            .and_then(Value::as_str)
+                            .unwrap_or("?")
+                            .to_string(),
+                        entry.1,
+                    ));
+                }
+            }
+        }
+        if let Some(members) = v.get("histograms").and_then(Value::as_obj) {
+            for (name, m) in members {
+                let h = hists.entry(name.clone()).or_default();
+                if full {
+                    if let Some(unit) = m.get("unit").and_then(Value::as_str) {
+                        h.unit = unit.to_string();
+                    }
+                    h.count = num(m.get("count"));
+                    h.sum = num(m.get("sum"));
+                } else {
+                    h.count += num(m.get("count"));
+                    h.sum += num(m.get("sum"));
+                }
+                h.max = num(m.get("max"));
+                h.p50 = num(m.get("p50"));
+                h.p90 = num(m.get("p90"));
+                h.p99 = num(m.get("p99"));
+            }
+        }
+        records += 1;
+        last = Some(v);
+    }
+    let Some(last) = last else {
+        return Err(CliError::Usage(format!(
+            "report: {path} has no telemetry records"
+        )));
+    };
+
+    let mut out = String::new();
+    writeln!(out, "telemetry report: {path}").unwrap();
+    writeln!(
+        out,
+        "records         : {records} (last: seq {} at {} interactions, source {})",
+        num(last.get("seq")),
+        num(last.get("at")),
+        last.get("source").and_then(Value::as_str).unwrap_or("?")
+    )
+    .unwrap();
+    if let Some(t) = last.get("trace").filter(|t| !matches!(t, Value::Null)) {
+        writeln!(
+            out,
+            "flight recorder : {} recorded / {} capacity, {} dropped",
+            num(t.get("recorded")),
+            num(t.get("capacity")),
+            num(t.get("dropped"))
+        )
+        .unwrap();
+    }
+    if !counters.is_empty() {
+        writeln!(out, "counters:").unwrap();
+        for (name, (unit, value)) in &counters {
+            writeln!(out, "  {name:<36} {value:>14} {unit}").unwrap();
+        }
+    }
+    if !gauges.is_empty() {
+        writeln!(out, "gauges (last value):").unwrap();
+        for (name, (unit, value)) in &gauges {
+            writeln!(out, "  {name:<36} {value:>14} {unit}").unwrap();
+        }
+    }
+    if !hists.is_empty() {
+        writeln!(out, "histograms:").unwrap();
+        writeln!(
+            out,
+            "  {:<28} {:>9} {:>14} {:>9} {:>9} {:>9} {:>9} unit",
+            "name", "count", "sum", "p50", "p90", "p99", "max"
+        )
+        .unwrap();
+        for (name, h) in &hists {
+            writeln!(
+                out,
+                "  {:<28} {:>9} {:>14} {:>9} {:>9} {:>9} {:>9} {}",
+                name, h.count, h.sum, h.p50, h.p90, h.p99, h.max, h.unit
+            )
+            .unwrap();
+        }
+    }
+    if !imbalance.is_empty() {
+        writeln!(
+            out,
+            "imbalance trajectory (batch_imbalance_ratio, permille of mean):"
+        )
+        .unwrap();
+        for (at, seq, source, value) in &imbalance {
+            writeln!(out, "  seq {seq:>4} at {at:>10} [{source}]: {value}").unwrap();
+        }
+    }
+    for (key, title) in [
+        ("hot_vertices", "hottest vertices by touch count"),
+        ("hot_migrations", "hottest vertices by migrated bytes"),
+    ] {
+        if let Some(entries) = last.get(key).and_then(Value::as_arr) {
+            if entries.is_empty() {
+                continue;
+            }
+            writeln!(out, "{title}:").unwrap();
+            for e in entries {
+                writeln!(
+                    out,
+                    "  vertex {:<10} weight {:>12} (error <= {})",
+                    num(e.get("key")),
+                    num(e.get("weight")),
+                    num(e.get("error"))
+                )
+                .unwrap();
+            }
+        }
+    }
+    Ok(out)
+}
+
 /// Execute a parsed command, returning the text to print on stdout.
 pub fn run(command: &Command) -> Result<String, CliError> {
     let mut out = String::new();
@@ -529,6 +822,9 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             chaos_plan,
             chaos_seed,
             max_worker_restarts,
+            telemetry_out,
+            telemetry_every,
+            crash_report,
         } => {
             let named = load(path)?;
             let n = named.num_vertices();
@@ -623,6 +919,16 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             // Observability: attach a sink only when the user asked for an
             // export, so the default run pays nothing beyond one branch.
             let want_obs = metrics_out.is_some() || trace_out.is_some();
+            // Crash forensics: on by default for sharded runs (the report
+            // directory is only written on a terminal failure, so a healthy
+            // default run leaves nothing behind).
+            let crash_dir: Option<std::path::PathBuf> = match crash_report {
+                CrashReportMode::Off => None,
+                CrashReportMode::Dir(dir) => Some(std::path::PathBuf::from(dir)),
+                CrashReportMode::Auto => {
+                    (*shards > 1).then(|| std::path::PathBuf::from(format!("{path}.crash")))
+                }
+            };
             let total_interactions = named.interactions.len();
             // Progress goes to stderr: stdout must stay byte-identical
             // across shard counts (the CI smoke step diffs it).
@@ -652,6 +958,10 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                 if want_obs {
                     engine = engine.with_observability(tin_obs::Obs::new());
                 }
+                if let Some(tpath) = telemetry_out {
+                    let sink = tin_obs::Telemetry::create(tpath).map_err(TinError::from)?;
+                    engine = engine.with_telemetry(sink, *telemetry_every)?;
+                }
                 if let Some(store) = durable_store(checkpoint_dir)? {
                     engine = engine.with_durable_checkpoints(store, *checkpoint_every)?;
                 }
@@ -664,6 +974,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                         "run: injected crash at interaction {k} (durable checkpoints retained)"
                     )));
                 }
+                engine.emit_telemetry("final")?;
                 let buffered = (0..n)
                     .map(|i| engine.buffered(tin_core::ids::VertexId::from(i)))
                     .collect();
@@ -695,18 +1006,50 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                 if let Some(every) = footprint_sample_every {
                     engine = engine.with_footprint_sample_interval(*every)?;
                 }
-                if want_obs {
+                // Forensics needs the flight recorder and the metrics to be
+                // live when the run dies, so crash reporting implies
+                // observability (it does not change stdout — pinned by the
+                // instrumentation-equivalence tests).
+                if want_obs || crash_dir.is_some() {
                     engine = engine.with_observability(tin_obs::Obs::new())?;
+                }
+                if let Some(tpath) = telemetry_out {
+                    let sink = tin_obs::Telemetry::create(tpath).map_err(TinError::from)?;
+                    engine = engine.with_telemetry(sink, *telemetry_every)?;
                 }
                 if let Some(store) = durable_store(checkpoint_dir)? {
                     engine = engine.with_durable_checkpoints(store, *checkpoint_every)?;
                 }
-                for (i, r) in stream.iter().enumerate() {
-                    if let Some(driver) = driver.as_mut() {
-                        driver.before_interaction(skip + i, &mut engine)?;
+                let mut processed = skip;
+                let streamed = (|| -> Result<(), CliError> {
+                    for (i, r) in stream.iter().enumerate() {
+                        if let Some(driver) = driver.as_mut() {
+                            driver.before_interaction(skip + i, &mut engine)?;
+                        }
+                        engine.process(r)?;
+                        processed = skip + i + 1;
+                        progress(processed);
                     }
-                    engine.process(r)?;
-                    progress(skip + i + 1);
+                    engine.emit_telemetry("final")?;
+                    Ok(())
+                })();
+                if let Err(err) = streamed {
+                    // Best effort: the black box must never mask the
+                    // failure it is documenting.
+                    if let Some(dir) = &crash_dir {
+                        write_crash_report(
+                            dir,
+                            &err,
+                            engine.take_obs_unsynced(),
+                            processed as u64,
+                            policy.key(),
+                            *shards,
+                            chaos_plan.as_deref(),
+                            chaos_plan.as_ref().map(|_| *chaos_seed),
+                            checkpoint_dir.as_deref(),
+                        );
+                    }
+                    return Err(err);
                 }
                 if let Some(k) = crash_at {
                     return Err(CliError::Usage(format!(
@@ -988,6 +1331,10 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             )
             .unwrap();
         }
+
+        Command::Report { path } => {
+            out = render_telemetry_report(path)?;
+        }
     }
     Ok(out)
 }
@@ -1042,7 +1389,10 @@ mod tests {
                 footprint_sample_every: None,
                 chaos_plan: None,
                 chaos_seed: 0,
-                max_worker_restarts: 3
+                max_worker_restarts: 3,
+                telemetry_out: None,
+                telemetry_every: 1000,
+                crash_report: CrashReportMode::Auto
             }
         );
         assert_eq!(
@@ -1062,7 +1412,10 @@ mod tests {
                 footprint_sample_every: None,
                 chaos_plan: None,
                 chaos_seed: 0,
-                max_worker_restarts: 3
+                max_worker_restarts: 3,
+                telemetry_out: None,
+                telemetry_every: 1000,
+                crash_report: CrashReportMode::Auto
             }
         );
         assert_eq!(
@@ -1093,7 +1446,10 @@ mod tests {
                 footprint_sample_every: None,
                 chaos_plan: None,
                 chaos_seed: 0,
-                max_worker_restarts: 3
+                max_worker_restarts: 3,
+                telemetry_out: None,
+                telemetry_every: 1000,
+                crash_report: CrashReportMode::Auto
             }
         );
         assert_eq!(
@@ -1125,7 +1481,10 @@ mod tests {
                 footprint_sample_every: Some(256),
                 chaos_plan: None,
                 chaos_seed: 0,
-                max_worker_restarts: 3
+                max_worker_restarts: 3,
+                telemetry_out: None,
+                telemetry_every: 1000,
+                crash_report: CrashReportMode::Auto
             }
         );
         assert_eq!(
@@ -1157,7 +1516,54 @@ mod tests {
                 footprint_sample_every: None,
                 chaos_plan: Some("kill-worker@450,ckpt-fault@2x2".into()),
                 chaos_seed: 7,
-                max_worker_restarts: 5
+                max_worker_restarts: 5,
+                telemetry_out: None,
+                telemetry_every: 1000,
+                crash_report: CrashReportMode::Auto
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&[
+                "run",
+                "a.csv",
+                "--telemetry-out",
+                "t.jsonl",
+                "--telemetry-every",
+                "50",
+                "--crash-report-dir",
+                "box"
+            ]))
+            .unwrap(),
+            Command::Run {
+                path: "a.csv".into(),
+                policy: SelectionPolicy::ProportionalSparse,
+                shards: 1,
+                top: 10,
+                checkpoint_dir: None,
+                checkpoint_every: 1000,
+                resume: false,
+                crash_at: None,
+                metrics_out: None,
+                trace_out: None,
+                progress_every: None,
+                footprint_sample_every: None,
+                chaos_plan: None,
+                chaos_seed: 0,
+                max_worker_restarts: 3,
+                telemetry_out: Some("t.jsonl".into()),
+                telemetry_every: 50,
+                crash_report: CrashReportMode::Dir("box".into())
+            }
+        );
+        // `--crash-report-dir none` disables forensics explicitly.
+        match parse_args(&args(&["run", "a.csv", "--crash-report-dir", "none"])).unwrap() {
+            Command::Run { crash_report, .. } => assert_eq!(crash_report, CrashReportMode::Off),
+            other => panic!("expected a run command, got {other:?}"),
+        }
+        assert_eq!(
+            parse_args(&args(&["report", "t.jsonl"])).unwrap(),
+            Command::Report {
+                path: "t.jsonl".into()
             }
         );
         assert_eq!(
@@ -1243,6 +1649,11 @@ mod tests {
         assert!(parse_args(&args(&["run", "a.csv", "--chaos-plan", "kill-worker@"])).is_err());
         assert!(parse_args(&args(&["run", "a.csv", "--chaos-seed", "entropy"])).is_err());
         assert!(parse_args(&args(&["run", "a.csv", "--max-worker-restarts", "x"])).is_err());
+        assert!(parse_args(&args(&["run", "a.csv", "--telemetry-out"])).is_err());
+        assert!(parse_args(&args(&["run", "a.csv", "--telemetry-every", "0"])).is_err());
+        assert!(parse_args(&args(&["run", "a.csv", "--telemetry-every", "x"])).is_err());
+        assert!(parse_args(&args(&["run", "a.csv", "--crash-report-dir"])).is_err());
+        assert!(parse_args(&args(&["report"])).is_err());
         assert!(parse_args(&args(&["influence", "a.csv", "--top", "lots"])).is_err());
         assert!(parse_args(&args(&["similar", "a.csv", "--threshold", "high"])).is_err());
         assert!(parse_args(&args(&["track", "a.csv", "--policy", "bogus"])).is_err());
@@ -1320,6 +1731,9 @@ mod tests {
                 chaos_plan: None,
                 chaos_seed: 0,
                 max_worker_restarts: 3,
+                telemetry_out: None,
+                telemetry_every: 1000,
+                crash_report: CrashReportMode::Auto,
             })
             .unwrap();
             assert!(out.contains("interactions    : 4"));
@@ -1353,6 +1767,9 @@ mod tests {
             chaos_plan: None,
             chaos_seed: 0,
             max_worker_restarts: 3,
+            telemetry_out: None,
+            telemetry_every: 1000,
+            crash_report: CrashReportMode::Auto,
         };
         for shards in [1usize, 2] {
             let metrics_path = temp_path(&format!("metrics_{shards}.json"));
@@ -1366,7 +1783,7 @@ mod tests {
             .unwrap();
             assert_eq!(instrumented, baseline, "instrumentation changed stdout");
             let metrics = std::fs::read_to_string(&metrics_path).unwrap();
-            assert!(metrics.contains("\"schema\": 1"));
+            assert!(metrics.contains("\"schema\": 2"));
             assert!(metrics.contains("\"counters\""));
             assert!(metrics.contains("\"histograms\""));
             if shards == 1 {
@@ -1380,6 +1797,145 @@ mod tests {
             std::fs::remove_file(&metrics_path).ok();
             std::fs::remove_file(&trace_path).ok();
         }
+        std::fs::remove_file(path).ok();
+    }
+
+    /// `--telemetry-out` streams JSONL while the run is live (first record
+    /// `full`, then deltas, ending with a `final` record), the stdout
+    /// report stays untouched, and `tin-cli report` renders the stream.
+    #[test]
+    fn run_streams_telemetry_and_report_renders_it() {
+        let path = write_trace();
+        let path_str = path.to_string_lossy().into_owned();
+        let cmd = |shards: usize, telemetry: Option<String>| Command::Run {
+            path: path_str.clone(),
+            policy: SelectionPolicy::ProportionalSparse,
+            shards,
+            top: 10,
+            checkpoint_dir: None,
+            checkpoint_every: 1000,
+            resume: false,
+            crash_at: None,
+            metrics_out: None,
+            trace_out: None,
+            progress_every: None,
+            footprint_sample_every: None,
+            chaos_plan: None,
+            chaos_seed: 0,
+            max_worker_restarts: 3,
+            telemetry_out: telemetry,
+            telemetry_every: 2,
+            crash_report: CrashReportMode::Off,
+        };
+        for shards in [1usize, 2] {
+            let jsonl_path = temp_path(&format!("telemetry_{shards}.jsonl"));
+            let baseline = run(&cmd(shards, None)).unwrap();
+            let streamed = run(&cmd(
+                shards,
+                Some(jsonl_path.to_string_lossy().into_owned()),
+            ))
+            .unwrap();
+            assert_eq!(streamed, baseline, "telemetry changed stdout");
+            let text = std::fs::read_to_string(&jsonl_path).unwrap();
+            let lines: Vec<&str> = text.lines().collect();
+            assert!(
+                lines.len() >= 3,
+                "expected interval + final records:\n{text}"
+            );
+            assert!(lines[0].contains("\"kind\": \"full\""));
+            assert!(lines[1..].iter().all(|l| l.contains("\"kind\": \"delta\"")));
+            let last = lines.last().unwrap();
+            assert!(last.contains("\"source\": \"final\""));
+            assert!(last.contains("\"at\": 4"));
+
+            let rendered = run(&Command::Report {
+                path: jsonl_path.to_string_lossy().into_owned(),
+            })
+            .unwrap();
+            assert!(rendered.contains("records         : "));
+            assert!(rendered.contains("histograms:"));
+            if shards == 1 {
+                assert!(rendered.contains("tracker_latency_ns"));
+                assert!(rendered.contains("hottest vertices by touch count"));
+            } else {
+                assert!(rendered.contains("shard_local_interactions_total"));
+            }
+            std::fs::remove_file(&jsonl_path).ok();
+        }
+        // A missing stream surfaces as an I/O error, not a panic.
+        assert!(matches!(
+            run(&Command::Report {
+                path: "/definitely/not/here.jsonl".into()
+            }),
+            Err(CliError::Tin(TinError::Io(_)))
+        ));
+        std::fs::remove_file(path).ok();
+    }
+
+    /// A worker kill with the recovery budget disabled is terminal — and
+    /// the dying sharded run leaves a parseable black-box crash report
+    /// (report.json + final metrics + Perfetto-loadable trace) behind.
+    #[test]
+    fn fatal_worker_loss_leaves_a_crash_report() {
+        use tin_obs::json::Value;
+        let path = write_trace();
+        let path_str = path.to_string_lossy().into_owned();
+        let report_dir = temp_path("crash_box");
+        let ckpt_dir = temp_path("crash_box_ckpts");
+        let _ = std::fs::remove_dir_all(&report_dir);
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
+        let cmd = Command::Run {
+            path: path_str.clone(),
+            policy: SelectionPolicy::ProportionalSparse,
+            shards: 2,
+            top: 10,
+            checkpoint_dir: Some(ckpt_dir.to_string_lossy().into_owned()),
+            checkpoint_every: 1,
+            resume: false,
+            crash_at: None,
+            metrics_out: None,
+            trace_out: None,
+            progress_every: None,
+            footprint_sample_every: None,
+            chaos_plan: Some("kill-worker@2".into()),
+            chaos_seed: 0,
+            max_worker_restarts: 0,
+            telemetry_out: None,
+            telemetry_every: 1000,
+            crash_report: CrashReportMode::Dir(report_dir.to_string_lossy().into_owned()),
+        };
+        assert!(matches!(
+            run(&cmd),
+            Err(CliError::Tin(TinError::WorkerLost { .. }))
+        ));
+        let report = std::fs::read_to_string(report_dir.join("report.json")).unwrap();
+        let v = Value::parse(&report).unwrap();
+        assert!(v
+            .get("failure_reason")
+            .and_then(Value::as_str)
+            .unwrap()
+            .contains("worker"));
+        assert!(
+            v.get("processed_interactions")
+                .and_then(Value::as_u64)
+                .unwrap()
+                >= 2
+        );
+        assert_eq!(
+            v.get("chaos_plan").and_then(Value::as_str),
+            Some("kill-worker@2")
+        );
+        assert_eq!(v.get("chaos_seed").and_then(Value::as_u64), Some(0));
+        assert_eq!(v.get("shards").and_then(Value::as_u64), Some(2));
+        assert_ne!(v.get("last_checkpoint"), Some(&Value::Null));
+        let metrics = std::fs::read_to_string(report_dir.join("metrics.json")).unwrap();
+        let m = Value::parse(&metrics).unwrap();
+        assert_eq!(m.get("schema").and_then(Value::as_u64), Some(2));
+        let trace = std::fs::read_to_string(report_dir.join("trace.json")).unwrap();
+        let t = Value::parse(&trace).unwrap();
+        assert!(t.get("traceEvents").and_then(Value::as_arr).is_some());
+        std::fs::remove_dir_all(&report_dir).ok();
+        std::fs::remove_dir_all(&ckpt_dir).ok();
         std::fs::remove_file(path).ok();
     }
 
@@ -1413,6 +1969,9 @@ mod tests {
                 chaos_plan: None,
                 chaos_seed: 0,
                 max_worker_restarts: 3,
+                telemetry_out: None,
+                telemetry_every: 1000,
+                crash_report: CrashReportMode::Auto,
             }
         };
         let prop = SelectionPolicy::ProportionalSparse;
@@ -1482,6 +2041,9 @@ mod tests {
                 chaos_plan: chaos_plan.map(String::from),
                 chaos_seed: 0,
                 max_worker_restarts,
+                telemetry_out: None,
+                telemetry_every: 1000,
+                crash_report: CrashReportMode::Off,
             };
         let reference = run(&cmd(1, None, 3)).unwrap();
         for seed_plan in ["kill-worker@2", "kill-worker@1:1", "stall-worker@2:20:0"] {
@@ -1531,6 +2093,9 @@ mod tests {
             chaos_plan: chaos_plan.map(String::from),
             chaos_seed: 0,
             max_worker_restarts: 3,
+            telemetry_out: None,
+            telemetry_every: 1000,
+            crash_report: CrashReportMode::Auto,
         };
         let reference = run(&cmd(None, None)).unwrap();
         let faulted = run(&cmd(Some("ckpt-fault@1,kill-worker@3"), Some(&dir))).unwrap();

@@ -19,7 +19,7 @@
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
-use tin_obs::{CounterId, GaugeId, HistogramId, Obs};
+use tin_obs::{CounterId, GaugeId, HistogramId, Obs, Telemetry};
 
 use crate::checkpoint::{Checkpoint, CheckpointStore, SaveStats, StreamCursor};
 use crate::error::{Result, TinError};
@@ -158,6 +158,15 @@ fn secs_to_ns(secs: f64) -> u64 {
     (secs * 1e9).max(0.0).min(u64::MAX as f64) as u64
 }
 
+/// An attached live-telemetry stream: a JSONL sink plus its cadence.
+/// Emission happens off the per-interaction hot path (every `every`
+/// interactions), so the zero-allocation steady-state contract is
+/// unaffected between emission points.
+struct TelemetryState {
+    sink: Telemetry,
+    every: usize,
+}
+
 /// A validated, instrumented streaming front-end for one provenance tracker.
 pub struct ProvenanceEngine {
     tracker: Box<dyn ProvenanceTracker>,
@@ -179,6 +188,8 @@ pub struct ProvenanceEngine {
     /// Attached observability unit (`None` = uninstrumented: the hot path
     /// pays exactly one branch).
     obs: Option<Box<EngineObsState>>,
+    /// Attached live-telemetry stream, if any.
+    telemetry: Option<Box<TelemetryState>>,
 }
 
 impl ProvenanceEngine {
@@ -222,6 +233,7 @@ impl ProvenanceEngine {
             busy_secs: 0.0,
             footprint_sample_interval: None,
             obs: None,
+            telemetry: None,
         })
     }
 
@@ -264,6 +276,44 @@ impl ProvenanceEngine {
     /// Detach and return the observability unit for export.
     pub fn take_obs(&mut self) -> Option<Obs> {
         self.obs.take().map(|state| state.obs)
+    }
+
+    /// Stream a delta-encoded telemetry record (see
+    /// [`tin_obs::Telemetry`]) every `every` interactions. Attaches a
+    /// default observability unit if none is present — telemetry without
+    /// metrics would stream empty records.
+    ///
+    /// # Errors
+    /// Returns [`TinError::InvalidConfig`] if `every` is zero.
+    pub fn with_telemetry(mut self, sink: Telemetry, every: usize) -> Result<Self> {
+        if every == 0 {
+            return Err(TinError::InvalidConfig(
+                "telemetry interval must be positive".into(),
+            ));
+        }
+        if self.obs.is_none() {
+            self = self.with_observability(Obs::new());
+        }
+        self.telemetry = Some(Box::new(TelemetryState { sink, every }));
+        Ok(self)
+    }
+
+    /// Emit one telemetry record right now, tagged with `source` (the CLI
+    /// uses `"final"` for the end-of-run record). Returns `false` without
+    /// side effects when no telemetry stream is attached.
+    ///
+    /// # Errors
+    /// Propagates sink write failures as [`TinError::Io`].
+    pub fn emit_telemetry(&mut self, source: &str) -> Result<bool> {
+        let Some(t) = self.telemetry.as_deref_mut() else {
+            return Ok(false);
+        };
+        let Some(o) = self.obs.as_deref() else {
+            return Ok(false);
+        };
+        let snap = o.obs.snapshot();
+        t.sink.emit(self.processed as u64, source, &snap)?;
+        Ok(true)
     }
 
     /// Record a [`ProvenanceSnapshot`] every `interval` interactions.
@@ -408,8 +458,12 @@ impl ProvenanceEngine {
         self.busy_secs += elapsed.as_secs_f64();
         if let Some(o) = self.obs.as_deref_mut() {
             // Reuses the latency measurement the engine takes anyway; the
-            // record itself is an array index plus integer adds.
+            // record itself is an array index plus integer adds. The sketch
+            // offers are linear scans over a pre-sized table — also
+            // allocation-free.
             o.obs.metrics.observe_duration(o.latency_ns, elapsed);
+            o.obs.hot_vertices.offer(r.src.raw(), 1);
+            o.obs.hot_vertices.offer(r.dst.raw(), 1);
         }
 
         self.last_time = Some(r.time.0);
@@ -454,6 +508,11 @@ impl ProvenanceEngine {
                 if let Some(o) = self.obs.as_deref_mut() {
                     o.record_checkpoint(capture_start, capture_elapsed, stats);
                 }
+            }
+        }
+        if let Some(t) = self.telemetry.as_deref() {
+            if self.processed.is_multiple_of(t.every) {
+                self.emit_telemetry("interval")?;
             }
         }
         Ok(())
@@ -869,6 +928,79 @@ mod tests {
             .with_footprint_sample_interval(0)
             .is_err());
         std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn telemetry_streams_interval_and_final_records() {
+        use std::io::Write;
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone, Default)]
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let interactions = paper_running_example();
+        let buf = SharedBuf::default();
+        // No explicit with_observability: with_telemetry attaches a default.
+        let mut engine = ProvenanceEngine::new(&fifo_config(), 3)
+            .unwrap()
+            .with_telemetry(Telemetry::new(Box::new(buf.clone())), 2)
+            .unwrap();
+        engine.process_all(&interactions).unwrap();
+        assert!(engine.emit_telemetry("final").unwrap());
+
+        let bytes = buf.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        let records: Vec<tin_obs::json::Value> = text
+            .lines()
+            .map(|l| tin_obs::json::Value::parse(l).expect("valid JSONL"))
+            .collect();
+        // 6 interactions at cadence 2 → 3 interval records, plus the final.
+        assert_eq!(records.len(), 4);
+        use tin_obs::json::Value;
+        assert_eq!(records[0].get("kind").and_then(Value::as_str), Some("full"));
+        assert_eq!(
+            records[0].get("source").and_then(Value::as_str),
+            Some("interval")
+        );
+        assert_eq!(
+            records[3].get("kind").and_then(Value::as_str),
+            Some("delta")
+        );
+        assert_eq!(
+            records[3].get("source").and_then(Value::as_str),
+            Some("final")
+        );
+        assert_eq!(records[3].get("at").and_then(Value::as_u64), Some(6));
+        // The hot-vertex sketch sees both endpoints of every interaction:
+        // total touch weight across the sketch is 2 per interaction.
+        let hot = records[3]
+            .get("hot_vertices")
+            .and_then(Value::as_arr)
+            .unwrap();
+        let touches: u64 = hot
+            .iter()
+            .map(|e| e.get("weight").and_then(Value::as_u64).unwrap())
+            .sum();
+        assert_eq!(touches, 12);
+
+        // An engine without telemetry reports `false` and emits nothing.
+        let mut plain = ProvenanceEngine::new(&fifo_config(), 3).unwrap();
+        assert!(!plain.emit_telemetry("final").unwrap());
+
+        // Zero cadence is rejected.
+        assert!(ProvenanceEngine::new(&fifo_config(), 3)
+            .unwrap()
+            .with_telemetry(Telemetry::new(Box::new(std::io::sink())), 0)
+            .is_err());
     }
 
     #[test]

@@ -62,12 +62,35 @@ use crate::stream::InteractionSource;
 /// The payload is type-erased: each tracker knows its own state shape and
 /// [`ShardVertexState::downcast`]s it back on import. Mixing states between
 /// tracker types is a programming error and panics.
-pub struct ShardVertexState(Box<dyn std::any::Any + Send>);
+pub struct ShardVertexState {
+    payload: Box<dyn std::any::Any + Send>,
+    /// Logical footprint of the payload when it was taken (0 when unknown).
+    footprint_bytes: usize,
+}
 
 impl ShardVertexState {
     /// Wrap a tracker-specific per-vertex state payload.
     pub fn new<T: std::any::Any + Send>(payload: T) -> Self {
-        ShardVertexState(Box::new(payload))
+        ShardVertexState {
+            payload: Box::new(payload),
+            footprint_bytes: 0,
+        }
+    }
+
+    /// Wrap a payload and record its logical footprint, so the sharded
+    /// engine's skew metrics can weigh migrations by bytes moved.
+    pub fn with_footprint<T: std::any::Any + Send>(payload: T, footprint_bytes: usize) -> Self {
+        ShardVertexState {
+            payload: Box::new(payload),
+            footprint_bytes,
+        }
+    }
+
+    /// Logical footprint of the wrapped payload at take time (0 when the
+    /// producing tracker did not report one).
+    #[must_use]
+    pub fn footprint_bytes(&self) -> usize {
+        self.footprint_bytes
     }
 
     /// Recover the concrete payload.
@@ -77,7 +100,7 @@ impl ShardVertexState {
     /// protocol states must round-trip through trackers of one configuration.
     pub fn downcast<T: std::any::Any + Send>(self) -> T {
         *self
-            .0
+            .payload
             .downcast::<T>()
             .unwrap_or_else(|_| panic!("vertex state belongs to a different tracker type"))
     }
@@ -158,7 +181,7 @@ pub fn shared_take<T: MigratableTracker>(tracker: &mut T, v: VertexId) -> ShardV
             monitor.apply_delta(-(migrated as isize));
         }
     }
-    ShardVertexState::new(taken)
+    ShardVertexState::with_footprint(taken, migrated)
 }
 
 /// Shared put-side of the shard migration protocol: downcast the payload,

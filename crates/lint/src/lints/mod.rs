@@ -1,4 +1,4 @@
-//! The seven workspace lints, over flat token streams from [`crate::lexer`].
+//! The eight workspace lints, over flat token streams from [`crate::lexer`].
 //!
 //! Each lint is a pure function `(file, tokens) -> Vec<Diagnostic>`; the
 //! caller ([`crate::lint_source`]) filters the result through the file's
@@ -11,6 +11,7 @@ pub mod alloc;
 pub mod channel;
 pub mod determinism;
 pub mod durability;
+pub mod naming;
 pub mod obs;
 pub mod retry;
 pub mod tracker;
@@ -28,6 +29,7 @@ pub const LINT_NAMES: &[&str] = &[
     "checkpoint-durability",
     "obs-conformance",
     "bounded-retry",
+    "metric-naming",
 ];
 
 /// Run one lint by name over a token stream.
@@ -40,6 +42,7 @@ pub fn run(lint: &str, file: &str, tokens: &[Token]) -> Vec<Diagnostic> {
         "checkpoint-durability" => durability::check(file, tokens),
         "obs-conformance" => obs::check(file, tokens),
         "bounded-retry" => retry::check(file, tokens),
+        "metric-naming" => naming::check(file, tokens),
         other => panic!("unknown lint `{other}`"),
     }
 }

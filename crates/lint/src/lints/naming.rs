@@ -1,0 +1,130 @@
+//! L8 — metric naming: every metric registered through the `tin-obs`
+//! facade (`.counter("…")`, `.gauge("…")`, `.histogram("…")`) must be
+//! snake_case and carry a unit suffix (`_ns`, `_bytes`, `_total`,
+//! `_ratio`). The telemetry stream and `tin-cli report` are consumed by
+//! people and scripts that never see the registration site: a name that
+//! encodes its unit reads unambiguously in a JSONL record, and a uniform
+//! convention keeps dashboards greppable as the metric catalogue grows.
+//! A deliberate exception needs an explicit
+//! `// tin-lint: allow(metric-naming): <why>` directive.
+
+use super::{in_ranges, test_mod_ranges};
+use crate::diagnostics::Diagnostic;
+use crate::lexer::{Token, TokenKind};
+
+/// Registration methods on the `tin-obs` registry that take a metric name
+/// as their first argument.
+const REGISTRATION_METHODS: &[&str] = &["counter", "gauge", "histogram"];
+
+/// Accepted unit suffixes, mirroring the metrics catalogue in README.md.
+const UNIT_SUFFIXES: &[&str] = &["_ns", "_bytes", "_total", "_ratio"];
+
+fn is_snake_case(name: &str) -> bool {
+    let mut chars = name.chars();
+    matches!(chars.next(), Some('a'..='z'))
+        && chars.all(|c| matches!(c, 'a'..='z' | '0'..='9' | '_'))
+}
+
+pub fn check(file: &str, tokens: &[Token]) -> Vec<Diagnostic> {
+    let skip = test_mod_ranges(tokens);
+    let mut diags = Vec::new();
+    for i in 1..tokens.len() {
+        if in_ranges(&skip, i) {
+            continue;
+        }
+        // `. counter ( "name"` — a registry method call whose first
+        // argument is a string literal. Names built at runtime are rare and
+        // fall to code review (the lint cannot evaluate them).
+        let method = &tokens[i];
+        if method.kind != TokenKind::Ident
+            || !REGISTRATION_METHODS.contains(&method.text.as_str())
+            || !tokens[i - 1].is_punct(".")
+        {
+            continue;
+        }
+        let Some(open) = tokens.get(i + 1) else {
+            continue;
+        };
+        if open.kind != TokenKind::OpenDelim || open.text != "(" {
+            continue;
+        }
+        let Some(arg) = tokens.get(i + 2) else {
+            continue;
+        };
+        if arg.kind != TokenKind::Literal || !arg.text.starts_with('"') {
+            continue;
+        }
+        let name = arg.text.trim_matches('"');
+        if !is_snake_case(name) {
+            diags.push(Diagnostic::new(
+                "metric-naming",
+                file,
+                arg.line,
+                format!(
+                    "metric name {name:?} is not snake_case; telemetry consumers expect \
+                     `[a-z][a-z0-9_]*` names"
+                ),
+            ));
+            continue;
+        }
+        if !UNIT_SUFFIXES.iter().any(|s| name.ends_with(s)) {
+            diags.push(Diagnostic::new(
+                "metric-naming",
+                file,
+                arg.line,
+                format!(
+                    "metric name {name:?} has no unit suffix; end it with one of \
+                     `_ns`, `_bytes`, `_total`, `_ratio` so the unit survives into \
+                     the telemetry stream — or justify an exception with \
+                     `// tin-lint: allow(metric-naming): <why>`"
+                ),
+            ));
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod unit {
+    use crate::lexer::lex;
+
+    fn check(src: &str) -> Vec<crate::diagnostics::Diagnostic> {
+        super::check("f.rs", &lex(src))
+    }
+
+    #[test]
+    fn fires_on_missing_suffix_and_bad_case() {
+        assert_eq!(
+            check("fn f(r: &mut Registry) { r.counter(\"events\", \"count\"); }").len(),
+            1
+        );
+        assert_eq!(
+            check("fn f(r: &mut Registry) { r.gauge(\"QueueDepth\", \"msgs\"); }").len(),
+            1
+        );
+        assert_eq!(
+            check("fn f(r: &mut Registry) { r.histogram(\"latencyNs\", \"ns\"); }").len(),
+            1
+        );
+    }
+
+    #[test]
+    fn accepts_suffixed_snake_case_and_ignores_lookalikes() {
+        assert!(
+            check("fn f(r: &mut Registry) { r.counter(\"events_total\", \"count\"); }").is_empty()
+        );
+        assert!(check("fn f(r: &mut Registry) { r.histogram(\"batch_ns\", \"ns\"); }").is_empty());
+        assert!(
+            check("fn f(r: &mut Registry) { r.gauge(\"imbalance_ratio\", \"permille\"); }")
+                .is_empty()
+        );
+        // Not a method call on a registry: a free function or a name built
+        // at runtime.
+        assert!(check("fn f() { counter(\"Whatever\"); }").is_empty());
+        assert!(check("fn f(r: &mut Registry, n: &str) { r.counter(n, \"count\"); }").is_empty());
+        // Test modules register throwaway names freely.
+        assert!(
+            check("mod tests { fn t(r: &mut Registry) { r.counter(\"x\", \"c\"); } }").is_empty()
+        );
+    }
+}

@@ -14,6 +14,7 @@
 //! | `checkpoint-durability` | `crates/core/src/checkpoint.rs`              |
 //! | `obs-conformance`     | `crates/core/src/`, `crates/shard/src/`        |
 //! | `bounded-retry`       | `crates/shard/src/`, `crates/core/src/checkpoint.rs` |
+//! | `metric-naming`       | `crates/core/src/`, `crates/shard/src/`, `crates/obs/src/` |
 
 use crate::diagnostics::Diagnostic;
 use std::path::{Path, PathBuf};
@@ -57,6 +58,12 @@ pub fn applicable_lints(rel: &str) -> Vec<&'static str> {
     }
     if rel.starts_with("crates/shard/src/") || rel == "crates/core/src/checkpoint.rs" {
         lints.push("bounded-retry");
+    }
+    if rel.starts_with("crates/core/src/")
+        || rel.starts_with("crates/shard/src/")
+        || rel.starts_with("crates/obs/src/")
+    {
+        lints.push("metric-naming");
     }
     lints
 }
@@ -130,16 +137,27 @@ mod unit {
                 "determinism",
                 "channel-protocol",
                 "obs-conformance",
-                "bounded-retry"
+                "bounded-retry",
+                "metric-naming"
             ]
         );
         assert_eq!(
             applicable_lints("crates/core/src/tracker/grouped.rs"),
-            vec!["determinism", "tracker-conformance", "obs-conformance"]
+            vec![
+                "determinism",
+                "tracker-conformance",
+                "obs-conformance",
+                "metric-naming"
+            ]
         );
         assert_eq!(
             applicable_lints("crates/core/src/sparse_vec.rs"),
-            vec!["determinism", "hot-path-alloc", "obs-conformance"]
+            vec![
+                "determinism",
+                "hot-path-alloc",
+                "obs-conformance",
+                "metric-naming"
+            ]
         );
         assert_eq!(
             applicable_lints("crates/core/src/checkpoint.rs"),
@@ -147,12 +165,13 @@ mod unit {
                 "determinism",
                 "checkpoint-durability",
                 "obs-conformance",
-                "bounded-retry"
+                "bounded-retry",
+                "metric-naming"
             ]
         );
         assert_eq!(
             applicable_lints("crates/obs/src/metrics.rs"),
-            Vec::<&str>::new()
+            vec!["metric-naming"]
         );
         assert!(applicable_lints("crates/cli/src/lib.rs").is_empty());
         assert!(applicable_lints("crates/lint/src/lib.rs").is_empty());

@@ -102,6 +102,11 @@ fn bounded_retry_fixtures() {
     check_lint("bounded-retry");
 }
 
+#[test]
+fn metric_naming_fixtures() {
+    check_lint("metric-naming");
+}
+
 /// The firing fixtures double as a JSON-output regression test: rendering
 /// must produce valid-looking, line-anchored records.
 #[test]

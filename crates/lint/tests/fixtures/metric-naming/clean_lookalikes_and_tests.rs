@@ -1,0 +1,17 @@
+// Free functions, runtime-built names and test modules are out of scope:
+// the lint only binds to literal names at registry registration sites.
+fn counter(name: &str) -> usize {
+    name.len()
+}
+
+fn not_a_registration(n: &str, obs: &mut Obs) -> usize {
+    let dynamic = obs.metrics.counter(n, "count");
+    counter("Whatever Name") + dynamic.index()
+}
+
+mod tests {
+    fn throwaway_names_are_fine(obs: &mut Obs) {
+        let _ = obs.metrics.counter("x", "count");
+        let _ = obs.metrics.gauge("Y", "units");
+    }
+}

@@ -1,0 +1,8 @@
+// Snake_case names carrying one of the accepted unit suffixes.
+fn register(obs: &mut Obs) -> (CounterId, GaugeId, HistogramId, GaugeId) {
+    let replayed = obs.metrics.counter("replayed_interactions_total", "count");
+    let spread = obs.metrics.gauge("barrier_busy_spread_ns", "ns");
+    let migrated = obs.metrics.histogram("migrated_state_bytes", "bytes");
+    let imbalance = obs.metrics.gauge("batch_imbalance_ratio", "permille");
+    (replayed, spread, migrated, imbalance)
+}

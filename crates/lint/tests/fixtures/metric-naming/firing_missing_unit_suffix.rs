@@ -1,0 +1,7 @@
+// A metric registered without a unit suffix: the name is lost on telemetry
+// consumers who only ever see the JSONL record.
+fn register(obs: &mut Obs) -> (CounterId, HistogramId) {
+    let replayed = obs.metrics.counter("replayed_interactions", "count");
+    let latency = obs.metrics.histogram("tracker_latency", "ns");
+    (replayed, latency)
+}

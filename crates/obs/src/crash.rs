@@ -1,0 +1,229 @@
+//! Black-box crash forensics: a self-contained post-mortem directory.
+//!
+//! When a run dies — a worker is lost, the recovery budget drains, a
+//! checkpoint turns out corrupt — everything the flight recorder and the
+//! metrics registry learned used to die with it. A [`CrashReport`] bundles
+//! the terminal state into one directory:
+//!
+//! ```text
+//! <dir>/report.json    # failure reason, stream position, chaos plan echo
+//! <dir>/metrics.json   # final MetricsSnapshot (schema 2)
+//! <dir>/trace.json     # flight recorder as Chrome trace JSON (Perfetto)
+//! ```
+//!
+//! Every field in `report.json` is deterministic given the run
+//! configuration, so chaos drills can assert on the report byte-for-byte
+//! where it matters (reason, plan echo, processed count). Writing is best
+//! effort by design: the caller reports the *original* failure to the user
+//! and must not let a forensics I/O error mask it.
+
+use std::path::{Path, PathBuf};
+
+use crate::json::escape;
+use crate::metrics::MetricsSnapshot;
+
+/// Metadata of the newest durable checkpoint that survived the crash.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointMeta {
+    /// File name (not the full path) of the checkpoint inside its store.
+    pub file: String,
+    /// Size of the checkpoint file in bytes.
+    pub bytes: u64,
+}
+
+/// Everything a post-mortem needs, gathered on the terminal failure path.
+#[derive(Debug, Default)]
+pub struct CrashReport {
+    /// Human-readable failure reason (the `TinError` display).
+    pub failure_reason: String,
+    /// Interactions fully processed before the failure.
+    pub processed_interactions: u64,
+    /// Policy key of the crashed run.
+    pub policy: String,
+    /// Shard count of the crashed run.
+    pub shards: u64,
+    /// The chaos plan, echoed verbatim, when fault injection was armed.
+    pub chaos_plan: Option<String>,
+    /// The chaos victim-selection seed, when fault injection was armed.
+    pub chaos_seed: Option<u64>,
+    /// Newest durable checkpoint left behind, if checkpoints were on.
+    pub last_checkpoint: Option<CheckpointMeta>,
+    /// Final metrics snapshot, when observability was attached.
+    pub metrics: Option<MetricsSnapshot>,
+    /// Flight recorder rendered as Chrome trace JSON, when attached.
+    pub trace_json: Option<String>,
+}
+
+impl CrashReport {
+    /// Render `report.json` (deterministic member order).
+    #[must_use]
+    pub fn report_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str("{\n  \"schema\": 1,\n");
+        out.push_str(&format!(
+            "  \"failure_reason\": \"{}\",\n",
+            escape(&self.failure_reason)
+        ));
+        out.push_str(&format!(
+            "  \"processed_interactions\": {},\n",
+            self.processed_interactions
+        ));
+        out.push_str(&format!("  \"policy\": \"{}\",\n", escape(&self.policy)));
+        out.push_str(&format!("  \"shards\": {},\n", self.shards));
+        match &self.chaos_plan {
+            Some(plan) => {
+                out.push_str(&format!("  \"chaos_plan\": \"{}\",\n", escape(plan)));
+            }
+            None => out.push_str("  \"chaos_plan\": null,\n"),
+        }
+        match self.chaos_seed {
+            Some(seed) => out.push_str(&format!("  \"chaos_seed\": {seed},\n")),
+            None => out.push_str("  \"chaos_seed\": null,\n"),
+        }
+        match &self.last_checkpoint {
+            Some(meta) => out.push_str(&format!(
+                "  \"last_checkpoint\": {{\"file\": \"{}\", \"bytes\": {}}},\n",
+                escape(&meta.file),
+                meta.bytes
+            )),
+            None => out.push_str("  \"last_checkpoint\": null,\n"),
+        }
+        out.push_str(&format!(
+            "  \"metrics_file\": {},\n",
+            if self.metrics.is_some() {
+                "\"metrics.json\""
+            } else {
+                "null"
+            }
+        ));
+        out.push_str(&format!(
+            "  \"trace_file\": {}\n",
+            if self.trace_json.is_some() {
+                "\"trace.json\""
+            } else {
+                "null"
+            }
+        ));
+        out.push_str("}\n");
+        out
+    }
+
+    /// Write the report directory: `report.json` always, `metrics.json` and
+    /// `trace.json` when the run had observability attached. Creates `dir`
+    /// (and parents) as needed; existing files are overwritten so repeated
+    /// drills into the same directory stay self-consistent.
+    ///
+    /// # Errors
+    /// Propagates directory-creation and file-write failures. Callers on a
+    /// failure path should treat this as best effort and keep reporting the
+    /// original error.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+        std::fs::create_dir_all(dir)?;
+        let mut written = Vec::new();
+        let report_path = dir.join("report.json");
+        std::fs::write(&report_path, self.report_json())?;
+        written.push(report_path);
+        if let Some(metrics) = &self.metrics {
+            let path = dir.join("metrics.json");
+            std::fs::write(&path, metrics.to_json())?;
+            written.push(path);
+        }
+        if let Some(trace) = &self.trace_json {
+            let path = dir.join("trace.json");
+            std::fs::write(&path, trace)?;
+            written.push(path);
+        }
+        Ok(written)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Value;
+    use crate::Obs;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("tin_obs_crash_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn report_json_is_deterministic_and_parseable() {
+        let report = CrashReport {
+            failure_reason: "worker thread for shard 1 was lost".into(),
+            processed_interactions: 450,
+            policy: "prop_sparse".into(),
+            shards: 2,
+            chaos_plan: Some("kill-worker@450".into()),
+            chaos_seed: Some(7),
+            last_checkpoint: Some(CheckpointMeta {
+                file: "ckpt-400.tin".into(),
+                bytes: 1234,
+            }),
+            metrics: None,
+            trace_json: None,
+        };
+        assert_eq!(report.report_json(), report.report_json());
+        let v = Value::parse(&report.report_json()).unwrap();
+        assert_eq!(
+            v.get("failure_reason").and_then(Value::as_str),
+            Some("worker thread for shard 1 was lost")
+        );
+        assert_eq!(
+            v.get("processed_interactions").and_then(Value::as_u64),
+            Some(450)
+        );
+        assert_eq!(
+            v.get("chaos_plan").and_then(Value::as_str),
+            Some("kill-worker@450")
+        );
+        assert_eq!(v.get("chaos_seed").and_then(Value::as_u64), Some(7));
+        assert_eq!(
+            v.get("last_checkpoint")
+                .and_then(|c| c.get("bytes"))
+                .and_then(Value::as_u64),
+            Some(1234)
+        );
+        assert_eq!(v.get("metrics_file"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn write_to_creates_the_full_directory() {
+        let mut obs = Obs::new();
+        let c = obs.metrics.counter("events_total", "count");
+        obs.metrics.add(c, 3);
+        let started = std::time::Instant::now();
+        obs.trace.record("run", 0, started);
+        let report = CrashReport {
+            failure_reason: "boom".into(),
+            processed_interactions: 9,
+            policy: "fifo".into(),
+            shards: 4,
+            metrics: Some(obs.snapshot()),
+            trace_json: Some(obs.trace.to_chrome_trace()),
+            ..CrashReport::default()
+        };
+        let dir = temp_dir("full");
+        let _ = std::fs::remove_dir_all(&dir);
+        let written = report.write_to(&dir).unwrap();
+        assert_eq!(written.len(), 3);
+        let metrics = std::fs::read_to_string(dir.join("metrics.json")).unwrap();
+        let parsed = Value::parse(&metrics).unwrap();
+        assert_eq!(parsed.get("schema").and_then(Value::as_u64), Some(2));
+        let trace = std::fs::read_to_string(dir.join("trace.json")).unwrap();
+        let parsed = Value::parse(&trace).unwrap();
+        assert!(!parsed
+            .get("traceEvents")
+            .and_then(Value::as_arr)
+            .unwrap()
+            .is_empty());
+        let report_doc = std::fs::read_to_string(dir.join("report.json")).unwrap();
+        let parsed = Value::parse(&report_doc).unwrap();
+        assert_eq!(parsed.get("chaos_plan"), Some(&Value::Null));
+        assert_eq!(
+            parsed.get("metrics_file").and_then(Value::as_str),
+            Some("metrics.json")
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -23,31 +23,59 @@
 //! * [`Recorder`] — a bounded flight recorder of timestamped [`SpanEvent`]s
 //!   (wavefront dispatch, shard barriers, checkpoint captures) exportable as
 //!   Chrome trace-event JSON, loadable in Perfetto or `chrome://tracing`.
-//! * [`Obs`] — the pair of them, the unit the engines attach and the future
-//!   serve loop scrapes via [`Obs::snapshot`].
+//! * [`Obs`] — the bundle of them (plus the skew sketches), the unit the
+//!   engines attach and the future serve loop scrapes via [`Obs::snapshot`].
+//! * [`Telemetry`] — a JSONL streaming sink the engines feed every N
+//!   interactions and at sync barriers, so a live run can be scraped
+//!   mid-stream.
+//! * [`CrashReport`] — the black-box post-mortem a dying run dumps to disk.
+//! * [`SpaceSaving`] — a constant-memory top-K sketch used for the hottest
+//!   vertices by touch count and migrated bytes.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod crash;
+pub mod json;
 pub mod metrics;
+pub mod telemetry;
+pub mod topk;
 pub mod trace;
 
-pub use metrics::{CounterId, GaugeId, Histogram, HistogramId, MetricsSnapshot, Registry};
+pub use crash::{CheckpointMeta, CrashReport};
+pub use metrics::{
+    CounterId, GaugeId, Histogram, HistogramId, MetricsSnapshot, Registry, TraceStats,
+};
+pub use telemetry::Telemetry;
+pub use topk::{SpaceSaving, TopKEntry};
 pub use trace::{Recorder, SpanEvent};
 
 /// Default flight-recorder capacity (events) for [`Obs::new`].
 pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
 
-/// One attachable observability unit: a metrics registry plus a span flight
-/// recorder. Engines take an `Obs` at build time, update it through
-/// preregistered handles while streaming, and hand it back for export (or
-/// live scraping via [`Obs::snapshot`]) when the run ends.
+/// Default capacity of the skew sketches ([`Obs::hot_vertices`] /
+/// [`Obs::hot_migrations`]): small enough that offering is a short linear
+/// scan on the hot path, large enough to surface every hub the heavy-tailed
+/// paper workloads produce.
+pub const DEFAULT_TOPK_CAPACITY: usize = 16;
+
+/// One attachable observability unit: a metrics registry, a span flight
+/// recorder, and the two skew sketches. Engines take an `Obs` at build
+/// time, update it through preregistered handles while streaming, and hand
+/// it back for export (or live scraping via [`Obs::snapshot`]) when the run
+/// ends.
 #[derive(Debug)]
 pub struct Obs {
     /// Counters, gauges and histograms.
     pub metrics: Registry,
     /// The span flight recorder.
     pub trace: Recorder,
+    /// Hottest vertices by touch count (every interaction touches its
+    /// source and destination once).
+    pub hot_vertices: SpaceSaving,
+    /// Hottest vertices by migrated state bytes (sharded runs; stays empty
+    /// on the sequential engine, which never migrates state).
+    pub hot_migrations: SpaceSaving,
 }
 
 impl Obs {
@@ -64,15 +92,27 @@ impl Obs {
         Obs {
             metrics: Registry::new(),
             trace: Recorder::new(capacity),
+            hot_vertices: SpaceSaving::new(DEFAULT_TOPK_CAPACITY),
+            hot_migrations: SpaceSaving::new(DEFAULT_TOPK_CAPACITY),
         }
     }
 
     /// A point-in-time copy of every metric — the scrape API for a live
-    /// serve loop: cheap, allocation-bounded, and independent of the
-    /// registry it was taken from.
+    /// serve loop and the record [`Telemetry`] streams: cheap,
+    /// allocation-bounded, and independent of the registry it was taken
+    /// from. Unlike [`Registry::snapshot`], this fills in the flight
+    /// recorder's [`TraceStats`] and the skew sketches.
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
-        self.metrics.snapshot()
+        let mut snap = self.metrics.snapshot();
+        snap.trace = Some(TraceStats {
+            capacity: self.trace.capacity() as u64,
+            recorded: self.trace.events().len() as u64,
+            dropped: self.trace.dropped(),
+        });
+        snap.hot_vertices = self.hot_vertices.top();
+        snap.hot_migrations = self.hot_migrations.top();
+        snap
     }
 }
 
@@ -97,5 +137,26 @@ mod tests {
         assert_eq!(obs.trace.events().len(), 0);
         let default = Obs::default();
         assert_eq!(default.snapshot().counters.len(), 0);
+    }
+
+    #[test]
+    fn snapshot_carries_trace_stats_and_sketches() {
+        let mut obs = Obs::with_trace_capacity(1);
+        let started = std::time::Instant::now();
+        obs.trace.record("a", 0, started);
+        obs.trace.record("b", 0, started);
+        obs.hot_vertices.offer(3, 2);
+        obs.hot_migrations.offer(5, 640);
+        let snap = obs.snapshot();
+        let trace = snap.trace.expect("Obs snapshots carry trace stats");
+        assert_eq!(trace.capacity, 1);
+        assert_eq!(trace.recorded, 1);
+        assert_eq!(trace.dropped, 1);
+        assert_eq!(snap.hot_vertices[0].key, 3);
+        assert_eq!(snap.hot_migrations[0].weight, 640);
+        // The JSON export carries all of it.
+        let json = snap.to_json();
+        assert!(json.contains("\"dropped\": 1"));
+        assert!(json.contains("\"hot_vertices\": [{\"key\": 3"));
     }
 }

@@ -412,6 +412,9 @@ impl Registry {
                         .collect(),
                 })
                 .collect(),
+            trace: None,
+            hot_vertices: Vec::new(),
+            hot_migrations: Vec::new(),
         }
     }
 }
@@ -469,6 +472,21 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(u64, u64, u64)>,
 }
 
+/// Flight-recorder health frozen into a snapshot: how full the bounded
+/// trace buffer is and how many spans it had to drop. A non-zero `dropped`
+/// means the Chrome-trace export is truncated — detectable from metrics
+/// alone, without loading the trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Maximum number of spans the recorder holds.
+    pub capacity: u64,
+    /// Spans currently held (the capacity watermark: the recorder keeps the
+    /// earliest spans and never evicts, so this only grows).
+    pub recorded: u64,
+    /// Spans discarded because the recorder was full.
+    pub dropped: u64,
+}
+
 /// A point-in-time copy of a [`Registry`] — what [`crate::Obs::snapshot`]
 /// hands to a scraper and what the `--metrics-out` JSON is rendered from.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -479,16 +497,25 @@ pub struct MetricsSnapshot {
     pub gauges: Vec<GaugeSnapshot>,
     /// All histograms, in registration order.
     pub histograms: Vec<HistogramSnapshot>,
+    /// Flight-recorder stats; `None` when the snapshot was taken from a bare
+    /// [`Registry`] (shard-worker deltas have no recorder of their own).
+    pub trace: Option<TraceStats>,
+    /// Hottest vertices by touch count (space-saving sketch, heaviest
+    /// first). Empty when the producer tracks no skew sketch.
+    pub hot_vertices: Vec<crate::topk::TopKEntry>,
+    /// Hottest vertices by migrated state bytes (sharded runs only).
+    pub hot_migrations: Vec<crate::topk::TopKEntry>,
 }
 
 impl MetricsSnapshot {
     /// Render as a self-describing JSON document with top-level keys
-    /// `schema`, `counters`, `gauges` and `histograms` (the CI smoke step
-    /// validates exactly these).
+    /// `schema`, `counters`, `gauges`, `histograms`, `trace`,
+    /// `hot_vertices` and `hot_migrations` (the CI smoke step validates
+    /// exactly these). Schema 2 added the trace stats and the skew sketches.
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(1024);
-        out.push_str("{\n  \"schema\": 1,\n  \"counters\": {");
+        out.push_str("{\n  \"schema\": 2,\n  \"counters\": {");
         for (i, c) in self.counters.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -525,7 +552,31 @@ impl MetricsSnapshot {
             }
             out.push_str("]}");
         }
-        out.push_str("\n  }\n}\n");
+        out.push_str("\n  },\n  \"trace\": ");
+        match &self.trace {
+            Some(t) => out.push_str(&format!(
+                "{{\"capacity\": {}, \"recorded\": {}, \"dropped\": {}}}",
+                t.capacity, t.recorded, t.dropped
+            )),
+            None => out.push_str("null"),
+        }
+        for (key, entries) in [
+            ("hot_vertices", &self.hot_vertices),
+            ("hot_migrations", &self.hot_migrations),
+        ] {
+            out.push_str(&format!(",\n  \"{key}\": ["));
+            for (i, e) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "{{\"key\": {}, \"weight\": {}, \"error\": {}}}",
+                    e.key, e.weight, e.error
+                ));
+            }
+            out.push(']');
+        }
+        out.push_str("\n}\n");
         out
     }
 }
@@ -654,10 +705,14 @@ mod tests {
         assert_eq!(snap.histograms[0].max, 1000);
 
         let json = snap.to_json();
-        assert!(json.contains("\"schema\": 1"));
+        assert!(json.contains("\"schema\": 2"));
         assert!(json.contains("\"batches_total\""));
         assert!(json.contains("\"latency_ns\""));
         assert!(json.contains("\"buckets\": ["));
+        // A registry snapshot has no recorder and no sketches.
+        assert!(json.contains("\"trace\": null"));
+        assert!(json.contains("\"hot_vertices\": []"));
+        assert!(json.contains("\"hot_migrations\": []"));
     }
 
     #[test]

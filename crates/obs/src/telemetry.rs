@@ -1,0 +1,360 @@
+//! Live telemetry streaming: delta-encoded snapshot records as JSONL.
+//!
+//! `--metrics-out` exports a snapshot *after* the run; a long-running
+//! deployment needs to be scraped *during* it. [`Telemetry`] wraps any
+//! `Write + Send` sink (a file, a pipe) and emits one self-describing JSON
+//! record per line every time an engine calls [`Telemetry::emit`] — the
+//! engines do so every N interactions and at every sync barrier. The first
+//! record is a `full` dump (names, units, absolute values); subsequent
+//! records are `delta`-encoded against the previous snapshot: counters and
+//! histogram count/sum carry the change since the last record, while gauges
+//! and histogram quantiles carry current absolutes (a delta of a quantile
+//! is meaningless). Every record repeats the metric names, so a reader can
+//! join the stream mid-flight at any `full` record and follow deltas from
+//! the next one it fully observed.
+//!
+//! The stream is consumed by `tin-cli report` (latency quantiles, the
+//! imbalance trajectory, the top-K hub table) and validated line-by-line by
+//! the CI smoke step.
+
+use std::io::Write;
+
+use crate::json::escape;
+use crate::metrics::MetricsSnapshot;
+
+/// Version tag stamped on every telemetry record.
+pub const TELEMETRY_SCHEMA: u32 = 1;
+
+/// A streaming JSONL sink for [`MetricsSnapshot`] records.
+///
+/// The sink is flushed after every record so a reader on the other end of a
+/// pipe sees each record as soon as it is emitted.
+pub struct Telemetry {
+    sink: Box<dyn Write + Send>,
+    seq: u64,
+    prev: Option<MetricsSnapshot>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("seq", &self.seq)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Telemetry {
+    /// Wrap an arbitrary sink (a pipe, an in-memory buffer in tests,
+    /// `std::io::sink()` in benchmarks).
+    #[must_use]
+    pub fn new(sink: Box<dyn Write + Send>) -> Self {
+        Telemetry {
+            sink,
+            seq: 0,
+            prev: None,
+        }
+    }
+
+    /// Create (truncate) `path` and stream records into it, buffered.
+    ///
+    /// # Errors
+    /// Propagates the file-creation error.
+    pub fn create(path: &str) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Telemetry::new(Box::new(std::io::BufWriter::new(file))))
+    }
+
+    /// Number of records emitted so far.
+    #[must_use]
+    pub fn emitted(&self) -> u64 {
+        self.seq
+    }
+
+    /// Emit one record for `snap`, taken after `at` interactions from
+    /// `source` (`"interval"`, `"barrier"` or `"final"`). The first record
+    /// — and any record whose metric layout no longer matches the previous
+    /// one — is emitted as `kind: "full"`; the rest as `kind: "delta"`.
+    ///
+    /// # Errors
+    /// Propagates sink write/flush failures.
+    pub fn emit(&mut self, at: u64, source: &str, snap: &MetricsSnapshot) -> std::io::Result<()> {
+        let line = match &self.prev {
+            Some(prev) if same_layout(prev, snap) => self.delta_record(at, source, snap, prev),
+            _ => self.full_record(at, source, snap),
+        };
+        self.sink.write_all(line.as_bytes())?;
+        self.sink.write_all(b"\n")?;
+        self.sink.flush()?;
+        self.seq += 1;
+        self.prev = Some(snap.clone());
+        Ok(())
+    }
+
+    fn header(&self, kind: &str, at: u64, source: &str) -> String {
+        format!(
+            "{{\"schema\": {TELEMETRY_SCHEMA}, \"kind\": \"{kind}\", \"seq\": {}, \"at\": {at}, \"source\": \"{}\"",
+            self.seq,
+            escape(source)
+        )
+    }
+
+    fn full_record(&self, at: u64, source: &str, snap: &MetricsSnapshot) -> String {
+        let mut out = self.header("full", at, source);
+        out.push_str(", \"counters\": {");
+        push_members(
+            &mut out,
+            snap.counters.iter().map(|c| {
+                (
+                    c.name,
+                    format!("{{\"unit\": \"{}\", \"value\": {}}}", c.unit, c.value),
+                )
+            }),
+        );
+        out.push_str("}, \"gauges\": {");
+        push_members(
+            &mut out,
+            snap.gauges.iter().map(|g| {
+                (
+                    g.name,
+                    format!(
+                    "{{\"unit\": \"{}\", \"last\": {}, \"min\": {}, \"max\": {}, \"samples\": {}}}",
+                    g.unit, g.last, g.min, g.max, g.samples
+                ),
+                )
+            }),
+        );
+        out.push_str("}, \"histograms\": {");
+        push_members(&mut out, snap.histograms.iter().map(|h| {
+            (
+                h.name,
+                format!(
+                    "{{\"unit\": \"{}\", \"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+                    h.unit, h.count, h.sum, h.min, h.max, h.p50, h.p90, h.p99
+                ),
+            )
+        }));
+        out.push('}');
+        push_shared_tail(&mut out, snap);
+        out.push('}');
+        out
+    }
+
+    fn delta_record(
+        &self,
+        at: u64,
+        source: &str,
+        snap: &MetricsSnapshot,
+        prev: &MetricsSnapshot,
+    ) -> String {
+        let mut out = self.header("delta", at, source);
+        out.push_str(", \"counters\": {");
+        push_members(
+            &mut out,
+            snap.counters
+                .iter()
+                .zip(prev.counters.iter())
+                .map(|(c, p)| (c.name, format!("{}", c.value.saturating_sub(p.value)))),
+        );
+        // Gauges are levels: the current value is the interesting one.
+        out.push_str("}, \"gauges\": {");
+        push_members(
+            &mut out,
+            snap.gauges.iter().map(|g| (g.name, format!("{}", g.last))),
+        );
+        // Histograms: count/sum as deltas (mergeable), quantiles absolute
+        // (a reader cannot reconstruct them from deltas at this resolution).
+        out.push_str("}, \"histograms\": {");
+        push_members(
+            &mut out,
+            snap.histograms.iter().zip(prev.histograms.iter()).map(|(h, p)| {
+                (
+                    h.name,
+                    format!(
+                        "{{\"count\": {}, \"sum\": {}, \"max\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+                        h.count.saturating_sub(p.count),
+                        h.sum.saturating_sub(p.sum),
+                        h.max,
+                        h.p50,
+                        h.p90,
+                        h.p99
+                    ),
+                )
+            }),
+        );
+        out.push('}');
+        push_shared_tail(&mut out, snap);
+        out.push('}');
+        out
+    }
+}
+
+/// Delta encoding matches metrics by position; a layout change (engine
+/// rebuilt mid-stream) falls back to a fresh `full` record.
+fn same_layout(a: &MetricsSnapshot, b: &MetricsSnapshot) -> bool {
+    a.counters.len() == b.counters.len()
+        && a.gauges.len() == b.gauges.len()
+        && a.histograms.len() == b.histograms.len()
+        && a.counters
+            .iter()
+            .zip(b.counters.iter())
+            .all(|(x, y)| x.name == y.name)
+        && a.gauges
+            .iter()
+            .zip(b.gauges.iter())
+            .all(|(x, y)| x.name == y.name)
+        && a.histograms
+            .iter()
+            .zip(b.histograms.iter())
+            .all(|(x, y)| x.name == y.name)
+}
+
+fn push_members(out: &mut String, members: impl Iterator<Item = (&'static str, String)>) {
+    for (i, (name, value)) in members.enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{name}\": {value}"));
+    }
+}
+
+/// Trace stats and skew sketches ride on every record as absolutes: both
+/// are small, and the sketch's entry set changes between records.
+fn push_shared_tail(out: &mut String, snap: &MetricsSnapshot) {
+    out.push_str(", \"trace\": ");
+    match &snap.trace {
+        Some(t) => out.push_str(&format!(
+            "{{\"capacity\": {}, \"recorded\": {}, \"dropped\": {}}}",
+            t.capacity, t.recorded, t.dropped
+        )),
+        None => out.push_str("null"),
+    }
+    for (key, entries) in [
+        ("hot_vertices", &snap.hot_vertices),
+        ("hot_migrations", &snap.hot_migrations),
+    ] {
+        out.push_str(&format!(", \"{key}\": ["));
+        for (i, e) in entries.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"key\": {}, \"weight\": {}, \"error\": {}}}",
+                e.key, e.weight, e.error
+            ));
+        }
+        out.push(']');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Value;
+    use crate::Obs;
+    use std::sync::{Arc, Mutex};
+
+    /// A sink the test can read back after handing it to the Telemetry box.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn lines(buf: &SharedBuf) -> Vec<Value> {
+        let bytes = buf.0.lock().unwrap().clone();
+        String::from_utf8(bytes)
+            .unwrap()
+            .lines()
+            .map(|l| Value::parse(l).expect("every record is one valid JSON line"))
+            .collect()
+    }
+
+    #[test]
+    fn first_record_is_full_then_deltas() {
+        let mut obs = Obs::new();
+        let c = obs.metrics.counter("events_total", "count");
+        let g = obs.metrics.gauge("depth_total", "messages");
+        let h = obs.metrics.histogram("latency_ns", "ns");
+        let buf = SharedBuf::default();
+        let mut tel = Telemetry::new(Box::new(buf.clone()));
+
+        obs.metrics.add(c, 5);
+        obs.metrics.set_gauge(g, 2);
+        obs.metrics.observe(h, 100);
+        obs.hot_vertices.offer(7, 3);
+        tel.emit(10, "interval", &obs.snapshot()).unwrap();
+
+        obs.metrics.add(c, 2);
+        obs.metrics.set_gauge(g, 9);
+        obs.metrics.observe(h, 300);
+        tel.emit(20, "barrier", &obs.snapshot()).unwrap();
+        assert_eq!(tel.emitted(), 2);
+
+        let records = lines(&buf);
+        assert_eq!(records.len(), 2);
+        let full = &records[0];
+        assert_eq!(full.get("kind").and_then(Value::as_str), Some("full"));
+        assert_eq!(full.get("seq").and_then(Value::as_u64), Some(0));
+        assert_eq!(full.get("at").and_then(Value::as_u64), Some(10));
+        assert_eq!(full.get("source").and_then(Value::as_str), Some("interval"));
+        let counters = full.get("counters").unwrap();
+        assert_eq!(
+            counters
+                .get("events_total")
+                .and_then(|c| c.get("value"))
+                .and_then(Value::as_u64),
+            Some(5)
+        );
+        let trace = full.get("trace").unwrap();
+        assert_eq!(trace.get("dropped").and_then(Value::as_u64), Some(0));
+        let hot = full.get("hot_vertices").and_then(Value::as_arr).unwrap();
+        assert_eq!(hot[0].get("key").and_then(Value::as_u64), Some(7));
+
+        let delta = &records[1];
+        assert_eq!(delta.get("kind").and_then(Value::as_str), Some("delta"));
+        assert_eq!(delta.get("source").and_then(Value::as_str), Some("barrier"));
+        // Counter carries the change, gauge the current level.
+        assert_eq!(
+            delta
+                .get("counters")
+                .and_then(|c| c.get("events_total"))
+                .and_then(Value::as_u64),
+            Some(2)
+        );
+        assert_eq!(
+            delta
+                .get("gauges")
+                .and_then(|g| g.get("depth_total"))
+                .and_then(Value::as_u64),
+            Some(9)
+        );
+        let hist = delta
+            .get("histograms")
+            .and_then(|h| h.get("latency_ns"))
+            .unwrap();
+        assert_eq!(hist.get("count").and_then(Value::as_u64), Some(1));
+        assert_eq!(hist.get("sum").and_then(Value::as_u64), Some(300));
+        assert_eq!(hist.get("max").and_then(Value::as_u64), Some(300));
+    }
+
+    #[test]
+    fn layout_change_falls_back_to_full() {
+        let buf = SharedBuf::default();
+        let mut tel = Telemetry::new(Box::new(buf.clone()));
+        let mut a = crate::Registry::new();
+        a.counter("a_total", "count");
+        tel.emit(1, "interval", &a.snapshot()).unwrap();
+        let mut b = crate::Registry::new();
+        b.counter("b_total", "count");
+        tel.emit(2, "interval", &b.snapshot()).unwrap();
+        let records = lines(&buf);
+        assert_eq!(records[1].get("kind").and_then(Value::as_str), Some("full"));
+    }
+}

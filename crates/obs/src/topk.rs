@@ -1,0 +1,254 @@
+//! A constant-memory space-saving sketch of the heaviest keys in a stream.
+//!
+//! The paper's workloads are heavy-tailed — a handful of hub vertices
+//! dominate transfer volume — and the work-stealing roadmap item needs to
+//! *see* those hubs without holding a per-vertex table. [`SpaceSaving`] is
+//! the classic Metwally/Agrawal/El Abbadi summary: at most `capacity`
+//! entries, each `(key, weight, error)`, where `weight` overestimates the
+//! key's true total by at most `error`. Offering is a linear scan over the
+//! fixed-size table (allocation-free once the table is full), which is
+//! exactly right for the small `K` the skew exports use.
+//!
+//! Determinism: ties on eviction resolve to the lowest table index and
+//! merges fold the source's entries in `(weight desc, key asc)` order, so
+//! identical per-shard observations merged in shard order always produce
+//! the same sketch.
+
+/// One entry of a [`SpaceSaving`] sketch: `weight` overestimates the key's
+/// true total by at most `error`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TopKEntry {
+    /// The tracked key (the engines use raw vertex ids).
+    pub key: u32,
+    /// Estimated total weight offered under `key` (an upper bound).
+    pub weight: u64,
+    /// Maximum overestimation inherited from evicted entries.
+    pub error: u64,
+}
+
+/// A bounded top-K sketch (space-saving algorithm) over `u32` keys with
+/// `u64` weights.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpaceSaving {
+    capacity: usize,
+    entries: Vec<TopKEntry>,
+}
+
+impl SpaceSaving {
+    /// An empty sketch holding at most `capacity` entries. The table is
+    /// pre-sized, so offering never reallocates.
+    ///
+    /// # Panics
+    /// If `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a space-saving sketch needs capacity >= 1");
+        SpaceSaving {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Maximum number of entries the sketch holds.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of occupied entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the sketch has seen no keys yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Offer `weight` under `key`. Allocation-free: either an existing entry
+    /// absorbs the weight, a free slot takes it, or the minimum-weight entry
+    /// is evicted (its weight becoming the newcomer's error bound).
+    #[inline]
+    pub fn offer(&mut self, key: u32, weight: u64) {
+        for e in &mut self.entries {
+            if e.key == key {
+                e.weight = e.weight.saturating_add(weight);
+                return;
+            }
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.push(TopKEntry {
+                key,
+                weight,
+                error: 0,
+            });
+            return;
+        }
+        let mut min_i = 0;
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.weight < self.entries[min_i].weight {
+                min_i = i;
+            }
+        }
+        let min_w = self.entries[min_i].weight;
+        self.entries[min_i] = TopKEntry {
+            key,
+            weight: min_w.saturating_add(weight),
+            error: min_w,
+        };
+    }
+
+    /// Fold another sketch into this one — how the coordinator aggregates
+    /// the per-shard sketches shipped at sync barriers. The source's entries
+    /// are folded heaviest-first so the merge is deterministic regardless of
+    /// either table's insertion order.
+    pub fn merge_from(&mut self, other: &SpaceSaving) {
+        let mut theirs = other.entries.clone();
+        theirs.sort_by(|a, b| b.weight.cmp(&a.weight).then(a.key.cmp(&b.key)));
+        for e in theirs {
+            if let Some(mine) = self.entries.iter_mut().find(|m| m.key == e.key) {
+                mine.weight = mine.weight.saturating_add(e.weight);
+                mine.error = mine.error.saturating_add(e.error);
+                continue;
+            }
+            if self.entries.len() < self.capacity {
+                self.entries.push(e);
+                continue;
+            }
+            let mut min_i = 0;
+            for (i, m) in self.entries.iter().enumerate() {
+                if m.weight < self.entries[min_i].weight {
+                    min_i = i;
+                }
+            }
+            let min_w = self.entries[min_i].weight;
+            self.entries[min_i] = TopKEntry {
+                key: e.key,
+                weight: min_w.saturating_add(e.weight),
+                error: min_w.saturating_add(e.error),
+            };
+        }
+    }
+
+    /// The tracked entries sorted heaviest-first (`weight` desc, `key` asc)
+    /// — what the metrics snapshot exports.
+    #[must_use]
+    pub fn top(&self) -> Vec<TopKEntry> {
+        let mut out = self.entries.clone();
+        out.sort_by(|a, b| b.weight.cmp(&a.weight).then(a.key.cmp(&b.key)));
+        out
+    }
+
+    /// Drop every entry while keeping the pre-sized table — how a shard
+    /// worker empties its sketch after shipping a delta at a sync barrier.
+    pub fn reset(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_capacity() {
+        let mut s = SpaceSaving::new(4);
+        assert!(s.is_empty());
+        for _ in 0..5 {
+            s.offer(7, 1);
+        }
+        s.offer(3, 10);
+        assert_eq!(s.len(), 2);
+        let top = s.top();
+        assert_eq!(
+            top[0],
+            TopKEntry {
+                key: 3,
+                weight: 10,
+                error: 0
+            }
+        );
+        assert_eq!(
+            top[1],
+            TopKEntry {
+                key: 7,
+                weight: 5,
+                error: 0
+            }
+        );
+    }
+
+    #[test]
+    fn eviction_bounds_the_error() {
+        let mut s = SpaceSaving::new(2);
+        s.offer(1, 100);
+        s.offer(2, 1);
+        // Key 3 evicts key 2 (the minimum): weight = 1 + 5, error = 1.
+        s.offer(3, 5);
+        let top = s.top();
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].key, 1);
+        assert_eq!(
+            top[1],
+            TopKEntry {
+                key: 3,
+                weight: 6,
+                error: 1
+            }
+        );
+        // A heavy hitter survives a tail of strangers: the churn slots
+        // absorb the tail while the hub's weight keeps it out of eviction.
+        let mut s = SpaceSaving::new(3);
+        s.offer(1, 100);
+        for k in 10..60u32 {
+            s.offer(k, 1);
+        }
+        let top = s.top();
+        assert_eq!(top[0].key, 1);
+        assert_eq!(top[0].error, 0);
+    }
+
+    #[test]
+    fn merge_is_deterministic_and_keeps_the_heavies() {
+        let mut a = SpaceSaving::new(3);
+        let mut b = SpaceSaving::new(3);
+        a.offer(1, 50);
+        a.offer(2, 10);
+        b.offer(1, 25);
+        b.offer(3, 40);
+        b.offer(4, 2);
+        let mut merged1 = a.clone();
+        merged1.merge_from(&b);
+        let mut merged2 = a.clone();
+        merged2.merge_from(&b);
+        assert_eq!(merged1, merged2);
+        let top = merged1.top();
+        assert_eq!(
+            top[0],
+            TopKEntry {
+                key: 1,
+                weight: 75,
+                error: 0
+            }
+        );
+        assert_eq!(top[1].key, 3);
+        assert_eq!(top.len(), 3);
+    }
+
+    #[test]
+    fn reset_keeps_capacity() {
+        let mut s = SpaceSaving::new(2);
+        s.offer(1, 1);
+        s.reset();
+        assert!(s.is_empty());
+        assert_eq!(s.capacity(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity >= 1")]
+    fn zero_capacity_is_rejected() {
+        let _ = SpaceSaving::new(0);
+    }
+}

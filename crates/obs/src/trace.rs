@@ -105,6 +105,12 @@ impl Recorder {
         self.dropped
     }
 
+    /// Maximum number of events the recorder holds.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Drop all recorded events (keeping epoch and capacity) — how a shard
     /// worker empties its recorder after shipping a delta at a sync barrier.
     pub fn clear(&mut self) {

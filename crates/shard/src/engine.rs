@@ -141,7 +141,9 @@ use tin_core::policy::PolicyConfig;
 use tin_core::quantity::Quantity;
 use tin_core::stream::InteractionSource;
 use tin_core::tracker::{build_tracker, ProvenanceTracker, ShardVertexState};
-use tin_obs::{CounterId, GaugeId, HistogramId, Obs, Recorder, Registry, SpanEvent};
+use tin_obs::{
+    CounterId, GaugeId, HistogramId, Obs, Recorder, Registry, SpaceSaving, SpanEvent, Telemetry,
+};
 
 use crate::wavefront::{EpochRule, WavefrontScheduler};
 
@@ -255,27 +257,38 @@ fn register_worker_metrics(metrics: &mut Registry) -> WorkerMetricIds {
         migrations: metrics.counter("shard_state_migrations_total", "states"),
         spikes: metrics.counter("footprint_spikes_total", "spikes"),
         batch_ns: metrics.histogram("shard_batch_ns", "ns"),
-        backlog_depth: metrics.gauge("shard_backlog_depth", "messages"),
-        stash_depth: metrics.gauge("shard_stash_depth", "states"),
+        backlog_depth: metrics.gauge("shard_backlog_messages_total", "messages"),
+        stash_depth: metrics.gauge("shard_stash_states_total", "states"),
     }
 }
 
 /// A worker's private observability state: metrics registered by
-/// [`register_worker_metrics`] plus a flight recorder sharing the main
-/// sink's epoch (so worker spans land on the same timeline).
+/// [`register_worker_metrics`], a flight recorder sharing the main sink's
+/// epoch (so worker spans land on the same timeline), and the two skew
+/// sketches ([`SpaceSaving`]) of the hottest vertices this shard touched
+/// and migrated since the previous barrier.
 struct WorkerObs {
     ids: WorkerMetricIds,
     metrics: Registry,
     trace: Recorder,
+    /// Hottest vertices by touch count (each processed interaction offers
+    /// its source and destination once).
+    touch: SpaceSaving,
+    /// Hottest vertices by migrated state bytes (exports shipped out plus
+    /// borrowed states shipped home).
+    migrated: SpaceSaving,
 }
 
-/// One shard's accumulated metrics and spans since its previous sync
-/// barrier, attached to the [`FromShard::Synced`] acknowledgement. The main
-/// thread folds deltas in shard-id order, so the merged registry is
-/// deterministic regardless of acknowledgement arrival order.
+/// One shard's accumulated metrics, spans and skew sketches since its
+/// previous sync barrier, attached to the [`FromShard::Synced`]
+/// acknowledgement. The main thread folds deltas in shard-id order, so the
+/// merged registry is deterministic regardless of acknowledgement arrival
+/// order.
 struct WorkerObsDelta {
     metrics: Registry,
     events: Vec<SpanEvent>,
+    touch: SpaceSaving,
+    migrated: SpaceSaving,
 }
 
 /// One wavefront's worth of work for one shard.
@@ -456,11 +469,21 @@ enum BatchAbort {
 /// main-thread scheduling, barrier and checkpoint metrics.
 struct ShardObsState {
     obs: Obs,
+    /// Worker-prefix handles: valid into every worker delta registry too
+    /// (the layouts are identical by construction), which is how
+    /// [`ShardedEngine::collect_sync_acks`] reads each shard's busy time
+    /// without a snapshot.
+    worker_ids: WorkerMetricIds,
     wavefront_size: HistogramId,
     wavefronts: CounterId,
     inflight: GaugeId,
     barrier_ns: HistogramId,
     footprint_bytes: GaugeId,
+    /// Per-barrier-window spread (max − min) of the shards' busy time.
+    busy_spread: GaugeId,
+    /// Per-barrier-window max/mean shard busy time, in permille (1000 =
+    /// perfectly balanced).
+    imbalance: GaugeId,
     ckpt_capture_ns: HistogramId,
     ckpt_encode_ns: HistogramId,
     ckpt_write_ns: HistogramId,
@@ -476,13 +499,15 @@ impl ShardObsState {
     fn new(mut obs: Obs) -> Self {
         // Worker prefix first: shard deltas merge into the registry by
         // index, so the prefix layouts must be identical.
-        let _ = register_worker_metrics(&mut obs.metrics);
+        let worker_ids = register_worker_metrics(&mut obs.metrics);
         let m = &mut obs.metrics;
-        let wavefront_size = m.histogram("wavefront_batch_size", "interactions");
+        let wavefront_size = m.histogram("wavefront_batch_interactions_total", "interactions");
         let wavefronts = m.counter("wavefronts_total", "wavefronts");
-        let inflight = m.gauge("wavefronts_in_flight", "wavefronts");
+        let inflight = m.gauge("wavefronts_in_flight_total", "wavefronts");
         let barrier_ns = m.histogram("sync_barrier_ns", "ns");
         let footprint_bytes = m.gauge("footprint_bytes", "bytes");
+        let busy_spread = m.gauge("barrier_busy_spread_ns", "ns");
+        let imbalance = m.gauge("batch_imbalance_ratio", "permille");
         let ckpt_capture_ns = m.histogram("checkpoint_capture_ns", "ns");
         let ckpt_encode_ns = m.histogram("checkpoint_encode_ns", "ns");
         let ckpt_write_ns = m.histogram("checkpoint_write_ns", "ns");
@@ -490,15 +515,18 @@ impl ShardObsState {
         let ckpt_bytes = m.gauge("checkpoint_bytes", "bytes");
         let respawns = m.counter("worker_respawns_total", "workers");
         let recoveries = m.counter("recoveries_total", "recoveries");
-        let replayed = m.counter("replayed_interactions", "interactions");
+        let replayed = m.counter("replayed_interactions_total", "interactions");
         let recovery_ns = m.histogram("recovery_ns", "ns");
         ShardObsState {
             obs,
+            worker_ids,
             wavefront_size,
             wavefronts,
             inflight,
             barrier_ns,
             footprint_bytes,
+            busy_spread,
+            imbalance,
             ckpt_capture_ns,
             ckpt_encode_ns,
             ckpt_write_ns,
@@ -526,6 +554,16 @@ impl ShardObsState {
             .metrics
             .set_gauge(self.ckpt_bytes, s.encoded_bytes as u64);
     }
+}
+
+/// An attached live-telemetry stream: the JSONL sink, its
+/// every-N-interactions cadence, and the stream position of the last record
+/// (so the quiesce syncs of post-run queries do not emit stale barriers
+/// after the `final` record).
+struct TelemetryState {
+    sink: Telemetry,
+    every: usize,
+    last_at: Option<u64>,
 }
 
 /// Seconds (as measured) to integer nanoseconds for histogram observation.
@@ -582,6 +620,9 @@ pub struct ShardedEngine {
     /// Observability sink, when attached via [`Self::with_observability`].
     /// Boxed so the uninstrumented engine pays one pointer and one branch.
     obs: Option<Box<ShardObsState>>,
+    /// Live telemetry stream ([`Self::with_telemetry`]): records are
+    /// emitted every `every` interactions and at every sync barrier.
+    telemetry: Option<Box<TelemetryState>>,
     /// Supervised-recovery configuration ([`Self::with_self_healing`]).
     /// `None` (the default): worker death poisons the engine (fail fast).
     recovery: Option<RecoveryPolicy>,
@@ -646,6 +687,7 @@ impl ShardedEngine {
             checkpoints_taken: 0,
             poisoned: None,
             obs: None,
+            telemetry: None,
             recovery: None,
             recovery_snapshot: None,
             replay_buffer: VecDeque::new(),
@@ -791,6 +833,75 @@ impl ShardedEngine {
         }
         self.with_heal(Self::quiesce)?;
         Ok(self.obs.take().map(|s| s.obs))
+    }
+
+    /// Detach the observability sink *without* quiescing — the crash
+    /// forensics path. A quiesce needs live workers; after a worker loss
+    /// this returns whatever the sink held at the last completed barrier
+    /// (plus all coordinator-side metrics and spans), which is exactly the
+    /// black box a post-mortem wants.
+    pub fn take_obs_unsynced(&mut self) -> Option<Obs> {
+        self.obs.take().map(|s| s.obs)
+    }
+
+    /// Stream a delta-encoded telemetry record (see [`tin_obs::Telemetry`])
+    /// every `every` interactions and at every sync barrier. Attaches a
+    /// default observability sink if none is present.
+    ///
+    /// # Errors
+    /// [`TinError::InvalidConfig`] if `every` is zero;
+    /// [`TinError::WorkerLost`] if a shard worker died while attaching the
+    /// implicit observability sink.
+    pub fn with_telemetry(mut self, sink: Telemetry, every: usize) -> Result<Self> {
+        if every == 0 {
+            return Err(TinError::InvalidConfig(
+                "telemetry interval must be positive".into(),
+            ));
+        }
+        if self.obs.is_none() {
+            self = self.with_observability(Obs::new())?;
+        }
+        self.telemetry = Some(Box::new(TelemetryState {
+            sink,
+            every,
+            last_at: None,
+        }));
+        Ok(self)
+    }
+
+    /// Emit one telemetry record right now, tagged with `source` (the CLI
+    /// uses `"final"` for the end-of-run record). Quiesces all shards
+    /// first, so the record carries every worker's metrics up to the
+    /// current stream position — an explicitly requested record is worth a
+    /// barrier. Returns `false` without side effects when no telemetry
+    /// stream is attached.
+    ///
+    /// # Errors
+    /// Propagates sink write failures as [`TinError::Io`], and
+    /// [`TinError::WorkerLost`] if a shard worker died during the quiesce.
+    pub fn emit_telemetry(&mut self, source: &str) -> Result<bool> {
+        if self.obs.is_none() || self.telemetry.is_none() {
+            return Ok(false);
+        }
+        self.quiesce()?;
+        self.emit_record(source)
+    }
+
+    /// Emit one record from the coordinator's current view, without forcing
+    /// a barrier: worker metrics are as of the last sync. The internal
+    /// interval and barrier emission points go through here — the hot path
+    /// must not pay a quiesce per record.
+    fn emit_record(&mut self, source: &str) -> Result<bool> {
+        let Some(o) = self.obs.as_deref() else {
+            return Ok(false);
+        };
+        let Some(t) = self.telemetry.as_deref_mut() else {
+            return Ok(false);
+        };
+        let snap = o.obs.snapshot();
+        t.sink.emit(self.processed as u64, source, &snap)?;
+        t.last_at = Some(self.processed as u64);
+        Ok(true)
     }
 
     /// Quiesce all shards at the current stream position and capture one
@@ -943,10 +1054,44 @@ impl ShardedEngine {
         }
         if let Some(o) = self.obs.as_deref_mut() {
             deltas.sort_by_key(|(shard, _)| *shard);
+            // Skew: each delta covers exactly one barrier-to-barrier window,
+            // so the per-shard `shard_batch_ns` sums are directly comparable
+            // busy times. Computed before the deltas are folded in, and only
+            // when every shard reported (a partial window would understate
+            // the laggards).
+            if deltas.len() == self.num_shards && self.num_shards > 1 {
+                let batch_ns = o.worker_ids.batch_ns;
+                let busy: Vec<u64> = deltas
+                    .iter()
+                    .map(|(_, d)| d.metrics.histogram_data(batch_ns).sum())
+                    .collect();
+                let max = busy.iter().copied().max().unwrap_or(0);
+                if max > 0 {
+                    let min = busy.iter().copied().min().unwrap_or(0);
+                    o.obs.metrics.set_gauge(o.busy_spread, max - min);
+                    let mean = busy.iter().sum::<u64>() / busy.len() as u64;
+                    if let Some(ratio) = max.saturating_mul(1000).checked_div(mean) {
+                        o.obs.metrics.set_gauge(o.imbalance, ratio);
+                    }
+                }
+            }
             for (_, delta) in &deltas {
                 o.obs.metrics.merge_prefix_from(&delta.metrics);
                 o.obs.trace.extend_from(&delta.events);
+                o.obs.hot_vertices.merge_from(&delta.touch);
+                o.obs.hot_migrations.merge_from(&delta.migrated);
             }
+        }
+        // A barrier with instrumentation attached is a natural telemetry
+        // emission point (the merged registry was just brought current) —
+        // but only while the stream is advancing: the quiesce syncs issued
+        // by post-run queries would otherwise re-emit the same position.
+        let advanced = self
+            .telemetry
+            .as_deref()
+            .is_some_and(|t| t.last_at != Some(self.processed as u64));
+        if !deltas.is_empty() && advanced {
+            self.emit_record("barrier")?;
         }
         Ok(())
     }
@@ -989,16 +1134,24 @@ impl ShardedEngine {
         let target = self.processed + 1;
         loop {
             match self.process_attempt(r) {
-                Ok(()) => return Ok(()),
+                Ok(()) => break,
                 Err(e @ TinError::WorkerLost { .. }) if self.recovery.is_some() => {
                     self.heal_within_budget(e)?;
                     if self.processed >= target {
-                        return Ok(());
+                        break;
                     }
                 }
                 Err(e) => return Err(e),
             }
         }
+        if let Some(t) = self.telemetry.as_deref() {
+            // Worker metrics in this record are as of the last barrier —
+            // the coordinator does not force a quiesce just to emit.
+            if self.processed.is_multiple_of(t.every) {
+                self.emit_record("interval")?;
+            }
+        }
+        Ok(())
     }
 
     /// One attempt at processing `r` (validation already done by
@@ -1755,9 +1908,13 @@ fn shard_worker(
                     let d = Box::new(WorkerObsDelta {
                         metrics: o.metrics.clone(),
                         events: o.trace.events().to_vec(),
+                        touch: o.touch.clone(),
+                        migrated: o.migrated.clone(),
                     });
                     o.metrics.reset_values();
                     o.trace.clear();
+                    o.touch.reset();
+                    o.migrated.reset();
                     d
                 });
                 let _ = main_tx.send(FromShard::Synced {
@@ -1772,6 +1929,8 @@ fn shard_worker(
                     ids,
                     metrics,
                     trace: Recorder::with_epoch(WORKER_TRACE_CAPACITY, epoch),
+                    touch: SpaceSaving::new(tin_obs::DEFAULT_TOPK_CAPACITY),
+                    migrated: SpaceSaving::new(tin_obs::DEFAULT_TOPK_CAPACITY),
                 });
             }
             ToShard::SetSampleInterval(every) => {
@@ -1839,6 +1998,7 @@ fn shard_worker(
                     &mut stash,
                     &mut backlog,
                     &mut processed_local,
+                    obs.as_mut(),
                 ) {
                     Ok(newborn) => newborn,
                     Err(BatchAbort::PeerLost) | Err(BatchAbort::MainLost) => {
@@ -1914,6 +2074,7 @@ fn run_batch(
     stash: &mut HashMap<u32, VecDeque<ShardVertexState>>,
     backlog: &mut VecDeque<ToShard>,
     processed_local: &mut usize,
+    mut obs: Option<&mut WorkerObs>,
 ) -> std::result::Result<Vec<(u32, f64)>, BatchAbort> {
     // 1. Epoch sync *before* any state is read, exported or processed.
     tracker.sync_epoch(cmd.start, cmd.start_time);
@@ -1923,6 +2084,9 @@ fn run_batch(
         let state = tracker
             .take_vertex_state(*v)
             .expect("factory trackers support sharded execution");
+        if let Some(o) = obs.as_deref_mut() {
+            o.migrated.offer(v.raw(), state.footprint_bytes() as u64);
+        }
         if peers[*to]
             .send(ToShard::State(StateMsg {
                 vertex: *v,
@@ -1941,6 +2105,10 @@ fn run_batch(
     for (off, r) in &cmd.locals {
         newborn.push((*off, process_one(tracker, r)));
         *processed_local += 1;
+        if let Some(o) = obs.as_deref_mut() {
+            o.touch.offer(r.src.raw(), 1);
+            o.touch.offer(r.dst.raw(), 1);
+        }
     }
 
     // 4. Cross-shard interactions: install the source state, process with
@@ -1961,7 +2129,8 @@ fn run_batch(
                    state: ShardVertexState,
                    pending: &mut BTreeMap<u32, (u32, Interaction)>,
                    newborn: &mut Vec<(u32, f64)>,
-                   processed_local: &mut usize|
+                   processed_local: &mut usize,
+                   obs: &mut Option<&mut WorkerObs>|
      -> std::result::Result<(), BatchAbort> {
         let (off, r) = pending
             .remove(&vertex.raw())
@@ -1972,6 +2141,12 @@ fn run_batch(
         let state = tracker
             .take_vertex_state(vertex)
             .expect("factory trackers support sharded execution");
+        if let Some(o) = obs.as_deref_mut() {
+            o.touch.offer(r.src.raw(), 1);
+            o.touch.offer(r.dst.raw(), 1);
+            o.migrated
+                .offer(vertex.raw(), state.footprint_bytes() as u64);
+        }
         let owner = shard_of(vertex, peers.len());
         debug_assert_ne!(owner, shard_id, "imports come from other shards");
         if peers[owner]
@@ -2005,6 +2180,7 @@ fn run_batch(
             &mut pending,
             &mut newborn,
             processed_local,
+            &mut obs,
         )?;
     }
 
@@ -2029,6 +2205,7 @@ fn run_batch(
                         &mut pending,
                         &mut newborn,
                         processed_local,
+                        &mut obs,
                     )?;
                 } else {
                     // An export for a later wavefront arriving early.

@@ -538,7 +538,7 @@ fn recovery_metrics_and_span_land_in_obs() {
         assert_eq!(counter("recoveries_total"), 1);
         assert_eq!(counter("worker_respawns_total"), shards as u64);
         assert_eq!(
-            counter("replayed_interactions"),
+            counter("replayed_interactions_total"),
             stats.replayed_interactions as u64
         );
         let rto = snap

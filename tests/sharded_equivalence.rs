@@ -174,7 +174,7 @@ fn sharded_observability_merges_worker_metrics_deterministically() {
     let sizes = snap
         .histograms
         .iter()
-        .find(|h| h.name == "wavefront_batch_size")
+        .find(|h| h.name == "wavefront_batch_interactions_total")
         .expect("wavefront size histogram registered");
     assert_eq!(sizes.count, wavefronts);
     assert_eq!(sizes.sum, stream.len() as u64);
